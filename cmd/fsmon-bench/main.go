@@ -1,0 +1,47 @@
+// Command fsmon-bench regenerates the paper's evaluation tables
+// (Tables II–IX and the §V-D5 Robinhood comparison) on the simulated
+// testbeds.
+//
+// Usage:
+//
+//	fsmon-bench [-table all|2|3|4|5|6|7|8|9|robinhood] [-duration 4s] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fsmonitor/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to regenerate: all, 2..9, or robinhood")
+	duration := flag.Duration("duration", 0, "measurement window per cell (default 4s, quick 1.5s)")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	files := flag.Int("filebench-files", 0, "Filebench file count for Table 9 (default 50000, quick 5000)")
+	flag.Parse()
+
+	opts := bench.Options{Duration: *duration, Quick: *quick, FilebenchFiles: *files}
+	start := time.Now()
+	var (
+		tables []bench.Table
+		err    error
+	)
+	if *table == "all" {
+		tables, err = bench.All(opts)
+	} else {
+		var t bench.Table
+		t, err = bench.Run(*table, opts)
+		tables = append(tables, t)
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsmon-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

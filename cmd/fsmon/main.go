@@ -1,0 +1,141 @@
+// Command fsmon is FSMonitor's command-line monitor — the inotifywait
+// analogue with FSMonitor's standardized output, working against any DSI.
+//
+// Watch a real directory (inotify on Linux, polling elsewhere):
+//
+//	fsmon /data
+//	fsmon -recursive -ops CREATE,DELETE /data
+//	fsmon -format fsevents /data
+//
+// Watch a simulated Lustre cluster driven by a built-in demo workload:
+//
+//	fsmon -lustre iota -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fsmonitor"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/lustre"
+	"fsmonitor/internal/workload"
+)
+
+func main() {
+	recursive := flag.Bool("recursive", false, "monitor the whole subtree (FSMonitor's filtering-rule recursion)")
+	ops := flag.String("ops", "", "comma-separated event mask, e.g. CREATE,MODIFY,DELETE (default: all)")
+	format := flag.String("format", "standard", "output representation: standard, inotify, kqueue, fsevents, fsw, lustre")
+	backend := flag.String("dsi", "", "force a DSI backend by name (default: auto-select)")
+	lustreBed := flag.String("lustre", "", "monitor a simulated Lustre testbed instead of a path: aws, thor, or iota")
+	cache := flag.Int("cache", 0, "Lustre fid2path cache size (0 = paper default 5000, negative = disabled)")
+	demo := flag.Bool("demo", false, "with -lustre: run the Evaluate_Output_Script workload and exit")
+	stats := flag.Bool("stats", false, "print layer statistics on exit")
+	flag.Parse()
+
+	var mask fsmonitor.Op
+	if *ops != "" {
+		m, err := events.ParseOp(strings.ToUpper(*ops))
+		if err != nil {
+			fatal(err)
+		}
+		mask = m
+	}
+	outFormat := fsmonitor.Format(*format)
+
+	var (
+		m       *fsmonitor.Monitor
+		err     error
+		cluster *fsmonitor.LustreCluster
+	)
+	switch {
+	case *lustreBed != "":
+		var cfg lustre.Config
+		switch strings.ToLower(*lustreBed) {
+		case "aws":
+			cfg = lustre.AWSConfig()
+		case "thor":
+			cfg = lustre.ThorConfig()
+		case "iota":
+			cfg = lustre.IotaConfig()
+		default:
+			fatal(fmt.Errorf("unknown testbed %q (want aws, thor, or iota)", *lustreBed))
+		}
+		cfg.OpLatency = nil // interactive demo runs unpaced
+		cluster = fsmonitor.NewLustreCluster(cfg)
+		m, err = fsmonitor.WatchLustre(cluster, "/mnt/lustre", *cache)
+	default:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: fsmon [flags] <path>  (or -lustre <testbed>)")
+			flag.PrintDefaults()
+			os.Exit(2)
+		}
+		opts := []fsmonitor.Option{}
+		if *recursive {
+			opts = append(opts, fsmonitor.WithRecursive())
+		}
+		if *backend != "" {
+			opts = append(opts, fsmonitor.WithDSI(*backend))
+		}
+		m, err = fsmonitor.Watch(flag.Arg(0), opts...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer m.Close()
+	fmt.Fprintf(os.Stderr, "fsmon: monitoring via %s DSI\n", m.DSIName())
+
+	sub, err := m.Subscribe(fsmonitor.Filter{Recursive: *recursive || *lustreBed != "", Ops: mask}, 0)
+	if err != nil {
+		fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for batch := range sub.C() {
+			for _, e := range batch {
+				line, err := fsmonitor.Transform(e, outFormat)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "fsmon: %v\n", err)
+					continue
+				}
+				fmt.Println(line)
+			}
+		}
+	}()
+
+	if *demo && cluster != nil {
+		cl := cluster.Client()
+		target := workload.NewLustreTarget(cl)
+		if err := cl.MkdirAll("/demo"); err != nil {
+			fatal(err)
+		}
+		if err := workload.OutputScript(target, "/demo", 20*time.Millisecond); err != nil {
+			fatal(err)
+		}
+		time.Sleep(500 * time.Millisecond)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
+	sub.Close()
+	<-done
+	if *stats {
+		st := m.Stats()
+		fmt.Fprintf(os.Stderr, "fsmon: dsi=%s dropped=%d processed=%d batches=%d stored=%d delivered=%d\n",
+			st.DSI, st.DSIDropped, st.Resolution.Processed, st.Resolution.Batches,
+			st.Interface.Store.Appended, st.Interface.Delivered)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fsmon: %v\n", err)
+	os.Exit(1)
+}

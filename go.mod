@@ -1,0 +1,3 @@
+module fsmonitor
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package bench regenerates every measured table of the paper's
+// evaluation (§V): Tables II–IX plus the §V-D5 Robinhood comparison. Each
+// driver builds the corresponding testbed (simulated platform or Lustre
+// cluster), runs the paper's workload, and returns rows in the same shape
+// the paper reports. EXPERIMENTS.md records paper-vs-measured values.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one regenerated result table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table as aligned text.
+func (t Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	if len(t.Header) > 0 {
+		printRow(t.Header)
+		total := 0
+		for _, wd := range widths {
+			total += wd + 2
+		}
+		fmt.Fprintln(w, "  "+strings.Repeat("-", total))
+	}
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Options tunes the harness.
+type Options struct {
+	// Duration is the measurement window per cell (default 4s; Quick
+	// uses 1.5s).
+	Duration time.Duration
+	// Quick shrinks workloads for smoke runs.
+	Quick bool
+	// Filebench file count for Table 9 (default 50 000; Quick 5 000).
+	FilebenchFiles int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration <= 0 {
+		if o.Quick {
+			o.Duration = 1500 * time.Millisecond
+		} else {
+			o.Duration = 4 * time.Second
+		}
+	}
+	if o.FilebenchFiles <= 0 {
+		if o.Quick {
+			o.FilebenchFiles = 5000
+		} else {
+			o.FilebenchFiles = 50000
+		}
+	}
+	return o
+}
+
+// All runs every table in paper order.
+func All(opts Options) ([]Table, error) {
+	type driver struct {
+		name string
+		run  func(Options) (Table, error)
+	}
+	drivers := []driver{
+		{"table2", Table2},
+		{"table3", Table3},
+		{"table4", Table4},
+		{"table5", Table5},
+		{"table6", Table6},
+		{"table7", Table7},
+		{"table8", Table8},
+		{"table9", Table9},
+		{"robinhood", RobinhoodComparison},
+	}
+	var out []Table
+	for _, d := range drivers {
+		t, err := d.run(opts)
+		if err != nil {
+			return out, fmt.Errorf("bench: %s: %w", d.name, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Run executes one table by ID ("table2".."table9", "robinhood").
+func Run(id string, opts Options) (Table, error) {
+	switch id {
+	case "table2", "2":
+		return Table2(opts)
+	case "table3", "3":
+		return Table3(opts)
+	case "table4", "4":
+		return Table4(opts)
+	case "table5", "5":
+		return Table5(opts)
+	case "table6", "6":
+		return Table6(opts)
+	case "table7", "7":
+		return Table7(opts)
+	case "table8", "8":
+		return Table8(opts)
+	case "table9", "9":
+		return Table9(opts)
+	case "robinhood":
+		return RobinhoodComparison(opts)
+	default:
+		return Table{}, fmt.Errorf("bench: unknown table %q", id)
+	}
+}
+
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,177 @@
+// Package core assembles FSMonitor's three-layer architecture (Fig. 3):
+// a Data Storage Interface selected from the registry captures events from
+// the target storage, the resolution layer standardizes and batches them,
+// and the interface layer stores and reports them to clients.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/dsi/lustredsi"
+	"fsmonitor/internal/dsi/polldsi"
+	"fsmonitor/internal/dsi/simdsi"
+	"fsmonitor/internal/dsi/spectrumdsi"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/eventstore"
+	"fsmonitor/internal/iface"
+	"fsmonitor/internal/resolution"
+)
+
+// Options configures a Monitor.
+type Options struct {
+	// Storage describes what to monitor; the DSI registry selects the
+	// backend from it unless DSIName pins one explicitly.
+	Storage dsi.StorageInfo
+	// DSIName forces a specific backend (default: auto-select).
+	DSIName string
+	// Recursive monitors the whole subtree under the root. Default
+	// false, matching inotify semantics (§V-C1).
+	Recursive bool
+	// Backend passes the storage handle to the DSI factory (e.g. the
+	// simulated *vfs.FS or a Lustre cluster connection).
+	Backend any
+	// Registry supplies the DSI backends (default: DefaultRegistry()).
+	Registry *dsi.Registry
+	// Resolution tunes the middle layer.
+	Resolution resolution.Options
+	// Store configures the reliable event store.
+	Store eventstore.Options
+	// Buffer is the DSI event channel capacity (0 = default).
+	Buffer int
+}
+
+// DefaultRegistry returns a registry with every built-in backend for the
+// current platform: the real local-filesystem backends (inotify on Linux,
+// polling everywhere) and the simulated-kernel backends.
+func DefaultRegistry() *dsi.Registry {
+	reg := dsi.NewRegistry()
+	polldsi.Register(reg)
+	simdsi.Register(reg)
+	lustredsi.Register(reg)
+	spectrumdsi.Register(reg)
+	registerPlatform(reg)
+	return reg
+}
+
+// Monitor is a running FSMonitor instance.
+type Monitor struct {
+	dsi       dsi.DSI
+	proc      *resolution.Processor
+	api       *iface.Interface
+	store     *eventstore.Store
+	closeOnce sync.Once
+	pumpDone  chan struct{}
+}
+
+// New starts a monitor per opts.
+func New(opts Options) (*Monitor, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	cfg := dsi.Config{
+		Root:      opts.Storage.Root,
+		Recursive: opts.Recursive,
+		Buffer:    opts.Buffer,
+		Backend:   opts.Backend,
+	}
+	var (
+		d   dsi.DSI
+		err error
+	)
+	if opts.DSIName != "" {
+		d, err = reg.OpenNamed(opts.DSIName, cfg)
+	} else {
+		d, err = reg.Open(opts.Storage, cfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: attaching DSI: %w", err)
+	}
+	store, err := eventstore.New(opts.Store)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	api, err := iface.New(iface.Options{Store: store, AutoAck: true})
+	if err != nil {
+		d.Close()
+		store.Close()
+		return nil, err
+	}
+	m := &Monitor{
+		dsi:      d,
+		proc:     resolution.New(d.Events(), opts.Resolution),
+		api:      api,
+		store:    store,
+		pumpDone: make(chan struct{}),
+	}
+	go m.pump()
+	return m, nil
+}
+
+// pump feeds resolution-layer batches into the interface layer.
+func (m *Monitor) pump() {
+	defer close(m.pumpDone)
+	for batch := range m.proc.Batches() {
+		if err := m.api.Ingest(batch); err != nil {
+			return
+		}
+	}
+}
+
+// DSIName reports which backend the registry selected.
+func (m *Monitor) DSIName() string { return m.dsi.Name() }
+
+// Subscribe attaches a client feed with the given filter; sinceSeq > 0
+// replays history from the event store first.
+func (m *Monitor) Subscribe(filter iface.Filter, sinceSeq uint64) (*iface.Subscription, error) {
+	return m.api.Subscribe(filter, sinceSeq)
+}
+
+// Since returns stored events after seq.
+func (m *Monitor) Since(seq uint64, max int) ([]events.Event, error) {
+	return m.api.Since(seq, max)
+}
+
+// Ack flags events up to seq as reported.
+func (m *Monitor) Ack(seq uint64) error { return m.api.Ack(seq) }
+
+// Purge removes reported events from the store.
+func (m *Monitor) Purge() (int, error) { return m.api.Purge() }
+
+// Errors exposes backend errors (queue overflows etc.).
+func (m *Monitor) Errors() <-chan error { return m.dsi.Errors() }
+
+// Stats aggregates layer statistics.
+type Stats struct {
+	DSI        string
+	DSIDropped uint64
+	Resolution resolution.Stats
+	Interface  iface.Stats
+}
+
+// Stats returns a snapshot across the three layers.
+func (m *Monitor) Stats() Stats {
+	return Stats{
+		DSI:        m.dsi.Name(),
+		DSIDropped: m.dsi.Dropped(),
+		Resolution: m.proc.Stats(),
+		Interface:  m.api.Stats(),
+	}
+}
+
+// Close stops the monitor: DSI first, letting queued events drain through
+// resolution into the store, then the interface layer.
+func (m *Monitor) Close() error {
+	var err error
+	m.closeOnce.Do(func() {
+		err = m.dsi.Close()
+		<-m.pumpDone // resolution output drains when the DSI channel closes
+		m.proc.Close()
+		m.api.Close()
+		m.store.Close()
+	})
+	return err
+}

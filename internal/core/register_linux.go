@@ -1,0 +1,13 @@
+//go:build linux
+
+package core
+
+import (
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/dsi/inotifydsi"
+)
+
+// registerPlatform adds Linux-native backends.
+func registerPlatform(reg *dsi.Registry) {
+	inotifydsi.Register(reg)
+}

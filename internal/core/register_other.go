@@ -1,0 +1,9 @@
+//go:build !linux
+
+package core
+
+import "fsmonitor/internal/dsi"
+
+// registerPlatform adds no extra backends on platforms without a native
+// stdlib-reachable notification API; the polling backend covers them.
+func registerPlatform(reg *dsi.Registry) {}

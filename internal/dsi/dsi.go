@@ -1,0 +1,264 @@
+// Package dsi defines FSMonitor's Data Storage Interface — the lowest of
+// the three architecture layers (§III-A1): "responsible for interfacing
+// with the underlying file system to capture events and report them to the
+// resolution layer ... We employ a modular architecture via which arbitrary
+// monitoring interfaces can be integrated", and "also responsible for
+// selecting the appropriate monitoring tool for the given storage device."
+//
+// A DSI watches one root and emits events on a channel; the registry maps
+// a storage description to the best available DSI implementation.
+package dsi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fsmonitor/internal/events"
+)
+
+// DSI is one attached monitoring backend.
+type DSI interface {
+	// Name identifies the backend (e.g. "inotify", "fsevents", "lustre").
+	Name() string
+	// Events returns the stream of captured events. The channel closes
+	// when the DSI stops.
+	Events() <-chan events.Event
+	// Errors returns asynchronous backend errors (buffer overflows,
+	// connection losses). May be drained lazily; senders never block.
+	Errors() <-chan error
+	// Dropped reports events lost inside the backend, if any.
+	Dropped() uint64
+	// Close detaches the backend and closes the event channel.
+	Close() error
+}
+
+// StorageInfo describes the storage a monitor should attach to; the
+// registry selects a DSI from it.
+type StorageInfo struct {
+	// Platform is the operating system flavour: "linux", "darwin",
+	// "windows", "bsd" — or "sim-<os>" for the simulated kernels.
+	Platform string
+	// FSType is the file-system type: "local", "lustre", ...
+	FSType string
+	// Root is the path to monitor.
+	Root string
+}
+
+// Config carries the watch parameters given to a factory.
+type Config struct {
+	// Root is the path to monitor.
+	Root string
+	// Recursive requests events for the whole subtree. Backends that
+	// cannot recurse natively (inotify) install per-directory watches.
+	Recursive bool
+	// Buffer is the event channel capacity (0 = implementation default).
+	Buffer int
+	// Backend passes the storage-specific handle (e.g. the simulated
+	// kernel, a Lustre cluster connection). Concrete factories document
+	// what they expect.
+	Backend any
+}
+
+// Factory builds a DSI attached per cfg.
+type Factory func(cfg Config) (DSI, error)
+
+// registration couples a factory with its selection predicate.
+type registration struct {
+	name    string
+	factory Factory
+	// score returns a preference for handling info; <= 0 means cannot.
+	score func(info StorageInfo) int
+}
+
+// Registry selects and constructs DSIs. The zero value is empty; NewRegistry
+// returns one pre-populated by the standard backends' register calls.
+type Registry struct {
+	mu   sync.Mutex
+	regs map[string]registration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{regs: make(map[string]registration)}
+}
+
+// Register adds a backend. Re-registering a name replaces it.
+func (r *Registry) Register(name string, score func(StorageInfo) int, f Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.regs[name] = registration{name: name, factory: f, score: score}
+}
+
+// Names returns the registered backend names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.regs))
+	for n := range r.regs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ErrNoBackend is returned when no registered DSI can handle the storage.
+var ErrNoBackend = errors.New("dsi: no backend can monitor this storage")
+
+// Select returns the name of the highest-scoring backend for info.
+func (r *Registry) Select(info StorageInfo) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best, bestScore := "", 0
+	// Deterministic tie-break by name.
+	names := make([]string, 0, len(r.regs))
+	for n := range r.regs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if s := r.regs[n].score(info); s > bestScore {
+			best, bestScore = n, s
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("%w: platform=%q fstype=%q", ErrNoBackend, info.Platform, info.FSType)
+	}
+	return best, nil
+}
+
+// Open selects a backend for info and constructs it with cfg. If cfg.Root
+// is empty it defaults to info.Root.
+func (r *Registry) Open(info StorageInfo, cfg Config) (DSI, error) {
+	name, err := r.Select(info)
+	if err != nil {
+		return nil, err
+	}
+	return r.OpenNamed(name, infoRootDefault(info, cfg))
+}
+
+// OpenNamed constructs the named backend directly.
+func (r *Registry) OpenNamed(name string, cfg Config) (DSI, error) {
+	r.mu.Lock()
+	reg, ok := r.regs[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dsi: unknown backend %q", name)
+	}
+	return reg.factory(cfg)
+}
+
+func infoRootDefault(info StorageInfo, cfg Config) Config {
+	if cfg.Root == "" {
+		cfg.Root = info.Root
+	}
+	return cfg
+}
+
+// Base provides the channel plumbing shared by concrete DSIs: an event
+// channel with overflow accounting, a non-blocking error channel, and a
+// producer-aware shutdown protocol. Concrete backends call AddPump before
+// starting each producer goroutine and PumpDone when it exits; the event
+// channel closes only after every producer has stopped, so sends never
+// race a close.
+type Base struct {
+	name      string
+	events    chan events.Event
+	errs      chan error
+	done      chan struct{}
+	closeOnce sync.Once
+	pumps     sync.WaitGroup
+	nDropped  atomic.Uint64
+}
+
+// NewBase creates plumbing with the given channel capacity.
+func NewBase(name string, buffer int) *Base {
+	if buffer <= 0 {
+		buffer = 8192
+	}
+	return &Base{
+		name:   name,
+		events: make(chan events.Event, buffer),
+		errs:   make(chan error, 16),
+		done:   make(chan struct{}),
+	}
+}
+
+// Name implements DSI.
+func (b *Base) Name() string { return b.name }
+
+// Events implements DSI.
+func (b *Base) Events() <-chan events.Event { return b.events }
+
+// Errors implements DSI.
+func (b *Base) Errors() <-chan error { return b.errs }
+
+// Dropped implements DSI.
+func (b *Base) Dropped() uint64 { return b.nDropped.Load() }
+
+// Done returns the shutdown signal producers must honour.
+func (b *Base) Done() <-chan struct{} { return b.done }
+
+// AddPump registers a producer goroutine (call before starting it).
+func (b *Base) AddPump() { b.pumps.Add(1) }
+
+// PumpDone marks a producer goroutine finished.
+func (b *Base) PumpDone() { b.pumps.Done() }
+
+// Emit delivers an event, blocking until the consumer accepts it. It
+// reports false once the base is closed. Only producer goroutines
+// registered via AddPump may call Emit.
+func (b *Base) Emit(e events.Event) bool {
+	e.Source = b.name
+	select {
+	case <-b.done:
+		return false
+	default:
+	}
+	select {
+	case b.events <- e:
+		return true
+	case <-b.done:
+		return false
+	}
+}
+
+// TryEmit delivers an event without blocking, counting a drop on failure.
+func (b *Base) TryEmit(e events.Event) bool {
+	e.Source = b.name
+	select {
+	case <-b.done:
+		return false
+	default:
+	}
+	select {
+	case b.events <- e:
+		return true
+	case <-b.done:
+		return false
+	default:
+		b.nDropped.Add(1)
+		return false
+	}
+}
+
+// EmitError reports an asynchronous error without blocking.
+func (b *Base) EmitError(err error) {
+	select {
+	case b.errs <- err:
+	default:
+	}
+}
+
+// CloseBase signals shutdown, waits for producers, then closes the
+// channels. Safe to call multiple times.
+func (b *Base) CloseBase() {
+	b.closeOnce.Do(func() {
+		close(b.done)
+		b.pumps.Wait()
+		close(b.events)
+		close(b.errs)
+	})
+}

@@ -1,0 +1,148 @@
+package dsi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/events"
+)
+
+type fakeDSI struct{ *Base }
+
+func (f *fakeDSI) Close() error {
+	f.CloseBase()
+	return nil
+}
+
+func TestRegistrySelection(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("native", func(i StorageInfo) int {
+		if i.Platform == "linux" {
+			return 100
+		}
+		return 0
+	}, func(cfg Config) (DSI, error) { return &fakeDSI{NewBase("native", 0)}, nil })
+	reg.Register("fallback", func(i StorageInfo) int { return 1 }, func(cfg Config) (DSI, error) {
+		return &fakeDSI{NewBase("fallback", 0)}, nil
+	})
+
+	name, err := reg.Select(StorageInfo{Platform: "linux"})
+	if err != nil || name != "native" {
+		t.Errorf("Select(linux) = %q, %v", name, err)
+	}
+	name, err = reg.Select(StorageInfo{Platform: "plan9"})
+	if err != nil || name != "fallback" {
+		t.Errorf("Select(plan9) = %q, %v", name, err)
+	}
+	if got := reg.Names(); len(got) != 2 || got[0] != "fallback" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestRegistryNoBackend(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("never", func(i StorageInfo) int { return 0 }, nil)
+	if _, err := reg.Select(StorageInfo{}); !errors.Is(err, ErrNoBackend) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := reg.OpenNamed("missing", Config{}); err == nil {
+		t.Error("OpenNamed(missing) succeeded")
+	}
+}
+
+func TestRegistryOpenDefaultsRoot(t *testing.T) {
+	reg := NewRegistry()
+	var gotRoot string
+	reg.Register("x", func(i StorageInfo) int { return 1 }, func(cfg Config) (DSI, error) {
+		gotRoot = cfg.Root
+		return &fakeDSI{NewBase("x", 0)}, nil
+	})
+	d, err := reg.Open(StorageInfo{Root: "/data"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if gotRoot != "/data" {
+		t.Errorf("root = %q", gotRoot)
+	}
+}
+
+func TestBaseEmitAndClose(t *testing.T) {
+	b := NewBase("test", 4)
+	if !b.Emit(events.Event{Path: "/x"}) {
+		t.Fatal("Emit failed")
+	}
+	e := <-b.Events()
+	if e.Source != "test" || e.Path != "/x" {
+		t.Errorf("event = %+v", e)
+	}
+	b.CloseBase()
+	if b.Emit(events.Event{}) {
+		t.Error("Emit after close succeeded")
+	}
+	if _, ok := <-b.Events(); ok {
+		t.Error("events channel not closed")
+	}
+	b.CloseBase() // idempotent
+}
+
+func TestBaseTryEmitDrops(t *testing.T) {
+	b := NewBase("test", 1)
+	defer b.CloseBase()
+	if !b.TryEmit(events.Event{}) {
+		t.Fatal("first TryEmit failed")
+	}
+	if b.TryEmit(events.Event{}) {
+		t.Error("second TryEmit succeeded with full buffer")
+	}
+	if b.Dropped() != 1 {
+		t.Errorf("Dropped = %d", b.Dropped())
+	}
+}
+
+func TestBaseEmitUnblocksOnClose(t *testing.T) {
+	b := NewBase("test", 1)
+	b.TryEmit(events.Event{}) // fill
+	b.AddPump()
+	result := make(chan bool, 1)
+	go func() {
+		defer b.PumpDone()
+		result <- b.Emit(events.Event{}) // blocks: buffer full
+	}()
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		b.CloseBase()
+		close(done)
+	}()
+	select {
+	case ok := <-result:
+		if ok {
+			t.Error("blocked Emit reported success after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Emit did not unblock on close")
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("CloseBase did not return")
+	}
+}
+
+func TestBaseErrors(t *testing.T) {
+	b := NewBase("test", 1)
+	defer b.CloseBase()
+	for i := 0; i < 100; i++ {
+		b.EmitError(errors.New("x")) // must never block
+	}
+	select {
+	case err := <-b.Errors():
+		if err == nil {
+			t.Error("nil error")
+		}
+	default:
+		t.Error("no error buffered")
+	}
+}

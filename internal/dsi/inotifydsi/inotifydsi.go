@@ -1,0 +1,239 @@
+//go:build linux
+
+// Package inotifydsi implements the DSI for real Linux inotify via raw
+// syscalls (stdlib only — no fsnotify dependency). It watches actual
+// directories on the host filesystem, installing one watch per directory
+// and extending coverage as directories appear, exactly like the
+// simulated adapter but against the real kernel.
+package inotifydsi
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+)
+
+// Name is the backend name in the registry.
+const Name = "inotify"
+
+// Register adds the backend: it scores highest for real local storage on
+// Linux.
+func Register(reg *dsi.Registry) {
+	reg.Register(Name, func(info dsi.StorageInfo) int {
+		if info.Platform == "linux" && (info.FSType == "" || info.FSType == "local") {
+			return 100
+		}
+		return 0
+	}, New)
+}
+
+type watcher struct {
+	*dsi.Base
+	fd        int
+	file      *os.File // wraps fd non-blocking so Close unblocks Read
+	root      string
+	recursive bool
+	mu        sync.Mutex
+	wdToPath  map[int]string
+	pathToWD  map[string]int
+	closeOnce sync.Once
+}
+
+// New attaches to cfg.Root on the real filesystem. cfg.Backend is unused.
+func New(cfg dsi.Config) (dsi.DSI, error) {
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(root); err != nil {
+		return nil, err
+	}
+	// IN_NONBLOCK + os.NewFile registers the descriptor with the runtime
+	// poller, so reads park in the scheduler and file.Close unblocks them
+	// (a plain blocking read(2) would ignore close and deadlock shutdown).
+	fd, err := syscall.InotifyInit1(syscall.IN_CLOEXEC | syscall.IN_NONBLOCK)
+	if err != nil {
+		return nil, fmt.Errorf("inotify_init1: %w", err)
+	}
+	w := &watcher{
+		Base:      dsi.NewBase(Name, cfg.Buffer),
+		fd:        fd,
+		file:      os.NewFile(uintptr(fd), "inotify"),
+		root:      root,
+		recursive: cfg.Recursive,
+		wdToPath:  make(map[int]string),
+		pathToWD:  make(map[string]int),
+	}
+	if err := w.add(root); err != nil {
+		w.file.Close()
+		return nil, err
+	}
+	if cfg.Recursive {
+		err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return nil // unreadable subtree: skip, monitor the rest
+			}
+			if d.IsDir() && p != root {
+				if err := w.add(p); err != nil && !errors.Is(err, syscall.ENOSPC) {
+					return nil
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			w.file.Close()
+			return nil, err
+		}
+	}
+	w.AddPump()
+	go w.readLoop()
+	return w, nil
+}
+
+const watchMask = syscall.IN_CREATE | syscall.IN_DELETE | syscall.IN_MODIFY |
+	syscall.IN_ATTRIB | syscall.IN_CLOSE_WRITE | syscall.IN_CLOSE_NOWRITE |
+	syscall.IN_MOVED_FROM | syscall.IN_MOVED_TO | syscall.IN_DELETE_SELF |
+	syscall.IN_MOVE_SELF | syscall.IN_OPEN
+
+func (w *watcher) add(p string) error {
+	wd, err := syscall.InotifyAddWatch(w.fd, p, watchMask)
+	if err != nil {
+		return fmt.Errorf("inotify_add_watch %s: %w", p, err)
+	}
+	w.mu.Lock()
+	w.wdToPath[wd] = p
+	w.pathToWD[p] = wd
+	w.mu.Unlock()
+	return nil
+}
+
+// NumWatches reports installed watches.
+func (w *watcher) NumWatches() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.wdToPath)
+}
+
+func (w *watcher) readLoop() {
+	defer w.PumpDone()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := w.file.Read(buf)
+		if n <= 0 || err != nil {
+			if errors.Is(err, syscall.EINTR) {
+				continue
+			}
+			return // fd closed
+		}
+		w.parse(buf[:n])
+	}
+}
+
+// parse walks a buffer of raw inotify_event structures. The kernel wire
+// header is exactly 16 bytes (wd, mask, cookie, len) — note that
+// unsafe.Sizeof(syscall.InotifyEvent{}) cannot be used here, since Go may
+// pad the zero-length Name array.
+func (w *watcher) parse(buf []byte) {
+	const headerSize = 16
+	for off := 0; off+headerSize <= len(buf); {
+		raw := (*syscall.InotifyEvent)(unsafe.Pointer(&buf[off]))
+		nameLen := int(raw.Len)
+		if off+headerSize+nameLen > len(buf) {
+			return // torn event; should not happen with kernel reads
+		}
+		name := ""
+		if nameLen > 0 {
+			b := buf[off+headerSize : off+headerSize+nameLen]
+			name = strings.TrimRight(string(b), "\x00")
+		}
+		off += headerSize + nameLen
+		w.handle(int(raw.Wd), raw.Mask, raw.Cookie, name)
+	}
+}
+
+func (w *watcher) handle(wd int, mask, cookie uint32, name string) {
+	if mask&syscall.IN_Q_OVERFLOW != 0 {
+		w.EmitError(errors.New("inotify: queue overflow, events were dropped"))
+		w.Emit(events.Event{Root: w.root, Op: events.OpOverflow, Path: "/", Time: time.Now()})
+		return
+	}
+	w.mu.Lock()
+	dirPath, ok := w.wdToPath[wd]
+	w.mu.Unlock()
+	if !ok {
+		return
+	}
+	if mask&syscall.IN_IGNORED != 0 {
+		w.mu.Lock()
+		delete(w.wdToPath, wd)
+		delete(w.pathToWD, dirPath)
+		w.mu.Unlock()
+		return
+	}
+	full := dirPath
+	if name != "" {
+		full = filepath.Join(dirPath, name)
+	}
+	relPath := "/"
+	if full != w.root {
+		r, err := filepath.Rel(w.root, full)
+		if err != nil {
+			return
+		}
+		relPath = "/" + filepath.ToSlash(r)
+	}
+	op := sysMaskToOp(mask)
+	if op == 0 {
+		return
+	}
+	if w.recursive && mask&syscall.IN_ISDIR != 0 && mask&(syscall.IN_CREATE|syscall.IN_MOVED_TO) != 0 {
+		// Extend coverage to the new directory (racy by nature; the
+		// kernel offers nothing better without fanotify).
+		_ = w.add(full)
+	}
+	w.Emit(events.Event{Root: w.root, Op: op, Path: relPath, Cookie: cookie, Time: time.Now()})
+}
+
+func sysMaskToOp(mask uint32) events.Op {
+	var op events.Op
+	set := func(bit uint32, o events.Op) {
+		if mask&bit != 0 {
+			op |= o
+		}
+	}
+	set(syscall.IN_ACCESS, events.OpAccess)
+	set(syscall.IN_MODIFY, events.OpModify)
+	set(syscall.IN_ATTRIB, events.OpAttrib)
+	set(syscall.IN_CLOSE_WRITE, events.OpCloseWrite)
+	set(syscall.IN_CLOSE_NOWRITE, events.OpCloseNoWr)
+	set(syscall.IN_OPEN, events.OpOpen)
+	set(syscall.IN_MOVED_FROM, events.OpMovedFrom)
+	set(syscall.IN_MOVED_TO, events.OpMovedTo)
+	set(syscall.IN_CREATE, events.OpCreate)
+	set(syscall.IN_DELETE, events.OpDelete)
+	set(syscall.IN_DELETE_SELF, events.OpDeleteSelf)
+	set(syscall.IN_MOVE_SELF, events.OpMoveSelf)
+	if mask&syscall.IN_ISDIR != 0 {
+		op |= events.OpIsDir
+	}
+	return op
+}
+
+func (w *watcher) Close() error {
+	var err error
+	w.closeOnce.Do(func() {
+		err = w.file.Close() // unblocks the poller-parked read loop
+		w.CloseBase()
+	})
+	return err
+}

@@ -1,0 +1,149 @@
+//go:build linux
+
+package inotifydsi
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+)
+
+func collect(d dsi.DSI, quiet time.Duration) []events.Event {
+	var out []events.Event
+	for {
+		select {
+		case e, ok := <-d.Events():
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+		case <-time.After(quiet):
+			return out
+		}
+	}
+}
+
+func openWatcher(t *testing.T, root string, recursive bool) dsi.DSI {
+	t.Helper()
+	d, err := New(dsi.Config{Root: root, Recursive: recursive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestRealInotifyCreateModifyDelete(t *testing.T) {
+	dir := t.TempDir()
+	d := openWatcher(t, dir, false)
+	p := filepath.Join(dir, "hello.txt")
+	if err := os.WriteFile(p, []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(p); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(d, 200*time.Millisecond)
+	var sawCreate, sawDelete bool
+	for _, e := range evs {
+		if e.Path != "/hello.txt" {
+			continue
+		}
+		if e.Op.HasAny(events.OpCreate) {
+			sawCreate = true
+		}
+		if e.Op.HasAny(events.OpDelete) {
+			sawDelete = true
+		}
+	}
+	if !sawCreate || !sawDelete {
+		t.Errorf("create=%v delete=%v in %v", sawCreate, sawDelete, evs)
+	}
+}
+
+func TestRealInotifyRenameCookies(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a")
+	if err := os.WriteFile(a, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := openWatcher(t, dir, false)
+	if err := os.Rename(a, filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(d, 200*time.Millisecond)
+	var from, to *events.Event
+	for i := range evs {
+		if evs[i].Op.HasAny(events.OpMovedFrom) {
+			from = &evs[i]
+		}
+		if evs[i].Op.HasAny(events.OpMovedTo) {
+			to = &evs[i]
+		}
+	}
+	if from == nil || to == nil {
+		t.Fatalf("missing rename pair in %v", evs)
+	}
+	if from.Path != "/a" || to.Path != "/b" {
+		t.Errorf("pair = %s -> %s", from.Path, to.Path)
+	}
+	if from.Cookie == 0 || from.Cookie != to.Cookie {
+		t.Error("cookies not correlated")
+	}
+}
+
+func TestRealInotifyRecursive(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	d := openWatcher(t, dir, true)
+	w := d.(interface{ NumWatches() int })
+	if w.NumWatches() != 2 {
+		t.Errorf("watches = %d, want 2", w.NumWatches())
+	}
+	if err := os.WriteFile(filepath.Join(sub, "deep"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(d, 200*time.Millisecond)
+	var saw bool
+	for _, e := range evs {
+		if e.Op.HasAny(events.OpCreate) && e.Path == "/sub/deep" {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Errorf("missed deep create in %v", evs)
+	}
+	// New directories get watches.
+	if err := os.Mkdir(filepath.Join(dir, "new"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	collect(d, 200*time.Millisecond)
+	if w.NumWatches() != 3 {
+		t.Errorf("watches after mkdir = %d, want 3", w.NumWatches())
+	}
+}
+
+func TestRealInotifyMissingRoot(t *testing.T) {
+	if _, err := New(dsi.Config{Root: "/definitely/not/here"}); err == nil {
+		t.Error("accepted missing root")
+	}
+}
+
+func TestRegisterSelectsOnLinux(t *testing.T) {
+	reg := dsi.NewRegistry()
+	Register(reg)
+	name, err := reg.Select(dsi.StorageInfo{Platform: "linux", FSType: "local"})
+	if err != nil || name != Name {
+		t.Errorf("Select = %q, %v", name, err)
+	}
+	if _, err := reg.Select(dsi.StorageInfo{Platform: "windows"}); err == nil {
+		t.Error("selected inotify for windows")
+	}
+}

@@ -1,0 +1,103 @@
+package lustredsi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/lustre"
+)
+
+func testCluster() *lustre.Cluster {
+	return lustre.NewCluster(lustre.Config{NumMDS: 2, NumOSS: 1, OSTsPerOSS: 1, OSTSizeGB: 1})
+}
+
+func drain(d dsi.DSI, quiet time.Duration) []events.Event {
+	var out []events.Event
+	for {
+		select {
+		case e, ok := <-d.Events():
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+		case <-time.After(quiet):
+			return out
+		}
+	}
+}
+
+func TestRegisterMatchesLustreOnly(t *testing.T) {
+	reg := dsi.NewRegistry()
+	Register(reg)
+	name, err := reg.Select(dsi.StorageInfo{FSType: "lustre"})
+	if err != nil || name != Name {
+		t.Errorf("Select = %q, %v", name, err)
+	}
+	if _, err := reg.Select(dsi.StorageInfo{FSType: "local"}); err == nil {
+		t.Error("lustre DSI matched local storage")
+	}
+}
+
+func TestEndToEndThroughDSI(t *testing.T) {
+	cluster := testCluster()
+	d, err := New(dsi.Config{Root: "/mnt/lustre", Backend: cluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Name() != Name {
+		t.Errorf("name = %q", d.Name())
+	}
+	cl := cluster.Client()
+	for i := 0; i < 10; i++ {
+		if err := cl.Create(fmt.Sprintf("/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := drain(d, 300*time.Millisecond)
+	if len(evs) != 10 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for _, e := range evs {
+		if e.Root != "/mnt/lustre" || e.Source != Name {
+			t.Errorf("event = %+v", e)
+		}
+	}
+}
+
+func TestBackendForms(t *testing.T) {
+	cluster := testCluster()
+	// Explicit Backend struct with custom cache size.
+	d, err := New(dsi.Config{Root: "/x", Backend: &Backend{Cluster: cluster, CacheSize: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	// Bad backends rejected.
+	if _, err := New(dsi.Config{Backend: 42}); err == nil {
+		t.Error("accepted int backend")
+	}
+	if _, err := New(dsi.Config{Backend: &Backend{}}); err == nil {
+		t.Error("accepted nil cluster")
+	}
+}
+
+func TestDeploymentExposed(t *testing.T) {
+	cluster := testCluster()
+	d, err := New(dsi.Config{Backend: cluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ld, ok := d.(*lustreDSI)
+	if !ok {
+		t.Fatal("unexpected concrete type")
+	}
+	dep := ld.Deployment()
+	if len(dep.Collectors) != cluster.NumMDS() {
+		t.Errorf("collectors = %d", len(dep.Collectors))
+	}
+}

@@ -1,0 +1,170 @@
+// Package polldsi implements a portable, scan-based DSI for real
+// filesystems: it snapshots the watched tree on an interval and diffs
+// consecutive snapshots into events — the analogue of Watchdog's
+// PollingObserver, usable on any storage a normal directory listing
+// reaches (NFS mounts, FUSE filesystems, platforms with no native
+// notification API). It trades latency and scan cost for universality.
+package polldsi
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+)
+
+// Name is the backend name in the registry.
+const Name = "poll"
+
+// Register adds the backend as a universal low-preference fallback for
+// real storage.
+func Register(reg *dsi.Registry) {
+	reg.Register(Name, func(info dsi.StorageInfo) int {
+		if info.FSType == "" || info.FSType == "local" || info.FSType == "nfs" {
+			return 1 // anything native beats polling
+		}
+		return 0
+	}, func(cfg dsi.Config) (dsi.DSI, error) { return New(cfg, 0) })
+}
+
+// entry is one snapshot record.
+type entry struct {
+	isDir bool
+	size  int64
+	mtime time.Time
+}
+
+type poller struct {
+	*dsi.Base
+	root      string
+	recursive bool
+	interval  time.Duration
+	prev      map[string]entry
+	done      chan struct{}
+}
+
+// DefaultInterval is the default scan period.
+const DefaultInterval = 250 * time.Millisecond
+
+// New attaches a polling watcher to cfg.Root with the given scan interval
+// (0 = DefaultInterval).
+func New(cfg dsi.Config, interval time.Duration) (dsi.DSI, error) {
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(root); err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	p := &poller{
+		Base:      dsi.NewBase(Name, cfg.Buffer),
+		root:      root,
+		recursive: cfg.Recursive,
+		interval:  interval,
+		done:      make(chan struct{}),
+	}
+	p.prev = p.scan()
+	p.AddPump()
+	go p.loop()
+	return p, nil
+}
+
+func (p *poller) scan() map[string]entry {
+	snap := make(map[string]entry)
+	if p.recursive {
+		_ = filepath.WalkDir(p.root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || path == p.root {
+				return nil
+			}
+			info, err := d.Info()
+			if err != nil {
+				return nil
+			}
+			snap[path] = entry{isDir: d.IsDir(), size: info.Size(), mtime: info.ModTime()}
+			return nil
+		})
+		return snap
+	}
+	des, err := os.ReadDir(p.root)
+	if err != nil {
+		return snap
+	}
+	for _, d := range des {
+		info, err := d.Info()
+		if err != nil {
+			continue
+		}
+		snap[filepath.Join(p.root, d.Name())] = entry{isDir: d.IsDir(), size: info.Size(), mtime: info.ModTime()}
+	}
+	return snap
+}
+
+func (p *poller) loop() {
+	defer p.PumpDone()
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.Done():
+			return
+		case <-ticker.C:
+			cur := p.scan()
+			p.diff(p.prev, cur)
+			p.prev = cur
+		}
+	}
+}
+
+func (p *poller) diff(prev, cur map[string]entry) {
+	now := time.Now()
+	var created, removed, changed []string
+	for path := range prev {
+		if _, ok := cur[path]; !ok {
+			removed = append(removed, path)
+		}
+	}
+	for path, ce := range cur {
+		pe, ok := prev[path]
+		if !ok {
+			created = append(created, path)
+			continue
+		}
+		if !ce.isDir && (ce.size != pe.size || !ce.mtime.Equal(pe.mtime)) {
+			changed = append(changed, path)
+		}
+	}
+	sort.Strings(removed)
+	sort.Strings(created)
+	sort.Strings(changed)
+	emit := func(path string, op events.Op, isDir bool) {
+		r, err := filepath.Rel(p.root, path)
+		if err != nil {
+			return
+		}
+		if isDir {
+			op |= events.OpIsDir
+		}
+		p.Emit(events.Event{Root: p.root, Op: op, Path: "/" + filepath.ToSlash(r), Time: now})
+	}
+	for _, path := range removed {
+		emit(path, events.OpDelete, prev[path].isDir)
+	}
+	for _, path := range created {
+		emit(path, events.OpCreate, cur[path].isDir)
+	}
+	for _, path := range changed {
+		emit(path, events.OpModify, false)
+	}
+}
+
+func (p *poller) Close() error {
+	p.CloseBase()
+	return nil
+}

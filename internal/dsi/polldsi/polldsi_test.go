@@ -1,0 +1,142 @@
+package polldsi
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+)
+
+func collect(d dsi.DSI, quiet time.Duration) []events.Event {
+	var out []events.Event
+	for {
+		select {
+		case e, ok := <-d.Events():
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+		case <-time.After(quiet):
+			return out
+		}
+	}
+}
+
+func TestPollDetectsCreateModifyDelete(t *testing.T) {
+	dir := t.TempDir()
+	d, err := New(dsi.Config{Root: dir, Recursive: true}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	p := filepath.Join(dir, "f.txt")
+	if err := os.WriteFile(p, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := os.WriteFile(p, []byte("longer content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := os.Remove(p); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(d, 150*time.Millisecond)
+	var sawCreate, sawModify, sawDelete bool
+	for _, e := range evs {
+		if e.Path != "/f.txt" {
+			continue
+		}
+		switch {
+		case e.Op.HasAny(events.OpCreate):
+			sawCreate = true
+		case e.Op.HasAny(events.OpModify):
+			sawModify = true
+		case e.Op.HasAny(events.OpDelete):
+			sawDelete = true
+		}
+	}
+	if !sawCreate || !sawModify || !sawDelete {
+		t.Errorf("create=%v modify=%v delete=%v: %v", sawCreate, sawModify, sawDelete, evs)
+	}
+}
+
+func TestPollRecursionFlag(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := New(dsi.Config{Root: dir, Recursive: false}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flat.Close()
+	deep, err := New(dsi.Config{Root: dir, Recursive: true}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deep.Close()
+	if err := os.WriteFile(filepath.Join(sub, "x"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flatEvs := collect(flat, 150*time.Millisecond)
+	deepEvs := collect(deep, 150*time.Millisecond)
+	for _, e := range flatEvs {
+		if e.Path == "/sub/x" {
+			t.Errorf("non-recursive poller leaked %v", e)
+		}
+	}
+	var saw bool
+	for _, e := range deepEvs {
+		if e.Path == "/sub/x" && e.Op.HasAny(events.OpCreate) {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Errorf("recursive poller missed create: %v", deepEvs)
+	}
+}
+
+func TestPollDirEvents(t *testing.T) {
+	dir := t.TempDir()
+	d, err := New(dsi.Config{Root: dir, Recursive: true}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := os.Mkdir(filepath.Join(dir, "newdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(d, 150*time.Millisecond)
+	var saw bool
+	for _, e := range evs {
+		if e.Path == "/newdir" && e.Op.Has(events.OpCreate|events.OpIsDir) {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Errorf("no CREATE,ISDIR: %v", evs)
+	}
+}
+
+func TestPollMissingRoot(t *testing.T) {
+	if _, err := New(dsi.Config{Root: "/nope/nope"}, 0); err == nil {
+		t.Error("accepted missing root")
+	}
+}
+
+func TestRegisterAsFallback(t *testing.T) {
+	reg := dsi.NewRegistry()
+	Register(reg)
+	name, err := reg.Select(dsi.StorageInfo{Platform: "anything", FSType: "local"})
+	if err != nil || name != Name {
+		t.Errorf("Select = %q, %v", name, err)
+	}
+	if _, err := reg.Select(dsi.StorageInfo{FSType: "lustre"}); err == nil {
+		t.Error("poll accepted lustre")
+	}
+}

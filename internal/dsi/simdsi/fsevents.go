@@ -1,0 +1,213 @@
+package simdsi
+
+import (
+	"path"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/vfs"
+	"fsmonitor/internal/vfs/notify"
+)
+
+// fseventsDSI adapts the (simulated) macOS FSEvents API. FSEvents streams
+// are recursive by design, so non-recursive watches are implemented by
+// depth-filtering in the adapter.
+type fseventsDSI struct {
+	*dsi.Base
+	fs        *vfs.FS
+	stream    *notify.FSEventStream
+	root      string
+	recursive bool
+}
+
+// NewFSEvents builds the FSEvents adapter. cfg.Backend must be a *vfs.FS.
+func NewFSEvents(cfg dsi.Config) (dsi.DSI, error) {
+	fs, err := backendFS(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fs.Stat(cfg.Root); err != nil {
+		return nil, err
+	}
+	d := &fseventsDSI{
+		Base:      dsi.NewBase(NameFSEvents, cfg.Buffer),
+		fs:        fs,
+		stream:    notify.NewFSEventStream(fs, []string{cfg.Root}, cfg.Buffer),
+		root:      path.Clean(cfg.Root),
+		recursive: cfg.Recursive,
+	}
+	d.AddPump()
+	go d.pump()
+	return d, nil
+}
+
+func (d *fseventsDSI) pump() {
+	defer d.PumpDone()
+	// FSEvents reports renames as two ItemRenamed records (source, then
+	// destination) that must be paired by arrival order; track the
+	// pending source.
+	var pendingRename string
+	var cookie uint32
+	// FSEvents reports both a data write and the subsequent close as
+	// ItemModified. FSMonitor standardizes to the inotify vocabulary,
+	// where the canonical write-then-close sequence is MODIFY followed
+	// by CLOSE (Table II shows identical output on macOS and Linux), so
+	// a repeated modification of an unchanged path is reported as the
+	// close.
+	lastWasModify := map[string]bool{}
+	for {
+		select {
+		case <-d.Done():
+			return
+		case fe, ok := <-d.stream.Events():
+			if !ok {
+				return
+			}
+			relPath, ok := rel(d.root, fe.Path)
+			if !ok {
+				continue
+			}
+			if !depthOK(d.recursive, relPath) {
+				continue
+			}
+			isDir := fe.Flags&notify.ItemIsDir != 0
+			dirBit := events.Op(0)
+			if isDir {
+				dirBit = events.OpIsDir
+			}
+			if fe.Flags&notify.ItemModified == 0 {
+				delete(lastWasModify, relPath)
+			}
+			switch {
+			case fe.Flags&notify.ItemRenamed != 0:
+				// Pair source/destination: the source no longer
+				// exists under its path, the destination does.
+				if d.fs.Exists(fe.Path) {
+					old := ""
+					ck := uint32(0)
+					if pendingRename != "" {
+						old = pendingRename
+						ck = cookie
+						pendingRename = ""
+					}
+					d.Emit(events.Event{
+						Root: d.root, Op: events.OpMovedTo | dirBit,
+						Path: relPath, OldPath: old, Cookie: ck, Time: time.Now(),
+					})
+				} else {
+					cookie++
+					pendingRename = relPath
+					d.Emit(events.Event{
+						Root: d.root, Op: events.OpMovedFrom | dirBit,
+						Path: relPath, Cookie: cookie, Time: time.Now(),
+					})
+				}
+			case fe.Flags&notify.ItemCreated != 0:
+				d.Emit(events.Event{Root: d.root, Op: events.OpCreate | dirBit, Path: relPath, Time: time.Now()})
+			case fe.Flags&notify.ItemRemoved != 0:
+				d.Emit(events.Event{Root: d.root, Op: events.OpDelete | dirBit, Path: relPath, Time: time.Now()})
+			case fe.Flags&notify.ItemModified != 0:
+				op := events.OpModify
+				if lastWasModify[relPath] {
+					op = events.OpCloseWrite
+					delete(lastWasModify, relPath)
+				} else {
+					lastWasModify[relPath] = true
+					if len(lastWasModify) > 65536 {
+						lastWasModify = map[string]bool{relPath: true}
+					}
+				}
+				d.Emit(events.Event{Root: d.root, Op: op | dirBit, Path: relPath, Time: time.Now()})
+			case fe.Flags&notify.ItemXattrMod != 0:
+				d.Emit(events.Event{Root: d.root, Op: events.OpXattr | dirBit, Path: relPath, Time: time.Now()})
+			case fe.Flags&notify.ItemInodeMetaMod != 0:
+				d.Emit(events.Event{Root: d.root, Op: events.OpAttrib | dirBit, Path: relPath, Time: time.Now()})
+			}
+		}
+	}
+}
+
+func (d *fseventsDSI) Close() error {
+	d.stream.Close()
+	d.CloseBase()
+	return nil
+}
+
+// fswDSI adapts the (simulated) Windows FileSystemWatcher.
+type fswDSI struct {
+	*dsi.Base
+	fs      *vfs.FS
+	watcher *notify.FileSystemWatcher
+	root    string
+	cookie  uint32
+}
+
+// NewFSW builds the FileSystemWatcher adapter. cfg.Backend must be a
+// *vfs.FS. The watched root must be a directory (the API cannot watch
+// files directly).
+func NewFSW(cfg dsi.Config) (dsi.DSI, error) {
+	fs, err := backendFS(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w, err := notify.NewFileSystemWatcher(fs, cfg.Root, cfg.Recursive, "", cfg.Buffer)
+	if err != nil {
+		return nil, err
+	}
+	d := &fswDSI{
+		Base:    dsi.NewBase(NameFSW, cfg.Buffer),
+		fs:      fs,
+		watcher: w,
+		root:    path.Clean(cfg.Root),
+	}
+	d.AddPump()
+	go d.pump()
+	return d, nil
+}
+
+func (d *fswDSI) pump() {
+	defer d.PumpDone()
+	for {
+		select {
+		case <-d.Done():
+			return
+		case fe, ok := <-d.watcher.Events():
+			if !ok {
+				return
+			}
+			relPath, ok := rel(d.root, fe.Path)
+			if !ok {
+				continue
+			}
+			dirBit := events.Op(0)
+			if info, err := d.fs.Stat(fe.Path); err == nil && info.IsDir {
+				dirBit = events.OpIsDir
+			}
+			now := time.Now()
+			switch fe.Type {
+			case notify.FSWCreated:
+				d.Emit(events.Event{Root: d.root, Op: events.OpCreate | dirBit, Path: relPath, Time: now})
+			case notify.FSWChanged:
+				d.Emit(events.Event{Root: d.root, Op: events.OpModify | dirBit, Path: relPath, Time: now})
+			case notify.FSWDeleted:
+				d.Emit(events.Event{Root: d.root, Op: events.OpDelete | dirBit, Path: relPath, Time: now})
+			case notify.FSWRenamed:
+				// One native event expands into the standard
+				// MOVED_FROM/MOVED_TO pair.
+				d.cookie++
+				oldRel, okOld := rel(d.root, fe.OldPath)
+				if okOld {
+					d.Emit(events.Event{Root: d.root, Op: events.OpMovedFrom | dirBit, Path: oldRel, Cookie: d.cookie, Time: now})
+				}
+				d.Emit(events.Event{Root: d.root, Op: events.OpMovedTo | dirBit, Path: relPath, OldPath: oldRel, Cookie: d.cookie, Time: now})
+			}
+		}
+	}
+}
+
+func (d *fswDSI) Close() error {
+	d.watcher.Close()
+	d.CloseBase()
+	return nil
+}

@@ -1,0 +1,184 @@
+package simdsi
+
+import (
+	"path"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/vfs"
+	"fsmonitor/internal/vfs/notify"
+)
+
+// inotifyDSI adapts the (simulated) inotify API. Because inotify cannot
+// recurse (§II-A: "requiring a unique watcher to be placed on each
+// directory of interest"), recursive mode crawls the tree at attach time
+// and installs a watch per directory, then installs watches on directories
+// as they are created — the same strategy Watchdog's InotifyObserver uses,
+// with the same inherent race (events inside a directory created and
+// populated faster than the watch installation may be missed).
+type inotifyDSI struct {
+	*dsi.Base
+	fs        *vfs.FS
+	in        *notify.Inotify
+	root      string
+	recursive bool
+	watches   int
+}
+
+// NewInotify builds the inotify adapter. cfg.Backend must be a *vfs.FS.
+func NewInotify(cfg dsi.Config) (dsi.DSI, error) {
+	fs, err := backendFS(cfg)
+	if err != nil {
+		return nil, err
+	}
+	info, err := fs.Stat(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	d := &inotifyDSI{
+		Base:      dsi.NewBase(NameInotify, cfg.Buffer),
+		fs:        fs,
+		in:        notify.InotifyInit(fs, cfg.Buffer),
+		root:      path.Clean(cfg.Root),
+		recursive: cfg.Recursive,
+	}
+	const mask = notify.InAllEvents
+	if _, err := d.in.AddWatch(d.root, mask); err != nil {
+		d.in.Close()
+		return nil, err
+	}
+	d.watches++
+	if cfg.Recursive && info.IsDir {
+		// Crawl and install a watch per subdirectory.
+		err := fs.Walk(d.root, func(p string, i vfs.Info) error {
+			if i.IsDir && p != d.root {
+				if _, err := d.in.AddWatch(p, mask); err != nil {
+					return err
+				}
+				d.watches++
+			}
+			return nil
+		})
+		if err != nil {
+			d.in.Close()
+			return nil, err
+		}
+	}
+	d.AddPump()
+	go d.pump()
+	return d, nil
+}
+
+// NumWatches reports how many inotify watches the adapter holds — the
+// resource cost the paper calls out (one watch and ~1KB kernel memory per
+// directory).
+func (d *inotifyDSI) NumWatches() int { return d.in.NumWatches() }
+
+func (d *inotifyDSI) pump() {
+	defer d.PumpDone()
+	for {
+		select {
+		case <-d.Done():
+			return
+		case ne, ok := <-d.in.Events():
+			if !ok {
+				return
+			}
+			d.handle(ne)
+		}
+	}
+}
+
+func (d *inotifyDSI) handle(ne notify.InotifyEvent) {
+	if ne.Mask&notify.InQOverflow != 0 {
+		d.EmitError(errOverflow{backend: NameInotify})
+		d.Emit(events.Event{Root: d.root, Op: events.OpOverflow, Path: "/", Time: time.Now()})
+		return
+	}
+	watchPath, ok := d.in.WatchPath(ne.WD)
+	if !ok {
+		return
+	}
+	full := watchPath
+	if ne.Name != "" {
+		full = path.Join(watchPath, ne.Name)
+	}
+	relPath, ok := rel(d.root, full)
+	if !ok {
+		return
+	}
+	// Self events on recursively-managed subdirectory watches are watch
+	// bookkeeping, not user-visible events — the parent watch already
+	// reports the DELETE/MOVED_FROM with the name. Only the root's own
+	// self events surface.
+	if ne.Mask&(notify.InDeleteSelf|notify.InMoveSelf) != 0 && watchPath != d.root {
+		_ = d.in.RmWatch(ne.WD)
+		d.watches--
+		return
+	}
+	op := maskToOp(ne.Mask)
+	if op == 0 {
+		return
+	}
+	// Maintain recursive coverage: watch newly created directories,
+	// drop watches for removed ones.
+	isDir := ne.Mask&notify.InIsDir != 0
+	if d.recursive && isDir {
+		switch {
+		case ne.Mask&(notify.InCreate|notify.InMovedTo) != 0:
+			if _, err := d.in.AddWatch(full, notify.InAllEvents); err == nil {
+				d.watches++
+			}
+		}
+	}
+	d.Emit(events.Event{
+		Root: d.root, Op: op, Path: path.Clean("/" + relFromRoot(relPath)),
+		Cookie: ne.Cookie, Time: time.Now(),
+	})
+}
+
+func relFromRoot(rel string) string {
+	if rel == "" {
+		return "/"
+	}
+	return rel
+}
+
+func maskToOp(mask uint32) events.Op {
+	var op events.Op
+	set := func(bit uint32, o events.Op) {
+		if mask&bit != 0 {
+			op |= o
+		}
+	}
+	set(notify.InAccess, events.OpAccess)
+	set(notify.InModify, events.OpModify)
+	set(notify.InAttrib, events.OpAttrib)
+	set(notify.InCloseWrite, events.OpCloseWrite)
+	set(notify.InCloseNoWr, events.OpCloseNoWr)
+	set(notify.InOpen, events.OpOpen)
+	set(notify.InMovedFrom, events.OpMovedFrom)
+	set(notify.InMovedTo, events.OpMovedTo)
+	set(notify.InCreate, events.OpCreate)
+	set(notify.InDelete, events.OpDelete)
+	set(notify.InDeleteSelf, events.OpDeleteSelf)
+	set(notify.InMoveSelf, events.OpMoveSelf)
+	if mask&notify.InIsDir != 0 {
+		op |= events.OpIsDir
+	}
+	return op
+}
+
+func (d *inotifyDSI) Close() error {
+	d.in.Close()
+	d.CloseBase()
+	return nil
+}
+
+// errOverflow is the error surfaced when a native queue overflows.
+type errOverflow struct{ backend string }
+
+func (e errOverflow) Error() string {
+	return e.backend + ": event queue overflow, events were dropped"
+}

@@ -1,0 +1,235 @@
+package simdsi
+
+import (
+	"path"
+	"sort"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/vfs"
+	"fsmonitor/internal/vfs/notify"
+)
+
+// kqueueDSI adapts the (simulated) BSD kqueue API. kqueue reports NOTE_*
+// flags against open file descriptors, so the adapter opens a descriptor
+// for every file and directory it covers (§II-A: "The kqueue monitor
+// requires a file descriptor to be opened for every file being watched,
+// restricting its application to very large file systems"). A NOTE_WRITE
+// on a directory descriptor only says "the directory changed": the
+// adapter diffs its last snapshot of the directory listing to recover
+// which names appeared or vanished — the same strategy Watchdog's kqueue
+// observer uses.
+type kqueueDSI struct {
+	*dsi.Base
+	fs        *vfs.FS
+	kq        *notify.Kqueue
+	root      string
+	recursive bool
+
+	// snapshot of directory listings, by directory path, plus the fd→path
+	// mapping maintained on top of kqueue's own (which follows renames).
+	snapshots map[string]map[string]bool
+}
+
+// NewKqueue builds the kqueue adapter. cfg.Backend must be a *vfs.FS.
+func NewKqueue(cfg dsi.Config) (dsi.DSI, error) {
+	fs, err := backendFS(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fs.Stat(cfg.Root); err != nil {
+		return nil, err
+	}
+	d := &kqueueDSI{
+		Base:      dsi.NewBase(NameKqueue, cfg.Buffer),
+		fs:        fs,
+		kq:        notify.NewKqueue(fs, cfg.Buffer),
+		root:      path.Clean(cfg.Root),
+		recursive: cfg.Recursive,
+		snapshots: map[string]map[string]bool{},
+	}
+	if err := d.cover(d.root, cfg.Recursive); err != nil {
+		d.kq.Close()
+		return nil, err
+	}
+	d.AddPump()
+	go d.pump()
+	return d, nil
+}
+
+// cover opens descriptors for p and (if recurse) everything below it,
+// snapshotting directory listings along the way.
+func (d *kqueueDSI) cover(p string, recurse bool) error {
+	info, err := d.fs.Stat(p)
+	if err != nil {
+		return err
+	}
+	if _, err := d.kq.AddWatch(p, notify.NoteAll); err != nil {
+		return err
+	}
+	if !info.IsDir {
+		return nil
+	}
+	entries, err := d.fs.ReadDir(p)
+	if err != nil {
+		return err
+	}
+	snap := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		snap[e.Name] = e.IsDir
+	}
+	d.snapshots[p] = snap
+	for _, e := range entries {
+		child := path.Join(p, e.Name)
+		if recurse {
+			if err := d.cover(child, true); err != nil {
+				return err
+			}
+		} else if !e.IsDir {
+			// Non-recursive still watches direct children so file
+			// writes are visible, as a kqueue-based monitor must.
+			if _, err := d.kq.AddWatch(child, notify.NoteAll); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NumWatches reports open descriptors (the scaling cost of this backend).
+func (d *kqueueDSI) NumWatches() int { return d.kq.NumWatches() }
+
+func (d *kqueueDSI) pump() {
+	defer d.PumpDone()
+	for {
+		select {
+		case <-d.Done():
+			return
+		case ke, ok := <-d.kq.Events():
+			if !ok {
+				return
+			}
+			d.handle(ke)
+		}
+	}
+}
+
+func (d *kqueueDSI) handle(ke notify.KqueueEvent) {
+	p, ok := d.kq.WatchPath(ke.Ident)
+	if !ok {
+		return
+	}
+	relPath, inRoot := rel(d.root, p)
+	if !inRoot {
+		return
+	}
+	info, statErr := d.fs.Stat(p)
+	isDir := statErr == nil && info.IsDir
+	dirBit := events.Op(0)
+	if isDir {
+		dirBit = events.OpIsDir
+	}
+	now := time.Now()
+	if isDir && ke.FFlags&notify.NoteWrite != 0 {
+		d.diffDirectory(p)
+		return
+	}
+	var op events.Op
+	set := func(bit uint32, o events.Op) {
+		if ke.FFlags&bit != 0 {
+			op |= o
+		}
+	}
+	set(notify.NoteWrite|notify.NoteExtend, events.OpModify)
+	set(notify.NoteAttrib, events.OpAttrib)
+	set(notify.NoteOpen, events.OpOpen)
+	set(notify.NoteClose, events.OpCloseWrite)
+	set(notify.NoteRead, events.OpAccess)
+	// Deletions and renames of covered children are reconstructed from
+	// the parent-directory diff (which knows the names); the self NOTE
+	// would duplicate them. Only the watch root itself, whose parent is
+	// not covered, reports self events.
+	if ke.FFlags&notify.NoteDelete != 0 {
+		_ = d.kq.RmWatch(ke.Ident) // vnode gone; release the descriptor
+		if p == d.root {
+			op |= events.OpDeleteSelf
+		}
+	}
+	if ke.FFlags&notify.NoteRename != 0 && p == d.root {
+		op |= events.OpMoveSelf
+	}
+	if op == 0 {
+		return
+	}
+	d.Emit(events.Event{Root: d.root, Op: op | dirBit, Path: relPath, Time: now})
+}
+
+// diffDirectory reconciles a directory's snapshot after NOTE_WRITE,
+// emitting create events for new names (and covering them with watches)
+// and delete events for vanished ones. Renames within the directory
+// surface as a delete+create pair at this level; pairing them back into
+// MOVED_FROM/MOVED_TO is the resolution layer's job when cookies exist —
+// kqueue simply cannot recover the association, a fidelity limit the
+// paper's standardization discussion motivates.
+func (d *kqueueDSI) diffDirectory(p string) {
+	entries, err := d.fs.ReadDir(p)
+	if err != nil {
+		return
+	}
+	cur := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		cur[e.Name] = e.IsDir
+	}
+	prev := d.snapshots[p]
+	d.snapshots[p] = cur
+	now := time.Now()
+	// Deterministic ordering for tests: deletions then creations, sorted.
+	var gone, added []string
+	for name := range prev {
+		if _, still := cur[name]; !still {
+			gone = append(gone, name)
+		}
+	}
+	for name := range cur {
+		if _, had := prev[name]; !had {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(gone)
+	sort.Strings(added)
+	for _, name := range gone {
+		relPath, ok := rel(d.root, path.Join(p, name))
+		if !ok {
+			continue
+		}
+		dirBit := events.Op(0)
+		if prev[name] {
+			dirBit = events.OpIsDir
+		}
+		d.Emit(events.Event{Root: d.root, Op: events.OpDelete | dirBit, Path: relPath, Time: now})
+	}
+	for _, name := range added {
+		child := path.Join(p, name)
+		relPath, ok := rel(d.root, child)
+		if !ok {
+			continue
+		}
+		dirBit := events.Op(0)
+		if cur[name] {
+			dirBit = events.OpIsDir
+		}
+		d.Emit(events.Event{Root: d.root, Op: events.OpCreate | dirBit, Path: relPath, Time: now})
+		if d.recursive || !cur[name] {
+			if err := d.cover(child, d.recursive); err != nil {
+				d.EmitError(err)
+			}
+		}
+	}
+}
+
+func (d *kqueueDSI) Close() error {
+	d.kq.Close()
+	d.CloseBase()
+	return nil
+}

@@ -1,0 +1,105 @@
+// Package simdsi implements DSIs over the simulated native notification
+// APIs (vfs/notify): inotify, kqueue, FSEvents, and FileSystemWatcher.
+// Each adapter consumes its platform's native vocabulary and translates it
+// into FSMonitor's standard representation, performing the same
+// gymnastics a production adapter performs against the real API —
+// per-directory watch management for inotify, per-file descriptors and
+// directory diffing for kqueue, subtree filtering for FSEvents, and rename
+// reconstruction for FileSystemWatcher.
+//
+// Factories expect cfg.Backend to be the *vfs.FS hosting the watched tree.
+package simdsi
+
+import (
+	"fmt"
+	"path"
+	"strings"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/vfs"
+)
+
+// Backend names.
+const (
+	NameInotify  = "sim-inotify"
+	NameKqueue   = "sim-kqueue"
+	NameFSEvents = "sim-fsevents"
+	NameFSW      = "sim-fsw"
+)
+
+// Register adds the four simulated-platform backends to the registry.
+// Selection follows each tool's home platform: inotify on (sim-)linux,
+// kqueue on BSD, FSEvents on macOS, FileSystemWatcher on Windows.
+func Register(reg *dsi.Registry) {
+	score := func(platforms ...string) func(dsi.StorageInfo) int {
+		return func(info dsi.StorageInfo) int {
+			if info.FSType != "" && info.FSType != "local" {
+				return 0
+			}
+			for _, p := range platforms {
+				if info.Platform == p {
+					return 100
+				}
+			}
+			return 0
+		}
+	}
+	reg.Register(NameInotify, score("sim-linux"), NewInotify)
+	reg.Register(NameKqueue, score("sim-bsd", "sim-freebsd"), NewKqueue)
+	reg.Register(NameFSEvents, score("sim-darwin", "sim-macos"), NewFSEvents)
+	reg.Register(NameFSW, score("sim-windows"), NewFSW)
+}
+
+// backendFS extracts the simulated filesystem from cfg.
+func backendFS(cfg dsi.Config) (*vfs.FS, error) {
+	fs, ok := cfg.Backend.(*vfs.FS)
+	if !ok || fs == nil {
+		return nil, fmt.Errorf("simdsi: cfg.Backend must be a *vfs.FS, got %T", cfg.Backend)
+	}
+	return fs, nil
+}
+
+// rel converts an absolute subject path to the event-relative form under
+// root, reporting false when the path is outside the root.
+func rel(root, p string) (string, bool) {
+	root = path.Clean(root)
+	if root == "/" {
+		return p, true
+	}
+	if p == root {
+		return "/", true
+	}
+	if strings.HasPrefix(p, root+"/") {
+		return strings.TrimPrefix(p, root), true
+	}
+	return "", false
+}
+
+// underRoot reports whether p is the root or beneath it.
+func underRoot(root, p string) bool {
+	_, ok := rel(root, p)
+	return ok
+}
+
+// depthOK applies the non-recursive restriction: only direct children of
+// the root (and the root itself) pass.
+func depthOK(recursive bool, relPath string) bool {
+	if recursive {
+		return true
+	}
+	trimmed := strings.Trim(relPath, "/")
+	return trimmed == "" || !strings.Contains(trimmed, "/")
+}
+
+// std builds a standardized event.
+func std(root string, op events.Op, relPath, oldRel string, cookie uint32, t vfs.RawEvent) events.Event {
+	return events.Event{
+		Root:    root,
+		Op:      op,
+		Path:    path.Clean("/" + strings.TrimPrefix(relPath, "/")),
+		OldPath: oldRel,
+		Cookie:  cookie,
+		Time:    t.Time,
+	}
+}

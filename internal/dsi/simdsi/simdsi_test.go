@@ -1,0 +1,471 @@
+package simdsi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/vfs"
+	"fsmonitor/internal/vfs/notify"
+)
+
+// collect drains events until quiet.
+func collect(d dsi.DSI) []events.Event {
+	var out []events.Event
+	for {
+		select {
+		case e, ok := <-d.Events():
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+		case <-time.After(80 * time.Millisecond):
+			return out
+		}
+	}
+}
+
+func opsOf(evs []events.Event) []string {
+	var out []string
+	for _, e := range evs {
+		out = append(out, e.Op.String()+" "+e.Path)
+	}
+	return out
+}
+
+func newRegistry() *dsi.Registry {
+	reg := dsi.NewRegistry()
+	Register(reg)
+	return reg
+}
+
+func TestRegistrySelectsByPlatform(t *testing.T) {
+	reg := newRegistry()
+	cases := map[string]string{
+		"sim-linux":   NameInotify,
+		"sim-darwin":  NameFSEvents,
+		"sim-bsd":     NameKqueue,
+		"sim-windows": NameFSW,
+	}
+	for platform, want := range cases {
+		got, err := reg.Select(dsi.StorageInfo{Platform: platform, FSType: "local"})
+		if err != nil || got != want {
+			t.Errorf("Select(%s) = %q, %v; want %q", platform, got, err, want)
+		}
+	}
+	if _, err := reg.Select(dsi.StorageInfo{Platform: "sim-linux", FSType: "lustre"}); err == nil {
+		t.Error("local backends accepted lustre fstype")
+	}
+}
+
+// forEachBackend runs the test against every simulated backend.
+func forEachBackend(t *testing.T, fn func(t *testing.T, name string, fs *vfs.FS, open func(root string, recursive bool) dsi.DSI)) {
+	for _, name := range []string{NameInotify, NameKqueue, NameFSEvents, NameFSW} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			fs := vfs.New()
+			reg := newRegistry()
+			open := func(root string, recursive bool) dsi.DSI {
+				d, err := reg.OpenNamed(name, dsi.Config{Root: root, Recursive: recursive, Backend: fs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { d.Close() })
+				return d
+			}
+			fn(t, name, fs, open)
+		})
+	}
+}
+
+func TestAllBackendsSeeCreate(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, name string, fs *vfs.FS, open func(string, bool) dsi.DSI) {
+		if err := fs.Mkdir("/w"); err != nil {
+			t.Fatal(err)
+		}
+		d := open("/w", false)
+		if err := fs.WriteFile("/w/f.txt", 10); err != nil {
+			t.Fatal(err)
+		}
+		evs := collect(d)
+		if len(evs) == 0 {
+			t.Fatal("no events")
+		}
+		var sawCreate bool
+		for _, e := range evs {
+			if e.Source != name {
+				t.Errorf("source = %q", e.Source)
+			}
+			if e.Root != "/w" {
+				t.Errorf("root = %q", e.Root)
+			}
+			if e.Op.HasAny(events.OpCreate) && e.Path == "/f.txt" {
+				sawCreate = true
+			}
+		}
+		if !sawCreate {
+			t.Errorf("no CREATE /f.txt in %v", opsOf(evs))
+		}
+	})
+}
+
+func TestAllBackendsSeeDelete(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, name string, fs *vfs.FS, open func(string, bool) dsi.DSI) {
+		if err := fs.Mkdir("/w"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile("/w/f", 1); err != nil {
+			t.Fatal(err)
+		}
+		d := open("/w", false)
+		if err := fs.Remove("/w/f"); err != nil {
+			t.Fatal(err)
+		}
+		evs := collect(d)
+		var sawDelete bool
+		for _, e := range evs {
+			if e.Op.HasAny(events.OpDelete) && e.Path == "/f" {
+				sawDelete = true
+			}
+		}
+		if !sawDelete {
+			t.Errorf("no DELETE /f in %v", opsOf(evs))
+		}
+	})
+}
+
+func TestAllBackendsRecursiveVisibility(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, name string, fs *vfs.FS, open func(string, bool) dsi.DSI) {
+		if err := fs.MkdirAll("/w/sub"); err != nil {
+			t.Fatal(err)
+		}
+		rec := open("/w", true)
+		if err := fs.WriteFile("/w/sub/deep.txt", 1); err != nil {
+			t.Fatal(err)
+		}
+		evs := collect(rec)
+		var saw bool
+		for _, e := range evs {
+			if e.Op.HasAny(events.OpCreate) && e.Path == "/sub/deep.txt" {
+				saw = true
+			}
+		}
+		if !saw {
+			t.Errorf("recursive %s missed /sub/deep.txt: %v", name, opsOf(evs))
+		}
+	})
+}
+
+func TestAllBackendsNonRecursiveFiltering(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, name string, fs *vfs.FS, open func(string, bool) dsi.DSI) {
+		if err := fs.MkdirAll("/w/sub"); err != nil {
+			t.Fatal(err)
+		}
+		flat := open("/w", false)
+		if err := fs.WriteFile("/w/sub/deep.txt", 1); err != nil {
+			t.Fatal(err)
+		}
+		evs := collect(flat)
+		for _, e := range evs {
+			if e.Path == "/sub/deep.txt" {
+				t.Errorf("non-recursive %s leaked %v", name, e)
+			}
+		}
+	})
+}
+
+func TestInotifyWatchGrowthOnNewDirs(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	d, err := reg.OpenNamed(NameInotify, dsi.Config{Root: "/w", Recursive: true, Backend: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	watcher := d.(interface{ NumWatches() int })
+	if got := watcher.NumWatches(); got != 1 {
+		t.Fatalf("initial watches = %d", got)
+	}
+	if err := fs.Mkdir("/w/new"); err != nil {
+		t.Fatal(err)
+	}
+	collect(d)
+	if got := watcher.NumWatches(); got != 2 {
+		t.Errorf("watches after mkdir = %d, want 2", got)
+	}
+	// Events inside the newly watched directory are visible.
+	if err := fs.WriteFile("/w/new/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(d)
+	var saw bool
+	for _, e := range evs {
+		if e.Op.HasAny(events.OpCreate) && e.Path == "/new/f" {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Errorf("missed event in new dir: %v", opsOf(evs))
+	}
+}
+
+func TestInotifyRenamePairCookies(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/w/a", 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	d, err := reg.OpenNamed(NameInotify, dsi.Config{Root: "/w", Recursive: false, Backend: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := fs.Rename("/w/a", "/w/b"); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(d)
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", opsOf(evs))
+	}
+	if !evs[0].Op.HasAny(events.OpMovedFrom) || evs[0].Path != "/a" {
+		t.Errorf("from = %+v", evs[0])
+	}
+	if !evs[1].Op.HasAny(events.OpMovedTo) || evs[1].Path != "/b" {
+		t.Errorf("to = %+v", evs[1])
+	}
+	if evs[0].Cookie == 0 || evs[0].Cookie != evs[1].Cookie {
+		t.Error("cookies not paired")
+	}
+}
+
+func TestKqueueDescriptorGrowth(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	d, err := reg.OpenNamed(NameKqueue, dsi.Config{Root: "/w", Recursive: true, Backend: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	watcher := d.(interface{ NumWatches() int })
+	base := watcher.NumWatches()
+	for i := 0; i < 5; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/w/f%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect(d)
+	if got := watcher.NumWatches(); got != base+5 {
+		t.Errorf("watches = %d, want %d (a descriptor per file)", got, base+5)
+	}
+}
+
+func TestFSWRenameExpandsToPair(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/w/a", 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	d, err := reg.OpenNamed(NameFSW, dsi.Config{Root: "/w", Backend: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := fs.Rename("/w/a", "/w/b"); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(d)
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", opsOf(evs))
+	}
+	if !evs[0].Op.HasAny(events.OpMovedFrom) || !evs[1].Op.HasAny(events.OpMovedTo) {
+		t.Errorf("pair = %v", opsOf(evs))
+	}
+	if evs[1].OldPath != "/a" {
+		t.Errorf("OldPath = %q", evs[1].OldPath)
+	}
+}
+
+func TestFSEventsRenamePairing(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/w/a", 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	d, err := reg.OpenNamed(NameFSEvents, dsi.Config{Root: "/w", Recursive: true, Backend: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := fs.Rename("/w/a", "/w/b"); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(d)
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", opsOf(evs))
+	}
+	if !evs[0].Op.HasAny(events.OpMovedFrom) || evs[0].Path != "/a" {
+		t.Errorf("from = %+v", evs[0])
+	}
+	if !evs[1].Op.HasAny(events.OpMovedTo) || evs[1].Path != "/b" || evs[1].OldPath != "/a" {
+		t.Errorf("to = %+v", evs[1])
+	}
+}
+
+func TestBackendRejectsWrongBackendType(t *testing.T) {
+	reg := newRegistry()
+	for _, name := range []string{NameInotify, NameKqueue, NameFSEvents, NameFSW} {
+		if _, err := reg.OpenNamed(name, dsi.Config{Root: "/", Backend: "not-a-fs"}); err == nil {
+			t.Errorf("%s accepted a bad backend", name)
+		}
+	}
+}
+
+func TestBackendRejectsMissingRoot(t *testing.T) {
+	fs := vfs.New()
+	reg := newRegistry()
+	for _, name := range []string{NameInotify, NameKqueue, NameFSEvents, NameFSW} {
+		if _, err := reg.OpenNamed(name, dsi.Config{Root: "/missing", Backend: fs}); err == nil {
+			t.Errorf("%s accepted a missing root", name)
+		}
+	}
+}
+
+func TestTableIIEventSequence(t *testing.T) {
+	// The Evaluate_Output_Script sequence through the inotify backend
+	// must produce the standardized Table II rows.
+	fs := vfs.New()
+	if err := fs.Mkdir("/home"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/home/test"); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	d, err := reg.OpenNamed(NameInotify, dsi.Config{Root: "/home/test", Recursive: true, Backend: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// create hello.txt; modify; rename to hi.txt; mkdir okdir; move
+	// hi.txt into okdir; delete okdir recursively.
+	h, err := fs.Create("/home/test/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Write(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/home/test/hello.txt", "/home/test/hi.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/home/test/okdir"); err != nil {
+		t.Fatal(err)
+	}
+	// Give the adapter a beat to install the watch on the new directory
+	// before events occur inside it — the inherent inotify recursion
+	// race the package documentation calls out; a real script's
+	// inter-command latency dwarfs watch installation.
+	time.Sleep(50 * time.Millisecond)
+	if err := fs.Rename("/home/test/hi.txt", "/home/test/okdir/hi.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RemoveAll("/home/test/okdir"); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(d)
+	var lines []string
+	for _, e := range evs {
+		lines = append(lines, e.String())
+	}
+	want := []string{
+		"/home/test CREATE /hello.txt",
+		"/home/test MODIFY /hello.txt",
+		"/home/test CLOSE /hello.txt",
+		"/home/test MOVED_FROM /hello.txt",
+		"/home/test MOVED_TO /hi.txt",
+		"/home/test CREATE,ISDIR /okdir",
+		"/home/test MOVED_FROM /hi.txt",
+		"/home/test MOVED_TO /okdir/hi.txt",
+		"/home/test DELETE /okdir/hi.txt",
+		"/home/test DELETE,ISDIR /okdir",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines:\n%v\nwant %d:\n%v", len(lines), lines, len(want), want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+// The paper's §II-A scaling discussion: inotify needs one watch per
+// directory, so recursive coverage of a tree larger than the watch limit
+// fails at attach time — the limitation FSMonitor's Lustre DSI exists to
+// escape.
+func TestInotifyWatchLimitBlocksLargeTrees(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/big"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := fs.Mkdir(fmt.Sprintf("/big/d%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A kernel with a tiny watch budget cannot cover the tree.
+	in := notify.InotifyInit(fs, 0)
+	defer in.Close()
+	in.SetMaxWatches(5)
+	added := 0
+	err := fs.Walk("/big", func(p string, info vfs.Info) error {
+		if !info.IsDir {
+			return nil
+		}
+		if _, err := in.AddWatch(p, notify.InAllEvents); err != nil {
+			return err
+		}
+		added++
+		return nil
+	})
+	if err == nil {
+		t.Fatalf("watch limit never hit (added %d)", added)
+	}
+	if added != 5 {
+		t.Errorf("added %d watches before failing, want 5", added)
+	}
+	// FSEvents covers the same tree with a single registration.
+	reg := newRegistry()
+	d, err := reg.OpenNamed(NameFSEvents, dsi.Config{Root: "/big", Recursive: true, Backend: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := fs.WriteFile("/big/d7/x", 1); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(d)
+	if len(evs) == 0 {
+		t.Error("FSEvents missed events inotify could not afford to watch")
+	}
+}

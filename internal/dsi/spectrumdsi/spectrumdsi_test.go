@@ -1,0 +1,149 @@
+package spectrumdsi
+
+import (
+	"testing"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/spectrum"
+)
+
+func drain(d dsi.DSI, quiet time.Duration) []events.Event {
+	var out []events.Event
+	for {
+		select {
+		case e, ok := <-d.Events():
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+		case <-time.After(quiet):
+			return out
+		}
+	}
+}
+
+func newDSI(t *testing.T) (*spectrum.Cluster, *spectrum.Node, dsi.DSI) {
+	t.Helper()
+	cluster, err := spectrum.New(spectrum.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	node, err := cluster.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(dsi.Config{Backend: cluster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return cluster, node, d
+}
+
+func TestRegisterMatchesSpectrum(t *testing.T) {
+	reg := dsi.NewRegistry()
+	Register(reg)
+	for _, fstype := range []string{"spectrum", "gpfs"} {
+		name, err := reg.Select(dsi.StorageInfo{FSType: fstype})
+		if err != nil || name != Name {
+			t.Errorf("Select(%s) = %q, %v", fstype, name, err)
+		}
+	}
+	if _, err := reg.Select(dsi.StorageInfo{FSType: "local"}); err == nil {
+		t.Error("matched local")
+	}
+	if _, err := New(dsi.Config{Backend: "bad"}); err == nil {
+		t.Error("accepted bad backend")
+	}
+}
+
+func TestAuditStreamToStandardEvents(t *testing.T) {
+	_, node, d := newDSI(t)
+	if err := node.Create("/hello.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Write("/hello.txt", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Rename("/hello.txt", "/hi.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Remove("/hi.txt"); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(d, 200*time.Millisecond)
+	var lines []string
+	for _, e := range evs {
+		if e.Root != "/gpfs/gpfs0" {
+			t.Errorf("root = %q", e.Root)
+		}
+		if e.Source != Name {
+			t.Errorf("source = %q", e.Source)
+		}
+		lines = append(lines, e.Op.String()+" "+e.Path)
+	}
+	want := []string{
+		"CREATE /hello.txt",
+		"OPEN /hello.txt",
+		"OPEN /hello.txt",
+		"CLOSE /hello.txt",
+		"MOVED_FROM /hello.txt",
+		"MOVED_TO /hi.txt",
+		"DELETE /hi.txt",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v\nwant %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+	// The rename pair shares a cookie and carries OldPath.
+	if evs[4].Cookie == 0 || evs[4].Cookie != evs[5].Cookie {
+		t.Error("rename cookies not correlated")
+	}
+	if evs[5].OldPath != "/hello.txt" {
+		t.Errorf("OldPath = %q", evs[5].OldPath)
+	}
+}
+
+func TestAttributeEvents(t *testing.T) {
+	_, node, d := newDSI(t)
+	if err := node.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Chmod("/f", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.SetXattr("/f", "user.k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(d, 200*time.Millisecond)
+	var sawAttr, sawXattr bool
+	for _, e := range evs {
+		if e.Op.HasAny(events.OpAttrib) {
+			sawAttr = true
+		}
+		if e.Op.HasAny(events.OpXattr) {
+			sawXattr = true
+		}
+	}
+	if !sawAttr || !sawXattr {
+		t.Errorf("attr=%v xattr=%v in %v", sawAttr, sawXattr, evs)
+	}
+}
+
+func TestMkdirIsDir(t *testing.T) {
+	_, node, d := newDSI(t)
+	if err := node.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(d, 200*time.Millisecond)
+	if len(evs) != 1 || !evs[0].Op.Has(events.OpCreate|events.OpIsDir) {
+		t.Fatalf("events = %v", evs)
+	}
+}

@@ -1,0 +1,121 @@
+package events
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Wire codec for events. The scalable monitor ships batches of events from
+// collectors to the aggregator and from the aggregator to consumers
+// (§IV-2); the codec below is a compact, allocation-conscious binary format
+// used as the message-queue payload.
+//
+// Layout per event (all integers little-endian):
+//
+//	u32 op | u32 cookie | u64 seq | i64 unixNano
+//	u16 len(root) root | u16 len(path) path | u16 len(old) old | u8 len(src) src
+
+const maxStr = 1<<16 - 1
+
+// MarshalAppend appends the wire encoding of e to buf and returns the
+// extended buffer.
+func MarshalAppend(buf []byte, e Event) ([]byte, error) {
+	if len(e.Root) > maxStr || len(e.Path) > maxStr || len(e.OldPath) > maxStr {
+		return nil, fmt.Errorf("events: path component exceeds %d bytes", maxStr)
+	}
+	if len(e.Source) > 255 {
+		return nil, fmt.Errorf("events: source exceeds 255 bytes")
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Op))
+	buf = binary.LittleEndian.AppendUint32(buf, e.Cookie)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Time.UnixNano()))
+	for _, s := range []string{e.Root, e.Path, e.OldPath} {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = append(buf, byte(len(e.Source)))
+	buf = append(buf, e.Source...)
+	return buf, nil
+}
+
+// Unmarshal decodes one event from the front of buf, returning the event and
+// the remaining bytes.
+func Unmarshal(buf []byte) (Event, []byte, error) {
+	var e Event
+	if len(buf) < 24 {
+		return e, buf, fmt.Errorf("events: short buffer (%d bytes) decoding header", len(buf))
+	}
+	e.Op = Op(binary.LittleEndian.Uint32(buf))
+	e.Cookie = binary.LittleEndian.Uint32(buf[4:])
+	e.Seq = binary.LittleEndian.Uint64(buf[8:])
+	nano := int64(binary.LittleEndian.Uint64(buf[16:]))
+	e.Time = time.Unix(0, nano)
+	buf = buf[24:]
+	var err error
+	for _, dst := range []*string{&e.Root, &e.Path, &e.OldPath} {
+		*dst, buf, err = readStr16(buf)
+		if err != nil {
+			return e, buf, err
+		}
+	}
+	if len(buf) < 1 {
+		return e, buf, fmt.Errorf("events: short buffer decoding source")
+	}
+	n := int(buf[0])
+	buf = buf[1:]
+	if len(buf) < n {
+		return e, buf, fmt.Errorf("events: short buffer decoding source body")
+	}
+	e.Source = string(buf[:n])
+	return e, buf[n:], nil
+}
+
+func readStr16(buf []byte) (string, []byte, error) {
+	if len(buf) < 2 {
+		return "", buf, fmt.Errorf("events: short buffer decoding string length")
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < n {
+		return "", buf, fmt.Errorf("events: short buffer decoding string body (want %d, have %d)", n, len(buf))
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+// MarshalBatch encodes a batch of events: u32 count followed by each event.
+func MarshalBatch(evs []Event) ([]byte, error) {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(evs)))
+	var err error
+	for _, e := range evs {
+		if buf, err = MarshalAppend(buf, e); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBatch decodes a batch encoded by MarshalBatch.
+func UnmarshalBatch(buf []byte) ([]Event, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("events: short buffer decoding batch count")
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	evs := make([]Event, 0, n)
+	var (
+		e   Event
+		err error
+	)
+	for i := uint32(0); i < n; i++ {
+		if e, buf, err = Unmarshal(buf); err != nil {
+			return nil, fmt.Errorf("events: batch entry %d: %w", i, err)
+		}
+		evs = append(evs, e)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("events: %d trailing bytes after batch", len(buf))
+	}
+	return evs, nil
+}

@@ -1,0 +1,184 @@
+package events
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format identifies an event representation the resolution layer can render
+// into (§III-A2: "we instead support transformation into any of the commonly
+// defined formats ... by populating the appropriate event template").
+type Format string
+
+// Supported event representations.
+const (
+	FormatStandard Format = "standard" // FSMonitor's inotify-style default
+	FormatInotify  Format = "inotify"  // raw inotify mask names (IN_*)
+	FormatKqueue   Format = "kqueue"   // BSD kqueue NOTE_* vnode filter flags
+	FormatFSEvents Format = "fsevents" // macOS FSEvents Item* flags
+	FormatFSW      Format = "fsw"      // Windows FileSystemWatcher event names
+	FormatLustre   Format = "lustre"   // Lustre Changelog type names
+)
+
+// Formats lists every representation Transform accepts, in a stable order.
+func Formats() []Format {
+	return []Format{FormatStandard, FormatInotify, FormatKqueue, FormatFSEvents, FormatFSW, FormatLustre}
+}
+
+// Transform renders the event in the requested representation. The result is
+// a single display line; for FormatStandard it equals e.String(). Unknown
+// formats return an error rather than guessing.
+func Transform(e Event, f Format) (string, error) {
+	switch f {
+	case FormatStandard:
+		return e.String(), nil
+	case FormatInotify:
+		return fmt.Sprintf("%s %s %s", e.Root, InotifyMaskNames(e.Op), e.Path), nil
+	case FormatKqueue:
+		return fmt.Sprintf("%s %s %s", e.Root, KqueueNotes(e.Op), e.Path), nil
+	case FormatFSEvents:
+		return fmt.Sprintf("%s %s %s", e.FullPath(), FSEventsFlags(e.Op), dirMarker(e)), nil
+	case FormatFSW:
+		return fmt.Sprintf("%s: %s", FSWChangeType(e.Op), e.FullPath()), nil
+	case FormatLustre:
+		return fmt.Sprintf("%s %s %s", LustreType(e.Op), e.Root, e.Path), nil
+	default:
+		return "", fmt.Errorf("events: unknown format %q", f)
+	}
+}
+
+func dirMarker(e Event) string {
+	if e.IsDir() {
+		return "IsDir"
+	}
+	return "IsFile"
+}
+
+// InotifyMaskNames renders the mask using raw inotify constant names, e.g.
+// "IN_CREATE|IN_ISDIR".
+func InotifyMaskNames(o Op) string {
+	pairs := []struct {
+		op   Op
+		name string
+	}{
+		{OpAccess, "IN_ACCESS"},
+		{OpModify, "IN_MODIFY"},
+		{OpAttrib, "IN_ATTRIB"},
+		{OpCloseWrite, "IN_CLOSE_WRITE"},
+		{OpCloseNoWr, "IN_CLOSE_NOWRITE"},
+		{OpOpen, "IN_OPEN"},
+		{OpMovedFrom, "IN_MOVED_FROM"},
+		{OpMovedTo, "IN_MOVED_TO"},
+		{OpCreate, "IN_CREATE"},
+		{OpDelete, "IN_DELETE"},
+		{OpDeleteSelf, "IN_DELETE_SELF"},
+		{OpMoveSelf, "IN_MOVE_SELF"},
+		{OpXattr, "IN_ATTRIB"},
+		{OpTruncate, "IN_MODIFY"},
+		{OpOverflow, "IN_Q_OVERFLOW"},
+	}
+	var parts []string
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		if o.Has(p.op) && !seen[p.name] {
+			parts = append(parts, p.name)
+			seen[p.name] = true
+		}
+	}
+	if o.IsDir() {
+		parts = append(parts, "IN_ISDIR")
+	}
+	if len(parts) == 0 {
+		return "IN_NONE"
+	}
+	return strings.Join(parts, "|")
+}
+
+// KqueueNotes renders the mask as kqueue EVFILT_VNODE fflags (§II-A:
+// "Opening, creating, and modifying a file results in NOTE_OPEN,
+// NOTE_EXTEND, NOTE_WRITE, and NOTE_CLOSE events").
+func KqueueNotes(o Op) string {
+	var parts []string
+	add := func(cond bool, name string) {
+		if cond {
+			parts = append(parts, name)
+		}
+	}
+	add(o.HasAny(OpOpen), "NOTE_OPEN")
+	add(o.HasAny(OpCreate|OpMovedTo), "NOTE_EXTEND")
+	add(o.HasAny(OpModify|OpTruncate), "NOTE_WRITE")
+	add(o.HasAny(OpClose), "NOTE_CLOSE")
+	add(o.HasAny(OpDelete|OpDeleteSelf), "NOTE_DELETE")
+	add(o.HasAny(OpMovedFrom|OpMoveSelf), "NOTE_RENAME")
+	add(o.HasAny(OpAttrib|OpXattr), "NOTE_ATTRIB")
+	if len(parts) == 0 {
+		return "NOTE_NONE"
+	}
+	return strings.Join(parts, "|")
+}
+
+// FSEventsFlags renders the mask as macOS FSEvents item flags ("Creating and
+// modifying a file will result in ItemCreated and ItemModified events").
+func FSEventsFlags(o Op) string {
+	var parts []string
+	add := func(cond bool, name string) {
+		if cond {
+			parts = append(parts, name)
+		}
+	}
+	add(o.HasAny(OpCreate), "ItemCreated")
+	add(o.HasAny(OpModify|OpTruncate|OpClose), "ItemModified")
+	add(o.HasAny(OpDelete|OpDeleteSelf), "ItemRemoved")
+	add(o.HasAny(OpMovedFrom|OpMovedTo|OpMoveSelf), "ItemRenamed")
+	add(o.HasAny(OpAttrib), "ItemInodeMetaMod")
+	add(o.HasAny(OpXattr), "ItemXattrMod")
+	if len(parts) == 0 {
+		return "ItemNone"
+	}
+	return strings.Join(parts, "|")
+}
+
+// FSWChangeType renders the mask as a Windows FileSystemWatcher change type.
+// FileSystemWatcher reports only four event types: Changed, Created,
+// Deleted, and Renamed (§II-A); everything else maps onto Changed.
+func FSWChangeType(o Op) string {
+	switch {
+	case o.HasAny(OpCreate):
+		return "Created"
+	case o.HasAny(OpDelete | OpDeleteSelf):
+		return "Deleted"
+	case o.HasAny(OpMovedFrom | OpMovedTo | OpMoveSelf):
+		return "Renamed"
+	default:
+		return "Changed"
+	}
+}
+
+// LustreType renders the mask as the closest Lustre Changelog record type
+// (Table I / §IV-1).
+func LustreType(o Op) string {
+	switch {
+	case o.Has(OpCreate | OpIsDir):
+		return "02MKDIR"
+	case o.HasAny(OpCreate):
+		return "01CREAT"
+	case o.Has(OpDelete|OpIsDir) || o.Has(OpDeleteSelf|OpIsDir):
+		return "07RMDIR"
+	case o.HasAny(OpDelete | OpDeleteSelf):
+		return "06UNLNK"
+	case o.HasAny(OpMovedFrom):
+		return "08RENME"
+	case o.HasAny(OpMovedTo | OpMoveSelf):
+		return "09RNMTO"
+	case o.HasAny(OpTruncate):
+		return "12TRUNC"
+	case o.HasAny(OpXattr):
+		return "15XATTR"
+	case o.HasAny(OpAttrib):
+		return "14SATTR"
+	case o.HasAny(OpModify | OpClose):
+		return "17MTIME"
+	default:
+		return "00MARK"
+	}
+}

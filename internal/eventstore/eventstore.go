@@ -1,0 +1,446 @@
+// Package eventstore implements FSMonitor's reliable event store — the
+// role MySQL plays in the paper (§IV-2 Aggregation: one aggregator thread
+// "stores the events into a local database to enable fault tolerance", and
+// §III-A3: the interface layer stores events, flags them once reported,
+// and removes them on the next purge cycle; "the size of this database is
+// configurable").
+//
+// The store assigns each event a monotonically increasing sequence number,
+// serves "events since ID" queries for consumer fault recovery, tracks the
+// reported flag, and bounds its size by purging reported events. An
+// optional JSONL journal provides durability across process restarts.
+package eventstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"fsmonitor/internal/events"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("eventstore: closed")
+
+// Options configures a Store.
+type Options struct {
+	// MaxEvents bounds the number of retained events (0 = unbounded).
+	// When the bound is hit, the oldest reported events are discarded
+	// first; if all retained events are unreported, the oldest are
+	// discarded anyway and counted as Evicted (the paper sizes the
+	// database "depending on the resources available to FSMonitor").
+	MaxEvents int
+	// JournalPath, if non-empty, appends every stored event to a JSONL
+	// file so a restarted monitor can reload history with Open.
+	JournalPath string
+}
+
+// Store is a goroutine-safe reliable event store.
+type Store struct {
+	mu       sync.Mutex
+	opts     Options
+	events   []events.Event // ordered by Seq; events[i].Seq = first+uint64(i)... not necessarily contiguous after purge
+	reported map[uint64]bool
+	nextSeq  uint64
+	journal  *os.File
+	jw       *bufio.Writer
+	closed   bool
+
+	appended, purged, evicted uint64
+}
+
+// New creates a store with the given options.
+func New(opts Options) (*Store, error) {
+	s := &Store{opts: opts, reported: make(map[uint64]bool), nextSeq: 1}
+	if opts.JournalPath != "" {
+		f, err := os.OpenFile(opts.JournalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("eventstore: open journal: %w", err)
+		}
+		s.journal = f
+		s.jw = bufio.NewWriter(f)
+	}
+	return s, nil
+}
+
+// Open recovers a store from an existing journal, then continues appending
+// to it. Events flagged reported in the journal stay flagged.
+func Open(opts Options) (*Store, error) {
+	if opts.JournalPath == "" {
+		return nil, errors.New("eventstore: Open requires a JournalPath")
+	}
+	f, err := os.Open(opts.JournalPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return New(opts)
+		}
+		return nil, err
+	}
+	type entry struct {
+		Kind string     `json:"kind"`
+		Ev   *wireEvent `json:"ev,omitempty"`
+		Seq  uint64     `json:"seq,omitempty"`
+	}
+	s := &Store{opts: opts, reported: make(map[uint64]bool), nextSeq: 1}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue // tolerate a torn trailing line
+		}
+		switch e.Kind {
+		case "event":
+			if e.Ev == nil {
+				continue
+			}
+			ev := e.Ev.toEvent()
+			s.events = append(s.events, ev)
+			if ev.Seq >= s.nextSeq {
+				s.nextSeq = ev.Seq + 1
+			}
+			s.appended++
+		case "reported":
+			for i := range s.events {
+				if s.events[i].Seq <= e.Seq {
+					s.reported[s.events[i].Seq] = true
+				}
+			}
+		}
+	}
+	f.Close()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("eventstore: journal scan: %w", err)
+	}
+	jf, err := os.OpenFile(opts.JournalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = jf
+	s.jw = bufio.NewWriter(jf)
+	return s, nil
+}
+
+// wireEvent is the JSON shape of an event in the journal.
+type wireEvent struct {
+	Root    string `json:"root"`
+	Op      uint32 `json:"op"`
+	Path    string `json:"path"`
+	OldPath string `json:"old,omitempty"`
+	Cookie  uint32 `json:"cookie,omitempty"`
+	TimeNS  int64  `json:"t"`
+	Seq     uint64 `json:"seq"`
+	Source  string `json:"src,omitempty"`
+}
+
+func fromEvent(e events.Event) *wireEvent {
+	return &wireEvent{
+		Root: e.Root, Op: uint32(e.Op), Path: e.Path, OldPath: e.OldPath,
+		Cookie: e.Cookie, TimeNS: e.Time.UnixNano(), Seq: e.Seq, Source: e.Source,
+	}
+}
+
+func (w *wireEvent) toEvent() events.Event {
+	return events.Event{
+		Root: w.Root, Op: events.Op(w.Op), Path: w.Path, OldPath: w.OldPath,
+		Cookie: w.Cookie, Time: time.Unix(0, w.TimeNS), Seq: w.Seq, Source: w.Source,
+	}
+}
+
+// Append stores the event, assigning and returning its sequence number.
+func (s *Store) Append(e events.Event) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	e.Seq = s.nextSeq
+	s.nextSeq++
+	s.events = append(s.events, e)
+	s.appended++
+	if s.jw != nil {
+		line, err := json.Marshal(struct {
+			Kind string     `json:"kind"`
+			Ev   *wireEvent `json:"ev"`
+		}{"event", fromEvent(e)})
+		if err == nil {
+			s.jw.Write(line)
+			s.jw.WriteByte('\n')
+		}
+	}
+	s.enforceBoundLocked()
+	return e.Seq, nil
+}
+
+// AppendBatch stores a batch, returning the last assigned sequence number.
+func (s *Store) AppendBatch(evs []events.Event) (uint64, error) {
+	var last uint64
+	for _, e := range evs {
+		seq, err := s.Append(e)
+		if err != nil {
+			return last, err
+		}
+		last = seq
+	}
+	return last, nil
+}
+
+// Since returns up to max events with Seq > seq in order (max <= 0 = all).
+// This is the consumer fault-recovery query: "If users provide an event
+// identifier, FSMonitor will only report events that have happened since
+// that event" (§III-A3).
+func (s *Store) Since(seq uint64, max int) ([]events.Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	var out []events.Event
+	for _, e := range s.events {
+		if e.Seq > seq {
+			out = append(out, e)
+			if max > 0 && len(out) == max {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// SinceTime returns events recorded at or after t.
+func (s *Store) SinceTime(t time.Time, max int) ([]events.Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	var out []events.Event
+	for _, e := range s.events {
+		if !e.Time.Before(t) {
+			out = append(out, e)
+			if max > 0 && len(out) == max {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// MarkReported flags every stored event with Seq <= seq as reported
+// ("Once events have been retrieved from FSMonitor, they are flagged as
+// having been reported and can be removed from the database").
+func (s *Store) MarkReported(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, e := range s.events {
+		if e.Seq <= seq {
+			s.reported[e.Seq] = true
+		}
+	}
+	if s.jw != nil {
+		line, err := json.Marshal(struct {
+			Kind string `json:"kind"`
+			Seq  uint64 `json:"seq"`
+		}{"reported", seq})
+		if err == nil {
+			s.jw.Write(line)
+			s.jw.WriteByte('\n')
+		}
+	}
+	return nil
+}
+
+// Purge removes reported events (the "next data purge cycle" of §IV-2),
+// returning how many were removed.
+func (s *Store) Purge() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	kept := s.events[:0]
+	removed := 0
+	for _, e := range s.events {
+		if s.reported[e.Seq] {
+			delete(s.reported, e.Seq)
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.events = kept
+	s.purged += uint64(removed)
+	return removed, nil
+}
+
+// enforceBoundLocked drops oldest events past MaxEvents, reported first.
+func (s *Store) enforceBoundLocked() {
+	if s.opts.MaxEvents <= 0 || len(s.events) <= s.opts.MaxEvents {
+		return
+	}
+	over := len(s.events) - s.opts.MaxEvents
+	// First pass: drop oldest reported.
+	kept := s.events[:0]
+	for _, e := range s.events {
+		if over > 0 && s.reported[e.Seq] {
+			delete(s.reported, e.Seq)
+			over--
+			s.purged++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.events = kept
+	// Second pass: still over (nothing reported) — evict oldest.
+	if over > 0 {
+		for _, e := range s.events[:over] {
+			delete(s.reported, e.Seq)
+		}
+		s.events = append(s.events[:0], s.events[over:]...)
+		s.evicted += uint64(over)
+	}
+}
+
+// Stats is a snapshot of store counters.
+type Stats struct {
+	Retained int
+	Reported int
+	Appended uint64
+	Purged   uint64
+	Evicted  uint64
+	NextSeq  uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Retained: len(s.events), Reported: len(s.reported),
+		Appended: s.appended, Purged: s.purged, Evicted: s.evicted, NextSeq: s.nextSeq,
+	}
+}
+
+// Len returns the number of retained events.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// LastSeq returns the highest assigned sequence number (0 = none yet).
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq - 1
+}
+
+// CompactJournal rewrites the journal to contain only the currently
+// retained events and their reported flags, reclaiming space from purged
+// history (the JSONL journal otherwise grows without bound across purge
+// cycles). No-op without a journal.
+func (s *Store) CompactJournal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.jw == nil {
+		return nil
+	}
+	tmp := s.opts.JournalPath + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	var maxReported uint64
+	for _, e := range s.events {
+		line, err := json.Marshal(struct {
+			Kind string     `json:"kind"`
+			Ev   *wireEvent `json:"ev"`
+		}{"event", fromEvent(e)})
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+		if s.reported[e.Seq] && e.Seq > maxReported {
+			maxReported = e.Seq
+		}
+	}
+	if maxReported > 0 {
+		line, err := json.Marshal(struct {
+			Kind string `json:"kind"`
+			Seq  uint64 `json:"seq"`
+		}{"reported", maxReported})
+		if err == nil {
+			w.Write(line)
+			w.WriteByte('\n')
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Swap the live journal for the compacted one.
+	s.jw.Flush()
+	s.journal.Close()
+	if err := os.Rename(tmp, s.opts.JournalPath); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(s.opts.JournalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.journal = nf
+	s.jw = bufio.NewWriter(nf)
+	return nil
+}
+
+// Sync flushes the journal to disk.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jw == nil {
+		return nil
+	}
+	if err := s.jw.Flush(); err != nil {
+		return err
+	}
+	return s.journal.Sync()
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.jw != nil {
+		s.jw.Flush()
+		return s.journal.Close()
+	}
+	return nil
+}

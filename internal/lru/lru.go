@@ -1,0 +1,242 @@
+// Package lru provides a goroutine-safe, fixed-capacity least-recently-used
+// cache with hit/miss/eviction statistics.
+//
+// The scalable Lustre monitor keeps fid→path mappings in an LRU cache so
+// that the expensive fid2path resolution runs only on misses (§IV-2
+// Processing; Tables VI and VIII study the effect of the cache and its
+// size). The implementation is an intrusive doubly linked list over a map,
+// giving O(1) Get/Set/Delete.
+package lru
+
+import (
+	"sync"
+)
+
+// Cache is a fixed-capacity LRU cache mapping K to V. The zero value is not
+// usable; construct with New.
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	items map[K]*entry[K, V]
+	// head is most recently used; tail least recently used.
+	head, tail *entry[K, V]
+
+	hits, misses, evictions uint64
+
+	// onEvict, if set, is invoked (outside no lock guarantees — it runs
+	// under the cache lock, so it must not call back into the cache) for
+	// each evicted entry.
+	onEvict func(K, V)
+}
+
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// New returns a cache holding at most capacity entries. Capacity must be
+// positive.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity <= 0 {
+		panic("lru: capacity must be positive")
+	}
+	return &Cache[K, V]{
+		cap:   capacity,
+		items: make(map[K]*entry[K, V], capacity),
+	}
+}
+
+// NewWithEvict is New with an eviction callback. The callback runs while the
+// cache lock is held and must not re-enter the cache.
+func NewWithEvict[K comparable, V any](capacity int, onEvict func(K, V)) *Cache[K, V] {
+	c := New[K, V](capacity)
+	c.onEvict = onEvict
+	return c
+}
+
+// Get returns the value for key and marks it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Peek returns the value for key without updating recency or statistics.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is cached, without updating recency.
+func (c *Cache[K, V]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Set inserts or updates key, marking it most recently used, evicting the
+// least recently used entry if the cache is over capacity. It reports
+// whether an eviction occurred.
+func (c *Cache[K, V]) Set(key K, val V) (evicted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.val = val
+		c.moveToFront(e)
+		return false
+	}
+	e := &entry[K, V]{key: key, val: val}
+	c.items[key] = e
+	c.pushFront(e)
+	if len(c.items) > c.cap {
+		c.evictTail()
+		return true
+	}
+	return false
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Cache[K, V]) Delete(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	delete(c.items, key)
+	return true
+}
+
+// Len returns the current number of entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Cap returns the cache capacity.
+func (c *Cache[K, V]) Cap() int { return c.cap }
+
+// Purge removes every entry without invoking the eviction callback.
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[K]*entry[K, V], c.cap)
+	c.head, c.tail = nil, nil
+}
+
+// Resize changes the capacity, evicting LRU entries as needed.
+func (c *Cache[K, V]) Resize(capacity int) {
+	if capacity <= 0 {
+		panic("lru: capacity must be positive")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = capacity
+	for len(c.items) > c.cap {
+		c.evictTail()
+	}
+}
+
+// Keys returns all keys ordered most- to least-recently used.
+func (c *Cache[K, V]) Keys() []K {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]K, 0, len(c.items))
+	for e := c.head; e != nil; e = e.next {
+		keys = append(keys, e.key)
+	}
+	return keys
+}
+
+// Stats is a snapshot of cache counters.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	Len, Cap                int
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: len(c.items), Cap: c.cap}
+}
+
+// ResetStats zeroes the hit/miss/eviction counters.
+func (c *Cache[K, V]) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
+func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache[K, V]) moveToFront(e *entry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache[K, V]) evictTail() {
+	t := c.tail
+	if t == nil {
+		return
+	}
+	c.unlink(t)
+	delete(c.items, t.key)
+	c.evictions++
+	if c.onEvict != nil {
+		c.onEvict(t.key, t.val)
+	}
+}

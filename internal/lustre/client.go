@@ -1,0 +1,606 @@
+package lustre
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"strings"
+
+	"fsmonitor/internal/pace"
+)
+
+// Client performs file-system operations against the cluster, as a Lustre
+// client mounting the store would. Every metadata operation is journalled
+// in the Changelog of the MDT that owns the affected directory.
+//
+// A client is sequential: when pacing is enabled (EnablePacing), each
+// operation spends its configured service latency on the client's own
+// throttle, reproducing the per-process operation rates that set the
+// baseline generation rates of Table V. Workloads that want more load run
+// more clients, as the paper's scripts ran more processes.
+type Client struct {
+	c        *Cluster
+	throttle *pace.Throttle
+}
+
+// Client returns an unpaced client handle (operations complete
+// immediately; unit tests and functional paths use this).
+func (c *Cluster) Client() *Client {
+	return &Client{c: c}
+}
+
+// PacedClient returns a client that spends the configured per-operation
+// latencies on its own sequential throttle.
+func (c *Cluster) PacedClient() *Client {
+	return &Client{c: c, throttle: pace.NewThrottle()}
+}
+
+func (cl *Client) pace(t RecType) {
+	if cl.throttle == nil {
+		return
+	}
+	if d := cl.c.cfg.OpLatency[t]; d > 0 {
+		cl.throttle.Spend(d)
+	}
+}
+
+// Mkdir creates a directory; with DNE the new directory is placed on an
+// MDT chosen by namespace hash.
+func (cl *Client) Mkdir(p string) error {
+	c := cl.c
+	p, err := cleanAbs(p)
+	if err != nil {
+		return err
+	}
+	cl.pace(RecMkdir)
+	c.mu.Lock()
+	parent, base, err := c.walkParent(p)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExist, p)
+	}
+	mdt := c.dirMDT(p)
+	n := &node{
+		fid: c.allocators[mdt].alloc(), name: base, parent: parent, dir: true,
+		mdt: mdt, mode: 0o755, mtime: c.clock(), children: map[string]*node{}, nlink: 2,
+	}
+	parent.children[base] = n
+	parent.nlink++
+	c.byFID[n.fid] = n
+	c.dirs.Add(1)
+	rec := Record{Type: RecMkdir, Time: n.mtime, TFid: n.fid, PFid: parent.fid, Name: base}
+	log := c.changelogs[parent.mdt]
+	c.mu.Unlock()
+	log.append(rec)
+	return nil
+}
+
+// MkdirAll creates p and any missing ancestors.
+func (cl *Client) MkdirAll(p string) error {
+	p, err := cleanAbs(p)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return nil
+	}
+	cur := ""
+	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
+		cur += "/" + part
+		if err := cl.Mkdir(cur); err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create creates a regular file, allocating its stripe objects.
+func (cl *Client) Create(p string) error {
+	c := cl.c
+	p, err := cleanAbs(p)
+	if err != nil {
+		return err
+	}
+	cl.pace(RecCreat)
+	c.mu.Lock()
+	parent, base, err := c.walkParent(p)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExist, p)
+	}
+	mdt := parent.mdt
+	n := &node{
+		fid: c.allocators[mdt].alloc(), name: base, parent: parent,
+		mdt: mdt, mode: 0o644, mtime: c.clock(), nlink: 1,
+		stripes: c.allocateStripes(c.cfg.StripeCnt),
+	}
+	parent.children[base] = n
+	c.byFID[n.fid] = n
+	c.files.Add(1)
+	rec := Record{Type: RecCreat, Time: n.mtime, TFid: n.fid, PFid: parent.fid, Name: base}
+	log := c.changelogs[mdt]
+	c.mu.Unlock()
+	log.append(rec)
+	return nil
+}
+
+// Mknod creates a device file (journalled as MKNOD).
+func (cl *Client) Mknod(p string) error {
+	c := cl.c
+	p, err := cleanAbs(p)
+	if err != nil {
+		return err
+	}
+	cl.pace(RecMknod)
+	c.mu.Lock()
+	parent, base, err := c.walkParent(p)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExist, p)
+	}
+	mdt := parent.mdt
+	n := &node{
+		fid: c.allocators[mdt].alloc(), name: base, parent: parent,
+		mdt: mdt, mode: 0o644, mtime: c.clock(), nlink: 1,
+	}
+	parent.children[base] = n
+	c.byFID[n.fid] = n
+	c.files.Add(1)
+	rec := Record{Type: RecMknod, Time: n.mtime, TFid: n.fid, PFid: parent.fid, Name: base}
+	log := c.changelogs[mdt]
+	c.mu.Unlock()
+	log.append(rec)
+	return nil
+}
+
+// Write appends n bytes to the file, journalled as MTIME. As in Table I,
+// MTIME records carry no parent FID.
+func (cl *Client) Write(p string, n int64) error {
+	c := cl.c
+	p, err := cleanAbs(p)
+	if err != nil {
+		return err
+	}
+	cl.pace(RecMtime)
+	c.mu.Lock()
+	f, err := c.walk(p)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if f.dir {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrIsDir, p)
+	}
+	if err := c.growStripes(f, n); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	f.size += n
+	f.mtime = c.clock()
+	rec := Record{Type: RecMtime, Time: f.mtime, Flags: 0x7, TFid: f.fid, Name: f.name}
+	log := c.changelogs[f.mdt]
+	c.mu.Unlock()
+	log.append(rec)
+	return nil
+}
+
+// WriteData appends n bytes to the file's OST objects without journalling
+// a metadata record: bulk data I/O flows from clients to OSSs directly and
+// never touches the MDS Changelog (only the eventual CLOSE/MTIME does).
+// Benchmark workloads like IOR and HACC-I/O use this for their I/O phases.
+func (cl *Client) WriteData(p string, n int64) error {
+	c := cl.c
+	p, err := cleanAbs(p)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, err := c.walk(p)
+	if err != nil {
+		return err
+	}
+	if f.dir {
+		return fmt.Errorf("%w: %q", ErrIsDir, p)
+	}
+	if err := c.growStripes(f, n); err != nil {
+		return err
+	}
+	f.size += n
+	return nil
+}
+
+// CloseFile journals a CLOSE record for the file (Lustre records closes of
+// files opened for write; Table IX shows CLOSE events for every workload
+// file).
+func (cl *Client) CloseFile(p string) error {
+	c := cl.c
+	p, err := cleanAbs(p)
+	if err != nil {
+		return err
+	}
+	cl.pace(RecClose)
+	c.mu.Lock()
+	f, err := c.walk(p)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	rec := Record{Type: RecClose, Time: c.clock(), Flags: 0x23, TFid: f.fid, Name: f.name}
+	log := c.changelogs[f.mdt]
+	c.mu.Unlock()
+	log.append(rec)
+	return nil
+}
+
+// Truncate sets the file size, journalled as TRUNC.
+func (cl *Client) Truncate(p string, size int64) error {
+	c := cl.c
+	p, err := cleanAbs(p)
+	if err != nil {
+		return err
+	}
+	cl.pace(RecTrunc)
+	c.mu.Lock()
+	f, err := c.walk(p)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if f.dir {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrIsDir, p)
+	}
+	if size < f.size {
+		c.shrinkStripes(f, size)
+	} else if err := c.growStripes(f, size-f.size); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	f.size = size
+	f.mtime = c.clock()
+	rec := Record{Type: RecTrunc, Time: f.mtime, TFid: f.fid, PFid: f.parent.fid, Name: f.name}
+	log := c.changelogs[f.mdt]
+	c.mu.Unlock()
+	log.append(rec)
+	return nil
+}
+
+// Setattr changes attributes (mode), journalled as SATTR.
+func (cl *Client) Setattr(p string, mode uint32) error {
+	return cl.attrOp(p, RecSattr, func(n *node) { n.mode = mode })
+}
+
+// Setxattr journals an extended-attribute change (XATTR).
+func (cl *Client) Setxattr(p string) error {
+	return cl.attrOp(p, RecXattr, func(n *node) {})
+}
+
+// Ioctl journals an IOCTL record against the path.
+func (cl *Client) Ioctl(p string) error {
+	return cl.attrOp(p, RecIoctl, func(n *node) {})
+}
+
+func (cl *Client) attrOp(p string, t RecType, apply func(*node)) error {
+	c := cl.c
+	p, err := cleanAbs(p)
+	if err != nil {
+		return err
+	}
+	cl.pace(t)
+	c.mu.Lock()
+	n, err := c.walk(p)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	apply(n)
+	pfid := FID{}
+	mdt := n.mdt
+	if n.parent != nil {
+		pfid = n.parent.fid
+		if !n.dir {
+			mdt = n.parent.mdt
+		}
+	}
+	rec := Record{Type: t, Time: c.clock(), TFid: n.fid, PFid: pfid, Name: n.name}
+	log := c.changelogs[mdt]
+	c.mu.Unlock()
+	log.append(rec)
+	return nil
+}
+
+// Link creates a hard link, journalled as HLINK.
+func (cl *Client) Link(oldp, newp string) error {
+	c := cl.c
+	oldp, err := cleanAbs(oldp)
+	if err != nil {
+		return err
+	}
+	newp, err = cleanAbs(newp)
+	if err != nil {
+		return err
+	}
+	cl.pace(RecHlink)
+	c.mu.Lock()
+	src, err := c.walk(oldp)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if src.dir {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: cannot hard-link directory %q", ErrIsDir, oldp)
+	}
+	parent, base, err := c.walkParent(newp)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExist, newp)
+	}
+	// A hard link is a second dentry for the same FID. The canonical node
+	// (the one byFID resolves to) carries the link count and stripes;
+	// extra dentries are tracked so the canonical can be re-pointed if
+	// its own name is removed first.
+	ln := &node{
+		fid: src.fid, name: base, parent: parent, mdt: parent.mdt,
+		mode: src.mode, mtime: c.clock(), nlink: 0,
+	}
+	parent.children[base] = ln
+	src.nlink++
+	c.extraLinks[src.fid] = append(c.extraLinks[src.fid], ln)
+	rec := Record{Type: RecHlink, Time: ln.mtime, TFid: src.fid, PFid: parent.fid, Name: base}
+	log := c.changelogs[parent.mdt]
+	c.mu.Unlock()
+	log.append(rec)
+	return nil
+}
+
+// Symlink creates a symbolic link, journalled as SLINK.
+func (cl *Client) Symlink(target, linkp string) error {
+	c := cl.c
+	linkp, err := cleanAbs(linkp)
+	if err != nil {
+		return err
+	}
+	cl.pace(RecSlink)
+	c.mu.Lock()
+	parent, base, err := c.walkParent(linkp)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExist, linkp)
+	}
+	mdt := parent.mdt
+	n := &node{
+		fid: c.allocators[mdt].alloc(), name: base, parent: parent,
+		mdt: mdt, mode: 0o777, mtime: c.clock(), nlink: 1,
+	}
+	parent.children[base] = n
+	c.byFID[n.fid] = n
+	c.files.Add(1)
+	rec := Record{Type: RecSlink, Time: n.mtime, TFid: n.fid, PFid: parent.fid, Name: base}
+	log := c.changelogs[mdt]
+	c.mu.Unlock()
+	log.append(rec)
+	return nil
+}
+
+// Rename moves oldp to newp. Within one MDT it journals a single RENME
+// record carrying the renamed file's FID (s=[]) and the source parent's
+// FID (sp=[]), per Table I; across MDTs (DNE) it journals RENME on the
+// source MDT and RNMTO on the target MDT, as real Lustre does for remote
+// renames.
+func (cl *Client) Rename(oldp, newp string) error {
+	c := cl.c
+	oldp, err := cleanAbs(oldp)
+	if err != nil {
+		return err
+	}
+	newp, err = cleanAbs(newp)
+	if err != nil {
+		return err
+	}
+	if oldp == "/" || newp == "/" {
+		return fmt.Errorf("%w: cannot rename root", ErrBadPath)
+	}
+	if newp == oldp || strings.HasPrefix(newp, oldp+"/") {
+		return fmt.Errorf("%w: cannot rename %q into itself", ErrBadPath, oldp)
+	}
+	cl.pace(RecRenme)
+	c.mu.Lock()
+	srcParent, srcBase, err := c.walkParent(oldp)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	n, ok := srcParent.children[srcBase]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotExist, oldp)
+	}
+	dstParent, dstBase, err := c.walkParent(newp)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	var victim FID
+	if existing, ok := dstParent.children[dstBase]; ok {
+		if existing.dir {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrExist, newp)
+		}
+		victim = existing.fid
+		delete(c.byFID, existing.fid)
+		c.releaseStripes(existing)
+		c.files.Add(-1)
+	}
+	delete(srcParent.children, srcBase)
+	dstParent.children[dstBase] = n
+	oldName := n.name
+	n.name = dstBase
+	n.parent = dstParent
+	if n.dir {
+		srcParent.nlink--
+		dstParent.nlink++
+	}
+	now := c.clock()
+	n.mtime = now
+	srcMDT, dstMDT := srcParent.mdt, dstParent.mdt
+	renme := Record{
+		Type: RecRenme, Time: now, Flags: 0x1,
+		TFid: victim, PFid: dstParent.fid, Name: oldName,
+		SFid: n.fid, SPFid: srcParent.fid, SName: dstBase,
+	}
+	srcLog := c.changelogs[srcMDT]
+	var dstLog *Changelog
+	var rnmto Record
+	if dstMDT != srcMDT {
+		rnmto = Record{Type: RecRnmto, Time: now, TFid: n.fid, PFid: dstParent.fid, Name: dstBase}
+		dstLog = c.changelogs[dstMDT]
+	}
+	c.mu.Unlock()
+	srcLog.append(renme)
+	if dstLog != nil {
+		dstLog.append(rnmto)
+	}
+	return nil
+}
+
+// Unlink removes a regular file (UNLNK). The FID leaves the index, so
+// subsequent fid2path calls on it fail.
+func (cl *Client) Unlink(p string) error {
+	return cl.removeOp(p, false)
+}
+
+// Rmdir removes an empty directory (RMDIR).
+func (cl *Client) Rmdir(p string) error {
+	return cl.removeOp(p, true)
+}
+
+func (cl *Client) removeOp(p string, wantDir bool) error {
+	c := cl.c
+	p, err := cleanAbs(p)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return fmt.Errorf("%w: cannot remove root", ErrBadPath)
+	}
+	t := RecUnlnk
+	if wantDir {
+		t = RecRmdir
+	}
+	cl.pace(t)
+	c.mu.Lock()
+	parent, base, err := c.walkParent(p)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	n, ok := parent.children[base]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotExist, p)
+	}
+	if wantDir != n.dir {
+		c.mu.Unlock()
+		if wantDir {
+			return fmt.Errorf("%w: %q", ErrNotDir, p)
+		}
+		return fmt.Errorf("%w: %q", ErrIsDir, p)
+	}
+	if n.dir && len(n.children) > 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotEmpty, p)
+	}
+	delete(parent.children, base)
+	if n.dir {
+		parent.nlink--
+		delete(c.byFID, n.fid)
+		c.dirs.Add(-1)
+	} else {
+		canonical := c.byFID[n.fid]
+		if canonical == nil {
+			canonical = n
+		}
+		canonical.nlink--
+		if canonical.nlink <= 0 {
+			delete(c.byFID, n.fid)
+			c.releaseStripes(canonical)
+			delete(c.extraLinks, n.fid)
+		} else {
+			links := c.extraLinks[n.fid]
+			for i, d := range links {
+				if d == n {
+					links = append(links[:i], links[i+1:]...)
+					break
+				}
+			}
+			c.extraLinks[n.fid] = links
+			if canonical == n && len(links) > 0 {
+				// The canonical name was removed; promote another
+				// dentry so the FID keeps resolving.
+				promoted := links[0]
+				promoted.nlink = canonical.nlink
+				promoted.stripes = canonical.stripes
+				promoted.size = canonical.size
+				c.byFID[n.fid] = promoted
+				c.extraLinks[n.fid] = links[1:]
+			}
+		}
+		c.files.Add(-1)
+	}
+	mdt := parent.mdt
+	if n.dir {
+		mdt = n.mdt
+	}
+	rec := Record{Type: t, Time: c.clock(), TFid: n.fid, PFid: parent.fid, Name: base}
+	log := c.changelogs[mdt]
+	c.mu.Unlock()
+	log.append(rec)
+	return nil
+}
+
+// RemoveAll removes p recursively (children first).
+func (cl *Client) RemoveAll(p string) error {
+	info, err := cl.c.Stat(p)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	if info.IsDir {
+		children, err := cl.c.ReadDir(info.Path)
+		if err != nil {
+			return err
+		}
+		for _, ch := range children {
+			if err := cl.RemoveAll(path.Join(info.Path, ch.Name)); err != nil {
+				return err
+			}
+		}
+		return cl.Rmdir(info.Path)
+	}
+	return cl.Unlink(info.Path)
+}

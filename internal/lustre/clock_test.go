@@ -1,0 +1,6 @@
+package lustre
+
+import "time"
+
+// nowMono returns a monotonic nanosecond reading for timing assertions.
+func nowMono() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,86 @@
+// Package lustre implements an in-memory simulation of the Lustre
+// distributed file system sufficient to host the paper's scalable monitor:
+// a namespace distributed over multiple Metadata Targets (Lustre DNE), a
+// per-MDT Changelog with the record schema of Table I, the fid2path
+// resolution facility (including its failure on deleted FIDs, which drives
+// Algorithm 1's error paths), Object Storage Targets with striped file
+// placement, and a POSIX-style client.
+//
+// The real deployments in the paper (AWS, Thor, Iota) are modeled as
+// cluster configurations with calibrated operation latencies and fid2path
+// costs; see testbeds.go and DESIGN.md §1 for the substitution argument.
+package lustre
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FID is a Lustre file identifier: a sequence, an object id within the
+// sequence, and a version. FIDs are unique for the life of the file system
+// and never reused, which is why resolving the FID of a deleted file fails.
+type FID struct {
+	Seq uint64
+	Oid uint32
+	Ver uint32
+}
+
+// IsZero reports whether f is the zero FID (no identifier).
+func (f FID) IsZero() bool { return f == FID{} }
+
+// String renders the FID in Lustre's bracketed hex form, e.g.
+// "[0x300005716:0x626c:0x0]".
+func (f FID) String() string {
+	return fmt.Sprintf("[0x%x:0x%x:0x%x]", f.Seq, f.Oid, f.Ver)
+}
+
+// ParseFID parses a FID in the form produced by String, with or without
+// the surrounding brackets.
+func ParseFID(s string) (FID, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return FID{}, fmt.Errorf("lustre: malformed FID %q: want seq:oid:ver", s)
+	}
+	var vals [3]uint64
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		p = strings.TrimPrefix(p, "0x")
+		v, err := strconv.ParseUint(p, 16, 64)
+		if err != nil {
+			return FID{}, fmt.Errorf("lustre: malformed FID component %q: %v", parts[i], err)
+		}
+		vals[i] = v
+	}
+	if vals[1] > 1<<32-1 || vals[2] > 1<<32-1 {
+		return FID{}, fmt.Errorf("lustre: FID oid/ver overflow in %q", s)
+	}
+	return FID{Seq: vals[0], Oid: uint32(vals[1]), Ver: uint32(vals[2])}, nil
+}
+
+// fidAllocator hands out FIDs from per-MDT sequence ranges, as the real
+// FID sequence controller grants sequence ranges to each MDT.
+type fidAllocator struct {
+	seq  uint64
+	next uint32
+}
+
+// newFIDAllocator creates an allocator for MDT index mdt. Each MDT draws
+// from its own sequence so FIDs are globally unique without coordination.
+func newFIDAllocator(mdt int) *fidAllocator {
+	return &fidAllocator{seq: 0x200000400 + uint64(mdt)*0x100000000, next: 1}
+}
+
+// alloc returns the next FID.
+func (a *fidAllocator) alloc() FID {
+	f := FID{Seq: a.seq, Oid: a.next}
+	a.next++
+	if a.next == 0 { // oid wrapped; advance the sequence
+		a.seq++
+		a.next = 1
+	}
+	return f
+}

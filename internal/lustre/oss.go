@@ -1,0 +1,172 @@
+package lustre
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OST is one Object Storage Target: a capacity-bounded object store.
+type OST struct {
+	mu       sync.Mutex
+	oss, idx int
+	capacity int64
+	used     int64
+	objects  int64
+}
+
+// stripeRef records one stripe object of a file: which OST holds it and
+// how many bytes of the file it stores.
+type stripeRef struct {
+	oss, ost int
+	bytes    int64
+}
+
+// OSS is an Object Storage Server hosting one or more OSTs.
+type OSS struct {
+	idx  int
+	osts []*OST
+}
+
+func newOSS(idx, numOSTs int, ostCapacity int64) *OSS {
+	s := &OSS{idx: idx}
+	for i := 0; i < numOSTs; i++ {
+		s.osts = append(s.osts, &OST{oss: idx, idx: i, capacity: ostCapacity})
+	}
+	return s
+}
+
+// OSTStats is a usage snapshot of one OST.
+type OSTStats struct {
+	OSS, OST int
+	Capacity int64
+	Used     int64
+	Objects  int64
+}
+
+// Stats returns usage for every OST on the server.
+func (s *OSS) Stats() []OSTStats {
+	out := make([]OSTStats, 0, len(s.osts))
+	for _, t := range s.osts {
+		t.mu.Lock()
+		out = append(out, OSTStats{OSS: t.oss, OST: t.idx, Capacity: t.capacity, Used: t.used, Objects: t.objects})
+		t.mu.Unlock()
+	}
+	return out
+}
+
+// OSSes returns the cluster's object storage servers.
+func (c *Cluster) OSSes() []*OSS { return c.oss }
+
+// TotalCapacity returns the aggregate OST capacity in bytes.
+func (c *Cluster) TotalCapacity() int64 {
+	var total int64
+	for _, s := range c.oss {
+		for _, t := range s.osts {
+			t.mu.Lock()
+			total += t.capacity
+			t.mu.Unlock()
+		}
+	}
+	return total
+}
+
+// TotalUsed returns the aggregate bytes stored across all OSTs.
+func (c *Cluster) TotalUsed() int64 {
+	var total int64
+	for _, s := range c.oss {
+		for _, t := range s.osts {
+			t.mu.Lock()
+			total += t.used
+			t.mu.Unlock()
+		}
+	}
+	return total
+}
+
+// allocateStripes picks stripeCnt OSTs round-robin and creates the file's
+// (initially empty) stripe objects. Caller holds c.mu.
+func (c *Cluster) allocateStripes(stripeCnt int) []stripeRef {
+	totalOSTs := 0
+	for _, s := range c.oss {
+		totalOSTs += len(s.osts)
+	}
+	if stripeCnt > totalOSTs {
+		stripeCnt = totalOSTs
+	}
+	refs := make([]stripeRef, 0, stripeCnt)
+	for i := 0; i < stripeCnt; i++ {
+		flat := c.nextOST % totalOSTs
+		c.nextOST++
+		ossIdx, rem := 0, flat
+		for rem >= len(c.oss[ossIdx].osts) {
+			rem -= len(c.oss[ossIdx].osts)
+			ossIdx++
+		}
+		t := c.oss[ossIdx].osts[rem]
+		t.mu.Lock()
+		t.objects++
+		t.mu.Unlock()
+		refs = append(refs, stripeRef{oss: ossIdx, ost: rem})
+	}
+	return refs
+}
+
+// growStripes distributes n additional bytes across the file's stripes in
+// StripeSize units, honouring OST capacity. Returns ErrNoSpace when an OST
+// fills. Caller holds c.mu.
+func (c *Cluster) growStripes(f *node, n int64) error {
+	if len(f.stripes) == 0 || n <= 0 {
+		return nil
+	}
+	unit := c.cfg.StripeSize
+	i := int(f.size/unit) % len(f.stripes)
+	for n > 0 {
+		chunk := unit
+		if chunk > n {
+			chunk = n
+		}
+		ref := &f.stripes[i]
+		t := c.oss[ref.oss].osts[ref.ost]
+		t.mu.Lock()
+		if t.used+chunk > t.capacity {
+			t.mu.Unlock()
+			return fmt.Errorf("%w: OST %d:%d full", ErrNoSpace, ref.oss, ref.ost)
+		}
+		t.used += chunk
+		t.mu.Unlock()
+		ref.bytes += chunk
+		n -= chunk
+		i = (i + 1) % len(f.stripes)
+	}
+	return nil
+}
+
+// releaseStripes frees the file's stripe objects. Caller holds c.mu.
+func (c *Cluster) releaseStripes(f *node) {
+	for _, ref := range f.stripes {
+		t := c.oss[ref.oss].osts[ref.ost]
+		t.mu.Lock()
+		t.used -= ref.bytes
+		t.objects--
+		t.mu.Unlock()
+	}
+	f.stripes = nil
+}
+
+// shrinkStripes releases bytes beyond newSize. Caller holds c.mu.
+func (c *Cluster) shrinkStripes(f *node, newSize int64) {
+	excess := f.size - newSize
+	for i := len(f.stripes) - 1; i >= 0 && excess > 0; i-- {
+		ref := &f.stripes[i]
+		rel := ref.bytes
+		if rel > excess {
+			rel = excess
+		}
+		t := c.oss[ref.oss].osts[ref.ost]
+		t.mu.Lock()
+		t.used -= rel
+		t.mu.Unlock()
+		ref.bytes -= rel
+		excess -= rel
+	}
+}

@@ -1,0 +1,110 @@
+package lustre
+
+import (
+	"fmt"
+	"time"
+)
+
+// RecType is a Changelog record type. The numeric values follow Lustre's
+// changelog_rec_type enumeration, so a record renders exactly as in the
+// paper's Table I (e.g. "01CREAT", "17MTIME").
+type RecType uint8
+
+// Changelog record types (§IV-1).
+const (
+	RecMark  RecType = 0  // administrative marker
+	RecCreat RecType = 1  // creation of a regular file
+	RecMkdir RecType = 2  // creation of a directory
+	RecHlink RecType = 3  // hard link
+	RecSlink RecType = 4  // soft link
+	RecMknod RecType = 5  // creation of a device file
+	RecUnlnk RecType = 6  // deletion of a regular file
+	RecRmdir RecType = 7  // deletion of a directory
+	RecRenme RecType = 8  // rename, source side
+	RecRnmto RecType = 9  // rename, target side
+	RecOpen  RecType = 10 // open (not recorded by default)
+	RecClose RecType = 11 // close
+	RecIoctl RecType = 12 // input-output control
+	RecTrunc RecType = 13 // truncate
+	RecSattr RecType = 14 // attribute change
+	RecXattr RecType = 15 // extended attribute change
+	RecHSM   RecType = 16 // HSM action
+	RecMtime RecType = 17 // modification of a regular file
+	RecCtime RecType = 18 // ctime change
+	RecAtime RecType = 19 // atime change
+)
+
+var recTypeNames = map[RecType]string{
+	RecMark: "MARK", RecCreat: "CREAT", RecMkdir: "MKDIR", RecHlink: "HLINK",
+	RecSlink: "SLINK", RecMknod: "MKNOD", RecUnlnk: "UNLNK", RecRmdir: "RMDIR",
+	RecRenme: "RENME", RecRnmto: "RNMTO", RecOpen: "OPEN", RecClose: "CLOSE",
+	RecIoctl: "IOCTL", RecTrunc: "TRUNC", RecSattr: "SATTR", RecXattr: "XATTR",
+	RecHSM: "HSM", RecMtime: "MTIME", RecCtime: "CTIME", RecAtime: "ATIME",
+}
+
+// Name returns the bare type name, e.g. "CREAT".
+func (t RecType) Name() string {
+	if s, ok := recTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint8(t))
+}
+
+// String renders the numbered form used in Changelog output, e.g. "01CREAT".
+func (t RecType) String() string {
+	return fmt.Sprintf("%02d%s", uint8(t), t.Name())
+}
+
+// ParseRecType parses either the numbered ("01CREAT") or bare ("CREAT")
+// form.
+func ParseRecType(s string) (RecType, error) {
+	for t, name := range recTypeNames {
+		if s == name || s == t.String() {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("lustre: unknown record type %q", s)
+}
+
+// Record is one Changelog entry, mirroring the fields of Table I: the
+// record index (EventID), type, timestamp, flags, target FID (t=[]),
+// parent FID (p=[]), and target name. Rename records additionally carry
+// the source FID (s=[], the FID that replaced the target name) and source
+// parent FID (sp=[]).
+type Record struct {
+	Index uint64 // EventID: record number within this MDT's Changelog
+	Type  RecType
+	Time  time.Time
+	Flags uint32
+	TFid  FID    // target FID (t=[])
+	PFid  FID    // parent FID (p=[]); zero for MTIME records
+	SFid  FID    // rename only: new file identifier (s=[])
+	SPFid FID    // rename only: original file identifier (sp=[])
+	Name  string // target name
+	SName string // rename only: the new name (second name column in Table I)
+	MDT   int    // index of the MDT that recorded this entry
+}
+
+// String renders the record like a `lfs changelog` line / Table I row:
+//
+//	11332885 01CREAT 22:27:47.308560896 2019.03.08 0x0 t=[...] p=[...] hello.txt
+func (r Record) String() string {
+	s := fmt.Sprintf("%d %s %s %s 0x%x t=%s",
+		r.Index, r.Type, r.Time.Format("15:04:05.000000000"), r.Time.Format("2006.01.02"), r.Flags, r.TFid)
+	if !r.SFid.IsZero() {
+		s += fmt.Sprintf(" s=%s", r.SFid)
+	}
+	if !r.SPFid.IsZero() {
+		s += fmt.Sprintf(" sp=%s", r.SPFid)
+	}
+	if !r.PFid.IsZero() {
+		s += fmt.Sprintf(" p=%s", r.PFid)
+	}
+	if r.Name != "" {
+		s += " " + r.Name
+	}
+	if r.SName != "" {
+		s += " " + r.SName
+	}
+	return s
+}

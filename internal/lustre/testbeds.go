@@ -1,0 +1,103 @@
+package lustre
+
+import "time"
+
+// Testbed presets reproducing the paper's three Lustre deployments (§V-A2).
+//
+// Per-operation latencies are the reciprocals of the baseline per-type
+// generation rates in Table V (e.g. Iota creates at 1389 events/s, so one
+// create costs 720µs of client service time). Fid2path costs are calibrated
+// from Table VI's no-cache reporting rates: without a cache the collector
+// lags generation, so by processing time every target FID of the
+// create/modify/delete loop is already stale — CREAT fails on the target
+// and resolves the parent (2 calls), MTIME fails on the target (1 call,
+// no parent FID), UNLNK fails on the target and resolves the parent
+// (2 calls) — 5 fid2path calls per 3 events. Cost = (3/5) × (1/capacity −
+// overhead) with capacity chosen to reproduce the paper's
+// reported/generated ratio (77% AWS, 88% Thor, 85% Iota). See
+// EXPERIMENTS.md for the derivation and measured values.
+
+// AWSConfig is the 20 GB AWS deployment: one MDS, one OSS with one OST, on
+// t2.micro instances (slowest of the three).
+func AWSConfig() Config {
+	return Config{
+		Name:         "AWS",
+		NumMDS:       1,
+		NumOSS:       1,
+		OSTsPerOSS:   1,
+		OSTSizeGB:    20,
+		Fid2PathCost: 516 * time.Microsecond,
+		OpLatency:    opLatencies(2841, 1873, 1202),
+	}
+}
+
+// ThorConfig is the 500 GB Virginia Tech DSSL deployment: one MDS, ten
+// OSSs with five 10 GB OSTs each.
+func ThorConfig() Config {
+	return Config{
+		Name:         "Thor",
+		NumMDS:       1,
+		NumOSS:       10,
+		OSTsPerOSS:   5,
+		OSTSizeGB:    10,
+		Fid2PathCost: 146 * time.Microsecond,
+		OpLatency:    opLatencies(1341, 742, 475),
+	}
+}
+
+// IotaConfig is the 897 TB pre-exascale deployment at Argonne: four MDSs
+// (Lustre DNE), modeled here with 28 OSSs of eight 4 TB OSTs.
+func IotaConfig() Config {
+	return Config{
+		Name:         "Iota",
+		NumMDS:       4,
+		NumOSS:       28,
+		OSTsPerOSS:   8,
+		OSTSizeGB:    4096,
+		Fid2PathCost: 80 * time.Microsecond,
+		OpLatency:    opLatencies(720, 394, 290),
+	}
+}
+
+// opLatencies builds the latency table from create/modify/delete costs in
+// microseconds, mapping the remaining record types onto the nearest class:
+// namespace creations cost like CREAT, removals like UNLNK, and data or
+// attribute updates like MTIME.
+func opLatencies(create, modify, remove int) map[RecType]time.Duration {
+	µ := func(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+	return map[RecType]time.Duration{
+		RecCreat: µ(create),
+		RecMkdir: µ(create),
+		RecMknod: µ(create),
+		RecSlink: µ(create),
+		RecHlink: µ(create),
+		RecMtime: µ(modify),
+		RecTrunc: µ(modify),
+		RecSattr: µ(modify),
+		RecXattr: µ(modify),
+		RecIoctl: µ(modify),
+		RecClose: µ(modify),
+		RecUnlnk: µ(remove),
+		RecRmdir: µ(remove),
+		RecRenme: µ(modify),
+		RecRnmto: µ(modify),
+	}
+}
+
+// Testbeds returns the three presets in the paper's order.
+func Testbeds() []Config {
+	return []Config{AWSConfig(), ThorConfig(), IotaConfig()}
+}
+
+// ScriptWorkers returns the number of parallel Evaluate_Performance_Script
+// clients used per MDS to approximate the testbed's "Total events/sec" in
+// Table V (the paper's totals imply 2.7–4.5× the single-process mixed
+// rate; see EXPERIMENTS.md).
+func ScriptWorkers(name string) int {
+	switch name {
+	case "AWS":
+		return 3
+	default:
+		return 4
+	}
+}

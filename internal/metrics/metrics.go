@@ -1,0 +1,176 @@
+// Package metrics samples process resource usage (CPU time, heap) for the
+// resource-utilization experiments (Tables IV and VII). Component-level
+// CPU attribution comes from each component's accounted busy time
+// (pace.Throttle); this package provides the process-wide ground truth and
+// peak tracking.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// CPUTimes returns the process's cumulative user and system CPU time,
+// read from /proc/self/stat on Linux. On platforms without procfs it
+// returns zeros without error.
+func CPUTimes() (user, system time.Duration, err error) {
+	f, err := os.Open("/proc/self/stat")
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	defer f.Close()
+	line, err := bufio.NewReader(f).ReadString('\n')
+	if err != nil && line == "" {
+		return 0, 0, err
+	}
+	// Field 2 (comm) may contain spaces; skip past the closing paren.
+	idx := strings.LastIndex(line, ")")
+	if idx < 0 {
+		return 0, 0, fmt.Errorf("metrics: malformed /proc/self/stat")
+	}
+	fields := strings.Fields(line[idx+1:])
+	// After comm and state: utime is field 11, stime field 12 (0-based
+	// in this trimmed slice: state=0, ..., utime=11, stime=12).
+	if len(fields) < 13 {
+		return 0, 0, fmt.Errorf("metrics: short /proc/self/stat")
+	}
+	const hz = 100 // USER_HZ; universally 100 on Linux
+	parse := func(s string) time.Duration {
+		v, _ := strconv.ParseUint(s, 10, 64)
+		return time.Duration(v) * time.Second / hz
+	}
+	return parse(fields[11]), parse(fields[12]), nil
+}
+
+// TotalMemoryBytes returns the machine's total memory from /proc/meminfo,
+// or 0 when unavailable.
+func TotalMemoryBytes() uint64 {
+	f, err := os.Open("/proc/meminfo")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "MemTotal:") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				kb, _ := strconv.ParseUint(fields[1], 10, 64)
+				return kb << 10
+			}
+		}
+	}
+	return 0
+}
+
+// HeapBytes returns the current live-heap size.
+func HeapBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// Sample is one resource reading.
+type Sample struct {
+	Time time.Time
+	// CPUPercent is process CPU over the sampling interval (100 = one
+	// full core).
+	CPUPercent float64
+	// HeapBytes is the live heap at sampling time.
+	HeapBytes uint64
+}
+
+// Sampler periodically records process CPU and heap usage.
+type Sampler struct {
+	mu       sync.Mutex
+	samples  []Sample
+	interval time.Duration
+	done     chan struct{}
+	once     sync.Once
+}
+
+// NewSampler starts sampling at the given interval (default 100ms).
+func NewSampler(interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	s := &Sampler{interval: interval, done: make(chan struct{})}
+	go s.run()
+	return s
+}
+
+func (s *Sampler) run() {
+	lastU, lastS, _ := CPUTimes()
+	last := time.Now()
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case now := <-ticker.C:
+			u, sys, err := CPUTimes()
+			if err != nil {
+				continue
+			}
+			wall := now.Sub(last)
+			var cpu float64
+			if wall > 0 {
+				cpu = float64((u-lastU)+(sys-lastS)) / float64(wall) * 100
+			}
+			lastU, lastS, last = u, sys, now
+			s.mu.Lock()
+			s.samples = append(s.samples, Sample{Time: now, CPUPercent: cpu, HeapBytes: HeapBytes()})
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Summary aggregates the collected samples.
+type Summary struct {
+	Samples    int
+	MeanCPU    float64
+	PeakCPU    float64
+	MeanHeapMB float64
+	PeakHeapMB float64
+}
+
+// Summary computes the aggregate over all samples so far.
+func (s *Sampler) Summary() Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum Summary
+	sum.Samples = len(s.samples)
+	if sum.Samples == 0 {
+		return sum
+	}
+	var cpuSum, heapSum float64
+	for _, smp := range s.samples {
+		cpuSum += smp.CPUPercent
+		heapSum += float64(smp.HeapBytes)
+		if smp.CPUPercent > sum.PeakCPU {
+			sum.PeakCPU = smp.CPUPercent
+		}
+		if mb := float64(smp.HeapBytes) / (1 << 20); mb > sum.PeakHeapMB {
+			sum.PeakHeapMB = mb
+		}
+	}
+	sum.MeanCPU = cpuSum / float64(sum.Samples)
+	sum.MeanHeapMB = heapSum / float64(sum.Samples) / (1 << 20)
+	return sum
+}
+
+// Stop ends sampling.
+func (s *Sampler) Stop() {
+	s.once.Do(func() { close(s.done) })
+}

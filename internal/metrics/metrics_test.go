@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCPUTimes(t *testing.T) {
+	u1, s1, err := CPUTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU.
+	x := 0
+	for i := 0; i < 50_000_000; i++ {
+		x += i
+	}
+	_ = x
+	u2, s2, err := CPUTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2+s2 < u1+s1 {
+		t.Error("CPU time went backwards")
+	}
+}
+
+func TestHeapBytes(t *testing.T) {
+	if HeapBytes() == 0 {
+		t.Error("heap reported as zero")
+	}
+}
+
+func TestSamplerCollects(t *testing.T) {
+	s := NewSampler(10 * time.Millisecond)
+	defer s.Stop()
+	// Keep a core busy so CPU% is non-trivial.
+	done := make(chan struct{})
+	go func() {
+		x := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				x++
+			}
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	close(done)
+	sum := s.Summary()
+	if sum.Samples < 5 {
+		t.Fatalf("samples = %d", sum.Samples)
+	}
+	if sum.PeakHeapMB <= 0 {
+		t.Error("no heap recorded")
+	}
+	if sum.PeakCPU <= 0 {
+		t.Error("no CPU recorded under load")
+	}
+	if sum.MeanCPU > sum.PeakCPU {
+		t.Error("mean exceeds peak")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewSampler(time.Hour)
+	defer s.Stop()
+	if sum := s.Summary(); sum.Samples != 0 || sum.MeanCPU != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestTotalMemoryBytes(t *testing.T) {
+	total := TotalMemoryBytes()
+	if total == 0 {
+		t.Skip("no /proc/meminfo")
+	}
+	if total < 1<<28 {
+		t.Errorf("implausible total memory %d", total)
+	}
+}

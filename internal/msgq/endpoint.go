@@ -1,0 +1,104 @@
+package msgq
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// endpoint kinds.
+type endpointKind int
+
+const (
+	epTCP endpointKind = iota
+	epInproc
+)
+
+type endpoint struct {
+	kind endpointKind
+	addr string // host:port for tcp, name for inproc
+}
+
+func parseEndpoint(s string) (endpoint, error) {
+	switch {
+	case strings.HasPrefix(s, "tcp://"):
+		addr := strings.TrimPrefix(s, "tcp://")
+		if addr == "" {
+			return endpoint{}, fmt.Errorf("msgq: empty tcp endpoint %q", s)
+		}
+		return endpoint{kind: epTCP, addr: addr}, nil
+	case strings.HasPrefix(s, "inproc://"):
+		name := strings.TrimPrefix(s, "inproc://")
+		if name == "" {
+			return endpoint{}, fmt.Errorf("msgq: empty inproc endpoint %q", s)
+		}
+		return endpoint{kind: epInproc, addr: name}, nil
+	default:
+		return endpoint{}, fmt.Errorf("msgq: unknown endpoint scheme %q (want tcp:// or inproc://)", s)
+	}
+}
+
+// inprocBindable is anything that can accept an in-process peer.
+type inprocBindable interface {
+	attachInproc(peer *inprocPeer)
+}
+
+// inprocPeer is the in-process analogue of one connected socket: a
+// subscription set and a delivery function.
+type inprocPeer struct {
+	mu       sync.Mutex
+	prefixes map[string]bool
+	deliver  func(Message) bool // returns false when the peer is gone
+}
+
+func (p *inprocPeer) subscribe(prefix string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.prefixes[prefix] = true
+}
+
+func (p *inprocPeer) unsubscribe(prefix string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.prefixes, prefix)
+}
+
+func (p *inprocPeer) matches(topic string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for prefix := range p.prefixes {
+		if strings.HasPrefix(topic, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// inprocRegistry maps names to bound sockets within the process.
+var inprocRegistry = struct {
+	sync.Mutex
+	bound map[string]inprocBindable
+}{bound: make(map[string]inprocBindable)}
+
+func inprocBind(name string, s inprocBindable) error {
+	inprocRegistry.Lock()
+	defer inprocRegistry.Unlock()
+	if _, ok := inprocRegistry.bound[name]; ok {
+		return fmt.Errorf("msgq: inproc endpoint %q already bound", name)
+	}
+	inprocRegistry.bound[name] = s
+	return nil
+}
+
+func inprocUnbind(name string) {
+	inprocRegistry.Lock()
+	defer inprocRegistry.Unlock()
+	delete(inprocRegistry.bound, name)
+}
+
+func inprocLookup(name string) (inprocBindable, bool) {
+	inprocRegistry.Lock()
+	defer inprocRegistry.Unlock()
+	s, ok := inprocRegistry.bound[name]
+	return s, ok
+}

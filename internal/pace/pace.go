@@ -1,0 +1,125 @@
+// Package pace provides service-time pacing for simulated components.
+//
+// The paper's quantitative results are throughput rates determined by
+// per-operation service times: metadata operation latencies set the event
+// generation rates of Table V, and the fid2path cost sets the collector's
+// processing rate (Tables VI–VIII). Reproducing those rates in real time
+// with time.Sleep per operation fails on machines with coarse timer
+// granularity (sub-millisecond sleeps round up to ~1ms), so Throttle paces
+// against an absolute virtual deadline instead: each Spend(d) advances a
+// cursor by exactly d and sleeps only as far as the cursor. Individual
+// waits may be bursty at timer granularity, but the average rate is exact —
+// a component that spends 115µs per item processes 8 695 items/s regardless
+// of sleep resolution, and sleeping consumes no CPU, so many simulated
+// components coexist on few cores.
+package pace
+
+import (
+	"sync"
+	"time"
+)
+
+// Throttle models one sequential server with a given service time per
+// item. It is safe for concurrent use, serializing spenders as a single
+// server would.
+type Throttle struct {
+	mu     sync.Mutex
+	cursor time.Time
+	spent  time.Duration
+	start  time.Time
+}
+
+// NewThrottle returns a throttle whose virtual cursor starts now.
+func NewThrottle() *Throttle {
+	now := time.Now()
+	return &Throttle{cursor: now, start: now}
+}
+
+// maxBurst bounds how far the cursor may lag behind real time: after an
+// idle period a spender may proceed without waiting for at most this much
+// accumulated service time. It also absorbs coarse sleep overshoot — when
+// one sleep overshoots by a millisecond, the following spends run
+// immediately until the cursor catches up, keeping the average rate exact.
+const maxBurst = 10 * time.Millisecond
+
+// Spend accounts d of service time and blocks until the virtual cursor is
+// reached. A zero or negative d is a no-op.
+func (t *Throttle) Spend(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.mu.Lock()
+	now := time.Now()
+	if floor := now.Add(-maxBurst); t.cursor.Before(floor) {
+		// Idle credit is capped at maxBurst.
+		t.cursor = floor
+	}
+	t.cursor = t.cursor.Add(d)
+	t.spent += d
+	deadline := t.cursor
+	t.mu.Unlock()
+	if wait := time.Until(deadline); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Account records d of busy time without waiting (for costs that should
+// appear in utilization accounting but not delay the pipeline).
+func (t *Throttle) Account(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spent += d
+	t.mu.Unlock()
+}
+
+// Busy returns the total service time spent.
+func (t *Throttle) Busy() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spent
+}
+
+// Utilization returns busy time divided by elapsed wall time since the
+// throttle was created (or last reset), as a fraction in [0, ~1].
+func (t *Throttle) Utilization() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := time.Since(t.start)
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(t.spent) / float64(elapsed)
+	return u
+}
+
+// Reset zeroes the accounting and restarts the utilization window.
+func (t *Throttle) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	t.cursor = now
+	t.start = now
+	t.spent = 0
+}
+
+// Limiter paces a loop to a fixed rate using the same absolute-deadline
+// technique: Wait returns when the next slot is due.
+type Limiter struct {
+	t        *Throttle
+	interval time.Duration
+}
+
+// NewLimiter returns a limiter allowing ratePerSec events per second.
+// A non-positive rate yields an unlimited limiter.
+func NewLimiter(ratePerSec float64) *Limiter {
+	l := &Limiter{t: NewThrottle()}
+	if ratePerSec > 0 {
+		l.interval = time.Duration(float64(time.Second) / ratePerSec)
+	}
+	return l
+}
+
+// Wait blocks until the next slot.
+func (l *Limiter) Wait() { l.t.Spend(l.interval) }

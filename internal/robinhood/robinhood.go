@@ -1,0 +1,361 @@
+// Package robinhood implements the comparison baseline of §V-D5: a
+// Robinhood-style policy engine that collects Lustre Changelog events with
+// an iterative, client-side architecture. One server process on a Lustre
+// client polls every MDS "one at a time in a round robin fashion"
+// (§II-B2, Fig. 2), resolves FIDs itself, and saves events into a local
+// database. There is no per-MDS collector and no aggregator on the MGS —
+// the architectural difference FSMonitor's parallel design is evaluated
+// against.
+//
+// Like the real Robinhood, the server can drive policies: rules whose
+// filter matches an event trigger an action.
+package robinhood
+
+import (
+	"errors"
+	"path"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/eventstore"
+	"fsmonitor/internal/iface"
+	"fsmonitor/internal/lru"
+	"fsmonitor/internal/lustre"
+	"fsmonitor/internal/pace"
+)
+
+// Options configures a Robinhood server.
+type Options struct {
+	// Cluster is the monitored file system.
+	Cluster *lustre.Cluster
+	// MountPoint is the event root (default "/mnt/lustre").
+	MountPoint string
+	// CacheSize is the client-side fid2path cache (0 = disabled).
+	CacheSize int
+	// BatchSize bounds records per Changelog poll (default 512).
+	BatchSize int
+	// PollCost is the accounted cost of one Changelog poll RPC to an
+	// MDS (default 200µs) — the per-switch price of round-robin
+	// iteration.
+	PollCost time.Duration
+	// EventOverhead is the accounted per-event processing cost
+	// (default 3µs).
+	EventOverhead time.Duration
+	// IdleWait is the sleep when a full round finds no records
+	// (default 1ms).
+	IdleWait time.Duration
+	// Store is the local database (nil = in-memory).
+	Store *eventstore.Store
+}
+
+func (o Options) withDefaults() Options {
+	if o.MountPoint == "" {
+		o.MountPoint = "/mnt/lustre"
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 512
+	}
+	if o.PollCost <= 0 {
+		o.PollCost = 200 * time.Microsecond
+	}
+	if o.EventOverhead <= 0 {
+		o.EventOverhead = 3 * time.Microsecond
+	}
+	if o.IdleWait <= 0 {
+		o.IdleWait = time.Millisecond
+	}
+	return o
+}
+
+// Rule is one policy: events matching Filter trigger Action.
+type Rule struct {
+	Name   string
+	Filter iface.Filter
+	Action func(events.Event)
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	Processed     uint64
+	Fid2PathCalls uint64
+	RulesFired    uint64
+	Cache         lru.Stats
+	BusyTime      time.Duration
+	Utilization   float64
+}
+
+// Server is a running Robinhood-style collector and policy engine.
+type Server struct {
+	opts     Options
+	cluster  *lustre.Cluster
+	store    *eventstore.Store
+	ownStore bool
+	cache    *lru.Cache[lustre.FID, string]
+	throttle *pace.Throttle
+
+	mu    sync.Mutex
+	rules []Rule
+
+	processed  atomic.Uint64
+	fidCalls   atomic.Uint64
+	rulesFired atomic.Uint64
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New creates and starts the server.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.Cluster == nil {
+		return nil, errors.New("robinhood: Options.Cluster is required")
+	}
+	store := opts.Store
+	own := false
+	if store == nil {
+		var err error
+		store, err = eventstore.New(eventstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		own = true
+	}
+	s := &Server{
+		opts:     opts,
+		cluster:  opts.Cluster,
+		store:    store,
+		ownStore: own,
+		throttle: pace.NewThrottle(),
+		done:     make(chan struct{}),
+	}
+	if opts.CacheSize > 0 {
+		s.cache = lru.New[lustre.FID, string](opts.CacheSize)
+	}
+	s.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// AddRule installs a policy rule.
+func (s *Server) AddRule(r Rule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, r)
+}
+
+// run is the iterative main loop: poll MDS 0, then 1, ..., wrapping
+// around — the round-robin collection the paper contrasts with
+// FSMonitor's concurrent collectors.
+func (s *Server) run() {
+	defer s.wg.Done()
+	n := s.cluster.NumMDS()
+	readers := make([]string, n)
+	since := make([]uint64, n)
+	logs := make([]*lustre.Changelog, n)
+	for i := 0; i < n; i++ {
+		log, err := s.cluster.Changelog(i)
+		if err != nil {
+			return
+		}
+		logs[i] = log
+		readers[i] = log.Register()
+	}
+	defer func() {
+		for i, log := range logs {
+			_ = log.Deregister(readers[i])
+		}
+	}()
+	for {
+		sawAny := false
+		for i := 0; i < n; i++ {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			// One poll RPC per MDS per round, records or not.
+			s.throttle.Spend(s.opts.PollCost)
+			recs := logs[i].Read(since[i], s.opts.BatchSize)
+			if len(recs) == 0 {
+				continue
+			}
+			sawAny = true
+			for _, r := range recs {
+				for _, e := range s.processRecord(r) {
+					seq, err := s.store.Append(e)
+					if err != nil {
+						return
+					}
+					e.Seq = seq
+					s.applyRules(e)
+					s.processed.Add(1)
+				}
+				since[i] = r.Index
+			}
+			_ = logs[i].Clear(readers[i], since[i])
+		}
+		if !sawAny {
+			select {
+			case <-s.done:
+				return
+			case <-time.After(s.opts.IdleWait):
+			}
+		}
+	}
+}
+
+func (s *Server) applyRules(e events.Event) {
+	s.mu.Lock()
+	rules := s.rules
+	s.mu.Unlock()
+	for _, r := range rules {
+		if r.Filter.Match(e) {
+			r.Action(e)
+			s.rulesFired.Add(1)
+		}
+	}
+}
+
+// fid2path resolves with the client-side cache.
+func (s *Server) fid2path(fid lustre.FID) (string, error) {
+	if fid.IsZero() {
+		return "", lustre.ErrStaleFID
+	}
+	if s.cache != nil {
+		s.throttle.Spend(500 * time.Nanosecond)
+		if p, ok := s.cache.Get(fid); ok {
+			return p, nil
+		}
+	}
+	s.throttle.Spend(s.cluster.Fid2PathCost())
+	s.fidCalls.Add(1)
+	p, err := s.cluster.Fid2Path(fid)
+	if err != nil {
+		return "", err
+	}
+	if s.cache != nil {
+		s.cache.Set(fid, p)
+	}
+	return p, nil
+}
+
+// processRecord mirrors the collector's Algorithm 1 processing, executed
+// at the client as Robinhood does.
+func (s *Server) processRecord(r lustre.Record) []events.Event {
+	s.throttle.Spend(s.opts.EventOverhead)
+	base := events.Event{Root: s.opts.MountPoint, Time: r.Time, Source: "robinhood"}
+	resolveVia := func(target, parent lustre.FID, name string) string {
+		if p, err := s.fid2path(target); err == nil {
+			return p
+		}
+		if p, err := s.fid2path(parent); err == nil {
+			full := path.Join(p, name)
+			if s.cache != nil && !target.IsZero() {
+				// Cache the reconstruction so later records for the
+				// same FID resolve without tool invocations.
+				s.cache.Set(target, full)
+			}
+			return full
+		}
+		return "/ParentDirectoryRemoved/" + name
+	}
+	switch r.Type {
+	case lustre.RecMark:
+		return nil
+	case lustre.RecUnlnk, lustre.RecRmdir:
+		op := events.OpDelete
+		if r.Type == lustre.RecRmdir {
+			op |= events.OpIsDir
+		}
+		base.Op = op
+		base.Path = resolveVia(r.TFid, r.PFid, r.Name)
+		return []events.Event{base}
+	case lustre.RecRenme:
+		old := resolveVia(r.SPFid, lustre.FID{}, "")
+		oldPath := path.Join(old, r.Name)
+		// The renamed FID's cached mapping predates the rename.
+		if s.cache != nil {
+			s.cache.Delete(r.SFid)
+		}
+		newPath := resolveVia(r.SFid, r.PFid, r.SName)
+		from := base
+		from.Op = events.OpMovedFrom
+		from.Path = oldPath
+		to := base
+		to.Op = events.OpMovedTo
+		to.Path = newPath
+		to.OldPath = oldPath
+		return []events.Event{from, to}
+	default:
+		op := recTypeToOp(r.Type)
+		if op == 0 {
+			return nil
+		}
+		base.Op = op
+		base.Path = resolveVia(r.TFid, r.PFid, r.Name)
+		return []events.Event{base}
+	}
+}
+
+// recTypeToOp mirrors the scalable collector's mapping.
+func recTypeToOp(t lustre.RecType) events.Op {
+	switch t {
+	case lustre.RecCreat, lustre.RecMknod, lustre.RecHlink, lustre.RecSlink:
+		return events.OpCreate
+	case lustre.RecMkdir:
+		return events.OpCreate | events.OpIsDir
+	case lustre.RecMtime:
+		return events.OpModify
+	case lustre.RecCtime, lustre.RecSattr, lustre.RecIoctl:
+		return events.OpAttrib
+	case lustre.RecXattr:
+		return events.OpXattr
+	case lustre.RecTrunc:
+		return events.OpTruncate
+	case lustre.RecClose:
+		return events.OpCloseWrite
+	case lustre.RecOpen:
+		return events.OpOpen
+	case lustre.RecAtime:
+		return events.OpAccess
+	default:
+		return 0
+	}
+}
+
+// Since queries the local database.
+func (s *Server) Since(seq uint64, max int) ([]events.Event, error) {
+	return s.store.Since(seq, max)
+}
+
+// Stats returns a snapshot.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Processed:     s.processed.Load(),
+		Fid2PathCalls: s.fidCalls.Load(),
+		RulesFired:    s.rulesFired.Load(),
+		BusyTime:      s.throttle.Busy(),
+		Utilization:   s.throttle.Utilization(),
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
+}
+
+// ResetAccounting restarts the utilization window.
+func (s *Server) ResetAccounting() { s.throttle.Reset() }
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+		if s.ownStore {
+			s.store.Close()
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package scalable
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/eventstore"
+	"fsmonitor/internal/msgq"
+	"fsmonitor/internal/pace"
+)
+
+// Aggregator topics.
+const (
+	// AggTopic is the topic the aggregator publishes merged batches on.
+	AggTopic = "agg.events"
+)
+
+// AggregatorOptions configures the aggregator service (which the paper
+// deploys on the MGS).
+type AggregatorOptions struct {
+	// CollectorEndpoints are the publisher endpoints of every collector.
+	CollectorEndpoints []string
+	// Endpoint is where the aggregator's own publisher binds (default
+	// "inproc://aggregator").
+	Endpoint string
+	// Store receives every event for fault tolerance; if nil an
+	// unbounded in-memory store is created (the paper uses MySQL here).
+	Store *eventstore.Store
+	// EventOverhead is the accounted aggregation cost per event
+	// (default 500ns).
+	EventOverhead time.Duration
+	// DisableStore skips the reliable event store entirely (sequence
+	// numbers still flow, from a counter). Consumers cannot fault-
+	// recover; exists to quantify the fault-tolerance cost (DESIGN.md
+	// ablations).
+	DisableStore bool
+	// QueueSize is the processing queue capacity (default 65536).
+	QueueSize int
+}
+
+func (o AggregatorOptions) withDefaults() AggregatorOptions {
+	if o.Endpoint == "" {
+		o.Endpoint = "inproc://aggregator"
+	}
+	if o.EventOverhead <= 0 {
+		o.EventOverhead = 500 * time.Nanosecond
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 65536
+	}
+	return o
+}
+
+// AggregatorStats is a snapshot of the aggregator's counters.
+type AggregatorStats struct {
+	Received    uint64
+	Published   uint64
+	Stored      uint64
+	BusyTime    time.Duration
+	Utilization float64
+	Store       eventstore.Stats
+}
+
+// Aggregator merges every collector's stream, persists it, and republishes
+// it to consumers. Per §IV-2 it is multi-threaded: one goroutine stores
+// events into the reliable store (assigning the global sequence numbers
+// consumers use for recovery) and a second publishes to subscribers.
+type Aggregator struct {
+	opts     AggregatorOptions
+	sub      *msgq.Sub
+	pub      *msgq.Pub
+	store    *eventstore.Store
+	ownStore bool
+	throttle *pace.Throttle
+
+	queue    chan []events.Event // intake -> store thread
+	outQueue chan []events.Event // store thread -> publish thread
+
+	received  atomic.Uint64
+	published atomic.Uint64
+	stored    atomic.Uint64
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewAggregator creates and starts the aggregator.
+func NewAggregator(opts AggregatorOptions) (*Aggregator, error) {
+	opts = opts.withDefaults()
+	if len(opts.CollectorEndpoints) == 0 {
+		return nil, errors.New("scalable: AggregatorOptions.CollectorEndpoints is required")
+	}
+	store := opts.Store
+	ownStore := false
+	if store == nil && !opts.DisableStore {
+		var err error
+		store, err = eventstore.New(eventstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ownStore = true
+	}
+	pub := msgq.NewPub(msgq.WithBlockOnFull())
+	if err := pub.Bind(opts.Endpoint); err != nil {
+		if ownStore {
+			store.Close()
+		}
+		return nil, err
+	}
+	sub := msgq.NewSub(msgq.WithRecvBuffer(opts.QueueSize))
+	sub.Subscribe(TopicPrefix)
+	for _, ep := range opts.CollectorEndpoints {
+		if err := sub.Connect(ep); err != nil {
+			pub.Close()
+			sub.Close()
+			if ownStore {
+				store.Close()
+			}
+			return nil, err
+		}
+	}
+	a := &Aggregator{
+		opts:     opts,
+		sub:      sub,
+		pub:      pub,
+		store:    store,
+		ownStore: ownStore,
+		throttle: pace.NewThrottle(),
+		queue:    make(chan []events.Event, 1024),
+		outQueue: make(chan []events.Event, 1024),
+		done:     make(chan struct{}),
+	}
+	// At least one collector link must be live before the aggregator
+	// reports ready; collectors that bind later attach automatically (and
+	// hold their Changelogs until then).
+	if err := sub.WaitAnyReady(5 * time.Second); err != nil {
+		pub.Close()
+		sub.Close()
+		if ownStore {
+			store.Close()
+		}
+		return nil, err
+	}
+	a.wg.Add(3)
+	go a.intake()
+	go a.storeThread()
+	go a.publishThread()
+	return a, nil
+}
+
+// Endpoint returns the aggregator's publisher endpoint.
+func (a *Aggregator) Endpoint() string { return a.pub.Addr() }
+
+// intake decodes collector batches into the processing queue ("When an
+// event arrives to the aggregator it is placed in a processing queue").
+func (a *Aggregator) intake() {
+	defer a.wg.Done()
+	defer close(a.queue)
+	for {
+		select {
+		case <-a.done:
+			return
+		case m, ok := <-a.sub.C():
+			if !ok {
+				return
+			}
+			batch, err := events.UnmarshalBatch(m.Payload)
+			if err != nil {
+				continue
+			}
+			a.received.Add(uint64(len(batch)))
+			select {
+			case a.queue <- batch:
+			case <-a.done:
+				return
+			}
+		}
+	}
+}
+
+// storeThread persists events (assigning sequence numbers) and forwards
+// the stamped batches for publication. With the store disabled it only
+// stamps sequence numbers.
+func (a *Aggregator) storeThread() {
+	defer a.wg.Done()
+	defer close(a.outQueue)
+	var counter uint64
+	for batch := range a.queue {
+		stamped := make([]events.Event, 0, len(batch))
+		for _, e := range batch {
+			a.throttle.Spend(a.opts.EventOverhead)
+			if a.store != nil {
+				seq, err := a.store.Append(e)
+				if err != nil {
+					return
+				}
+				e.Seq = seq
+			} else {
+				counter++
+				e.Seq = counter
+			}
+			stamped = append(stamped, e)
+		}
+		a.stored.Add(uint64(len(stamped)))
+		select {
+		case a.outQueue <- stamped:
+		case <-a.done:
+			return
+		}
+	}
+}
+
+// publishThread publishes stamped batches to subscribed consumers.
+func (a *Aggregator) publishThread() {
+	defer a.wg.Done()
+	for batch := range a.outQueue {
+		payload, err := events.MarshalBatch(batch)
+		if err != nil {
+			continue
+		}
+		a.pub.Publish(AggTopic, payload)
+		a.published.Add(uint64(len(batch)))
+	}
+}
+
+// Since serves the consumer fault-recovery API: events with sequence
+// numbers greater than seq, from the reliable store.
+func (a *Aggregator) Since(seq uint64, max int) ([]events.Event, error) {
+	if a.store == nil {
+		return nil, errors.New("scalable: aggregator store disabled")
+	}
+	return a.store.Since(seq, max)
+}
+
+// Ack flags events up to seq as reported; Purge removes flagged events.
+func (a *Aggregator) Ack(seq uint64) error {
+	if a.store == nil {
+		return nil
+	}
+	return a.store.MarkReported(seq)
+}
+
+// Purge removes reported events from the store ("they are flagged as
+// having been reported and can be removed from the data store when next
+// data purge cycle is initiated").
+func (a *Aggregator) Purge() (int, error) {
+	if a.store == nil {
+		return 0, nil
+	}
+	return a.store.Purge()
+}
+
+// Stats returns a snapshot of the aggregator's counters.
+func (a *Aggregator) Stats() AggregatorStats {
+	st := AggregatorStats{
+		Received:    a.received.Load(),
+		Published:   a.published.Load(),
+		Stored:      a.stored.Load(),
+		BusyTime:    a.throttle.Busy(),
+		Utilization: a.throttle.Utilization(),
+	}
+	if a.store != nil {
+		st.Store = a.store.Stats()
+	}
+	return st
+}
+
+// ResetAccounting restarts the utilization window.
+func (a *Aggregator) ResetAccounting() { a.throttle.Reset() }
+
+// Close stops the aggregator.
+func (a *Aggregator) Close() {
+	a.closeOnce.Do(func() {
+		a.sub.Close()
+		close(a.done)
+		a.wg.Wait()
+		a.pub.Close()
+		if a.ownStore {
+			a.store.Close()
+		}
+	})
+}
+
+// encodeSeq/decodeSeq frame a sequence number for the recovery protocol.
+func encodeSeq(seq uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seq)
+	return b[:]
+}
+
+func decodeSeq(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

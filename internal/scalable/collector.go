@@ -1,0 +1,448 @@
+// Package scalable implements the paper's scalable monitor for distributed
+// file systems (§IV, Fig. 4): one Collector per MDS extracts events from
+// that MDS's Changelog, processes them with Algorithm 1 (fid2path
+// resolution through an LRU cache), and publishes them over the message
+// queue; an Aggregator on the MGS subscribes to every collector, stores
+// events for fault tolerance, and publishes the merged stream; Consumers
+// subscribe to the aggregator, filter client-side, and recover missed
+// events from the reliable store.
+package scalable
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/lru"
+	"fsmonitor/internal/lustre"
+	"fsmonitor/internal/msgq"
+	"fsmonitor/internal/pace"
+)
+
+// TopicPrefix is the message-queue topic prefix for collector event
+// batches; the per-MDT topic is TopicPrefix + "mdt<N>".
+const TopicPrefix = "events."
+
+// ParentDirectoryRemoved is the path reported when both the target and its
+// parent FID fail to resolve (Algorithm 1 line 41).
+const ParentDirectoryRemoved = "ParentDirectoryRemoved"
+
+// CollectorOptions configures one collector service.
+type CollectorOptions struct {
+	// Cluster is the file system whose Changelog is read.
+	Cluster *lustre.Cluster
+	// MDT is the index of the MDS/MDT this collector serves.
+	MDT int
+	// MountPoint is the client mount path used as the event root
+	// (e.g. "/mnt/lustre").
+	MountPoint string
+	// CacheSize is the fid2path LRU capacity; 0 disables caching
+	// (the paper's "without cache" configuration).
+	CacheSize int
+	// BatchSize bounds records per Changelog read (default 512).
+	BatchSize int
+	// PollInterval is the idle wait between empty Changelog reads
+	// (default 1ms).
+	PollInterval time.Duration
+	// Endpoint is the msgq endpoint the collector's publisher binds
+	// (default "inproc://collector-mdt<N>").
+	Endpoint string
+	// EventOverhead is the accounted processing cost per event beyond
+	// resolution (parsing, queueing; default 3µs).
+	EventOverhead time.Duration
+	// CacheLookupCost models one cache access including the maintenance
+	// pressure of larger tables; 0 derives it from CacheSize (see
+	// lookupCost).
+	CacheLookupCost time.Duration
+}
+
+func (o CollectorOptions) withDefaults() CollectorOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 512
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = time.Millisecond
+	}
+	if o.Endpoint == "" {
+		o.Endpoint = fmt.Sprintf("inproc://collector-mdt%d", o.MDT)
+	}
+	if o.EventOverhead <= 0 {
+		o.EventOverhead = 3 * time.Microsecond
+	}
+	if o.MountPoint == "" {
+		o.MountPoint = "/mnt/lustre"
+	}
+	if o.CacheLookupCost <= 0 {
+		o.CacheLookupCost = lookupCost(o.CacheSize)
+	}
+	return o
+}
+
+// lookupCost models the per-access cost of the fid→path cache: a base hash
+// probe plus slight growth with table size (memory pressure). This is what
+// makes oversized caches (7 500 in Table VIII) marginally worse than the
+// 5 000-entry sweet spot.
+func lookupCost(size int) time.Duration {
+	// 400ns base probe + 40ps per cached entry of table pressure.
+	return 400*time.Nanosecond + time.Duration(size*40/1000)*time.Nanosecond
+}
+
+// CollectorStats is a snapshot of one collector's counters.
+type CollectorStats struct {
+	MDT             int
+	RecordsRead     uint64
+	EventsPublished uint64
+	Fid2PathCalls   uint64
+	Fid2PathErrors  uint64
+	Cache           lru.Stats
+	BusyTime        time.Duration
+	Utilization     float64
+	ChangelogLag    int // records retained behind the collector
+}
+
+// Collector extracts, processes, and publishes one MDS's events.
+type Collector struct {
+	opts     CollectorOptions
+	cluster  *lustre.Cluster
+	log      *lustre.Changelog
+	cache    *lru.Cache[lustre.FID, string]
+	pub      *msgq.Pub
+	throttle *pace.Throttle
+	topic    string
+
+	recordsRead atomic.Uint64
+	published   atomic.Uint64
+	fidCalls    atomic.Uint64
+	fidErrors   atomic.Uint64
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewCollector creates and starts a collector.
+func NewCollector(opts CollectorOptions) (*Collector, error) {
+	opts = opts.withDefaults()
+	if opts.Cluster == nil {
+		return nil, errors.New("scalable: CollectorOptions.Cluster is required")
+	}
+	log, err := opts.Cluster.Changelog(opts.MDT)
+	if err != nil {
+		return nil, err
+	}
+	pub := msgq.NewPub(msgq.WithBlockOnFull()) // §V-D2: no event loss — queue, don't drop
+	if err := pub.Bind(opts.Endpoint); err != nil {
+		return nil, err
+	}
+	c := &Collector{
+		opts:     opts,
+		cluster:  opts.Cluster,
+		log:      log,
+		pub:      pub,
+		throttle: pace.NewThrottle(),
+		topic:    fmt.Sprintf("%smdt%d", TopicPrefix, opts.MDT),
+		done:     make(chan struct{}),
+	}
+	if opts.CacheSize > 0 {
+		c.cache = lru.New[lustre.FID, string](opts.CacheSize)
+	}
+	c.wg.Add(1)
+	go c.run()
+	return c, nil
+}
+
+// Endpoint returns the publisher endpoint consumers should connect to.
+func (c *Collector) Endpoint() string { return c.pub.Addr() }
+
+// Topic returns the topic this collector publishes under.
+func (c *Collector) Topic() string { return c.topic }
+
+// run is the collector main loop: read a Changelog batch, process every
+// record, publish the batch, purge the Changelog, repeat (§IV-2).
+func (c *Collector) run() {
+	defer c.wg.Done()
+	// Do not consume (and purge) Changelog records while nobody is
+	// subscribed: PUB/SUB gives no delivery guarantee without a
+	// subscriber, and purging unconsumed records would lose events if
+	// the aggregator attaches late or restarts mid-run. The check guards
+	// every batch, so an aggregator crash pauses collection (the
+	// Changelog buffers) rather than losing events.
+	waitSubscribed := func() bool {
+		for c.pub.Subscribers() == 0 {
+			select {
+			case <-c.done:
+				return false
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		return true
+	}
+	if !waitSubscribed() {
+		return
+	}
+	reader := c.log.Register()
+	defer c.log.Deregister(reader)
+	var since uint64
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		if !waitSubscribed() {
+			return
+		}
+		recs := c.log.Read(since, c.opts.BatchSize)
+		if len(recs) == 0 {
+			select {
+			case <-c.done:
+				return
+			case <-time.After(c.opts.PollInterval):
+			}
+			continue
+		}
+		batch := make([]events.Event, 0, len(recs))
+		for _, r := range recs {
+			c.recordsRead.Add(1)
+			batch = append(batch, c.processEvent(r)...)
+			since = r.Index
+		}
+		if len(batch) > 0 {
+			payload, err := events.MarshalBatch(batch)
+			if err == nil {
+				c.pub.Publish(c.topic, payload)
+				c.published.Add(uint64(len(batch)))
+			}
+		}
+		// "After processing a batch of file system events from the
+		// Changelog, a collector will purge the Changelogs."
+		_ = c.log.Clear(reader, since)
+	}
+}
+
+// fid2path resolves through the cache per Algorithm 1 (cache.get; on miss
+// invoke the tool and cache the mapping), accounting the costs on the
+// collector's throttle.
+func (c *Collector) fid2path(fid lustre.FID) (string, error) {
+	if fid.IsZero() {
+		// The record carries no FID in this slot (e.g. MTIME records
+		// have no parent FID); there is nothing to invoke the tool on.
+		return "", lustre.ErrStaleFID
+	}
+	if c.cache != nil {
+		c.throttle.Spend(c.opts.CacheLookupCost)
+		if p, ok := c.cache.Get(fid); ok {
+			return p, nil
+		}
+	}
+	c.throttle.Spend(c.cluster.Fid2PathCost())
+	c.fidCalls.Add(1)
+	p, err := c.cluster.Fid2Path(fid)
+	if err != nil {
+		c.fidErrors.Add(1)
+		return "", err
+	}
+	if c.cache != nil {
+		c.cache.Set(fid, p)
+	}
+	return p, nil
+}
+
+// cacheOnly consults the cache without falling back to fid2path — used for
+// deleted FIDs whose resolution is known to fail but whose mapping may
+// still be cached from the create.
+func (c *Collector) cacheOnly(fid lustre.FID) (string, bool) {
+	if c.cache == nil {
+		return "", false
+	}
+	c.throttle.Spend(c.opts.CacheLookupCost)
+	return c.cache.Get(fid)
+}
+
+// processEvent implements Algorithm 1: resolve the record's FIDs into
+// absolute paths, handling deleted targets (UNLNK/RMDIR resolve the
+// parent; if the parent is gone too the event reports
+// ParentDirectoryRemoved) and renames (resolve old and new paths).
+func (c *Collector) processEvent(r lustre.Record) []events.Event {
+	c.throttle.Spend(c.opts.EventOverhead)
+	root := c.opts.MountPoint
+	base := events.Event{Root: root, Time: r.Time, Source: "lustre"}
+
+	switch r.Type {
+	case lustre.RecMark:
+		return nil
+
+	case lustre.RecUnlnk, lustre.RecRmdir:
+		op := events.OpDelete
+		if r.Type == lustre.RecRmdir {
+			op |= events.OpIsDir
+		}
+		base.Op = op
+		// Try the cache for the deleted target first: its mapping may
+		// survive from the CREAT. A cache miss means fid2path, which
+		// fails for deleted FIDs (the call is still paid).
+		if p, ok := c.cacheOnly(r.TFid); ok {
+			c.cache.Delete(r.TFid) // the FID is dead; keep the cache clean
+			base.Path = p
+			return []events.Event{base}
+		}
+		if p, err := c.fid2path(r.TFid); err == nil {
+			// Target still resolvable: a hard link to it remains, and
+			// fid2path reports the surviving name. Report the removed
+			// name via the parent instead.
+			if parent, perr := c.fid2path(r.PFid); perr == nil {
+				p = path.Join(parent, r.Name)
+			}
+			base.Path = p
+			return []events.Event{base}
+		}
+		// Resolve the parent and append the name.
+		parent, err := c.fid2path(r.PFid)
+		if err != nil {
+			// Parent deleted as well (Algorithm 1 line 41).
+			base.Path = "/" + ParentDirectoryRemoved + "/" + r.Name
+			return []events.Event{base}
+		}
+		base.Path = path.Join(parent, r.Name)
+		return []events.Event{base}
+
+	case lustre.RecRenme:
+		// Old path: source parent (sp=[]) + old name; new path: the
+		// renamed file's FID (s=[]), which resolves to its new
+		// location. Any cached mapping for the renamed FID predates the
+		// rename and must be invalidated before resolving, or the event
+		// would report the stale source path as the destination.
+		var oldPath, newPath string
+		if parent, err := c.fid2path(r.SPFid); err == nil {
+			oldPath = path.Join(parent, r.Name)
+		} else {
+			oldPath = "/" + ParentDirectoryRemoved + "/" + r.Name
+		}
+		if c.cache != nil {
+			c.cache.Delete(r.SFid)
+		}
+		if p, err := c.fid2path(r.SFid); err == nil {
+			newPath = p
+		} else if parent, err := c.fid2path(r.PFid); err == nil {
+			newPath = path.Join(parent, r.SName)
+			if c.cache != nil && !r.SFid.IsZero() {
+				c.cache.Set(r.SFid, newPath)
+			}
+		} else {
+			newPath = "/" + ParentDirectoryRemoved + "/" + r.SName
+		}
+		from := base
+		from.Op = events.OpMovedFrom
+		from.Path = oldPath
+		from.Cookie = uint32(r.Index)
+		to := base
+		to.Op = events.OpMovedTo
+		to.Path = newPath
+		to.OldPath = oldPath
+		to.Cookie = uint32(r.Index)
+		return []events.Event{from, to}
+
+	case lustre.RecRnmto:
+		p, err := c.fid2path(r.TFid)
+		if err != nil {
+			if parent, perr := c.fid2path(r.PFid); perr == nil {
+				p = path.Join(parent, r.Name)
+			} else {
+				p = "/" + ParentDirectoryRemoved + "/" + r.Name
+			}
+		}
+		base.Op = events.OpMovedTo
+		base.Path = p
+		return []events.Event{base}
+
+	default:
+		// Creations and in-place updates: resolve the target FID.
+		base.Op = recTypeToOp(r.Type)
+		if base.Op == 0 {
+			return nil
+		}
+		p, err := c.fid2path(r.TFid)
+		if err != nil {
+			// The subject vanished between the operation and our
+			// processing; reconstruct from the parent if possible and
+			// cache the reconstruction so later records for the same
+			// (dead) FID — its MTIME, its UNLNK — resolve without
+			// further tool invocations.
+			if parent, perr := c.fid2path(r.PFid); perr == nil {
+				p = path.Join(parent, r.Name)
+				if c.cache != nil && !r.TFid.IsZero() {
+					c.cache.Set(r.TFid, p)
+				}
+			} else {
+				p = "/" + ParentDirectoryRemoved + "/" + r.Name
+			}
+		}
+		base.Path = p
+		return []events.Event{base}
+	}
+}
+
+// recTypeToOp maps Changelog record types onto the standard vocabulary.
+func recTypeToOp(t lustre.RecType) events.Op {
+	switch t {
+	case lustre.RecCreat, lustre.RecMknod:
+		return events.OpCreate
+	case lustre.RecMkdir:
+		return events.OpCreate | events.OpIsDir
+	case lustre.RecHlink, lustre.RecSlink:
+		return events.OpCreate
+	case lustre.RecMtime:
+		return events.OpModify
+	case lustre.RecCtime, lustre.RecSattr:
+		return events.OpAttrib
+	case lustre.RecXattr:
+		return events.OpXattr
+	case lustre.RecTrunc:
+		return events.OpTruncate
+	case lustre.RecClose:
+		return events.OpCloseWrite
+	case lustre.RecIoctl:
+		return events.OpAttrib
+	case lustre.RecOpen:
+		return events.OpOpen
+	case lustre.RecAtime:
+		return events.OpAccess
+	default:
+		return 0
+	}
+}
+
+// Stats returns a snapshot of the collector's counters.
+func (c *Collector) Stats() CollectorStats {
+	st := CollectorStats{
+		MDT:             c.opts.MDT,
+		RecordsRead:     c.recordsRead.Load(),
+		EventsPublished: c.published.Load(),
+		Fid2PathCalls:   c.fidCalls.Load(),
+		Fid2PathErrors:  c.fidErrors.Load(),
+		BusyTime:        c.throttle.Busy(),
+		Utilization:     c.throttle.Utilization(),
+		ChangelogLag:    c.log.Len(),
+	}
+	if c.cache != nil {
+		st.Cache = c.cache.Stats()
+	}
+	return st
+}
+
+// ResetAccounting restarts the utilization window (benchmarks call this at
+// the start of a measurement interval).
+func (c *Collector) ResetAccounting() { c.throttle.Reset() }
+
+// Close stops the collector and its publisher.
+func (c *Collector) Close() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.wg.Wait()
+		c.pub.Close()
+	})
+}

@@ -1,0 +1,203 @@
+package scalable
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/iface"
+	"fsmonitor/internal/msgq"
+	"fsmonitor/internal/pace"
+)
+
+// ConsumerOptions configures a consumer service.
+type ConsumerOptions struct {
+	// AggregatorEndpoint is the aggregator's publisher endpoint.
+	AggregatorEndpoint string
+	// Filter selects the events this consumer's application wants.
+	// Filtering happens here, at the consumer, "in order to alleviate
+	// potential overheads if a large number of consumers were to ask to
+	// monitor different files and directories" (§IV-2 Consumption).
+	Filter iface.Filter
+	// Recover is the fault-recovery source (usually the Aggregator);
+	// nil disables recovery.
+	Recover RecoverySource
+	// SinceSeq resumes delivery after this sequence number, replaying
+	// history from Recover first (consumer restart).
+	SinceSeq uint64
+	// Buffer is the delivery channel capacity in batches (default 1024).
+	Buffer int
+	// EventOverhead is the accounted per-event filtering cost
+	// (default 200ns).
+	EventOverhead time.Duration
+}
+
+// RecoverySource serves historic events after a sequence number.
+type RecoverySource interface {
+	Since(seq uint64, max int) ([]events.Event, error)
+}
+
+// ConsumerStats is a snapshot of a consumer's counters.
+type ConsumerStats struct {
+	Received    uint64 // events seen on the wire
+	Delivered   uint64 // events passing the filter
+	Recovered   uint64 // events replayed from the store
+	LastSeq     uint64
+	BusyTime    time.Duration
+	Utilization float64
+}
+
+// Consumer subscribes to the aggregator, filters client-side, and delivers
+// event batches to the application.
+type Consumer struct {
+	opts     ConsumerOptions
+	sub      *msgq.Sub
+	out      chan []events.Event
+	throttle *pace.Throttle
+
+	received  atomic.Uint64
+	delivered atomic.Uint64
+	recovered atomic.Uint64
+	lastSeq   atomic.Uint64
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewConsumer creates and starts a consumer. If opts.SinceSeq > 0 and a
+// recovery source is configured, missed events are replayed before live
+// delivery begins.
+func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
+	if opts.AggregatorEndpoint == "" {
+		return nil, errors.New("scalable: ConsumerOptions.AggregatorEndpoint is required")
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = 1024
+	}
+	if opts.EventOverhead <= 0 {
+		opts.EventOverhead = 200 * time.Nanosecond
+	}
+	c := &Consumer{
+		opts:     opts,
+		out:      make(chan []events.Event, opts.Buffer),
+		throttle: pace.NewThrottle(),
+		done:     make(chan struct{}),
+	}
+	c.lastSeq.Store(opts.SinceSeq)
+	// Recovery happens before subscribing so replayed events precede
+	// live ones; any overlap is deduplicated by sequence number in run.
+	if opts.SinceSeq > 0 && opts.Recover != nil {
+		history, err := opts.Recover.Since(opts.SinceSeq, 0)
+		if err != nil {
+			return nil, err
+		}
+		var replay []events.Event
+		for _, e := range history {
+			if c.filterEvent(e) {
+				replay = append(replay, e)
+			}
+			if e.Seq > c.lastSeq.Load() {
+				c.lastSeq.Store(e.Seq)
+			}
+		}
+		if len(replay) > 0 {
+			c.out <- replay
+			c.recovered.Add(uint64(len(replay)))
+			c.delivered.Add(uint64(len(replay)))
+		}
+	}
+	c.sub = msgq.NewSub(msgq.WithRecvBuffer(opts.Buffer))
+	c.sub.Subscribe(AggTopic)
+	if err := c.sub.Connect(opts.AggregatorEndpoint); err != nil {
+		c.sub.Close()
+		return nil, err
+	}
+	if err := c.sub.WaitReady(5 * time.Second); err != nil {
+		c.sub.Close()
+		return nil, err
+	}
+	c.wg.Add(1)
+	go c.run()
+	return c, nil
+}
+
+func (c *Consumer) filterEvent(e events.Event) bool {
+	c.throttle.Spend(c.opts.EventOverhead)
+	return c.opts.Filter.Match(e)
+}
+
+func (c *Consumer) run() {
+	defer c.wg.Done()
+	defer close(c.out)
+	for {
+		select {
+		case <-c.done:
+			return
+		case m, ok := <-c.sub.C():
+			if !ok {
+				return
+			}
+			batch, err := events.UnmarshalBatch(m.Payload)
+			if err != nil {
+				continue
+			}
+			var pass []events.Event
+			for _, e := range batch {
+				c.received.Add(1)
+				// Deduplicate the recovery/live overlap window.
+				if e.Seq != 0 && e.Seq <= c.lastSeq.Load() {
+					continue
+				}
+				if e.Seq > c.lastSeq.Load() {
+					c.lastSeq.Store(e.Seq)
+				}
+				if c.filterEvent(e) {
+					pass = append(pass, e)
+				}
+			}
+			if len(pass) == 0 {
+				continue
+			}
+			c.delivered.Add(uint64(len(pass)))
+			select {
+			case c.out <- pass:
+			case <-c.done:
+				return
+			}
+		}
+	}
+}
+
+// C returns the application-facing batch channel.
+func (c *Consumer) C() <-chan []events.Event { return c.out }
+
+// LastSeq returns the highest sequence number observed — the resume point
+// a restarted consumer passes as SinceSeq.
+func (c *Consumer) LastSeq() uint64 { return c.lastSeq.Load() }
+
+// Stats returns a snapshot of the consumer's counters.
+func (c *Consumer) Stats() ConsumerStats {
+	return ConsumerStats{
+		Received:    c.received.Load(),
+		Delivered:   c.delivered.Load(),
+		Recovered:   c.recovered.Load(),
+		LastSeq:     c.lastSeq.Load(),
+		BusyTime:    c.throttle.Busy(),
+		Utilization: c.throttle.Utilization(),
+	}
+}
+
+// ResetAccounting restarts the utilization window.
+func (c *Consumer) ResetAccounting() { c.throttle.Reset() }
+
+// Close stops the consumer.
+func (c *Consumer) Close() {
+	c.closeOnce.Do(func() {
+		c.sub.Close()
+		close(c.done)
+		c.wg.Wait()
+	})
+}

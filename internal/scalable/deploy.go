@@ -1,0 +1,138 @@
+package scalable
+
+import (
+	"fmt"
+	"time"
+
+	"fsmonitor/internal/eventstore"
+	"fsmonitor/internal/iface"
+	"fsmonitor/internal/lustre"
+)
+
+// DeployOptions configures a full scalable-monitor deployment over one
+// cluster: a collector per MDS, the aggregator, and optionally the TCP
+// recovery service.
+type DeployOptions struct {
+	// MountPoint is the client mount path events are reported under.
+	MountPoint string
+	// CacheSize is each collector's fid2path cache capacity (0 = no
+	// cache).
+	CacheSize int
+	// Transport selects endpoints: "inproc" (default) or "tcp"
+	// (127.0.0.1 with kernel-assigned ports).
+	Transport string
+	// Store is the aggregator's reliable store (nil = in-memory).
+	Store *eventstore.Store
+	// BatchSize overrides the collectors' Changelog read batch.
+	BatchSize int
+	// PollInterval overrides the collectors' idle poll.
+	PollInterval time.Duration
+}
+
+// Monitor is a running scalable-monitor deployment.
+type Monitor struct {
+	Collectors []*Collector
+	Aggregator *Aggregator
+	cluster    *lustre.Cluster
+	opts       DeployOptions
+}
+
+// Deploy starts a collector on every MDS of the cluster and an aggregator
+// subscribed to all of them — the Fig. 4 topology ("an aggregator service
+// on MGS that polls all MDSs concurrently and pushes all events in a
+// single queue to the clients").
+func Deploy(cluster *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
+	if opts.MountPoint == "" {
+		opts.MountPoint = "/mnt/lustre"
+	}
+	m := &Monitor{cluster: cluster, opts: opts}
+	endpoints := make([]string, 0, cluster.NumMDS())
+	for i := 0; i < cluster.NumMDS(); i++ {
+		ep := ""
+		switch opts.Transport {
+		case "tcp":
+			ep = "tcp://127.0.0.1:0"
+		default:
+			ep = fmt.Sprintf("inproc://collector-%p-mdt%d", cluster, i)
+		}
+		col, err := NewCollector(CollectorOptions{
+			Cluster:      cluster,
+			MDT:          i,
+			MountPoint:   opts.MountPoint,
+			CacheSize:    opts.CacheSize,
+			Endpoint:     ep,
+			BatchSize:    opts.BatchSize,
+			PollInterval: opts.PollInterval,
+		})
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.Collectors = append(m.Collectors, col)
+		endpoints = append(endpoints, col.Endpoint())
+	}
+	aggEp := fmt.Sprintf("inproc://aggregator-%p", cluster)
+	if opts.Transport == "tcp" {
+		aggEp = "tcp://127.0.0.1:0"
+	}
+	agg, err := NewAggregator(AggregatorOptions{
+		CollectorEndpoints: endpoints,
+		Endpoint:           aggEp,
+		Store:              opts.Store,
+	})
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	m.Aggregator = agg
+	return m, nil
+}
+
+// NewConsumer attaches a consumer to this deployment's aggregator with
+// in-process fault recovery.
+func (m *Monitor) NewConsumer(filter iface.Filter, sinceSeq uint64) (*Consumer, error) {
+	return NewConsumer(ConsumerOptions{
+		AggregatorEndpoint: m.Aggregator.Endpoint(),
+		Filter:             filter,
+		Recover:            m.Aggregator,
+		SinceSeq:           sinceSeq,
+	})
+}
+
+// ResetAccounting restarts every component's utilization window.
+func (m *Monitor) ResetAccounting() {
+	for _, c := range m.Collectors {
+		c.ResetAccounting()
+	}
+	if m.Aggregator != nil {
+		m.Aggregator.ResetAccounting()
+	}
+}
+
+// Stats gathers per-component snapshots.
+type Stats struct {
+	Collectors []CollectorStats
+	Aggregator AggregatorStats
+}
+
+// Stats returns a deployment-wide snapshot.
+func (m *Monitor) Stats() Stats {
+	st := Stats{}
+	for _, c := range m.Collectors {
+		st.Collectors = append(st.Collectors, c.Stats())
+	}
+	if m.Aggregator != nil {
+		st.Aggregator = m.Aggregator.Stats()
+	}
+	return st
+}
+
+// Close stops every component (collectors first, then the aggregator).
+func (m *Monitor) Close() {
+	for _, c := range m.Collectors {
+		c.Close()
+	}
+	if m.Aggregator != nil {
+		m.Aggregator.Close()
+	}
+}

@@ -1,0 +1,155 @@
+package scalable
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/msgq"
+)
+
+// The recovery protocol lets a consumer on another machine replay missed
+// events from the aggregator's reliable store (§IV-2: "An API is provided
+// to the consumers to retrieve historic events from the database whenever
+// a fault occurs"). One request frame carries the resume sequence number;
+// the server streams batch frames and terminates with an end frame.
+const (
+	recoveryReqTopic   = "since"
+	recoveryBatchTopic = "batch"
+	recoveryEndTopic   = "end"
+	recoveryErrTopic   = "error"
+	recoveryBatchMax   = 1024
+)
+
+// RecoveryServer serves the recovery API over TCP.
+type RecoveryServer struct {
+	src       RecoverySource
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewRecoveryServer starts serving src at addr (e.g. "127.0.0.1:0").
+func NewRecoveryServer(src RecoverySource, addr string) (*RecoveryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &RecoveryServer{src: src, ln: ln}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *RecoveryServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *RecoveryServer) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *RecoveryServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		req, err := msgq.ReadFrame(r)
+		if err != nil {
+			return
+		}
+		if req.Topic != recoveryReqTopic {
+			_ = msgq.WriteFrame(w, msgq.Message{Topic: recoveryErrTopic, Payload: []byte("bad request")})
+			return
+		}
+		seq := decodeSeq(req.Payload)
+		for {
+			batch, err := s.src.Since(seq, recoveryBatchMax)
+			if err != nil {
+				_ = msgq.WriteFrame(w, msgq.Message{Topic: recoveryErrTopic, Payload: []byte(err.Error())})
+				return
+			}
+			if len(batch) == 0 {
+				break
+			}
+			payload, err := events.MarshalBatch(batch)
+			if err != nil {
+				return
+			}
+			if err := msgq.WriteFrame(w, msgq.Message{Topic: recoveryBatchTopic, Payload: payload}); err != nil {
+				return
+			}
+			seq = batch[len(batch)-1].Seq
+		}
+		if err := msgq.WriteFrame(w, msgq.Message{Topic: recoveryEndTopic, Payload: nil}); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server.
+func (s *RecoveryServer) Close() {
+	s.closeOnce.Do(func() {
+		s.ln.Close()
+		s.wg.Wait()
+	})
+}
+
+// RecoveryClient implements RecoverySource against a RecoveryServer, so a
+// remote consumer can pass it as ConsumerOptions.Recover.
+type RecoveryClient struct {
+	addr string
+}
+
+// NewRecoveryClient targets the server at addr.
+func NewRecoveryClient(addr string) *RecoveryClient {
+	return &RecoveryClient{addr: addr}
+}
+
+// Since implements RecoverySource over the wire.
+func (c *RecoveryClient) Since(seq uint64, max int) ([]events.Event, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	if err := msgq.WriteFrame(w, msgq.Message{Topic: recoveryReqTopic, Payload: encodeSeq(seq)}); err != nil {
+		return nil, err
+	}
+	var out []events.Event
+	for {
+		f, err := msgq.ReadFrame(r)
+		if err != nil {
+			return nil, err
+		}
+		switch f.Topic {
+		case recoveryBatchTopic:
+			batch, err := events.UnmarshalBatch(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, batch...)
+			if max > 0 && len(out) >= max {
+				return out[:max], nil
+			}
+		case recoveryEndTopic:
+			return out, nil
+		case recoveryErrTopic:
+			return nil, fmt.Errorf("scalable: recovery server: %s", f.Payload)
+		default:
+			return nil, fmt.Errorf("scalable: unexpected recovery frame %q", f.Topic)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package spectrum
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func waitAudit(t *testing.T, c *Cluster, n int) []Record {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.AuditLen() >= n {
+			return c.ReadSince(0, 0)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("audit has %d records, want %d", c.AuditLen(), n)
+	return nil
+}
+
+func TestAuditPipeline(t *testing.T) {
+	c := newCluster(t, Config{})
+	n, err := c.Node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Mkdir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Create("/data/f.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Write("/data/f.txt", 100); err != nil {
+		t.Fatal(err)
+	}
+	// mkdir CREATE + create CREATE,OPEN + write OPEN,CLOSE = 5 records
+	recs := waitAudit(t, c, 5)
+	wantEvents := []string{EvCreate, EvCreate, EvOpen, EvOpen, EvClose}
+	if len(recs) != len(wantEvents) {
+		t.Fatalf("records = %v", recs)
+	}
+	for i, w := range wantEvents {
+		if recs[i].Event != w {
+			t.Errorf("record %d = %s, want %s", i, recs[i].Event, w)
+		}
+		if recs[i].Seq != uint64(i+1) {
+			t.Errorf("record %d seq = %d", i, recs[i].Seq)
+		}
+		if recs[i].NodeName != "node0" || recs[i].FSName != "gpfs0" {
+			t.Errorf("record %d attribution = %s/%s", i, recs[i].NodeName, recs[i].FSName)
+		}
+	}
+}
+
+func TestMultiNodeAttribution(t *testing.T) {
+	c := newCluster(t, Config{Nodes: 3})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		n, err := c.Node(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if err := n.Create(fmt.Sprintf("/n%d-f%d", i, j)); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	recs := waitAudit(t, c, 60) // CREATE+OPEN per file
+	nodes := map[string]int{}
+	for _, r := range recs {
+		nodes[r.NodeName]++
+	}
+	if len(nodes) != 3 {
+		t.Errorf("events from %d nodes, want 3", len(nodes))
+	}
+	if _, err := c.Node(9); err == nil {
+		t.Error("Node(9) succeeded")
+	}
+}
+
+func TestRetentionBound(t *testing.T) {
+	c := newCluster(t, Config{Retention: 10})
+	n, _ := c.Node(0)
+	for i := 0; i < 20; i++ {
+		if err := n.Mkdir(fmt.Sprintf("/d%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		recs := c.ReadSince(0, 0)
+		if len(recs) == 10 && recs[len(recs)-1].Seq == 20 {
+			if recs[0].Seq != 11 {
+				t.Errorf("first retained seq = %d", recs[0].Seq)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("retention never converged: %d records", c.AuditLen())
+}
+
+func TestReadSincePagination(t *testing.T) {
+	c := newCluster(t, Config{})
+	n, _ := c.Node(0)
+	for i := 0; i < 10; i++ {
+		if err := n.Mkdir(fmt.Sprintf("/d%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitAudit(t, c, 10)
+	page := c.ReadSince(4, 3)
+	if len(page) != 3 || page[0].Seq != 5 {
+		t.Errorf("page = %v", page)
+	}
+}
+
+func TestRemoveEmitsUnlinkDestroy(t *testing.T) {
+	c := newCluster(t, Config{})
+	n, _ := c.Node(0)
+	if err := n.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Remove("/d"); err != nil {
+		t.Fatal(err)
+	}
+	recs := waitAudit(t, c, 6)
+	var seq []string
+	for _, r := range recs {
+		seq = append(seq, r.Event)
+	}
+	want := []string{EvCreate, EvOpen, EvUnlink, EvDestroy, EvCreate, EvRmdir}
+	for i, w := range want {
+		if seq[i] != w {
+			t.Fatalf("events = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestRenameAndAttrRecords(t *testing.T) {
+	c := newCluster(t, Config{})
+	n, _ := c.Node(0)
+	if err := n.Create("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Chmod("/b", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetXattr("/b", "user.k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	recs := waitAudit(t, c, 5)
+	var ren *Record
+	for i := range recs {
+		if recs[i].Event == EvRename {
+			ren = &recs[i]
+		}
+	}
+	if ren == nil || ren.Path != "/b" || ren.OldPath != "/a" {
+		t.Errorf("rename record = %+v", ren)
+	}
+	last := recs[len(recs)-1]
+	if last.Event != EvXattrChange {
+		t.Errorf("last = %s", last.Event)
+	}
+}
+
+func TestMarshalAuditJSONL(t *testing.T) {
+	c := newCluster(t, Config{Name: "prod", FSName: "fs1"})
+	n, _ := c.Node(0)
+	if err := n.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	waitAudit(t, c, 1)
+	out := c.MarshalAudit()
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var r Record
+	if err := json.Unmarshal([]byte(lines[0]), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Cluster != "prod" || r.FSName != "fs1" || r.Event != EvCreate {
+		t.Errorf("record = %+v", r)
+	}
+}

@@ -1,0 +1,163 @@
+package notify
+
+import (
+	"path"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fsmonitor/internal/vfs"
+)
+
+// FSEvents item flags, mirroring FSEventStreamEventFlags.
+const (
+	ItemCreated      uint32 = 0x00000100
+	ItemRemoved      uint32 = 0x00000200
+	ItemInodeMetaMod uint32 = 0x00000400
+	ItemRenamed      uint32 = 0x00000800
+	ItemModified     uint32 = 0x00001000
+	ItemXattrMod     uint32 = 0x00008000
+	ItemIsFile       uint32 = 0x00010000
+	ItemIsDir        uint32 = 0x00020000
+)
+
+// FSEvent is a native FSEvents record: an absolute path, item flags, and a
+// monotonically increasing event ID (FSEventStreamEventId).
+type FSEvent struct {
+	Path  string
+	Flags uint32
+	ID    uint64
+}
+
+// FSEventStream simulates an FSEvents stream rooted at one or more paths.
+// Unlike inotify and kqueue, FSEvents "is not limited by requiring unique
+// watchers and thus scales well with the number of directories observed"
+// (§II-A): a stream covers its entire subtree recursively with a single
+// registration.
+type FSEventStream struct {
+	fs     *vfs.FS
+	tap    *vfs.Tap
+	roots  []string
+	events chan FSEvent
+	lastID atomic.Uint64
+	done   chan struct{}
+	once   sync.Once
+}
+
+// NewFSEventStream creates a stream delivering events for everything under
+// any of the given root paths.
+func NewFSEventStream(fs *vfs.FS, roots []string, queueLen int) *FSEventStream {
+	if queueLen <= 0 {
+		queueLen = 16384
+	}
+	cleaned := make([]string, len(roots))
+	for i, r := range roots {
+		cleaned[i] = path.Clean(r)
+	}
+	s := &FSEventStream{
+		fs:     fs,
+		tap:    fs.Subscribe(queueLen * 2),
+		roots:  cleaned,
+		events: make(chan FSEvent, queueLen),
+		done:   make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// Events returns the native event stream.
+func (s *FSEventStream) Events() <-chan FSEvent { return s.events }
+
+// LastEventID returns the ID of the most recently delivered event.
+func (s *FSEventStream) LastEventID() uint64 { return s.lastID.Load() }
+
+// Close stops the stream.
+func (s *FSEventStream) Close() {
+	s.once.Do(func() {
+		close(s.done)
+		s.tap.Close()
+	})
+}
+
+func (s *FSEventStream) covers(p string) bool {
+	for _, r := range s.roots {
+		if p == r || r == "/" || strings.HasPrefix(p, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *FSEventStream) run() {
+	defer close(s.events)
+	for {
+		select {
+		case <-s.done:
+			return
+		case raw, ok := <-s.tap.Events():
+			if !ok {
+				return
+			}
+			flags := fseventsFlags(raw.Op)
+			if flags == 0 || !s.covers(raw.Path) {
+				continue
+			}
+			if raw.IsDir {
+				flags |= ItemIsDir
+			} else {
+				flags |= ItemIsFile
+			}
+			ev := FSEvent{Path: raw.Path, Flags: flags, ID: s.lastID.Add(1)}
+			select {
+			case s.events <- ev:
+			case <-s.done:
+				return
+			}
+		}
+	}
+}
+
+func fseventsFlags(op vfs.RawOp) uint32 {
+	switch op {
+	case vfs.RawCreate, vfs.RawMkdir, vfs.RawLink, vfs.RawSymlink:
+		return ItemCreated
+	case vfs.RawWrite, vfs.RawTruncate, vfs.RawClose:
+		return ItemModified
+	case vfs.RawAttrib:
+		return ItemInodeMetaMod
+	case vfs.RawXattr:
+		return ItemXattrMod
+	case vfs.RawRenameFrom, vfs.RawRenameTo:
+		return ItemRenamed
+	case vfs.RawUnlink, vfs.RawRmdir:
+		return ItemRemoved
+	}
+	// FSEvents does not report opens, reads, or read-only closes.
+	return 0
+}
+
+// FSEventFlagString renders item flags for debugging.
+func FSEventFlagString(flags uint32) string {
+	names := []struct {
+		bit  uint32
+		name string
+	}{
+		{ItemCreated, "ItemCreated"}, {ItemRemoved, "ItemRemoved"},
+		{ItemInodeMetaMod, "ItemInodeMetaMod"}, {ItemRenamed, "ItemRenamed"},
+		{ItemModified, "ItemModified"}, {ItemXattrMod, "ItemXattrMod"},
+		{ItemIsFile, "ItemIsFile"}, {ItemIsDir, "ItemIsDir"},
+	}
+	s := ""
+	for _, n := range names {
+		if flags&n.bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += n.name
+		}
+	}
+	if s == "" {
+		return "ItemNone"
+	}
+	return s
+}

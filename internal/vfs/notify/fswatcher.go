@@ -1,0 +1,184 @@
+package notify
+
+import (
+	"path"
+	"strings"
+	"sync"
+
+	"fsmonitor/internal/vfs"
+)
+
+// FSWChangeType enumerates the four event types FileSystemWatcher reports
+// (§II-A: "Four event types are reported: Changed, Created, Deleted, and
+// Renamed").
+type FSWChangeType uint8
+
+// FileSystemWatcher change types.
+const (
+	FSWChanged FSWChangeType = iota + 1
+	FSWCreated
+	FSWDeleted
+	FSWRenamed
+)
+
+func (t FSWChangeType) String() string {
+	switch t {
+	case FSWChanged:
+		return "Changed"
+	case FSWCreated:
+		return "Created"
+	case FSWDeleted:
+		return "Deleted"
+	case FSWRenamed:
+		return "Renamed"
+	default:
+		return "Unknown"
+	}
+}
+
+// FSWEvent is a native FileSystemWatcher event: a change type, the full
+// path, and for renames the previous full path.
+type FSWEvent struct {
+	Type    FSWChangeType
+	Path    string
+	OldPath string // FSWRenamed only
+}
+
+// DefaultFSWBuffer models FileSystemWatcher's default InternalBufferSize
+// expressed in events rather than bytes.
+const DefaultFSWBuffer = 512
+
+// FileSystemWatcher simulates System.IO.FileSystemWatcher. It watches a
+// single directory (files cannot be watched directly — "To monitor a file,
+// its parent directory must be watched", §II-A), optionally including
+// subdirectories, with a bounded internal buffer: "The buffer can overflow
+// when many file system changes occur in a short period of time, causing
+// event loss."
+type FileSystemWatcher struct {
+	fs         *vfs.FS
+	tap        *vfs.Tap
+	dir        string
+	recursive  bool
+	filter     string // glob on base name; empty matches all
+	events     chan FSWEvent
+	mu         sync.Mutex
+	overflows  uint64
+	done       chan struct{}
+	once       sync.Once
+	onError    func(error)
+	errHandler sync.Once
+}
+
+// NewFileSystemWatcher watches dir. includeSubdirectories enables recursive
+// delivery; filter is a glob matched against base names ("" or "*" match
+// everything); bufferEvents bounds the internal buffer (0 = default).
+func NewFileSystemWatcher(fs *vfs.FS, dir string, includeSubdirectories bool, filter string, bufferEvents int) (*FileSystemWatcher, error) {
+	info, err := fs.Stat(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir {
+		return nil, vfs.ErrNotDir
+	}
+	if bufferEvents <= 0 {
+		bufferEvents = DefaultFSWBuffer
+	}
+	w := &FileSystemWatcher{
+		fs:        fs,
+		tap:       fs.Subscribe(bufferEvents * 2),
+		dir:       path.Clean(dir),
+		recursive: includeSubdirectories,
+		filter:    filter,
+		events:    make(chan FSWEvent, bufferEvents),
+		done:      make(chan struct{}),
+	}
+	go w.run()
+	return w, nil
+}
+
+// Events returns the native event stream.
+func (w *FileSystemWatcher) Events() <-chan FSWEvent { return w.events }
+
+// Overflows returns the number of events lost to internal buffer overruns.
+func (w *FileSystemWatcher) Overflows() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.overflows
+}
+
+// Close stops the watcher.
+func (w *FileSystemWatcher) Close() {
+	w.once.Do(func() {
+		close(w.done)
+		w.tap.Close()
+	})
+}
+
+func (w *FileSystemWatcher) matches(p string) bool {
+	dir := path.Dir(p)
+	if w.recursive {
+		if !(dir == w.dir || strings.HasPrefix(dir, w.dir+"/")) {
+			return false
+		}
+	} else if dir != w.dir {
+		return false
+	}
+	if w.filter == "" || w.filter == "*" || w.filter == "*.*" {
+		return true
+	}
+	ok, err := path.Match(w.filter, path.Base(p))
+	return err == nil && ok
+}
+
+func (w *FileSystemWatcher) run() {
+	defer close(w.events)
+	for {
+		select {
+		case <-w.done:
+			return
+		case raw, ok := <-w.tap.Events():
+			if !ok {
+				return
+			}
+			ev, ok := w.translate(raw)
+			if !ok {
+				continue
+			}
+			select {
+			case w.events <- ev:
+			default:
+				w.mu.Lock()
+				w.overflows++
+				w.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (w *FileSystemWatcher) translate(raw vfs.RawEvent) (FSWEvent, bool) {
+	switch raw.Op {
+	case vfs.RawCreate, vfs.RawMkdir, vfs.RawLink, vfs.RawSymlink:
+		if w.matches(raw.Path) {
+			return FSWEvent{Type: FSWCreated, Path: raw.Path}, true
+		}
+	case vfs.RawWrite, vfs.RawTruncate, vfs.RawAttrib, vfs.RawXattr, vfs.RawClose:
+		if w.matches(raw.Path) {
+			return FSWEvent{Type: FSWChanged, Path: raw.Path}, true
+		}
+	case vfs.RawUnlink, vfs.RawRmdir:
+		if w.matches(raw.Path) {
+			return FSWEvent{Type: FSWDeleted, Path: raw.Path}, true
+		}
+	case vfs.RawRenameTo:
+		// FileSystemWatcher reports a rename only when the destination
+		// is visible to the watch; renames out of scope surface as
+		// deletes of the source.
+		if w.matches(raw.Path) {
+			return FSWEvent{Type: FSWRenamed, Path: raw.Path, OldPath: raw.OldPath}, true
+		}
+		if w.matches(raw.OldPath) {
+			return FSWEvent{Type: FSWDeleted, Path: raw.OldPath}, true
+		}
+	}
+	return FSWEvent{}, false
+}

@@ -1,0 +1,345 @@
+// Package notify implements simulated native file-system notification APIs
+// on top of the vfs substrate: Linux inotify, BSD kqueue, macOS FSEvents,
+// and the Windows FileSystemWatcher.
+//
+// Each simulation reproduces the vocabulary, watch semantics, and
+// limitations its real counterpart has per §II-A of the paper: inotify is
+// non-recursive with per-directory watches and queue overflow; kqueue needs
+// a descriptor per watched file; FSEvents is recursive by design;
+// FileSystemWatcher watches directories with a bounded buffer that drops
+// events on overrun. The DSI layer adapts each native vocabulary into
+// FSMonitor's standard representation exactly as it would the real API.
+package notify
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sync"
+
+	"fsmonitor/internal/vfs"
+)
+
+// Inotify mask bits, mirroring <sys/inotify.h>.
+const (
+	InAccess     uint32 = 0x0001
+	InModify     uint32 = 0x0002
+	InAttrib     uint32 = 0x0004
+	InCloseWrite uint32 = 0x0008
+	InCloseNoWr  uint32 = 0x0010
+	InOpen       uint32 = 0x0020
+	InMovedFrom  uint32 = 0x0040
+	InMovedTo    uint32 = 0x0080
+	InCreate     uint32 = 0x0100
+	InDelete     uint32 = 0x0200
+	InDeleteSelf uint32 = 0x0400
+	InMoveSelf   uint32 = 0x0800
+	InIsDir      uint32 = 0x4000_0000
+	InQOverflow  uint32 = 0x4000
+	// InAllEvents watches everything.
+	InAllEvents = InAccess | InModify | InAttrib | InCloseWrite | InCloseNoWr |
+		InOpen | InMovedFrom | InMovedTo | InCreate | InDelete | InDeleteSelf | InMoveSelf
+)
+
+// DefaultMaxWatches mirrors the paper's observation that inotify's default
+// configuration can monitor approximately 512 000 directories concurrently.
+const DefaultMaxWatches = 512000
+
+// InotifyEvent is the native event record, as read from an inotify fd: a
+// watch descriptor, a mask, a rename cookie, and the name relative to the
+// watched directory.
+type InotifyEvent struct {
+	WD     int
+	Mask   uint32
+	Cookie uint32
+	Name   string // empty for events on the watched object itself
+}
+
+// Inotify simulates one inotify instance (one inotify_init fd). The kernel
+// queue is a bounded deque: when it fills, one IN_Q_OVERFLOW record is
+// appended as the final entry and subsequent events are discarded until the
+// reader drains below the limit, matching the real kernel's behaviour.
+type Inotify struct {
+	fs         *vfs.FS
+	tap        *vfs.Tap
+	mu         sync.Mutex
+	watches    map[int]*inWatch    // wd -> watch
+	byPath     map[string]*inWatch // watched path -> watch
+	nextWD     int
+	maxWatches int
+
+	qmu      sync.Mutex
+	queue    []InotifyEvent
+	queueLen int
+	overflow bool // last queued entry is the overflow marker
+	notify   chan struct{}
+
+	events    chan InotifyEvent
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+type inWatch struct {
+	wd   int
+	path string
+	mask uint32
+}
+
+// InotifyInit creates an inotify instance observing fs. queueLen bounds the
+// kernel event queue (default 16384, matching
+// /proc/sys/fs/inotify/max_queued_events).
+func InotifyInit(fs *vfs.FS, queueLen int) *Inotify {
+	if queueLen <= 0 {
+		queueLen = 16384
+	}
+	in := &Inotify{
+		fs:         fs,
+		tap:        fs.Subscribe(queueLen * 2),
+		watches:    make(map[int]*inWatch),
+		byPath:     make(map[string]*inWatch),
+		nextWD:     1,
+		maxWatches: DefaultMaxWatches,
+		queueLen:   queueLen,
+		notify:     make(chan struct{}, 1),
+		events:     make(chan InotifyEvent),
+		done:       make(chan struct{}),
+	}
+	go in.run()
+	go in.pump()
+	return in
+}
+
+// SetMaxWatches overrides the watch limit (fs.inotify.max_user_watches).
+func (in *Inotify) SetMaxWatches(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.maxWatches = n
+}
+
+// AddWatch registers a watch on p (a file or directory) and returns its
+// watch descriptor. As with real inotify, watching a directory reports
+// events for the directory and its immediate children only — there is no
+// recursion (§II-A: "A key limitation of inotify is that it does not
+// support recursive monitoring").
+func (in *Inotify) AddWatch(p string, mask uint32) (int, error) {
+	if !in.fs.Exists(p) {
+		return 0, fmt.Errorf("inotify: add_watch %q: %w", p, vfs.ErrNotExist)
+	}
+	p = path.Clean(p)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if w, ok := in.byPath[p]; ok {
+		w.mask = mask
+		return w.wd, nil
+	}
+	if len(in.watches) >= in.maxWatches {
+		return 0, errors.New("inotify: no space left on device (watch limit reached)")
+	}
+	w := &inWatch{wd: in.nextWD, path: p, mask: mask}
+	in.nextWD++
+	in.watches[w.wd] = w
+	in.byPath[p] = w
+	return w.wd, nil
+}
+
+// RmWatch removes a watch by descriptor.
+func (in *Inotify) RmWatch(wd int) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	w, ok := in.watches[wd]
+	if !ok {
+		return fmt.Errorf("inotify: rm_watch %d: invalid watch descriptor", wd)
+	}
+	delete(in.watches, wd)
+	delete(in.byPath, w.path)
+	return nil
+}
+
+// WatchPath returns the path a descriptor watches.
+func (in *Inotify) WatchPath(wd int) (string, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	w, ok := in.watches[wd]
+	if !ok {
+		return "", false
+	}
+	return w.path, true
+}
+
+// NumWatches returns the number of active watches.
+func (in *Inotify) NumWatches() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.watches)
+}
+
+// Events returns the native event stream.
+func (in *Inotify) Events() <-chan InotifyEvent { return in.events }
+
+// Close releases the instance and its watches.
+func (in *Inotify) Close() {
+	in.closeOnce.Do(func() {
+		close(in.done)
+		in.tap.Close()
+	})
+}
+
+func (in *Inotify) run() {
+	for {
+		select {
+		case <-in.done:
+			return
+		case raw, ok := <-in.tap.Events():
+			if !ok {
+				return
+			}
+			for _, ev := range in.translate(raw) {
+				in.enqueue(ev)
+			}
+		}
+	}
+}
+
+// enqueue appends ev to the kernel queue, or replaces further delivery with
+// a single IN_Q_OVERFLOW marker when the queue is full.
+func (in *Inotify) enqueue(ev InotifyEvent) {
+	in.qmu.Lock()
+	switch {
+	case len(in.queue) < in.queueLen:
+		in.queue = append(in.queue, ev)
+		in.overflow = false
+	case !in.overflow:
+		in.queue = append(in.queue, InotifyEvent{Mask: InQOverflow})
+		in.overflow = true
+	}
+	in.qmu.Unlock()
+	select {
+	case in.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pump moves events from the kernel queue to the reader channel.
+func (in *Inotify) pump() {
+	defer close(in.events)
+	for {
+		in.qmu.Lock()
+		var (
+			ev  InotifyEvent
+			has bool
+		)
+		if len(in.queue) > 0 {
+			ev, has = in.queue[0], true
+			in.queue = in.queue[1:]
+			if len(in.queue) == 0 {
+				in.overflow = false
+			}
+		}
+		in.qmu.Unlock()
+		if has {
+			select {
+			case in.events <- ev:
+				continue
+			case <-in.done:
+				return
+			}
+		}
+		select {
+		case <-in.notify:
+		case <-in.done:
+			return
+		}
+	}
+}
+
+// translate maps one raw kernel operation onto the inotify events visible
+// through this instance's watches: one event for the watch on the subject's
+// parent directory (with Name set), plus self events for a watch on the
+// subject itself.
+func (in *Inotify) translate(raw vfs.RawEvent) []InotifyEvent {
+	mask, selfMask := inotifyMask(raw.Op)
+	if mask == 0 && selfMask == 0 {
+		return nil
+	}
+	dirBit := uint32(0)
+	if raw.IsDir {
+		dirBit = InIsDir
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []InotifyEvent
+	// Event in the watched parent directory.
+	if mask != 0 {
+		parent := path.Dir(raw.Path)
+		if w, ok := in.byPath[parent]; ok && w.mask&mask != 0 {
+			out = append(out, InotifyEvent{
+				WD: w.wd, Mask: (mask & w.mask) | dirBit,
+				Cookie: raw.Cookie, Name: path.Base(raw.Path),
+			})
+		}
+	}
+	// Self event on a watch of the subject itself.
+	if selfMask != 0 {
+		if w, ok := in.byPath[raw.Path]; ok && w.mask&selfMask != 0 {
+			out = append(out, InotifyEvent{WD: w.wd, Mask: (selfMask & w.mask) | dirBit, Cookie: raw.Cookie})
+		}
+	}
+	return out
+}
+
+// inotifyMask maps a raw operation to (parent-directory mask, self mask).
+func inotifyMask(op vfs.RawOp) (mask, selfMask uint32) {
+	switch op {
+	case vfs.RawCreate, vfs.RawMkdir, vfs.RawLink, vfs.RawSymlink:
+		return InCreate, 0
+	case vfs.RawWrite, vfs.RawTruncate:
+		return InModify, InModify
+	case vfs.RawAttrib, vfs.RawXattr:
+		return InAttrib, InAttrib
+	case vfs.RawRenameFrom:
+		return InMovedFrom, InMoveSelf
+	case vfs.RawRenameTo:
+		return InMovedTo, 0
+	case vfs.RawUnlink:
+		return InDelete, InDeleteSelf
+	case vfs.RawRmdir:
+		return InDelete, InDeleteSelf
+	case vfs.RawOpen:
+		return InOpen, InOpen
+	case vfs.RawClose:
+		return InCloseWrite, InCloseWrite
+	case vfs.RawCloseNoWrite:
+		return InCloseNoWr, InCloseNoWr
+	case vfs.RawAccess:
+		return InAccess, InAccess
+	}
+	return 0, 0
+}
+
+// InotifyMaskString renders a native mask for debugging, e.g.
+// "IN_CREATE|IN_ISDIR".
+func InotifyMaskString(mask uint32) string {
+	names := []struct {
+		bit  uint32
+		name string
+	}{
+		{InAccess, "IN_ACCESS"}, {InModify, "IN_MODIFY"}, {InAttrib, "IN_ATTRIB"},
+		{InCloseWrite, "IN_CLOSE_WRITE"}, {InCloseNoWr, "IN_CLOSE_NOWRITE"},
+		{InOpen, "IN_OPEN"}, {InMovedFrom, "IN_MOVED_FROM"}, {InMovedTo, "IN_MOVED_TO"},
+		{InCreate, "IN_CREATE"}, {InDelete, "IN_DELETE"}, {InDeleteSelf, "IN_DELETE_SELF"},
+		{InMoveSelf, "IN_MOVE_SELF"}, {InQOverflow, "IN_Q_OVERFLOW"}, {InIsDir, "IN_ISDIR"},
+	}
+	s := ""
+	for _, n := range names {
+		if mask&n.bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += n.name
+		}
+	}
+	if s == "" {
+		return "IN_NONE"
+	}
+	return s
+}

@@ -1,0 +1,267 @@
+package notify
+
+import (
+	"fmt"
+	"path"
+	"sync"
+
+	"fsmonitor/internal/vfs"
+)
+
+// kqueue EVFILT_VNODE fflags, mirroring <sys/event.h>.
+const (
+	NoteDelete uint32 = 0x0001
+	NoteWrite  uint32 = 0x0002
+	NoteExtend uint32 = 0x0004
+	NoteAttrib uint32 = 0x0008
+	NoteLink   uint32 = 0x0010
+	NoteRename uint32 = 0x0020
+	NoteRevoke uint32 = 0x0040
+	NoteOpen   uint32 = 0x0080
+	NoteClose  uint32 = 0x0100
+	NoteRead   uint32 = 0x0200
+	// NoteAll selects every vnode note.
+	NoteAll = NoteDelete | NoteWrite | NoteExtend | NoteAttrib | NoteLink |
+		NoteRename | NoteRevoke | NoteOpen | NoteClose | NoteRead
+)
+
+// KqueueEvent is a native kevent: the identity is the file descriptor of
+// the watched vnode, and FFlags carries the NOTE_* bits.
+type KqueueEvent struct {
+	Ident  int // the watched file descriptor
+	FFlags uint32
+}
+
+// Kqueue simulates a kernel event queue restricted to EVFILT_VNODE. As with
+// the real facility, "the kqueue monitor requires a file descriptor to be
+// opened for every file being watched, restricting its application to very
+// large file systems" (§II-A): each AddWatch consumes a descriptor, and a
+// configurable descriptor limit models RLIMIT_NOFILE.
+type Kqueue struct {
+	fs      *vfs.FS
+	tap     *vfs.Tap
+	mu      sync.Mutex
+	nextFD  int
+	maxFDs  int
+	byFD    map[int]*kqWatch
+	byPath  map[string]*kqWatch
+	byIno   map[uint64]*kqWatch
+	events  chan KqueueEvent
+	dropped uint64
+	done    chan struct{}
+	once    sync.Once
+}
+
+type kqWatch struct {
+	fd     int
+	path   string
+	ino    uint64
+	isDir  bool
+	fflags uint32
+}
+
+// DefaultMaxDescriptors models a typical per-process descriptor limit.
+const DefaultMaxDescriptors = 10240
+
+// NewKqueue creates a kqueue instance observing fs.
+func NewKqueue(fs *vfs.FS, queueLen int) *Kqueue {
+	if queueLen <= 0 {
+		queueLen = 16384
+	}
+	kq := &Kqueue{
+		fs:     fs,
+		tap:    fs.Subscribe(queueLen * 2),
+		nextFD: 3,
+		maxFDs: DefaultMaxDescriptors,
+		byFD:   make(map[int]*kqWatch),
+		byPath: make(map[string]*kqWatch),
+		byIno:  make(map[uint64]*kqWatch),
+		events: make(chan KqueueEvent, queueLen),
+		done:   make(chan struct{}),
+	}
+	go kq.run()
+	return kq
+}
+
+// SetMaxDescriptors overrides the simulated RLIMIT_NOFILE.
+func (kq *Kqueue) SetMaxDescriptors(n int) {
+	kq.mu.Lock()
+	defer kq.mu.Unlock()
+	kq.maxFDs = n
+}
+
+// AddWatch opens p and registers an EV_ADD|EVFILT_VNODE kevent for the
+// requested fflags, returning the descriptor.
+func (kq *Kqueue) AddWatch(p string, fflags uint32) (int, error) {
+	info, err := kq.fs.Stat(p)
+	if err != nil {
+		return 0, fmt.Errorf("kqueue: open %q: %w", p, err)
+	}
+	p = path.Clean(p)
+	kq.mu.Lock()
+	defer kq.mu.Unlock()
+	if w, ok := kq.byPath[p]; ok {
+		w.fflags = fflags
+		return w.fd, nil
+	}
+	if len(kq.byFD) >= kq.maxFDs {
+		return 0, fmt.Errorf("kqueue: open %q: too many open files", p)
+	}
+	w := &kqWatch{fd: kq.nextFD, path: p, ino: info.Ino, isDir: info.IsDir, fflags: fflags}
+	kq.nextFD++
+	kq.byFD[w.fd] = w
+	kq.byPath[p] = w
+	kq.byIno[info.Ino] = w
+	return w.fd, nil
+}
+
+// RmWatch closes the descriptor, removing its kevent.
+func (kq *Kqueue) RmWatch(fd int) error {
+	kq.mu.Lock()
+	defer kq.mu.Unlock()
+	w, ok := kq.byFD[fd]
+	if !ok {
+		return fmt.Errorf("kqueue: close %d: bad file descriptor", fd)
+	}
+	delete(kq.byFD, fd)
+	delete(kq.byPath, w.path)
+	delete(kq.byIno, w.ino)
+	return nil
+}
+
+// WatchPath returns the path a descriptor watches. Because kqueue tracks
+// vnodes, the path reflects renames observed since the watch was added.
+func (kq *Kqueue) WatchPath(fd int) (string, bool) {
+	kq.mu.Lock()
+	defer kq.mu.Unlock()
+	w, ok := kq.byFD[fd]
+	if !ok {
+		return "", false
+	}
+	return w.path, true
+}
+
+// NumWatches returns the number of open vnode watches.
+func (kq *Kqueue) NumWatches() int {
+	kq.mu.Lock()
+	defer kq.mu.Unlock()
+	return len(kq.byFD)
+}
+
+// Events returns the native kevent stream.
+func (kq *Kqueue) Events() <-chan KqueueEvent { return kq.events }
+
+// Dropped returns the number of kevents lost to queue overflow.
+func (kq *Kqueue) Dropped() uint64 {
+	kq.mu.Lock()
+	defer kq.mu.Unlock()
+	return kq.dropped
+}
+
+// Close releases the queue and all watches.
+func (kq *Kqueue) Close() {
+	kq.once.Do(func() {
+		close(kq.done)
+		kq.tap.Close()
+	})
+}
+
+func (kq *Kqueue) run() {
+	defer close(kq.events)
+	for {
+		select {
+		case <-kq.done:
+			return
+		case raw, ok := <-kq.tap.Events():
+			if !ok {
+				return
+			}
+			for _, ev := range kq.translate(raw) {
+				select {
+				case kq.events <- ev:
+				default:
+					kq.mu.Lock()
+					kq.dropped++
+					kq.mu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+// translate maps a raw operation onto kevents for watched vnodes: the
+// subject (by inode, surviving renames) and, for namespace operations, the
+// parent directory (directory writes).
+func (kq *Kqueue) translate(raw vfs.RawEvent) []KqueueEvent {
+	kq.mu.Lock()
+	defer kq.mu.Unlock()
+	var out []KqueueEvent
+	emit := func(w *kqWatch, fflags uint32) {
+		if w != nil && w.fflags&fflags != 0 {
+			out = append(out, KqueueEvent{Ident: w.fd, FFlags: fflags & w.fflags})
+		}
+	}
+	self := kq.byIno[raw.Ino]
+	switch raw.Op {
+	case vfs.RawWrite:
+		emit(self, NoteWrite|NoteExtend)
+	case vfs.RawTruncate:
+		emit(self, NoteWrite)
+	case vfs.RawAttrib, vfs.RawXattr:
+		emit(self, NoteAttrib)
+	case vfs.RawUnlink, vfs.RawRmdir:
+		emit(self, NoteDelete)
+		// The vnode is gone; the watch keeps its descriptor (as the
+		// real kqueue does until close) but will see nothing more.
+		emit(kq.byPath[path.Dir(raw.Path)], NoteWrite)
+	case vfs.RawRenameFrom:
+		emit(self, NoteRename)
+		emit(kq.byPath[path.Dir(raw.Path)], NoteWrite)
+	case vfs.RawRenameTo:
+		// Track the vnode to its new name.
+		if self != nil {
+			delete(kq.byPath, self.path)
+			self.path = raw.Path
+			kq.byPath[raw.Path] = self
+		}
+		emit(kq.byPath[path.Dir(raw.Path)], NoteWrite)
+	case vfs.RawCreate, vfs.RawMkdir, vfs.RawLink, vfs.RawSymlink:
+		emit(kq.byPath[path.Dir(raw.Path)], NoteWrite)
+		if raw.Op == vfs.RawLink {
+			emit(self, NoteLink)
+		}
+	case vfs.RawOpen:
+		emit(self, NoteOpen)
+	case vfs.RawClose, vfs.RawCloseNoWrite:
+		emit(self, NoteClose)
+	case vfs.RawAccess:
+		emit(self, NoteRead)
+	}
+	return out
+}
+
+// KqueueNoteString renders fflags for debugging, e.g. "NOTE_WRITE|NOTE_EXTEND".
+func KqueueNoteString(fflags uint32) string {
+	names := []struct {
+		bit  uint32
+		name string
+	}{
+		{NoteDelete, "NOTE_DELETE"}, {NoteWrite, "NOTE_WRITE"}, {NoteExtend, "NOTE_EXTEND"},
+		{NoteAttrib, "NOTE_ATTRIB"}, {NoteLink, "NOTE_LINK"}, {NoteRename, "NOTE_RENAME"},
+		{NoteRevoke, "NOTE_REVOKE"}, {NoteOpen, "NOTE_OPEN"}, {NoteClose, "NOTE_CLOSE"},
+		{NoteRead, "NOTE_READ"},
+	}
+	s := ""
+	for _, n := range names {
+		if fflags&n.bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += n.name
+		}
+	}
+	if s == "" {
+		return "NOTE_NONE"
+	}
+	return s
+}

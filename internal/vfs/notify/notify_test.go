@@ -1,0 +1,581 @@
+package notify
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/vfs"
+)
+
+// drain reads events until the channel is quiet for the grace period.
+func drain[T any](ch <-chan T) []T {
+	var out []T
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+		case <-time.After(50 * time.Millisecond):
+			return out
+		}
+	}
+}
+
+func TestInotifyWatchDirectChildren(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/watched"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/watched/sub"); err != nil {
+		t.Fatal(err)
+	}
+	in := InotifyInit(fs, 0)
+	defer in.Close()
+	wd, err := in.AddWatch("/watched", InAllEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct child: visible. Grandchild: invisible (non-recursive).
+	if err := fs.WriteFile("/watched/f.txt", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/watched/sub/hidden.txt", 1); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(in.Events())
+	var names []string
+	for _, e := range evs {
+		if e.WD != wd {
+			t.Errorf("unexpected wd %d", e.WD)
+		}
+		names = append(names, fmt.Sprintf("%s:%s", InotifyMaskString(e.Mask), e.Name))
+	}
+	want := []string{
+		"IN_CREATE:f.txt", "IN_MODIFY:f.txt", "IN_CLOSE_WRITE:f.txt",
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("events = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestInotifySelfEvents(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.WriteFile("/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	in := InotifyInit(fs, 0)
+	defer in.Close()
+	if _, err := in.AddWatch("/f", InAllEvents); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate("/f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(in.Events())
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].Mask&InModify == 0 {
+		t.Errorf("event 0 mask = %s", InotifyMaskString(evs[0].Mask))
+	}
+	if evs[1].Mask&InDeleteSelf == 0 {
+		t.Errorf("event 1 mask = %s", InotifyMaskString(evs[1].Mask))
+	}
+}
+
+func TestInotifyRenameCookie(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.WriteFile("/a", 1); err != nil {
+		t.Fatal(err)
+	}
+	in := InotifyInit(fs, 0)
+	defer in.Close()
+	if _, err := in.AddWatch("/", InAllEvents); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(in.Events())
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].Mask&InMovedFrom == 0 || evs[0].Name != "a" {
+		t.Errorf("from = %+v", evs[0])
+	}
+	if evs[1].Mask&InMovedTo == 0 || evs[1].Name != "b" {
+		t.Errorf("to = %+v", evs[1])
+	}
+	if evs[0].Cookie == 0 || evs[0].Cookie != evs[1].Cookie {
+		t.Error("cookies not correlated")
+	}
+}
+
+func TestInotifyMaskFiltering(t *testing.T) {
+	fs := vfs.New()
+	in := InotifyInit(fs, 0)
+	defer in.Close()
+	if _, err := in.AddWatch("/", InCreate); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/f", 1); err != nil { // create + modify + close
+		t.Fatal(err)
+	}
+	evs := drain(in.Events())
+	if len(evs) != 1 || evs[0].Mask&InCreate == 0 {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestInotifyWatchLimit(t *testing.T) {
+	fs := vfs.New()
+	in := InotifyInit(fs, 0)
+	defer in.Close()
+	in.SetMaxWatches(2)
+	for i := 0; i < 2; i++ {
+		p := fmt.Sprintf("/d%d", i)
+		if err := fs.Mkdir(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.AddWatch(p, InAllEvents); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Mkdir("/d2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.AddWatch("/d2", InAllEvents); err == nil {
+		t.Error("watch added past limit")
+	}
+	if in.NumWatches() != 2 {
+		t.Errorf("NumWatches = %d", in.NumWatches())
+	}
+}
+
+func TestInotifyRmWatch(t *testing.T) {
+	fs := vfs.New()
+	in := InotifyInit(fs, 0)
+	defer in.Close()
+	wd, err := in.AddWatch("/", InAllEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := in.WatchPath(wd); !ok || p != "/" {
+		t.Errorf("WatchPath = %q, %v", p, ok)
+	}
+	if err := in.RmWatch(wd); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.RmWatch(wd); err == nil {
+		t.Error("double rm_watch succeeded")
+	}
+	if err := fs.WriteFile("/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	if evs := drain(in.Events()); len(evs) != 0 {
+		t.Errorf("events after rm_watch: %v", evs)
+	}
+	if _, err := in.AddWatch("/missing", InAllEvents); err == nil {
+		t.Error("AddWatch(missing) succeeded")
+	}
+}
+
+func TestInotifyQueueOverflow(t *testing.T) {
+	fs := vfs.New()
+	in := InotifyInit(fs, 4)
+	defer in.Close()
+	if _, err := in.AddWatch("/", InAllEvents); err != nil {
+		t.Fatal(err)
+	}
+	// Generate far more events than the queue holds, without reading.
+	for i := 0; i < 200; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/f%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	evs := drain(in.Events())
+	var sawOverflow bool
+	for _, e := range evs {
+		if e.Mask&InQOverflow != 0 {
+			sawOverflow = true
+		}
+	}
+	if !sawOverflow {
+		t.Error("expected IN_Q_OVERFLOW")
+	}
+}
+
+func TestKqueuePerFileWatch(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.WriteFile("/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	kq := NewKqueue(fs, 0)
+	defer kq.Close()
+	fd, err := kq.AddWatch("/f", NoteAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Open("/f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Write(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(kq.Events())
+	wantFlags := []uint32{NoteOpen, NoteWrite | NoteExtend, NoteClose}
+	if len(evs) != len(wantFlags) {
+		t.Fatalf("events = %v", evs)
+	}
+	for i, f := range wantFlags {
+		if evs[i].Ident != fd || evs[i].FFlags != f {
+			t.Errorf("event %d = %+v, want fflags %s", i, evs[i], KqueueNoteString(f))
+		}
+	}
+}
+
+func TestKqueueTracksRename(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.WriteFile("/a", 1); err != nil {
+		t.Fatal(err)
+	}
+	kq := NewKqueue(fs, 0)
+	defer kq.Close()
+	fd, err := kq.AddWatch("/a", NoteAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	drain(kq.Events())
+	if p, _ := kq.WatchPath(fd); p != "/b" {
+		t.Errorf("WatchPath after rename = %q, want /b", p)
+	}
+	// Still sees writes under the new name.
+	if err := fs.Truncate("/b", 0); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(kq.Events())
+	if len(evs) != 1 || evs[0].FFlags&NoteWrite == 0 {
+		t.Errorf("events = %v", evs)
+	}
+}
+
+func TestKqueueDirectoryWrite(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	kq := NewKqueue(fs, 0)
+	defer kq.Close()
+	fd, err := kq.AddWatch("/d", NoteAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(kq.Events())
+	// Create in dir -> NOTE_WRITE on dir; remove -> NOTE_WRITE on dir.
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	for i, e := range evs {
+		if e.Ident != fd || e.FFlags&NoteWrite == 0 {
+			t.Errorf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestKqueueDescriptorLimit(t *testing.T) {
+	fs := vfs.New()
+	kq := NewKqueue(fs, 0)
+	defer kq.Close()
+	kq.SetMaxDescriptors(2)
+	for i := 0; i < 2; i++ {
+		p := fmt.Sprintf("/f%d", i)
+		if err := fs.WriteFile(p, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := kq.AddWatch(p, NoteAll); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.WriteFile("/f2", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kq.AddWatch("/f2", NoteAll); err == nil {
+		t.Error("watch added past descriptor limit")
+	}
+	if kq.NumWatches() != 2 {
+		t.Errorf("NumWatches = %d", kq.NumWatches())
+	}
+}
+
+func TestKqueueRmWatch(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.WriteFile("/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	kq := NewKqueue(fs, 0)
+	defer kq.Close()
+	fd, err := kq.AddWatch("/f", NoteAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kq.RmWatch(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := kq.RmWatch(fd); err == nil {
+		t.Error("double close succeeded")
+	}
+	if err := fs.Truncate("/f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if evs := drain(kq.Events()); len(evs) != 0 {
+		t.Errorf("events after close: %v", evs)
+	}
+}
+
+func TestFSEventsRecursive(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.MkdirAll("/root/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewFSEventStream(fs, []string{"/root"}, 0)
+	defer s.Close()
+	if err := fs.WriteFile("/root/a/b/deep.txt", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/outside.txt", 1); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(s.Events())
+	// create + modify(write) + modify(close) for the deep file only.
+	if len(evs) != 3 {
+		t.Fatalf("events = %v", evs)
+	}
+	for _, e := range evs {
+		if e.Path != "/root/a/b/deep.txt" {
+			t.Errorf("unexpected path %q", e.Path)
+		}
+		if e.Flags&ItemIsFile == 0 {
+			t.Errorf("missing ItemIsFile: %s", FSEventFlagString(e.Flags))
+		}
+	}
+	if evs[0].Flags&ItemCreated == 0 {
+		t.Errorf("first = %s", FSEventFlagString(evs[0].Flags))
+	}
+	// Event IDs increase monotonically.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].ID <= evs[i-1].ID {
+			t.Error("IDs not monotonic")
+		}
+	}
+	if s.LastEventID() != evs[len(evs)-1].ID {
+		t.Error("LastEventID mismatch")
+	}
+}
+
+func TestFSEventsDirFlags(t *testing.T) {
+	fs := vfs.New()
+	s := NewFSEventStream(fs, []string{"/"}, 0)
+	defer s.Close()
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(s.Events())
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].Flags&(ItemCreated|ItemIsDir) != ItemCreated|ItemIsDir {
+		t.Errorf("mkdir flags = %s", FSEventFlagString(evs[0].Flags))
+	}
+	if evs[1].Flags&(ItemRemoved|ItemIsDir) != ItemRemoved|ItemIsDir {
+		t.Errorf("rmdir flags = %s", FSEventFlagString(evs[1].Flags))
+	}
+}
+
+func TestFSWatcherFourTypes(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewFileSystemWatcher(fs, "/w", false, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := fs.WriteFile("/w/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/w/f", "/w/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/w/g"); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(w.Events())
+	want := []FSWChangeType{FSWCreated, FSWChanged, FSWChanged, FSWRenamed, FSWDeleted}
+	if len(evs) != len(want) {
+		t.Fatalf("events = %v", evs)
+	}
+	for i, ty := range want {
+		if evs[i].Type != ty {
+			t.Errorf("event %d = %v, want %v", i, evs[i], ty)
+		}
+	}
+	if evs[3].OldPath != "/w/f" || evs[3].Path != "/w/g" {
+		t.Errorf("rename = %+v", evs[3])
+	}
+}
+
+func TestFSWatcherRecursionFlag(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.MkdirAll("/w/sub"); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := NewFileSystemWatcher(fs, "/w", false, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flat.Close()
+	deep, err := NewFileSystemWatcher(fs, "/w", true, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deep.Close()
+	if err := fs.WriteFile("/w/sub/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	if evs := drain(flat.Events()); len(evs) != 0 {
+		t.Errorf("non-recursive watcher saw %v", evs)
+	}
+	if evs := drain(deep.Events()); len(evs) == 0 {
+		t.Error("recursive watcher saw nothing")
+	}
+}
+
+func TestFSWatcherFilter(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewFileSystemWatcher(fs, "/w", false, "*.txt", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := fs.WriteFile("/w/keep.txt", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/w/skip.dat", 1); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(w.Events())
+	for _, e := range evs {
+		if e.Path != "/w/keep.txt" {
+			t.Errorf("filter leaked %v", e)
+		}
+	}
+	if len(evs) == 0 {
+		t.Error("filter dropped everything")
+	}
+}
+
+func TestFSWatcherBufferOverflow(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewFileSystemWatcher(fs, "/w", false, "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 100; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/w/f%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	if w.Overflows() == 0 {
+		t.Error("expected overflow event loss")
+	}
+}
+
+func TestFSWatcherRejectsFile(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.WriteFile("/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileSystemWatcher(fs, "/f", false, "", 0); err == nil {
+		t.Error("watcher accepted a file target")
+	}
+	if _, err := NewFileSystemWatcher(fs, "/missing", false, "", 0); err == nil {
+		t.Error("watcher accepted a missing target")
+	}
+}
+
+func TestFSWatcherRenameOutOfScope(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/elsewhere"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/w/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewFileSystemWatcher(fs, "/w", false, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := fs.Rename("/w/f", "/elsewhere/f"); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(w.Events())
+	if len(evs) != 1 || evs[0].Type != FSWDeleted {
+		t.Errorf("events = %v, want one Deleted", evs)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if FSWCreated.String() != "Created" || FSWChangeType(99).String() != "Unknown" {
+		t.Error("FSWChangeType.String")
+	}
+	if InotifyMaskString(0) != "IN_NONE" {
+		t.Error("empty inotify mask")
+	}
+	if KqueueNoteString(0) != "NOTE_NONE" {
+		t.Error("empty kqueue flags")
+	}
+	if FSEventFlagString(0) != "ItemNone" {
+		t.Error("empty fsevents flags")
+	}
+}

@@ -1,0 +1,798 @@
+// Package vfs implements an in-memory, POSIX-style hierarchical filesystem
+// that emits a raw kernel-level event stream for every namespace and data
+// operation.
+//
+// The paper evaluates FSMonitor against native monitoring facilities on
+// macOS, Ubuntu, CentOS, and Windows (§II-A, §V-C). Those kernels are not
+// available in a hermetic test environment, so this package provides the
+// substrate they observe: a filesystem whose operation stream feeds
+// simulated implementations of inotify, kqueue, FSEvents, and
+// FileSystemWatcher (package vfs/notify). The DSI layer then adapts each
+// simulated native API exactly as it would the real one.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Common filesystem errors.
+var (
+	ErrNotExist    = errors.New("vfs: file does not exist")
+	ErrExist       = errors.New("vfs: file already exists")
+	ErrNotDir      = errors.New("vfs: not a directory")
+	ErrIsDir       = errors.New("vfs: is a directory")
+	ErrNotEmpty    = errors.New("vfs: directory not empty")
+	ErrInvalidPath = errors.New("vfs: invalid path")
+	ErrClosed      = errors.New("vfs: file handle closed")
+)
+
+// RawOp is the kernel-level operation recorded in the raw event stream.
+type RawOp uint8
+
+// Raw kernel operations.
+const (
+	RawCreate       RawOp = iota + 1 // regular file created
+	RawMkdir                         // directory created
+	RawWrite                         // file data written
+	RawTruncate                      // file truncated
+	RawAttrib                        // attributes (mode/times/owner) changed
+	RawXattr                         // extended attribute changed
+	RawRenameFrom                    // source side of a rename
+	RawRenameTo                      // destination side of a rename
+	RawUnlink                        // regular file removed
+	RawRmdir                         // directory removed
+	RawOpen                          // file opened
+	RawClose                         // file closed (writable)
+	RawCloseNoWrite                  // file closed (read-only)
+	RawAccess                        // file read
+	RawLink                          // hard link created
+	RawSymlink                       // symbolic link created
+)
+
+var rawOpNames = map[RawOp]string{
+	RawCreate: "CREATE", RawMkdir: "MKDIR", RawWrite: "WRITE",
+	RawTruncate: "TRUNCATE", RawAttrib: "ATTRIB", RawXattr: "XATTR",
+	RawRenameFrom: "RENAME_FROM", RawRenameTo: "RENAME_TO",
+	RawUnlink: "UNLINK", RawRmdir: "RMDIR", RawOpen: "OPEN",
+	RawClose: "CLOSE", RawCloseNoWrite: "CLOSE_NOWRITE", RawAccess: "ACCESS",
+	RawLink: "LINK", RawSymlink: "SYMLINK",
+}
+
+func (o RawOp) String() string {
+	if s, ok := rawOpNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("RawOp(%d)", uint8(o))
+}
+
+// RawEvent is one entry of the kernel event stream.
+type RawEvent struct {
+	Op      RawOp
+	Path    string // absolute path of the subject
+	OldPath string // for RawRenameTo: the source path
+	IsDir   bool
+	Ino     uint64 // inode number of the subject
+	Cookie  uint32 // correlates RenameFrom/RenameTo pairs
+	Time    time.Time
+}
+
+func (e RawEvent) String() string {
+	d := ""
+	if e.IsDir {
+		d = ",ISDIR"
+	}
+	return fmt.Sprintf("%s%s %s", e.Op, d, e.Path)
+}
+
+// node is a file or directory.
+type node struct {
+	ino      uint64
+	dir      bool
+	size     int64
+	mode     uint32
+	mtime    time.Time
+	xattrs   map[string]string
+	children map[string]*node // dir only
+	nlink    int
+}
+
+// FS is the in-memory filesystem. The zero value is not usable; construct
+// with New. All methods are safe for concurrent use.
+type FS struct {
+	mu       sync.Mutex
+	root     *node
+	nextIno  uint64
+	cookie   uint32
+	clock    func() time.Time
+	nFiles   int64
+	nDirs    int64
+	tapMu    sync.RWMutex
+	taps     map[int]*Tap
+	nextTap  int
+	totalOps atomic.Uint64
+}
+
+// New returns an empty filesystem whose root directory is "/".
+func New() *FS {
+	fs := &FS{
+		nextIno: 2, // 1 is the root, as in ext-style filesystems
+		clock:   time.Now,
+		taps:    make(map[int]*Tap),
+	}
+	fs.root = &node{ino: 1, dir: true, mode: 0o755, mtime: fs.clock(), children: map[string]*node{}, nlink: 2}
+	return fs
+}
+
+// SetClock replaces the time source (for deterministic tests).
+func (fs *FS) SetClock(clock func() time.Time) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clock = clock
+}
+
+// Tap is a subscription to the raw kernel event stream. Events are buffered;
+// if the buffer fills, subsequent events are counted as dropped (real
+// kernel notification queues overflow the same way, cf. inotify
+// IN_Q_OVERFLOW and FileSystemWatcher buffer overruns, §II-A).
+type Tap struct {
+	fs      *FS
+	id      int
+	ch      chan RawEvent
+	dropped atomic.Uint64
+	closed  atomic.Bool
+}
+
+// Events returns the tap's event channel.
+func (t *Tap) Events() <-chan RawEvent { return t.ch }
+
+// Dropped returns the number of events lost to buffer overflow.
+func (t *Tap) Dropped() uint64 { return t.dropped.Load() }
+
+// Close detaches the tap; its channel is closed.
+func (t *Tap) Close() {
+	if t.closed.CompareAndSwap(false, true) {
+		t.fs.tapMu.Lock()
+		delete(t.fs.taps, t.id)
+		t.fs.tapMu.Unlock()
+		close(t.ch)
+	}
+}
+
+// Subscribe attaches a raw event tap with the given buffer size.
+func (fs *FS) Subscribe(buffer int) *Tap {
+	if buffer <= 0 {
+		buffer = 4096
+	}
+	fs.tapMu.Lock()
+	defer fs.tapMu.Unlock()
+	t := &Tap{fs: fs, id: fs.nextTap, ch: make(chan RawEvent, buffer)}
+	fs.taps[fs.nextTap] = t
+	fs.nextTap++
+	return t
+}
+
+func (fs *FS) emit(e RawEvent) {
+	fs.totalOps.Add(1)
+	fs.tapMu.RLock()
+	defer fs.tapMu.RUnlock()
+	for _, t := range fs.taps {
+		select {
+		case t.ch <- e:
+		default:
+			t.dropped.Add(1)
+		}
+	}
+}
+
+// TotalOps returns the number of raw events emitted since creation.
+func (fs *FS) TotalOps() uint64 { return fs.totalOps.Load() }
+
+// clean validates and normalizes an absolute path.
+func clean(p string) (string, error) {
+	if p == "" || p[0] != '/' {
+		return "", fmt.Errorf("%w: %q (must be absolute)", ErrInvalidPath, p)
+	}
+	return path.Clean(p), nil
+}
+
+// walk resolves p to its node. Caller holds fs.mu.
+func (fs *FS) walk(p string) (*node, error) {
+	if p == "/" {
+		return fs.root, nil
+	}
+	cur := fs.root
+	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
+		if !cur.dir {
+			return nil, fmt.Errorf("%w: %q", ErrNotDir, p)
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotExist, p)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// walkParent resolves p's parent directory and returns it with p's base name.
+func (fs *FS) walkParent(p string) (*node, string, error) {
+	dir, base := path.Split(p)
+	if base == "" {
+		return nil, "", fmt.Errorf("%w: %q", ErrInvalidPath, p)
+	}
+	parent, err := fs.walk(path.Clean(dir))
+	if err != nil {
+		return nil, "", err
+	}
+	if !parent.dir {
+		return nil, "", fmt.Errorf("%w: %q", ErrNotDir, dir)
+	}
+	return parent, base, nil
+}
+
+// Info describes a file or directory.
+type Info struct {
+	Name  string
+	Path  string
+	Ino   uint64
+	IsDir bool
+	Size  int64
+	Mode  uint32
+	MTime time.Time
+	Nlink int
+}
+
+// Stat returns information about the file at p.
+func (fs *FS) Stat(p string) (Info, error) {
+	p, err := clean(p)
+	if err != nil {
+		return Info{}, err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.walk(p)
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{
+		Name: path.Base(p), Path: p, Ino: n.ino, IsDir: n.dir,
+		Size: n.size, Mode: n.mode, MTime: n.mtime, Nlink: n.nlink,
+	}, nil
+}
+
+// Exists reports whether p exists.
+func (fs *FS) Exists(p string) bool {
+	_, err := fs.Stat(p)
+	return err == nil
+}
+
+// Mkdir creates a directory. The parent must exist.
+func (fs *FS) Mkdir(p string) error {
+	p, err := clean(p)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	parent, base, err := fs.walkParent(p)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExist, p)
+	}
+	now := fs.clock()
+	n := &node{ino: fs.nextIno, dir: true, mode: 0o755, mtime: now, children: map[string]*node{}, nlink: 2}
+	fs.nextIno++
+	parent.children[base] = n
+	parent.nlink++
+	fs.nDirs++
+	ev := RawEvent{Op: RawMkdir, Path: p, IsDir: true, Ino: n.ino, Time: now}
+	fs.mu.Unlock()
+	fs.emit(ev)
+	return nil
+}
+
+// MkdirAll creates p and any missing ancestors.
+func (fs *FS) MkdirAll(p string) error {
+	p, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return nil
+	}
+	parts := strings.Split(strings.TrimPrefix(p, "/"), "/")
+	cur := ""
+	for _, part := range parts {
+		cur += "/" + part
+		err := fs.Mkdir(cur)
+		if err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handle is an open file. Writes and reads on a handle emit data events;
+// Close emits the close event, completing the open→write→close sequence the
+// native monitors observe.
+type Handle struct {
+	fs       *FS
+	path     string
+	writable bool
+	wrote    bool
+	closed   bool
+	mu       sync.Mutex
+}
+
+// Create creates a regular file and opens it for writing. The file must not
+// already exist; the parent directory must.
+func (fs *FS) Create(p string) (*Handle, error) {
+	p, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	parent, base, err := fs.walkParent(p)
+	if err != nil {
+		fs.mu.Unlock()
+		return nil, err
+	}
+	if _, ok := parent.children[base]; ok {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrExist, p)
+	}
+	now := fs.clock()
+	n := &node{ino: fs.nextIno, mode: 0o644, mtime: now, nlink: 1}
+	fs.nextIno++
+	parent.children[base] = n
+	fs.nFiles++
+	ev := RawEvent{Op: RawCreate, Path: p, Ino: n.ino, Time: now}
+	fs.mu.Unlock()
+	fs.emit(ev)
+	return &Handle{fs: fs, path: p, writable: true}, nil
+}
+
+// Open opens an existing file. writable selects the close event flavour.
+func (fs *FS) Open(p string, writable bool) (*Handle, error) {
+	p, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	n, err := fs.walk(p)
+	if err != nil {
+		fs.mu.Unlock()
+		return nil, err
+	}
+	if n.dir {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrIsDir, p)
+	}
+	ev := RawEvent{Op: RawOpen, Path: p, Ino: n.ino, Time: fs.clock()}
+	fs.mu.Unlock()
+	fs.emit(ev)
+	return &Handle{fs: fs, path: p, writable: writable}, nil
+}
+
+// Path returns the path the handle was opened on.
+func (h *Handle) Path() string { return h.path }
+
+// Write appends n bytes to the file, emitting a write event.
+func (h *Handle) Write(n int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	if !h.writable {
+		return fmt.Errorf("vfs: handle on %q not writable", h.path)
+	}
+	fs := h.fs
+	fs.mu.Lock()
+	nd, err := fs.walk(h.path)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	now := fs.clock()
+	nd.size += n
+	nd.mtime = now
+	ev := RawEvent{Op: RawWrite, Path: h.path, Ino: nd.ino, Time: now}
+	fs.mu.Unlock()
+	h.wrote = true
+	fs.emit(ev)
+	return nil
+}
+
+// Read emits an access event.
+func (h *Handle) Read() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	fs := h.fs
+	fs.mu.Lock()
+	nd, err := fs.walk(h.path)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	ev := RawEvent{Op: RawAccess, Path: h.path, Ino: nd.ino, Time: fs.clock()}
+	fs.mu.Unlock()
+	fs.emit(ev)
+	return nil
+}
+
+// Close closes the handle, emitting RawClose (writable) or RawCloseNoWrite.
+func (h *Handle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	h.closed = true
+	fs := h.fs
+	fs.mu.Lock()
+	nd, err := fs.walk(h.path)
+	if err != nil {
+		// File removed while open: still a successful close, no event.
+		fs.mu.Unlock()
+		return nil
+	}
+	op := RawCloseNoWrite
+	if h.writable {
+		op = RawClose
+	}
+	ev := RawEvent{Op: op, Path: h.path, Ino: nd.ino, Time: fs.clock()}
+	fs.mu.Unlock()
+	fs.emit(ev)
+	return nil
+}
+
+// WriteFile is create-or-truncate + write + close in one call.
+func (fs *FS) WriteFile(p string, size int64) error {
+	if fs.Exists(p) {
+		if err := fs.Truncate(p, 0); err != nil {
+			return err
+		}
+		h, err := fs.Open(p, true)
+		if err != nil {
+			return err
+		}
+		if err := h.Write(size); err != nil {
+			return err
+		}
+		return h.Close()
+	}
+	h, err := fs.Create(p)
+	if err != nil {
+		return err
+	}
+	if err := h.Write(size); err != nil {
+		return err
+	}
+	return h.Close()
+}
+
+// Truncate sets the file size, emitting a truncate event.
+func (fs *FS) Truncate(p string, size int64) error {
+	p, err := clean(p)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	n, err := fs.walk(p)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	if n.dir {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrIsDir, p)
+	}
+	now := fs.clock()
+	n.size = size
+	n.mtime = now
+	ev := RawEvent{Op: RawTruncate, Path: p, Ino: n.ino, Time: now}
+	fs.mu.Unlock()
+	fs.emit(ev)
+	return nil
+}
+
+// Chmod changes the file mode, emitting an attribute event.
+func (fs *FS) Chmod(p string, mode uint32) error {
+	p, err := clean(p)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	n, err := fs.walk(p)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	n.mode = mode
+	ev := RawEvent{Op: RawAttrib, Path: p, IsDir: n.dir, Ino: n.ino, Time: fs.clock()}
+	fs.mu.Unlock()
+	fs.emit(ev)
+	return nil
+}
+
+// SetXattr sets an extended attribute, emitting an xattr event.
+func (fs *FS) SetXattr(p, name, value string) error {
+	p, err := clean(p)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	n, err := fs.walk(p)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	if n.xattrs == nil {
+		n.xattrs = map[string]string{}
+	}
+	n.xattrs[name] = value
+	ev := RawEvent{Op: RawXattr, Path: p, IsDir: n.dir, Ino: n.ino, Time: fs.clock()}
+	fs.mu.Unlock()
+	fs.emit(ev)
+	return nil
+}
+
+// GetXattr reads an extended attribute.
+func (fs *FS) GetXattr(p, name string) (string, error) {
+	p, err := clean(p)
+	if err != nil {
+		return "", err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.walk(p)
+	if err != nil {
+		return "", err
+	}
+	v, ok := n.xattrs[name]
+	if !ok {
+		return "", fmt.Errorf("vfs: xattr %q not set on %q", name, p)
+	}
+	return v, nil
+}
+
+// Rename moves oldp to newp, emitting a correlated RenameFrom/RenameTo pair.
+// If newp exists and is a non-directory it is replaced.
+func (fs *FS) Rename(oldp, newp string) error {
+	oldp, err := clean(oldp)
+	if err != nil {
+		return err
+	}
+	newp, err = clean(newp)
+	if err != nil {
+		return err
+	}
+	if oldp == "/" || newp == "/" {
+		return fmt.Errorf("%w: cannot rename root", ErrInvalidPath)
+	}
+	if newp == oldp || strings.HasPrefix(newp, oldp+"/") {
+		return fmt.Errorf("%w: cannot rename %q into itself", ErrInvalidPath, oldp)
+	}
+	fs.mu.Lock()
+	srcParent, srcBase, err := fs.walkParent(oldp)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	n, ok := srcParent.children[srcBase]
+	if !ok {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotExist, oldp)
+	}
+	dstParent, dstBase, err := fs.walkParent(newp)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	if existing, ok := dstParent.children[dstBase]; ok {
+		if existing.dir {
+			fs.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrExist, newp)
+		}
+		fs.nFiles--
+	}
+	delete(srcParent.children, srcBase)
+	dstParent.children[dstBase] = n
+	if n.dir {
+		srcParent.nlink--
+		dstParent.nlink++
+	}
+	now := fs.clock()
+	n.mtime = now
+	fs.cookie++
+	ck := fs.cookie
+	from := RawEvent{Op: RawRenameFrom, Path: oldp, IsDir: n.dir, Ino: n.ino, Cookie: ck, Time: now}
+	to := RawEvent{Op: RawRenameTo, Path: newp, OldPath: oldp, IsDir: n.dir, Ino: n.ino, Cookie: ck, Time: now}
+	fs.mu.Unlock()
+	fs.emit(from)
+	fs.emit(to)
+	return nil
+}
+
+// Remove deletes a file or an empty directory.
+func (fs *FS) Remove(p string) error {
+	p, err := clean(p)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return fmt.Errorf("%w: cannot remove root", ErrInvalidPath)
+	}
+	fs.mu.Lock()
+	parent, base, err := fs.walkParent(p)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	n, ok := parent.children[base]
+	if !ok {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotExist, p)
+	}
+	if n.dir && len(n.children) > 0 {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotEmpty, p)
+	}
+	delete(parent.children, base)
+	op := RawUnlink
+	if n.dir {
+		op = RawRmdir
+		parent.nlink--
+		fs.nDirs--
+	} else {
+		fs.nFiles--
+	}
+	ev := RawEvent{Op: op, Path: p, IsDir: n.dir, Ino: n.ino, Time: fs.clock()}
+	fs.mu.Unlock()
+	fs.emit(ev)
+	return nil
+}
+
+// RemoveAll deletes p and, if a directory, all of its contents (children
+// first, emitting an event per removal, as `rm -r` would).
+func (fs *FS) RemoveAll(p string) error {
+	p, err := clean(p)
+	if err != nil {
+		return err
+	}
+	info, err := fs.Stat(p)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	if info.IsDir {
+		entries, err := fs.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if err := fs.RemoveAll(path.Join(p, e.Name)); err != nil {
+				return err
+			}
+		}
+	}
+	return fs.Remove(p)
+}
+
+// Link creates a hard link newp referring to the same node as oldp.
+func (fs *FS) Link(oldp, newp string) error {
+	oldp, err := clean(oldp)
+	if err != nil {
+		return err
+	}
+	newp, err = clean(newp)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	n, err := fs.walk(oldp)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	if n.dir {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: cannot hard-link directory %q", ErrIsDir, oldp)
+	}
+	parent, base, err := fs.walkParent(newp)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExist, newp)
+	}
+	parent.children[base] = n
+	n.nlink++
+	fs.nFiles++
+	ev := RawEvent{Op: RawLink, Path: newp, OldPath: oldp, Ino: n.ino, Time: fs.clock()}
+	fs.mu.Unlock()
+	fs.emit(ev)
+	return nil
+}
+
+// Entry is a directory entry.
+type Entry struct {
+	Name  string
+	IsDir bool
+	Ino   uint64
+	Size  int64
+}
+
+// ReadDir lists the entries of directory p, sorted by name.
+func (fs *FS) ReadDir(p string) ([]Entry, error) {
+	p, err := clean(p)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.walk(p)
+	if err != nil {
+		return nil, err
+	}
+	if !n.dir {
+		return nil, fmt.Errorf("%w: %q", ErrNotDir, p)
+	}
+	entries := make([]Entry, 0, len(n.children))
+	for name, c := range n.children {
+		entries = append(entries, Entry{Name: name, IsDir: c.dir, Ino: c.ino, Size: c.size})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}
+
+// Walk calls fn for every path under root (including root), depth-first,
+// in sorted order. fn errors abort the walk.
+func (fs *FS) Walk(root string, fn func(p string, info Info) error) error {
+	info, err := fs.Stat(root)
+	if err != nil {
+		return err
+	}
+	if err := fn(info.Path, info); err != nil {
+		return err
+	}
+	if !info.IsDir {
+		return nil
+	}
+	entries, err := fs.ReadDir(info.Path)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := fs.Walk(path.Join(info.Path, e.Name), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counts returns the number of regular files and directories (excluding
+// the root directory).
+func (fs *FS) Counts() (files, dirs int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.nFiles, fs.nDirs
+}

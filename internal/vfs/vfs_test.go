@@ -1,0 +1,508 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func collect(t *Tap) []RawEvent {
+	var evs []RawEvent
+	for {
+		select {
+		case e := <-t.Events():
+			evs = append(evs, e)
+		default:
+			return evs
+		}
+	}
+}
+
+func TestCreateWriteClose(t *testing.T) {
+	fs := New()
+	tap := fs.Subscribe(64)
+	defer tap.Close()
+	h, err := fs.Create("/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Write(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(tap)
+	want := []RawOp{RawCreate, RawWrite, RawClose}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(evs), evs, len(want))
+	}
+	for i, op := range want {
+		if evs[i].Op != op || evs[i].Path != "/hello.txt" {
+			t.Errorf("event %d = %v, want op %v", i, evs[i], op)
+		}
+	}
+	info, err := fs.Stat("/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 10 || info.IsDir {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	fs := New()
+	if _, err := fs.Create("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/a"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	if _, err := fs.Create("/nodir/f"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("create under missing dir: %v", err)
+	}
+	if _, err := fs.Create("relative"); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("relative path: %v", err)
+	}
+}
+
+func TestMkdirTree(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/a", "/a/b", "/a/b/c"} {
+		info, err := fs.Stat(p)
+		if err != nil || !info.IsDir {
+			t.Errorf("Stat(%s) = %+v, %v", p, info, err)
+		}
+	}
+	if err := fs.Mkdir("/a"); !errors.Is(err, ErrExist) {
+		t.Errorf("Mkdir(/a) = %v", err)
+	}
+	if err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Errorf("idempotent MkdirAll: %v", err)
+	}
+	files, dirs := fs.Counts()
+	if files != 0 || dirs != 3 {
+		t.Errorf("counts = %d files %d dirs", files, dirs)
+	}
+}
+
+func TestRenameEmitsCorrelatedPair(t *testing.T) {
+	fs := New()
+	mustWrite(t, fs, "/hello.txt", 1)
+	tap := fs.Subscribe(16)
+	defer tap.Close()
+	if err := fs.Rename("/hello.txt", "/hi.txt"); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(tap)
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	from, to := evs[0], evs[1]
+	if from.Op != RawRenameFrom || from.Path != "/hello.txt" {
+		t.Errorf("from = %v", from)
+	}
+	if to.Op != RawRenameTo || to.Path != "/hi.txt" || to.OldPath != "/hello.txt" {
+		t.Errorf("to = %v", to)
+	}
+	if from.Cookie == 0 || from.Cookie != to.Cookie {
+		t.Errorf("cookies %d/%d not correlated", from.Cookie, to.Cookie)
+	}
+	if !fs.Exists("/hi.txt") || fs.Exists("/hello.txt") {
+		t.Error("rename did not move the file")
+	}
+}
+
+func TestRenameDirMovesSubtree(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, fs, "/d/sub/f", 1)
+	if err := fs.Rename("/d", "/e"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/e/sub/f") {
+		t.Error("subtree did not move")
+	}
+	if err := fs.Rename("/e", "/e/inside"); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("rename into self: %v", err)
+	}
+}
+
+func TestRenameReplacesFile(t *testing.T) {
+	fs := New()
+	mustWrite(t, fs, "/a", 1)
+	mustWrite(t, fs, "/b", 2)
+	if err := fs.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := fs.Counts()
+	if files != 1 {
+		t.Errorf("files = %d, want 1", files)
+	}
+	// Renaming over an existing directory is refused.
+	if err := fs.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, fs, "/c", 1)
+	if err := fs.Rename("/c", "/dir"); !errors.Is(err, ErrExist) {
+		t.Errorf("rename over dir: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	mustWrite(t, fs, "/f", 1)
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, fs, "/d/g", 1)
+	tap := fs.Subscribe(16)
+	defer tap.Close()
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("Remove(non-empty) = %v", err)
+	}
+	if err := fs.RemoveAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	evs := collect(tap)
+	ops := []RawOp{RawUnlink, RawUnlink, RawRmdir}
+	if len(evs) != len(ops) {
+		t.Fatalf("events = %v", evs)
+	}
+	for i, op := range ops {
+		if evs[i].Op != op {
+			t.Errorf("event %d = %v, want %v", i, evs[i], op)
+		}
+	}
+	if err := fs.RemoveAll("/missing"); err != nil {
+		t.Errorf("RemoveAll(missing) = %v", err)
+	}
+	if err := fs.Remove("/"); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("Remove(/) = %v", err)
+	}
+}
+
+func TestAttribAndXattr(t *testing.T) {
+	fs := New()
+	mustWrite(t, fs, "/f", 1)
+	tap := fs.Subscribe(16)
+	defer tap.Close()
+	if err := fs.Chmod("/f", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetXattr("/f", "user.tag", "x"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := fs.GetXattr("/f", "user.tag")
+	if err != nil || v != "x" {
+		t.Errorf("GetXattr = %q, %v", v, err)
+	}
+	if _, err := fs.GetXattr("/f", "user.missing"); err == nil {
+		t.Error("GetXattr(missing) succeeded")
+	}
+	evs := collect(tap)
+	if len(evs) != 2 || evs[0].Op != RawAttrib || evs[1].Op != RawXattr {
+		t.Errorf("events = %v", evs)
+	}
+	info, _ := fs.Stat("/f")
+	if info.Mode != 0o600 {
+		t.Errorf("mode = %o", info.Mode)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := New()
+	mustWrite(t, fs, "/f", 100)
+	if err := fs.Truncate("/f", 7); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("/f")
+	if info.Size != 7 {
+		t.Errorf("size = %d", info.Size)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate("/d", 0); !errors.Is(err, ErrIsDir) {
+		t.Errorf("Truncate(dir) = %v", err)
+	}
+}
+
+func TestHardLink(t *testing.T) {
+	fs := New()
+	mustWrite(t, fs, "/a", 5)
+	if err := fs.Link("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	ia, _ := fs.Stat("/a")
+	ib, _ := fs.Stat("/b")
+	if ia.Ino != ib.Ino {
+		t.Error("link has different inode")
+	}
+	if ia.Nlink != 2 {
+		t.Errorf("nlink = %d", ia.Nlink)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/d", "/d2"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("Link(dir) = %v", err)
+	}
+}
+
+func TestOpenReadClose(t *testing.T) {
+	fs := New()
+	mustWrite(t, fs, "/f", 1)
+	tap := fs.Subscribe(16)
+	defer tap.Close()
+	h, err := fs.Open("/f", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Write(1); err == nil {
+		t.Error("write on read-only handle succeeded")
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close = %v", err)
+	}
+	evs := collect(tap)
+	ops := []RawOp{RawOpen, RawAccess, RawCloseNoWrite}
+	if len(evs) != len(ops) {
+		t.Fatalf("events = %v", evs)
+	}
+	for i, op := range ops {
+		if evs[i].Op != op {
+			t.Errorf("event %d = %v", i, evs[i])
+		}
+	}
+	if _, err := fs.Open("/missing", false); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Open(missing) = %v", err)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := New()
+	for _, name := range []string{"/c", "/a", "/b"} {
+		mustWrite(t, fs, name, 1)
+	}
+	entries, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %v", entries)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if entries[i].Name != want {
+			t.Errorf("entry %d = %q", i, entries[i].Name)
+		}
+	}
+	if _, err := fs.ReadDir("/a"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("ReadDir(file) = %v", err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, fs, "/a/f", 1)
+	mustWrite(t, fs, "/a/b/g", 1)
+	var visited []string
+	err := fs.Walk("/", func(p string, info Info) error {
+		visited = append(visited, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/", "/a", "/a/b", "/a/b/g", "/a/f"}
+	if len(visited) != len(want) {
+		t.Fatalf("visited = %v", visited)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Errorf("visited[%d] = %q, want %q", i, visited[i], want[i])
+		}
+	}
+	stop := errors.New("stop")
+	err = fs.Walk("/", func(p string, info Info) error { return stop })
+	if !errors.Is(err, stop) {
+		t.Errorf("walk error not propagated: %v", err)
+	}
+}
+
+func TestTapOverflowDrops(t *testing.T) {
+	fs := New()
+	tap := fs.Subscribe(2)
+	defer tap.Close()
+	for i := 0; i < 10; i++ {
+		mustWrite(t, fs, fmt.Sprintf("/f%d", i), 1)
+	}
+	if tap.Dropped() == 0 {
+		t.Error("expected drops with tiny buffer")
+	}
+	evs := collect(tap)
+	if len(evs) != 2 {
+		t.Errorf("buffered = %d, want 2", len(evs))
+	}
+}
+
+func TestTapCloseIdempotent(t *testing.T) {
+	fs := New()
+	tap := fs.Subscribe(2)
+	tap.Close()
+	tap.Close() // must not panic
+	mustWrite(t, fs, "/f", 1)
+}
+
+func TestWriteFileOverwrite(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/f", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/f", 3); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("/f")
+	if info.Size != 3 {
+		t.Errorf("size = %d", info.Size)
+	}
+}
+
+func TestInodesUnique(t *testing.T) {
+	fs := New()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		p := fmt.Sprintf("/f%d", i)
+		mustWrite(t, fs, p, 1)
+		info, _ := fs.Stat(p)
+		if seen[info.Ino] {
+			t.Fatalf("duplicate inode %d", info.Ino)
+		}
+		seen[info.Ino] = true
+	}
+}
+
+// Property: after any sequence of creates/renames/removes, Walk visits
+// exactly the paths that Stat confirms exist, and counts match.
+func TestNamespaceConsistencyQuick(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := New()
+		live := map[string]bool{} // path -> isDir, files only here
+		names := []string{"/a", "/b", "/c", "/d", "/e"}
+		for i := 0; i < int(steps); i++ {
+			p := names[rng.Intn(len(names))]
+			switch rng.Intn(3) {
+			case 0:
+				if err := fs.WriteFile(p, 1); err == nil {
+					live[p] = true
+				}
+			case 1:
+				q := names[rng.Intn(len(names))]
+				if err := fs.Rename(p, q); err == nil {
+					if !live[p] {
+						return false // renamed a non-file we didn't create
+					}
+					delete(live, p)
+					live[q] = true
+				}
+			case 2:
+				if err := fs.Remove(p); err == nil {
+					if !live[p] {
+						return false
+					}
+					delete(live, p)
+				}
+			}
+		}
+		for p := range live {
+			if !fs.Exists(p) {
+				return false
+			}
+		}
+		files, _ := fs.Counts()
+		return int(files) == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentOps(t *testing.T) {
+	fs := New()
+	tap := fs.Subscribe(1 << 16)
+	defer tap.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dir := fmt.Sprintf("/g%d", g)
+			if err := fs.Mkdir(dir); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 100; i++ {
+				p := path.Join(dir, fmt.Sprintf("f%d", i))
+				if err := fs.WriteFile(p, 1); err != nil {
+					t.Error(err)
+				}
+				if i%2 == 0 {
+					if err := fs.Remove(p); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	files, dirs := fs.Counts()
+	if files != 8*50 || dirs != 8 {
+		t.Errorf("counts = %d files, %d dirs", files, dirs)
+	}
+	if tap.Dropped() != 0 {
+		t.Errorf("dropped %d with big buffer", tap.Dropped())
+	}
+}
+
+func TestRawOpString(t *testing.T) {
+	if RawCreate.String() != "CREATE" {
+		t.Error(RawCreate.String())
+	}
+	if RawOp(200).String() == "" {
+		t.Error("unknown op renders empty")
+	}
+	e := RawEvent{Op: RawMkdir, Path: "/d", IsDir: true}
+	if e.String() != "MKDIR,ISDIR /d" {
+		t.Error(e.String())
+	}
+}
+
+func mustWrite(t *testing.T, fs *FS, p string, size int64) {
+	t.Helper()
+	if err := fs.WriteFile(p, size); err != nil {
+		t.Fatal(err)
+	}
+}

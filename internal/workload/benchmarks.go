@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path"
+)
+
+// IOROptions configures the IOR event-footprint generator. The paper runs
+// IOR "with single shared file mode and 128 processes" (§V-B): all
+// processes write into one shared file, so the metadata footprint is a
+// single create, per-process data I/O that never touches the MDS, and a
+// single delete (Table IX shows exactly one CREATE/CLOSE/DELETE triple
+// for IOR).
+type IOROptions struct {
+	Dir        string // working directory (default "/ior/src")
+	Processes  int    // MPI ranks (default 128)
+	BytesPerIO int64  // transfer size per rank (default 1 MiB)
+	Iterations int    // write phases per rank (default 4)
+}
+
+// RunIOR generates IOR(SSF)'s file-system events against t.
+func RunIOR(t Target, opts IOROptions) error {
+	if opts.Dir == "" {
+		opts.Dir = "/ior/src"
+	}
+	if opts.Processes <= 0 {
+		opts.Processes = 128
+	}
+	if opts.BytesPerIO <= 0 {
+		opts.BytesPerIO = 1 << 20
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 4
+	}
+	if err := t.MkdirAll(opts.Dir); err != nil {
+		return err
+	}
+	shared := path.Join(opts.Dir, "testFileSSF")
+	if err := t.Create(shared); err != nil {
+		return err
+	}
+	// Every rank writes its stripe of the shared file; bulk data flows
+	// to the OSTs without metadata events.
+	for it := 0; it < opts.Iterations; it++ {
+		for p := 0; p < opts.Processes; p++ {
+			if err := t.WriteData(shared, opts.BytesPerIO); err != nil {
+				return err
+			}
+		}
+	}
+	if err := t.CloseFile(shared); err != nil {
+		return err
+	}
+	if err := t.Unlink(shared); err != nil {
+		return err
+	}
+	return nil
+}
+
+// HACCOptions configures the HACC-I/O event-footprint generator. The paper
+// runs HACC-I/O "for 4 096 000 particles under file-per-process mode with
+// 256 processes" (§V-B): every process creates, writes, closes, and later
+// deletes its own part file (Table IX shows 256 create/close and
+// delete/close pairs).
+type HACCOptions struct {
+	Dir       string // working directory (default "/hacc-io")
+	Processes int    // MPI ranks (default 256)
+	Particles int64  // total particles (default 4 096 000)
+	// BytesPerParticle approximates HACC's per-particle record
+	// (default 38: xx,yy,zz,vx,vy,vz,phi float32 + id int64 + mask).
+	BytesPerParticle int64
+}
+
+// PartName returns rank p's file name in HACC's FPP naming convention.
+func (o HACCOptions) PartName(p int) string {
+	return fmt.Sprintf("FPP1-Part%08d-of-%08d.data", p, o.Processes)
+}
+
+// RunHACC generates HACC-I/O(FPP)'s file-system events against t.
+func RunHACC(t Target, opts HACCOptions) error {
+	if opts.Dir == "" {
+		opts.Dir = "/hacc-io"
+	}
+	if opts.Processes <= 0 {
+		opts.Processes = 256
+	}
+	if opts.Particles <= 0 {
+		opts.Particles = 4096000
+	}
+	if opts.BytesPerParticle <= 0 {
+		opts.BytesPerParticle = 38
+	}
+	if err := t.MkdirAll(opts.Dir); err != nil {
+		return err
+	}
+	perRank := opts.Particles / int64(opts.Processes) * opts.BytesPerParticle
+	// Create + write + close per rank.
+	for p := 0; p < opts.Processes; p++ {
+		f := path.Join(opts.Dir, opts.PartName(p))
+		if err := t.Create(f); err != nil {
+			return err
+		}
+		if err := t.WriteData(f, perRank); err != nil {
+			return err
+		}
+		if err := t.CloseFile(f); err != nil {
+			return err
+		}
+	}
+	// Cleanup phase deletes every part file.
+	for p := 0; p < opts.Processes; p++ {
+		if err := t.Unlink(path.Join(opts.Dir, opts.PartName(p))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FilebenchOptions configures the Filebench-style generator. The paper's
+// configuration (§V-B): 50 000 files with gamma-distributed sizes (mean
+// 16 384 bytes, gamma 1.5), mean directory width 20, mean directory depth
+// 3.6, totalling 782.8 MB.
+type FilebenchOptions struct {
+	Dir       string  // working directory (default "/bigfileset")
+	Files     int     // number of files (default 50 000)
+	MeanSize  float64 // mean file size in bytes (default 16 384)
+	Gamma     float64 // gamma shape parameter (default 1.5)
+	MeanWidth int     // mean directory width (default 20)
+	MeanDepth float64 // mean directory depth (default 3.6)
+	Seed      int64   // RNG seed (default 1)
+}
+
+// FilebenchReport summarizes the generated file set.
+type FilebenchReport struct {
+	Files       int
+	Directories int
+	TotalBytes  int64
+}
+
+// RunFilebench builds the Filebench file set against t.
+func RunFilebench(t Target, opts FilebenchOptions) (FilebenchReport, error) {
+	if opts.Dir == "" {
+		opts.Dir = "/bigfileset"
+	}
+	if opts.Files <= 0 {
+		opts.Files = 50000
+	}
+	if opts.MeanSize <= 0 {
+		opts.MeanSize = 16384
+	}
+	if opts.Gamma <= 0 {
+		opts.Gamma = 1.5
+	}
+	if opts.MeanWidth <= 0 {
+		opts.MeanWidth = 20
+	}
+	if opts.MeanDepth <= 0 {
+		opts.MeanDepth = 3.6
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var rep FilebenchReport
+	if err := t.MkdirAll(opts.Dir); err != nil {
+		return rep, err
+	}
+	madeDirs := map[string]bool{opts.Dir: true}
+	for i := 0; i < opts.Files; i++ {
+		// Sample a directory: depth around MeanDepth, width MeanWidth
+		// names per level.
+		depth := int(opts.MeanDepth)
+		if rng.Float64() < opts.MeanDepth-math.Floor(opts.MeanDepth) {
+			depth++
+		}
+		// ±1 level of jitter keeps the mean while varying shape.
+		switch rng.Intn(4) {
+		case 0:
+			if depth > 1 {
+				depth--
+			}
+		case 1:
+			depth++
+		}
+		dir := opts.Dir
+		for lvl := 0; lvl < depth; lvl++ {
+			width := 1 + rng.Intn(opts.MeanWidth*2-1) // mean ≈ MeanWidth
+			dir = path.Join(dir, fmt.Sprintf("d%d.%d", lvl, rng.Intn(width)))
+			if !madeDirs[dir] {
+				if err := t.MkdirAll(dir); err != nil {
+					return rep, err
+				}
+				madeDirs[dir] = true
+				rep.Directories++
+			}
+		}
+		size := int64(gammaSample(rng, opts.Gamma, opts.MeanSize/opts.Gamma))
+		f := path.Join(dir, fmt.Sprintf("%08d", i+1))
+		if err := t.Create(f); err != nil {
+			return rep, err
+		}
+		if err := t.WriteData(f, size); err != nil {
+			return rep, err
+		}
+		if err := t.CloseFile(f); err != nil {
+			return rep, err
+		}
+		rep.Files++
+		rep.TotalBytes += size
+	}
+	return rep, nil
+}
+
+// gammaSample draws from a Gamma(shape k, scale θ) distribution using the
+// Marsaglia–Tsang method (with Johnk-style boosting for k < 1).
+func gammaSample(rng *rand.Rand, k, theta float64) float64 {
+	if k < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+		u := rng.Float64()
+		return gammaSample(rng, k+1, theta) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * theta
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * theta
+		}
+	}
+}

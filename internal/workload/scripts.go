@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"path"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsmonitor/internal/pace"
+)
+
+// OutputScript runs Evaluate_Output_Script (§V-B) under dir: create
+// hello.txt, modify it, rename it to hi.txt, create directory okdir, move
+// hi.txt into okdir, and finally delete okdir and its contents. settle, if
+// positive, pauses between steps (watch-installation latency for
+// recursive-emulating monitors; a human-driven script has far larger
+// gaps).
+func OutputScript(t Target, dir string, settle time.Duration) error {
+	pause := func() {
+		if settle > 0 {
+			time.Sleep(settle)
+		}
+	}
+	steps := []func() error{
+		func() error { return t.Create(path.Join(dir, "hello.txt")) },
+		func() error { return t.Write(path.Join(dir, "hello.txt"), 10) },
+		func() error { return t.CloseFile(path.Join(dir, "hello.txt")) },
+		func() error { return t.Rename(path.Join(dir, "hello.txt"), path.Join(dir, "hi.txt")) },
+		func() error { return t.Mkdir(path.Join(dir, "okdir")) },
+		func() error { return t.Rename(path.Join(dir, "hi.txt"), path.Join(dir, "okdir", "hi.txt")) },
+		func() error { return t.RemoveAll(path.Join(dir, "okdir")) },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			return fmt.Errorf("workload: output script step %d: %w", i, err)
+		}
+		pause()
+	}
+	return nil
+}
+
+// ScriptVariant selects the Evaluate_Performance_Script operation mix.
+type ScriptVariant int
+
+const (
+	// VariantStandard repeatedly creates, modifies, and deletes a file —
+	// the §V-B Evaluate_Performance_Script.
+	VariantStandard ScriptVariant = iota
+	// VariantCreateDelete is the §V-D3 modification: "continuous
+	// creation and deletion of files without modification". The
+	// configured DeleteLag keeps a window of live files so deletions
+	// reference files created long before, defeating small caches as
+	// observed in the paper.
+	VariantCreateDelete
+	// VariantCreateModify is the other §V-D3 modification: "only
+	// creation and modification of files, without deletion", with
+	// ModifiesPerFile modifications each — more cache hits per miss.
+	VariantCreateModify
+)
+
+// PerfOptions configures RunPerformanceScript.
+type PerfOptions struct {
+	// Dir is the working directory (created if needed).
+	Dir string
+	// Workers is the number of parallel script processes (default 1).
+	Workers int
+	// Duration bounds the run (default 1s) unless Iterations is set.
+	Duration time.Duration
+	// Iterations, if positive, runs a fixed iteration count per worker
+	// instead of a duration.
+	Iterations int
+	// Variant selects the operation mix.
+	Variant ScriptVariant
+	// DeleteLag (VariantCreateDelete) delays each file's deletion until
+	// DeleteLag further files exist (default 0: delete immediately).
+	DeleteLag int
+	// ModifiesPerFile (VariantCreateModify) is the number of
+	// modifications per created file (default 5).
+	ModifiesPerFile int
+	// Lag (VariantStandard) defers each iteration's modify and delete
+	// to act on the file created Lag iterations earlier, giving the
+	// workload a working set of ~Lag live files — the knob that makes
+	// fid2path-cache capacity matter (Table VIII's sweep).
+	Lag int
+	// Rate, if positive, paces each worker to this many operations per
+	// second (used for local-filesystem platforms where the target has
+	// no intrinsic latency model; Lustre targets pace themselves).
+	Rate float64
+}
+
+// PerfReport summarizes a performance-script run.
+type PerfReport struct {
+	Creates, Modifies, Deletes uint64
+	Elapsed                    time.Duration
+}
+
+// Events returns the total number of events generated.
+func (r PerfReport) Events() uint64 { return r.Creates + r.Modifies + r.Deletes }
+
+// EventsPerSec returns the aggregate generation rate.
+func (r PerfReport) EventsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Events()) / r.Elapsed.Seconds()
+}
+
+// RunPerformanceScript runs Evaluate_Performance_Script (or a §V-D3
+// variant) with the given parallelism. targets supplies one Target per
+// worker (a paced Lustre client each, or views of one local filesystem).
+func RunPerformanceScript(ctx context.Context, targets []Target, opts PerfOptions) (PerfReport, error) {
+	if len(targets) == 0 {
+		return PerfReport{}, fmt.Errorf("workload: no targets")
+	}
+	if opts.Dir == "" {
+		opts.Dir = "/perf"
+	}
+	if opts.Duration <= 0 && opts.Iterations <= 0 {
+		opts.Duration = time.Second
+	}
+	if opts.ModifiesPerFile <= 0 {
+		opts.ModifiesPerFile = 5
+	}
+	if err := targets[0].MkdirAll(opts.Dir); err != nil {
+		return PerfReport{}, err
+	}
+	var report PerfReport
+	var creates, modifies, deletes atomic.Uint64
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if opts.Duration > 0 && opts.Iterations <= 0 {
+		runCtx, cancel = context.WithTimeout(ctx, opts.Duration)
+		defer cancel()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(targets))
+	for w, t := range targets {
+		wg.Add(1)
+		go func(w int, t Target) {
+			defer wg.Done()
+			dir := path.Join(opts.Dir, fmt.Sprintf("w%d", w))
+			if err := t.MkdirAll(dir); err != nil {
+				errs <- err
+				return
+			}
+			var limiter *pace.Limiter
+			if opts.Rate > 0 {
+				limiter = pace.NewLimiter(opts.Rate)
+			}
+			op := func(f func() error) bool {
+				if limiter != nil {
+					limiter.Wait()
+				}
+				if err := f(); err != nil {
+					errs <- err
+					return false
+				}
+				return true
+			}
+			var pendingDeletes []string
+			for i := 0; ; i++ {
+				if opts.Iterations > 0 && i >= opts.Iterations {
+					break
+				}
+				select {
+				case <-runCtx.Done():
+					// Flush pending lagged deletes outside the
+					// measurement; the report only counts completed
+					// loop operations.
+					return
+				default:
+				}
+				f := path.Join(dir, fmt.Sprintf("hello%d.txt", i))
+				switch opts.Variant {
+				case VariantStandard:
+					if !op(func() error { return t.Create(f) }) {
+						return
+					}
+					creates.Add(1)
+					victim := f
+					if opts.Lag > 0 {
+						if i < opts.Lag {
+							continue // fill the working set first
+						}
+						victim = path.Join(dir, fmt.Sprintf("hello%d.txt", i-opts.Lag))
+					}
+					if !op(func() error { return t.Write(victim, 1) }) {
+						return
+					}
+					modifies.Add(1)
+					if !op(func() error { return t.Unlink(victim) }) {
+						return
+					}
+					deletes.Add(1)
+				case VariantCreateDelete:
+					if !op(func() error { return t.Create(f) }) {
+						return
+					}
+					creates.Add(1)
+					pendingDeletes = append(pendingDeletes, f)
+					if len(pendingDeletes) > opts.DeleteLag {
+						victim := pendingDeletes[0]
+						pendingDeletes = pendingDeletes[1:]
+						if !op(func() error { return t.Unlink(victim) }) {
+							return
+						}
+						deletes.Add(1)
+					}
+				case VariantCreateModify:
+					if !op(func() error { return t.Create(f) }) {
+						return
+					}
+					creates.Add(1)
+					for m := 0; m < opts.ModifiesPerFile; m++ {
+						if !op(func() error { return t.Write(f, 1) }) {
+							return
+						}
+						modifies.Add(1)
+					}
+				}
+			}
+		}(w, t)
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	report.Creates = creates.Load()
+	report.Modifies = modifies.Load()
+	report.Deletes = deletes.Load()
+	select {
+	case err := <-errs:
+		return report, err
+	default:
+	}
+	return report, nil
+}
+
+// MeasureOpRate measures a single op type's sustainable generation rate
+// (the per-type rows of Table V): it runs fn in a loop for d and returns
+// operations per second.
+func MeasureOpRate(d time.Duration, fn func(i int) error) (float64, error) {
+	start := time.Now()
+	n := 0
+	for time.Since(start) < d {
+		if err := fn(n); err != nil {
+			return 0, err
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	return float64(n) / elapsed.Seconds(), nil
+}

@@ -1,0 +1,192 @@
+// Package workload implements the paper's evaluation workloads (§V-B):
+// Evaluate_Output_Script and Evaluate_Performance_Script (plus the §V-D3
+// create/delete-only and create/modify-only variants), and event-footprint
+// generators for the IOR, HACC-I/O, and Filebench benchmarks. Workloads
+// run against any Target — the simulated local filesystems or a Lustre
+// client — so the same script drives both the local (§V-C) and
+// distributed (§V-D) experiments.
+package workload
+
+import (
+	"fmt"
+	"path"
+	"sync"
+
+	"fsmonitor/internal/lustre"
+	"fsmonitor/internal/vfs"
+)
+
+// Target is the op surface a workload drives.
+type Target interface {
+	Mkdir(p string) error
+	MkdirAll(p string) error
+	Create(p string) error
+	// Write modifies the file, generating a data-modification event.
+	Write(p string, n int64) error
+	// WriteData performs bulk data I/O that does not generate metadata
+	// events (OST-direct writes on Lustre).
+	WriteData(p string, n int64) error
+	CloseFile(p string) error
+	Rename(oldp, newp string) error
+	Unlink(p string) error
+	Rmdir(p string) error
+	RemoveAll(p string) error
+}
+
+// VFSTarget adapts an in-memory local filesystem. It tracks open handles
+// so create→write→close sequences produce the native open/close events a
+// real script run produces.
+type VFSTarget struct {
+	fs   *vfs.FS
+	mu   sync.Mutex
+	open map[string]*vfs.Handle
+}
+
+// NewVFSTarget wraps fs.
+func NewVFSTarget(fs *vfs.FS) *VFSTarget {
+	return &VFSTarget{fs: fs, open: make(map[string]*vfs.Handle)}
+}
+
+// Mkdir implements Target.
+func (t *VFSTarget) Mkdir(p string) error { return t.fs.Mkdir(p) }
+
+// MkdirAll implements Target.
+func (t *VFSTarget) MkdirAll(p string) error { return t.fs.MkdirAll(p) }
+
+// Create implements Target, leaving the file open for writing.
+func (t *VFSTarget) Create(p string) error {
+	h, err := t.fs.Create(p)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.open[p] = h
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *VFSTarget) handle(p string) (*vfs.Handle, error) {
+	t.mu.Lock()
+	h, ok := t.open[p]
+	t.mu.Unlock()
+	if ok {
+		return h, nil
+	}
+	h, err := t.fs.Open(p, true)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.open[p] = h
+	t.mu.Unlock()
+	return h, nil
+}
+
+// Write implements Target.
+func (t *VFSTarget) Write(p string, n int64) error {
+	h, err := t.handle(p)
+	if err != nil {
+		return err
+	}
+	return h.Write(n)
+}
+
+// WriteData implements Target (no metadata-free path on a local FS; it is
+// an ordinary write).
+func (t *VFSTarget) WriteData(p string, n int64) error { return t.Write(p, n) }
+
+// CloseFile implements Target.
+func (t *VFSTarget) CloseFile(p string) error {
+	t.mu.Lock()
+	h, ok := t.open[p]
+	delete(t.open, p)
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("workload: %q not open", p)
+	}
+	return h.Close()
+}
+
+// Rename implements Target.
+func (t *VFSTarget) Rename(oldp, newp string) error {
+	t.mu.Lock()
+	if h, ok := t.open[oldp]; ok {
+		delete(t.open, oldp)
+		t.open[newp] = h
+	}
+	t.mu.Unlock()
+	return t.fs.Rename(oldp, newp)
+}
+
+// Unlink implements Target, closing any open handle first.
+func (t *VFSTarget) Unlink(p string) error {
+	t.mu.Lock()
+	if h, ok := t.open[p]; ok {
+		delete(t.open, p)
+		t.mu.Unlock()
+		_ = h.Close()
+	} else {
+		t.mu.Unlock()
+	}
+	return t.fs.Remove(p)
+}
+
+// Rmdir implements Target.
+func (t *VFSTarget) Rmdir(p string) error { return t.fs.Remove(p) }
+
+// RemoveAll implements Target.
+func (t *VFSTarget) RemoveAll(p string) error {
+	t.mu.Lock()
+	for open, h := range t.open {
+		if open == p || pathHasPrefix(open, p) {
+			_ = h.Close()
+			delete(t.open, open)
+		}
+	}
+	t.mu.Unlock()
+	return t.fs.RemoveAll(p)
+}
+
+func pathHasPrefix(p, dir string) bool {
+	dir = path.Clean(dir)
+	return dir != "/" && len(p) > len(dir) && p[:len(dir)] == dir && p[len(dir)] == '/'
+}
+
+// LustreTarget adapts a Lustre client.
+type LustreTarget struct {
+	cl *lustre.Client
+}
+
+// NewLustreTarget wraps cl (use cluster.PacedClient() for calibrated
+// generation rates).
+func NewLustreTarget(cl *lustre.Client) *LustreTarget { return &LustreTarget{cl: cl} }
+
+// Mkdir implements Target.
+func (t *LustreTarget) Mkdir(p string) error { return t.cl.Mkdir(p) }
+
+// MkdirAll implements Target.
+func (t *LustreTarget) MkdirAll(p string) error { return t.cl.MkdirAll(p) }
+
+// Create implements Target.
+func (t *LustreTarget) Create(p string) error { return t.cl.Create(p) }
+
+// Write implements Target.
+func (t *LustreTarget) Write(p string, n int64) error { return t.cl.Write(p, n) }
+
+// WriteData implements Target.
+func (t *LustreTarget) WriteData(p string, n int64) error { return t.cl.WriteData(p, n) }
+
+// CloseFile implements Target.
+func (t *LustreTarget) CloseFile(p string) error { return t.cl.CloseFile(p) }
+
+// Rename implements Target.
+func (t *LustreTarget) Rename(oldp, newp string) error { return t.cl.Rename(oldp, newp) }
+
+// Unlink implements Target.
+func (t *LustreTarget) Unlink(p string) error { return t.cl.Unlink(p) }
+
+// Rmdir implements Target.
+func (t *LustreTarget) Rmdir(p string) error { return t.cl.Rmdir(p) }
+
+// RemoveAll implements Target.
+func (t *LustreTarget) RemoveAll(p string) error { return t.cl.RemoveAll(p) }

@@ -1,0 +1,329 @@
+package workload
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/lustre"
+	"fsmonitor/internal/vfs"
+)
+
+func lustreTarget() (*lustre.Cluster, Target) {
+	c := lustre.NewCluster(lustre.Config{NumMDS: 2, NumOSS: 2, OSTsPerOSS: 2, OSTSizeGB: 10})
+	return c, NewLustreTarget(c.Client())
+}
+
+func TestOutputScriptOnVFS(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/test"); err != nil {
+		t.Fatal(err)
+	}
+	tap := fs.Subscribe(256)
+	defer tap.Close()
+	if err := OutputScript(NewVFSTarget(fs), "/test", 0); err != nil {
+		t.Fatal(err)
+	}
+	// The directory is gone at the end.
+	if fs.Exists("/test/okdir") || fs.Exists("/test/hello.txt") {
+		t.Error("script left artifacts")
+	}
+	// Raw sequence: create, write, close, rename pair, mkdir, rename
+	// pair, unlink, rmdir = 10 raw events.
+	var n int
+	for {
+		select {
+		case <-tap.Events():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 10 {
+		t.Errorf("raw events = %d, want 10", n)
+	}
+}
+
+func TestOutputScriptOnLustre(t *testing.T) {
+	cluster, target := lustreTarget()
+	if err := target.MkdirAll("/test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := OutputScript(target, "/test", 0); err != nil {
+		t.Fatal(err)
+	}
+	var types []lustre.RecType
+	for i := 0; i < cluster.NumMDS(); i++ {
+		log, _ := cluster.Changelog(i)
+		for _, r := range log.Read(0, 0) {
+			types = append(types, r.Type)
+		}
+	}
+	counts := map[lustre.RecType]int{}
+	for _, ty := range types {
+		counts[ty]++
+	}
+	if counts[lustre.RecCreat] != 1 || counts[lustre.RecMkdir] != 2 || counts[lustre.RecUnlnk] != 1 || counts[lustre.RecRmdir] != 1 {
+		t.Errorf("record mix = %v", counts)
+	}
+	if counts[lustre.RecRenme] != 2 {
+		t.Errorf("renames = %d", counts[lustre.RecRenme])
+	}
+}
+
+func TestPerformanceScriptStandard(t *testing.T) {
+	_, target := lustreTarget()
+	rep, err := RunPerformanceScript(context.Background(), []Target{target}, PerfOptions{
+		Dir: "/perf", Iterations: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Creates != 50 || rep.Modifies != 50 || rep.Deletes != 50 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Events() != 150 {
+		t.Errorf("events = %d", rep.Events())
+	}
+	if rep.EventsPerSec() <= 0 {
+		t.Error("rate not computed")
+	}
+}
+
+func TestPerformanceScriptVariants(t *testing.T) {
+	_, target := lustreTarget()
+	rep, err := RunPerformanceScript(context.Background(), []Target{target}, PerfOptions{
+		Dir: "/cd", Iterations: 100, Variant: VariantCreateDelete, DeleteLag: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Creates != 100 {
+		t.Errorf("creates = %d", rep.Creates)
+	}
+	if rep.Deletes != 70 { // 100 created, 30 still pending behind the lag
+		t.Errorf("deletes = %d, want 70", rep.Deletes)
+	}
+	if rep.Modifies != 0 {
+		t.Errorf("modifies = %d", rep.Modifies)
+	}
+
+	_, target2 := lustreTarget()
+	rep, err = RunPerformanceScript(context.Background(), []Target{target2}, PerfOptions{
+		Dir: "/cm", Iterations: 40, Variant: VariantCreateModify, ModifiesPerFile: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Creates != 40 || rep.Modifies != 120 || rep.Deletes != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestPerformanceScriptWorkersIsolated(t *testing.T) {
+	cluster, _ := lustreTarget()
+	targets := []Target{
+		NewLustreTarget(cluster.Client()),
+		NewLustreTarget(cluster.Client()),
+		NewLustreTarget(cluster.Client()),
+	}
+	rep, err := RunPerformanceScript(context.Background(), targets, PerfOptions{
+		Dir: "/multi", Iterations: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Creates != 60 {
+		t.Errorf("creates = %d", rep.Creates)
+	}
+}
+
+func TestPerformanceScriptDuration(t *testing.T) {
+	_, target := lustreTarget()
+	rep, err := RunPerformanceScript(context.Background(), []Target{target}, PerfOptions{
+		Dir: "/dur", Duration: 100 * time.Millisecond, Rate: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~100 ops at 1000/s in 100ms; tolerate scheduling slop.
+	if rep.Events() < 50 || rep.Events() > 220 {
+		t.Errorf("events = %d, want ~100", rep.Events())
+	}
+}
+
+func TestPerformanceScriptRequiresTargets(t *testing.T) {
+	if _, err := RunPerformanceScript(context.Background(), nil, PerfOptions{}); err == nil {
+		t.Error("accepted zero targets")
+	}
+}
+
+func TestIORFootprint(t *testing.T) {
+	cluster, target := lustreTarget()
+	if err := RunIOR(target, IOROptions{Processes: 16, BytesPerIO: 1024, Iterations: 2}); err != nil {
+		t.Fatal(err)
+	}
+	counts := recordCounts(cluster)
+	// SSF: exactly one create, one close, one delete — data writes
+	// produce no metadata records (Table IX).
+	if counts[lustre.RecCreat] != 1 || counts[lustre.RecClose] != 1 || counts[lustre.RecUnlnk] != 1 {
+		t.Errorf("IOR records = %v", counts)
+	}
+	if counts[lustre.RecMtime] != 0 {
+		t.Errorf("IOR generated %d MTIME records from data I/O", counts[lustre.RecMtime])
+	}
+}
+
+func TestHACCFootprint(t *testing.T) {
+	cluster, target := lustreTarget()
+	if err := RunHACC(target, HACCOptions{Processes: 32, Particles: 3200}); err != nil {
+		t.Fatal(err)
+	}
+	counts := recordCounts(cluster)
+	if counts[lustre.RecCreat] != 32 || counts[lustre.RecClose] != 32 || counts[lustre.RecUnlnk] != 32 {
+		t.Errorf("HACC records = %v", counts)
+	}
+	// FPP naming convention matches the paper's Table IX listing.
+	name := HACCOptions{Processes: 256}.PartName(0)
+	if name != "FPP1-Part00000000-of-00000256.data" {
+		t.Errorf("part name = %q", name)
+	}
+}
+
+func TestFilebenchFootprint(t *testing.T) {
+	cluster, target := lustreTarget()
+	rep, err := RunFilebench(target, FilebenchOptions{Files: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Files != 2000 {
+		t.Errorf("files = %d", rep.Files)
+	}
+	counts := recordCounts(cluster)
+	if counts[lustre.RecCreat] != 2000 || counts[lustre.RecClose] != 2000 {
+		t.Errorf("filebench records = %v", counts)
+	}
+	// Mean size should approximate 16 KiB (gamma mean = k*theta).
+	mean := float64(rep.TotalBytes) / float64(rep.Files)
+	if mean < 10000 || mean > 24000 {
+		t.Errorf("mean size = %.0f, want ~16384", mean)
+	}
+	if rep.Directories == 0 {
+		t.Error("no directories created")
+	}
+	files, _ := cluster.Counts()
+	if files != 2000 {
+		t.Errorf("cluster files = %d", files)
+	}
+}
+
+func TestFilebenchDeterministicWithSeed(t *testing.T) {
+	_, t1 := lustreTarget()
+	_, t2 := lustreTarget()
+	r1, err := RunFilebench(t1, FilebenchOptions{Files: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunFilebench(t2, FilebenchOptions{Files: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("same seed, different reports: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	k, theta := 1.5, 16384.0/1.5
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := gammaSample(rng, k, theta)
+		if x < 0 {
+			t.Fatal("negative sample")
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	wantMean := k * theta
+	wantVar := k * theta * theta
+	if math.Abs(mean-wantMean)/wantMean > 0.05 {
+		t.Errorf("mean = %.0f, want %.0f", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.15 {
+		t.Errorf("variance = %.0f, want %.0f", variance, wantVar)
+	}
+	// Shape < 1 path.
+	s := gammaSample(rng, 0.5, 10)
+	if s < 0 {
+		t.Error("negative sample for k<1")
+	}
+}
+
+func TestMeasureOpRate(t *testing.T) {
+	rate, err := MeasureOpRate(50*time.Millisecond, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 || rate > 2000 {
+		t.Errorf("rate = %f", rate)
+	}
+}
+
+func TestVFSTargetHandleLifecycle(t *testing.T) {
+	fs := vfs.New()
+	target := NewVFSTarget(fs)
+	if err := target.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Write("/f", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Rename("/f", "/g"); err != nil {
+		t.Fatal(err)
+	}
+	// The open handle followed the rename.
+	if err := target.CloseFile("/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.CloseFile("/g"); err == nil {
+		t.Error("double close succeeded")
+	}
+	// Unlink with an open handle closes it first.
+	if err := target.Create("/h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Unlink("/h"); err != nil {
+		t.Fatal(err)
+	}
+	// Write reopens closed files.
+	if err := target.Create("/i"); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.CloseFile("/i"); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Write("/i", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func recordCounts(c *lustre.Cluster) map[lustre.RecType]int {
+	counts := map[lustre.RecType]int{}
+	for i := 0; i < c.NumMDS(); i++ {
+		log, _ := c.Changelog(i)
+		for _, r := range log.Read(0, 0) {
+			counts[r.Type]++
+		}
+	}
+	return counts
+}
