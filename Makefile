@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# check is the pre-PR gate: everything must build, vet clean, and pass
+# the full suite under the race detector.
+check: build vet race

@@ -35,6 +35,7 @@
 package fsmonitor
 
 import (
+	"context"
 	"runtime"
 
 	"fsmonitor/internal/core"
@@ -131,6 +132,15 @@ type Option func(*core.Options)
 // not a new watcher (§V-C1).
 func WithRecursive() Option {
 	return func(o *core.Options) { o.Recursive = true }
+}
+
+// WithContext bounds the monitor's lifetime: the context is threaded
+// through every layer (DSI capture, resolution pipeline, interface), and
+// canceling it shuts the monitor down — sources stop first, in-flight
+// events drain downstream in stage order, then blocked operations unwind.
+// Close remains the explicit, graceful path.
+func WithContext(ctx context.Context) Option {
+	return func(o *core.Options) { o.Context = ctx }
 }
 
 // WithDSI pins a specific backend by name instead of auto-selection.

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -40,6 +41,10 @@ type Options struct {
 	Store eventstore.Options
 	// Buffer is the DSI event channel capacity (0 = default).
 	Buffer int
+	// Context bounds the monitor's lifetime: it is threaded through every
+	// layer (DSI, resolution pipeline, interface) and canceling it closes
+	// the monitor. Nil means Background; Close remains the graceful path.
+	Context context.Context
 }
 
 // DefaultRegistry returns a registry with every built-in backend for the
@@ -76,6 +81,7 @@ func New(opts Options) (*Monitor, error) {
 		Recursive: opts.Recursive,
 		Buffer:    opts.Buffer,
 		Backend:   opts.Backend,
+		Context:   opts.Context,
 	}
 	var (
 		d   dsi.DSI
@@ -102,22 +108,31 @@ func New(opts Options) (*Monitor, error) {
 	}
 	m := &Monitor{
 		dsi:      d,
-		proc:     resolution.New(d.Events(), opts.Resolution),
+		proc:     resolution.NewContext(opts.Context, d.Events(), opts.Resolution),
 		api:      api,
 		store:    store,
 		pumpDone: make(chan struct{}),
 	}
 	go m.pump()
+	if opts.Context != nil {
+		// The DSI and resolution pipeline already honor the context
+		// themselves; this hook completes the shutdown (interface layer,
+		// store) when the caller cancels instead of calling Close.
+		context.AfterFunc(opts.Context, func() { _ = m.Close() })
+	}
 	return m, nil
 }
 
-// pump feeds resolution-layer batches into the interface layer.
+// pump feeds resolution-layer batches into the interface layer. Ingest
+// copies events into its own slices, so each batch can be recycled into
+// the resolution layer's pool immediately afterwards.
 func (m *Monitor) pump() {
 	defer close(m.pumpDone)
 	for batch := range m.proc.Batches() {
 		if err := m.api.Ingest(batch); err != nil {
 			return
 		}
+		m.proc.Recycle(batch)
 	}
 }
 

@@ -10,6 +10,7 @@
 package dsi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -60,6 +61,11 @@ type Config struct {
 	// kernel, a Lustre cluster connection). Concrete factories document
 	// what they expect.
 	Backend any
+	// Context detaches the backend when canceled — the registry closes
+	// any DSI it opened once the context ends. Backends with internal
+	// services (e.g. the Lustre collectors) also propagate it so a
+	// cancellation unwinds blocked sends. Nil means Background.
+	Context context.Context
 }
 
 // Factory builds a DSI attached per cfg.
@@ -147,7 +153,16 @@ func (r *Registry) OpenNamed(name string, cfg Config) (DSI, error) {
 	if !ok {
 		return nil, fmt.Errorf("dsi: unknown backend %q", name)
 	}
-	return reg.factory(cfg)
+	d, err := reg.factory(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Context != nil {
+		// DSI.Close is idempotent for every built-in backend (CloseBase),
+		// so a context-driven close composes with an explicit one.
+		context.AfterFunc(cfg.Context, func() { _ = d.Close() })
+	}
+	return d, nil
 }
 
 func infoRootDefault(info StorageInfo, cfg Config) Config {

@@ -72,6 +72,7 @@ func New(cfg dsi.Config) (dsi.DSI, error) {
 		MountPoint: root,
 		CacheSize:  be.CacheSize,
 		Transport:  be.Transport,
+		Context:    cfg.Context,
 	})
 	if err != nil {
 		return nil, err

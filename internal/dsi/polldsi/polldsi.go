@@ -44,7 +44,6 @@ type poller struct {
 	recursive bool
 	interval  time.Duration
 	prev      map[string]entry
-	done      chan struct{}
 }
 
 // DefaultInterval is the default scan period.
@@ -68,7 +67,6 @@ func New(cfg dsi.Config, interval time.Duration) (dsi.DSI, error) {
 		root:      root,
 		recursive: cfg.Recursive,
 		interval:  interval,
-		done:      make(chan struct{}),
 	}
 	p.prev = p.scan()
 	p.AddPump()

@@ -9,12 +9,14 @@
 package iface
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 
 	"fsmonitor/internal/events"
 	"fsmonitor/internal/eventstore"
+	"fsmonitor/internal/pipeline"
 )
 
 // Filter selects which events a subscription receives.
@@ -57,11 +59,14 @@ type Options struct {
 	// Store holds events for fault tolerance; required.
 	Store *eventstore.Store
 	// SubscriberBuffer is each subscription's channel capacity
-	// (default 1024 batches).
+	// (default pipeline.DefaultSubscriberBuffer batches).
 	SubscriberBuffer int
 	// AutoAck marks events reported as soon as every subscriber has
 	// been offered them (default true in New).
 	AutoAck bool
+	// Context closes the layer (cancelling every subscription) when
+	// canceled. Nil means Background.
+	Context context.Context
 }
 
 // Interface is the client-facing layer.
@@ -83,9 +88,13 @@ func New(opts Options) (*Interface, error) {
 		return nil, errors.New("iface: Options.Store is required")
 	}
 	if opts.SubscriberBuffer <= 0 {
-		opts.SubscriberBuffer = 1024
+		opts.SubscriberBuffer = pipeline.DefaultSubscriberBuffer
 	}
-	return &Interface{store: opts.Store, opts: opts, subs: make(map[*Subscription]struct{})}, nil
+	i := &Interface{store: opts.Store, opts: opts, subs: make(map[*Subscription]struct{})}
+	if opts.Context != nil {
+		context.AfterFunc(opts.Context, i.Close)
+	}
+	return i, nil
 }
 
 // Subscription is one client's event feed.

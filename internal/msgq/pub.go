@@ -2,12 +2,17 @@ package msgq
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrClosed is returned by context-aware waits when the socket closes.
+var ErrClosed = errors.New("msgq: socket closed")
 
 // DefaultHWM is the default per-subscriber high-water mark (queued
 // messages) for PUB sockets, mirroring ZeroMQ's send HWM.
@@ -29,6 +34,7 @@ type Pub struct {
 	inprocName  []string
 	subs        map[*pubSubscriber]struct{}
 	inproc      map[*inprocPeer]struct{}
+	subChange   chan struct{} // closed+replaced on every attach/detach
 	closed      chan struct{}
 	closeOnce   sync.Once
 	dropped     atomic.Uint64
@@ -84,10 +90,11 @@ func WithBlockOnFull() PubOption {
 // NewPub creates an unbound publish socket.
 func NewPub(opts ...PubOption) *Pub {
 	p := &Pub{
-		hwm:    DefaultHWM,
-		subs:   make(map[*pubSubscriber]struct{}),
-		inproc: make(map[*inprocPeer]struct{}),
-		closed: make(chan struct{}),
+		hwm:       DefaultHWM,
+		subs:      make(map[*pubSubscriber]struct{}),
+		inproc:    make(map[*inprocPeer]struct{}),
+		subChange: make(chan struct{}),
+		closed:    make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(p)
@@ -160,6 +167,7 @@ func (p *Pub) acceptLoop(ln net.Listener) {
 		default:
 		}
 		p.subs[sub] = struct{}{}
+		p.notifySubChangeLocked()
 		p.mu.Unlock()
 		p.wg.Add(2)
 		go p.subReader(sub)
@@ -224,6 +232,7 @@ func (p *Pub) detach(sub *pubSubscriber) {
 	sub.stop()
 	p.mu.Lock()
 	delete(p.subs, sub)
+	p.notifySubChangeLocked()
 	p.mu.Unlock()
 }
 
@@ -232,6 +241,7 @@ func (p *Pub) attachInproc(peer *inprocPeer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.inproc[peer] = struct{}{}
+	p.notifySubChangeLocked()
 }
 
 // detachInproc removes an in-process peer.
@@ -239,10 +249,49 @@ func (p *Pub) detachInproc(peer *inprocPeer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	delete(p.inproc, peer)
+	p.notifySubChangeLocked()
+}
+
+// notifySubChangeLocked wakes WaitSubscribed callers. Caller holds p.mu.
+func (p *Pub) notifySubChangeLocked() {
+	close(p.subChange)
+	p.subChange = make(chan struct{})
+}
+
+// WaitSubscribed blocks until the socket has at least one attached
+// subscriber (either transport), the context is canceled, or the socket
+// closes. It is event-driven — collectors gate Changelog consumption on
+// it so unconsumed events buffer source-side with no sleep/poll loop.
+func (p *Pub) WaitSubscribed(ctx context.Context) error {
+	for {
+		p.mu.Lock()
+		n := len(p.subs) + len(p.inproc)
+		change := p.subChange
+		p.mu.Unlock()
+		if n > 0 {
+			return nil
+		}
+		select {
+		case <-change:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-p.closed:
+			return ErrClosed
+		}
+	}
 }
 
 // Publish distributes the message to all matching subscribers.
 func (p *Pub) Publish(topic string, payload []byte) {
+	p.PublishCtx(context.Background(), topic, payload)
+}
+
+// PublishCtx distributes the message to all matching subscribers and
+// returns how many queues accepted it. Under blockOnFull a full
+// subscriber queue exerts backpressure; canceling ctx unwinds the blocked
+// send (that subscriber simply misses the message, reflected in the
+// count).
+func (p *Pub) PublishCtx(ctx context.Context, topic string, payload []byte) int {
 	p.published.Add(1)
 	m := Message{Topic: topic, Payload: payload}
 	p.mu.Lock()
@@ -255,6 +304,7 @@ func (p *Pub) Publish(topic string, payload []byte) {
 		peers = append(peers, q)
 	}
 	p.mu.Unlock()
+	delivered := 0
 	for _, s := range tcpSubs {
 		if !s.matches(topic) {
 			continue
@@ -262,12 +312,15 @@ func (p *Pub) Publish(topic string, payload []byte) {
 		if p.blockOnFull {
 			select {
 			case s.queue <- m:
+				delivered++
 			case <-s.done:
 			case <-p.closed:
+			case <-ctx.Done():
 			}
 		} else {
 			select {
 			case s.queue <- m:
+				delivered++
 			default:
 				p.dropped.Add(1)
 			}
@@ -277,10 +330,13 @@ func (p *Pub) Publish(topic string, payload []byte) {
 		if !q.matches(topic) {
 			continue
 		}
-		if !q.deliver(m) {
+		if q.deliver(m) {
+			delivered++
+		} else {
 			p.dropped.Add(1)
 		}
 	}
+	return delivered
 }
 
 // Subscribers returns the number of attached subscribers (both transports).

@@ -2,6 +2,7 @@ package msgq
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -17,6 +18,9 @@ type Sub struct {
 	prefixes  map[string]bool
 	conns     map[string]*subConn // endpoint -> connection state
 	out       chan Message
+	outMu     sync.RWMutex // serializes inproc deliveries vs close(out)
+	outClosed bool
+	readyCh   chan struct{} // closed+replaced on every readiness change
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -24,18 +28,22 @@ type Sub struct {
 }
 
 type subConn struct {
-	ep    endpoint
-	raw   net.Conn
-	mu    sync.Mutex
-	peer  *inprocPeer // inproc only
-	pub   *Pub        // inproc only
-	ready bool
+	ep     endpoint
+	raw    net.Conn
+	notify func() // wakes the owning Sub's readiness waiters
+	mu     sync.Mutex
+	peer   *inprocPeer // inproc only
+	pub    *Pub        // inproc only
+	ready  bool
 }
 
 func (c *subConn) setReady(v bool) {
 	c.mu.Lock()
 	c.ready = v
 	c.mu.Unlock()
+	if c.notify != nil {
+		c.notify()
+	}
 }
 
 func (c *subConn) isReady() bool {
@@ -61,6 +69,7 @@ func NewSub(opts ...SubOption) *Sub {
 	s := &Sub{
 		prefixes: make(map[string]bool),
 		conns:    make(map[string]*subConn),
+		readyCh:  make(chan struct{}),
 		closed:   make(chan struct{}),
 	}
 	for _, o := range opts {
@@ -80,7 +89,7 @@ func (s *Sub) Connect(ep string) error {
 	if err != nil {
 		return err
 	}
-	c := &subConn{ep: e}
+	c := &subConn{ep: e, notify: s.notifyReady}
 	s.mu.Lock()
 	if _, dup := s.conns[ep]; dup {
 		s.mu.Unlock()
@@ -144,6 +153,26 @@ func (c *subConn) sendCtl(topic, prefix string) {
 // C returns the receive channel. It is closed when the socket closes.
 func (s *Sub) C() <-chan Message { return s.out }
 
+// Recv receives the next message, unblocking when ctx is canceled. ok is
+// false when the socket closed (after any buffered messages drained) or
+// the context ended.
+func (s *Sub) Recv(ctx context.Context) (m Message, ok bool) {
+	select {
+	case m, ok = <-s.out:
+		return m, ok
+	case <-ctx.Done():
+		return Message{}, false
+	}
+}
+
+// notifyReady wakes WaitReady/WaitAnyReady callers.
+func (s *Sub) notifyReady() {
+	s.mu.Lock()
+	close(s.readyCh)
+	s.readyCh = make(chan struct{})
+	s.mu.Unlock()
+}
+
 // connLoop maintains one endpoint connection across failures.
 func (s *Sub) connLoop(c *subConn) {
 	defer s.wg.Done()
@@ -187,6 +216,14 @@ func (s *Sub) runInproc(c *subConn) bool {
 	}
 	peer := &inprocPeer{prefixes: map[string]bool{}}
 	peer.deliver = func(m Message) bool {
+		// A publisher may call deliver from its own goroutine after this
+		// peer detached (it snapshots peers before sending); the read
+		// lock keeps such stragglers ordered before close(s.out).
+		s.outMu.RLock()
+		defer s.outMu.RUnlock()
+		if s.outClosed {
+			return false
+		}
 		select {
 		case s.out <- m:
 			return true
@@ -225,7 +262,8 @@ func (s *Sub) runInproc(c *subConn) bool {
 // subscriber attaches (the ZeroMQ "slow joiner"); callers that must not
 // miss the first messages wait for readiness before triggering them.
 func (s *Sub) WaitReady(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	for {
 		s.mu.Lock()
 		allReady := true
@@ -236,17 +274,17 @@ func (s *Sub) WaitReady(timeout time.Duration) error {
 				allReady = false
 			}
 		}
+		change := s.readyCh
 		s.mu.Unlock()
 		if n > 0 && allReady {
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("msgq: sub not ready after %v", timeout)
-		}
 		select {
+		case <-change:
+		case <-deadline.C:
+			return fmt.Errorf("msgq: sub not ready after %v", timeout)
 		case <-s.closed:
 			return fmt.Errorf("msgq: sub closed")
-		case <-time.After(2 * time.Millisecond):
 		}
 	}
 }
@@ -255,7 +293,8 @@ func (s *Sub) WaitReady(timeout time.Duration) error {
 // the timeout elapses. Used when some publishers may come up later (e.g.
 // an aggregator whose collectors restart independently).
 func (s *Sub) WaitAnyReady(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	for {
 		s.mu.Lock()
 		any := false
@@ -265,17 +304,17 @@ func (s *Sub) WaitAnyReady(timeout time.Duration) error {
 				break
 			}
 		}
+		change := s.readyCh
 		s.mu.Unlock()
 		if any {
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("msgq: no endpoint ready after %v", timeout)
-		}
 		select {
+		case <-change:
+		case <-deadline.C:
+			return fmt.Errorf("msgq: no endpoint ready after %v", timeout)
 		case <-s.closed:
 			return fmt.Errorf("msgq: sub closed")
-		case <-time.After(2 * time.Millisecond):
 		}
 	}
 }
@@ -371,6 +410,9 @@ func (s *Sub) Close() {
 		}
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.outMu.Lock()
+		s.outClosed = true
+		s.outMu.Unlock()
 		close(s.out)
 	})
 }

@@ -1,0 +1,61 @@
+package pipeline
+
+import "time"
+
+// Centralized tuning defaults shared by both event paths. Before this
+// package existed these drifted between resolution.Options,
+// scalable.CollectorOptions, and the msgq/iface buffer literals; every
+// value below is the single source of truth both paths now consume.
+const (
+	// DefaultLocalBatch is the resolution-layer emit batch size — small
+	// enough to keep local-path latency low (§III batching).
+	DefaultLocalBatch = 256
+
+	// DefaultChangelogBatch is the collector's Changelog read/publish
+	// batch — larger because MDS reads amortize per-record syscall cost
+	// (§IV-B, Table VIII uses 512-record reads).
+	DefaultChangelogBatch = 512
+
+	// DefaultQueueSize bounds the resolution intake queue (events).
+	DefaultQueueSize = 16384
+
+	// DefaultAggregatorQueue bounds the aggregator's subscription buffer
+	// (messages) — it must absorb a full burst from every MDS collector
+	// while the store thread catches up.
+	DefaultAggregatorQueue = 65536
+
+	// DefaultSubscriberBuffer bounds per-subscriber delivery queues
+	// (interface-layer subscriptions and scalable consumers alike).
+	DefaultSubscriberBuffer = 1024
+
+	// DefaultStageBuffer is the bounded-queue depth between adjacent
+	// event-granularity stages.
+	DefaultStageBuffer = 64
+
+	// DefaultBatchDepth is the bounded-queue depth between adjacent
+	// batch-granularity stages (units are whole batches, so a few are
+	// enough read-ahead without unbounded memory).
+	DefaultBatchDepth = 8
+
+	// DefaultRenameCache is the rename-pairing cookie cache capacity.
+	DefaultRenameCache = 1024
+
+	// DefaultPoolSlots is how many recycled batch slices a SlicePool
+	// retains.
+	DefaultPoolSlots = 64
+)
+
+const (
+	// DefaultBatchInterval is the age bound on a partial batch: a
+	// non-full batch is flushed after this long so batching never adds
+	// unbounded latency.
+	DefaultBatchInterval = 10 * time.Millisecond
+
+	// DefaultPollInterval is how long a source idles when its feed
+	// (Changelog, scan target) had nothing new.
+	DefaultPollInterval = time.Millisecond
+
+	// DefaultDrainGrace bounds graceful shutdown: Drain escalates to
+	// Abort if the ordered drain takes longer than this.
+	DefaultDrainGrace = 5 * time.Second
+)

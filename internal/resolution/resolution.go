@@ -6,49 +6,63 @@
 // representations." It also provides the layer's performance
 // optimizations: batching and caching.
 //
-// Concretely the processor normalizes event paths against the watch root,
-// pairs MOVED_FROM/MOVED_TO events by cookie so the destination event
-// carries its origin, optionally deduplicates, and emits events in batches
-// bounded by count and latency.
+// The processor is a composition of internal/pipeline stages:
+//
+//	intake → normalize → pair-renames → [dedupe] → batch
+//
+// intake is the paper's processing queue (bounded, backpressuring the
+// DSI); normalize resolves paths against the watch root; pair-renames
+// fills MOVED_TO events' OldPath from the matching MOVED_FROM by cookie;
+// dedupe (optional) suppresses consecutive duplicate events; batch emits
+// count- and latency-bounded slices recycled through a pool.
 package resolution
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fsmonitor/internal/events"
 	"fsmonitor/internal/lru"
+	"fsmonitor/internal/pipeline"
 )
 
 // Options configures a Processor.
 type Options struct {
-	// BatchSize is the maximum events per emitted batch (default 256).
+	// BatchSize is the maximum events per emitted batch (default
+	// pipeline.DefaultLocalBatch).
 	BatchSize int
 	// BatchInterval flushes a non-empty partial batch after this delay
-	// (default 10ms), bounding added latency.
+	// (default pipeline.DefaultBatchInterval), bounding added latency.
 	BatchInterval time.Duration
 	// PairRenames fills MOVED_TO events' OldPath from the matching
 	// MOVED_FROM (by cookie). Default on via New.
 	PairRenames bool
-	// RenameCacheSize bounds the cookie→source-path cache (default 1024).
+	// Dedupe suppresses an event identical to its immediate predecessor
+	// (same op, path, old path, and cookie) — bursty writers often emit
+	// runs of identical MODIFY records. Default off.
+	Dedupe bool
+	// RenameCacheSize bounds the cookie→source-path cache (default
+	// pipeline.DefaultRenameCache).
 	RenameCacheSize int
-	// QueueSize is the processing queue capacity (default 16384).
+	// QueueSize is the processing queue capacity (default
+	// pipeline.DefaultQueueSize).
 	QueueSize int
 }
 
 func (o Options) withDefaults() Options {
 	if o.BatchSize <= 0 {
-		o.BatchSize = 256
+		o.BatchSize = pipeline.DefaultLocalBatch
 	}
 	if o.BatchInterval <= 0 {
-		o.BatchInterval = 10 * time.Millisecond
+		o.BatchInterval = pipeline.DefaultBatchInterval
 	}
 	if o.RenameCacheSize <= 0 {
-		o.RenameCacheSize = 1024
+		o.RenameCacheSize = pipeline.DefaultRenameCache
 	}
 	if o.QueueSize <= 0 {
-		o.QueueSize = 16384
+		o.QueueSize = pipeline.DefaultQueueSize
 	}
 	return o
 }
@@ -58,23 +72,24 @@ type Stats struct {
 	Processed     uint64
 	Batches       uint64
 	RenamesPaired uint64
+	Deduped       uint64
 	QueuePeak     int
+	// Stages is the underlying per-stage pipeline view (in/out counts,
+	// queue high-water marks, blocked time).
+	Stages []pipeline.Stats
 }
 
 // Processor consumes a DSI event stream and emits processed batches.
 type Processor struct {
 	opts    Options
-	src     <-chan events.Event
-	queue   chan events.Event
-	out     chan []events.Event
+	pipe    *pipeline.Pipeline
+	queue   pipeline.Flow[events.Event]
+	out     pipeline.Flow[[]events.Event]
+	pool    *pipeline.SlicePool[events.Event]
 	renames *lru.Cache[uint32, string]
 
-	processed, batches, paired atomic.Uint64
-	queuePeak                  atomic.Int64
-
-	done      chan struct{}
-	closeOnce sync.Once
-	wg        sync.WaitGroup
+	paired, deduped atomic.Uint64
+	closeOnce       sync.Once
 }
 
 // New starts a processor over src. The processor stops when src closes or
@@ -83,112 +98,51 @@ type Processor struct {
 func New(src <-chan events.Event, opts Options) *Processor {
 	opts = opts.withDefaults()
 	opts.PairRenames = true
-	return newWith(src, opts)
+	return newWith(context.Background(), src, opts)
 }
 
 // NewWithOptions starts a processor honouring opts exactly (PairRenames
 // as given).
 func NewWithOptions(src <-chan events.Event, opts Options) *Processor {
-	return newWith(src, opts.withDefaults())
+	return newWith(context.Background(), src, opts.withDefaults())
 }
 
-func newWith(src <-chan events.Event, opts Options) *Processor {
+// NewContext is New bound to ctx: canceling ctx aborts the processor (the
+// graceful path is still Close, which drains).
+func NewContext(ctx context.Context, src <-chan events.Event, opts Options) *Processor {
+	opts = opts.withDefaults()
+	opts.PairRenames = true
+	return newWith(ctx, src, opts)
+}
+
+func newWith(ctx context.Context, src <-chan events.Event, opts Options) *Processor {
 	p := &Processor{
 		opts:    opts,
-		src:     src,
-		queue:   make(chan events.Event, opts.QueueSize),
-		out:     make(chan []events.Event, 64),
+		pipe:    pipeline.New(ctx),
+		pool:    pipeline.NewSlicePool[events.Event](opts.BatchSize, 0),
 		renames: lru.New[uint32, string](opts.RenameCacheSize),
-		done:    make(chan struct{}),
 	}
-	p.wg.Add(2)
-	go p.intake()
-	go p.run()
+
+	p.queue = pipeline.From(p.pipe, "intake", opts.QueueSize, src)
+	stream := pipeline.Map(p.pipe, "normalize", pipeline.DefaultStageBuffer, p.queue,
+		func(_ context.Context, e events.Event) (events.Event, bool) {
+			return events.Normalize(e), true
+		})
+	if opts.PairRenames {
+		stream = pipeline.Map(p.pipe, "pair-renames", pipeline.DefaultStageBuffer, stream, p.pairRename)
+	}
+	if opts.Dedupe {
+		stream = pipeline.Map(p.pipe, "dedupe", pipeline.DefaultStageBuffer, stream, p.newDeduper())
+	}
+	p.out = pipeline.Batch(p.pipe, "batch", pipeline.DefaultBatchDepth, stream,
+		opts.BatchSize, opts.BatchInterval, p.pool)
 	return p
 }
 
-// intake moves events from the DSI into the processing queue ("as events
-// are received from a DSI plugin they are immediately placed in the
-// processing queue").
-func (p *Processor) intake() {
-	defer p.wg.Done()
-	defer close(p.queue)
-	for {
-		select {
-		case <-p.done:
-			return
-		case e, ok := <-p.src:
-			if !ok {
-				return
-			}
-			if depth := int64(len(p.queue)) + 1; depth > p.queuePeak.Load() {
-				p.queuePeak.Store(depth)
-			}
-			select {
-			case p.queue <- e:
-			case <-p.done:
-				return
-			}
-		}
-	}
-}
-
-// run drains the queue, processes events, and emits batches.
-func (p *Processor) run() {
-	defer p.wg.Done()
-	defer close(p.out)
-	batch := make([]events.Event, 0, p.opts.BatchSize)
-	timer := time.NewTimer(p.opts.BatchInterval)
-	defer timer.Stop()
-	timerLive := false
-	flush := func() {
-		if len(batch) == 0 {
-			return
-		}
-		out := make([]events.Event, len(batch))
-		copy(out, batch)
-		batch = batch[:0]
-		p.batches.Add(1)
-		select {
-		case p.out <- out:
-		case <-p.done:
-		}
-	}
-	for {
-		if !timerLive && len(batch) > 0 {
-			timer.Reset(p.opts.BatchInterval)
-			timerLive = true
-		}
-		select {
-		case <-p.done:
-			flush()
-			return
-		case <-timer.C:
-			timerLive = false
-			flush()
-		case e, ok := <-p.queue:
-			if !ok {
-				flush()
-				return
-			}
-			batch = append(batch, p.process(e))
-			if len(batch) >= p.opts.BatchSize {
-				if timerLive && !timer.Stop() {
-					<-timer.C
-				}
-				timerLive = false
-				flush()
-			}
-		}
-	}
-}
-
-// process normalizes one event and resolves rename pairs.
-func (p *Processor) process(e events.Event) events.Event {
-	e = events.Normalize(e)
-	p.processed.Add(1)
-	if !p.opts.PairRenames || e.Cookie == 0 {
-		return e
+// pairRename resolves rename pairs by cookie (the pair-renames stage).
+func (p *Processor) pairRename(_ context.Context, e events.Event) (events.Event, bool) {
+	if e.Cookie == 0 {
+		return e, true
 	}
 	switch {
 	case e.Op.HasAny(events.OpMovedFrom):
@@ -204,30 +158,58 @@ func (p *Processor) process(e events.Event) events.Event {
 			p.paired.Add(1)
 		}
 	}
-	return e
+	return e, true
 }
 
-// Batches returns the output stream of processed event batches.
-func (p *Processor) Batches() <-chan []events.Event { return p.out }
+// newDeduper returns the dedupe stage function: it drops an event that is
+// identical to its immediate predecessor. Single-goroutine stage, so the
+// closure state needs no locking.
+func (p *Processor) newDeduper() func(context.Context, events.Event) (events.Event, bool) {
+	var prev events.Event
+	var have bool
+	return func(_ context.Context, e events.Event) (events.Event, bool) {
+		if have && e.Op == prev.Op && e.Path == prev.Path && e.OldPath == prev.OldPath && e.Cookie == prev.Cookie {
+			p.deduped.Add(1)
+			return e, false
+		}
+		prev, have = e, true
+		return e, true
+	}
+}
+
+// Batches returns the output stream of processed event batches. Consumers
+// that do not retain a batch past handling it may return its backing
+// slice with Recycle.
+func (p *Processor) Batches() <-chan []events.Event { return p.out.C() }
+
+// Recycle returns a delivered batch's backing slice to the processor's
+// pool, making the steady-state batch path allocation-free. The caller
+// must not touch the slice afterwards; callers that retain batches simply
+// never call it.
+func (p *Processor) Recycle(batch []events.Event) { p.pool.Put(batch) }
 
 // Stats returns a snapshot of the counters.
 func (p *Processor) Stats() Stats {
 	return Stats{
-		Processed:     p.processed.Load(),
-		Batches:       p.batches.Load(),
+		Processed:     p.pipe.StageStats("normalize").Out,
+		Batches:       p.pipe.StageStats("batch").Out,
 		RenamesPaired: p.paired.Load(),
-		QueuePeak:     int(p.queuePeak.Load()),
+		Deduped:       p.deduped.Load(),
+		QueuePeak:     p.pipe.StageStats("intake").QueuePeak,
+		Stages:        p.pipe.Stats(),
 	}
 }
 
 // QueueDepth reports the current processing-queue backlog.
-func (p *Processor) QueueDepth() int { return len(p.queue) }
+func (p *Processor) QueueDepth() int { return p.queue.Depth() }
 
-// Close stops the processor without waiting for the source to end.
+// Close stops the processor without waiting for the source to end: the
+// pipeline drains whatever was accepted (bounded by
+// pipeline.DefaultDrainGrace if the consumer is gone) and the output
+// channel closes after the final batch.
 func (p *Processor) Close() {
 	p.closeOnce.Do(func() {
-		close(p.done)
-		p.wg.Wait()
+		p.pipe.Drain(pipeline.DefaultDrainGrace)
 	})
 }
 

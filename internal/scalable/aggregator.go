@@ -1,6 +1,7 @@
 package scalable
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"fsmonitor/internal/eventstore"
 	"fsmonitor/internal/msgq"
 	"fsmonitor/internal/pace"
+	"fsmonitor/internal/pipeline"
 )
 
 // Aggregator topics.
@@ -38,8 +40,12 @@ type AggregatorOptions struct {
 	// recover; exists to quantify the fault-tolerance cost (DESIGN.md
 	// ablations).
 	DisableStore bool
-	// QueueSize is the processing queue capacity (default 65536).
+	// QueueSize is the subscription buffer capacity in messages (default
+	// pipeline.DefaultAggregatorQueue).
 	QueueSize int
+	// Context aborts the aggregator when canceled (Close remains the
+	// graceful path). Nil means Background.
+	Context context.Context
 }
 
 func (o AggregatorOptions) withDefaults() AggregatorOptions {
@@ -50,7 +56,7 @@ func (o AggregatorOptions) withDefaults() AggregatorOptions {
 		o.EventOverhead = 500 * time.Nanosecond
 	}
 	if o.QueueSize <= 0 {
-		o.QueueSize = 65536
+		o.QueueSize = pipeline.DefaultAggregatorQueue
 	}
 	return o
 }
@@ -63,12 +69,16 @@ type AggregatorStats struct {
 	BusyTime    time.Duration
 	Utilization float64
 	Store       eventstore.Stats
+	// Pipeline is the per-stage view (subscribe → store → republish).
+	Pipeline []pipeline.Stats
 }
 
 // Aggregator merges every collector's stream, persists it, and republishes
-// it to consumers. Per §IV-2 it is multi-threaded: one goroutine stores
-// events into the reliable store (assigning the global sequence numbers
-// consumers use for recovery) and a second publishes to subscribers.
+// it to consumers. Per §IV-2 it is multi-threaded, as a subscribe → store
+// → republish pipeline: the store stage persists events into the reliable
+// store (assigning the global sequence numbers consumers use for
+// recovery) while the republish stage concurrently publishes stamped
+// batches to subscribers.
 type Aggregator struct {
 	opts     AggregatorOptions
 	sub      *msgq.Sub
@@ -77,16 +87,13 @@ type Aggregator struct {
 	ownStore bool
 	throttle *pace.Throttle
 
-	queue    chan []events.Event // intake -> store thread
-	outQueue chan []events.Event // store thread -> publish thread
+	pipe *pipeline.Pipeline
 
 	received  atomic.Uint64
 	published atomic.Uint64
 	stored    atomic.Uint64
 
-	done      chan struct{}
 	closeOnce sync.Once
-	wg        sync.WaitGroup
 }
 
 // NewAggregator creates and starts the aggregator.
@@ -131,9 +138,6 @@ func NewAggregator(opts AggregatorOptions) (*Aggregator, error) {
 		store:    store,
 		ownStore: ownStore,
 		throttle: pace.NewThrottle(),
-		queue:    make(chan []events.Event, 1024),
-		outQueue: make(chan []events.Event, 1024),
-		done:     make(chan struct{}),
 	}
 	// At least one collector link must be live before the aggregator
 	// reports ready; collectors that bind later attach automatically (and
@@ -146,86 +150,74 @@ func NewAggregator(opts AggregatorOptions) (*Aggregator, error) {
 		}
 		return nil, err
 	}
-	a.wg.Add(3)
-	go a.intake()
-	go a.storeThread()
-	go a.publishThread()
+
+	a.pipe = pipeline.New(opts.Context)
+	intake := pipeline.Source(a.pipe, "subscribe", pipeline.DefaultBatchDepth, a.intakeLoop)
+	stamped := pipeline.Map(a.pipe, "store", pipeline.DefaultBatchDepth, intake, a.stampBatch())
+	pipeline.Sink(a.pipe, "republish", stamped, a.republishBatch)
 	return a, nil
 }
 
 // Endpoint returns the aggregator's publisher endpoint.
 func (a *Aggregator) Endpoint() string { return a.pub.Addr() }
 
-// intake decodes collector batches into the processing queue ("When an
-// event arrives to the aggregator it is placed in a processing queue").
-func (a *Aggregator) intake() {
-	defer a.wg.Done()
-	defer close(a.queue)
+// intakeLoop is the subscribe source stage: it decodes collector batches
+// into the pipeline ("When an event arrives to the aggregator it is
+// placed in a processing queue").
+func (a *Aggregator) intakeLoop(ctx context.Context, emit func([]events.Event) bool) error {
 	for {
-		select {
-		case <-a.done:
-			return
-		case m, ok := <-a.sub.C():
-			if !ok {
-				return
-			}
-			batch, err := events.UnmarshalBatch(m.Payload)
-			if err != nil {
-				continue
-			}
-			a.received.Add(uint64(len(batch)))
-			select {
-			case a.queue <- batch:
-			case <-a.done:
-				return
-			}
+		m, ok := a.sub.Recv(ctx)
+		if !ok {
+			return nil
 		}
-	}
-}
-
-// storeThread persists events (assigning sequence numbers) and forwards
-// the stamped batches for publication. With the store disabled it only
-// stamps sequence numbers.
-func (a *Aggregator) storeThread() {
-	defer a.wg.Done()
-	defer close(a.outQueue)
-	var counter uint64
-	for batch := range a.queue {
-		stamped := make([]events.Event, 0, len(batch))
-		for _, e := range batch {
-			a.throttle.Spend(a.opts.EventOverhead)
-			if a.store != nil {
-				seq, err := a.store.Append(e)
-				if err != nil {
-					return
-				}
-				e.Seq = seq
-			} else {
-				counter++
-				e.Seq = counter
-			}
-			stamped = append(stamped, e)
-		}
-		a.stored.Add(uint64(len(stamped)))
-		select {
-		case a.outQueue <- stamped:
-		case <-a.done:
-			return
-		}
-	}
-}
-
-// publishThread publishes stamped batches to subscribed consumers.
-func (a *Aggregator) publishThread() {
-	defer a.wg.Done()
-	for batch := range a.outQueue {
-		payload, err := events.MarshalBatch(batch)
+		batch, err := events.UnmarshalBatch(m.Payload)
 		if err != nil {
 			continue
 		}
-		a.pub.Publish(AggTopic, payload)
-		a.published.Add(uint64(len(batch)))
+		a.received.Add(uint64(len(batch)))
+		if !emit(batch) {
+			return nil
+		}
 	}
+}
+
+// stampBatch returns the store stage function: persist every event
+// (assigning sequence numbers in place — the batch is owned by the
+// pipeline, so no copy is needed) and forward the stamped batch. With the
+// store disabled it only stamps from a counter. Single-goroutine stage,
+// so the counter needs no locking.
+func (a *Aggregator) stampBatch() func(context.Context, []events.Event) ([]events.Event, bool) {
+	var counter uint64
+	return func(_ context.Context, batch []events.Event) ([]events.Event, bool) {
+		for i := range batch {
+			a.throttle.Spend(a.opts.EventOverhead)
+			if a.store != nil {
+				seq, err := a.store.Append(batch[i])
+				if err != nil {
+					// Store rejection (e.g. capacity): drop the batch but
+					// keep the service alive for subsequent ones.
+					return nil, false
+				}
+				batch[i].Seq = seq
+			} else {
+				counter++
+				batch[i].Seq = counter
+			}
+		}
+		a.stored.Add(uint64(len(batch)))
+		return batch, true
+	}
+}
+
+// republishBatch is the republish sink stage. Consumers may legitimately
+// be absent (they recover from the store), so no delivery is awaited.
+func (a *Aggregator) republishBatch(ctx context.Context, batch []events.Event) {
+	payload, err := events.MarshalBatch(batch)
+	if err != nil {
+		return
+	}
+	a.pub.PublishCtx(ctx, AggTopic, payload)
+	a.published.Add(uint64(len(batch)))
 }
 
 // Since serves the consumer fault-recovery API: events with sequence
@@ -263,6 +255,7 @@ func (a *Aggregator) Stats() AggregatorStats {
 		Stored:      a.stored.Load(),
 		BusyTime:    a.throttle.Busy(),
 		Utilization: a.throttle.Utilization(),
+		Pipeline:    a.pipe.Stats(),
 	}
 	if a.store != nil {
 		st.Store = a.store.Stats()
@@ -273,12 +266,13 @@ func (a *Aggregator) Stats() AggregatorStats {
 // ResetAccounting restarts the utilization window.
 func (a *Aggregator) ResetAccounting() { a.throttle.Reset() }
 
-// Close stops the aggregator.
+// Close stops the aggregator: the subscription closes (ending the intake
+// source after its buffer drains), the stages drain in order, then the
+// publisher and any owned store shut down.
 func (a *Aggregator) Close() {
 	a.closeOnce.Do(func() {
 		a.sub.Close()
-		close(a.done)
-		a.wg.Wait()
+		a.pipe.Drain(pipeline.DefaultDrainGrace)
 		a.pub.Close()
 		if a.ownStore {
 			a.store.Close()

@@ -6,9 +6,16 @@
 // events for fault tolerance, and publishes the merged stream; Consumers
 // subscribe to the aggregator, filter client-side, and recover missed
 // events from the reliable store.
+//
+// Every service runs on internal/pipeline stages: the collector is
+// changelog-read → resolve → publish, the aggregator subscribe → store →
+// republish, the consumer subscribe → filter-deliver. Lifecycle is
+// context-driven — Close drains the stages in order, and an optional
+// parent context aborts them.
 package scalable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path"
@@ -21,6 +28,7 @@ import (
 	"fsmonitor/internal/lustre"
 	"fsmonitor/internal/msgq"
 	"fsmonitor/internal/pace"
+	"fsmonitor/internal/pipeline"
 )
 
 // TopicPrefix is the message-queue topic prefix for collector event
@@ -43,10 +51,11 @@ type CollectorOptions struct {
 	// CacheSize is the fid2path LRU capacity; 0 disables caching
 	// (the paper's "without cache" configuration).
 	CacheSize int
-	// BatchSize bounds records per Changelog read (default 512).
+	// BatchSize bounds records per Changelog read (default
+	// pipeline.DefaultChangelogBatch).
 	BatchSize int
 	// PollInterval is the idle wait between empty Changelog reads
-	// (default 1ms).
+	// (default pipeline.DefaultPollInterval).
 	PollInterval time.Duration
 	// Endpoint is the msgq endpoint the collector's publisher binds
 	// (default "inproc://collector-mdt<N>").
@@ -58,14 +67,17 @@ type CollectorOptions struct {
 	// pressure of larger tables; 0 derives it from CacheSize (see
 	// lookupCost).
 	CacheLookupCost time.Duration
+	// Context aborts the collector when canceled (Close remains the
+	// graceful path). Nil means Background.
+	Context context.Context
 }
 
 func (o CollectorOptions) withDefaults() CollectorOptions {
 	if o.BatchSize <= 0 {
-		o.BatchSize = 512
+		o.BatchSize = pipeline.DefaultChangelogBatch
 	}
 	if o.PollInterval <= 0 {
-		o.PollInterval = time.Millisecond
+		o.PollInterval = pipeline.DefaultPollInterval
 	}
 	if o.Endpoint == "" {
 		o.Endpoint = fmt.Sprintf("inproc://collector-mdt%d", o.MDT)
@@ -102,9 +114,27 @@ type CollectorStats struct {
 	BusyTime        time.Duration
 	Utilization     float64
 	ChangelogLag    int // records retained behind the collector
+	// Pipeline is the per-stage view (changelog-read → resolve → publish).
+	Pipeline []pipeline.Stats
 }
 
-// Collector extracts, processes, and publishes one MDS's events.
+// readBatch is one Changelog read travelling between stages: the raw
+// records plus the purge cursor covering them.
+type readBatch struct {
+	recs  []lustre.Record
+	since uint64
+}
+
+// pubBatch is a resolved batch awaiting publication; evs may be empty
+// (e.g. a read of only MARK records) in which case only the purge cursor
+// advances.
+type pubBatch struct {
+	evs   []events.Event
+	since uint64
+}
+
+// Collector extracts, processes, and publishes one MDS's events as a
+// changelog-read → resolve → publish pipeline.
 type Collector struct {
 	opts     CollectorOptions
 	cluster  *lustre.Cluster
@@ -113,15 +143,17 @@ type Collector struct {
 	pub      *msgq.Pub
 	throttle *pace.Throttle
 	topic    string
+	reader   string
+
+	pipe *pipeline.Pipeline
+	pool *pipeline.SlicePool[events.Event]
 
 	recordsRead atomic.Uint64
 	published   atomic.Uint64
 	fidCalls    atomic.Uint64
 	fidErrors   atomic.Uint64
 
-	done      chan struct{}
 	closeOnce sync.Once
-	wg        sync.WaitGroup
 }
 
 // NewCollector creates and starts a collector.
@@ -145,13 +177,17 @@ func NewCollector(opts CollectorOptions) (*Collector, error) {
 		pub:      pub,
 		throttle: pace.NewThrottle(),
 		topic:    fmt.Sprintf("%smdt%d", TopicPrefix, opts.MDT),
-		done:     make(chan struct{}),
+		pool:     pipeline.NewSlicePool[events.Event](opts.BatchSize, 0),
 	}
 	if opts.CacheSize > 0 {
 		c.cache = lru.New[lustre.FID, string](opts.CacheSize)
 	}
-	c.wg.Add(1)
-	go c.run()
+	c.reader = log.Register()
+
+	c.pipe = pipeline.New(opts.Context)
+	read := pipeline.Source(c.pipe, "changelog-read", pipeline.DefaultBatchDepth, c.readLoop)
+	resolved := pipeline.Map(c.pipe, "resolve", pipeline.DefaultBatchDepth, read, c.resolveBatch)
+	pipeline.Sink(c.pipe, "publish", resolved, c.publishBatch)
 	return c, nil
 }
 
@@ -161,66 +197,96 @@ func (c *Collector) Endpoint() string { return c.pub.Addr() }
 // Topic returns the topic this collector publishes under.
 func (c *Collector) Topic() string { return c.topic }
 
-// run is the collector main loop: read a Changelog batch, process every
-// record, publish the batch, purge the Changelog, repeat (§IV-2).
-func (c *Collector) run() {
-	defer c.wg.Done()
-	// Do not consume (and purge) Changelog records while nobody is
-	// subscribed: PUB/SUB gives no delivery guarantee without a
-	// subscriber, and purging unconsumed records would lose events if
-	// the aggregator attaches late or restarts mid-run. The check guards
-	// every batch, so an aggregator crash pauses collection (the
-	// Changelog buffers) rather than losing events.
-	waitSubscribed := func() bool {
-		for c.pub.Subscribers() == 0 {
-			select {
-			case <-c.done:
-				return false
-			case <-time.After(2 * time.Millisecond):
-			}
-		}
-		return true
-	}
-	if !waitSubscribed() {
-		return
-	}
-	reader := c.log.Register()
-	defer c.log.Deregister(reader)
+// readLoop is the changelog-read source stage (§IV-2). It does not
+// consume Changelog records while nobody is subscribed: PUB/SUB gives no
+// delivery guarantee without a subscriber, and purging unconsumed records
+// would lose events if the aggregator attaches late or restarts mid-run.
+// The gate guards every batch, so an aggregator crash pauses collection
+// (the Changelog buffers) rather than losing events.
+func (c *Collector) readLoop(ctx context.Context, emit func(readBatch) bool) error {
+	idle := time.NewTimer(c.opts.PollInterval)
+	defer idle.Stop()
 	var since uint64
 	for {
-		select {
-		case <-c.done:
-			return
-		default:
+		if ctx.Err() != nil {
+			return nil
 		}
-		if !waitSubscribed() {
-			return
+		if err := c.pub.WaitSubscribed(ctx); err != nil {
+			return nil
 		}
 		recs := c.log.Read(since, c.opts.BatchSize)
 		if len(recs) == 0 {
+			idle.Reset(c.opts.PollInterval)
 			select {
-			case <-c.done:
-				return
-			case <-time.After(c.opts.PollInterval):
+			case <-ctx.Done():
+				return nil
+			case <-idle.C:
 			}
 			continue
 		}
-		batch := make([]events.Event, 0, len(recs))
-		for _, r := range recs {
-			c.recordsRead.Add(1)
-			batch = append(batch, c.processEvent(r)...)
-			since = r.Index
+		since = recs[len(recs)-1].Index
+		c.recordsRead.Add(uint64(len(recs)))
+		if !emit(readBatch{recs: recs, since: since}) {
+			return nil
 		}
-		if len(batch) > 0 {
-			payload, err := events.MarshalBatch(batch)
-			if err == nil {
-				c.pub.Publish(c.topic, payload)
-				c.published.Add(uint64(len(batch)))
+	}
+}
+
+// resolveBatch is the resolve stage: Algorithm 1 over every record of one
+// read, appending into a pooled slice so steady-state resolution
+// allocates nothing per batch.
+func (c *Collector) resolveBatch(_ context.Context, rb readBatch) (pubBatch, bool) {
+	evs := c.pool.Get()
+	for _, r := range rb.recs {
+		evs = c.appendRecord(evs, r)
+	}
+	if len(evs) == 0 {
+		c.pool.Put(evs)
+		return pubBatch{since: rb.since}, true
+	}
+	return pubBatch{evs: evs, since: rb.since}, true
+}
+
+// publishBatch is the publish sink stage: marshal, publish to at least
+// one subscriber, then purge the Changelog up to the batch's cursor —
+// "after processing a batch of file system events from the Changelog, a
+// collector will purge the Changelogs." Purging strictly after delivery
+// preserves the no-loss guarantee: if the aggregator is gone the batch's
+// records stay in the Changelog for the next collector.
+func (c *Collector) publishBatch(ctx context.Context, pb pubBatch) {
+	purge := true
+	if len(pb.evs) > 0 {
+		if payload, err := events.MarshalBatch(pb.evs); err == nil {
+			published := false
+			for !published {
+				if err := c.pub.WaitSubscribed(ctx); err != nil {
+					purge = false
+					break
+				}
+				// A zero count means no subscriber accepted the batch —
+				// all detached between the wait and the send, or a fresh
+				// TCP link has not registered its topics yet. Pause and
+				// re-wait rather than losing the batch.
+				published = c.pub.PublishCtx(ctx, c.topic, payload) > 0
+				if !published {
+					select {
+					case <-ctx.Done():
+					case <-time.After(c.opts.PollInterval):
+					}
+					if ctx.Err() != nil {
+						purge = false
+						break
+					}
+				}
+			}
+			if published {
+				c.published.Add(uint64(len(pb.evs)))
 			}
 		}
-		// "After processing a batch of file system events from the
-		// Changelog, a collector will purge the Changelogs."
-		_ = c.log.Clear(reader, since)
+		c.pool.Put(pb.evs)
+	}
+	if purge {
+		_ = c.log.Clear(c.reader, pb.since)
 	}
 }
 
@@ -263,18 +329,19 @@ func (c *Collector) cacheOnly(fid lustre.FID) (string, bool) {
 	return c.cache.Get(fid)
 }
 
-// processEvent implements Algorithm 1: resolve the record's FIDs into
+// appendRecord implements Algorithm 1: resolve the record's FIDs into
 // absolute paths, handling deleted targets (UNLNK/RMDIR resolve the
 // parent; if the parent is gone too the event reports
-// ParentDirectoryRemoved) and renames (resolve old and new paths).
-func (c *Collector) processEvent(r lustre.Record) []events.Event {
+// ParentDirectoryRemoved) and renames (resolve old and new paths). The
+// resulting events are appended to dst.
+func (c *Collector) appendRecord(dst []events.Event, r lustre.Record) []events.Event {
 	c.throttle.Spend(c.opts.EventOverhead)
 	root := c.opts.MountPoint
 	base := events.Event{Root: root, Time: r.Time, Source: "lustre"}
 
 	switch r.Type {
 	case lustre.RecMark:
-		return nil
+		return dst
 
 	case lustre.RecUnlnk, lustre.RecRmdir:
 		op := events.OpDelete
@@ -288,7 +355,7 @@ func (c *Collector) processEvent(r lustre.Record) []events.Event {
 		if p, ok := c.cacheOnly(r.TFid); ok {
 			c.cache.Delete(r.TFid) // the FID is dead; keep the cache clean
 			base.Path = p
-			return []events.Event{base}
+			return append(dst, base)
 		}
 		if p, err := c.fid2path(r.TFid); err == nil {
 			// Target still resolvable: a hard link to it remains, and
@@ -298,17 +365,17 @@ func (c *Collector) processEvent(r lustre.Record) []events.Event {
 				p = path.Join(parent, r.Name)
 			}
 			base.Path = p
-			return []events.Event{base}
+			return append(dst, base)
 		}
 		// Resolve the parent and append the name.
 		parent, err := c.fid2path(r.PFid)
 		if err != nil {
 			// Parent deleted as well (Algorithm 1 line 41).
 			base.Path = "/" + ParentDirectoryRemoved + "/" + r.Name
-			return []events.Event{base}
+			return append(dst, base)
 		}
 		base.Path = path.Join(parent, r.Name)
-		return []events.Event{base}
+		return append(dst, base)
 
 	case lustre.RecRenme:
 		// Old path: source parent (sp=[]) + old name; new path: the
@@ -344,7 +411,7 @@ func (c *Collector) processEvent(r lustre.Record) []events.Event {
 		to.Path = newPath
 		to.OldPath = oldPath
 		to.Cookie = uint32(r.Index)
-		return []events.Event{from, to}
+		return append(dst, from, to)
 
 	case lustre.RecRnmto:
 		p, err := c.fid2path(r.TFid)
@@ -357,13 +424,13 @@ func (c *Collector) processEvent(r lustre.Record) []events.Event {
 		}
 		base.Op = events.OpMovedTo
 		base.Path = p
-		return []events.Event{base}
+		return append(dst, base)
 
 	default:
 		// Creations and in-place updates: resolve the target FID.
 		base.Op = recTypeToOp(r.Type)
 		if base.Op == 0 {
-			return nil
+			return dst
 		}
 		p, err := c.fid2path(r.TFid)
 		if err != nil {
@@ -382,7 +449,7 @@ func (c *Collector) processEvent(r lustre.Record) []events.Event {
 			}
 		}
 		base.Path = p
-		return []events.Event{base}
+		return append(dst, base)
 	}
 }
 
@@ -427,6 +494,7 @@ func (c *Collector) Stats() CollectorStats {
 		BusyTime:        c.throttle.Busy(),
 		Utilization:     c.throttle.Utilization(),
 		ChangelogLag:    c.log.Len(),
+		Pipeline:        c.pipe.Stats(),
 	}
 	if c.cache != nil {
 		st.Cache = c.cache.Stats()
@@ -438,11 +506,13 @@ func (c *Collector) Stats() CollectorStats {
 // the start of a measurement interval).
 func (c *Collector) ResetAccounting() { c.throttle.Reset() }
 
-// Close stops the collector and its publisher.
+// Close drains the collector's stages in order (read stops, in-flight
+// batches resolve and publish), releases its Changelog reader, and closes
+// the publisher.
 func (c *Collector) Close() {
 	c.closeOnce.Do(func() {
-		close(c.done)
-		c.wg.Wait()
+		c.pipe.Drain(pipeline.DefaultDrainGrace)
+		_ = c.log.Deregister(c.reader)
 		c.pub.Close()
 	})
 }

@@ -1,6 +1,7 @@
 package scalable
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"fsmonitor/internal/iface"
 	"fsmonitor/internal/msgq"
 	"fsmonitor/internal/pace"
+	"fsmonitor/internal/pipeline"
 )
 
 // ConsumerOptions configures a consumer service.
@@ -27,11 +29,15 @@ type ConsumerOptions struct {
 	// SinceSeq resumes delivery after this sequence number, replaying
 	// history from Recover first (consumer restart).
 	SinceSeq uint64
-	// Buffer is the delivery channel capacity in batches (default 1024).
+	// Buffer is the delivery channel capacity in batches (default
+	// pipeline.DefaultSubscriberBuffer).
 	Buffer int
 	// EventOverhead is the accounted per-event filtering cost
 	// (default 200ns).
 	EventOverhead time.Duration
+	// Context aborts the consumer when canceled (Close remains the
+	// graceful path). Nil means Background.
+	Context context.Context
 }
 
 // RecoverySource serves historic events after a sequence number.
@@ -47,24 +53,27 @@ type ConsumerStats struct {
 	LastSeq     uint64
 	BusyTime    time.Duration
 	Utilization float64
+	// Pipeline is the per-stage view (subscribe → filter-deliver).
+	Pipeline []pipeline.Stats
 }
 
 // Consumer subscribes to the aggregator, filters client-side, and delivers
-// event batches to the application.
+// event batches to the application as a subscribe → filter-deliver
+// pipeline.
 type Consumer struct {
 	opts     ConsumerOptions
 	sub      *msgq.Sub
 	out      chan []events.Event
 	throttle *pace.Throttle
 
+	pipe *pipeline.Pipeline
+
 	received  atomic.Uint64
 	delivered atomic.Uint64
 	recovered atomic.Uint64
 	lastSeq   atomic.Uint64
 
-	done      chan struct{}
 	closeOnce sync.Once
-	wg        sync.WaitGroup
 }
 
 // NewConsumer creates and starts a consumer. If opts.SinceSeq > 0 and a
@@ -75,7 +84,7 @@ func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 		return nil, errors.New("scalable: ConsumerOptions.AggregatorEndpoint is required")
 	}
 	if opts.Buffer <= 0 {
-		opts.Buffer = 1024
+		opts.Buffer = pipeline.DefaultSubscriberBuffer
 	}
 	if opts.EventOverhead <= 0 {
 		opts.EventOverhead = 200 * time.Nanosecond
@@ -84,15 +93,23 @@ func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 		opts:     opts,
 		out:      make(chan []events.Event, opts.Buffer),
 		throttle: pace.NewThrottle(),
-		done:     make(chan struct{}),
 	}
 	c.lastSeq.Store(opts.SinceSeq)
 	// Recovery happens before subscribing so replayed events precede
-	// live ones; any overlap is deduplicated by sequence number in run.
-	if opts.SinceSeq > 0 && opts.Recover != nil {
+	// live ones; any overlap is deduplicated by sequence number in the
+	// filter-deliver stage. Replay also runs for a fresh consumer
+	// (SinceSeq 0): PUB/SUB gives a late joiner no delivery guarantee, so
+	// events the aggregator already republished are only reachable
+	// through the reliable store — exactly its purpose (§IV-2). A replay
+	// failure is fatal only when the caller asked to resume from a
+	// specific point; best-effort otherwise (e.g. the store is disabled).
+	if opts.Recover != nil {
 		history, err := opts.Recover.Since(opts.SinceSeq, 0)
 		if err != nil {
-			return nil, err
+			if opts.SinceSeq > 0 {
+				return nil, err
+			}
+			history = nil
 		}
 		var replay []events.Event
 		for _, e := range history {
@@ -119,8 +136,10 @@ func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 		c.sub.Close()
 		return nil, err
 	}
-	c.wg.Add(1)
-	go c.run()
+
+	c.pipe = pipeline.New(opts.Context)
+	intake := pipeline.Source(c.pipe, "subscribe", pipeline.DefaultBatchDepth, c.intakeLoop)
+	pipeline.Sink(c.pipe, "filter-deliver", intake, c.deliverBatch)
 	return c, nil
 }
 
@@ -129,45 +148,48 @@ func (c *Consumer) filterEvent(e events.Event) bool {
 	return c.opts.Filter.Match(e)
 }
 
-func (c *Consumer) run() {
-	defer c.wg.Done()
-	defer close(c.out)
+// intakeLoop is the subscribe source stage.
+func (c *Consumer) intakeLoop(ctx context.Context, emit func([]events.Event) bool) error {
 	for {
-		select {
-		case <-c.done:
-			return
-		case m, ok := <-c.sub.C():
-			if !ok {
-				return
-			}
-			batch, err := events.UnmarshalBatch(m.Payload)
-			if err != nil {
-				continue
-			}
-			var pass []events.Event
-			for _, e := range batch {
-				c.received.Add(1)
-				// Deduplicate the recovery/live overlap window.
-				if e.Seq != 0 && e.Seq <= c.lastSeq.Load() {
-					continue
-				}
-				if e.Seq > c.lastSeq.Load() {
-					c.lastSeq.Store(e.Seq)
-				}
-				if c.filterEvent(e) {
-					pass = append(pass, e)
-				}
-			}
-			if len(pass) == 0 {
-				continue
-			}
-			c.delivered.Add(uint64(len(pass)))
-			select {
-			case c.out <- pass:
-			case <-c.done:
-				return
-			}
+		m, ok := c.sub.Recv(ctx)
+		if !ok {
+			return nil
 		}
+		batch, err := events.UnmarshalBatch(m.Payload)
+		if err != nil {
+			continue
+		}
+		if !emit(batch) {
+			return nil
+		}
+	}
+}
+
+// deliverBatch is the filter-deliver sink stage: sequence-deduplicate the
+// recovery/live overlap window, apply the client-side filter in place
+// (the batch is owned by the pipeline), and hand the surviving events to
+// the application.
+func (c *Consumer) deliverBatch(ctx context.Context, batch []events.Event) {
+	pass := batch[:0]
+	for _, e := range batch {
+		c.received.Add(1)
+		if e.Seq != 0 && e.Seq <= c.lastSeq.Load() {
+			continue
+		}
+		if e.Seq > c.lastSeq.Load() {
+			c.lastSeq.Store(e.Seq)
+		}
+		if c.filterEvent(e) {
+			pass = append(pass, e)
+		}
+	}
+	if len(pass) == 0 {
+		return
+	}
+	select {
+	case c.out <- pass:
+		c.delivered.Add(uint64(len(pass)))
+	case <-ctx.Done():
 	}
 }
 
@@ -187,17 +209,20 @@ func (c *Consumer) Stats() ConsumerStats {
 		LastSeq:     c.lastSeq.Load(),
 		BusyTime:    c.throttle.Busy(),
 		Utilization: c.throttle.Utilization(),
+		Pipeline:    c.pipe.Stats(),
 	}
 }
 
 // ResetAccounting restarts the utilization window.
 func (c *Consumer) ResetAccounting() { c.throttle.Reset() }
 
-// Close stops the consumer.
+// Close stops the consumer: the subscription closes (ending the intake
+// source after its buffer drains), the stages drain, then the delivery
+// channel closes.
 func (c *Consumer) Close() {
 	c.closeOnce.Do(func() {
 		c.sub.Close()
-		close(c.done)
-		c.wg.Wait()
+		c.pipe.Drain(pipeline.DefaultDrainGrace)
+		close(c.out)
 	})
 }

@@ -1,6 +1,7 @@
 package scalable
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -27,6 +28,9 @@ type DeployOptions struct {
 	BatchSize int
 	// PollInterval overrides the collectors' idle poll.
 	PollInterval time.Duration
+	// Context aborts every deployed service when canceled (Close remains
+	// the graceful path). Nil means Background.
+	Context context.Context
 }
 
 // Monitor is a running scalable-monitor deployment.
@@ -63,6 +67,7 @@ func Deploy(cluster *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 			Endpoint:     ep,
 			BatchSize:    opts.BatchSize,
 			PollInterval: opts.PollInterval,
+			Context:      opts.Context,
 		})
 		if err != nil {
 			m.Close()
@@ -79,6 +84,7 @@ func Deploy(cluster *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 		CollectorEndpoints: endpoints,
 		Endpoint:           aggEp,
 		Store:              opts.Store,
+		Context:            opts.Context,
 	})
 	if err != nil {
 		m.Close()
@@ -96,6 +102,7 @@ func (m *Monitor) NewConsumer(filter iface.Filter, sinceSeq uint64) (*Consumer, 
 		Filter:             filter,
 		Recover:            m.Aggregator,
 		SinceSeq:           sinceSeq,
+		Context:            m.opts.Context,
 	})
 }
 

@@ -430,8 +430,11 @@ func TestCacheReducesFid2PathCalls(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		// Reading and resolving are separate pipeline stages; wait for the
+		// events to clear the publish sink so the resolve stage's fid2path
+		// counters are final, not just for the records to be read.
 		deadline := time.Now().Add(10 * time.Second)
-		for m.Collectors[0].Stats().RecordsRead < 600 && time.Now().Before(deadline) {
+		for m.Collectors[0].Stats().EventsPublished < 600 && time.Now().Before(deadline) {
 			time.Sleep(10 * time.Millisecond)
 		}
 		return m.Collectors[0].Stats()
