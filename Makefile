@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench bench-smoke check
 
 all: check
 
@@ -18,6 +18,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# bench-smoke runs one iteration of the fast micro-benchmarks (resolver
+# scaling, cache contention, pipeline stages) as a CI regression canary;
+# the slow paper-table benches stay out of it.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'ResolveStage|GetOrLoad' -benchtime 1x -benchmem \
+		./internal/resolve/ ./internal/cache/
 
 # check is the pre-PR gate: everything must build, vet clean, and pass
 # the full suite under the race detector.

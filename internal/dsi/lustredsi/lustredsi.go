@@ -8,6 +8,7 @@ package lustredsi
 
 import (
 	"fmt"
+	"time"
 
 	"fsmonitor/internal/dsi"
 	"fsmonitor/internal/iface"
@@ -33,11 +34,23 @@ func Register(reg *dsi.Registry) {
 }
 
 // Backend carries the Lustre connection for dsi.Config.Backend: the
-// cluster plus optional scalable-monitor tuning.
+// cluster plus optional scalable-monitor tuning. The resolver knobs map
+// straight onto scalable.DeployOptions — collectors and this DSI share
+// one resolve.Resolver implementation per collector.
 type Backend struct {
 	Cluster   *lustre.Cluster
 	CacheSize int    // 0 = DefaultCacheSize
 	Transport string // "" = inproc, or "tcp"
+	// CacheShards is the fid2path cache shard count
+	// (0 = pipeline.DefaultCacheShards).
+	CacheShards int
+	// NegativeTTL is how long stale-FID failures are negative-cached;
+	// <= 0 disables (the default). Use pipeline.DefaultNegativeTTL when
+	// enabling.
+	NegativeTTL time.Duration
+	// ResolveWorkers is each collector's resolve-stage parallelism
+	// (0 = pipeline.DefaultResolveWorkers).
+	ResolveWorkers int
 }
 
 type lustreDSI struct {
@@ -69,10 +82,13 @@ func New(cfg dsi.Config) (dsi.DSI, error) {
 		root = "/mnt/lustre"
 	}
 	mon, err := scalable.Deploy(be.Cluster, scalable.DeployOptions{
-		MountPoint: root,
-		CacheSize:  be.CacheSize,
-		Transport:  be.Transport,
-		Context:    cfg.Context,
+		MountPoint:     root,
+		CacheSize:      be.CacheSize,
+		CacheShards:    be.CacheShards,
+		NegativeTTL:    be.NegativeTTL,
+		ResolveWorkers: be.ResolveWorkers,
+		Transport:      be.Transport,
+		Context:        cfg.Context,
 	})
 	if err != nil {
 		return nil, err

@@ -23,9 +23,9 @@ type Cache[K comparable, V any] struct {
 
 	hits, misses, evictions uint64
 
-	// onEvict, if set, is invoked (outside no lock guarantees — it runs
-	// under the cache lock, so it must not call back into the cache) for
-	// each evicted entry.
+	// onEvict, if set, is invoked for each evicted entry. It runs after
+	// the cache lock has been released, so it may call back into the
+	// cache; by then the entry is already gone.
 	onEvict func(K, V)
 }
 
@@ -47,8 +47,9 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 	}
 }
 
-// NewWithEvict is New with an eviction callback. The callback runs while the
-// cache lock is held and must not re-enter the cache.
+// NewWithEvict is New with an eviction callback. Evicted entries are
+// collected under the lock and the callback is invoked after the lock is
+// released, so it may safely re-enter the cache.
 func NewWithEvict[K comparable, V any](capacity int, onEvict func(K, V)) *Cache[K, V] {
 	c := New[K, V](capacity)
 	c.onEvict = onEvict
@@ -94,17 +95,24 @@ func (c *Cache[K, V]) Contains(key K) bool {
 // whether an eviction occurred.
 func (c *Cache[K, V]) Set(key K, val V) (evicted bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if e, ok := c.items[key]; ok {
 		e.val = val
 		c.moveToFront(e)
+		c.mu.Unlock()
 		return false
 	}
 	e := &entry[K, V]{key: key, val: val}
 	c.items[key] = e
 	c.pushFront(e)
+	var victim *entry[K, V]
 	if len(c.items) > c.cap {
-		c.evictTail()
+		victim = c.evictTail()
+	}
+	c.mu.Unlock()
+	if victim != nil {
+		if c.onEvict != nil {
+			c.onEvict(victim.key, victim.val)
+		}
 		return true
 	}
 	return false
@@ -147,10 +155,18 @@ func (c *Cache[K, V]) Resize(capacity int) {
 		panic("lru: capacity must be positive")
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.cap = capacity
+	var victims []*entry[K, V]
 	for len(c.items) > c.cap {
-		c.evictTail()
+		if v := c.evictTail(); v != nil {
+			victims = append(victims, v)
+		}
+	}
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, v := range victims {
+			c.onEvict(v.key, v.val)
+		}
 	}
 }
 
@@ -228,15 +244,15 @@ func (c *Cache[K, V]) moveToFront(e *entry[K, V]) {
 	c.pushFront(e)
 }
 
-func (c *Cache[K, V]) evictTail() {
+// evictTail unlinks and returns the LRU entry (nil if empty). Caller holds
+// c.mu and is responsible for invoking onEvict after releasing it.
+func (c *Cache[K, V]) evictTail() *entry[K, V] {
 	t := c.tail
 	if t == nil {
-		return
+		return nil
 	}
 	c.unlink(t)
 	delete(c.items, t.key)
 	c.evictions++
-	if c.onEvict != nil {
-		c.onEvict(t.key, t.val)
-	}
+	return t
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestBasicSetGet(t *testing.T) {
@@ -105,6 +106,38 @@ func TestOnEvict(t *testing.T) {
 	c.Set("c", 3)
 	if len(evicted) != 1 || evicted[0] != "a" {
 		t.Errorf("evicted = %v, want [a]", evicted)
+	}
+}
+
+// Regression: the eviction callback runs after the cache lock is released,
+// so it may re-enter the cache. Before the fix this deadlocked on Set's
+// (non-reentrant) mutex.
+func TestOnEvictMayReenter(t *testing.T) {
+	done := make(chan struct{})
+	var c *Cache[int, int]
+	var evicted []int
+	c = NewWithEvict[int, int](2, func(k, v int) {
+		evicted = append(evicted, k)
+		c.Get(k)        // re-entrant lookup of the (gone) victim
+		c.Contains(k + 100)
+	})
+	go func() {
+		defer close(done)
+		c.Set(1, 1)
+		c.Set(2, 2)
+		c.Set(3, 3)    // evicts 1
+		c.Resize(1)    // evicts 2
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("eviction callback deadlocked against the cache lock")
+	}
+	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
+		t.Errorf("evicted = %v, want [1 2]", evicted)
+	}
+	if c.Contains(1) || c.Contains(2) {
+		t.Error("victims still present when the callback ran")
 	}
 }
 

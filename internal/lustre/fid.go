@@ -29,6 +29,19 @@ type FID struct {
 // IsZero reports whether f is the zero FID (no identifier).
 func (f FID) IsZero() bool { return f == FID{} }
 
+// Hash mixes the FID into a well-distributed 64-bit value (splitmix64
+// finalizer), used to spread FIDs across cache shards. Sequential Oids
+// from one allocator land on different shards.
+func (f FID) Hash() uint64 {
+	x := f.Seq ^ uint64(f.Oid)<<32 ^ uint64(f.Ver)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // String renders the FID in Lustre's bracketed hex form, e.g.
 // "[0x300005716:0x626c:0x0]".
 func (f FID) String() string {

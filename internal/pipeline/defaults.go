@@ -43,6 +43,18 @@ const (
 	// DefaultPoolSlots is how many recycled batch slices a SlicePool
 	// retains.
 	DefaultPoolSlots = 64
+
+	// DefaultResolveWorkers is the collector resolve-stage parallelism.
+	// 1 keeps the paper's serial collector — Tables V–VIII are calibrated
+	// against a single resolution server — so parallel resolution is an
+	// explicit knob, not a silent default change.
+	DefaultResolveWorkers = 1
+
+	// DefaultCacheShards is the fid→path cache shard count. Sixteen
+	// shards keep lock contention negligible up to the worker counts a
+	// single collector realistically runs while wasting little capacity
+	// to per-shard rounding.
+	DefaultCacheShards = 16
 )
 
 const (
@@ -58,4 +70,13 @@ const (
 	// DefaultDrainGrace bounds graceful shutdown: Drain escalates to
 	// Abort if the ordered drain takes longer than this.
 	DefaultDrainGrace = 5 * time.Second
+
+	// DefaultNegativeTTL is the recommended retention for negative-cached
+	// stale-FID failures when negative caching is enabled. It is long
+	// enough to absorb a burst of records for a just-deleted FID but
+	// short enough that a recycled FID resolves promptly. Negative
+	// caching is off by default: Algorithm 1 pays the fid2path call on
+	// every dead-FID miss, and Table VIII's cache-size sweep depends on
+	// that cost, so enabling it is an explicit opt-in.
+	DefaultNegativeTTL = 2 * time.Second
 )

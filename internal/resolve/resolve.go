@@ -1,0 +1,442 @@
+// Package resolve is the shared fid→path resolution layer: Algorithm 1
+// (§IV-2) — Changelog record translation through an LRU cache with
+// fid2path fallback — extracted out of the scalable collector so every
+// consumer of Lustre records (scalable.Collector, dsi/lustredsi, benches)
+// runs one implementation.
+//
+// A Resolver owns the concurrent machinery the paper's per-event cost
+// analysis calls for: a sharded cache with singleflight miss coalescing
+// and TTL'd negative caching of stale-FID failures (internal/cache), and
+// a pool of pacing lanes so that, driven from a parallel pipeline stage
+// (pipeline.MapN), N workers model N parallel resolution servers — the
+// simulated fid2path cost is spent on per-worker throttles instead of one
+// global serial server, and resolve-stage throughput scales with workers.
+package resolve
+
+import (
+	"errors"
+	"path"
+	"sync/atomic"
+	"time"
+
+	"fsmonitor/internal/cache"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/lustre"
+	"fsmonitor/internal/pace"
+	"fsmonitor/internal/pipeline"
+)
+
+// ParentDirectoryRemoved is the path component reported when both the
+// target and its parent FID fail to resolve (Algorithm 1 line 41).
+const ParentDirectoryRemoved = "ParentDirectoryRemoved"
+
+// Backend is the slice of the cluster a resolver needs: the fid2path tool
+// and its simulated per-invocation cost. *lustre.Cluster implements it.
+type Backend interface {
+	Fid2Path(lustre.FID) (string, error)
+	Fid2PathCost() time.Duration
+}
+
+// Options configures a Resolver. Backend is required.
+type Options struct {
+	// Backend resolves FIDs (required).
+	Backend Backend
+	// MountPoint is the client mount path events are reported under
+	// (default "/mnt/lustre").
+	MountPoint string
+	// Source tags emitted events (default "lustre").
+	Source string
+	// CacheSize is the fid2path cache capacity; 0 disables caching (the
+	// paper's "without cache" configuration — no coalescing or negative
+	// caching either, so the baseline stays a pure tool-per-miss path).
+	CacheSize int
+	// CacheShards is the cache shard count (default
+	// pipeline.DefaultCacheShards).
+	CacheShards int
+	// NegativeTTL is how long stale-FID failures are negative-cached.
+	// <= 0 disables negative caching (the default): Algorithm 1 then
+	// pays the fid2path call on every dead-FID miss, which is the
+	// paper's behaviour and what Table VIII's cache-size sweep measures.
+	// pipeline.DefaultNegativeTTL is the recommended value when
+	// enabling.
+	NegativeTTL time.Duration
+	// Workers is the number of pacing lanes — the parallel resolution
+	// servers the resolver models. It should match the worker count of
+	// the pipeline stage driving TranslateBatch (default
+	// pipeline.DefaultResolveWorkers). With more than one worker,
+	// concurrent batches race the cache-priming side effects that
+	// dead-FID reconstruction depends on (a CREAT in one batch primes
+	// the mapping a later MTIME needs once the FID is dead), so parallel
+	// translation can degrade more paths to ParentDirectoryRemoved than
+	// the serial collector; event order is unaffected.
+	Workers int
+	// EventOverhead is the accounted processing cost per record beyond
+	// resolution (parsing, queueing; default 3µs).
+	EventOverhead time.Duration
+	// CacheLookupCost models one cache access including the maintenance
+	// pressure of larger tables; 0 derives it from CacheSize (see
+	// LookupCost).
+	CacheLookupCost time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MountPoint == "" {
+		o.MountPoint = "/mnt/lustre"
+	}
+	if o.Source == "" {
+		o.Source = "lustre"
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = pipeline.DefaultCacheShards
+	}
+	if o.NegativeTTL < 0 {
+		o.NegativeTTL = 0
+	}
+	if o.Workers <= 0 {
+		o.Workers = pipeline.DefaultResolveWorkers
+	}
+	if o.EventOverhead <= 0 {
+		o.EventOverhead = 3 * time.Microsecond
+	}
+	if o.CacheLookupCost <= 0 {
+		o.CacheLookupCost = LookupCost(o.CacheSize)
+	}
+	return o
+}
+
+// LookupCost models the per-access cost of the fid→path cache: a base
+// hash probe plus slight growth with table size (memory pressure). This
+// is what makes oversized caches (7 500 in Table VIII) marginally worse
+// than the 5 000-entry sweet spot.
+func LookupCost(size int) time.Duration {
+	// 400ns base probe + 40ps per cached entry of table pressure.
+	return 400*time.Nanosecond + time.Duration(size*40/1000)*time.Nanosecond
+}
+
+// Stats is a snapshot of a resolver's counters.
+type Stats struct {
+	// Fid2PathCalls counts backend tool invocations.
+	Fid2PathCalls uint64
+	// Fid2PathStale counts invocations that failed with ErrStaleFID —
+	// the expected failures Algorithm 1 handles for deleted FIDs
+	// (UNLNK/RENME paths), not errors.
+	Fid2PathStale uint64
+	// Fid2PathErrors counts invocations that failed for any other
+	// reason — real errors.
+	Fid2PathErrors uint64
+	// Cache is the aggregated cache snapshot (zero when caching is off).
+	Cache cache.Stats
+}
+
+// Resolver translates Changelog records into events per Algorithm 1. Its
+// methods are safe for concurrent use by up to Workers goroutines; the
+// per-FID ordering of the translated stream is the caller's concern
+// (pipeline.MapN preserves it).
+type Resolver struct {
+	opts  Options
+	cache *cache.Cache[lustre.FID, string] // nil when CacheSize == 0
+
+	// lanes is the pool of pacing throttles: each concurrent
+	// TranslateBatch call checks one out for its batch, modelling one of
+	// Workers parallel resolution servers. all keeps them enumerable for
+	// accounting.
+	lanes chan *pace.Throttle
+	all   []*pace.Throttle
+
+	calls atomic.Uint64
+	stale atomic.Uint64
+	errs  atomic.Uint64
+}
+
+// New builds a Resolver. It returns an error only on a missing backend.
+func New(opts Options) (*Resolver, error) {
+	opts = opts.withDefaults()
+	if opts.Backend == nil {
+		return nil, errors.New("resolve: Options.Backend is required")
+	}
+	r := &Resolver{
+		opts:  opts,
+		lanes: make(chan *pace.Throttle, opts.Workers),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		th := pace.NewThrottle()
+		r.all = append(r.all, th)
+		r.lanes <- th
+	}
+	if opts.CacheSize > 0 {
+		r.cache = cache.New[lustre.FID, string](cache.Config[lustre.FID]{
+			Capacity:    opts.CacheSize,
+			Shards:      opts.CacheShards,
+			Hash:        lustre.FID.Hash,
+			NegativeTTL: opts.NegativeTTL,
+			Negative:    func(err error) bool { return errors.Is(err, lustre.ErrStaleFID) },
+		})
+	}
+	return r, nil
+}
+
+// Workers returns the configured parallelism (pacing lane count).
+func (r *Resolver) Workers() int { return r.opts.Workers }
+
+// MountPoint returns the event root paths are reported under.
+func (r *Resolver) MountPoint() string { return r.opts.MountPoint }
+
+// TranslateBatch runs Algorithm 1 over recs, appending the resulting
+// events to dst. It checks one pacing lane out for the whole batch, so up
+// to Workers concurrent calls progress in parallel.
+func (r *Resolver) TranslateBatch(dst []events.Event, recs []lustre.Record) []events.Event {
+	th := <-r.lanes
+	defer func() { r.lanes <- th }()
+	for _, rec := range recs {
+		dst = r.appendRecord(th, dst, rec)
+	}
+	return dst
+}
+
+// Stats returns a snapshot of the resolver's counters.
+func (r *Resolver) Stats() Stats {
+	st := Stats{
+		Fid2PathCalls:  r.calls.Load(),
+		Fid2PathStale:  r.stale.Load(),
+		Fid2PathErrors: r.errs.Load(),
+	}
+	if r.cache != nil {
+		st.Cache = r.cache.Stats()
+	}
+	return st
+}
+
+// Busy returns total service time spent across every lane.
+func (r *Resolver) Busy() time.Duration {
+	var total time.Duration
+	for _, th := range r.all {
+		total += th.Busy()
+	}
+	return total
+}
+
+// Utilization returns busy time over elapsed wall time summed across
+// lanes — the "cores used" measure, which exceeds 1.0 when more than one
+// worker is saturated.
+func (r *Resolver) Utilization() float64 {
+	var total float64
+	for _, th := range r.all {
+		total += th.Utilization()
+	}
+	return total
+}
+
+// ResetAccounting restarts every lane's utilization window.
+func (r *Resolver) ResetAccounting() {
+	for _, th := range r.all {
+		th.Reset()
+	}
+}
+
+// countFailure classifies a backend failure: stale FIDs are the expected
+// deleted-FID outcome Algorithm 1 handles, anything else is a real error.
+func (r *Resolver) countFailure(err error) {
+	if errors.Is(err, lustre.ErrStaleFID) {
+		r.stale.Add(1)
+	} else {
+		r.errs.Add(1)
+	}
+}
+
+// fid2path resolves through the cache per Algorithm 1 (cache.get; on miss
+// invoke the tool and cache the mapping), accounting the costs on the
+// caller's lane. Concurrent misses on one FID coalesce into a single tool
+// invocation, and stale-FID failures are negative-cached so storms of
+// records for dead FIDs stop re-invoking the tool.
+func (r *Resolver) fid2path(th *pace.Throttle, fid lustre.FID) (string, error) {
+	if fid.IsZero() {
+		// The record carries no FID in this slot (e.g. MTIME records
+		// have no parent FID); there is nothing to invoke the tool on.
+		return "", lustre.ErrStaleFID
+	}
+	if r.cache == nil {
+		th.Spend(r.opts.Backend.Fid2PathCost())
+		r.calls.Add(1)
+		p, err := r.opts.Backend.Fid2Path(fid)
+		if err != nil {
+			r.countFailure(err)
+			return "", err
+		}
+		return p, nil
+	}
+	th.Spend(r.opts.CacheLookupCost)
+	return r.cache.GetOrLoad(fid, func() (string, error) {
+		th.Spend(r.opts.Backend.Fid2PathCost())
+		r.calls.Add(1)
+		p, err := r.opts.Backend.Fid2Path(fid)
+		if err != nil {
+			r.countFailure(err)
+		}
+		return p, err
+	})
+}
+
+// cacheOnly consults the cache without falling back to fid2path — used for
+// deleted FIDs whose resolution is known to fail but whose mapping may
+// still be cached from the create.
+func (r *Resolver) cacheOnly(th *pace.Throttle, fid lustre.FID) (string, bool) {
+	if r.cache == nil {
+		return "", false
+	}
+	th.Spend(r.opts.CacheLookupCost)
+	return r.cache.Get(fid)
+}
+
+// appendRecord implements Algorithm 1: resolve the record's FIDs into
+// absolute paths, handling deleted targets (UNLNK/RMDIR resolve the
+// parent; if the parent is gone too the event reports
+// ParentDirectoryRemoved) and renames (resolve old and new paths). The
+// resulting events are appended to dst.
+func (r *Resolver) appendRecord(th *pace.Throttle, dst []events.Event, rec lustre.Record) []events.Event {
+	th.Spend(r.opts.EventOverhead)
+	base := events.Event{Root: r.opts.MountPoint, Time: rec.Time, Source: r.opts.Source}
+
+	switch rec.Type {
+	case lustre.RecMark:
+		return dst
+
+	case lustre.RecUnlnk, lustre.RecRmdir:
+		op := events.OpDelete
+		if rec.Type == lustre.RecRmdir {
+			op |= events.OpIsDir
+		}
+		base.Op = op
+		// Try the cache for the deleted target first: its mapping may
+		// survive from the CREAT. A cache miss means fid2path, which
+		// fails for deleted FIDs (the call is still paid, though the
+		// negative cache absorbs repeats).
+		if p, ok := r.cacheOnly(th, rec.TFid); ok {
+			r.cache.Delete(rec.TFid) // the FID is dead; keep the cache clean
+			base.Path = p
+			return append(dst, base)
+		}
+		if p, err := r.fid2path(th, rec.TFid); err == nil {
+			// Target still resolvable: a hard link to it remains, and
+			// fid2path reports the surviving name. Report the removed
+			// name via the parent instead.
+			if parent, perr := r.fid2path(th, rec.PFid); perr == nil {
+				p = path.Join(parent, rec.Name)
+			}
+			base.Path = p
+			return append(dst, base)
+		}
+		// Resolve the parent and append the name.
+		parent, err := r.fid2path(th, rec.PFid)
+		if err != nil {
+			// Parent deleted as well (Algorithm 1 line 41).
+			base.Path = "/" + ParentDirectoryRemoved + "/" + rec.Name
+			return append(dst, base)
+		}
+		base.Path = path.Join(parent, rec.Name)
+		return append(dst, base)
+
+	case lustre.RecRenme:
+		// Old path: source parent (sp=[]) + old name; new path: the
+		// renamed file's FID (s=[]), which resolves to its new
+		// location. Any cached mapping for the renamed FID predates the
+		// rename and must be invalidated before resolving, or the event
+		// would report the stale source path as the destination.
+		var oldPath, newPath string
+		if parent, err := r.fid2path(th, rec.SPFid); err == nil {
+			oldPath = path.Join(parent, rec.Name)
+		} else {
+			oldPath = "/" + ParentDirectoryRemoved + "/" + rec.Name
+		}
+		if r.cache != nil {
+			r.cache.Delete(rec.SFid)
+		}
+		if p, err := r.fid2path(th, rec.SFid); err == nil {
+			newPath = p
+		} else if parent, err := r.fid2path(th, rec.PFid); err == nil {
+			newPath = path.Join(parent, rec.SName)
+			if r.cache != nil && !rec.SFid.IsZero() {
+				r.cache.Set(rec.SFid, newPath)
+			}
+		} else {
+			newPath = "/" + ParentDirectoryRemoved + "/" + rec.SName
+		}
+		from := base
+		from.Op = events.OpMovedFrom
+		from.Path = oldPath
+		from.Cookie = uint32(rec.Index)
+		to := base
+		to.Op = events.OpMovedTo
+		to.Path = newPath
+		to.OldPath = oldPath
+		to.Cookie = uint32(rec.Index)
+		return append(dst, from, to)
+
+	case lustre.RecRnmto:
+		p, err := r.fid2path(th, rec.TFid)
+		if err != nil {
+			if parent, perr := r.fid2path(th, rec.PFid); perr == nil {
+				p = path.Join(parent, rec.Name)
+			} else {
+				p = "/" + ParentDirectoryRemoved + "/" + rec.Name
+			}
+		}
+		base.Op = events.OpMovedTo
+		base.Path = p
+		return append(dst, base)
+
+	default:
+		// Creations and in-place updates: resolve the target FID.
+		base.Op = RecTypeToOp(rec.Type)
+		if base.Op == 0 {
+			return dst
+		}
+		p, err := r.fid2path(th, rec.TFid)
+		if err != nil {
+			// The subject vanished between the operation and our
+			// processing; reconstruct from the parent if possible and
+			// cache the reconstruction so later records for the same
+			// (dead) FID — its MTIME, its UNLNK — resolve without
+			// further tool invocations.
+			if parent, perr := r.fid2path(th, rec.PFid); perr == nil {
+				p = path.Join(parent, rec.Name)
+				if r.cache != nil && !rec.TFid.IsZero() {
+					r.cache.Set(rec.TFid, p)
+				}
+			} else {
+				p = "/" + ParentDirectoryRemoved + "/" + rec.Name
+			}
+		}
+		base.Path = p
+		return append(dst, base)
+	}
+}
+
+// RecTypeToOp maps Changelog record types onto the standard vocabulary.
+func RecTypeToOp(t lustre.RecType) events.Op {
+	switch t {
+	case lustre.RecCreat, lustre.RecMknod:
+		return events.OpCreate
+	case lustre.RecMkdir:
+		return events.OpCreate | events.OpIsDir
+	case lustre.RecHlink, lustre.RecSlink:
+		return events.OpCreate
+	case lustre.RecMtime:
+		return events.OpModify
+	case lustre.RecCtime, lustre.RecSattr:
+		return events.OpAttrib
+	case lustre.RecXattr:
+		return events.OpXattr
+	case lustre.RecTrunc:
+		return events.OpTruncate
+	case lustre.RecClose:
+		return events.OpCloseWrite
+	case lustre.RecIoctl:
+		return events.OpAttrib
+	case lustre.RecOpen:
+		return events.OpOpen
+	case lustre.RecAtime:
+		return events.OpAccess
+	default:
+		return 0
+	}
+}

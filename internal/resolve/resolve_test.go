@@ -1,0 +1,225 @@
+package resolve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/lustre"
+	"fsmonitor/internal/pipeline"
+)
+
+func testCluster(fid2pathCost time.Duration) *lustre.Cluster {
+	return lustre.NewCluster(lustre.Config{
+		Name: "resolve-test", NumMDS: 1, NumOSS: 1, OSTsPerOSS: 1, OSTSizeGB: 1,
+		Fid2PathCost: fid2pathCost,
+	})
+}
+
+func readRecords(t testing.TB, c *lustre.Cluster) []lustre.Record {
+	t.Helper()
+	log, err := c.Changelog(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log.Read(0, 1<<20)
+}
+
+func newResolver(t testing.TB, opts Options) *Resolver {
+	t.Helper()
+	r, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Translating a create/write/delete sequence after the file is gone
+// exercises the full Algorithm-1 miss path: the CREAT reconstructs the
+// path from the parent and primes the cache, MTIME and UNLNK then resolve
+// from the primed mapping — and the one expected fid2path failure is
+// counted as stale, not as an error.
+func TestTranslateDeadFileRecords(t *testing.T) {
+	cluster := testCluster(0)
+	cl := cluster.Client()
+	if err := cl.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Write("/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	r := newResolver(t, Options{Backend: cluster, CacheSize: 100})
+	got := r.TranslateBatch(nil, readRecords(t, cluster))
+	wantOps := []events.Op{events.OpCreate, events.OpModify, events.OpDelete}
+	if len(got) != len(wantOps) {
+		t.Fatalf("events = %v", got)
+	}
+	for i, e := range got {
+		if !e.Op.HasAny(wantOps[i]) || e.Path != "/f" {
+			t.Errorf("event %d = %+v, want op %v path /f", i, e, wantOps[i])
+		}
+	}
+	st := r.Stats()
+	// CREAT: target FID is dead (1 stale call), parent resolves (1 call);
+	// everything after hits the primed cache entry.
+	if st.Fid2PathCalls != 2 || st.Fid2PathStale != 1 || st.Fid2PathErrors != 0 {
+		t.Errorf("stats = %+v, want Calls=2 Stale=1 Errors=0", st)
+	}
+}
+
+// deadRecords fabricates n MTIME records for a FID that never existed:
+// target and parent both fail to resolve, the worst case Algorithm 1
+// keeps paying for without a negative cache.
+func deadRecords(n int) []lustre.Record {
+	recs := make([]lustre.Record, n)
+	for i := range recs {
+		recs[i] = lustre.Record{
+			Index: uint64(i + 1),
+			Type:  lustre.RecMtime,
+			TFid:  lustre.FID{Seq: 0xdead, Oid: 42, Ver: 0},
+			PFid:  lustre.FID{Seq: 0xdead, Oid: 7, Ver: 0},
+			Name:  "ghost",
+		}
+	}
+	return recs
+}
+
+// Without a negative TTL every record for a dead FID re-invokes fid2path
+// (paper behaviour); with one, only the first record pays.
+func TestNegativeCacheAbsorbsDeadFIDStorm(t *testing.T) {
+	const n = 20
+	run := func(ttl time.Duration) Stats {
+		cluster := testCluster(0)
+		r := newResolver(t, Options{Backend: cluster, CacheSize: 100, NegativeTTL: ttl})
+		out := r.TranslateBatch(nil, deadRecords(n))
+		if len(out) != n {
+			t.Fatalf("events = %d, want %d", len(out), n)
+		}
+		for _, e := range out {
+			if e.Path != "/"+ParentDirectoryRemoved+"/ghost" {
+				t.Fatalf("path = %q", e.Path)
+			}
+		}
+		return r.Stats()
+	}
+	plain := run(0)
+	if plain.Fid2PathCalls != 2*n || plain.Fid2PathStale != 2*n {
+		t.Errorf("without negative cache: %+v, want %d stale calls", plain, 2*n)
+	}
+	negative := run(pipeline.DefaultNegativeTTL)
+	if negative.Fid2PathCalls != 2 || negative.Fid2PathStale != 2 {
+		t.Errorf("with negative cache: %+v, want 2 stale calls", negative)
+	}
+	if negative.Cache.NegHits == 0 {
+		t.Errorf("no negative hits recorded: %+v", negative.Cache)
+	}
+	if plain.Fid2PathErrors != 0 || negative.Fid2PathErrors != 0 {
+		t.Errorf("stale failures misclassified as errors: %d / %d",
+			plain.Fid2PathErrors, negative.Fid2PathErrors)
+	}
+}
+
+// Concurrent TranslateBatch callers each check out their own pacing lane,
+// and Busy aggregates what every lane spent.
+func TestLaneAccountingAcrossWorkers(t *testing.T) {
+	cluster := testCluster(0)
+	cl := cluster.Client()
+	for i := 0; i < 64; i++ {
+		if err := cl.Create(fmt.Sprintf("/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := readRecords(t, cluster)
+	r := newResolver(t, Options{
+		Backend: cluster, CacheSize: 100, Workers: 4,
+		EventOverhead: time.Microsecond,
+	})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		w := w
+		go func() {
+			defer func() { done <- struct{}{} }()
+			r.TranslateBatch(nil, recs[w*16:(w+1)*16])
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if r.Workers() != 4 {
+		t.Errorf("Workers = %d", r.Workers())
+	}
+	if busy := r.Busy(); busy < 64*time.Microsecond {
+		t.Errorf("Busy = %v, want at least the 64 event overheads", busy)
+	}
+	r.ResetAccounting()
+	if busy := r.Busy(); busy != 0 {
+		t.Errorf("Busy after reset = %v", busy)
+	}
+}
+
+// BenchmarkResolveStage measures resolve-stage throughput through the real
+// pipeline stage (MapN driving TranslateBatch) on a cold cache, where
+// every record is a miss and the simulated fid2path cost dominates — the
+// configuration the worker-scaling acceptance criterion is stated for.
+// Each iteration builds a fresh resolver so no iteration benefits from a
+// warmed cache.
+func BenchmarkResolveStage(b *testing.B) {
+	const (
+		nFiles    = 2048
+		batchSize = 64
+		cost      = 50 * time.Microsecond
+	)
+	cluster := testCluster(cost)
+	cl := cluster.Client()
+	for i := 0; i < nFiles; i++ {
+		if err := cl.Create(fmt.Sprintf("/f%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	recs := readRecords(b, cluster)
+	var batches [][]lustre.Record
+	for i := 0; i < len(recs); i += batchSize {
+		end := i + batchSize
+		if end > len(recs) {
+			end = len(recs)
+		}
+		batches = append(batches, recs[i:end])
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := New(Options{Backend: cluster, CacheSize: nFiles, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := pipeline.New(context.Background())
+				src := pipeline.Source(p, "gen", 4, func(_ context.Context, emit func([]lustre.Record) bool) error {
+					for _, batch := range batches {
+						if !emit(batch) {
+							return nil
+						}
+					}
+					return nil
+				})
+				resolved := pipeline.MapN(p, "resolve", 4, workers, src,
+					func(_ context.Context, batch []lustre.Record) ([]events.Event, bool) {
+						return r.TranslateBatch(nil, batch), true
+					})
+				var out int
+				pipeline.Sink(p, "count", resolved, func(_ context.Context, evs []events.Event) {
+					out += len(evs)
+				})
+				p.Wait()
+				if out != len(recs) {
+					b.Fatalf("resolved %d events, want %d", out, len(recs))
+				}
+			}
+			b.ReportMetric(float64(len(recs)*b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}

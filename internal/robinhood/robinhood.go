@@ -24,6 +24,7 @@ import (
 	"fsmonitor/internal/lru"
 	"fsmonitor/internal/lustre"
 	"fsmonitor/internal/pace"
+	"fsmonitor/internal/resolve"
 )
 
 // Options configures a Robinhood server.
@@ -300,31 +301,9 @@ func (s *Server) processRecord(r lustre.Record) []events.Event {
 	}
 }
 
-// recTypeToOp mirrors the scalable collector's mapping.
-func recTypeToOp(t lustre.RecType) events.Op {
-	switch t {
-	case lustre.RecCreat, lustre.RecMknod, lustre.RecHlink, lustre.RecSlink:
-		return events.OpCreate
-	case lustre.RecMkdir:
-		return events.OpCreate | events.OpIsDir
-	case lustre.RecMtime:
-		return events.OpModify
-	case lustre.RecCtime, lustre.RecSattr, lustre.RecIoctl:
-		return events.OpAttrib
-	case lustre.RecXattr:
-		return events.OpXattr
-	case lustre.RecTrunc:
-		return events.OpTruncate
-	case lustre.RecClose:
-		return events.OpCloseWrite
-	case lustre.RecOpen:
-		return events.OpOpen
-	case lustre.RecAtime:
-		return events.OpAccess
-	default:
-		return 0
-	}
-}
+// recTypeToOp delegates to the shared resolver layer's mapping so the
+// comparison system reports the same event vocabulary.
+func recTypeToOp(t lustre.RecType) events.Op { return resolve.RecTypeToOp(t) }
 
 // Since queries the local database.
 func (s *Server) Since(seq uint64, max int) ([]events.Event, error) {

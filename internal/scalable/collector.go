@@ -9,26 +9,29 @@
 //
 // Every service runs on internal/pipeline stages: the collector is
 // changelog-read → resolve → publish, the aggregator subscribe → store →
-// republish, the consumer subscribe → filter-deliver. Lifecycle is
-// context-driven — Close drains the stages in order, and an optional
-// parent context aborts them.
+// republish, the consumer subscribe → filter-deliver. The resolve stage is
+// a pipeline.MapN over a shared resolve.Resolver — ResolveWorkers
+// invocations of Algorithm 1 run concurrently against the sharded,
+// singleflight-coalescing fid2path cache, while MapN's order-preserving
+// resequencing keeps per-FID event order and Changelog purge cursors
+// strictly in Changelog order. Lifecycle is context-driven — Close drains
+// the stages in order, and an optional parent context aborts them.
 package scalable
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"path"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fsmonitor/internal/cache"
 	"fsmonitor/internal/events"
-	"fsmonitor/internal/lru"
 	"fsmonitor/internal/lustre"
 	"fsmonitor/internal/msgq"
-	"fsmonitor/internal/pace"
 	"fsmonitor/internal/pipeline"
+	"fsmonitor/internal/resolve"
 )
 
 // TopicPrefix is the message-queue topic prefix for collector event
@@ -36,8 +39,9 @@ import (
 const TopicPrefix = "events."
 
 // ParentDirectoryRemoved is the path reported when both the target and its
-// parent FID fail to resolve (Algorithm 1 line 41).
-const ParentDirectoryRemoved = "ParentDirectoryRemoved"
+// parent FID fail to resolve (Algorithm 1 line 41). It is re-exported from
+// the shared resolver layer.
+const ParentDirectoryRemoved = resolve.ParentDirectoryRemoved
 
 // CollectorOptions configures one collector service.
 type CollectorOptions struct {
@@ -51,6 +55,25 @@ type CollectorOptions struct {
 	// CacheSize is the fid2path LRU capacity; 0 disables caching
 	// (the paper's "without cache" configuration).
 	CacheSize int
+	// CacheShards is the fid2path cache shard count (default
+	// pipeline.DefaultCacheShards).
+	CacheShards int
+	// NegativeTTL is how long stale-FID resolution failures are
+	// negative-cached; <= 0 disables (the default — the paper's
+	// collector pays fid2path on every dead-FID miss). Use
+	// pipeline.DefaultNegativeTTL when enabling.
+	NegativeTTL time.Duration
+	// ResolveWorkers is the resolve stage's parallelism: how many
+	// Algorithm-1 translations run concurrently (default
+	// pipeline.DefaultResolveWorkers = 1, the paper's serial collector).
+	// Event order is preserved at any worker count (the stage resequences
+	// outputs to input order), but parallel translation races the
+	// cache-priming side effects that dead-FID path reconstruction relies
+	// on across batches: a record whose FID died before an earlier
+	// batch's records were translated may fall back to the
+	// ParentDirectoryRemoved marker more often than under the serial
+	// collector.
+	ResolveWorkers int
 	// BatchSize bounds records per Changelog read (default
 	// pipeline.DefaultChangelogBatch).
 	BatchSize int
@@ -65,7 +88,7 @@ type CollectorOptions struct {
 	EventOverhead time.Duration
 	// CacheLookupCost models one cache access including the maintenance
 	// pressure of larger tables; 0 derives it from CacheSize (see
-	// lookupCost).
+	// resolve.LookupCost).
 	CacheLookupCost time.Duration
 	// Context aborts the collector when canceled (Close remains the
 	// graceful path). Nil means Background.
@@ -82,25 +105,10 @@ func (o CollectorOptions) withDefaults() CollectorOptions {
 	if o.Endpoint == "" {
 		o.Endpoint = fmt.Sprintf("inproc://collector-mdt%d", o.MDT)
 	}
-	if o.EventOverhead <= 0 {
-		o.EventOverhead = 3 * time.Microsecond
-	}
-	if o.MountPoint == "" {
-		o.MountPoint = "/mnt/lustre"
-	}
-	if o.CacheLookupCost <= 0 {
-		o.CacheLookupCost = lookupCost(o.CacheSize)
+	if o.ResolveWorkers <= 0 {
+		o.ResolveWorkers = pipeline.DefaultResolveWorkers
 	}
 	return o
-}
-
-// lookupCost models the per-access cost of the fid→path cache: a base hash
-// probe plus slight growth with table size (memory pressure). This is what
-// makes oversized caches (7 500 in Table VIII) marginally worse than the
-// 5 000-entry sweet spot.
-func lookupCost(size int) time.Duration {
-	// 400ns base probe + 40ps per cached entry of table pressure.
-	return 400*time.Nanosecond + time.Duration(size*40/1000)*time.Nanosecond
 }
 
 // CollectorStats is a snapshot of one collector's counters.
@@ -108,12 +116,19 @@ type CollectorStats struct {
 	MDT             int
 	RecordsRead     uint64
 	EventsPublished uint64
-	Fid2PathCalls   uint64
-	Fid2PathErrors  uint64
-	Cache           lru.Stats
-	BusyTime        time.Duration
-	Utilization     float64
-	ChangelogLag    int // records retained behind the collector
+	// Fid2PathCalls counts fid2path tool invocations.
+	Fid2PathCalls uint64
+	// Fid2PathStale counts invocations that failed with ErrStaleFID —
+	// the expected deleted-FID outcome on UNLNK/RENME paths that
+	// Algorithm 1 handles, not failures.
+	Fid2PathStale uint64
+	// Fid2PathErrors counts invocations that failed for any other
+	// reason — real errors.
+	Fid2PathErrors uint64
+	Cache          cache.Stats
+	BusyTime       time.Duration
+	Utilization    float64
+	ChangelogLag   int // records retained behind the collector
 	// Pipeline is the per-stage view (changelog-read → resolve → publish).
 	Pipeline []pipeline.Stats
 }
@@ -136,22 +151,18 @@ type pubBatch struct {
 // Collector extracts, processes, and publishes one MDS's events as a
 // changelog-read → resolve → publish pipeline.
 type Collector struct {
-	opts     CollectorOptions
-	cluster  *lustre.Cluster
-	log      *lustre.Changelog
-	cache    *lru.Cache[lustre.FID, string]
-	pub      *msgq.Pub
-	throttle *pace.Throttle
-	topic    string
-	reader   string
+	opts   CollectorOptions
+	log    *lustre.Changelog
+	res    *resolve.Resolver
+	pub    *msgq.Pub
+	topic  string
+	reader string
 
 	pipe *pipeline.Pipeline
 	pool *pipeline.SlicePool[events.Event]
 
 	recordsRead atomic.Uint64
 	published   atomic.Uint64
-	fidCalls    atomic.Uint64
-	fidErrors   atomic.Uint64
 
 	closeOnce sync.Once
 }
@@ -166,27 +177,36 @@ func NewCollector(opts CollectorOptions) (*Collector, error) {
 	if err != nil {
 		return nil, err
 	}
+	res, err := resolve.New(resolve.Options{
+		Backend:         opts.Cluster,
+		MountPoint:      opts.MountPoint,
+		CacheSize:       opts.CacheSize,
+		CacheShards:     opts.CacheShards,
+		NegativeTTL:     opts.NegativeTTL,
+		Workers:         opts.ResolveWorkers,
+		EventOverhead:   opts.EventOverhead,
+		CacheLookupCost: opts.CacheLookupCost,
+	})
+	if err != nil {
+		return nil, err
+	}
 	pub := msgq.NewPub(msgq.WithBlockOnFull()) // §V-D2: no event loss — queue, don't drop
 	if err := pub.Bind(opts.Endpoint); err != nil {
 		return nil, err
 	}
 	c := &Collector{
-		opts:     opts,
-		cluster:  opts.Cluster,
-		log:      log,
-		pub:      pub,
-		throttle: pace.NewThrottle(),
-		topic:    fmt.Sprintf("%smdt%d", TopicPrefix, opts.MDT),
-		pool:     pipeline.NewSlicePool[events.Event](opts.BatchSize, 0),
-	}
-	if opts.CacheSize > 0 {
-		c.cache = lru.New[lustre.FID, string](opts.CacheSize)
+		opts:  opts,
+		log:   log,
+		res:   res,
+		pub:   pub,
+		topic: fmt.Sprintf("%smdt%d", TopicPrefix, opts.MDT),
+		pool:  pipeline.NewSlicePool[events.Event](opts.BatchSize, 0),
 	}
 	c.reader = log.Register()
 
 	c.pipe = pipeline.New(opts.Context)
 	read := pipeline.Source(c.pipe, "changelog-read", pipeline.DefaultBatchDepth, c.readLoop)
-	resolved := pipeline.Map(c.pipe, "resolve", pipeline.DefaultBatchDepth, read, c.resolveBatch)
+	resolved := pipeline.MapN(c.pipe, "resolve", pipeline.DefaultBatchDepth, opts.ResolveWorkers, read, c.resolveBatch)
 	pipeline.Sink(c.pipe, "publish", resolved, c.publishBatch)
 	return c, nil
 }
@@ -196,6 +216,10 @@ func (c *Collector) Endpoint() string { return c.pub.Addr() }
 
 // Topic returns the topic this collector publishes under.
 func (c *Collector) Topic() string { return c.topic }
+
+// Resolver exposes the collector's shared resolution layer (stats,
+// accounting).
+func (c *Collector) Resolver() *resolve.Resolver { return c.res }
 
 // readLoop is the changelog-read source stage (§IV-2). It does not
 // consume Changelog records while nobody is subscribed: PUB/SUB gives no
@@ -233,13 +257,12 @@ func (c *Collector) readLoop(ctx context.Context, emit func(readBatch) bool) err
 }
 
 // resolveBatch is the resolve stage: Algorithm 1 over every record of one
-// read, appending into a pooled slice so steady-state resolution
-// allocates nothing per batch.
+// read via the shared resolver, appending into a pooled slice so
+// steady-state resolution allocates nothing per batch. Up to
+// ResolveWorkers batches resolve concurrently (MapN re-sequences the
+// outputs, so publish order stays Changelog order).
 func (c *Collector) resolveBatch(_ context.Context, rb readBatch) (pubBatch, bool) {
-	evs := c.pool.Get()
-	for _, r := range rb.recs {
-		evs = c.appendRecord(evs, r)
-	}
+	evs := c.res.TranslateBatch(c.pool.Get(), rb.recs)
 	if len(evs) == 0 {
 		c.pool.Put(evs)
 		return pubBatch{since: rb.since}, true
@@ -290,221 +313,27 @@ func (c *Collector) publishBatch(ctx context.Context, pb pubBatch) {
 	}
 }
 
-// fid2path resolves through the cache per Algorithm 1 (cache.get; on miss
-// invoke the tool and cache the mapping), accounting the costs on the
-// collector's throttle.
-func (c *Collector) fid2path(fid lustre.FID) (string, error) {
-	if fid.IsZero() {
-		// The record carries no FID in this slot (e.g. MTIME records
-		// have no parent FID); there is nothing to invoke the tool on.
-		return "", lustre.ErrStaleFID
-	}
-	if c.cache != nil {
-		c.throttle.Spend(c.opts.CacheLookupCost)
-		if p, ok := c.cache.Get(fid); ok {
-			return p, nil
-		}
-	}
-	c.throttle.Spend(c.cluster.Fid2PathCost())
-	c.fidCalls.Add(1)
-	p, err := c.cluster.Fid2Path(fid)
-	if err != nil {
-		c.fidErrors.Add(1)
-		return "", err
-	}
-	if c.cache != nil {
-		c.cache.Set(fid, p)
-	}
-	return p, nil
-}
-
-// cacheOnly consults the cache without falling back to fid2path — used for
-// deleted FIDs whose resolution is known to fail but whose mapping may
-// still be cached from the create.
-func (c *Collector) cacheOnly(fid lustre.FID) (string, bool) {
-	if c.cache == nil {
-		return "", false
-	}
-	c.throttle.Spend(c.opts.CacheLookupCost)
-	return c.cache.Get(fid)
-}
-
-// appendRecord implements Algorithm 1: resolve the record's FIDs into
-// absolute paths, handling deleted targets (UNLNK/RMDIR resolve the
-// parent; if the parent is gone too the event reports
-// ParentDirectoryRemoved) and renames (resolve old and new paths). The
-// resulting events are appended to dst.
-func (c *Collector) appendRecord(dst []events.Event, r lustre.Record) []events.Event {
-	c.throttle.Spend(c.opts.EventOverhead)
-	root := c.opts.MountPoint
-	base := events.Event{Root: root, Time: r.Time, Source: "lustre"}
-
-	switch r.Type {
-	case lustre.RecMark:
-		return dst
-
-	case lustre.RecUnlnk, lustre.RecRmdir:
-		op := events.OpDelete
-		if r.Type == lustre.RecRmdir {
-			op |= events.OpIsDir
-		}
-		base.Op = op
-		// Try the cache for the deleted target first: its mapping may
-		// survive from the CREAT. A cache miss means fid2path, which
-		// fails for deleted FIDs (the call is still paid).
-		if p, ok := c.cacheOnly(r.TFid); ok {
-			c.cache.Delete(r.TFid) // the FID is dead; keep the cache clean
-			base.Path = p
-			return append(dst, base)
-		}
-		if p, err := c.fid2path(r.TFid); err == nil {
-			// Target still resolvable: a hard link to it remains, and
-			// fid2path reports the surviving name. Report the removed
-			// name via the parent instead.
-			if parent, perr := c.fid2path(r.PFid); perr == nil {
-				p = path.Join(parent, r.Name)
-			}
-			base.Path = p
-			return append(dst, base)
-		}
-		// Resolve the parent and append the name.
-		parent, err := c.fid2path(r.PFid)
-		if err != nil {
-			// Parent deleted as well (Algorithm 1 line 41).
-			base.Path = "/" + ParentDirectoryRemoved + "/" + r.Name
-			return append(dst, base)
-		}
-		base.Path = path.Join(parent, r.Name)
-		return append(dst, base)
-
-	case lustre.RecRenme:
-		// Old path: source parent (sp=[]) + old name; new path: the
-		// renamed file's FID (s=[]), which resolves to its new
-		// location. Any cached mapping for the renamed FID predates the
-		// rename and must be invalidated before resolving, or the event
-		// would report the stale source path as the destination.
-		var oldPath, newPath string
-		if parent, err := c.fid2path(r.SPFid); err == nil {
-			oldPath = path.Join(parent, r.Name)
-		} else {
-			oldPath = "/" + ParentDirectoryRemoved + "/" + r.Name
-		}
-		if c.cache != nil {
-			c.cache.Delete(r.SFid)
-		}
-		if p, err := c.fid2path(r.SFid); err == nil {
-			newPath = p
-		} else if parent, err := c.fid2path(r.PFid); err == nil {
-			newPath = path.Join(parent, r.SName)
-			if c.cache != nil && !r.SFid.IsZero() {
-				c.cache.Set(r.SFid, newPath)
-			}
-		} else {
-			newPath = "/" + ParentDirectoryRemoved + "/" + r.SName
-		}
-		from := base
-		from.Op = events.OpMovedFrom
-		from.Path = oldPath
-		from.Cookie = uint32(r.Index)
-		to := base
-		to.Op = events.OpMovedTo
-		to.Path = newPath
-		to.OldPath = oldPath
-		to.Cookie = uint32(r.Index)
-		return append(dst, from, to)
-
-	case lustre.RecRnmto:
-		p, err := c.fid2path(r.TFid)
-		if err != nil {
-			if parent, perr := c.fid2path(r.PFid); perr == nil {
-				p = path.Join(parent, r.Name)
-			} else {
-				p = "/" + ParentDirectoryRemoved + "/" + r.Name
-			}
-		}
-		base.Op = events.OpMovedTo
-		base.Path = p
-		return append(dst, base)
-
-	default:
-		// Creations and in-place updates: resolve the target FID.
-		base.Op = recTypeToOp(r.Type)
-		if base.Op == 0 {
-			return dst
-		}
-		p, err := c.fid2path(r.TFid)
-		if err != nil {
-			// The subject vanished between the operation and our
-			// processing; reconstruct from the parent if possible and
-			// cache the reconstruction so later records for the same
-			// (dead) FID — its MTIME, its UNLNK — resolve without
-			// further tool invocations.
-			if parent, perr := c.fid2path(r.PFid); perr == nil {
-				p = path.Join(parent, r.Name)
-				if c.cache != nil && !r.TFid.IsZero() {
-					c.cache.Set(r.TFid, p)
-				}
-			} else {
-				p = "/" + ParentDirectoryRemoved + "/" + r.Name
-			}
-		}
-		base.Path = p
-		return append(dst, base)
-	}
-}
-
-// recTypeToOp maps Changelog record types onto the standard vocabulary.
-func recTypeToOp(t lustre.RecType) events.Op {
-	switch t {
-	case lustre.RecCreat, lustre.RecMknod:
-		return events.OpCreate
-	case lustre.RecMkdir:
-		return events.OpCreate | events.OpIsDir
-	case lustre.RecHlink, lustre.RecSlink:
-		return events.OpCreate
-	case lustre.RecMtime:
-		return events.OpModify
-	case lustre.RecCtime, lustre.RecSattr:
-		return events.OpAttrib
-	case lustre.RecXattr:
-		return events.OpXattr
-	case lustre.RecTrunc:
-		return events.OpTruncate
-	case lustre.RecClose:
-		return events.OpCloseWrite
-	case lustre.RecIoctl:
-		return events.OpAttrib
-	case lustre.RecOpen:
-		return events.OpOpen
-	case lustre.RecAtime:
-		return events.OpAccess
-	default:
-		return 0
-	}
-}
-
 // Stats returns a snapshot of the collector's counters.
 func (c *Collector) Stats() CollectorStats {
-	st := CollectorStats{
+	rs := c.res.Stats()
+	return CollectorStats{
 		MDT:             c.opts.MDT,
 		RecordsRead:     c.recordsRead.Load(),
 		EventsPublished: c.published.Load(),
-		Fid2PathCalls:   c.fidCalls.Load(),
-		Fid2PathErrors:  c.fidErrors.Load(),
-		BusyTime:        c.throttle.Busy(),
-		Utilization:     c.throttle.Utilization(),
+		Fid2PathCalls:   rs.Fid2PathCalls,
+		Fid2PathStale:   rs.Fid2PathStale,
+		Fid2PathErrors:  rs.Fid2PathErrors,
+		Cache:           rs.Cache,
+		BusyTime:        c.res.Busy(),
+		Utilization:     c.res.Utilization(),
 		ChangelogLag:    c.log.Len(),
 		Pipeline:        c.pipe.Stats(),
 	}
-	if c.cache != nil {
-		st.Cache = c.cache.Stats()
-	}
-	return st
 }
 
 // ResetAccounting restarts the utilization window (benchmarks call this at
 // the start of a measurement interval).
-func (c *Collector) ResetAccounting() { c.throttle.Reset() }
+func (c *Collector) ResetAccounting() { c.res.ResetAccounting() }
 
 // Close drains the collector's stages in order (read stops, in-flight
 // batches resolve and publish), releases its Changelog reader, and closes

@@ -19,6 +19,17 @@ type DeployOptions struct {
 	// CacheSize is each collector's fid2path cache capacity (0 = no
 	// cache).
 	CacheSize int
+	// CacheShards is each collector's fid2path cache shard count
+	// (0 = pipeline.DefaultCacheShards).
+	CacheShards int
+	// NegativeTTL is how long collectors negative-cache stale-FID
+	// resolution failures; <= 0 disables (the default). Use
+	// pipeline.DefaultNegativeTTL when enabling.
+	NegativeTTL time.Duration
+	// ResolveWorkers is each collector's resolve-stage parallelism
+	// (0 = pipeline.DefaultResolveWorkers, the paper's serial
+	// collector).
+	ResolveWorkers int
 	// Transport selects endpoints: "inproc" (default) or "tcp"
 	// (127.0.0.1 with kernel-assigned ports).
 	Transport string
@@ -60,14 +71,17 @@ func Deploy(cluster *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 			ep = fmt.Sprintf("inproc://collector-%p-mdt%d", cluster, i)
 		}
 		col, err := NewCollector(CollectorOptions{
-			Cluster:      cluster,
-			MDT:          i,
-			MountPoint:   opts.MountPoint,
-			CacheSize:    opts.CacheSize,
-			Endpoint:     ep,
-			BatchSize:    opts.BatchSize,
-			PollInterval: opts.PollInterval,
-			Context:      opts.Context,
+			Cluster:        cluster,
+			MDT:            i,
+			MountPoint:     opts.MountPoint,
+			CacheSize:      opts.CacheSize,
+			CacheShards:    opts.CacheShards,
+			NegativeTTL:    opts.NegativeTTL,
+			ResolveWorkers: opts.ResolveWorkers,
+			Endpoint:       ep,
+			BatchSize:      opts.BatchSize,
+			PollInterval:   opts.PollInterval,
+			Context:        opts.Context,
 		})
 		if err != nil {
 			m.Close()

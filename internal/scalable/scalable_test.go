@@ -457,6 +457,107 @@ func TestCacheReducesFid2PathCalls(t *testing.T) {
 	}
 }
 
+// The resolver distinguishes the expected stale-FID failures of deleted
+// files from real errors: a create/write/delete workload produces stale
+// counts (every UNLNK target lookup fails) but zero errors.
+func TestFid2PathStaleSplitsFromErrors(t *testing.T) {
+	cluster := testCluster(1)
+	m := deploy(t, cluster, 0) // no cache: every UNLNK pays the stale call
+	cl := cluster.Client()
+	const n = 50
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("/f%d", i)
+		if err := cl.Create(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Unlink(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Collectors[0].Stats().EventsPublished < 2*n && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := m.Collectors[0].Stats()
+	if st.Fid2PathStale < n {
+		t.Errorf("stale = %d, want at least one per unlink (%d)", st.Fid2PathStale, n)
+	}
+	if st.Fid2PathErrors != 0 {
+		t.Errorf("errors = %d, want 0 (stale FIDs are expected failures, not errors)", st.Fid2PathErrors)
+	}
+	if st.Fid2PathCalls < st.Fid2PathStale {
+		t.Errorf("calls = %d < stale = %d", st.Fid2PathCalls, st.Fid2PathStale)
+	}
+}
+
+// With a parallel resolve stage the per-FID event order must survive:
+// each file's CREATE precedes both of its MODIFYs, in write order, exactly
+// as with the serial collector. Small read batches force many batches in
+// flight across the four workers. The workload keeps files alive so path
+// resolution is order-independent (dead-FID reconstruction depends on
+// cache priming by the CREAT's batch, which parallel workers race — see
+// the ResolveWorkers doc); ordering is what this test pins down.
+func TestResolveWorkersPreserveOrder(t *testing.T) {
+	cluster := testCluster(1)
+	m, err := Deploy(cluster, DeployOptions{
+		CacheSize:      500,
+		ResolveWorkers: 4,
+		BatchSize:      16,
+		PollInterval:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	con, err := m.NewConsumer(iface.Filter{Recursive: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer con.Close()
+	cl := cluster.Client()
+	const n = 300
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("/f%d", i)
+		if err := cl.Create(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Write(p, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Write(p, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	var got []events.Event
+	for len(got) < 3*n && time.Now().Before(deadline) {
+		got = append(got, drainConsumer(con, 200*time.Millisecond)...)
+	}
+	if len(got) != 3*n {
+		t.Fatalf("delivered %d events, want %d", len(got), 3*n)
+	}
+	next := map[string]int{}
+	order := []events.Op{events.OpCreate, events.OpModify, events.OpModify}
+	for i, e := range got {
+		if next[e.Path] >= len(order) {
+			t.Fatalf("event %d: %s delivered more than %d events", i, e.Path, len(order))
+		}
+		want := order[next[e.Path]]
+		if !e.Op.HasAny(want) {
+			t.Fatalf("event %d for %s: op %v arrived before %v", i, e.Path, e.Op, want)
+		}
+		next[e.Path]++
+	}
+	if len(next) != n {
+		t.Errorf("distinct paths = %d, want %d", len(next), n)
+	}
+	for p, c := range next {
+		if c != 3 {
+			t.Errorf("%s delivered %d events, want 3", p, c)
+		}
+	}
+}
+
 func TestCollectorStatsAndAccounting(t *testing.T) {
 	cluster := testCluster(1)
 	m := deploy(t, cluster, 50)
