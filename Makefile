@@ -1,30 +1,37 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke check
+.PHONY: all build vet test race bench bench-smoke bench-aggregator check
 
 all: check
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order so inter-test state dependencies
+# surface in CI instead of in the field.
+test:
+	$(GO) test -shuffle=on ./...
+
 vet:
 	$(GO) vet ./...
 
-test:
-	$(GO) test ./...
-
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
 # bench-smoke runs one iteration of the fast micro-benchmarks (resolver
-# scaling, cache contention, pipeline stages) as a CI regression canary;
-# the slow paper-table benches stay out of it.
+# scaling, cache contention, pipeline stages, aggregator partitions) as a
+# CI regression canary; the slow paper-table benches stay out of it.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'ResolveStage|GetOrLoad' -benchtime 1x -benchmem \
-		./internal/resolve/ ./internal/cache/
+	$(GO) test -run '^$$' -bench 'ResolveStage|GetOrLoad|AggregatorThroughput' -benchtime 1x -benchmem \
+		./internal/resolve/ ./internal/cache/ ./internal/bench/
+
+# bench-aggregator measures aggregation-tier store throughput at 1/2/4
+# partitions (the ISSUE's >=2x-at-4-partitions acceptance bench).
+bench-aggregator:
+	$(GO) test -run '^$$' -bench 'AggregatorThroughput' -benchmem ./internal/bench/
 
 # check is the pre-PR gate: everything must build, vet clean, and pass
 # the full suite under the race detector.

@@ -34,6 +34,7 @@ func main() {
 	backend := flag.String("dsi", "", "force a DSI backend by name (default: auto-select)")
 	lustreBed := flag.String("lustre", "", "monitor a simulated Lustre testbed instead of a path: aws, thor, or iota")
 	cache := flag.Int("cache", 0, "Lustre fid2path cache size (0 = paper default 5000, negative = disabled)")
+	partitions := flag.Int("partitions", 0, "with -lustre: aggregation-tier store partitions (0 = 1, the paper's single store)")
 	demo := flag.Bool("demo", false, "with -lustre: run the Evaluate_Output_Script workload and exit")
 	stats := flag.Bool("stats", false, "print layer statistics on exit")
 	flag.Parse()
@@ -68,7 +69,11 @@ func main() {
 		}
 		cfg.OpLatency = nil // interactive demo runs unpaced
 		cluster = fsmonitor.NewLustreCluster(cfg)
-		m, err = fsmonitor.WatchLustre(cluster, "/mnt/lustre", *cache)
+		var lopts []fsmonitor.Option
+		if *partitions > 0 {
+			lopts = append(lopts, fsmonitor.WithStorePartitions(*partitions))
+		}
+		m, err = fsmonitor.WatchLustre(cluster, "/mnt/lustre", *cache, lopts...)
 	default:
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: fsmon [flags] <path>  (or -lustre <testbed>)")

@@ -171,6 +171,45 @@ func WithJournal(path string) Option {
 	return func(o *core.Options) { o.Store.JournalPath = path }
 }
 
+// SyncPolicy selects when journaled events are flushed to the OS; see
+// eventstore.SyncPolicy for the durability tradeoff.
+type SyncPolicy = eventstore.SyncPolicy
+
+// Journal flush policies.
+const (
+	// SyncOnClose buffers until Sync/Close — fastest, and events still
+	// buffered are lost if the process dies (the default).
+	SyncOnClose = eventstore.SyncOnClose
+	// SyncAlways flushes after every append — any stored event survives
+	// a process crash.
+	SyncAlways = eventstore.SyncAlways
+	// SyncEveryN flushes every N appends — bounded loss window.
+	SyncEveryN = eventstore.SyncEveryN
+)
+
+// WithJournalSync selects the journal flush policy (see SyncPolicy).
+func WithJournalSync(p SyncPolicy) Option {
+	return func(o *core.Options) { o.Store.Sync = p }
+}
+
+// WithJournalSyncEvery selects the SyncEveryN policy with a flush every n
+// appended events.
+func WithJournalSyncEvery(n int) Option {
+	return func(o *core.Options) {
+		o.Store.Sync = eventstore.SyncEveryN
+		o.Store.SyncEvery = n
+	}
+}
+
+// WithStorePartitions shards the scalable monitor's aggregation tier into
+// n partitions keyed by MDT index: the reliable store, the aggregator's
+// store lanes, and the republish topics all split, preserving per-partition
+// event order. The default 1 reproduces the paper's single serial store
+// (Tables IV/VII). Lustre path only.
+func WithStorePartitions(n int) Option {
+	return func(o *core.Options) { o.StorePartitions = n }
+}
+
 // WithBatch tunes resolution-layer batching (§III-A2's batching
 // optimization).
 func WithBatch(size int) Option {
@@ -216,14 +255,21 @@ func WatchLustre(cluster *LustreCluster, mount string, cacheSize int, opts ...Op
 	} else if size == 0 {
 		size = lustredsi.DefaultCacheSize
 	}
-	backend := &lustredsi.Backend{Cluster: cluster, CacheSize: size}
 	o := core.Options{
 		Storage:   dsi.StorageInfo{Platform: runtime.GOOS, FSType: "lustre", Root: mount},
-		Backend:   backend,
 		Recursive: true,
 	}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	// Options are applied before the backend is built so knobs like
+	// WithStorePartitions reach the deployment; WithBackend still wins.
+	if o.Backend == nil {
+		o.Backend = &lustredsi.Backend{
+			Cluster:         cluster,
+			CacheSize:       size,
+			StorePartitions: o.StorePartitions,
+		}
 	}
 	return core.New(o)
 }

@@ -39,6 +39,10 @@ type Options struct {
 	Resolution resolution.Options
 	// Store configures the reliable event store.
 	Store eventstore.Options
+	// StorePartitions shards the scalable monitor's aggregation tier
+	// (Lustre path only; the local interface-layer store stays single).
+	// 0 = pipeline.DefaultStorePartitions (1, the paper's serial store).
+	StorePartitions int
 	// Buffer is the DSI event channel capacity (0 = default).
 	Buffer int
 	// Context bounds the monitor's lifetime: it is threaded through every

@@ -51,6 +51,10 @@ type Backend struct {
 	// ResolveWorkers is each collector's resolve-stage parallelism
 	// (0 = pipeline.DefaultResolveWorkers).
 	ResolveWorkers int
+	// StorePartitions shards the aggregation tier (reliable store, store
+	// lanes, republish topics) by MDT index
+	// (0 = pipeline.DefaultStorePartitions, the paper's single store).
+	StorePartitions int
 }
 
 type lustreDSI struct {
@@ -82,13 +86,14 @@ func New(cfg dsi.Config) (dsi.DSI, error) {
 		root = "/mnt/lustre"
 	}
 	mon, err := scalable.Deploy(be.Cluster, scalable.DeployOptions{
-		MountPoint:     root,
-		CacheSize:      be.CacheSize,
-		CacheShards:    be.CacheShards,
-		NegativeTTL:    be.NegativeTTL,
-		ResolveWorkers: be.ResolveWorkers,
-		Transport:      be.Transport,
-		Context:        cfg.Context,
+		MountPoint:      root,
+		CacheSize:       be.CacheSize,
+		CacheShards:     be.CacheShards,
+		NegativeTTL:     be.NegativeTTL,
+		ResolveWorkers:  be.ResolveWorkers,
+		StorePartitions: be.StorePartitions,
+		Transport:       be.Transport,
+		Context:         cfg.Context,
 	})
 	if err != nil {
 		return nil, err

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -25,6 +26,34 @@ import (
 
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("eventstore: closed")
+
+// SyncPolicy controls when journaled events are flushed from the in-process
+// buffer to the operating system.
+//
+// Durability tradeoff: the journal writer is buffered, so an event that has
+// been Appended but not yet flushed is lost if the monitor process dies.
+// SyncOnClose (the default, and the historical behaviour) buffers until
+// Sync/Close/CompactJournal — fastest, weakest. SyncEveryN bounds the loss
+// window to N events. SyncAlways flushes after every Append/AppendBatch, so
+// any event acknowledged to the aggregator survives a process crash.
+// All policies flush to the OS page cache; surviving power loss additionally
+// requires Sync, which fsyncs the file.
+type SyncPolicy int
+
+const (
+	// SyncOnClose flushes the journal only on Sync, Close, or journal
+	// compaction (historical behaviour).
+	SyncOnClose SyncPolicy = iota
+	// SyncAlways flushes the journal after every Append/AppendBatch.
+	SyncAlways
+	// SyncEveryN flushes the journal once at least Options.SyncEvery
+	// events have accumulated since the last flush.
+	SyncEveryN
+)
+
+// DefaultSyncEvery is the flush interval used by SyncEveryN when
+// Options.SyncEvery is unset.
+const DefaultSyncEvery = 256
 
 // Options configures a Store.
 type Options struct {
@@ -37,25 +66,51 @@ type Options struct {
 	// JournalPath, if non-empty, appends every stored event to a JSONL
 	// file so a restarted monitor can reload history with Open.
 	JournalPath string
+	// Sync selects when journal writes reach the OS (see SyncPolicy).
+	Sync SyncPolicy
+	// SyncEvery is the flush interval for SyncEveryN
+	// (<= 0 uses DefaultSyncEvery).
+	SyncEvery int
+
+	// seqStride/seqOffset carve the sequence space into interleaved
+	// lanes for the Sharded engine: shard i of P assigns offset+1·P+i,
+	// offset+2·P+i, ... so the shard index is recoverable as Seq %
+	// stride and a stride of 1 (the default) reproduces the classic
+	// 1,2,3,... numbering exactly. Package-private: only NewSharded
+	// sets them.
+	seqStride uint64
+	seqOffset uint64
 }
 
 // Store is a goroutine-safe reliable event store.
 type Store struct {
 	mu       sync.Mutex
 	opts     Options
-	events   []events.Event // ordered by Seq; events[i].Seq = first+uint64(i)... not necessarily contiguous after purge
+	events   []events.Event // ordered by Seq; not necessarily contiguous after purge
 	reported map[uint64]bool
 	nextSeq  uint64
 	journal  *os.File
 	jw       *bufio.Writer
 	closed   bool
 
+	pendingSync               int // events buffered since the last flush (SyncEveryN)
 	appended, purged, evicted uint64
+}
+
+// normalize fills in the sequence-lane defaults.
+func (o *Options) normalize() {
+	if o.seqStride == 0 {
+		o.seqStride = 1
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = DefaultSyncEvery
+	}
 }
 
 // New creates a store with the given options.
 func New(opts Options) (*Store, error) {
-	s := &Store{opts: opts, reported: make(map[uint64]bool), nextSeq: 1}
+	opts.normalize()
+	s := &Store{opts: opts, reported: make(map[uint64]bool), nextSeq: opts.seqOffset + opts.seqStride}
 	if opts.JournalPath != "" {
 		f, err := os.OpenFile(opts.JournalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -85,7 +140,8 @@ func Open(opts Options) (*Store, error) {
 		Ev   *wireEvent `json:"ev,omitempty"`
 		Seq  uint64     `json:"seq,omitempty"`
 	}
-	s := &Store{opts: opts, reported: make(map[uint64]bool), nextSeq: 1}
+	opts.normalize()
+	s := &Store{opts: opts, reported: make(map[uint64]bool), nextSeq: opts.seqOffset + opts.seqStride}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -101,7 +157,10 @@ func Open(opts Options) (*Store, error) {
 			ev := e.Ev.toEvent()
 			s.events = append(s.events, ev)
 			if ev.Seq >= s.nextSeq {
-				s.nextSeq = ev.Seq + 1
+				// Stay in this store's sequence lane: the journal only
+				// ever holds seqs from one lane, so advancing by the
+				// stride preserves Seq % stride across restarts.
+				s.nextSeq = ev.Seq + opts.seqStride
 			}
 			s.appended++
 		case "reported":
@@ -159,34 +218,69 @@ func (s *Store) Append(e events.Event) (uint64, error) {
 		return 0, ErrClosed
 	}
 	e.Seq = s.nextSeq
-	s.nextSeq++
+	s.nextSeq += s.opts.seqStride
 	s.events = append(s.events, e)
 	s.appended++
-	if s.jw != nil {
-		line, err := json.Marshal(struct {
-			Kind string     `json:"kind"`
-			Ev   *wireEvent `json:"ev"`
-		}{"event", fromEvent(e)})
-		if err == nil {
-			s.jw.Write(line)
-			s.jw.WriteByte('\n')
-		}
-	}
+	s.journalEventLocked(e)
+	s.maybeFlushLocked(1)
 	s.enforceBoundLocked()
 	return e.Seq, nil
 }
 
-// AppendBatch stores a batch, returning the last assigned sequence number.
+// AppendBatch stores a batch under a single lock acquisition, stamping the
+// assigned sequence numbers into the caller's slice, and returns the last
+// one. The journal flush policy is applied once for the whole batch.
 func (s *Store) AppendBatch(evs []events.Event) (uint64, error) {
-	var last uint64
-	for _, e := range evs {
-		seq, err := s.Append(e)
-		if err != nil {
-			return last, err
-		}
-		last = seq
+	if len(evs) == 0 {
+		return 0, nil
 	}
-	return last, nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	for i := range evs {
+		evs[i].Seq = s.nextSeq
+		s.nextSeq += s.opts.seqStride
+		s.events = append(s.events, evs[i])
+		s.appended++
+		s.journalEventLocked(evs[i])
+	}
+	s.maybeFlushLocked(len(evs))
+	s.enforceBoundLocked()
+	return evs[len(evs)-1].Seq, nil
+}
+
+// journalEventLocked appends one event record to the journal buffer.
+func (s *Store) journalEventLocked(e events.Event) {
+	if s.jw == nil {
+		return
+	}
+	line, err := json.Marshal(struct {
+		Kind string     `json:"kind"`
+		Ev   *wireEvent `json:"ev"`
+	}{"event", fromEvent(e)})
+	if err == nil {
+		s.jw.Write(line)
+		s.jw.WriteByte('\n')
+	}
+}
+
+// maybeFlushLocked applies the SyncPolicy after n newly journaled events.
+func (s *Store) maybeFlushLocked(n int) {
+	if s.jw == nil {
+		return
+	}
+	switch s.opts.Sync {
+	case SyncAlways:
+		s.jw.Flush()
+	case SyncEveryN:
+		s.pendingSync += n
+		if s.pendingSync >= s.opts.SyncEvery {
+			s.jw.Flush()
+			s.pendingSync = 0
+		}
+	}
 }
 
 // Since returns up to max events with Seq > seq in order (max <= 0 = all).
@@ -199,35 +293,38 @@ func (s *Store) Since(seq uint64, max int) ([]events.Event, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	var out []events.Event
-	for _, e := range s.events {
-		if e.Seq > seq {
-			out = append(out, e)
-			if max > 0 && len(out) == max {
-				break
-			}
-		}
-	}
-	return out, nil
+	// events is ordered by Seq (append assigns increasing seqs and purge
+	// preserves relative order), so binary search for the first entry
+	// past the cursor instead of scanning the whole retained window.
+	i := sort.Search(len(s.events), func(i int) bool { return s.events[i].Seq > seq })
+	return s.copyFromLocked(i, max), nil
 }
 
-// SinceTime returns events recorded at or after t.
+// SinceTime returns events recorded at or after t. Timestamps are assumed
+// monotonically non-decreasing in append order (true for events stamped by
+// one monitor clock), which makes the slice binary-searchable by time too.
 func (s *Store) SinceTime(t time.Time, max int) ([]events.Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
-	var out []events.Event
-	for _, e := range s.events {
-		if !e.Time.Before(t) {
-			out = append(out, e)
-			if max > 0 && len(out) == max {
-				break
-			}
-		}
+	i := sort.Search(len(s.events), func(i int) bool { return !s.events[i].Time.Before(t) })
+	return s.copyFromLocked(i, max), nil
+}
+
+// copyFromLocked copies up to max events starting at index i (max <= 0 = all).
+func (s *Store) copyFromLocked(i, max int) []events.Event {
+	n := len(s.events) - i
+	if n <= 0 {
+		return nil
 	}
-	return out, nil
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]events.Event, n)
+	copy(out, s.events[i:i+n])
+	return out
 }
 
 // MarkReported flags every stored event with Seq <= seq as reported
@@ -339,7 +436,10 @@ func (s *Store) Len() int {
 func (s *Store) LastSeq() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.nextSeq - 1
+	if s.nextSeq == s.opts.seqOffset+s.opts.seqStride {
+		return 0 // nothing assigned yet
+	}
+	return s.nextSeq - s.opts.seqStride
 }
 
 // CompactJournal rewrites the journal to contain only the currently
@@ -414,6 +514,7 @@ func (s *Store) CompactJournal() error {
 	}
 	s.journal = nf
 	s.jw = bufio.NewWriter(nf)
+	s.pendingSync = 0
 	return nil
 }
 
@@ -427,6 +528,7 @@ func (s *Store) Sync() error {
 	if err := s.jw.Flush(); err != nil {
 		return err
 	}
+	s.pendingSync = 0
 	return s.journal.Sync()
 }
 

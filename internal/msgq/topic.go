@@ -1,0 +1,29 @@
+package msgq
+
+import (
+	"strconv"
+	"strings"
+)
+
+// PartitionTopic derives the per-partition topic name "<base>.p<part>".
+// Because subscriptions match on topic prefix, subscribing to the base
+// topic is a wildcard over every partition of it — a consumer that
+// subscribes "agg.events" receives "agg.events.p0", "agg.events.p1", ...
+// without knowing the partition count.
+func PartitionTopic(base string, part int) string {
+	return base + ".p" + strconv.Itoa(part)
+}
+
+// SplitPartition parses a per-partition topic back into its base and
+// partition index. ok is false when topic has no ".p<digits>" suffix.
+func SplitPartition(topic string) (base string, part int, ok bool) {
+	i := strings.LastIndex(topic, ".p")
+	if i < 0 || i+2 >= len(topic) {
+		return topic, 0, false
+	}
+	n, err := strconv.Atoi(topic[i+2:])
+	if err != nil || n < 0 {
+		return topic, 0, false
+	}
+	return topic[:i], n, true
+}

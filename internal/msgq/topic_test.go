@@ -1,0 +1,59 @@
+package msgq
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPartitionTopicRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		base string
+		part int
+	}{
+		{"agg.events", 0},
+		{"agg.events", 3},
+		{"agg.events", 17},
+		{"x", 0},
+	} {
+		topic := PartitionTopic(tc.base, tc.part)
+		base, part, ok := SplitPartition(topic)
+		if !ok || base != tc.base || part != tc.part {
+			t.Errorf("SplitPartition(%q) = %q, %d, %v; want %q, %d", topic, base, part, ok, tc.base, tc.part)
+		}
+	}
+	for _, bad := range []string{"agg.events", "agg.events.p", "agg.events.px", "agg.events.p-1", ""} {
+		if _, _, ok := SplitPartition(bad); ok {
+			t.Errorf("SplitPartition(%q) unexpectedly ok", bad)
+		}
+	}
+}
+
+// Subscribing to the base topic acts as a wildcard over its partitioned
+// variants — prefix matching is the msgq contract the partitioned
+// aggregation tier relies on.
+func TestBaseTopicSubsumesPartitions(t *testing.T) {
+	pub := NewPub()
+	if err := pub.Bind("inproc://partition-wildcard"); err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	sub := NewSub()
+	defer sub.Close()
+	sub.Subscribe("agg.events")
+	if err := sub.Connect("inproc://partition-wildcard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		pub.Publish(PartitionTopic("agg.events", p), []byte{byte(p)})
+	}
+	msgs := recvN(t, sub.C(), 4)
+	for i, m := range msgs {
+		_, part, ok := SplitPartition(m.Topic)
+		if !ok || part != i {
+			t.Errorf("msg %d topic %q", i, m.Topic)
+		}
+	}
+}

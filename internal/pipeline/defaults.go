@@ -55,6 +55,13 @@ const (
 	// single collector realistically runs while wasting little capacity
 	// to per-shard rounding.
 	DefaultCacheShards = 16
+
+	// DefaultStorePartitions is the aggregation-tier partition count.
+	// 1 keeps the paper's single aggregator store — Tables IV and VII are
+	// calibrated against one serial store thread and one sequence lane —
+	// so the sharded store is an explicit knob, not a silent default
+	// change (mirroring DefaultResolveWorkers).
+	DefaultStorePartitions = 1
 )
 
 const (

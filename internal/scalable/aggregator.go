@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +20,10 @@ import (
 // Aggregator topics.
 const (
 	// AggTopic is the topic the aggregator publishes merged batches on.
+	// With StorePartitions > 1 each partition publishes on
+	// msgq.PartitionTopic(AggTopic, p) = "agg.events.p<p>"; prefix
+	// subscription means consumers subscribed to AggTopic receive every
+	// partition without knowing the count.
 	AggTopic = "agg.events"
 )
 
@@ -29,16 +35,28 @@ type AggregatorOptions struct {
 	// Endpoint is where the aggregator's own publisher binds (default
 	// "inproc://aggregator").
 	Endpoint string
-	// Store receives every event for fault tolerance; if nil an
-	// unbounded in-memory store is created (the paper uses MySQL here).
+	// Engine is the reliable event store engine; it takes precedence
+	// over Store and StorePartitions. If both Engine and Store are nil
+	// (and the store is not disabled) the aggregator creates an
+	// unbounded in-memory sharded engine with StorePartitions shards
+	// (the paper uses MySQL here).
+	Engine eventstore.Engine
+	// Store is the legacy single-store knob (equivalent to Engine with
+	// one partition); retained so existing callers keep working.
 	Store *eventstore.Store
+	// StorePartitions is the partition count for the default engine and
+	// for the aggregation pipeline's store lanes (default
+	// pipeline.DefaultStorePartitions = 1, which reproduces the paper's
+	// single serial store thread). Ignored when Store is set (a plain
+	// Store is one partition).
+	StorePartitions int
 	// EventOverhead is the accounted aggregation cost per event
-	// (default 500ns).
+	// (default 500ns), spent on the owning partition's lane.
 	EventOverhead time.Duration
 	// DisableStore skips the reliable event store entirely (sequence
-	// numbers still flow, from a counter). Consumers cannot fault-
-	// recover; exists to quantify the fault-tolerance cost (DESIGN.md
-	// ablations).
+	// numbers still flow, from per-partition counters). Consumers cannot
+	// fault-recover; exists to quantify the fault-tolerance cost
+	// (DESIGN.md ablations).
 	DisableStore bool
 	// QueueSize is the subscription buffer capacity in messages (default
 	// pipeline.DefaultAggregatorQueue).
@@ -58,34 +76,48 @@ func (o AggregatorOptions) withDefaults() AggregatorOptions {
 	if o.QueueSize <= 0 {
 		o.QueueSize = pipeline.DefaultAggregatorQueue
 	}
+	if o.StorePartitions <= 0 {
+		o.StorePartitions = pipeline.DefaultStorePartitions
+	}
 	return o
 }
 
 // AggregatorStats is a snapshot of the aggregator's counters.
 type AggregatorStats struct {
-	Received    uint64
-	Published   uint64
-	Stored      uint64
+	Received  uint64
+	Published uint64
+	Stored    uint64
+	// Partitions is the store-lane count.
+	Partitions int
+	// BusyTime sums the busy time across every store lane; Utilization
+	// is the sum of per-lane utilizations, so with P partitions it
+	// ranges up to P (like multi-core CPU usage).
 	BusyTime    time.Duration
 	Utilization float64
 	Store       eventstore.Stats
-	// Pipeline is the per-stage view (subscribe → store → republish).
+	// Pipeline is the per-stage view (subscribe → partition → store →
+	// republish).
 	Pipeline []pipeline.Stats
 }
 
 // Aggregator merges every collector's stream, persists it, and republishes
-// it to consumers. Per §IV-2 it is multi-threaded, as a subscribe → store
-// → republish pipeline: the store stage persists events into the reliable
-// store (assigning the global sequence numbers consumers use for
-// recovery) while the republish stage concurrently publishes stamped
-// batches to subscribers.
+// it to consumers. Per §IV-2 it is multi-threaded, as a subscribe →
+// partition → store → republish pipeline: batches are routed to a
+// partition by their collector's MDT index (falling back to a path hash),
+// each partition's store lane persists into its shard of the reliable
+// engine (assigning the shard-tagged sequence numbers consumers use for
+// recovery), and the republish stage publishes stamped batches on the
+// partition's topic. Order is preserved within a partition — one lane owns
+// each partition — while partitions proceed in parallel.
 type Aggregator struct {
-	opts     AggregatorOptions
-	sub      *msgq.Sub
-	pub      *msgq.Pub
-	store    *eventstore.Store
-	ownStore bool
-	throttle *pace.Throttle
+	opts      AggregatorOptions
+	sub       *msgq.Sub
+	pub       *msgq.Pub
+	engine    eventstore.PartitionedEngine // nil when the store is disabled
+	parts     int
+	ownStore  bool
+	throttles []*pace.Throttle // one per store lane
+	counters  []uint64         // DisableStore seq counters, one per lane (lane-affine, unsynchronized)
 
 	pipe *pipeline.Pipeline
 
@@ -102,20 +134,30 @@ func NewAggregator(opts AggregatorOptions) (*Aggregator, error) {
 	if len(opts.CollectorEndpoints) == 0 {
 		return nil, errors.New("scalable: AggregatorOptions.CollectorEndpoints is required")
 	}
-	store := opts.Store
+	var engine eventstore.PartitionedEngine
 	ownStore := false
-	if store == nil && !opts.DisableStore {
-		var err error
-		store, err = eventstore.New(eventstore.Options{})
+	switch {
+	case opts.DisableStore:
+	case opts.Engine != nil:
+		engine = eventstore.AsPartitioned(opts.Engine)
+	case opts.Store != nil:
+		engine = opts.Store
+	default:
+		sh, err := eventstore.NewSharded(opts.StorePartitions, eventstore.Options{})
 		if err != nil {
 			return nil, err
 		}
+		engine = sh
 		ownStore = true
+	}
+	parts := opts.StorePartitions
+	if engine != nil {
+		parts = engine.Partitions()
 	}
 	pub := msgq.NewPub(msgq.WithBlockOnFull())
 	if err := pub.Bind(opts.Endpoint); err != nil {
 		if ownStore {
-			store.Close()
+			engine.Close()
 		}
 		return nil, err
 	}
@@ -126,18 +168,23 @@ func NewAggregator(opts AggregatorOptions) (*Aggregator, error) {
 			pub.Close()
 			sub.Close()
 			if ownStore {
-				store.Close()
+				engine.Close()
 			}
 			return nil, err
 		}
 	}
 	a := &Aggregator{
-		opts:     opts,
-		sub:      sub,
-		pub:      pub,
-		store:    store,
-		ownStore: ownStore,
-		throttle: pace.NewThrottle(),
+		opts:      opts,
+		sub:       sub,
+		pub:       pub,
+		engine:    engine,
+		parts:     parts,
+		ownStore:  ownStore,
+		throttles: make([]*pace.Throttle, parts),
+		counters:  make([]uint64, parts),
+	}
+	for i := range a.throttles {
+		a.throttles[i] = pace.NewThrottle()
 	}
 	// At least one collector link must be live before the aggregator
 	// reports ready; collectors that bind later attach automatically (and
@@ -146,14 +193,16 @@ func NewAggregator(opts AggregatorOptions) (*Aggregator, error) {
 		pub.Close()
 		sub.Close()
 		if ownStore {
-			store.Close()
+			engine.Close()
 		}
 		return nil, err
 	}
 
 	a.pipe = pipeline.New(opts.Context)
 	intake := pipeline.Source(a.pipe, "subscribe", pipeline.DefaultBatchDepth, a.intakeLoop)
-	stamped := pipeline.Map(a.pipe, "store", pipeline.DefaultBatchDepth, intake, a.stampBatch())
+	parted := pipeline.Expand(a.pipe, "partition", pipeline.DefaultBatchDepth, intake, a.partitionBatch)
+	stamped := pipeline.ShardN(a.pipe, "store", pipeline.DefaultBatchDepth, parts, parted,
+		func(pb partBatch) int { return pb.part }, a.storeLane())
 	pipeline.Sink(a.pipe, "republish", stamped, a.republishBatch)
 	return a, nil
 }
@@ -161,110 +210,232 @@ func NewAggregator(opts AggregatorOptions) (*Aggregator, error) {
 // Endpoint returns the aggregator's publisher endpoint.
 func (a *Aggregator) Endpoint() string { return a.pub.Addr() }
 
-// intakeLoop is the subscribe source stage: it decodes collector batches
-// into the pipeline ("When an event arrives to the aggregator it is
-// placed in a processing queue").
-func (a *Aggregator) intakeLoop(ctx context.Context, emit func([]events.Event) bool) error {
+// Partitions returns the store-lane / engine partition count.
+func (a *Aggregator) Partitions() int { return a.parts }
+
+// rawBatch is an undecoded collector message plus the MDT index parsed
+// from its topic (-1 when the topic carries none).
+type rawBatch struct {
+	payload []byte
+	mdt     int
+}
+
+// partBatch is a batch routed to one partition: either still encoded
+// (payload, the MDT-routed fast path — the owning lane decodes it) or
+// already decoded (evs, the path-hash split path).
+type partBatch struct {
+	part    int
+	payload []byte
+	evs     []events.Event
+}
+
+// repBatch is a stamped, re-encoded batch ready to republish.
+type repBatch struct {
+	part    int
+	payload []byte
+	n       int
+}
+
+// intakeLoop is the subscribe source stage ("When an event arrives to the
+// aggregator it is placed in a processing queue"). It does not decode:
+// decoding happens on the owning partition's lane so the work parallelizes.
+func (a *Aggregator) intakeLoop(ctx context.Context, emit func(rawBatch) bool) error {
 	for {
 		m, ok := a.sub.Recv(ctx)
 		if !ok {
 			return nil
 		}
-		batch, err := events.UnmarshalBatch(m.Payload)
-		if err != nil {
-			continue
-		}
-		a.received.Add(uint64(len(batch)))
-		if !emit(batch) {
+		if !emit(rawBatch{payload: m.Payload, mdt: mdtFromTopic(m.Topic)}) {
 			return nil
 		}
 	}
 }
 
-// stampBatch returns the store stage function: persist every event
-// (assigning sequence numbers in place — the batch is owned by the
-// pipeline, so no copy is needed) and forward the stamped batch. With the
-// store disabled it only stamps from a counter. Single-goroutine stage,
-// so the counter needs no locking.
-func (a *Aggregator) stampBatch() func(context.Context, []events.Event) ([]events.Event, bool) {
-	var counter uint64
-	return func(_ context.Context, batch []events.Event) ([]events.Event, bool) {
-		for i := range batch {
-			a.throttle.Spend(a.opts.EventOverhead)
-			if a.store != nil {
-				seq, err := a.store.Append(batch[i])
-				if err != nil {
-					// Store rejection (e.g. capacity): drop the batch but
-					// keep the service alive for subsequent ones.
-					return nil, false
-				}
-				batch[i].Seq = seq
-			} else {
-				counter++
-				batch[i].Seq = counter
+// mdtFromTopic parses the collector topic "events.mdt<N>" back to N,
+// or -1 when the topic is not a per-MDT collector topic.
+func mdtFromTopic(topic string) int {
+	const p = TopicPrefix + "mdt"
+	if !strings.HasPrefix(topic, p) {
+		return -1
+	}
+	n, err := strconv.Atoi(topic[len(p):])
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// partitionBatch is the partition router stage: the stable partition
+// function is the collector's MDT index (all of one MDT's events share a
+// partition, keeping their Changelog order), falling back to a per-path
+// hash split for batches whose origin is unknown. The MDT fast path
+// forwards the payload undecoded.
+func (a *Aggregator) partitionBatch(_ context.Context, rb rawBatch, emit func(partBatch) bool) {
+	if a.parts == 1 {
+		emit(partBatch{part: 0, payload: rb.payload})
+		return
+	}
+	if rb.mdt >= 0 {
+		emit(partBatch{part: rb.mdt % a.parts, payload: rb.payload})
+		return
+	}
+	batch, err := events.UnmarshalBatch(rb.payload)
+	if err != nil {
+		return
+	}
+	split := make([][]events.Event, a.parts)
+	for _, e := range batch {
+		p := eventstore.PartitionForPath(e.Path, a.parts)
+		split[p] = append(split[p], e)
+	}
+	for p, evs := range split {
+		if len(evs) == 0 {
+			continue
+		}
+		if !emit(partBatch{part: p, evs: evs}) {
+			return
+		}
+	}
+}
+
+// storeLane returns the per-partition store stage function: decode if
+// needed, spend the aggregation overhead on this lane's throttle, persist
+// the batch into the partition's shard (stamping seqs in place), and
+// re-encode for republish. ShardN guarantees one lane owns each partition,
+// so the DisableStore counters need no locking.
+func (a *Aggregator) storeLane() func(context.Context, partBatch) (repBatch, bool) {
+	return func(_ context.Context, pb partBatch) (repBatch, bool) {
+		evs := pb.evs
+		if evs == nil {
+			var err error
+			evs, err = events.UnmarshalBatch(pb.payload)
+			if err != nil {
+				return repBatch{}, false
 			}
 		}
-		a.stored.Add(uint64(len(batch)))
-		return batch, true
+		if len(evs) == 0 {
+			return repBatch{}, false
+		}
+		a.received.Add(uint64(len(evs)))
+		a.throttles[pb.part].Spend(time.Duration(len(evs)) * a.opts.EventOverhead)
+		if a.engine != nil {
+			if _, err := a.engine.AppendBatchPartition(pb.part, evs); err != nil {
+				// Store rejection (e.g. capacity): drop the batch but
+				// keep the service alive for subsequent ones.
+				return repBatch{}, false
+			}
+		} else {
+			// Counter-only stamping mirrors the sharded lanes: partition
+			// p assigns p+P, p+2P, ... (1,2,3,... when P == 1).
+			stride := uint64(a.parts)
+			for i := range evs {
+				a.counters[pb.part]++
+				evs[i].Seq = uint64(pb.part) + a.counters[pb.part]*stride
+			}
+		}
+		a.stored.Add(uint64(len(evs)))
+		payload, err := events.MarshalBatch(evs)
+		if err != nil {
+			return repBatch{}, false
+		}
+		return repBatch{part: pb.part, payload: payload, n: len(evs)}, true
 	}
 }
 
 // republishBatch is the republish sink stage. Consumers may legitimately
 // be absent (they recover from the store), so no delivery is awaited.
-func (a *Aggregator) republishBatch(ctx context.Context, batch []events.Event) {
-	payload, err := events.MarshalBatch(batch)
-	if err != nil {
-		return
+// With one partition the batch goes out on the classic AggTopic — byte
+// identical to the unpartitioned aggregator — otherwise on the
+// partition's own topic (a prefix of which is still AggTopic, so plain
+// subscribers see everything).
+func (a *Aggregator) republishBatch(ctx context.Context, rb repBatch) {
+	topic := AggTopic
+	if a.parts > 1 {
+		topic = msgq.PartitionTopic(AggTopic, rb.part)
 	}
-	a.pub.PublishCtx(ctx, AggTopic, payload)
-	a.published.Add(uint64(len(batch)))
+	a.pub.PublishCtx(ctx, topic, rb.payload)
+	a.published.Add(uint64(rb.n))
 }
 
 // Since serves the consumer fault-recovery API: events with sequence
-// numbers greater than seq, from the reliable store.
+// numbers greater than seq, from the reliable store, in global order.
 func (a *Aggregator) Since(seq uint64, max int) ([]events.Event, error) {
-	if a.store == nil {
+	if a.engine == nil {
 		return nil, errors.New("scalable: aggregator store disabled")
 	}
-	return a.store.Since(seq, max)
+	return a.engine.Since(seq, max)
+}
+
+// SinceVector serves partition-aware fault recovery: events not covered by
+// the per-partition cursor vector (len must equal Partitions()).
+func (a *Aggregator) SinceVector(cursors []uint64, max int) ([]events.Event, error) {
+	if a.engine == nil {
+		return nil, errors.New("scalable: aggregator store disabled")
+	}
+	return a.engine.SinceVector(cursors, max)
 }
 
 // Ack flags events up to seq as reported; Purge removes flagged events.
 func (a *Aggregator) Ack(seq uint64) error {
-	if a.store == nil {
+	if a.engine == nil {
 		return nil
 	}
-	return a.store.MarkReported(seq)
+	return a.engine.MarkReported(seq)
+}
+
+// AckVector flags, per partition i, events up to cursors[i] as reported —
+// the partition-aware Ack, safe when partitions drain at different rates.
+func (a *Aggregator) AckVector(cursors []uint64) error {
+	if a.engine == nil {
+		return nil
+	}
+	return a.engine.MarkReportedVector(cursors)
+}
+
+// LastSeqVector returns the highest stored seq per partition (nil when the
+// store is disabled).
+func (a *Aggregator) LastSeqVector() []uint64 {
+	if a.engine == nil {
+		return nil
+	}
+	return a.engine.LastSeqVector()
 }
 
 // Purge removes reported events from the store ("they are flagged as
 // having been reported and can be removed from the data store when next
 // data purge cycle is initiated").
 func (a *Aggregator) Purge() (int, error) {
-	if a.store == nil {
+	if a.engine == nil {
 		return 0, nil
 	}
-	return a.store.Purge()
+	return a.engine.Purge()
 }
 
 // Stats returns a snapshot of the aggregator's counters.
 func (a *Aggregator) Stats() AggregatorStats {
 	st := AggregatorStats{
-		Received:    a.received.Load(),
-		Published:   a.published.Load(),
-		Stored:      a.stored.Load(),
-		BusyTime:    a.throttle.Busy(),
-		Utilization: a.throttle.Utilization(),
-		Pipeline:    a.pipe.Stats(),
+		Received:   a.received.Load(),
+		Published:  a.published.Load(),
+		Stored:     a.stored.Load(),
+		Partitions: a.parts,
+		Pipeline:   a.pipe.Stats(),
 	}
-	if a.store != nil {
-		st.Store = a.store.Stats()
+	for _, t := range a.throttles {
+		st.BusyTime += t.Busy()
+		st.Utilization += t.Utilization()
+	}
+	if a.engine != nil {
+		st.Store = a.engine.Stats()
 	}
 	return st
 }
 
-// ResetAccounting restarts the utilization window.
-func (a *Aggregator) ResetAccounting() { a.throttle.Reset() }
+// ResetAccounting restarts the utilization window on every lane.
+func (a *Aggregator) ResetAccounting() {
+	for _, t := range a.throttles {
+		t.Reset()
+	}
+}
 
 // Close stops the aggregator: the subscription closes (ending the intake
 // source after its buffer drains), the stages drain in order, then the
@@ -275,7 +446,7 @@ func (a *Aggregator) Close() {
 		a.pipe.Drain(pipeline.DefaultDrainGrace)
 		a.pub.Close()
 		if a.ownStore {
-			a.store.Close()
+			a.engine.Close()
 		}
 	})
 }
@@ -292,4 +463,30 @@ func decodeSeq(b []byte) uint64 {
 		return 0
 	}
 	return binary.LittleEndian.Uint64(b)
+}
+
+// encodeSeqVector/decodeSeqVector frame a per-partition cursor vector for
+// the recovery protocol: u32 little-endian count, then count u64 cursors.
+func encodeSeqVector(cursors []uint64) []byte {
+	b := make([]byte, 4+8*len(cursors))
+	binary.LittleEndian.PutUint32(b, uint32(len(cursors)))
+	for i, c := range cursors {
+		binary.LittleEndian.PutUint64(b[4+8*i:], c)
+	}
+	return b
+}
+
+func decodeSeqVector(b []byte) []uint64 {
+	if len(b) < 4 {
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n < 0 || len(b) < 4+8*n {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[4+8*i:])
+	}
+	return out
 }

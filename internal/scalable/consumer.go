@@ -27,8 +27,21 @@ type ConsumerOptions struct {
 	// nil disables recovery.
 	Recover RecoverySource
 	// SinceSeq resumes delivery after this sequence number, replaying
-	// history from Recover first (consumer restart).
+	// history from Recover first (consumer restart). With a partitioned
+	// aggregator it acts as a global cutoff across every partition.
 	SinceSeq uint64
+	// SinceVector resumes delivery after per-partition cursors (one per
+	// store partition, as returned by LastSeqVector on a previous
+	// consumer) — the precise resume for partitioned aggregators, where
+	// a single global seq cannot express "partition 0 drained further
+	// than partition 1". When set it determines the partition count and
+	// takes precedence over SinceSeq.
+	SinceVector []uint64
+	// StorePartitions is the aggregator's partition count, needed to
+	// map a sequence number back to its partition (Seq % P) for
+	// deduplication. Defaults to the Recover source's partition count
+	// when it exposes one, else 1. Must match the aggregator.
+	StorePartitions int
 	// Buffer is the delivery channel capacity in batches (default
 	// pipeline.DefaultSubscriberBuffer).
 	Buffer int
@@ -45,40 +58,56 @@ type RecoverySource interface {
 	Since(seq uint64, max int) ([]events.Event, error)
 }
 
+// VectorRecoverySource additionally serves partition-aware recovery:
+// events not covered by a per-partition cursor vector. The Aggregator and
+// RecoveryClient both implement it.
+type VectorRecoverySource interface {
+	RecoverySource
+	SinceVector(cursors []uint64, max int) ([]events.Event, error)
+}
+
 // ConsumerStats is a snapshot of a consumer's counters.
 type ConsumerStats struct {
-	Received    uint64 // events seen on the wire
-	Delivered   uint64 // events passing the filter
-	Recovered   uint64 // events replayed from the store
-	LastSeq     uint64
-	BusyTime    time.Duration
-	Utilization float64
+	Received  uint64 // events seen on the wire
+	Delivered uint64 // events passing the filter
+	Recovered uint64 // events replayed from the store
+	// LastSeq is the highest sequence observed in any partition;
+	// LastSeqVector is the per-partition view (len = StorePartitions).
+	LastSeq       uint64
+	LastSeqVector []uint64
+	BusyTime      time.Duration
+	Utilization   float64
 	// Pipeline is the per-stage view (subscribe → filter-deliver).
 	Pipeline []pipeline.Stats
 }
 
 // Consumer subscribes to the aggregator, filters client-side, and delivers
 // event batches to the application as a subscribe → filter-deliver
-// pipeline.
+// pipeline. It checkpoints one cursor per store partition: partitioned
+// aggregators interleave sequence lanes (partition = Seq % P), so a single
+// high-water mark would wrongly drop a slower partition's events.
 type Consumer struct {
 	opts     ConsumerOptions
 	sub      *msgq.Sub
 	out      chan []events.Event
 	throttle *pace.Throttle
+	parts    int
+
+	mu      sync.Mutex
+	cursors []uint64 // per-partition high-water marks
 
 	pipe *pipeline.Pipeline
 
 	received  atomic.Uint64
 	delivered atomic.Uint64
 	recovered atomic.Uint64
-	lastSeq   atomic.Uint64
 
 	closeOnce sync.Once
 }
 
-// NewConsumer creates and starts a consumer. If opts.SinceSeq > 0 and a
-// recovery source is configured, missed events are replayed before live
-// delivery begins.
+// NewConsumer creates and starts a consumer. If a resume point
+// (SinceSeq/SinceVector) is given and a recovery source is configured,
+// missed events are replayed before live delivery begins.
 func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 	if opts.AggregatorEndpoint == "" {
 		return nil, errors.New("scalable: ConsumerOptions.AggregatorEndpoint is required")
@@ -89,35 +118,66 @@ func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 	if opts.EventOverhead <= 0 {
 		opts.EventOverhead = 200 * time.Nanosecond
 	}
+	parts := opts.StorePartitions
+	if opts.SinceVector != nil {
+		if parts > 0 && parts != len(opts.SinceVector) {
+			return nil, errors.New("scalable: ConsumerOptions.SinceVector length disagrees with StorePartitions")
+		}
+		parts = len(opts.SinceVector)
+	}
+	if parts <= 0 {
+		if p, ok := opts.Recover.(interface{ Partitions() int }); ok {
+			parts = p.Partitions()
+		}
+	}
+	if parts <= 0 {
+		parts = 1
+	}
 	c := &Consumer{
 		opts:     opts,
 		out:      make(chan []events.Event, opts.Buffer),
 		throttle: pace.NewThrottle(),
+		parts:    parts,
+		cursors:  make([]uint64, parts),
 	}
-	c.lastSeq.Store(opts.SinceSeq)
+	if opts.SinceVector != nil {
+		copy(c.cursors, opts.SinceVector)
+	} else {
+		for i := range c.cursors {
+			c.cursors[i] = opts.SinceSeq
+		}
+	}
+	resume := opts.SinceSeq > 0
+	for _, cur := range c.cursors {
+		resume = resume || cur > 0
+	}
 	// Recovery happens before subscribing so replayed events precede
 	// live ones; any overlap is deduplicated by sequence number in the
-	// filter-deliver stage. Replay also runs for a fresh consumer
-	// (SinceSeq 0): PUB/SUB gives a late joiner no delivery guarantee, so
+	// filter-deliver stage. Replay also runs for a fresh consumer (no
+	// resume point): PUB/SUB gives a late joiner no delivery guarantee, so
 	// events the aggregator already republished are only reachable
 	// through the reliable store — exactly its purpose (§IV-2). A replay
 	// failure is fatal only when the caller asked to resume from a
 	// specific point; best-effort otherwise (e.g. the store is disabled).
 	if opts.Recover != nil {
-		history, err := opts.Recover.Since(opts.SinceSeq, 0)
+		history, err := c.recoverHistory()
 		if err != nil {
-			if opts.SinceSeq > 0 {
+			if resume {
 				return nil, err
 			}
 			history = nil
 		}
 		var replay []events.Event
 		for _, e := range history {
+			if e.Seq != 0 {
+				p := e.Seq % uint64(c.parts)
+				if e.Seq <= c.cursors[p] {
+					continue // already seen (scalar replay against a partitioned store)
+				}
+				c.cursors[p] = e.Seq
+			}
 			if c.filterEvent(e) {
 				replay = append(replay, e)
-			}
-			if e.Seq > c.lastSeq.Load() {
-				c.lastSeq.Store(e.Seq)
 			}
 		}
 		if len(replay) > 0 {
@@ -127,6 +187,8 @@ func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 		}
 	}
 	c.sub = msgq.NewSub(msgq.WithRecvBuffer(opts.Buffer))
+	// Prefix subscription: AggTopic also matches the per-partition
+	// topics "agg.events.p<N>" a partitioned aggregator publishes on.
 	c.sub.Subscribe(AggTopic)
 	if err := c.sub.Connect(opts.AggregatorEndpoint); err != nil {
 		c.sub.Close()
@@ -141,6 +203,23 @@ func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 	intake := pipeline.Source(c.pipe, "subscribe", pipeline.DefaultBatchDepth, c.intakeLoop)
 	pipeline.Sink(c.pipe, "filter-deliver", intake, c.deliverBatch)
 	return c, nil
+}
+
+// recoverHistory replays missed events, preferring the partition-aware
+// query when the source supports it. The scalar fallback asks from the
+// lowest cursor; the replay loop's per-partition dedup discards whatever
+// the faster partitions already saw.
+func (c *Consumer) recoverHistory() ([]events.Event, error) {
+	if vs, ok := c.opts.Recover.(VectorRecoverySource); ok && c.parts > 1 {
+		return vs.SinceVector(append([]uint64(nil), c.cursors...), 0)
+	}
+	low := c.cursors[0]
+	for _, cur := range c.cursors[1:] {
+		if cur < low {
+			low = cur
+		}
+	}
+	return c.opts.Recover.Since(low, 0)
 }
 
 func (c *Consumer) filterEvent(e events.Event) bool {
@@ -165,20 +244,29 @@ func (c *Consumer) intakeLoop(ctx context.Context, emit func([]events.Event) boo
 	}
 }
 
-// deliverBatch is the filter-deliver sink stage: sequence-deduplicate the
-// recovery/live overlap window, apply the client-side filter in place
-// (the batch is owned by the pipeline), and hand the surviving events to
-// the application.
+// deliverBatch is the filter-deliver sink stage: deduplicate the
+// recovery/live overlap window against the owning partition's cursor,
+// apply the client-side filter in place (the batch is owned by the
+// pipeline), and hand the surviving events to the application.
 func (c *Consumer) deliverBatch(ctx context.Context, batch []events.Event) {
-	pass := batch[:0]
+	keep := batch[:0]
+	c.mu.Lock()
 	for _, e := range batch {
 		c.received.Add(1)
-		if e.Seq != 0 && e.Seq <= c.lastSeq.Load() {
-			continue
+		if e.Seq != 0 {
+			p := e.Seq % uint64(c.parts)
+			if e.Seq <= c.cursors[p] {
+				continue
+			}
+			c.cursors[p] = e.Seq
 		}
-		if e.Seq > c.lastSeq.Load() {
-			c.lastSeq.Store(e.Seq)
-		}
+		keep = append(keep, e)
+	}
+	c.mu.Unlock()
+	// Filter outside the cursor lock: Spend sleeps, and Stats/LastSeq
+	// readers should not wait on pacing.
+	pass := keep[:0]
+	for _, e := range keep {
 		if c.filterEvent(e) {
 			pass = append(pass, e)
 		}
@@ -196,21 +284,42 @@ func (c *Consumer) deliverBatch(ctx context.Context, batch []events.Event) {
 // C returns the application-facing batch channel.
 func (c *Consumer) C() <-chan []events.Event { return c.out }
 
-// LastSeq returns the highest sequence number observed — the resume point
-// a restarted consumer passes as SinceSeq.
-func (c *Consumer) LastSeq() uint64 { return c.lastSeq.Load() }
+// LastSeq returns the highest sequence number observed in any partition —
+// the resume point a restarted consumer passes as SinceSeq when the
+// aggregator is unpartitioned.
+func (c *Consumer) LastSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var last uint64
+	for _, cur := range c.cursors {
+		if cur > last {
+			last = cur
+		}
+	}
+	return last
+}
+
+// LastSeqVector returns the per-partition high-water marks — the precise
+// resume point a restarted consumer passes as SinceVector.
+func (c *Consumer) LastSeqVector() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]uint64(nil), c.cursors...)
+}
 
 // Stats returns a snapshot of the consumer's counters.
 func (c *Consumer) Stats() ConsumerStats {
-	return ConsumerStats{
-		Received:    c.received.Load(),
-		Delivered:   c.delivered.Load(),
-		Recovered:   c.recovered.Load(),
-		LastSeq:     c.lastSeq.Load(),
-		BusyTime:    c.throttle.Busy(),
-		Utilization: c.throttle.Utilization(),
-		Pipeline:    c.pipe.Stats(),
+	st := ConsumerStats{
+		Received:      c.received.Load(),
+		Delivered:     c.delivered.Load(),
+		Recovered:     c.recovered.Load(),
+		LastSeq:       c.LastSeq(),
+		LastSeqVector: c.LastSeqVector(),
+		BusyTime:      c.throttle.Busy(),
+		Utilization:   c.throttle.Utilization(),
+		Pipeline:      c.pipe.Stats(),
 	}
+	return st
 }
 
 // ResetAccounting restarts the utilization window.

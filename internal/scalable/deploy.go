@@ -34,7 +34,19 @@ type DeployOptions struct {
 	// (127.0.0.1 with kernel-assigned ports).
 	Transport string
 	// Store is the aggregator's reliable store (nil = in-memory).
+	// A plain Store is one partition; to combine partitioning with a
+	// custom engine, pass Engine instead.
 	Store *eventstore.Store
+	// Engine is the aggregator's reliable store engine; takes precedence
+	// over Store.
+	Engine eventstore.Engine
+	// StorePartitions shards the aggregation tier: the reliable store,
+	// the aggregator's store lanes, and the republish topics all split
+	// into this many partitions keyed by MDT index (default
+	// pipeline.DefaultStorePartitions = 1, the paper's single serial
+	// store — Tables IV/VII re-runs stay calibrated). Ignored when
+	// Store/Engine supply their own partition count.
+	StorePartitions int
 	// BatchSize overrides the collectors' Changelog read batch.
 	BatchSize int
 	// PollInterval overrides the collectors' idle poll.
@@ -97,7 +109,9 @@ func Deploy(cluster *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 	agg, err := NewAggregator(AggregatorOptions{
 		CollectorEndpoints: endpoints,
 		Endpoint:           aggEp,
+		Engine:             opts.Engine,
 		Store:              opts.Store,
+		StorePartitions:    opts.StorePartitions,
 		Context:            opts.Context,
 	})
 	if err != nil {
@@ -109,13 +123,28 @@ func Deploy(cluster *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 }
 
 // NewConsumer attaches a consumer to this deployment's aggregator with
-// in-process fault recovery.
+// in-process fault recovery. The consumer adopts the aggregator's
+// partition count automatically.
 func (m *Monitor) NewConsumer(filter iface.Filter, sinceSeq uint64) (*Consumer, error) {
 	return NewConsumer(ConsumerOptions{
 		AggregatorEndpoint: m.Aggregator.Endpoint(),
 		Filter:             filter,
 		Recover:            m.Aggregator,
 		SinceSeq:           sinceSeq,
+		StorePartitions:    m.Aggregator.Partitions(),
+		Context:            m.opts.Context,
+	})
+}
+
+// NewConsumerVector attaches a consumer resuming from per-partition
+// cursors (a previous consumer's LastSeqVector) — the precise restart path
+// for partitioned deployments.
+func (m *Monitor) NewConsumerVector(filter iface.Filter, sinceVector []uint64) (*Consumer, error) {
+	return NewConsumer(ConsumerOptions{
+		AggregatorEndpoint: m.Aggregator.Endpoint(),
+		Filter:             filter,
+		Recover:            m.Aggregator,
+		SinceVector:        sinceVector,
 		Context:            m.opts.Context,
 	})
 }

@@ -13,14 +13,17 @@ import (
 // The recovery protocol lets a consumer on another machine replay missed
 // events from the aggregator's reliable store (§IV-2: "An API is provided
 // to the consumers to retrieve historic events from the database whenever
-// a fault occurs"). One request frame carries the resume sequence number;
-// the server streams batch frames and terminates with an end frame.
+// a fault occurs"). One request frame carries the resume point — a single
+// sequence number ("since", the classic form, unchanged on the wire) or a
+// per-partition cursor vector ("sincev", for partitioned stores); the
+// server streams batch frames and terminates with an end frame.
 const (
-	recoveryReqTopic   = "since"
-	recoveryBatchTopic = "batch"
-	recoveryEndTopic   = "end"
-	recoveryErrTopic   = "error"
-	recoveryBatchMax   = 1024
+	recoveryReqTopic    = "since"
+	recoveryVecReqTopic = "sincev"
+	recoveryBatchTopic  = "batch"
+	recoveryEndTopic    = "end"
+	recoveryErrTopic    = "error"
+	recoveryBatchMax    = 1024
 )
 
 // RecoveryServer serves the recovery API over TCP.
@@ -68,33 +71,83 @@ func (s *RecoveryServer) serve(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if req.Topic != recoveryReqTopic {
+		var next func() ([]events.Event, error)
+		switch req.Topic {
+		case recoveryReqTopic:
+			seq := decodeSeq(req.Payload)
+			next = s.scalarQuery(seq)
+		case recoveryVecReqTopic:
+			cursors := decodeSeqVector(req.Payload)
+			if cursors == nil {
+				_ = msgq.WriteFrame(w, msgq.Message{Topic: recoveryErrTopic, Payload: []byte("bad cursor vector")})
+				return
+			}
+			if vsrc, ok := s.src.(VectorRecoverySource); ok {
+				next = vectorQuery(vsrc, cursors)
+			} else if len(cursors) == 1 {
+				// Single-cursor vector against a scalar source degrades
+				// cleanly to the classic query.
+				next = s.scalarQuery(cursors[0])
+			} else {
+				_ = msgq.WriteFrame(w, msgq.Message{Topic: recoveryErrTopic, Payload: []byte("recovery source is not partition-aware")})
+				return
+			}
+		default:
 			_ = msgq.WriteFrame(w, msgq.Message{Topic: recoveryErrTopic, Payload: []byte("bad request")})
 			return
 		}
-		seq := decodeSeq(req.Payload)
-		for {
-			batch, err := s.src.Since(seq, recoveryBatchMax)
-			if err != nil {
-				_ = msgq.WriteFrame(w, msgq.Message{Topic: recoveryErrTopic, Payload: []byte(err.Error())})
-				return
-			}
-			if len(batch) == 0 {
-				break
-			}
-			payload, err := events.MarshalBatch(batch)
-			if err != nil {
-				return
-			}
-			if err := msgq.WriteFrame(w, msgq.Message{Topic: recoveryBatchTopic, Payload: payload}); err != nil {
-				return
-			}
-			seq = batch[len(batch)-1].Seq
-		}
-		if err := msgq.WriteFrame(w, msgq.Message{Topic: recoveryEndTopic, Payload: nil}); err != nil {
+		if !stream(w, next) {
 			return
 		}
 	}
+}
+
+// scalarQuery pages through the store from a single global cursor.
+func (s *RecoveryServer) scalarQuery(seq uint64) func() ([]events.Event, error) {
+	return func() ([]events.Event, error) {
+		batch, err := s.src.Since(seq, recoveryBatchMax)
+		if len(batch) > 0 {
+			seq = batch[len(batch)-1].Seq
+		}
+		return batch, err
+	}
+}
+
+// vectorQuery pages through the store advancing one cursor per partition:
+// each returned event raises the cursor of the partition its Seq maps to
+// (Seq % P), so paging makes progress even when partitions drain unevenly.
+func vectorQuery(src VectorRecoverySource, cursors []uint64) func() ([]events.Event, error) {
+	parts := uint64(len(cursors))
+	return func() ([]events.Event, error) {
+		batch, err := src.SinceVector(cursors, recoveryBatchMax)
+		for _, e := range batch {
+			cursors[e.Seq%parts] = e.Seq
+		}
+		return batch, err
+	}
+}
+
+// stream pages next() until empty, framing each page; reports whether the
+// connection is still usable for another request.
+func stream(w *bufio.Writer, next func() ([]events.Event, error)) bool {
+	for {
+		batch, err := next()
+		if err != nil {
+			_ = msgq.WriteFrame(w, msgq.Message{Topic: recoveryErrTopic, Payload: []byte(err.Error())})
+			return false
+		}
+		if len(batch) == 0 {
+			break
+		}
+		payload, err := events.MarshalBatch(batch)
+		if err != nil {
+			return false
+		}
+		if err := msgq.WriteFrame(w, msgq.Message{Topic: recoveryBatchTopic, Payload: payload}); err != nil {
+			return false
+		}
+	}
+	return msgq.WriteFrame(w, msgq.Message{Topic: recoveryEndTopic, Payload: nil}) == nil
 }
 
 // Close stops the server.
@@ -105,8 +158,9 @@ func (s *RecoveryServer) Close() {
 	})
 }
 
-// RecoveryClient implements RecoverySource against a RecoveryServer, so a
-// remote consumer can pass it as ConsumerOptions.Recover.
+// RecoveryClient implements RecoverySource (and VectorRecoverySource)
+// against a RecoveryServer, so a remote consumer can pass it as
+// ConsumerOptions.Recover.
 type RecoveryClient struct {
 	addr string
 }
@@ -118,6 +172,17 @@ func NewRecoveryClient(addr string) *RecoveryClient {
 
 // Since implements RecoverySource over the wire.
 func (c *RecoveryClient) Since(seq uint64, max int) ([]events.Event, error) {
+	return c.request(msgq.Message{Topic: recoveryReqTopic, Payload: encodeSeq(seq)}, max)
+}
+
+// SinceVector implements VectorRecoverySource over the wire. Remote
+// consumers pass their per-partition cursors (ConsumerOptions.SinceVector
+// feeds them automatically).
+func (c *RecoveryClient) SinceVector(cursors []uint64, max int) ([]events.Event, error) {
+	return c.request(msgq.Message{Topic: recoveryVecReqTopic, Payload: encodeSeqVector(cursors)}, max)
+}
+
+func (c *RecoveryClient) request(req msgq.Message, max int) ([]events.Event, error) {
 	conn, err := net.Dial("tcp", c.addr)
 	if err != nil {
 		return nil, err
@@ -125,7 +190,7 @@ func (c *RecoveryClient) Since(seq uint64, max int) ([]events.Event, error) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
-	if err := msgq.WriteFrame(w, msgq.Message{Topic: recoveryReqTopic, Payload: encodeSeq(seq)}); err != nil {
+	if err := msgq.WriteFrame(w, req); err != nil {
 		return nil, err
 	}
 	var out []events.Event
