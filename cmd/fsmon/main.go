@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,7 +38,28 @@ func main() {
 	partitions := flag.Int("partitions", 0, "with -lustre: aggregation-tier store partitions (0 = 1, the paper's single store)")
 	demo := flag.Bool("demo", false, "with -lustre: run the Evaluate_Output_Script workload and exit")
 	stats := flag.Bool("stats", false, "print layer statistics on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry at this address (/metrics, /debug/vars, /debug/pprof)")
+	status := flag.String("status", "", "fetch a running monitor's telemetry snapshot from this address and exit")
+	verbose := flag.Bool("verbose", false, "log component diagnostics (structured, to stderr)")
 	flag.Parse()
+
+	if *status != "" {
+		url := *status
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		if !strings.HasSuffix(url, "/metrics") {
+			url = strings.TrimSuffix(url, "/") + "/metrics"
+		}
+		snap, err := fsmonitor.FetchTelemetry(url)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fsmonitor.WriteTelemetryText(os.Stdout, snap); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var mask fsmonitor.Op
 	if *ops != "" {
@@ -48,6 +70,17 @@ func main() {
 		mask = m
 	}
 	outFormat := fsmonitor.Format(*format)
+
+	var common []fsmonitor.Option
+	var reg *fsmonitor.Telemetry
+	if *metricsAddr != "" || *stats {
+		reg = fsmonitor.NewTelemetry()
+		common = append(common, fsmonitor.WithTelemetry(reg))
+	}
+	if *verbose {
+		common = append(common, fsmonitor.WithLogger(slog.New(slog.NewTextHandler(os.Stderr,
+			&slog.HandlerOptions{Level: slog.LevelDebug}))))
+	}
 
 	var (
 		m       *fsmonitor.Monitor
@@ -69,7 +102,7 @@ func main() {
 		}
 		cfg.OpLatency = nil // interactive demo runs unpaced
 		cluster = fsmonitor.NewLustreCluster(cfg)
-		var lopts []fsmonitor.Option
+		lopts := append([]fsmonitor.Option{}, common...)
 		if *partitions > 0 {
 			lopts = append(lopts, fsmonitor.WithStorePartitions(*partitions))
 		}
@@ -80,7 +113,7 @@ func main() {
 			flag.PrintDefaults()
 			os.Exit(2)
 		}
-		opts := []fsmonitor.Option{}
+		opts := append([]fsmonitor.Option{}, common...)
 		if *recursive {
 			opts = append(opts, fsmonitor.WithRecursive())
 		}
@@ -94,6 +127,15 @@ func main() {
 	}
 	defer m.Close()
 	fmt.Fprintf(os.Stderr, "fsmon: monitoring via %s DSI\n", m.DSIName())
+	if *metricsAddr != "" {
+		srv, err := fsmonitor.ServeTelemetry(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fsmon: telemetry at http://%s/metrics (query with fsmon -status %s)\n",
+			srv.Addr(), srv.Addr())
+	}
 
 	sub, err := m.Subscribe(fsmonitor.Filter{Recursive: *recursive || *lustreBed != "", Ops: mask}, 0)
 	if err != nil {
@@ -137,6 +179,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsmon: dsi=%s dropped=%d processed=%d batches=%d stored=%d delivered=%d\n",
 			st.DSI, st.DSIDropped, st.Resolution.Processed, st.Resolution.Batches,
 			st.Interface.Store.Appended, st.Interface.Delivered)
+		if reg != nil {
+			if err := fsmonitor.WriteTelemetryText(os.Stderr, reg.Snapshot()); err != nil {
+				fatal(err)
+			}
+		}
 	}
 }
 

@@ -18,6 +18,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"log/slog"
+	"os"
 	"path"
 	"strings"
 	"sync"
@@ -64,9 +66,13 @@ type Trigger struct {
 }
 
 func main() {
+	// Operational logging: component-tagged structured records from the
+	// monitor and the automation client share one slog handler.
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+
 	// The experiment facility's parallel store: a 4-MDS Lustre system.
 	cluster := fsmonitor.NewLustreCluster(fsmonitor.LustreConfig{NumMDS: 4, NumOSS: 4, OSTsPerOSS: 4, OSTSizeGB: 100})
-	m, err := fsmonitor.WatchLustre(cluster, "/mnt/lustre", 0)
+	m, err := fsmonitor.WatchLustre(cluster, "/mnt/lustre", 0, fsmonitor.WithLogger(logger))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,7 +153,7 @@ func main() {
 					}
 					doc := buildDocument(cluster, e)
 					if err := tr.Flow.Execute(doc); err != nil {
-						log.Printf("automation: %v", err)
+						logger.Error("flow failed", "component", "automation", "flow", tr.Flow.Name, "err", err)
 						continue
 					}
 					mu.Lock()

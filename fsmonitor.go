@@ -36,6 +36,8 @@ package fsmonitor
 
 import (
 	"context"
+	"io"
+	"log/slog"
 	"runtime"
 
 	"fsmonitor/internal/core"
@@ -47,6 +49,7 @@ import (
 	"fsmonitor/internal/lustre"
 	"fsmonitor/internal/resolution"
 	"fsmonitor/internal/spectrum"
+	"fsmonitor/internal/telemetry"
 	"fsmonitor/internal/vfs"
 )
 
@@ -214,6 +217,63 @@ func WithStorePartitions(n int) Option {
 // optimization).
 func WithBatch(size int) Option {
 	return func(o *core.Options) { o.Resolution.BatchSize = size }
+}
+
+// Telemetry is the unified metrics registry: every layer of a monitor
+// built with WithTelemetry mirrors its counters, gauges, and latency
+// histograms into one namespace (fsmon.core.*, fsmon.collector.mdt<N>.*,
+// fsmon.aggregator.*, fsmon.store.p<i>.*, fsmon.consumer.*,
+// fsmon.process.*). Snapshot/WriteText read it on demand; ServeTelemetry
+// exposes it over HTTP.
+type Telemetry = telemetry.Registry
+
+// HistogramSnapshot is a latency histogram's point-in-time quantile view
+// (count, mean, p50/p95/p99, max) as found in Telemetry.Snapshot().
+type HistogramSnapshot = telemetry.HistogramSnapshot
+
+// NewTelemetry creates an empty registry to pass to WithTelemetry. One
+// registry can serve several monitors — names are deployment-scoped.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// WithTelemetry mirrors every layer of the monitor into reg and enables
+// end-to-end event latency tracing (capture → resolve → publish → store →
+// republish → deliver on the Lustre path). The default nil registry costs
+// nothing on the event path.
+func WithTelemetry(reg *Telemetry) Option {
+	return func(o *core.Options) { o.Telemetry = reg }
+}
+
+// WithLogger routes the monitor's structured logs (component-tagged
+// log/slog records: dropped batches, store failures, lifecycle) to l.
+// Nil — the default — discards them.
+func WithLogger(l *slog.Logger) Option {
+	return func(o *core.Options) { o.Logger = l }
+}
+
+// TelemetryServer is a live introspection endpoint started by
+// ServeTelemetry.
+type TelemetryServer = telemetry.Server
+
+// ServeTelemetry exposes reg at addr: /metrics (JSON snapshot),
+// /debug/vars (expvar), and /debug/pprof/* (runtime profiles). Close the
+// returned server to stop. addr may use port 0; Addr() reports the bound
+// address.
+func ServeTelemetry(addr string, reg *Telemetry) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, reg)
+}
+
+// FetchTelemetry retrieves a /metrics JSON snapshot from a running
+// ServeTelemetry endpoint (url is e.g. "http://127.0.0.1:9090/metrics").
+// WriteTelemetryText renders such a snapshot for humans.
+func FetchTelemetry(url string) (map[string]any, error) {
+	return telemetry.FetchSnapshot(url)
+}
+
+// WriteTelemetryText renders a snapshot — live from Telemetry.Snapshot()
+// or fetched with FetchTelemetry — as sorted name-per-line text (the
+// `fsmon -status` format).
+func WriteTelemetryText(w io.Writer, snap map[string]any) error {
+	return telemetry.WriteSnapshotText(w, snap)
 }
 
 // Watch monitors a real directory on the host filesystem, selecting the

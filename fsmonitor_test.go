@@ -2,8 +2,10 @@ package fsmonitor_test
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -411,5 +413,77 @@ func TestRegistryExposed(t *testing.T) {
 		if !seen {
 			t.Errorf("registry missing %q: %v", n, names)
 		}
+	}
+}
+
+// TestTelemetryPublicAPI drives the WithTelemetry/WithLogger/ServeTelemetry
+// surface end to end: a Lustre monitor mirrors every tier into one
+// registry, the registry serves over HTTP, and the fetched snapshot
+// renders as text — the fsmon -metrics-addr / -status path.
+func TestTelemetryPublicAPI(t *testing.T) {
+	var logBuf strings.Builder
+	logger := slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	reg := fsmonitor.NewTelemetry()
+	cluster := fsmonitor.NewLustreCluster(fsmonitor.LustreConfig{NumMDS: 2})
+	m, err := fsmonitor.WatchLustre(cluster, "/mnt/lustre", 0,
+		fsmonitor.WithTelemetry(reg), fsmonitor.WithLogger(logger))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	sub, err := m.Subscribe(fsmonitor.Filter{Recursive: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.Client()
+	for i := 0; i < 8; i++ {
+		if err := cl.Create(fmt.Sprintf("/t%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := recvAll(t, sub, 8, 5*time.Second); len(got) != 8 {
+		t.Fatalf("events = %d, want 8", len(got))
+	}
+
+	snap := reg.Snapshot()
+	// One registry spans the deployment tiers and the local layers.
+	for _, name := range []string{
+		"fsmon.collector.mdt0.events_published",
+		"fsmon.aggregator.stored",
+		"fsmon.store.p0.appended",
+		"fsmon.consumer.delivered",
+		"fsmon.core.store.appended",
+		"fsmon.core.iface.delivered",
+		"fsmon.process.heap_bytes",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+	if v, _ := snap["fsmon.core.iface.delivered"].(float64); v < 8 {
+		t.Errorf("core.iface.delivered = %v, want >= 8", snap["fsmon.core.iface.delivered"])
+	}
+
+	// Structured component logs flowed to the supplied logger.
+	if !strings.Contains(logBuf.String(), "component=") {
+		t.Errorf("logger saw no component-tagged records:\n%s", logBuf.String())
+	}
+
+	// Serve → fetch → text-render round trip.
+	srv, err := fsmonitor.ServeTelemetry("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fetched, err := fsmonitor.FetchTelemetry("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := fsmonitor.WriteTelemetryText(&sb, fetched); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fsmon.consumer.e2e_us count=") {
+		t.Errorf("status dump missing e2e latency line:\n%s", sb.String())
 	}
 }

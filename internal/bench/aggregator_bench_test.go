@@ -10,103 +10,134 @@ import (
 	"fsmonitor/internal/eventstore"
 	"fsmonitor/internal/msgq"
 	"fsmonitor/internal/scalable"
+	"fsmonitor/internal/telemetry"
 )
 
-// BenchmarkAggregatorThroughput measures aggregate store throughput of the
-// aggregation tier at 1, 2, and 4 partitions. Four synthetic collectors
-// (one per MDT topic) publish pre-marshaled 512-event batches at the
-// aggregator, which decodes, paces the accounted per-event aggregation
-// cost on the owning partition's lane, persists into its shard, and
-// re-encodes for republish; b.N counts events. With one partition every
-// batch funnels through one store lane (the paper's serial aggregator);
-// with four, the lanes run concurrently and aggregate events/s should
-// scale well past 2x.
-func BenchmarkAggregatorThroughput(b *testing.B) {
+// benchAggregator drives the aggregation tier with four synthetic
+// collectors publishing pre-marshaled 512-event batches; b.N counts
+// events. reg == nil is the production default (telemetry disabled); a
+// non-nil registry turns on store/latency instrumentation so the two
+// variants measure its overhead.
+func benchAggregator(b *testing.B, parts int, reg *telemetry.Registry) {
 	const (
 		collectors = 4
 		batchSize  = 512
 	)
+	pubs := make([]*msgq.Pub, collectors)
+	eps := make([]string, collectors)
+	for i := range pubs {
+		pubs[i] = msgq.NewPub(msgq.WithBlockOnFull())
+		eps[i] = fmt.Sprintf("inproc://bench-agg-%p-c%d", b, i)
+		if err := pubs[i].Bind(eps[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, p := range pubs {
+			p.Close()
+		}
+	}()
+	// Bounded engine: the bench measures store throughput, not
+	// retention, so cap the window instead of holding b.N events.
+	eng, err := eventstore.NewSharded(parts, eventstore.Options{MaxEvents: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	agg, err := scalable.NewAggregator(scalable.AggregatorOptions{
+		CollectorEndpoints: eps,
+		Endpoint:           fmt.Sprintf("inproc://bench-agg-%p", b),
+		Engine:             eng,
+		EventOverhead:      time.Microsecond,
+		Telemetry:          reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer agg.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	for _, p := range pubs {
+		if err := p.WaitSubscribed(ctx); err != nil {
+			cancel()
+			b.Fatal(err)
+		}
+	}
+	cancel()
+
+	// Collectors only stamp batches when telemetry is attached, so the
+	// disabled variant's payloads carry no stamp (and no stamp wire
+	// bytes) — exactly what an uninstrumented deployment ships.
+	var stamp int64
+	if reg != nil {
+		stamp = telemetry.Stamp()
+	}
+	payloads := make([][]byte, collectors)
+	for i := range payloads {
+		batch := make([]events.Event, batchSize)
+		for j := range batch {
+			batch[j] = events.Event{
+				Root: "/mnt/lustre", Op: events.OpCreate,
+				Path:   fmt.Sprintf("/bench/mdt%d/f%06d", i, j),
+				Source: "bench",
+			}
+		}
+		p, err := events.MarshalBatchStamped(batch, stamp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads[i] = p
+	}
+
+	batches := (b.N + batchSize - 1) / batchSize
+	total := uint64(batches) * batchSize
+	b.ResetTimer()
+	start := time.Now()
+	for c := 0; c < collectors; c++ {
+		n := batches / collectors
+		if c < batches%collectors {
+			n++
+		}
+		go func(c, n int) {
+			topic := fmt.Sprintf("%smdt%d", scalable.TopicPrefix, c)
+			for k := 0; k < n; k++ {
+				pubs[c].Publish(topic, payloads[c])
+			}
+		}(c, n)
+	}
+	for agg.Stats().Stored < total {
+		time.Sleep(200 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(total)/elapsed.Seconds(), "events/s")
+}
+
+// BenchmarkAggregatorThroughput measures aggregate store throughput of the
+// aggregation tier at 1, 2, and 4 partitions with telemetry disabled (the
+// default). Four synthetic collectors (one per MDT topic) publish
+// pre-marshaled 512-event batches at the aggregator, which decodes, paces
+// the accounted per-event aggregation cost on the owning partition's lane,
+// persists into its shard, and re-encodes for republish. With one
+// partition every batch funnels through one store lane (the paper's serial
+// aggregator); with four, the lanes run concurrently and aggregate
+// events/s should scale well past 2x.
+func BenchmarkAggregatorThroughput(b *testing.B) {
 	for _, parts := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
-			pubs := make([]*msgq.Pub, collectors)
-			eps := make([]string, collectors)
-			for i := range pubs {
-				pubs[i] = msgq.NewPub(msgq.WithBlockOnFull())
-				eps[i] = fmt.Sprintf("inproc://bench-agg-p%d-c%d", parts, i)
-				if err := pubs[i].Bind(eps[i]); err != nil {
-					b.Fatal(err)
-				}
-			}
-			defer func() {
-				for _, p := range pubs {
-					p.Close()
-				}
-			}()
-			// Bounded engine: the bench measures store throughput, not
-			// retention, so cap the window instead of holding b.N events.
-			eng, err := eventstore.NewSharded(parts, eventstore.Options{MaxEvents: 1 << 16})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer eng.Close()
-			agg, err := scalable.NewAggregator(scalable.AggregatorOptions{
-				CollectorEndpoints: eps,
-				Endpoint:           fmt.Sprintf("inproc://bench-agg-p%d", parts),
-				Engine:             eng,
-				EventOverhead:      time.Microsecond,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer agg.Close()
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			for _, p := range pubs {
-				if err := p.WaitSubscribed(ctx); err != nil {
-					cancel()
-					b.Fatal(err)
-				}
-			}
-			cancel()
+			benchAggregator(b, parts, nil)
+		})
+	}
+}
 
-			payloads := make([][]byte, collectors)
-			for i := range payloads {
-				batch := make([]events.Event, batchSize)
-				for j := range batch {
-					batch[j] = events.Event{
-						Root: "/mnt/lustre", Op: events.OpCreate,
-						Path:   fmt.Sprintf("/bench/mdt%d/f%06d", i, j),
-						Source: "bench",
-					}
-				}
-				p, err := events.MarshalBatch(batch)
-				if err != nil {
-					b.Fatal(err)
-				}
-				payloads[i] = p
-			}
-
-			batches := (b.N + batchSize - 1) / batchSize
-			total := uint64(batches) * batchSize
-			b.ResetTimer()
-			start := time.Now()
-			for c := 0; c < collectors; c++ {
-				n := batches / collectors
-				if c < batches%collectors {
-					n++
-				}
-				go func(c, n int) {
-					topic := fmt.Sprintf("%smdt%d", scalable.TopicPrefix, c)
-					for k := 0; k < n; k++ {
-						pubs[c].Publish(topic, payloads[c])
-					}
-				}(c, n)
-			}
-			for agg.Stats().Stored < total {
-				time.Sleep(200 * time.Microsecond)
-			}
-			elapsed := time.Since(start)
-			b.StopTimer()
-			b.ReportMetric(float64(total)/elapsed.Seconds(), "events/s")
+// BenchmarkAggregatorThroughputTelemetry is the same workload with a live
+// registry attached: store lanes timed, capture-to-store latency traced
+// from the events' stamps, every stat mirrored. Compare against
+// BenchmarkAggregatorThroughput — the delta is the total observability
+// overhead, and the telemetry acceptance gate is that it stays under 5%.
+func BenchmarkAggregatorThroughputTelemetry(b *testing.B) {
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			benchAggregator(b, parts, telemetry.NewRegistry())
 		})
 	}
 }

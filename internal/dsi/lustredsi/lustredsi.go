@@ -8,12 +8,14 @@ package lustredsi
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"fsmonitor/internal/dsi"
 	"fsmonitor/internal/iface"
 	"fsmonitor/internal/lustre"
 	"fsmonitor/internal/scalable"
+	"fsmonitor/internal/telemetry"
 )
 
 // Name is the backend name in the registry.
@@ -55,6 +57,13 @@ type Backend struct {
 	// lanes, republish topics) by MDT index
 	// (0 = pipeline.DefaultStorePartitions, the paper's single store).
 	StorePartitions int
+	// Telemetry mirrors the whole deployment (collectors, aggregator,
+	// store, consumer) into the unified registry; nil falls back to
+	// dsi.Config.Telemetry.
+	Telemetry *telemetry.Registry
+	// Logger receives component-tagged structured logs; nil falls back
+	// to dsi.Config.Logger (and then to discard).
+	Logger *slog.Logger
 }
 
 type lustreDSI struct {
@@ -81,6 +90,12 @@ func New(cfg dsi.Config) (dsi.DSI, error) {
 	if be.CacheSize == 0 {
 		be.CacheSize = DefaultCacheSize
 	}
+	if be.Telemetry == nil {
+		be.Telemetry = cfg.Telemetry
+	}
+	if be.Logger == nil {
+		be.Logger = cfg.Logger
+	}
 	root := cfg.Root
 	if root == "" {
 		root = "/mnt/lustre"
@@ -94,6 +109,8 @@ func New(cfg dsi.Config) (dsi.DSI, error) {
 		StorePartitions: be.StorePartitions,
 		Transport:       be.Transport,
 		Context:         cfg.Context,
+		Telemetry:       be.Telemetry,
+		Logger:          be.Logger,
 	})
 	if err != nil {
 		return nil, err

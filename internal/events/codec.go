@@ -11,12 +11,28 @@ import (
 // (§IV-2); the codec below is a compact, allocation-conscious binary format
 // used as the message-queue payload.
 //
-// Layout per event (all integers little-endian):
+// Batch layout (all integers little-endian):
+//
+//	u32 count | [i64 stamp] | count * event
+//
+// stamp is the monitor's capture timestamp for the whole batch: all
+// events of one Changelog read share the moment the monitor first saw
+// them, so latency tracing is batch metadata, not a per-event field. It
+// rides the wire (surviving the aggregator's no-decode forwarding) but is
+// not part of the journal format, and it is present only when the
+// batchStamped bit is set in the count word — untraced deployments (the
+// default) are byte-identical to a build without tracing.
+//
+// Event layout:
 //
 //	u32 op | u32 cookie | u64 seq | i64 unixNano
 //	u16 len(root) root | u16 len(path) path | u16 len(old) old | u8 len(src) src
 
 const maxStr = 1<<16 - 1
+
+// batchStamped flags a capture-stamped batch in the count word. Bit 31 is
+// far outside any real batch size and is masked off on decode.
+const batchStamped = uint32(1) << 31
 
 // MarshalAppend appends the wire encoding of e to buf and returns the
 // extended buffer.
@@ -84,9 +100,27 @@ func readStr16(buf []byte) (string, []byte, error) {
 	return string(buf[:n]), buf[n:], nil
 }
 
-// MarshalBatch encodes a batch of events: u32 count followed by each event.
+// MarshalBatch encodes an untraced batch of events: u32 count followed by
+// each event.
 func MarshalBatch(evs []Event) ([]byte, error) {
-	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(evs)))
+	return MarshalBatchStamped(evs, 0)
+}
+
+// MarshalBatchStamped encodes a batch with its capture stamp (unix
+// nanoseconds at which the monitor first saw the batch's records; 0 means
+// untraced and encodes identically to MarshalBatch).
+func MarshalBatchStamped(evs []Event, stamp int64) ([]byte, error) {
+	if uint64(len(evs)) >= uint64(batchStamped) {
+		return nil, fmt.Errorf("events: batch of %d events exceeds wire limit", len(evs))
+	}
+	header := uint32(len(evs))
+	if stamp != 0 {
+		header |= batchStamped
+	}
+	buf := binary.LittleEndian.AppendUint32(nil, header)
+	if stamp != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(stamp))
+	}
 	var err error
 	for _, e := range evs {
 		if buf, err = MarshalAppend(buf, e); err != nil {
@@ -96,13 +130,30 @@ func MarshalBatch(evs []Event) ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalBatch decodes a batch encoded by MarshalBatch.
+// UnmarshalBatch decodes a batch encoded by MarshalBatch (or
+// MarshalBatchStamped — the stamp, if any, is discarded).
 func UnmarshalBatch(buf []byte) ([]Event, error) {
+	evs, _, err := UnmarshalBatchStamped(buf)
+	return evs, err
+}
+
+// UnmarshalBatchStamped decodes a batch along with its capture stamp
+// (0 when the batch is untraced).
+func UnmarshalBatchStamped(buf []byte) ([]Event, int64, error) {
 	if len(buf) < 4 {
-		return nil, fmt.Errorf("events: short buffer decoding batch count")
+		return nil, 0, fmt.Errorf("events: short buffer decoding batch count")
 	}
-	n := binary.LittleEndian.Uint32(buf)
+	header := binary.LittleEndian.Uint32(buf)
 	buf = buf[4:]
+	n := header &^ batchStamped
+	var stamp int64
+	if header&batchStamped != 0 {
+		if len(buf) < 8 {
+			return nil, 0, fmt.Errorf("events: short buffer decoding batch stamp")
+		}
+		stamp = int64(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+	}
 	evs := make([]Event, 0, n)
 	var (
 		e   Event
@@ -110,12 +161,12 @@ func UnmarshalBatch(buf []byte) ([]Event, error) {
 	)
 	for i := uint32(0); i < n; i++ {
 		if e, buf, err = Unmarshal(buf); err != nil {
-			return nil, fmt.Errorf("events: batch entry %d: %w", i, err)
+			return nil, 0, fmt.Errorf("events: batch entry %d: %w", i, err)
 		}
 		evs = append(evs, e)
 	}
 	if len(buf) != 0 {
-		return nil, fmt.Errorf("events: %d trailing bytes after batch", len(buf))
+		return nil, 0, fmt.Errorf("events: %d trailing bytes after batch", len(buf))
 	}
-	return evs, nil
+	return evs, stamp, nil
 }

@@ -222,6 +222,50 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// The capture stamp is batch metadata: a traced batch costs exactly 8
+// extra wire bytes in total, and an untraced batch (the production
+// default, telemetry off) is byte-identical to a build without latency
+// tracing.
+func TestCodecBatchStamp(t *testing.T) {
+	evs := []Event{
+		{Root: "/r", Op: OpCreate, Path: "/f", Source: "s", Time: time.Unix(1, 0)},
+		{Root: "/r", Op: OpModify, Path: "/g", Source: "s", Time: time.Unix(2, 0)},
+	}
+	plain, err := MarshalBatch(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped, err := MarshalBatchStamped(evs, 1552084067308560900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stamped) != len(plain)+8 {
+		t.Errorf("stamped batch is %d bytes, want %d (unstamped %d + 8)",
+			len(stamped), len(plain)+8, len(plain))
+	}
+	got, stamp, err := UnmarshalBatchStamped(stamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp != 1552084067308560900 {
+		t.Errorf("stamp = %d, want 1552084067308560900", stamp)
+	}
+	if len(got) != 2 || got[0].Path != "/f" || got[1].Path != "/g" {
+		t.Errorf("stamped batch round trip mismatch: %+v", got)
+	}
+	// The stamp-agnostic decoder accepts both forms.
+	if got, err := UnmarshalBatch(stamped); err != nil || len(got) != 2 {
+		t.Errorf("UnmarshalBatch(stamped) = %d events, %v", len(got), err)
+	}
+	if _, stamp, err := UnmarshalBatchStamped(plain); err != nil || stamp != 0 {
+		t.Errorf("UnmarshalBatchStamped(plain) = stamp %d, %v; want 0, nil", stamp, err)
+	}
+	// A flagged header with the stamp truncated away must error, not decode.
+	if _, _, err := UnmarshalBatchStamped(stamped[:8]); err == nil {
+		t.Error("UnmarshalBatchStamped accepted truncated stamp")
+	}
+}
+
 func TestCodecBatch(t *testing.T) {
 	var evs []Event
 	for i := 0; i < 100; i++ {

@@ -95,6 +95,8 @@ type Store struct {
 
 	pendingSync               int // events buffered since the last flush (SyncEveryN)
 	appended, purged, evicted uint64
+
+	tel storeTel // nil handles when telemetry is off — every call is a no-op
 }
 
 // normalize fills in the sequence-lane defaults.
@@ -212,6 +214,9 @@ func (w *wireEvent) toEvent() events.Event {
 
 // Append stores the event, assigning and returning its sequence number.
 func (s *Store) Append(e events.Event) (uint64, error) {
+	if h := s.tel.appendUS; h != nil {
+		defer h.ObserveSince(time.Now())
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -233,6 +238,9 @@ func (s *Store) Append(e events.Event) (uint64, error) {
 func (s *Store) AppendBatch(evs []events.Event) (uint64, error) {
 	if len(evs) == 0 {
 		return 0, nil
+	}
+	if h := s.tel.appendUS; h != nil {
+		defer h.ObserveSince(time.Now())
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -263,7 +271,16 @@ func (s *Store) journalEventLocked(e events.Event) {
 	if err == nil {
 		s.jw.Write(line)
 		s.jw.WriteByte('\n')
+		s.tel.journalBytes.Add(uint64(len(line) + 1))
 	}
+}
+
+// flushLocked flushes the journal buffer, timing it when telemetry is on.
+func (s *Store) flushLocked() error {
+	if h := s.tel.flushUS; h != nil {
+		defer h.ObserveSince(time.Now())
+	}
+	return s.jw.Flush()
 }
 
 // maybeFlushLocked applies the SyncPolicy after n newly journaled events.
@@ -273,11 +290,11 @@ func (s *Store) maybeFlushLocked(n int) {
 	}
 	switch s.opts.Sync {
 	case SyncAlways:
-		s.jw.Flush()
+		s.flushLocked()
 	case SyncEveryN:
 		s.pendingSync += n
 		if s.pendingSync >= s.opts.SyncEvery {
-			s.jw.Flush()
+			s.flushLocked()
 			s.pendingSync = 0
 		}
 	}
@@ -525,10 +542,13 @@ func (s *Store) Sync() error {
 	if s.jw == nil {
 		return nil
 	}
-	if err := s.jw.Flush(); err != nil {
+	if err := s.flushLocked(); err != nil {
 		return err
 	}
 	s.pendingSync = 0
+	if h := s.tel.flushUS; h != nil {
+		defer h.ObserveSince(time.Now())
+	}
 	return s.journal.Sync()
 }
 

@@ -1,0 +1,75 @@
+package eventstore
+
+import (
+	"fmt"
+
+	"fsmonitor/internal/telemetry"
+)
+
+// storeTel holds a Store's telemetry handles. All fields are nil when
+// telemetry is off; every handle method is nil-safe, so the hot path only
+// pays the handle's own nil branch.
+type storeTel struct {
+	appendUS     *telemetry.Histogram // Append/AppendBatch wall time
+	flushUS      *telemetry.Histogram // journal buffer flush / fsync time
+	journalBytes *telemetry.Counter   // bytes appended to the journal
+}
+
+// RegisterTelemetry mirrors the store into reg under prefix (e.g.
+// "fsmon.store.p0"): append/flush latency histograms on the hot path,
+// plus GaugeFuncs over the existing Stats counters (retained, reported,
+// appended, purged, evicted, next_seq). No-op when reg is nil. Call
+// before the store starts taking appends.
+func (s *Store) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	tel := storeTel{
+		appendUS:     reg.Histogram(prefix+".append_us", nil),
+		flushUS:      reg.Histogram(prefix+".flush_us", nil),
+		journalBytes: reg.Counter(prefix + ".journal_bytes"),
+	}
+	s.mu.Lock()
+	s.tel = tel
+	s.mu.Unlock()
+	reg.GaugeFunc(prefix+".retained", func() float64 { return float64(s.Stats().Retained) })
+	reg.GaugeFunc(prefix+".reported", func() float64 { return float64(s.Stats().Reported) })
+	reg.GaugeFunc(prefix+".appended", func() float64 { return float64(s.Stats().Appended) })
+	reg.GaugeFunc(prefix+".purged", func() float64 { return float64(s.Stats().Purged) })
+	reg.GaugeFunc(prefix+".evicted", func() float64 { return float64(s.Stats().Evicted) })
+	reg.GaugeFunc(prefix+".next_seq", func() float64 { return float64(s.Stats().NextSeq) })
+}
+
+// RegisterTelemetry mirrors every shard under "<prefix>.p<i>" — the
+// per-partition append/fsync latency and journal-byte surface — plus
+// engine-wide aggregates under the bare prefix. No-op when reg is nil.
+func (s *Sharded) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	for i, sh := range s.shards {
+		sh.RegisterTelemetry(reg, fmt.Sprintf("%s.p%d", prefix, i))
+	}
+	reg.GaugeFunc(prefix+".partitions", func() float64 { return float64(len(s.shards)) })
+	reg.GaugeFunc(prefix+".retained", func() float64 { return float64(s.Stats().Retained) })
+	reg.GaugeFunc(prefix+".appended", func() float64 { return float64(s.Stats().Appended) })
+}
+
+// RegisterEngineTelemetry mirrors any Engine into reg: Stores and Sharded
+// engines get their full per-partition surface; other engines get
+// GaugeFuncs over the generic Stats counters. No-op when reg is nil.
+func RegisterEngineTelemetry(reg *telemetry.Registry, prefix string, e Engine) {
+	if reg == nil || e == nil {
+		return
+	}
+	switch eng := e.(type) {
+	case *Store:
+		eng.RegisterTelemetry(reg, prefix+".p0")
+	case *Sharded:
+		eng.RegisterTelemetry(reg, prefix)
+	default:
+		reg.GaugeFunc(prefix+".retained", func() float64 { return float64(e.Stats().Retained) })
+		reg.GaugeFunc(prefix+".appended", func() float64 { return float64(e.Stats().Appended) })
+		reg.GaugeFunc(prefix+".purged", func() float64 { return float64(e.Stats().Purged) })
+	}
+}

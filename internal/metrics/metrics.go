@@ -32,6 +32,13 @@ func CPUTimes() (user, system time.Duration, err error) {
 	if err != nil && line == "" {
 		return 0, 0, err
 	}
+	return parseStatCPU(line)
+}
+
+// parseStatCPU extracts utime and stime from a /proc/<pid>/stat line.
+// Split out of CPUTimes so malformed-input handling is testable without
+// procfs.
+func parseStatCPU(line string) (user, system time.Duration, err error) {
 	// Field 2 (comm) may contain spaces; skip past the closing paren.
 	idx := strings.LastIndex(line, ")")
 	if idx < 0 {
@@ -44,11 +51,43 @@ func CPUTimes() (user, system time.Duration, err error) {
 		return 0, 0, fmt.Errorf("metrics: short /proc/self/stat")
 	}
 	const hz = 100 // USER_HZ; universally 100 on Linux
-	parse := func(s string) time.Duration {
-		v, _ := strconv.ParseUint(s, 10, 64)
-		return time.Duration(v) * time.Second / hz
+	parse := func(s, name string) (time.Duration, error) {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("metrics: /proc/self/stat %s %q: %w", name, s, err)
+		}
+		return time.Duration(v) * time.Second / hz, nil
 	}
-	return parse(fields[11]), parse(fields[12]), nil
+	if user, err = parse(fields[11], "utime"); err != nil {
+		return 0, 0, err
+	}
+	if system, err = parse(fields[12], "stime"); err != nil {
+		return 0, 0, err
+	}
+	return user, system, nil
+}
+
+// RSSPeakBytes returns the process's peak resident set (VmHWM from
+// /proc/self/status), or 0 when unavailable — the Table VII memory
+// ceiling.
+func RSSPeakBytes() uint64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "VmHWM:") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				kb, _ := strconv.ParseUint(fields[1], 10, 64)
+				return kb << 10
+			}
+		}
+	}
+	return 0
 }
 
 // TotalMemoryBytes returns the machine's total memory from /proc/meminfo,

@@ -25,6 +25,42 @@ func TestCPUTimes(t *testing.T) {
 	}
 }
 
+func TestParseStatCPU(t *testing.T) {
+	// 52-field stat line with comm containing spaces and parens; after the
+	// closing paren, utime is field 11 and stime field 12 (0-based).
+	good := "1234 (a (weird) comm) S 1 1 1 0 -1 4194560 100 0 0 0 250 150 0 0 20 0 1 0 100 0 0 18446744073709551615 0 0 0 0 0 0 0 0 0 0 0 0 17 0 0 0 0 0 0 0 0 0 0 0 0\n"
+	u, s, err := parseStatCPU(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 2500*time.Millisecond || s != 1500*time.Millisecond {
+		t.Errorf("utime=%v stime=%v, want 2.5s/1.5s", u, s)
+	}
+
+	// Malformed numeric fields must surface an error, not parse as zero.
+	for name, line := range map[string]string{
+		"no-paren":  "1234 comm S 1 1\n",
+		"short":     "1234 (c) S 1 2 3\n",
+		"bad-utime": "1234 (c) S 1 1 1 0 -1 4194560 100 0 0 0 XX 150 0 0 20 0 1 0 100 0 0\n",
+		"bad-stime": "1234 (c) S 1 1 1 0 -1 4194560 100 0 0 0 250 XX 0 0 20 0 1 0 100 0 0\n",
+		"neg-utime": "1234 (c) S 1 1 1 0 -1 4194560 100 0 0 0 -5 150 0 0 20 0 1 0 100 0 0\n",
+	} {
+		if _, _, err := parseStatCPU(line); err == nil {
+			t.Errorf("%s: parse accepted malformed line %q", name, line)
+		}
+	}
+}
+
+func TestRSSPeakBytes(t *testing.T) {
+	peak := RSSPeakBytes()
+	if peak == 0 {
+		t.Skip("no VmHWM in /proc/self/status")
+	}
+	if peak < 1<<20 {
+		t.Errorf("implausible RSS peak %d", peak)
+	}
+}
+
 func TestHeapBytes(t *testing.T) {
 	if HeapBytes() == 0 {
 		t.Error("heap reported as zero")

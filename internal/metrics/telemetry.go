@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"runtime"
+
+	"fsmonitor/internal/telemetry"
+)
+
+// Register mirrors process-wide resource usage into reg as fsmon.process.*
+// gauges — the live counterpart of the Table IV/VII resource columns. All
+// are GaugeFuncs sampled at snapshot time (a procfs read or a MemStats
+// read per snapshot, nothing continuous). No-op when reg is nil.
+func Register(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("fsmon.process.cpu_user_us", func() float64 {
+		u, _, err := CPUTimes()
+		if err != nil {
+			return -1
+		}
+		return float64(u.Microseconds())
+	})
+	reg.GaugeFunc("fsmon.process.cpu_system_us", func() float64 {
+		_, s, err := CPUTimes()
+		if err != nil {
+			return -1
+		}
+		return float64(s.Microseconds())
+	})
+	reg.GaugeFunc("fsmon.process.heap_bytes", func() float64 {
+		return float64(HeapBytes())
+	})
+	reg.GaugeFunc("fsmon.process.rss_peak_bytes", func() float64 {
+		return float64(RSSPeakBytes())
+	})
+	reg.GaugeFunc("fsmon.process.goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+}

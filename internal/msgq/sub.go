@@ -386,6 +386,13 @@ func (s *Sub) runTCP(c *subConn) bool {
 	}
 }
 
+// Depth returns the current receive-channel backlog — the queue-depth
+// signal a deployment watches to spot a consumer falling behind.
+func (s *Sub) Depth() int { return len(s.out) }
+
+// Cap returns the receive-channel capacity.
+func (s *Sub) Cap() int { return cap(s.out) }
+
 // Received returns messages received over TCP connections.
 func (s *Sub) Received() uint64 {
 	s.mu.Lock()

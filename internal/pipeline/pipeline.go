@@ -27,6 +27,7 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -154,10 +155,26 @@ func (p *Pipeline) StageStats(name string) Stats {
 }
 
 func (p *Pipeline) newStage(name string) *stage {
-	st := &stage{name: name}
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Stage names must be unique within a pipeline: StageStats returns the
+	// first match, so a repeated name would silently shadow the earlier
+	// stage's snapshot (and collide in any telemetry namespace built from
+	// stage names). Suffix repeats as "name#2", "name#3", ...
+	base, n := name, 1
+	for taken := true; taken; {
+		taken = false
+		for _, s := range p.stages {
+			if s.name == name {
+				n++
+				name = fmt.Sprintf("%s#%d", base, n)
+				taken = true
+				break
+			}
+		}
+	}
+	st := &stage{name: name}
 	p.stages = append(p.stages, st)
-	p.mu.Unlock()
 	return st
 }
 

@@ -401,3 +401,41 @@ func TestStatsTrackBackpressure(t *testing.T) {
 		t.Fatal("expected nonzero queue high-water mark")
 	}
 }
+
+func TestDuplicateStageNamesGetSuffixed(t *testing.T) {
+	p := New(context.Background())
+	src := Source(p, "gen", 8, func(_ context.Context, emit func(int) bool) error {
+		for i := 0; i < 10; i++ {
+			if !emit(i) {
+				return nil
+			}
+		}
+		return nil
+	})
+	// Two stages registered under the same name: the second must not
+	// shadow the first in StageStats or collide in telemetry namespaces.
+	a := Map(p, "work", 8, src, func(_ context.Context, v int) (int, bool) { return v, true })
+	b := Map(p, "work", 8, a, func(_ context.Context, v int) (int, bool) { return v, v%2 == 0 })
+	Sink(p, "sink", b, func(_ context.Context, _ int) {})
+	p.Wait()
+
+	names := make([]string, 0, 4)
+	for _, st := range p.Stats() {
+		names = append(names, st.Name)
+	}
+	want := []string{"gen", "work", "work#2", "sink"}
+	if len(names) != len(want) {
+		t.Fatalf("stages = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", names, want)
+		}
+	}
+	if st := p.StageStats("work"); st.Out != 10 {
+		t.Errorf("work out = %d, want 10", st.Out)
+	}
+	if st := p.StageStats("work#2"); st.In != 10 || st.Out != 5 {
+		t.Errorf("work#2 in/out = %d/%d, want 10/5", st.In, st.Out)
+	}
+}

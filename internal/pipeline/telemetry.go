@@ -1,0 +1,35 @@
+package pipeline
+
+import (
+	"fsmonitor/internal/telemetry"
+)
+
+// RegisterTelemetry mirrors every stage of p into reg under prefix, one
+// gauge per counter:
+//
+//	<prefix>.<stage>.in          items received from upstream
+//	<prefix>.<stage>.out         items emitted downstream
+//	<prefix>.<stage>.queue_peak  output-queue high-water mark
+//	<prefix>.<stage>.blocked_us  cumulative backpressure stall
+//
+// The gauges are GaugeFuncs over the stages' existing atomic counters, so
+// registration adds nothing to the hot path — the cost is paid by whoever
+// snapshots. Call after the pipeline's stages are constructed (stage
+// registration order is construction order). No-op when reg is nil.
+func (p *Pipeline) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	p.mu.Lock()
+	stages := make([]*stage, len(p.stages))
+	copy(stages, p.stages)
+	p.mu.Unlock()
+	for _, st := range stages {
+		st := st
+		base := prefix + "." + st.name
+		reg.GaugeFunc(base+".in", func() float64 { return float64(st.in.Load()) })
+		reg.GaugeFunc(base+".out", func() float64 { return float64(st.out.Load()) })
+		reg.GaugeFunc(base+".queue_peak", func() float64 { return float64(st.queuePeak.Load()) })
+		reg.GaugeFunc(base+".blocked_us", func() float64 { return float64(st.blockedNs.Load()) / 1e3 })
+	}
+}

@@ -1,0 +1,33 @@
+package resolve
+
+import (
+	"fsmonitor/internal/telemetry"
+)
+
+// RegisterTelemetry mirrors the resolver into reg under prefix (e.g.
+// "fsmon.collector.mdt0.resolver"): backend call/stale/error counts,
+// worker utilization, and — when caching is on — the cache's hit rate,
+// negative hits, and singleflight coalescing. All GaugeFuncs over the
+// resolver's existing counters; the translation hot path is untouched.
+// No-op when reg is nil.
+func (r *Resolver) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc(prefix+".fid2path_calls", func() float64 { return float64(r.calls.Load()) })
+	reg.GaugeFunc(prefix+".fid2path_stale", func() float64 { return float64(r.stale.Load()) })
+	reg.GaugeFunc(prefix+".fid2path_errors", func() float64 { return float64(r.errs.Load()) })
+	reg.GaugeFunc(prefix+".workers", func() float64 { return float64(r.opts.Workers) })
+	reg.GaugeFunc(prefix+".utilization", func() float64 { return r.Utilization() })
+	if r.cache == nil {
+		return
+	}
+	reg.GaugeFunc(prefix+".cache.hit_rate", func() float64 { return r.cache.Stats().HitRate() })
+	reg.GaugeFunc(prefix+".cache.hits", func() float64 { return float64(r.cache.Stats().Hits) })
+	reg.GaugeFunc(prefix+".cache.misses", func() float64 { return float64(r.cache.Stats().Misses) })
+	reg.GaugeFunc(prefix+".cache.len", func() float64 { return float64(r.cache.Stats().Len) })
+	reg.GaugeFunc(prefix+".cache.neg_hits", func() float64 { return float64(r.cache.Stats().NegHits) })
+	reg.GaugeFunc(prefix+".cache.coalesced", func() float64 { return float64(r.cache.Stats().Coalesced) })
+	reg.GaugeFunc(prefix+".cache.loads", func() float64 { return float64(r.cache.Stats().Loads) })
+	reg.GaugeFunc(prefix+".cache.load_errors", func() float64 { return float64(r.cache.Stats().LoadErrors) })
+}

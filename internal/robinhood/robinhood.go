@@ -13,6 +13,7 @@ package robinhood
 
 import (
 	"errors"
+	"log/slog"
 	"path"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 	"fsmonitor/internal/lustre"
 	"fsmonitor/internal/pace"
 	"fsmonitor/internal/resolve"
+	"fsmonitor/internal/telemetry"
 )
 
 // Options configures a Robinhood server.
@@ -49,6 +51,13 @@ type Options struct {
 	IdleWait time.Duration
 	// Store is the local database (nil = in-memory).
 	Store *eventstore.Store
+	// Telemetry, when non-nil, mirrors the server into the unified
+	// registry under fsmon.robinhood.* — the comparison system reports
+	// through the same namespace as the scalable monitor, so §V-D5
+	// head-to-heads read off one snapshot. Nil costs nothing.
+	Telemetry *telemetry.Registry
+	// Logger receives component-tagged structured logs; nil discards.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +104,7 @@ type Server struct {
 	ownStore bool
 	cache    *lru.Cache[lustre.FID, string]
 	throttle *pace.Throttle
+	slog     *slog.Logger
 
 	mu    sync.Mutex
 	rules []Rule
@@ -135,9 +145,30 @@ func New(opts Options) (*Server, error) {
 	if opts.CacheSize > 0 {
 		s.cache = lru.New[lustre.FID, string](opts.CacheSize)
 	}
+	s.slog = telemetry.ComponentLogger(opts.Logger, "robinhood")
+	s.registerTelemetry(opts.Telemetry)
 	s.wg.Add(1)
 	go s.run()
 	return s, nil
+}
+
+// registerTelemetry mirrors the server's counters into reg under
+// fsmon.robinhood.*. All GaugeFuncs — the round-robin loop is untouched.
+func (s *Server) registerTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	const prefix = "fsmon.robinhood"
+	reg.GaugeFunc(prefix+".processed", func() float64 { return float64(s.processed.Load()) })
+	reg.GaugeFunc(prefix+".fid2path_calls", func() float64 { return float64(s.fidCalls.Load()) })
+	reg.GaugeFunc(prefix+".rules_fired", func() float64 { return float64(s.rulesFired.Load()) })
+	reg.GaugeFunc(prefix+".utilization", func() float64 { return s.throttle.Utilization() })
+	s.store.RegisterTelemetry(reg, prefix+".store")
+	if s.cache == nil {
+		return
+	}
+	reg.GaugeFunc(prefix+".cache.hit_rate", func() float64 { return s.cache.Stats().HitRate() })
+	reg.GaugeFunc(prefix+".cache.len", func() float64 { return float64(s.cache.Stats().Len) })
 }
 
 // AddRule installs a policy rule.
@@ -159,6 +190,7 @@ func (s *Server) run() {
 	for i := 0; i < n; i++ {
 		log, err := s.cluster.Changelog(i)
 		if err != nil {
+			s.slog.Error("changelog attach failed, server stopping", "mdt", i, "err", err)
 			return
 		}
 		logs[i] = log
@@ -188,6 +220,7 @@ func (s *Server) run() {
 				for _, e := range s.processRecord(r) {
 					seq, err := s.store.Append(e)
 					if err != nil {
+						s.slog.Error("store append failed, server stopping", "mdt", i, "err", err)
 						return
 					}
 					e.Seq = seq

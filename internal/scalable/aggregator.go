@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"log/slog"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"fsmonitor/internal/msgq"
 	"fsmonitor/internal/pace"
 	"fsmonitor/internal/pipeline"
+	"fsmonitor/internal/telemetry"
 )
 
 // Aggregator topics.
@@ -64,6 +66,12 @@ type AggregatorOptions struct {
 	// Context aborts the aggregator when canceled (Close remains the
 	// graceful path). Nil means Background.
 	Context context.Context
+	// Telemetry, when non-nil, mirrors the aggregator into the unified
+	// registry under "fsmon.aggregator" (and the engine under
+	// "fsmon.store.p<i>"). Nil (the default) costs nothing.
+	Telemetry *telemetry.Registry
+	// Logger receives component-tagged structured logs; nil discards.
+	Logger *slog.Logger
 }
 
 func (o AggregatorOptions) withDefaults() AggregatorOptions {
@@ -124,6 +132,11 @@ type Aggregator struct {
 	received  atomic.Uint64
 	published atomic.Uint64
 	stored    atomic.Uint64
+
+	slog             *slog.Logger
+	storeUS          *telemetry.Histogram // per-batch store-lane wall time
+	captureToStoreUS *telemetry.Histogram // capture stamp → store append
+	republishUS      *telemetry.Histogram // capture stamp → republished
 
 	closeOnce sync.Once
 }
@@ -198,13 +211,61 @@ func NewAggregator(opts AggregatorOptions) (*Aggregator, error) {
 		return nil, err
 	}
 
+	a.slog = telemetry.ComponentLogger(opts.Logger, "aggregator")
+	a.initTelemetry(opts.Telemetry)
+
 	a.pipe = pipeline.New(opts.Context)
 	intake := pipeline.Source(a.pipe, "subscribe", pipeline.DefaultBatchDepth, a.intakeLoop)
 	parted := pipeline.Expand(a.pipe, "partition", pipeline.DefaultBatchDepth, intake, a.partitionBatch)
 	stamped := pipeline.ShardN(a.pipe, "store", pipeline.DefaultBatchDepth, parts, parted,
 		func(pb partBatch) int { return pb.part }, a.storeLane())
 	pipeline.Sink(a.pipe, "republish", stamped, a.republishBatch)
+	a.registerTelemetry(opts.Telemetry)
+	a.slog.Debug("aggregator started", "endpoint", a.pub.Addr(), "partitions", parts)
 	return a, nil
+}
+
+// initTelemetry creates the latency histograms on the store/republish hot
+// path (both local lane time and cumulative time since the collector's
+// capture stamp). It must run before the pipeline is built: lane
+// goroutines read these fields without synchronization. No-op when reg is
+// nil.
+func (a *Aggregator) initTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	const prefix = "fsmon.aggregator"
+	a.storeUS = reg.Histogram(prefix+".store_us", nil)
+	a.captureToStoreUS = reg.Histogram(prefix+".capture_to_store_us", nil)
+	a.republishUS = reg.Histogram(prefix+".capture_to_republish_us", nil)
+}
+
+// registerTelemetry mirrors the aggregator into reg: the engine's
+// per-partition surface under "fsmon.store" and GaugeFunc mirrors of the
+// existing counters. Runs after the pipeline is built so the mirrors can
+// close over live stages. No-op when reg is nil.
+func (a *Aggregator) registerTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	const prefix = "fsmon.aggregator"
+	reg.GaugeFunc(prefix+".received", func() float64 { return float64(a.received.Load()) })
+	reg.GaugeFunc(prefix+".published", func() float64 { return float64(a.published.Load()) })
+	reg.GaugeFunc(prefix+".stored", func() float64 { return float64(a.stored.Load()) })
+	reg.GaugeFunc(prefix+".partitions", func() float64 { return float64(a.parts) })
+	reg.GaugeFunc(prefix+".utilization", func() float64 {
+		var total float64
+		for _, t := range a.throttles {
+			total += t.Utilization()
+		}
+		return total
+	})
+	a.pipe.RegisterTelemetry(reg, prefix+".pipeline")
+	msgq.RegisterPubTelemetry(reg, prefix+".pub", a.pub)
+	msgq.RegisterSubTelemetry(reg, prefix+".sub", a.sub)
+	if a.engine != nil {
+		eventstore.RegisterEngineTelemetry(reg, "fsmon.store", a.engine)
+	}
 }
 
 // Endpoint returns the aggregator's publisher endpoint.
@@ -227,13 +288,17 @@ type partBatch struct {
 	part    int
 	payload []byte
 	evs     []events.Event
+	stamp   int64 // capture stamp for the decoded path (payloads carry their own)
 }
 
-// repBatch is a stamped, re-encoded batch ready to republish.
+// repBatch is a stamped, re-encoded batch ready to republish. stamp is
+// the batch's capture mark, carried so the republish stage can record
+// cumulative latency without re-decoding the payload.
 type repBatch struct {
 	part    int
 	payload []byte
 	n       int
+	stamp   int64
 }
 
 // intakeLoop is the subscribe source stage ("When an event arrives to the
@@ -279,8 +344,9 @@ func (a *Aggregator) partitionBatch(_ context.Context, rb rawBatch, emit func(pa
 		emit(partBatch{part: rb.mdt % a.parts, payload: rb.payload})
 		return
 	}
-	batch, err := events.UnmarshalBatch(rb.payload)
+	batch, stamp, err := events.UnmarshalBatchStamped(rb.payload)
 	if err != nil {
+		a.slog.Warn("dropping undecodable batch", "bytes", len(rb.payload), "err", err)
 		return
 	}
 	split := make([][]events.Event, a.parts)
@@ -292,7 +358,7 @@ func (a *Aggregator) partitionBatch(_ context.Context, rb rawBatch, emit func(pa
 		if len(evs) == 0 {
 			continue
 		}
-		if !emit(partBatch{part: p, evs: evs}) {
+		if !emit(partBatch{part: p, evs: evs, stamp: stamp}) {
 			return
 		}
 	}
@@ -305,11 +371,16 @@ func (a *Aggregator) partitionBatch(_ context.Context, rb rawBatch, emit func(pa
 // so the DisableStore counters need no locking.
 func (a *Aggregator) storeLane() func(context.Context, partBatch) (repBatch, bool) {
 	return func(_ context.Context, pb partBatch) (repBatch, bool) {
-		evs := pb.evs
+		var start time.Time
+		if a.storeUS != nil {
+			start = time.Now()
+		}
+		evs, stamp := pb.evs, pb.stamp
 		if evs == nil {
 			var err error
-			evs, err = events.UnmarshalBatch(pb.payload)
+			evs, stamp, err = events.UnmarshalBatchStamped(pb.payload)
 			if err != nil {
+				a.slog.Warn("dropping undecodable batch", "partition", pb.part, "bytes", len(pb.payload), "err", err)
 				return repBatch{}, false
 			}
 		}
@@ -322,6 +393,7 @@ func (a *Aggregator) storeLane() func(context.Context, partBatch) (repBatch, boo
 			if _, err := a.engine.AppendBatchPartition(pb.part, evs); err != nil {
 				// Store rejection (e.g. capacity): drop the batch but
 				// keep the service alive for subsequent ones.
+				a.slog.Error("store append failed, dropping batch", "partition", pb.part, "events", len(evs), "err", err)
 				return repBatch{}, false
 			}
 		} else {
@@ -334,11 +406,18 @@ func (a *Aggregator) storeLane() func(context.Context, partBatch) (repBatch, boo
 			}
 		}
 		a.stored.Add(uint64(len(evs)))
-		payload, err := events.MarshalBatch(evs)
+		if a.storeUS != nil {
+			a.storeUS.ObserveSince(start)
+			if us := telemetry.SinceStampUS(stamp); us >= 0 {
+				a.captureToStoreUS.Observe(us)
+			}
+		}
+		payload, err := events.MarshalBatchStamped(evs, stamp)
 		if err != nil {
+			a.slog.Error("dropping unencodable batch", "partition", pb.part, "events", len(evs), "err", err)
 			return repBatch{}, false
 		}
-		return repBatch{part: pb.part, payload: payload, n: len(evs)}, true
+		return repBatch{part: pb.part, payload: payload, n: len(evs), stamp: stamp}, true
 	}
 }
 
@@ -355,6 +434,11 @@ func (a *Aggregator) republishBatch(ctx context.Context, rb repBatch) {
 	}
 	a.pub.PublishCtx(ctx, topic, rb.payload)
 	a.published.Add(uint64(rb.n))
+	if a.republishUS != nil {
+		if us := telemetry.SinceStampUS(rb.stamp); us >= 0 {
+			a.republishUS.Observe(us)
+		}
+	}
 }
 
 // Since serves the consumer fault-recovery API: events with sequence

@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"fsmonitor/internal/msgq"
 	"fsmonitor/internal/pipeline"
 	"fsmonitor/internal/resolve"
+	"fsmonitor/internal/telemetry"
 )
 
 // TopicPrefix is the message-queue topic prefix for collector event
@@ -93,6 +95,12 @@ type CollectorOptions struct {
 	// Context aborts the collector when canceled (Close remains the
 	// graceful path). Nil means Background.
 	Context context.Context
+	// Telemetry, when non-nil, mirrors the collector into the unified
+	// registry under "fsmon.collector.mdt<N>" and records per-stage
+	// latency histograms. Nil (the default) costs nothing.
+	Telemetry *telemetry.Registry
+	// Logger receives component-tagged structured logs; nil discards.
+	Logger *slog.Logger
 }
 
 func (o CollectorOptions) withDefaults() CollectorOptions {
@@ -134,10 +142,13 @@ type CollectorStats struct {
 }
 
 // readBatch is one Changelog read travelling between stages: the raw
-// records plus the purge cursor covering them.
+// records, the purge cursor covering them, and the wall-clock capture
+// stamp carried on the published batch for latency tracing (0 when the
+// collector is untraced).
 type readBatch struct {
 	recs  []lustre.Record
 	since uint64
+	stamp int64
 }
 
 // pubBatch is a resolved batch awaiting publication; evs may be empty
@@ -146,6 +157,7 @@ type readBatch struct {
 type pubBatch struct {
 	evs   []events.Event
 	since uint64
+	stamp int64
 }
 
 // Collector extracts, processes, and publishes one MDS's events as a
@@ -163,6 +175,11 @@ type Collector struct {
 
 	recordsRead atomic.Uint64
 	published   atomic.Uint64
+
+	slog      *slog.Logger
+	traced    bool                 // stamp batches at capture (telemetry attached)
+	resolveUS *telemetry.Histogram // per-batch resolve stage wall time
+	publishUS *telemetry.Histogram // per-batch publish stage wall time
 
 	closeOnce sync.Once
 }
@@ -203,12 +220,49 @@ func NewCollector(opts CollectorOptions) (*Collector, error) {
 		pool:  pipeline.NewSlicePool[events.Event](opts.BatchSize, 0),
 	}
 	c.reader = log.Register()
+	c.slog = telemetry.ComponentLogger(opts.Logger, "collector", "mdt", opts.MDT)
+	c.initTelemetry(opts.Telemetry)
 
 	c.pipe = pipeline.New(opts.Context)
 	read := pipeline.Source(c.pipe, "changelog-read", pipeline.DefaultBatchDepth, c.readLoop)
 	resolved := pipeline.MapN(c.pipe, "resolve", pipeline.DefaultBatchDepth, opts.ResolveWorkers, read, c.resolveBatch)
 	pipeline.Sink(c.pipe, "publish", resolved, c.publishBatch)
+	c.registerTelemetry(opts.Telemetry)
+	c.slog.Debug("collector started", "endpoint", c.pub.Addr(), "workers", opts.ResolveWorkers)
 	return c, nil
+}
+
+// initTelemetry creates the hot-path instruments and arms capture
+// stamping. It must run before the pipeline is built: stage goroutines
+// read these fields without synchronization, so they have to be in place
+// before any stage starts. No-op when reg is nil — untraced collectors
+// publish unstamped batches and pay no wire or clock cost.
+func (c *Collector) initTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := fmt.Sprintf("fsmon.collector.mdt%d", c.opts.MDT)
+	c.resolveUS = reg.Histogram(prefix+".resolve_us", nil)
+	c.publishUS = reg.Histogram(prefix+".publish_us", nil)
+	c.traced = true
+}
+
+// registerTelemetry mirrors the collector into reg under
+// "fsmon.collector.mdt<N>": GaugeFunc mirrors of every existing counter
+// (pipeline stages, resolver, cache, publisher fan-out). Runs after the
+// pipeline is built so the mirrors can close over live stages. No-op when
+// reg is nil.
+func (c *Collector) registerTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := fmt.Sprintf("fsmon.collector.mdt%d", c.opts.MDT)
+	reg.GaugeFunc(prefix+".records_read", func() float64 { return float64(c.recordsRead.Load()) })
+	reg.GaugeFunc(prefix+".events_published", func() float64 { return float64(c.published.Load()) })
+	reg.GaugeFunc(prefix+".changelog_lag", func() float64 { return float64(c.log.Len()) })
+	c.res.RegisterTelemetry(reg, prefix+".resolver")
+	c.pipe.RegisterTelemetry(reg, prefix+".pipeline")
+	msgq.RegisterPubTelemetry(reg, prefix+".pub", c.pub)
 }
 
 // Endpoint returns the publisher endpoint consumers should connect to.
@@ -250,7 +304,17 @@ func (c *Collector) readLoop(ctx context.Context, emit func(readBatch) bool) err
 		}
 		since = recs[len(recs)-1].Index
 		c.recordsRead.Add(uint64(len(recs)))
-		if !emit(readBatch{recs: recs, since: since}) {
+		// With telemetry attached, stamp the batch at capture: the
+		// published batch carries this wall-clock mark, so downstream
+		// tiers (and other processes) can measure latency from this
+		// moment. Untraced collectors leave the stamp at zero, which
+		// keeps the wire encoding byte-identical to an uninstrumented
+		// build.
+		var stamp int64
+		if c.traced {
+			stamp = telemetry.Stamp()
+		}
+		if !emit(readBatch{recs: recs, since: since, stamp: stamp}) {
 			return nil
 		}
 	}
@@ -262,12 +326,19 @@ func (c *Collector) readLoop(ctx context.Context, emit func(readBatch) bool) err
 // ResolveWorkers batches resolve concurrently (MapN re-sequences the
 // outputs, so publish order stays Changelog order).
 func (c *Collector) resolveBatch(_ context.Context, rb readBatch) (pubBatch, bool) {
+	var start time.Time
+	if c.resolveUS != nil {
+		start = time.Now()
+	}
 	evs := c.res.TranslateBatch(c.pool.Get(), rb.recs)
+	if c.resolveUS != nil {
+		c.resolveUS.ObserveSince(start)
+	}
 	if len(evs) == 0 {
 		c.pool.Put(evs)
 		return pubBatch{since: rb.since}, true
 	}
-	return pubBatch{evs: evs, since: rb.since}, true
+	return pubBatch{evs: evs, since: rb.since, stamp: rb.stamp}, true
 }
 
 // publishBatch is the publish sink stage: marshal, publish to at least
@@ -279,7 +350,15 @@ func (c *Collector) resolveBatch(_ context.Context, rb readBatch) (pubBatch, boo
 func (c *Collector) publishBatch(ctx context.Context, pb pubBatch) {
 	purge := true
 	if len(pb.evs) > 0 {
-		if payload, err := events.MarshalBatch(pb.evs); err == nil {
+		var start time.Time
+		if c.publishUS != nil {
+			start = time.Now()
+		}
+		if payload, err := events.MarshalBatchStamped(pb.evs, pb.stamp); err != nil {
+			// An unencodable batch is dropped (and its cursor purged so the
+			// collector is not wedged re-reading it) — surface that loudly.
+			c.slog.Error("dropping unencodable batch", "events", len(pb.evs), "err", err)
+		} else {
 			published := false
 			for !published {
 				if err := c.pub.WaitSubscribed(ctx); err != nil {
@@ -304,12 +383,17 @@ func (c *Collector) publishBatch(ctx context.Context, pb pubBatch) {
 			}
 			if published {
 				c.published.Add(uint64(len(pb.evs)))
+				if c.publishUS != nil {
+					c.publishUS.ObserveSince(start)
+				}
 			}
 		}
 		c.pool.Put(pb.evs)
 	}
 	if purge {
-		_ = c.log.Clear(c.reader, pb.since)
+		if err := c.log.Clear(c.reader, pb.since); err != nil {
+			c.slog.Warn("changelog purge failed", "since", pb.since, "err", err)
+		}
 	}
 }
 

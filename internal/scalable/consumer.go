@@ -3,6 +3,8 @@ package scalable
 import (
 	"context"
 	"errors"
+	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"fsmonitor/internal/msgq"
 	"fsmonitor/internal/pace"
 	"fsmonitor/internal/pipeline"
+	"fsmonitor/internal/telemetry"
 )
 
 // ConsumerOptions configures a consumer service.
@@ -51,6 +54,15 @@ type ConsumerOptions struct {
 	// Context aborts the consumer when canceled (Close remains the
 	// graceful path). Nil means Background.
 	Context context.Context
+	// Telemetry, when non-nil, mirrors the consumer into the unified
+	// registry under "fsmon.consumer": end-to-end latency from the
+	// collector's capture stamp, delivery lag against event record time,
+	// and per-partition cursor-vs-head distance — the operational signals
+	// the paper's lag experiment (Fig. 9) measures externally. Nil (the
+	// default) costs nothing.
+	Telemetry *telemetry.Registry
+	// Logger receives component-tagged structured logs; nil discards.
+	Logger *slog.Logger
 }
 
 // RecoverySource serves historic events after a sequence number.
@@ -101,6 +113,10 @@ type Consumer struct {
 	received  atomic.Uint64
 	delivered atomic.Uint64
 	recovered atomic.Uint64
+
+	slog  *slog.Logger
+	e2eUS *telemetry.Histogram // capture stamp → delivered to application
+	lagUS *telemetry.Gauge     // now - event record time at delivery
 
 	closeOnce sync.Once
 }
@@ -199,10 +215,66 @@ func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 		return nil, err
 	}
 
+	c.slog = telemetry.ComponentLogger(opts.Logger, "consumer")
+	c.initTelemetry(opts.Telemetry)
 	c.pipe = pipeline.New(opts.Context)
 	intake := pipeline.Source(c.pipe, "subscribe", pipeline.DefaultBatchDepth, c.intakeLoop)
 	pipeline.Sink(c.pipe, "filter-deliver", intake, c.deliverBatch)
+	c.registerTelemetry(opts.Telemetry)
 	return c, nil
+}
+
+// initTelemetry creates the end-to-end latency histogram and delivery-lag
+// gauge recorded at deliverBatch. It must run before the pipeline is
+// built: the sink goroutine reads these fields without synchronization.
+// No-op when reg is nil.
+func (c *Consumer) initTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	const prefix = "fsmon.consumer"
+	c.e2eUS = reg.Histogram(prefix+".e2e_us", nil)
+	c.lagUS = reg.Gauge(prefix + ".lag_us")
+}
+
+// registerTelemetry mirrors the consumer into reg under "fsmon.consumer":
+// GaugeFunc mirrors of the existing counters, and — when the recovery
+// source exposes its per-partition head — cursor-vs-head distance gauges
+// ("how many events behind is this consumer in partition i"). Runs after
+// the pipeline is built. No-op when reg is nil.
+func (c *Consumer) registerTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	const prefix = "fsmon.consumer"
+	reg.GaugeFunc(prefix+".received", func() float64 { return float64(c.received.Load()) })
+	reg.GaugeFunc(prefix+".delivered", func() float64 { return float64(c.delivered.Load()) })
+	reg.GaugeFunc(prefix+".recovered", func() float64 { return float64(c.recovered.Load()) })
+	reg.GaugeFunc(prefix+".last_seq", func() float64 { return float64(c.LastSeq()) })
+	c.pipe.RegisterTelemetry(reg, prefix+".pipeline")
+	msgq.RegisterSubTelemetry(reg, prefix+".sub", c.sub)
+	head, ok := c.opts.Recover.(interface{ LastSeqVector() []uint64 })
+	if !ok {
+		return
+	}
+	for i := 0; i < c.parts; i++ {
+		i := i
+		reg.GaugeFunc(fmt.Sprintf("%s.cursor_lag.p%d", prefix, i), func() float64 {
+			hv := head.LastSeqVector()
+			if i >= len(hv) {
+				return 0
+			}
+			c.mu.Lock()
+			cur := c.cursors[i]
+			c.mu.Unlock()
+			if hv[i] <= cur {
+				return 0
+			}
+			// Seqs within a partition advance by the stride (= partition
+			// count), so the raw seq gap over-counts by that factor.
+			return float64((hv[i] - cur) / uint64(c.parts))
+		})
+	}
 }
 
 // recoverHistory replays missed events, preferring the partition-aware
@@ -227,18 +299,26 @@ func (c *Consumer) filterEvent(e events.Event) bool {
 	return c.opts.Filter.Match(e)
 }
 
+// conBatch is one decoded batch in flight to the application, paired with
+// its capture stamp (0 = untraced).
+type conBatch struct {
+	evs   []events.Event
+	stamp int64
+}
+
 // intakeLoop is the subscribe source stage.
-func (c *Consumer) intakeLoop(ctx context.Context, emit func([]events.Event) bool) error {
+func (c *Consumer) intakeLoop(ctx context.Context, emit func(conBatch) bool) error {
 	for {
 		m, ok := c.sub.Recv(ctx)
 		if !ok {
 			return nil
 		}
-		batch, err := events.UnmarshalBatch(m.Payload)
+		batch, stamp, err := events.UnmarshalBatchStamped(m.Payload)
 		if err != nil {
+			c.slog.Warn("dropping undecodable batch", "topic", m.Topic, "bytes", len(m.Payload), "err", err)
 			continue
 		}
-		if !emit(batch) {
+		if !emit(conBatch{evs: batch, stamp: stamp}) {
 			return nil
 		}
 	}
@@ -248,7 +328,8 @@ func (c *Consumer) intakeLoop(ctx context.Context, emit func([]events.Event) boo
 // recovery/live overlap window against the owning partition's cursor,
 // apply the client-side filter in place (the batch is owned by the
 // pipeline), and hand the surviving events to the application.
-func (c *Consumer) deliverBatch(ctx context.Context, batch []events.Event) {
+func (c *Consumer) deliverBatch(ctx context.Context, cb conBatch) {
+	batch := cb.evs
 	keep := batch[:0]
 	c.mu.Lock()
 	for _, e := range batch {
@@ -277,7 +358,32 @@ func (c *Consumer) deliverBatch(ctx context.Context, batch []events.Event) {
 	select {
 	case c.out <- pass:
 		c.delivered.Add(uint64(len(pass)))
+		c.observeDelivery(pass, cb.stamp)
 	case <-ctx.Done():
+	}
+}
+
+// observeDelivery records the latency signals for a delivered batch:
+// end-to-end microseconds from the batch's capture stamp (one observation
+// per delivered event, so the histogram weighs latency by event volume),
+// and the delivery lag (now - record time) of the batch's newest event —
+// the Robinhood-style "how far behind the storage system is the consumer"
+// gauge. Recovery replay bypasses deliverBatch, so replayed history with
+// stale stamps never pollutes the histogram.
+func (c *Consumer) observeDelivery(pass []events.Event, stamp int64) {
+	if c.e2eUS == nil {
+		return
+	}
+	if us := telemetry.SinceStampUS(stamp); us >= 0 {
+		for range pass {
+			c.e2eUS.Observe(us)
+		}
+	}
+	last := pass[len(pass)-1]
+	if !last.Time.IsZero() {
+		if lag := time.Since(last.Time).Microseconds(); lag >= 0 {
+			c.lagUS.Set(lag)
+		}
 	}
 }
 

@@ -3,11 +3,14 @@ package scalable
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"fsmonitor/internal/eventstore"
 	"fsmonitor/internal/iface"
 	"fsmonitor/internal/lustre"
+	"fsmonitor/internal/metrics"
+	"fsmonitor/internal/telemetry"
 )
 
 // DeployOptions configures a full scalable-monitor deployment over one
@@ -54,6 +57,14 @@ type DeployOptions struct {
 	// Context aborts every deployed service when canceled (Close remains
 	// the graceful path). Nil means Background.
 	Context context.Context
+	// Telemetry, when non-nil, mirrors every deployed component into the
+	// unified registry (fsmon.collector.mdt<N>.*, fsmon.aggregator.*,
+	// fsmon.store.p<i>.*, fsmon.process.*) and enables event latency
+	// tracing. Nil (the default) costs nothing.
+	Telemetry *telemetry.Registry
+	// Logger receives component-tagged structured logs from every
+	// deployed service; nil discards.
+	Logger *slog.Logger
 }
 
 // Monitor is a running scalable-monitor deployment.
@@ -94,6 +105,8 @@ func Deploy(cluster *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 			BatchSize:      opts.BatchSize,
 			PollInterval:   opts.PollInterval,
 			Context:        opts.Context,
+			Telemetry:      opts.Telemetry,
+			Logger:         opts.Logger,
 		})
 		if err != nil {
 			m.Close()
@@ -113,12 +126,17 @@ func Deploy(cluster *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 		Store:              opts.Store,
 		StorePartitions:    opts.StorePartitions,
 		Context:            opts.Context,
+		Telemetry:          opts.Telemetry,
+		Logger:             opts.Logger,
 	})
 	if err != nil {
 		m.Close()
 		return nil, err
 	}
 	m.Aggregator = agg
+	// Process-wide resource gauges ride the same registry so one snapshot
+	// answers both "how fast" and "at what cost" (Tables IV/VII).
+	metrics.Register(opts.Telemetry)
 	return m, nil
 }
 
@@ -133,6 +151,8 @@ func (m *Monitor) NewConsumer(filter iface.Filter, sinceSeq uint64) (*Consumer, 
 		SinceSeq:           sinceSeq,
 		StorePartitions:    m.Aggregator.Partitions(),
 		Context:            m.opts.Context,
+		Telemetry:          m.opts.Telemetry,
+		Logger:             m.opts.Logger,
 	})
 }
 
@@ -146,6 +166,8 @@ func (m *Monitor) NewConsumerVector(filter iface.Filter, sinceVector []uint64) (
 		Recover:            m.Aggregator,
 		SinceVector:        sinceVector,
 		Context:            m.opts.Context,
+		Telemetry:          m.opts.Telemetry,
+		Logger:             m.opts.Logger,
 	})
 }
 

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// expvarReg is the registry mirrored under expvar's "fsmon" variable.
+// expvar.Publish panics on duplicate names, so the variable is published
+// once and reads whatever registry was most recently served.
+var expvarReg atomic.Pointer[Registry]
+
+var publishExpvar = func() func() {
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		expvar.Publish("fsmon", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	}
+}()
+
+// Server is a live introspection endpoint over one registry: JSON
+// snapshots at /metrics, the standard expvar surface at /debug/vars, and
+// net/http/pprof under /debug/pprof/.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (":0" picks a free
+// port; see Addr). The registry may be nil, in which case snapshots are
+// empty but the endpoint — including pprof — still works.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	expvarReg.Store(reg)
+	publishExpvar()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		reg: reg,
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listener's address, resolving ":0" to the bound port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// FetchSnapshot retrieves a /metrics snapshot from a running endpoint —
+// the client half of the one-shot status dump (fsmon -status). Histogram
+// values decode as map[string]any; WriteSnapshotText handles both forms.
+func FetchSnapshot(url string) (map[string]any, error) {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("telemetry: %s: %s", url, resp.Status)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("telemetry: decode %s: %w", url, err)
+	}
+	return snap, nil
+}

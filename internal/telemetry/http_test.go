@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeSnapshotShape exercises the live endpoint end to end: serve a
+// populated registry, fetch /metrics, and check the JSON shape a dashboard
+// would parse — scalars as numbers, histograms as objects with the summary
+// fields.
+func TestServeSnapshotShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fsmon.test.events").Add(9)
+	h := r.Histogram("fsmon.test.e2e_us", nil)
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 10)
+	}
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	snap, err := FetchSnapshot("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap["fsmon.test.events"].(float64); !ok || v != 9 {
+		t.Errorf("events = %#v, want 9", snap["fsmon.test.events"])
+	}
+	hist, ok := snap["fsmon.test.e2e_us"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram decoded as %#v", snap["fsmon.test.e2e_us"])
+	}
+	for _, k := range []string{"count", "mean", "p50", "p95", "p99", "max"} {
+		if _, ok := hist[k]; !ok {
+			t.Errorf("histogram JSON missing %q: %v", k, hist)
+		}
+	}
+	if hist["count"] != float64(100) {
+		t.Errorf("count = %v, want 100", hist["count"])
+	}
+
+	// The fetched (JSON-decoded) snapshot must render through the same
+	// text dump as a live one — the fsmon -status path.
+	var sb strings.Builder
+	if err := WriteSnapshotText(&sb, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fsmon.test.events 9\n") {
+		t.Errorf("text dump missing counter line:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "fsmon.test.e2e_us count=100") {
+		t.Errorf("text dump missing histogram line:\n%s", sb.String())
+	}
+}
+
+// TestServeDebugSurfaces checks the expvar mirror and that pprof is wired.
+func TestServeDebugSurfaces(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("fsmon.test.depth").Set(4)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	fsmon, ok := vars["fsmon"].(map[string]any)
+	if !ok {
+		t.Fatalf("expvar missing fsmon: %v", vars["fsmon"])
+	}
+	if fsmon["fsmon.test.depth"] != float64(4) {
+		t.Errorf("expvar depth = %v, want 4", fsmon["fsmon.test.depth"])
+	}
+
+	pp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status = %s", pp.Status)
+	}
+}
+
+// TestServeNilRegistry: the endpoint must work (empty snapshots) when no
+// registry is attached, since pprof alone is worth serving.
+func TestServeNilRegistry(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	snap, err := FetchSnapshot("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 0 {
+		t.Errorf("nil-registry snapshot = %v, want empty", snap)
+	}
+}

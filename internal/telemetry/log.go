@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+)
+
+// discardHandler drops every record. Implemented locally rather than via
+// slog.DiscardHandler, which entered the stdlib after this module's
+// minimum Go version.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// NopLogger returns a logger that discards everything — the default when
+// no WithLogger option is given, so components log unconditionally
+// without nil checks.
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// ComponentLogger tags logger with a component attribute, defaulting to
+// the nop logger when logger is nil. Every tier derives its logger
+// through this so records are filterable by origin
+// (component=collector|aggregator|consumer|store|robinhood|core).
+func ComponentLogger(logger *slog.Logger, component string, args ...any) *slog.Logger {
+	if logger == nil {
+		return NopLogger()
+	}
+	l := logger.With("component", component)
+	if len(args) > 0 {
+		l = l.With(args...)
+	}
+	return l
+}
