@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-telemetry check
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-telemetry bench-trace trace-sample check
 
 all: check
 
@@ -48,6 +48,19 @@ bench-aggregator:
 bench-telemetry:
 	$(GO) test -run '^$$' -bench 'AggregatorThroughput(Telemetry)?/' -benchmem ./internal/bench/
 
+# bench-trace runs the telemetry-enabled aggregator bench with and
+# without 1-in-1024 per-event span tracing armed; the events/s delta is
+# the tracing overhead (acceptance: < 5% at ~1-in-1000 sampling).
+bench-trace:
+	$(GO) test -run '^$$' -bench 'AggregatorThroughputT(elemetry|raced)/' -benchmem ./internal/bench/
+
+# trace-sample drives the simulated-Lustre demo workload with every
+# event traced end to end and writes the completed span chains to
+# traces.json — the CI sample artifact, loadable in chrome://tracing.
+trace-sample:
+	$(GO) run ./cmd/fsmon -lustre iota -demo -partitions 2 -trace-sample 1 -trace-out traces.json >/dev/null
+
 # check is the pre-PR gate: everything must build, vet (and staticcheck,
-# where installed) clean, and pass the full suite under the race detector.
-check: build vet staticcheck race
+# where installed) clean, pass the full suite under the race detector,
+# and hold the tracing-overhead bench.
+check: build vet staticcheck race bench-trace

@@ -38,25 +38,40 @@ func main() {
 	partitions := flag.Int("partitions", 0, "with -lustre: aggregation-tier store partitions (0 = 1, the paper's single store)")
 	demo := flag.Bool("demo", false, "with -lustre: run the Evaluate_Output_Script workload and exit")
 	stats := flag.Bool("stats", false, "print layer statistics on exit")
-	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry at this address (/metrics, /debug/vars, /debug/pprof)")
-	status := flag.String("status", "", "fetch a running monitor's telemetry snapshot from this address and exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry at this address (/metrics, /metrics/history, /metrics/prom, /traces, /healthz, /debug/pprof)")
+	status := flag.String("status", "", "fetch a running monitor's telemetry snapshot and health verdict from this address and exit")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N events end-to-end across every tier (0 = off, 1 = every event)")
+	traceOut := flag.String("trace-out", "", "with -trace-sample: write completed span traces as Chrome trace_event JSON to this file on exit")
 	verbose := flag.Bool("verbose", false, "log component diagnostics (structured, to stderr)")
 	flag.Parse()
 
 	if *status != "" {
-		url := *status
-		if !strings.Contains(url, "://") {
-			url = "http://" + url
+		base := *status
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
 		}
-		if !strings.HasSuffix(url, "/metrics") {
-			url = strings.TrimSuffix(url, "/") + "/metrics"
-		}
-		snap, err := fsmonitor.FetchTelemetry(url)
+		base = strings.TrimSuffix(base, "/")
+		base = strings.TrimSuffix(base, "/metrics")
+		snap, err := fsmonitor.FetchTelemetry(base + "/metrics")
 		if err != nil {
 			fatal(err)
 		}
 		if err := fsmonitor.WriteTelemetryText(os.Stdout, snap); err != nil {
 			fatal(err)
+		}
+		// The health verdict rides along: one -status call answers both
+		// "what are the numbers" and "is it healthy".
+		if rep, ok, err := fsmonitor.FetchTelemetryHealth(base + "/healthz"); err == nil {
+			fmt.Printf("health: %s", rep.Status)
+			if !ok {
+				fmt.Print(" (endpoint reports 503)")
+			}
+			fmt.Println()
+			for _, t := range rep.Tiers {
+				if len(t.Reasons) > 0 {
+					fmt.Printf("  %s: %s (%s)\n", t.Tier, t.Status, strings.Join(t.Reasons, "; "))
+				}
+			}
 		}
 		return
 	}
@@ -73,13 +88,26 @@ func main() {
 
 	var common []fsmonitor.Option
 	var reg *fsmonitor.Telemetry
-	if *metricsAddr != "" || *stats {
+	if *metricsAddr != "" || *stats || *traceSample > 0 {
 		reg = fsmonitor.NewTelemetry()
 		common = append(common, fsmonitor.WithTelemetry(reg))
 	}
+	var logger *slog.Logger
 	if *verbose {
-		common = append(common, fsmonitor.WithLogger(slog.New(slog.NewTextHandler(os.Stderr,
-			&slog.HandlerOptions{Level: slog.LevelDebug}))))
+		logger = slog.New(slog.NewTextHandler(os.Stderr,
+			&slog.HandlerOptions{Level: slog.LevelDebug}))
+		common = append(common, fsmonitor.WithLogger(logger))
+	}
+	if *traceSample > 0 {
+		// Tracing must be armed before the monitor is built: collectors
+		// read the sampling rate at startup.
+		fsmonitor.EnableTraceSampling(reg, *traceSample)
+	}
+	if reg != nil {
+		// The self-monitoring loop: time-series sampling feeds the rate
+		// views and the watchdog's per-tier health verdicts.
+		watchdog := fsmonitor.StartTelemetryWatchdog(reg, logger)
+		defer watchdog.Close()
 	}
 
 	var (
@@ -174,6 +202,22 @@ func main() {
 	}
 	sub.Close()
 	<-done
+	if *traceOut != "" {
+		traces := fsmonitor.Traces(reg)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fsmonitor.WriteChromeTrace(f, traces); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fsmon: wrote %d span traces to %s (load in chrome://tracing)\n",
+			len(traces), *traceOut)
+	}
 	if *stats {
 		st := m.Stats()
 		fmt.Fprintf(os.Stderr, "fsmon: dsi=%s dropped=%d processed=%d batches=%d stored=%d delivered=%d\n",

@@ -39,6 +39,7 @@ import (
 	"io"
 	"log/slog"
 	"runtime"
+	"time"
 
 	"fsmonitor/internal/core"
 	"fsmonitor/internal/dsi"
@@ -274,6 +275,83 @@ func FetchTelemetry(url string) (map[string]any, error) {
 // `fsmon -status` format).
 func WriteTelemetryText(w io.Writer, snap map[string]any) error {
 	return telemetry.WriteSnapshotText(w, snap)
+}
+
+// TelemetrySampler is the background time-series sampler: it snapshots
+// the registry on a fixed interval into a bounded ring, from which
+// per-second rates and windowed min/max/delta views derive (served at
+// /metrics/history).
+type TelemetrySampler = telemetry.Sampler
+
+// TelemetryHealth is the watchdog health model: threshold rules over the
+// sampler's retained series producing per-tier ok/degraded/stalled
+// verdicts (served at /healthz, 503 when stalled).
+type TelemetryHealth = telemetry.Health
+
+// HealthReport is one watchdog evaluation: the worst tier status plus
+// every tier's verdict and reasons.
+type HealthReport = telemetry.HealthReport
+
+// Trace is a completed per-event span chain: one (tier, timestamp) span
+// for every hop from changelog read to application delivery.
+type Trace = telemetry.Trace
+
+// StartTelemetrySampler attaches the background time-series sampler to
+// reg and starts it (interval <= 0 selects the one-second default). The
+// registry holds at most one sampler; repeated calls return it. With a
+// sampler attached, a ServeTelemetry endpoint's /metrics/history serves
+// the retained window and derived rates.
+func StartTelemetrySampler(reg *Telemetry, interval time.Duration) *TelemetrySampler {
+	return reg.StartSampler(interval, 0)
+}
+
+// StartTelemetryWatchdog arms the full self-monitoring loop on reg: it
+// starts the sampler (if not already running), builds the built-in health
+// rule set (pipeline stage stall, queue saturation, cursor-lag and
+// changelog-backlog growth, resolution error spikes), attaches it so
+// /healthz serves verdicts, and starts the background watchdog that logs
+// tier transitions to logger. Close the returned model to stop the
+// watchdog.
+func StartTelemetryWatchdog(reg *Telemetry, logger *slog.Logger) *TelemetryHealth {
+	s := reg.StartSampler(0, 0)
+	if s == nil {
+		return nil
+	}
+	h := telemetry.NewHealth(s, telemetry.HealthOptions{Logger: logger})
+	reg.SetHealth(h)
+	h.Start(0)
+	return h
+}
+
+// EnableTraceSampling arms deterministic 1-in-n per-event span tracing on
+// every monitor built over reg: sampled events' batches carry a span
+// chain across collect → resolve → publish → partition → store →
+// republish → deliver, and completed traces land in the registry's ring
+// (served at /traces as Chrome trace_event JSON). n == 1 traces every
+// event; n <= 0 disables. Must be called before the monitor is built —
+// collectors read the rate at startup.
+func EnableTraceSampling(reg *Telemetry, n int) {
+	reg.EnableTracing(n, 0)
+}
+
+// Traces returns the completed span chains retained in reg's trace ring,
+// oldest first (nil when tracing was never enabled).
+func Traces(reg *Telemetry) []Trace {
+	return reg.Traces().Snapshot()
+}
+
+// WriteChromeTrace renders completed traces as Chrome trace_event JSON —
+// loadable in chrome://tracing or Perfetto. The /traces endpoint serves
+// the same document.
+func WriteChromeTrace(w io.Writer, traces []Trace) error {
+	return telemetry.WriteChromeTrace(w, traces)
+}
+
+// FetchTelemetryHealth retrieves a /healthz verdict from a running
+// ServeTelemetry endpoint. ok mirrors the HTTP verdict: true for 200,
+// false for 503 (stalled); the report is valid either way.
+func FetchTelemetryHealth(url string) (rep HealthReport, ok bool, err error) {
+	return telemetry.FetchHealth(url)
 }
 
 // Watch monitors a real directory on the host filesystem, selecting the

@@ -17,8 +17,11 @@ import (
 // collectors publishing pre-marshaled 512-event batches; b.N counts
 // events. reg == nil is the production default (telemetry disabled); a
 // non-nil registry turns on store/latency instrumentation so the two
-// variants measure its overhead.
-func benchAggregator(b *testing.B, parts int, reg *telemetry.Registry) {
+// variants measure its overhead. traceEvery1In, when > 0, interleaves
+// span-traced payloads at that per-event sampling rate: a traced batch
+// takes the aggregator's decode → span-append → deferred re-encode path
+// instead of the plain store-lane re-encode.
+func benchAggregator(b *testing.B, parts int, reg *telemetry.Registry, traceEvery1In int) {
 	const (
 		collectors = 4
 		batchSize  = 512
@@ -72,6 +75,14 @@ func benchAggregator(b *testing.B, parts int, reg *telemetry.Registry) {
 		stamp = telemetry.Stamp()
 	}
 	payloads := make([][]byte, collectors)
+	traced := make([][]byte, collectors)
+	// tracedEvery interleaves one traced batch per that many published
+	// batches, approximating the per-event 1-in-N rate with batchSize
+	// events per batch (1-in-1024 events ≈ every 2nd batch of 512).
+	tracedEvery := 0
+	if traceEvery1In > 0 {
+		tracedEvery = (traceEvery1In + batchSize - 1) / batchSize
+	}
 	for i := range payloads {
 		batch := make([]events.Event, batchSize)
 		for j := range batch {
@@ -86,6 +97,17 @@ func benchAggregator(b *testing.B, parts int, reg *telemetry.Registry) {
 			b.Fatal(err)
 		}
 		payloads[i] = p
+		if tracedEvery > 0 {
+			tr := &events.BatchTrace{ID: events.EventKey(batch[0])}
+			tr.Append(events.TierCollect, stamp)
+			tr.Append(events.TierResolve, stamp)
+			tr.Append(events.TierPublish, stamp)
+			tp, err := events.MarshalBatchTraced(batch, stamp, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			traced[i] = tp
+		}
 	}
 
 	batches := (b.N + batchSize - 1) / batchSize
@@ -100,7 +122,11 @@ func benchAggregator(b *testing.B, parts int, reg *telemetry.Registry) {
 		go func(c, n int) {
 			topic := fmt.Sprintf("%smdt%d", scalable.TopicPrefix, c)
 			for k := 0; k < n; k++ {
-				pubs[c].Publish(topic, payloads[c])
+				p := payloads[c]
+				if tracedEvery > 0 && k%tracedEvery == 0 {
+					p = traced[c]
+				}
+				pubs[c].Publish(topic, p)
 			}
 		}(c, n)
 	}
@@ -124,7 +150,7 @@ func benchAggregator(b *testing.B, parts int, reg *telemetry.Registry) {
 func BenchmarkAggregatorThroughput(b *testing.B) {
 	for _, parts := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
-			benchAggregator(b, parts, nil)
+			benchAggregator(b, parts, nil, 0)
 		})
 	}
 }
@@ -137,7 +163,23 @@ func BenchmarkAggregatorThroughput(b *testing.B) {
 func BenchmarkAggregatorThroughputTelemetry(b *testing.B) {
 	for _, parts := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
-			benchAggregator(b, parts, telemetry.NewRegistry())
+			benchAggregator(b, parts, telemetry.NewRegistry(), 0)
+		})
+	}
+}
+
+// BenchmarkAggregatorThroughputTraced adds 1-in-1024 per-event span
+// tracing on top of the telemetry variant: roughly every second batch
+// carries a trace section, taking the decode → span-append → deferred
+// republish-re-encode path. Compare against ...Telemetry — the events/s
+// delta is the tracing overhead, and the acceptance gate is that it stays
+// under 5% at this sampling rate.
+func BenchmarkAggregatorThroughputTraced(b *testing.B) {
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			reg := telemetry.NewRegistry()
+			reg.EnableTracing(1024, 0)
+			benchAggregator(b, parts, reg, 1024)
 		})
 	}
 }

@@ -13,7 +13,7 @@ import (
 //
 // Batch layout (all integers little-endian):
 //
-//	u32 count | [i64 stamp] | count * event
+//	u32 count | [i64 stamp] | [trace] | count * event
 //
 // stamp is the monitor's capture timestamp for the whole batch: all
 // events of one Changelog read share the moment the monitor first saw
@@ -23,6 +23,16 @@ import (
 // batchStamped bit is set in the count word — untraced deployments (the
 // default) are byte-identical to a build without tracing.
 //
+// trace is the sampled span-trace section, present only when the
+// batchTraced bit is set:
+//
+//	u64 traceID | u8 nspans | nspans * (u8 tier | i64 unixNano)
+//
+// traceID is the sampled event's EventKey; each tier the batch passes
+// through appends one span (see trace.go). Batches without a sampled
+// event never carry the section, so 1-in-N sampling costs (9 + 9*spans)
+// wire bytes on roughly one batch in N/batchSize.
+//
 // Event layout:
 //
 //	u32 op | u32 cookie | u64 seq | i64 unixNano
@@ -30,9 +40,16 @@ import (
 
 const maxStr = 1<<16 - 1
 
-// batchStamped flags a capture-stamped batch in the count word. Bit 31 is
-// far outside any real batch size and is masked off on decode.
-const batchStamped = uint32(1) << 31
+// Batch-header flag bits in the count word, far outside any real batch
+// size and masked off on decode.
+const (
+	// batchStamped flags a capture-stamped batch.
+	batchStamped = uint32(1) << 31
+	// batchTraced flags a batch carrying a span-trace section.
+	batchTraced = uint32(1) << 30
+
+	batchFlags = batchStamped | batchTraced
+)
 
 // MarshalAppend appends the wire encoding of e to buf and returns the
 // extended buffer.
@@ -110,16 +127,39 @@ func MarshalBatch(evs []Event) ([]byte, error) {
 // nanoseconds at which the monitor first saw the batch's records; 0 means
 // untraced and encodes identically to MarshalBatch).
 func MarshalBatchStamped(evs []Event, stamp int64) ([]byte, error) {
-	if uint64(len(evs)) >= uint64(batchStamped) {
+	return MarshalBatchTraced(evs, stamp, nil)
+}
+
+// MarshalBatchTraced encodes a batch with its capture stamp and — when tr
+// is non-nil — the span-trace section of the batch's sampled event. A nil
+// trace encodes byte-identically to MarshalBatchStamped, and a zero stamp
+// with a nil trace byte-identically to MarshalBatch: untraced deployments
+// pay no wire bytes.
+func MarshalBatchTraced(evs []Event, stamp int64, tr *BatchTrace) ([]byte, error) {
+	if uint64(len(evs)) >= uint64(batchTraced) {
 		return nil, fmt.Errorf("events: batch of %d events exceeds wire limit", len(evs))
+	}
+	if tr != nil && len(tr.Spans) > maxSpans {
+		return nil, fmt.Errorf("events: trace of %d spans exceeds wire limit", len(tr.Spans))
 	}
 	header := uint32(len(evs))
 	if stamp != 0 {
 		header |= batchStamped
 	}
+	if tr != nil {
+		header |= batchTraced
+	}
 	buf := binary.LittleEndian.AppendUint32(nil, header)
 	if stamp != 0 {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(stamp))
+	}
+	if tr != nil {
+		buf = binary.LittleEndian.AppendUint64(buf, tr.ID)
+		buf = append(buf, byte(len(tr.Spans)))
+		for _, sp := range tr.Spans {
+			buf = append(buf, sp.Tier)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(sp.TS))
+		}
 	}
 	var err error
 	for _, e := range evs {
@@ -130,29 +170,54 @@ func MarshalBatchStamped(evs []Event, stamp int64) ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalBatch decodes a batch encoded by MarshalBatch (or
-// MarshalBatchStamped — the stamp, if any, is discarded).
+// UnmarshalBatch decodes a batch encoded by MarshalBatch (or the stamped/
+// traced variants — the stamp and trace, if any, are discarded).
 func UnmarshalBatch(buf []byte) ([]Event, error) {
-	evs, _, err := UnmarshalBatchStamped(buf)
+	evs, _, _, err := UnmarshalBatchTraced(buf)
 	return evs, err
 }
 
 // UnmarshalBatchStamped decodes a batch along with its capture stamp
-// (0 when the batch is untraced).
+// (0 when the batch is unstamped). A trace section, if present, is
+// decoded and discarded.
 func UnmarshalBatchStamped(buf []byte) ([]Event, int64, error) {
+	evs, stamp, _, err := UnmarshalBatchTraced(buf)
+	return evs, stamp, err
+}
+
+// UnmarshalBatchTraced decodes a batch along with its capture stamp (0
+// when unstamped) and span-trace section (nil when untraced).
+func UnmarshalBatchTraced(buf []byte) ([]Event, int64, *BatchTrace, error) {
 	if len(buf) < 4 {
-		return nil, 0, fmt.Errorf("events: short buffer decoding batch count")
+		return nil, 0, nil, fmt.Errorf("events: short buffer decoding batch count")
 	}
 	header := binary.LittleEndian.Uint32(buf)
 	buf = buf[4:]
-	n := header &^ batchStamped
+	n := header &^ batchFlags
 	var stamp int64
 	if header&batchStamped != 0 {
 		if len(buf) < 8 {
-			return nil, 0, fmt.Errorf("events: short buffer decoding batch stamp")
+			return nil, 0, nil, fmt.Errorf("events: short buffer decoding batch stamp")
 		}
 		stamp = int64(binary.LittleEndian.Uint64(buf))
 		buf = buf[8:]
+	}
+	var tr *BatchTrace
+	if header&batchTraced != 0 {
+		if len(buf) < 9 {
+			return nil, 0, nil, fmt.Errorf("events: short buffer decoding batch trace")
+		}
+		tr = &BatchTrace{ID: binary.LittleEndian.Uint64(buf)}
+		nspans := int(buf[8])
+		buf = buf[9:]
+		if len(buf) < 9*nspans {
+			return nil, 0, nil, fmt.Errorf("events: short buffer decoding %d trace spans", nspans)
+		}
+		tr.Spans = make([]Span, nspans)
+		for i := range tr.Spans {
+			tr.Spans[i] = Span{Tier: buf[0], TS: int64(binary.LittleEndian.Uint64(buf[1:]))}
+			buf = buf[9:]
+		}
 	}
 	evs := make([]Event, 0, n)
 	var (
@@ -161,12 +226,12 @@ func UnmarshalBatchStamped(buf []byte) ([]Event, int64, error) {
 	)
 	for i := uint32(0); i < n; i++ {
 		if e, buf, err = Unmarshal(buf); err != nil {
-			return nil, 0, fmt.Errorf("events: batch entry %d: %w", i, err)
+			return nil, 0, nil, fmt.Errorf("events: batch entry %d: %w", i, err)
 		}
 		evs = append(evs, e)
 	}
 	if len(buf) != 0 {
-		return nil, 0, fmt.Errorf("events: %d trailing bytes after batch", len(buf))
+		return nil, 0, nil, fmt.Errorf("events: %d trailing bytes after batch", len(buf))
 	}
-	return evs, stamp, nil
+	return evs, stamp, tr, nil
 }

@@ -1,0 +1,111 @@
+package events
+
+import "fmt"
+
+// Per-event span tracing vocabulary. A deterministic 1-in-N sampler keyed
+// on an event's identity hash (EventKey) selects events to trace; the
+// batch carrying a sampled event gains a trace section in its wire header
+// (see codec.go), and every tier the batch passes through appends a
+// (tier, timestamp) span. Keying on the event — not the batch — means the
+// same event is traced at every hop, however batches are split or
+// re-encoded along the way.
+
+// Span tier identifiers, in pipeline order. The wire format stores the
+// byte; TierName renders it.
+const (
+	TierCollect   uint8 = iota // collector read the Changelog batch
+	TierResolve                // Algorithm-1 resolution finished
+	TierPublish                // collector publish accepted
+	TierPartition              // aggregator routed the batch to its partition
+	TierStore                  // reliable-store append finished
+	TierRepublish              // aggregator republish to consumers
+	TierDeliver                // consumer handed the event to the application
+
+	// NumTiers is the span-chain length of a complete collect→deliver
+	// trace.
+	NumTiers = int(TierDeliver) + 1
+)
+
+var tierNames = [NumTiers]string{
+	"collect", "resolve", "publish", "partition", "store", "republish", "deliver",
+}
+
+// TierName renders a span tier ("collect", ..., "deliver"; unknown tiers
+// render as "tier<N>").
+func TierName(t uint8) string {
+	if int(t) < len(tierNames) {
+		return tierNames[t]
+	}
+	return fmt.Sprintf("tier%d", t)
+}
+
+// Span is one tier's hop: the tier and the wall clock (unix nanoseconds)
+// at which the traced batch passed it.
+type Span struct {
+	Tier uint8
+	TS   int64
+}
+
+// maxSpans is the wire limit on spans per trace (the count is one byte).
+// A complete chain is NumTiers spans; the headroom absorbs future tiers
+// and duplicated hops without a format change.
+const maxSpans = 255
+
+// BatchTrace is the trace section a sampled batch carries: the sampled
+// event's identity hash as the trace ID and the spans appended so far.
+type BatchTrace struct {
+	ID    uint64
+	Spans []Span
+}
+
+// Append records one hop. Safe on a nil receiver (no-op); spans beyond
+// the wire limit are dropped rather than failing the batch.
+func (t *BatchTrace) Append(tier uint8, ts int64) {
+	if t == nil || len(t.Spans) >= maxSpans {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Tier: tier, TS: ts})
+}
+
+// EventKey hashes an event's wire-stable identity (FNV-1a over root, path,
+// old path, source, op, cookie, and record time) — the same event yields
+// the same key at every tier, before and after the store assigns its Seq.
+func EventKey(e Event) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // field separator
+		h *= prime64
+	}
+	mix(e.Root)
+	mix(e.Path)
+	mix(e.OldPath)
+	mix(e.Source)
+	for _, v := range [...]uint64{uint64(e.Op), uint64(e.Cookie), uint64(e.Time.UnixNano())} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// SampleTrace is the deterministic 1-in-n sampler: an event is traced iff
+// its key falls in the sampled residue class. n <= 0 disables; n == 1
+// traces everything.
+func SampleTrace(e Event, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	if n == 1 {
+		return true
+	}
+	return EventKey(e)%uint64(n) == 0
+}

@@ -1,0 +1,188 @@
+package events
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+func TestEventKeyStableAcrossSeq(t *testing.T) {
+	e := Event{
+		Root:   "/mnt/lustre",
+		Op:     OpCreate,
+		Path:   "/dir/file.txt",
+		Source: "lustre",
+		Cookie: 7,
+		Time:   time.Unix(1552084067, 308560896),
+	}
+	before := EventKey(e)
+	e.Seq = 99 // the store assigns Seq downstream; the key must not move
+	if after := EventKey(e); after != before {
+		t.Errorf("EventKey changed with Seq: %#x vs %#x", after, before)
+	}
+	e.Path = "/dir/other.txt"
+	if EventKey(e) == before {
+		t.Error("EventKey insensitive to Path")
+	}
+}
+
+func TestEventKeyFieldBoundaries(t *testing.T) {
+	// The separator between hashed strings must keep ("ab","c") and
+	// ("a","bc") distinct.
+	a := Event{Root: "ab", Path: "c", Time: time.Unix(1, 0)}
+	b := Event{Root: "a", Path: "bc", Time: time.Unix(1, 0)}
+	if EventKey(a) == EventKey(b) {
+		t.Error("EventKey collides across the Root/Path boundary")
+	}
+}
+
+func TestSampleTrace(t *testing.T) {
+	e := Event{Path: "/p", Time: time.Unix(3, 0)}
+	if SampleTrace(e, 0) || SampleTrace(e, -5) {
+		t.Error("SampleTrace fired with sampling disabled")
+	}
+	if !SampleTrace(e, 1) {
+		t.Error("SampleTrace(n=1) must trace every event")
+	}
+	// Determinism: the same event decides the same way every time.
+	want := SampleTrace(e, 16)
+	for i := 0; i < 10; i++ {
+		if SampleTrace(e, 16) != want {
+			t.Fatal("SampleTrace is not deterministic")
+		}
+	}
+	// Roughly 1-in-N: over many distinct events the hit count is near m/n.
+	hits := 0
+	const m, n = 4096, 16
+	for i := 0; i < m; i++ {
+		ev := Event{Path: "/f", Seq: 0, Cookie: uint32(i), Time: time.Unix(int64(i), 0)}
+		if SampleTrace(ev, n) {
+			hits++
+		}
+	}
+	if hits < m/n/4 || hits > m/n*4 {
+		t.Errorf("SampleTrace(1-in-%d) hit %d of %d events", n, hits, m)
+	}
+}
+
+func TestBatchTraceAppend(t *testing.T) {
+	var nilTrace *BatchTrace
+	nilTrace.Append(TierCollect, 1) // must not panic
+	tr := &BatchTrace{ID: 42}
+	for i := 0; i < maxSpans+10; i++ {
+		tr.Append(TierStore, int64(i))
+	}
+	if len(tr.Spans) != maxSpans {
+		t.Errorf("Append grew past the wire limit: %d spans", len(tr.Spans))
+	}
+}
+
+// TestCodecTracedRoundTrip: the trace section survives the wire, and its
+// cost is exactly 9 + 9*spans bytes on top of the stamped encoding.
+func TestCodecTracedRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Root: "/r", Op: OpCreate, Path: "/f", Source: "s", Time: time.Unix(1, 0)},
+		{Root: "/r", Op: OpModify, Path: "/g", Source: "s", Time: time.Unix(2, 0)},
+	}
+	tr := &BatchTrace{ID: EventKey(evs[1])}
+	tr.Append(TierCollect, 100)
+	tr.Append(TierResolve, 200)
+	tr.Append(TierPublish, 300)
+
+	stamped, err := MarshalBatchStamped(evs, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := MarshalBatchTraced(evs, 12345, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(stamped) + 9 + 9*len(tr.Spans); len(traced) != want {
+		t.Errorf("traced batch is %d bytes, want %d", len(traced), want)
+	}
+
+	got, stamp, gotTr, err := UnmarshalBatchTraced(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp != 12345 || len(got) != 2 {
+		t.Errorf("stamp=%d events=%d, want 12345, 2", stamp, len(got))
+	}
+	if gotTr == nil || gotTr.ID != tr.ID {
+		t.Fatalf("trace lost: %+v", gotTr)
+	}
+	if len(gotTr.Spans) != 3 ||
+		gotTr.Spans[0] != (Span{TierCollect, 100}) ||
+		gotTr.Spans[2] != (Span{TierPublish, 300}) {
+		t.Errorf("span round trip mismatch: %+v", gotTr.Spans)
+	}
+
+	// Trace-agnostic decoders accept a traced batch.
+	if got, err := UnmarshalBatch(traced); err != nil || len(got) != 2 {
+		t.Errorf("UnmarshalBatch(traced) = %d events, %v", len(got), err)
+	}
+	if _, stamp, err := UnmarshalBatchStamped(traced); err != nil || stamp != 12345 {
+		t.Errorf("UnmarshalBatchStamped(traced) = stamp %d, %v", stamp, err)
+	}
+	// Truncating inside the trace section must error, not decode.
+	for _, cut := range []int{13, 16, 21} {
+		if _, _, _, err := UnmarshalBatchTraced(traced[:cut]); err == nil {
+			t.Errorf("accepted truncation at %d bytes", cut)
+		}
+	}
+}
+
+// TestCodecUntracedGoldenBytes pins the untraced wire format: without a
+// trace the encoding is byte-for-byte the pre-tracing layout
+// (count | [stamp] | events) — no flag bit, no trace section, no
+// incidental drift. A deployment that never samples pays zero wire bytes.
+func TestCodecUntracedGoldenBytes(t *testing.T) {
+	evs := []Event{{
+		Root:    "/r",
+		Op:      OpMovedTo,
+		Path:    "/b",
+		OldPath: "/a",
+		Cookie:  9,
+		Seq:     5,
+		Source:  "s",
+		Time:    time.Unix(0, 1000),
+	}}
+
+	// The expected bytes are built by hand from the documented layout.
+	golden := func(stamp int64) []byte {
+		header := uint32(1)
+		if stamp != 0 {
+			header |= 1 << 31
+		}
+		b := binary.LittleEndian.AppendUint32(nil, header)
+		if stamp != 0 {
+			b = binary.LittleEndian.AppendUint64(b, uint64(stamp))
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(OpMovedTo))
+		b = binary.LittleEndian.AppendUint32(b, 9)
+		b = binary.LittleEndian.AppendUint64(b, 5)
+		b = binary.LittleEndian.AppendUint64(b, 1000)
+		for _, s := range []string{"/r", "/b", "/a"} {
+			b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+			b = append(b, s...)
+		}
+		b = append(b, 1, 's')
+		return b
+	}
+
+	plain, err := MarshalBatch(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := golden(0); !bytes.Equal(plain, want) {
+		t.Errorf("untraced batch bytes drifted:\n got %x\nwant %x", plain, want)
+	}
+	stamped, err := MarshalBatchTraced(evs, 77, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := golden(77); !bytes.Equal(stamped, want) {
+		t.Errorf("stamped untraced batch bytes drifted:\n got %x\nwant %x", stamped, want)
+	}
+}

@@ -283,20 +283,27 @@ type rawBatch struct {
 
 // partBatch is a batch routed to one partition: either still encoded
 // (payload, the MDT-routed fast path — the owning lane decodes it) or
-// already decoded (evs, the path-hash split path).
+// already decoded (evs, the path-hash split path). trace carries the span
+// chain on the decoded path; payloads carry theirs in the wire header.
 type partBatch struct {
 	part    int
 	payload []byte
 	evs     []events.Event
 	stamp   int64 // capture stamp for the decoded path (payloads carry their own)
+	trace   *events.BatchTrace
 }
 
-// repBatch is a stamped, re-encoded batch ready to republish. stamp is
-// the batch's capture mark, carried so the republish stage can record
-// cumulative latency without re-decoding the payload.
+// repBatch is a stamped batch ready to republish. The untraced path
+// re-encodes on the store lane (payload set); the traced path defers
+// encoding to the republish stage (evs/trace set) so the republish span's
+// timestamp is taken where the hop actually happens. stamp is the batch's
+// capture mark, carried so the republish stage can record cumulative
+// latency without re-decoding the payload.
 type repBatch struct {
 	part    int
 	payload []byte
+	evs     []events.Event
+	trace   *events.BatchTrace
 	n       int
 	stamp   int64
 }
@@ -344,21 +351,35 @@ func (a *Aggregator) partitionBatch(_ context.Context, rb rawBatch, emit func(pa
 		emit(partBatch{part: rb.mdt % a.parts, payload: rb.payload})
 		return
 	}
-	batch, stamp, err := events.UnmarshalBatchStamped(rb.payload)
+	batch, stamp, trace, err := events.UnmarshalBatchTraced(rb.payload)
 	if err != nil {
 		a.slog.Warn("dropping undecodable batch", "bytes", len(rb.payload), "err", err)
 		return
 	}
 	split := make([][]events.Event, a.parts)
+	// The trace follows its sampled event, not the batch: only the
+	// sub-batch that carries the event whose key is the trace ID keeps the
+	// span chain across the split.
+	tracePart := -1
 	for _, e := range batch {
 		p := eventstore.PartitionForPath(e.Path, a.parts)
 		split[p] = append(split[p], e)
+		if trace != nil && tracePart < 0 && events.EventKey(e) == trace.ID {
+			tracePart = p
+		}
+	}
+	if trace != nil {
+		trace.Append(events.TierPartition, time.Now().UnixNano())
 	}
 	for p, evs := range split {
 		if len(evs) == 0 {
 			continue
 		}
-		if !emit(partBatch{part: p, evs: evs, stamp: stamp}) {
+		pb := partBatch{part: p, evs: evs, stamp: stamp}
+		if p == tracePart {
+			pb.trace = trace
+		}
+		if !emit(pb) {
 			return
 		}
 	}
@@ -375,14 +396,17 @@ func (a *Aggregator) storeLane() func(context.Context, partBatch) (repBatch, boo
 		if a.storeUS != nil {
 			start = time.Now()
 		}
-		evs, stamp := pb.evs, pb.stamp
+		evs, stamp, trace := pb.evs, pb.stamp, pb.trace
 		if evs == nil {
 			var err error
-			evs, stamp, err = events.UnmarshalBatchStamped(pb.payload)
+			evs, stamp, trace, err = events.UnmarshalBatchTraced(pb.payload)
 			if err != nil {
 				a.slog.Warn("dropping undecodable batch", "partition", pb.part, "bytes", len(pb.payload), "err", err)
 				return repBatch{}, false
 			}
+			// The MDT fast path forwards payloads undecoded, so the
+			// partition hop is only observable here, at lane entry.
+			trace.Append(events.TierPartition, time.Now().UnixNano())
 		}
 		if len(evs) == 0 {
 			return repBatch{}, false
@@ -412,6 +436,13 @@ func (a *Aggregator) storeLane() func(context.Context, partBatch) (repBatch, boo
 				a.captureToStoreUS.Observe(us)
 			}
 		}
+		trace.Append(events.TierStore, time.Now().UnixNano())
+		if trace != nil {
+			// Traced batches are rare (1-in-N sampling); deferring their
+			// encode to the republish stage lets that stage stamp the
+			// republish span inside the payload.
+			return repBatch{part: pb.part, evs: evs, trace: trace, n: len(evs), stamp: stamp}, true
+		}
 		payload, err := events.MarshalBatchStamped(evs, stamp)
 		if err != nil {
 			a.slog.Error("dropping unencodable batch", "partition", pb.part, "events", len(evs), "err", err)
@@ -431,6 +462,15 @@ func (a *Aggregator) republishBatch(ctx context.Context, rb repBatch) {
 	topic := AggTopic
 	if a.parts > 1 {
 		topic = msgq.PartitionTopic(AggTopic, rb.part)
+	}
+	if rb.trace != nil {
+		rb.trace.Append(events.TierRepublish, time.Now().UnixNano())
+		payload, err := events.MarshalBatchTraced(rb.evs, rb.stamp, rb.trace)
+		if err != nil {
+			a.slog.Error("dropping unencodable batch", "partition", rb.part, "events", rb.n, "err", err)
+			return
+		}
+		rb.payload = payload
 	}
 	a.pub.PublishCtx(ctx, topic, rb.payload)
 	a.published.Add(uint64(rb.n))

@@ -153,11 +153,13 @@ type readBatch struct {
 
 // pubBatch is a resolved batch awaiting publication; evs may be empty
 // (e.g. a read of only MARK records) in which case only the purge cursor
-// advances.
+// advances. trace is the sampled span chain when the batch contains a
+// trace-sampled event (nil otherwise — the overwhelmingly common case).
 type pubBatch struct {
 	evs   []events.Event
 	since uint64
 	stamp int64
+	trace *events.BatchTrace
 }
 
 // Collector extracts, processes, and publishes one MDS's events as a
@@ -178,6 +180,7 @@ type Collector struct {
 
 	slog      *slog.Logger
 	traced    bool                 // stamp batches at capture (telemetry attached)
+	traceN    int                  // 1-in-N span-trace sampling (0 = off)
 	resolveUS *telemetry.Histogram // per-batch resolve stage wall time
 	publishUS *telemetry.Histogram // per-batch publish stage wall time
 
@@ -245,6 +248,7 @@ func (c *Collector) initTelemetry(reg *telemetry.Registry) {
 	c.resolveUS = reg.Histogram(prefix+".resolve_us", nil)
 	c.publishUS = reg.Histogram(prefix+".publish_us", nil)
 	c.traced = true
+	c.traceN = reg.TraceSampleN()
 }
 
 // registerTelemetry mirrors the collector into reg under
@@ -338,7 +342,23 @@ func (c *Collector) resolveBatch(_ context.Context, rb readBatch) (pubBatch, boo
 		c.pool.Put(evs)
 		return pubBatch{since: rb.since}, true
 	}
-	return pubBatch{evs: evs, since: rb.since, stamp: rb.stamp}, true
+	pb := pubBatch{evs: evs, since: rb.since, stamp: rb.stamp}
+	// Deterministic 1-in-N trace sampling: the first sampled event in the
+	// batch opens the span chain — collect at the capture stamp, resolve
+	// now. Keying on the event's identity hash means the same event is
+	// picked at any batch boundary, so a test (or a rerun) traces the
+	// same chain.
+	if c.traceN > 0 && rb.stamp != 0 {
+		for i := range evs {
+			if events.SampleTrace(evs[i], c.traceN) {
+				pb.trace = &events.BatchTrace{ID: events.EventKey(evs[i])}
+				pb.trace.Append(events.TierCollect, rb.stamp)
+				pb.trace.Append(events.TierResolve, time.Now().UnixNano())
+				break
+			}
+		}
+	}
+	return pb, true
 }
 
 // publishBatch is the publish sink stage: marshal, publish to at least
@@ -354,7 +374,10 @@ func (c *Collector) publishBatch(ctx context.Context, pb pubBatch) {
 		if c.publishUS != nil {
 			start = time.Now()
 		}
-		if payload, err := events.MarshalBatchStamped(pb.evs, pb.stamp); err != nil {
+		// The publish span marks the handoff onto the wire; it is stamped
+		// before encoding so it rides inside the payload.
+		pb.trace.Append(events.TierPublish, time.Now().UnixNano())
+		if payload, err := events.MarshalBatchTraced(pb.evs, pb.stamp, pb.trace); err != nil {
 			// An unencodable batch is dropped (and its cursor purged so the
 			// collector is not wedged re-reading it) — surface that loudly.
 			c.slog.Error("dropping unencodable batch", "events", len(pb.evs), "err", err)

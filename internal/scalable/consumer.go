@@ -114,9 +114,10 @@ type Consumer struct {
 	delivered atomic.Uint64
 	recovered atomic.Uint64
 
-	slog  *slog.Logger
-	e2eUS *telemetry.Histogram // capture stamp → delivered to application
-	lagUS *telemetry.Gauge     // now - event record time at delivery
+	slog   *slog.Logger
+	e2eUS  *telemetry.Histogram // capture stamp → delivered to application
+	lagUS  *telemetry.Gauge     // now - event record time at delivery
+	traces *telemetry.TraceRing // completed span chains (nil when tracing is off)
 
 	closeOnce sync.Once
 }
@@ -167,18 +168,37 @@ func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 	for _, cur := range c.cursors {
 		resume = resume || cur > 0
 	}
-	// Recovery happens before subscribing so replayed events precede
-	// live ones; any overlap is deduplicated by sequence number in the
-	// filter-deliver stage. Replay also runs for a fresh consumer (no
-	// resume point): PUB/SUB gives a late joiner no delivery guarantee, so
-	// events the aggregator already republished are only reachable
-	// through the reliable store — exactly its purpose (§IV-2). A replay
-	// failure is fatal only when the caller asked to resume from a
-	// specific point; best-effort otherwise (e.g. the store is disabled).
+	// Subscribe before recovering: an event is either already in the
+	// store when the recovery request lands (replayed) or republished
+	// after the subscription is live (received) — recovering first
+	// leaves a window where an event stored after the recovery response
+	// but republished before the subscription joins is lost on both
+	// paths. The subscription only buffers until the pipeline starts, so
+	// replayed events still precede live ones; any overlap is
+	// deduplicated by sequence number in the filter-deliver stage.
+	c.sub = msgq.NewSub(msgq.WithRecvBuffer(opts.Buffer))
+	// Prefix subscription: AggTopic also matches the per-partition
+	// topics "agg.events.p<N>" a partitioned aggregator publishes on.
+	c.sub.Subscribe(AggTopic)
+	if err := c.sub.Connect(opts.AggregatorEndpoint); err != nil {
+		c.sub.Close()
+		return nil, err
+	}
+	if err := c.sub.WaitReady(5 * time.Second); err != nil {
+		c.sub.Close()
+		return nil, err
+	}
+	// Replay also runs for a fresh consumer (no resume point): PUB/SUB
+	// gives a late joiner no delivery guarantee, so events the aggregator
+	// already republished are only reachable through the reliable store —
+	// exactly its purpose (§IV-2). A replay failure is fatal only when
+	// the caller asked to resume from a specific point; best-effort
+	// otherwise (e.g. the store is disabled).
 	if opts.Recover != nil {
 		history, err := c.recoverHistory()
 		if err != nil {
 			if resume {
+				c.sub.Close()
 				return nil, err
 			}
 			history = nil
@@ -202,18 +222,6 @@ func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 			c.delivered.Add(uint64(len(replay)))
 		}
 	}
-	c.sub = msgq.NewSub(msgq.WithRecvBuffer(opts.Buffer))
-	// Prefix subscription: AggTopic also matches the per-partition
-	// topics "agg.events.p<N>" a partitioned aggregator publishes on.
-	c.sub.Subscribe(AggTopic)
-	if err := c.sub.Connect(opts.AggregatorEndpoint); err != nil {
-		c.sub.Close()
-		return nil, err
-	}
-	if err := c.sub.WaitReady(5 * time.Second); err != nil {
-		c.sub.Close()
-		return nil, err
-	}
 
 	c.slog = telemetry.ComponentLogger(opts.Logger, "consumer")
 	c.initTelemetry(opts.Telemetry)
@@ -235,6 +243,7 @@ func (c *Consumer) initTelemetry(reg *telemetry.Registry) {
 	const prefix = "fsmon.consumer"
 	c.e2eUS = reg.Histogram(prefix+".e2e_us", nil)
 	c.lagUS = reg.Gauge(prefix + ".lag_us")
+	c.traces = reg.Traces()
 }
 
 // registerTelemetry mirrors the consumer into reg under "fsmon.consumer":
@@ -300,10 +309,11 @@ func (c *Consumer) filterEvent(e events.Event) bool {
 }
 
 // conBatch is one decoded batch in flight to the application, paired with
-// its capture stamp (0 = untraced).
+// its capture stamp (0 = unstamped) and span trace (nil = untraced).
 type conBatch struct {
 	evs   []events.Event
 	stamp int64
+	trace *events.BatchTrace
 }
 
 // intakeLoop is the subscribe source stage.
@@ -313,12 +323,12 @@ func (c *Consumer) intakeLoop(ctx context.Context, emit func(conBatch) bool) err
 		if !ok {
 			return nil
 		}
-		batch, stamp, err := events.UnmarshalBatchStamped(m.Payload)
+		batch, stamp, trace, err := events.UnmarshalBatchTraced(m.Payload)
 		if err != nil {
 			c.slog.Warn("dropping undecodable batch", "topic", m.Topic, "bytes", len(m.Payload), "err", err)
 			continue
 		}
-		if !emit(conBatch{evs: batch, stamp: stamp}) {
+		if !emit(conBatch{evs: batch, stamp: stamp, trace: trace}) {
 			return nil
 		}
 	}
@@ -359,8 +369,25 @@ func (c *Consumer) deliverBatch(ctx context.Context, cb conBatch) {
 	case c.out <- pass:
 		c.delivered.Add(uint64(len(pass)))
 		c.observeDelivery(pass, cb.stamp)
+		c.completeTrace(cb.trace)
 	case <-ctx.Done():
 	}
+}
+
+// completeTrace closes a batch's span chain at the deliver hop and files
+// the finished trace into the registry ring. Batches entirely consumed by
+// dedup or the filter never get here: their sampled event was not
+// delivered, so no deliver span exists and the chain is dropped.
+func (c *Consumer) completeTrace(tr *events.BatchTrace) {
+	if tr == nil || c.traces == nil {
+		return
+	}
+	tr.Append(events.TierDeliver, time.Now().UnixNano())
+	t := telemetry.Trace{ID: tr.ID, Spans: make([]telemetry.TraceSpan, len(tr.Spans))}
+	for i, sp := range tr.Spans {
+		t.Spans[i] = telemetry.TraceSpan{Tier: events.TierName(sp.Tier), TS: sp.TS}
+	}
+	c.traces.Add(t)
 }
 
 // observeDelivery records the latency signals for a delivered batch:

@@ -1,0 +1,445 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Watchdog health model: threshold rules evaluated over the sampler's
+// retained series turn raw metrics into per-tier ok/degraded/stalled
+// verdicts with reasons — the "which tier is falling behind" answer that a
+// point-in-time snapshot cannot give and the consumer's e2e histogram
+// gives only after the damage. Served at /healthz (200/503 for
+// orchestrators), printed by fsmon -status, and logged as structured slog
+// warnings on transitions.
+
+// Status is a tier's health verdict, ordered by severity.
+type Status int
+
+const (
+	// StatusOK: no rule fired.
+	StatusOK Status = iota
+	// StatusDegraded: a pressure signal fired (queue saturation, lag or
+	// backlog growth, error spike) but data still flows.
+	StatusDegraded
+	// StatusStalled: a stage takes input and emits nothing — the tier is
+	// wedged and /healthz reports 503.
+	StatusStalled
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusDegraded:
+		return "degraded"
+	case StatusStalled:
+		return "stalled"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the status as its string form ("ok", "degraded",
+// "stalled") so /healthz bodies read without a decoder ring.
+func (s Status) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses the string form (the FetchHealth path).
+func (s *Status) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	switch str {
+	case "ok":
+		*s = StatusOK
+	case "degraded":
+		*s = StatusDegraded
+	case "stalled":
+		*s = StatusStalled
+	default:
+		return fmt.Errorf("telemetry: unknown health status %q", str)
+	}
+	return nil
+}
+
+// Verdict is one tier's evaluated health.
+type Verdict struct {
+	Tier    string   `json:"tier"`
+	Status  Status   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// HealthReport is one full evaluation: the worst tier status overall plus
+// every instrumented tier's verdict.
+type HealthReport struct {
+	Status    Status    `json:"status"`
+	Tiers     []Verdict `json:"tiers"`
+	SampledAt time.Time `json:"sampled_at"`
+	Samples   int       `json:"samples"`
+}
+
+// Finding is one rule hit: the tier it indicts, the severity, and why.
+type Finding struct {
+	Tier   string
+	Status Status
+	Reason string
+}
+
+// Rule evaluates one failure mode over the sampler's retained series and
+// returns its findings (none when healthy).
+type Rule struct {
+	Name string
+	Eval func(s *Sampler, o HealthOptions) []Finding
+}
+
+// HealthOptions tunes the built-in rules.
+type HealthOptions struct {
+	// Windows is K, the consecutive sample intervals a condition must
+	// hold before it fires (default 3). Stall, saturation, and growth
+	// rules all require K windows so one slow scrape does not page.
+	Windows int
+	// SaturationFraction is the queue depth/capacity ratio treated as
+	// saturated (default 0.9).
+	SaturationFraction float64
+	// ErrorRatePerSec is the fid2path real-error rate above which the
+	// stale-FID/error spike rule fires (default 1/s).
+	ErrorRatePerSec float64
+	// Logger receives transition warnings (tier ok→degraded→stalled and
+	// recoveries); nil discards.
+	Logger *slog.Logger
+}
+
+func (o HealthOptions) withDefaults() HealthOptions {
+	if o.Windows <= 0 {
+		o.Windows = 3
+	}
+	if o.SaturationFraction <= 0 {
+		o.SaturationFraction = 0.9
+	}
+	if o.ErrorRatePerSec <= 0 {
+		o.ErrorRatePerSec = 1
+	}
+	return o
+}
+
+// Health evaluates rules over a sampler. All methods are safe for
+// concurrent use and nil-safe.
+type Health struct {
+	s    *Sampler
+	opts HealthOptions
+	slog *slog.Logger
+
+	mu    sync.Mutex
+	rules []Rule
+	last  map[string]Status // tier → previous status, for transition logs
+
+	watchOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewHealth builds a health model over the sampler with the built-in rule
+// set:
+//
+//   - pipeline stage stall: a stage's input rate > 0 while its output
+//     rate == 0 for K windows (Evaluate reports the tier stalled)
+//   - queue saturation: a subscription queue at >= SaturationFraction of
+//     capacity for K windows
+//   - consumer cursor lag growth: a partition's cursor lag strictly
+//     growing for K windows
+//   - changelog backlog growth: a collector's changelog lag strictly
+//     growing for K windows
+//   - stale-FID / resolution error spike: fid2path real-error rate above
+//     ErrorRatePerSec over the last window
+//
+// Rules discover their metrics by name pattern from the newest sample, so
+// one model covers any deployment shape (N MDTs, P partitions) without
+// per-component wiring. AddRule extends the set.
+func NewHealth(s *Sampler, opts HealthOptions) *Health {
+	opts = opts.withDefaults()
+	h := &Health{
+		s:    s,
+		opts: opts,
+		slog: ComponentLogger(opts.Logger, "health"),
+		last: map[string]Status{},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	h.rules = []Rule{
+		{Name: "pipeline-stall", Eval: stallRule},
+		{Name: "queue-saturation", Eval: saturationRule},
+		{Name: "cursor-lag-growth", Eval: growthRule(".cursor_lag.", "consumer cursor lag growing")},
+		{Name: "changelog-backlog-growth", Eval: growthRule(".changelog_lag", "changelog backlog growing")},
+		{Name: "resolution-error-spike", Eval: errorSpikeRule},
+	}
+	return h
+}
+
+// AddRule appends a custom rule. Safe on a nil receiver (no-op).
+func (h *Health) AddRule(r Rule) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.rules = append(h.rules, r)
+	h.mu.Unlock()
+}
+
+// Start runs the watchdog: every interval (<= 0 = the sampler's interval,
+// or DefaultSampleInterval without one) it takes a fresh sample and
+// evaluates, so transitions are logged even when nobody polls /healthz.
+// Safe on a nil receiver.
+func (h *Health) Start(interval time.Duration) {
+	if h == nil {
+		return
+	}
+	h.watchOnce.Do(func() {
+		if interval <= 0 {
+			interval = h.s.Interval()
+		}
+		if interval <= 0 {
+			interval = DefaultSampleInterval
+		}
+		go h.watch(interval)
+	})
+}
+
+func (h *Health) watch(interval time.Duration) {
+	defer close(h.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			h.Evaluate()
+		}
+	}
+}
+
+// Close stops the watchdog goroutine (if started). Safe on a nil receiver
+// and safe to call more than once.
+func (h *Health) Close() {
+	if h == nil {
+		return
+	}
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.watchOnce.Do(func() { close(h.done) }) // never started: unblock the wait
+	<-h.done
+}
+
+// Evaluate runs every rule over the sampler's current history and returns
+// the merged per-tier report. Transitions against the previous evaluation
+// are logged (warn on worsening, info on recovery). Safe on a nil
+// receiver (empty, ok report).
+func (h *Health) Evaluate() HealthReport {
+	rep := HealthReport{SampledAt: time.Now()}
+	if h == nil {
+		return rep
+	}
+	rep.Samples = h.s.Len()
+	h.mu.Lock()
+	rules := make([]Rule, len(h.rules))
+	copy(rules, h.rules)
+	h.mu.Unlock()
+
+	verdicts := map[string]*Verdict{}
+	// Every instrumented tier gets a verdict, default ok — "no news" and
+	// "not monitored" must not look alike.
+	for _, name := range h.s.names() {
+		t := tierOf(name)
+		if _, ok := verdicts[t]; !ok {
+			verdicts[t] = &Verdict{Tier: t, Status: StatusOK}
+		}
+	}
+	for _, r := range rules {
+		if r.Eval == nil {
+			continue
+		}
+		for _, f := range r.Eval(h.s, h.opts) {
+			v, ok := verdicts[f.Tier]
+			if !ok {
+				v = &Verdict{Tier: f.Tier}
+				verdicts[f.Tier] = v
+			}
+			if f.Status > v.Status {
+				v.Status = f.Status
+			}
+			v.Reasons = append(v.Reasons, f.Reason)
+		}
+	}
+	tiers := make([]Verdict, 0, len(verdicts))
+	for _, v := range verdicts {
+		tiers = append(tiers, *v)
+		if v.Status > rep.Status {
+			rep.Status = v.Status
+		}
+	}
+	sort.Slice(tiers, func(i, j int) bool { return tiers[i].Tier < tiers[j].Tier })
+	rep.Tiers = tiers
+	h.logTransitions(tiers)
+	return rep
+}
+
+func (h *Health) logTransitions(tiers []Verdict) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, v := range tiers {
+		prev, seen := h.last[v.Tier]
+		if seen && prev == v.Status {
+			continue
+		}
+		h.last[v.Tier] = v.Status
+		switch {
+		case v.Status > StatusOK:
+			h.slog.Warn("tier health transition",
+				"tier", v.Tier, "from", prev.String(), "to", v.Status.String(),
+				"reasons", strings.Join(v.Reasons, "; "))
+		case seen: // recovery; a fresh ok tier is not news
+			h.slog.Info("tier recovered", "tier", v.Tier, "from", prev.String())
+		}
+	}
+}
+
+// --- built-in rules ---
+
+// stallRule: for every pipeline stage mirrored as "<prefix>.in"/".out",
+// K consecutive windows of positive input deltas with zero output deltas
+// means the stage accepts work and emits nothing — stalled.
+func stallRule(s *Sampler, o HealthOptions) []Finding {
+	var out []Finding
+	for _, name := range s.names() {
+		if !strings.HasSuffix(name, ".in") || !strings.Contains(name, ".pipeline.") {
+			continue
+		}
+		outName := strings.TrimSuffix(name, ".in") + ".out"
+		din := s.Deltas(name, o.Windows)
+		dout := s.Deltas(outName, o.Windows)
+		if len(din) < o.Windows || len(dout) < o.Windows {
+			continue
+		}
+		stalled := true
+		for i := 0; i < o.Windows; i++ {
+			if din[len(din)-1-i] <= 0 || dout[len(dout)-1-i] != 0 {
+				stalled = false
+				break
+			}
+		}
+		if stalled {
+			stage := strings.TrimSuffix(name, ".in")
+			out = append(out, Finding{
+				Tier:   tierOf(name),
+				Status: StatusStalled,
+				Reason: fmt.Sprintf("stage %s: input flowing, no output for %d windows", stage, o.Windows),
+			})
+		}
+	}
+	return out
+}
+
+// saturationRule: a subscription queue holding >= SaturationFraction of
+// its capacity for K consecutive samples is back-pressuring its publisher.
+func saturationRule(s *Sampler, o HealthOptions) []Finding {
+	var out []Finding
+	for _, name := range s.names() {
+		if !strings.HasSuffix(name, ".queue_depth") {
+			continue
+		}
+		capName := strings.TrimSuffix(name, ".queue_depth") + ".queue_cap"
+		depth := s.Series(name)
+		caps := s.Series(capName)
+		if len(depth) < o.Windows || len(caps) == 0 {
+			continue
+		}
+		qcap := caps[len(caps)-1].V
+		if qcap <= 0 {
+			continue
+		}
+		saturated := true
+		for i := 0; i < o.Windows; i++ {
+			if depth[len(depth)-1-i].V/qcap < o.SaturationFraction {
+				saturated = false
+				break
+			}
+		}
+		if saturated {
+			out = append(out, Finding{
+				Tier:   tierOf(name),
+				Status: StatusDegraded,
+				Reason: fmt.Sprintf("%s at %.0f%% of capacity for %d windows", name,
+					100*depth[len(depth)-1].V/qcap, o.Windows),
+			})
+		}
+	}
+	return out
+}
+
+// growthRule builds a rule that fires when every one of the last K deltas
+// of a matching series is positive — monotone growth of a quantity that
+// should drain (cursor lag, changelog backlog).
+func growthRule(match, what string) func(*Sampler, HealthOptions) []Finding {
+	return func(s *Sampler, o HealthOptions) []Finding {
+		var out []Finding
+		for _, name := range s.names() {
+			if !strings.Contains(name, match) {
+				continue
+			}
+			d := s.Deltas(name, o.Windows)
+			if len(d) < o.Windows {
+				continue
+			}
+			growing := true
+			for _, dv := range d[len(d)-o.Windows:] {
+				if dv <= 0 {
+					growing = false
+					break
+				}
+			}
+			if growing {
+				out = append(out, Finding{
+					Tier:   tierOf(name),
+					Status: StatusDegraded,
+					Reason: fmt.Sprintf("%s: %s for %d windows", name, what, o.Windows),
+				})
+			}
+		}
+		return out
+	}
+}
+
+// errorSpikeRule: fid2path real-error rate (stale-FID churn that
+// Algorithm 1 cannot absorb surfaces here) above the threshold over the
+// last window.
+func errorSpikeRule(s *Sampler, o HealthOptions) []Finding {
+	var out []Finding
+	for _, name := range s.names() {
+		if !strings.HasSuffix(name, ".fid2path_errors") {
+			continue
+		}
+		pts := s.Series(name)
+		if len(pts) < 2 {
+			continue
+		}
+		last, prev := pts[len(pts)-1], pts[len(pts)-2]
+		dt := last.T.Sub(prev.T).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		if rate := (last.V - prev.V) / dt; rate > o.ErrorRatePerSec {
+			out = append(out, Finding{
+				Tier:   tierOf(name),
+				Status: StatusDegraded,
+				Reason: fmt.Sprintf("%s: %.1f errors/s (threshold %.1f)", name, rate, o.ErrorRatePerSec),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the watchdog goroutine logs
+// into it while the test polls String().
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestStatusJSONRoundTrip(t *testing.T) {
+	for _, s := range []Status{StatusOK, StatusDegraded, StatusStalled} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Status
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Errorf("round trip %v → %s → %v", s, b, got)
+		}
+	}
+	var bad Status
+	if err := json.Unmarshal([]byte(`"wedged"`), &bad); err == nil {
+		t.Error("accepted unknown status string")
+	}
+}
+
+func TestHealthNil(t *testing.T) {
+	var h *Health
+	rep := h.Evaluate()
+	if rep.Status != StatusOK || len(rep.Tiers) != 0 {
+		t.Errorf("nil health report = %+v", rep)
+	}
+	h.AddRule(Rule{})
+	h.Start(time.Millisecond)
+	h.Close()
+}
+
+// stallFixture wires a synthetic pipeline stage whose input and output
+// counters the test drives directly — fault injection without a real
+// pipeline.
+type stallFixture struct {
+	reg     *Registry
+	s       *Sampler
+	h       *Health
+	in, out atomic.Int64
+}
+
+func newStallFixture(t *testing.T, logger *slog.Logger) *stallFixture {
+	t.Helper()
+	f := &stallFixture{reg: NewRegistry()}
+	f.reg.GaugeFunc("fsmon.aggregator.pipeline.store.in", func() float64 { return float64(f.in.Load()) })
+	f.reg.GaugeFunc("fsmon.aggregator.pipeline.store.out", func() float64 { return float64(f.out.Load()) })
+	f.s = startStoppedSampler(t, f.reg, 32)
+	f.h = NewHealth(f.s, HealthOptions{Windows: 3, Logger: logger})
+	f.reg.SetHealth(f.h)
+	t.Cleanup(f.h.Close)
+	return f
+}
+
+// tick advances the synthetic stage by din/dout and takes one sample.
+func (f *stallFixture) tick(din, dout int64) {
+	f.in.Add(din)
+	f.out.Add(dout)
+	f.s.SampleNow()
+}
+
+// TestHealthStallDetection drives the built-in stall rule through the
+// full lifecycle: healthy flow → injected stall (input advances, output
+// frozen) → recovery.
+func TestHealthStallDetection(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	f := newStallFixture(t, logger)
+
+	// Healthy: both sides advance.
+	for i := 0; i < 4; i++ {
+		f.tick(10, 10)
+	}
+	if rep := f.h.Evaluate(); rep.Status != StatusOK {
+		t.Fatalf("healthy flow reported %v: %+v", rep.Status, rep.Tiers)
+	}
+
+	// Fault injection: the stage keeps accepting but stops emitting.
+	// Not yet K windows: must not page early.
+	f.tick(10, 0)
+	f.tick(10, 0)
+	if rep := f.h.Evaluate(); rep.Status != StatusOK {
+		t.Fatalf("stall reported after only 2 windows: %+v", rep.Tiers)
+	}
+	f.tick(10, 0)
+	rep := f.h.Evaluate()
+	if rep.Status != StatusStalled {
+		t.Fatalf("3-window stall not detected: %+v", rep.Tiers)
+	}
+	found := false
+	for _, v := range rep.Tiers {
+		if v.Tier == "aggregator" && v.Status == StatusStalled {
+			found = true
+			if len(v.Reasons) == 0 || !strings.Contains(v.Reasons[0], "store") {
+				t.Errorf("stall reason does not name the stage: %v", v.Reasons)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no stalled aggregator verdict in %+v", rep.Tiers)
+	}
+	if !strings.Contains(logBuf.String(), "tier health transition") {
+		t.Error("stall transition not logged")
+	}
+
+	// Recovery: output drains again.
+	logBuf.Reset()
+	f.tick(10, 40)
+	if rep := f.h.Evaluate(); rep.Status != StatusOK {
+		t.Fatalf("recovery not detected: %+v", rep.Tiers)
+	}
+	if !strings.Contains(logBuf.String(), "tier recovered") {
+		t.Error("recovery transition not logged")
+	}
+}
+
+// TestHealthzFlips is the acceptance check: a served /healthz answers 200
+// while healthy and flips to 503 when a fault-injected stall wedges a
+// pipeline stage — the orchestrator-facing contract.
+func TestHealthzFlips(t *testing.T) {
+	f := newStallFixture(t, nil)
+	srv, err := Serve("127.0.0.1:0", f.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr() + "/healthz"
+
+	for i := 0; i < 4; i++ {
+		f.tick(10, 10)
+	}
+	rep, ok, err := FetchHealth(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || rep.Status != StatusOK {
+		t.Fatalf("healthy endpoint: ok=%v status=%v", ok, rep.Status)
+	}
+	if rep.Samples == 0 {
+		t.Error("report carries no sample count")
+	}
+
+	for i := 0; i < 3; i++ {
+		f.tick(10, 0) // wedge the stage
+	}
+	rep, ok, err = FetchHealth(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || rep.Status != StatusStalled {
+		t.Fatalf("stalled endpoint: ok=%v status=%v tiers=%+v", ok, rep.Status, rep.Tiers)
+	}
+
+	f.tick(10, 40) // drain
+	rep, ok, err = FetchHealth(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || rep.Status != StatusOK {
+		t.Fatalf("recovered endpoint: ok=%v status=%v", ok, rep.Status)
+	}
+}
+
+// TestHealthQueueSaturation: a subscription queue pinned at capacity for
+// K windows degrades its tier; dipping below the threshold clears it.
+func TestHealthQueueSaturation(t *testing.T) {
+	reg := NewRegistry()
+	var depth atomic.Int64
+	reg.GaugeFunc("fsmon.consumer.sub.queue_depth", func() float64 { return float64(depth.Load()) })
+	reg.GaugeFunc("fsmon.consumer.sub.queue_cap", func() float64 { return 100 })
+	s := startStoppedSampler(t, reg, 16)
+	h := NewHealth(s, HealthOptions{Windows: 3})
+	defer h.Close()
+
+	depth.Store(95)
+	for i := 0; i < 3; i++ {
+		s.SampleNow()
+	}
+	rep := h.Evaluate()
+	if rep.Status != StatusDegraded {
+		t.Fatalf("saturated queue reported %v: %+v", rep.Status, rep.Tiers)
+	}
+	depth.Store(10)
+	s.SampleNow()
+	if rep := h.Evaluate(); rep.Status != StatusOK {
+		t.Fatalf("drained queue still %v: %+v", rep.Status, rep.Tiers)
+	}
+}
+
+// TestHealthGrowthAndErrorRules: cursor-lag growth and fid2path error
+// spikes degrade; flat series stay ok.
+func TestHealthGrowthAndErrorRules(t *testing.T) {
+	reg := NewRegistry()
+	var lag, errs atomic.Int64
+	reg.GaugeFunc("fsmon.consumer.cursor_lag.p0", func() float64 { return float64(lag.Load()) })
+	reg.GaugeFunc("fsmon.collector.mdt0.resolver.fid2path_errors", func() float64 { return float64(errs.Load()) })
+	s := startStoppedSampler(t, reg, 16)
+	h := NewHealth(s, HealthOptions{Windows: 3, ErrorRatePerSec: 5})
+	defer h.Close()
+
+	s.SampleNow()
+	for i := 0; i < 3; i++ {
+		lag.Add(100)
+		s.SampleNow()
+		time.Sleep(2 * time.Millisecond)
+	}
+	rep := h.Evaluate()
+	degraded := map[string]bool{}
+	for _, v := range rep.Tiers {
+		degraded[v.Tier] = v.Status == StatusDegraded
+	}
+	if !degraded["consumer"] {
+		t.Errorf("growing cursor lag not flagged: %+v", rep.Tiers)
+	}
+	if degraded["collector.mdt0"] {
+		t.Errorf("flat error counter wrongly flagged: %+v", rep.Tiers)
+	}
+
+	// A hard error burst within one sample interval trips the spike rule.
+	errs.Add(100000)
+	s.SampleNow()
+	rep = h.Evaluate()
+	spiked := false
+	for _, v := range rep.Tiers {
+		if v.Tier == "collector.mdt0" && v.Status == StatusDegraded {
+			spiked = true
+		}
+	}
+	if !spiked {
+		t.Errorf("error spike not flagged: %+v", rep.Tiers)
+	}
+}
+
+// TestHealthWatchdogRuns: Start evaluates on its own ticker, so
+// transitions are observed (and logged) with nobody polling.
+func TestHealthWatchdogRuns(t *testing.T) {
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	f := newStallFixture(t, logger)
+	for i := 0; i < 4; i++ {
+		f.tick(10, 0)
+	}
+	f.h.Start(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(logBuf.String(), "tier health transition") {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("watchdog never logged the stall")
+}
+
+// TestHealthCustomRule: AddRule extends the rule set.
+func TestHealthCustomRule(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fsmon.custom.thing").Add(1)
+	s := startStoppedSampler(t, reg, 4)
+	s.SampleNow()
+	h := NewHealth(s, HealthOptions{})
+	defer h.Close()
+	h.AddRule(Rule{Name: "always-degraded", Eval: func(*Sampler, HealthOptions) []Finding {
+		return []Finding{{Tier: "custom", Status: StatusDegraded, Reason: "injected"}}
+	}})
+	rep := h.Evaluate()
+	if rep.Status != StatusDegraded {
+		t.Fatalf("custom rule not evaluated: %+v", rep)
+	}
+}

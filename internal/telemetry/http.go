@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -29,18 +30,42 @@ var publishExpvar = func() func() {
 	}
 }()
 
+// fetchClient is the shared bounded HTTP client behind every Fetch helper:
+// a one-shot status query against a wedged endpoint must fail, not hang
+// the caller forever.
+var fetchClient = &http.Client{Timeout: 10 * time.Second}
+
+// shutdownGrace bounds how long Close waits for in-flight scrapes to
+// finish before hard-closing the server.
+const shutdownGrace = 2 * time.Second
+
 // Server is a live introspection endpoint over one registry: JSON
-// snapshots at /metrics, the standard expvar surface at /debug/vars, and
-// net/http/pprof under /debug/pprof/.
+// snapshots at /metrics, retained time-series at /metrics/history,
+// Prometheus text exposition at /metrics/prom, completed span traces at
+// /traces, the watchdog verdict at /healthz, the standard expvar surface
+// at /debug/vars, and net/http/pprof under /debug/pprof/.
 type Server struct {
 	reg *Registry
 	ln  net.Listener
 	srv *http.Server
 }
 
+// HistoryResponse is the /metrics/history JSON shape: the retained
+// samples (oldest first), the sampling interval, and the derived
+// per-second rates of every monotone series over the window.
+type HistoryResponse struct {
+	IntervalMS int64              `json:"interval_ms"`
+	Samples    []Sample           `json:"samples"`
+	Rates      map[string]float64 `json:"rates"`
+}
+
 // Serve starts the introspection endpoint on addr (":0" picks a free
 // port; see Addr). The registry may be nil, in which case snapshots are
-// empty but the endpoint — including pprof — still works.
+// empty but the endpoint — including pprof — still works. The history,
+// trace, and health surfaces light up when a Sampler, TraceRing, or
+// Health is attached to the registry; unattached they respond with their
+// empty shapes rather than 404, so probes can be configured before the
+// monitor is.
 func Serve(addr string, reg *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -55,6 +80,40 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		s := reg.Sampler()
+		resp := HistoryResponse{
+			IntervalMS: s.Interval().Milliseconds(),
+			Samples:    s.History(),
+			Rates:      s.Rates(),
+		}
+		if resp.Samples == nil {
+			resp.Samples = []Sample{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteChromeTrace(w, reg.Traces().Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		rep := reg.Health().Evaluate()
+		w.Header().Set("Content-Type", "application/json")
+		// Stalled is the orchestrator-actionable verdict: data is not
+		// flowing. Degraded tiers still move events, so they stay 200 —
+		// the report body carries the warning.
+		if rep.Status == StatusStalled {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -75,25 +134,69 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 // Addr returns the listener's address, resolving ":0" to the bound port.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the endpoint down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the endpoint down: it stops accepting connections and
+// drains in-flight requests for a short grace period before hard-closing
+// whatever remains — a mid-scrape Close returns complete responses
+// instead of resets.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
 
 // FetchSnapshot retrieves a /metrics snapshot from a running endpoint —
 // the client half of the one-shot status dump (fsmon -status). Histogram
 // values decode as map[string]any; WriteSnapshotText handles both forms.
+// The shared bounded client caps the round trip, so a wedged endpoint
+// fails the fetch rather than hanging it.
 func FetchSnapshot(url string) (map[string]any, error) {
-	c := &http.Client{Timeout: 10 * time.Second}
-	resp, err := c.Get(url)
-	if err != nil {
+	var snap map[string]any
+	if err := fetchJSON(url, &snap); err != nil {
 		return nil, err
+	}
+	return snap, nil
+}
+
+// FetchHistory retrieves the retained time-series and derived rates from
+// a running endpoint's /metrics/history.
+func FetchHistory(url string) (HistoryResponse, error) {
+	var hist HistoryResponse
+	err := fetchJSON(url, &hist)
+	return hist, err
+}
+
+// FetchHealth retrieves a /healthz verdict. The report is returned even
+// when the endpoint answers 503 (stalled) — only transport and decode
+// failures are errors. ok mirrors the HTTP verdict: true for 200.
+func FetchHealth(url string) (rep HealthReport, ok bool, err error) {
+	resp, err := fetchClient.Get(url)
+	if err != nil {
+		return rep, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return rep, false, fmt.Errorf("telemetry: %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, false, fmt.Errorf("telemetry: decode %s: %w", url, err)
+	}
+	return rep, resp.StatusCode == http.StatusOK, nil
+}
+
+func fetchJSON(url string, into any) error {
+	resp, err := fetchClient.Get(url)
+	if err != nil {
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("telemetry: %s: %s", url, resp.Status)
+		return fmt.Errorf("telemetry: %s: %s", url, resp.Status)
 	}
-	var snap map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("telemetry: decode %s: %w", url, err)
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("telemetry: decode %s: %w", url, err)
 	}
-	return snap, nil
+	return nil
 }

@@ -2,9 +2,11 @@ package telemetry
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestServeSnapshotShape exercises the live endpoint end to end: serve a
@@ -110,5 +112,118 @@ func TestServeNilRegistry(t *testing.T) {
 	}
 	if len(snap) != 0 {
 		t.Errorf("nil-registry snapshot = %v, want empty", snap)
+	}
+	// The PR-5 surfaces answer their empty shapes rather than 404 or 500.
+	for _, path := range []string{"/metrics/history", "/metrics/prom", "/traces", "/healthz"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s on bare endpoint = %s, want 200", path, resp.Status)
+		}
+	}
+}
+
+// TestServeHistoryEndpoint: with a sampler attached, /metrics/history
+// serves the retained window and derived rates; FetchHistory is its
+// client half.
+func TestServeHistoryEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("fsmon.test.flow")
+	s := startStoppedSampler(t, reg, 16)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		c.Add(50)
+		s.SampleNow()
+		time.Sleep(2 * time.Millisecond)
+	}
+	hist, err := FetchHistory("http://" + srv.Addr() + "/metrics/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Samples) != 3 {
+		t.Fatalf("history samples = %d, want 3", len(hist.Samples))
+	}
+	if hist.Samples[0].Values["fsmon.test.flow"] != 50 {
+		t.Errorf("oldest sample = %v", hist.Samples[0].Values)
+	}
+	if hist.Samples[0].TMS == 0 {
+		t.Error("sample timestamps lost in transit")
+	}
+	if r, ok := hist.Rates["fsmon.test.flow"]; !ok || r <= 0 {
+		t.Errorf("derived rate = %v (present %v)", r, ok)
+	}
+	if hist.IntervalMS != time.Hour.Milliseconds() {
+		t.Errorf("interval_ms = %d", hist.IntervalMS)
+	}
+}
+
+// TestServePromEndpoint: /metrics/prom serves the exposition with the
+// versioned content type and parseable text.
+func TestServePromEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fsmon.test.events").Add(3)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, string(body))
+	found := false
+	for _, s := range samples {
+		if s.name == "fsmon_test_events_total" && s.value == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("counter missing from exposition:\n%s", body)
+	}
+}
+
+// TestServeTracesEndpoint: /traces dumps the registry ring as a Chrome
+// trace document.
+func TestServeTracesEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableTracing(1, 8)
+	reg.Traces().Add(Trace{ID: 7, Spans: []TraceSpan{{Tier: "collect", TS: 1000}}})
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Name != "collect" {
+		t.Errorf("trace dump = %+v", doc.TraceEvents)
 	}
 }

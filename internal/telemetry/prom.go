@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (the 0.0.4 text format, which OpenMetrics
+// scrapers also ingest): the registry's counters, gauges, and fixed-bucket
+// histograms rendered as native families so the repo plugs into a real
+// scrape stack with zero adapters. Name mangling is stable —
+// "fsmon.collector.events" → "fsmon_collector_events_total" — so dashboards
+// survive restarts and rebuilds.
+
+// MangleName converts a dotted fsmon metric name to a Prometheus metric
+// name: every character outside [a-zA-Z0-9_] becomes '_', and a leading
+// digit is prefixed with '_'.
+func MangleName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value in Prometheus text form.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format:
+//
+//   - counters as "<name>_total" counter families
+//   - gauges and GaugeFunc mirrors as gauge families
+//   - histograms as native histogram families with cumulative
+//     "_bucket{le=...}" counts, the "+Inf" bucket, "_sum", and "_count",
+//     plus a "<name>_max" gauge carrying the tracked maximum (the overflow
+//     count is the "+Inf" bucket minus the last finite bucket)
+//
+// Families are emitted in sorted (mangled) name order. GaugeFuncs run
+// outside the registry lock, like Snapshot. Safe on a nil registry
+// (renders nothing).
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	names, slots := r.slots()
+	order := make([]int, len(names))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return names[order[a]] < names[order[b]] })
+	for _, i := range order {
+		m := slots[i]
+		mangled := MangleName(names[i])
+		var err error
+		switch {
+		case m.counter != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n",
+				mangled, mangled, m.counter.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n",
+				mangled, mangled, m.gauge.Value())
+		case m.fn != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+				mangled, mangled, promFloat(m.fn()))
+		case m.hist != nil:
+			err = writePromHistogram(w, mangled, m.hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	bounds, counts := h.Buckets()
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, bound := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1] // overflow bucket
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, cum); err != nil {
+		return err
+	}
+	// The tracked max rides along as a gauge: histograms cap quantile
+	// interpolation at the last bound, so the max (with the +Inf bucket's
+	// overflow count) is how an operator sees past the layout.
+	_, err := fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %d\n", name, name, h.Max())
+	return err
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestMangleName(t *testing.T) {
+	cases := map[string]string{
+		"fsmon.collector.events":       "fsmon_collector_events",
+		"fsmon.collector.mdt0.resolve": "fsmon_collector_mdt0_resolve",
+		"fsmon.store.p1.appended":      "fsmon_store_p1_appended",
+		"0weird":                       "_0weird",
+		"a-b c":                        "a_b_c",
+		"already_fine":                 "already_fine",
+	}
+	for in, want := range cases {
+		if got := MangleName(in); got != want {
+			t.Errorf("MangleName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte for one
+// registry of each instrument kind. Dashboards key on these names; drift
+// here is a breaking change.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fsmon.collector.events").Add(7)
+	reg.Gauge("fsmon.queue_depth").Set(3)
+	reg.GaugeFunc("fsmon.utilization", func() float64 { return 0.5 })
+	h := reg.Histogram("fsmon.store_us", []int64{10, 100})
+	h.Observe(5)    // le=10
+	h.Observe(50)   // le=100
+	h.Observe(1000) // overflow
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE fsmon_collector_events_total counter`,
+		`fsmon_collector_events_total 7`,
+		`# TYPE fsmon_queue_depth gauge`,
+		`fsmon_queue_depth 3`,
+		`# TYPE fsmon_store_us histogram`,
+		`fsmon_store_us_bucket{le="10"} 1`,
+		`fsmon_store_us_bucket{le="100"} 2`,
+		`fsmon_store_us_bucket{le="+Inf"} 3`,
+		`fsmon_store_us_sum 1055`,
+		`fsmon_store_us_count 3`,
+		`# TYPE fsmon_store_us_max gauge`,
+		`fsmon_store_us_max 1000`,
+		`# TYPE fsmon_utilization gauge`,
+		`fsmon_utilization 0.5`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("exposition drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// promSample is one parsed text-format sample.
+type promSample struct {
+	name   string
+	labels string // raw label block, "" when unlabeled
+	value  float64
+}
+
+// parsePromText is a miniature parser for the Prometheus 0.0.4 text
+// format, strict about the shape WritePrometheus must produce: every
+// sample belongs to a preceding # TYPE family, names are valid, counters
+// end in _total, and histogram families are internally consistent.
+func parsePromText(t *testing.T, text string) []promSample {
+	t.Helper()
+	var out []promSample
+	types := map[string]string{}
+	var lastFamily string
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown family type %q", ln+1, fields[3])
+			}
+			types[fields[2]] = fields[3]
+			lastFamily = fields[2]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no sample value in %q", ln+1, line)
+		}
+		id, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name, labels := id, ""
+		if i := strings.IndexByte(id, '{'); i >= 0 {
+			if !strings.HasSuffix(id, "}") {
+				t.Fatalf("line %d: unterminated labels in %q", ln+1, id)
+			}
+			name, labels = id[:i], id[i+1:len(id)-1]
+		}
+		for _, c := range name {
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+				t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+			}
+		}
+		family := lastFamily
+		switch types[family] {
+		case "counter":
+			if name != family {
+				t.Fatalf("line %d: sample %q outside its counter family %q", ln+1, name, family)
+			}
+			if !strings.HasSuffix(name, "_total") {
+				t.Fatalf("line %d: counter %q does not end in _total", ln+1, name)
+			}
+		case "gauge":
+			if name != family {
+				t.Fatalf("line %d: sample %q outside its gauge family %q", ln+1, name, family)
+			}
+		case "histogram":
+			switch name {
+			case family + "_bucket", family + "_sum", family + "_count":
+			default:
+				t.Fatalf("line %d: sample %q outside its histogram family %q", ln+1, name, family)
+			}
+		default:
+			t.Fatalf("line %d: sample %q before any # TYPE family", ln+1, name)
+		}
+		out = append(out, promSample{name: name, labels: labels, value: val})
+	}
+	return out
+}
+
+// TestWritePrometheusParses runs a realistic registry through the mini
+// parser and checks histogram-family invariants: cumulative buckets ending
+// in +Inf, bucket count equal to _count, and monotone non-decreasing
+// cumulative counts.
+func TestWritePrometheusParses(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fsmon.collector.mdt0.records").Add(100)
+	reg.Gauge("fsmon.aggregator.sub.queue_depth").Set(12)
+	reg.GaugeFunc("fsmon.process.heap_bytes", func() float64 { return 1e7 })
+	h := reg.Histogram("fsmon.consumer.e2e_us", nil) // default latency buckets
+	for i := int64(1); i < 2000; i *= 3 {
+		h.Observe(i)
+	}
+	h.Observe(1 << 40) // deep overflow
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, buf.String())
+	if len(samples) == 0 {
+		t.Fatal("parser returned no samples")
+	}
+
+	const fam = "fsmon_consumer_e2e_us"
+	var buckets []promSample
+	var sum, count float64
+	haveSum, haveCount, haveInf := false, false, false
+	for _, s := range samples {
+		switch s.name {
+		case fam + "_bucket":
+			buckets = append(buckets, s)
+			if s.labels == `le="+Inf"` {
+				haveInf = true
+			}
+		case fam + "_sum":
+			sum, haveSum = s.value, true
+		case fam + "_count":
+			count, haveCount = s.value, true
+		}
+	}
+	if !haveSum || !haveCount || !haveInf {
+		t.Fatalf("histogram family incomplete: sum=%v count=%v +Inf=%v", haveSum, haveCount, haveInf)
+	}
+	if len(buckets) != len(LatencyBuckets)+1 {
+		t.Errorf("bucket samples = %d, want %d", len(buckets), len(LatencyBuckets)+1)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].value < buckets[i-1].value {
+			t.Errorf("bucket %d not cumulative: %v after %v", i, buckets[i].value, buckets[i-1].value)
+		}
+	}
+	if last := buckets[len(buckets)-1]; last.value != count {
+		t.Errorf("+Inf bucket %v != _count %v", last.value, count)
+	}
+	if sum < float64(uint64(1)<<40) {
+		t.Errorf("_sum %v lost the overflow observation", sum)
+	}
+
+	// The snapshot and the exposition must agree on overflow accounting.
+	snap := reg.Snapshot()["fsmon.consumer.e2e_us"].(HistogramSnapshot)
+	if snap.Overflow == 0 {
+		t.Error("snapshot overflow = 0, want the deep observation counted")
+	}
+}
+
+// TestPromFloat covers the value rendering edge cases.
+func TestPromFloat(t *testing.T) {
+	inf := func(sign int) float64 { return float64(sign) * 1e308 * 10 }
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {3, "3"}, {-7, "-7"}, {0.5, "0.5"},
+		{inf(1), "+Inf"}, {inf(-1), "-Inf"},
+	}
+	for _, c := range cases {
+		if got := promFloat(c.v); got != c.want {
+			t.Errorf("promFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := promFloat(nan()); got != "NaN" {
+		t.Errorf("promFloat(NaN) = %q", got)
+	}
+}
+
+func nan() float64 { var z float64; return z / z }

@@ -1,0 +1,349 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Time-series retention: a background sampler snapshots the registry on a
+// fixed interval into a bounded ring, and derived views turn the retained
+// window into the signals a point-in-time snapshot cannot give — per-second
+// rates for monotonic counters (events/s per tier, fid2path/s, store
+// appends/s), windowed min/max/delta for gauges, and the per-interval
+// deltas the watchdog health rules evaluate. Related monitoring systems
+// make exactly this their centerpiece (MELT's aggregated time-series
+// health views; Doreau's lag accounting over continuous activity streams);
+// here it is the substrate /metrics/history, Rates(), and /healthz stand
+// on.
+
+// Sampler defaults.
+const (
+	// DefaultSeriesLen is the retained sample count — 256 samples at the
+	// default interval is a bit over four minutes of history.
+	DefaultSeriesLen = 256
+	// DefaultSampleInterval is the tick between registry snapshots.
+	DefaultSampleInterval = time.Second
+)
+
+// Sample is one sampler tick: the registry snapshot flattened to scalars.
+// Histograms flatten to "<name>.count", ".p50", ".p95", ".p99", ".max"
+// (so a rate over ".count" is observations/s and tail quantiles chart
+// over time).
+type Sample struct {
+	T      time.Time          `json:"-"`
+	TMS    int64              `json:"t_ms"`
+	Values map[string]float64 `json:"values"`
+}
+
+// SeriesPoint is one metric's value at one sample instant.
+type SeriesPoint struct {
+	T time.Time
+	V float64
+}
+
+// Window summarizes one metric over the retained samples.
+type Window struct {
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Delta float64 `json:"delta"` // newest - oldest
+}
+
+// Sampler fills a fixed-size ring with registry snapshots on a background
+// ticker. All methods are safe for concurrent use and safe on a nil
+// receiver (empty views), mirroring the registry's nil discipline.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu   sync.Mutex
+	ring []Sample
+	next int // ring slot the next sample lands in
+	n    int // filled slots (<= len(ring))
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartSampler attaches a background sampler to the registry and starts
+// it; interval <= 0 selects DefaultSampleInterval, capacity <= 0 selects
+// DefaultSeriesLen. A registry holds at most one sampler — subsequent
+// calls return the existing one. Returns nil on a nil registry.
+func (r *Registry) StartSampler(interval time.Duration, capacity int) *Sampler {
+	if r == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	if capacity <= 0 {
+		capacity = DefaultSeriesLen
+	}
+	s := &Sampler{
+		reg:      r,
+		interval: interval,
+		ring:     make([]Sample, capacity),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if !r.sampler.CompareAndSwap(nil, s) {
+		return r.sampler.Load()
+	}
+	go s.run()
+	return s
+}
+
+func (s *Sampler) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.SampleNow()
+		}
+	}
+}
+
+// Close stops the background ticker. The retained history stays readable.
+// Safe on a nil receiver and safe to call more than once.
+func (s *Sampler) Close() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Interval returns the sampling interval (0 on a nil receiver).
+func (s *Sampler) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// SampleNow takes one sample immediately — the deterministic path tests
+// and the watchdog use instead of waiting for the ticker. Safe on a nil
+// receiver.
+func (s *Sampler) SampleNow() {
+	if s == nil {
+		return
+	}
+	sample := Sample{T: time.Now(), Values: flattenSnapshot(s.reg.Snapshot())}
+	sample.TMS = sample.T.UnixMilli()
+	s.mu.Lock()
+	s.ring[s.next] = sample
+	s.next = (s.next + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// flattenSnapshot reduces a registry snapshot to scalars, expanding each
+// histogram into its count and quantile fields.
+func flattenSnapshot(snap map[string]any) map[string]float64 {
+	out := make(map[string]float64, len(snap))
+	for name, v := range snap {
+		switch v := v.(type) {
+		case float64:
+			out[name] = v
+		case HistogramSnapshot:
+			out[name+".count"] = float64(v.Count)
+			out[name+".p50"] = v.P50
+			out[name+".p95"] = v.P95
+			out[name+".p99"] = v.P99
+			out[name+".max"] = float64(v.Max)
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained samples.
+func (s *Sampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// History returns the retained samples, oldest first. The slice and its
+// maps are snapshots safe for the caller to retain.
+func (s *Sampler) History() []Sample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.historyLocked()
+}
+
+func (s *Sampler) historyLocked() []Sample {
+	out := make([]Sample, 0, s.n)
+	start := s.next - s.n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(start+i)%len(s.ring)])
+	}
+	return out
+}
+
+// Series returns one metric's retained points, oldest first. Samples in
+// which the metric was absent (not yet registered) are skipped.
+func (s *Sampler) Series(name string) []SeriesPoint {
+	if s == nil {
+		return nil
+	}
+	var out []SeriesPoint
+	for _, sm := range s.History() {
+		if v, ok := sm.Values[name]; ok {
+			out = append(out, SeriesPoint{T: sm.T, V: v})
+		}
+	}
+	return out
+}
+
+// Deltas returns the metric's last k per-interval deltas, oldest first
+// (fewer when the history is shorter). Health rules evaluate these: k
+// consecutive positive input deltas with zero output deltas is a stall.
+func (s *Sampler) Deltas(name string, k int) []float64 {
+	pts := s.Series(name)
+	if len(pts) < 2 {
+		return nil
+	}
+	first := len(pts) - 1 - k
+	if first < 0 {
+		first = 0
+	}
+	out := make([]float64, 0, len(pts)-1-first)
+	for i := first; i < len(pts)-1; i++ {
+		out = append(out, pts[i+1].V-pts[i].V)
+	}
+	return out
+}
+
+// Rate returns the metric's average per-second rate over the retained
+// window. ok is false when fewer than two samples exist or the series is
+// not monotonically non-decreasing — counters and counter mirrors are
+// monotone, so monotonicity is how the sampler tells a rate-meaningful
+// series from a free-moving gauge.
+func (s *Sampler) Rate(name string) (perSec float64, ok bool) {
+	pts := s.Series(name)
+	return rateOf(pts)
+}
+
+func rateOf(pts []SeriesPoint) (float64, bool) {
+	if len(pts) < 2 {
+		return 0, false
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].V < pts[i-1].V {
+			return 0, false
+		}
+	}
+	dt := pts[len(pts)-1].T.Sub(pts[0].T).Seconds()
+	if dt <= 0 {
+		return 0, false
+	}
+	return (pts[len(pts)-1].V - pts[0].V) / dt, true
+}
+
+// Rates derives the per-second rate of every monotone scalar in the
+// retained window — ev/s per tier, fid2path/s, store appends/s — keyed by
+// metric name. Non-monotone series (true gauges) are omitted; use
+// Windows for those.
+func (s *Sampler) Rates() map[string]float64 {
+	out := map[string]float64{}
+	for _, name := range s.names() {
+		if r, ok := s.Rate(name); ok {
+			out[name] = r
+		}
+	}
+	return out
+}
+
+// Windows summarizes every scalar over the retained window (min, max,
+// newest-oldest delta) — the gauge-side companion to Rates.
+func (s *Sampler) Windows() map[string]Window {
+	out := map[string]Window{}
+	for _, name := range s.names() {
+		pts := s.Series(name)
+		if len(pts) == 0 {
+			continue
+		}
+		w := Window{Min: math.Inf(1), Max: math.Inf(-1)}
+		for _, p := range pts {
+			w.Min = math.Min(w.Min, p.V)
+			w.Max = math.Max(w.Max, p.V)
+		}
+		w.Delta = pts[len(pts)-1].V - pts[0].V
+		out[name] = w
+	}
+	return out
+}
+
+// names lists every metric name seen in the newest sample, sorted.
+func (s *Sampler) names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	var latest map[string]float64
+	if s.n > 0 {
+		i := s.next - 1
+		if i < 0 {
+			i += len(s.ring)
+		}
+		latest = s.ring[i].Values
+	}
+	s.mu.Unlock()
+	names := make([]string, 0, len(latest))
+	for n := range latest {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// tierOf maps a metric name to its tier label for per-tier health
+// verdicts: "fsmon.collector.mdt0.resolver.fid2path_errors" →
+// "collector.mdt0", "fsmon.aggregator.stored" → "aggregator",
+// "fsmon.store.p1.appended" → "store". Names outside the fsmon namespace
+// map to their first segment.
+func tierOf(name string) string {
+	segs := strings.Split(name, ".")
+	if len(segs) > 1 && segs[0] == "fsmon" {
+		segs = segs[1:]
+	}
+	if len(segs) == 0 {
+		return name
+	}
+	tier := segs[0]
+	// Instance-suffixed tiers keep the instance: collector.mdt0.
+	if len(segs) > 1 && strings.HasPrefix(segs[1], "mdt") && isDigits(segs[1][3:]) {
+		tier += "." + segs[1]
+	}
+	return tier
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

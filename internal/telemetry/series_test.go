@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// startStoppedSampler attaches a sampler without letting its ticker race
+// the test: a huge interval means only explicit SampleNow calls add
+// samples.
+func startStoppedSampler(t *testing.T, reg *Registry, capacity int) *Sampler {
+	t.Helper()
+	s := reg.StartSampler(time.Hour, capacity)
+	if s == nil {
+		t.Fatal("StartSampler returned nil")
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSamplerNil(t *testing.T) {
+	var s *Sampler
+	s.SampleNow()
+	s.Close()
+	if s.Len() != 0 || s.History() != nil || s.Series("x") != nil {
+		t.Error("nil sampler views not empty")
+	}
+	if _, ok := s.Rate("x"); ok {
+		t.Error("nil sampler derived a rate")
+	}
+	var r *Registry
+	if r.StartSampler(0, 0) != nil {
+		t.Error("nil registry produced a sampler")
+	}
+}
+
+func TestSamplerSingleton(t *testing.T) {
+	reg := NewRegistry()
+	s := startStoppedSampler(t, reg, 8)
+	if again := reg.StartSampler(time.Minute, 99); again != s {
+		t.Error("second StartSampler did not return the existing sampler")
+	}
+	if reg.Sampler() != s {
+		t.Error("Sampler() accessor disagrees")
+	}
+}
+
+func TestSamplerRingAndHistory(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("fsmon.test.events")
+	s := startStoppedSampler(t, reg, 4)
+
+	for i := 0; i < 6; i++ {
+		c.Add(10)
+		s.SampleNow()
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want ring capacity 4", s.Len())
+	}
+	hist := s.History()
+	if len(hist) != 4 {
+		t.Fatalf("History len = %d, want 4", len(hist))
+	}
+	// Oldest-first: the retained window is samples 3..6 → values 30..60.
+	for i, sm := range hist {
+		want := float64(30 + 10*i)
+		if got := sm.Values["fsmon.test.events"]; got != want {
+			t.Errorf("sample %d value = %v, want %v", i, got, want)
+		}
+		if sm.TMS == 0 {
+			t.Errorf("sample %d missing wall-clock stamp", i)
+		}
+	}
+	pts := s.Series("fsmon.test.events")
+	if len(pts) != 4 || pts[0].V != 30 || pts[3].V != 60 {
+		t.Errorf("Series = %+v", pts)
+	}
+}
+
+func TestSamplerRatesAndWindows(t *testing.T) {
+	reg := NewRegistry()
+	counter := reg.Counter("fsmon.test.mono")
+	gauge := reg.Gauge("fsmon.test.wobble")
+	s := startStoppedSampler(t, reg, 16)
+
+	wobble := []int64{5, 9, 3, 7}
+	for i := 0; i < 4; i++ {
+		counter.Add(100)
+		gauge.Set(wobble[i])
+		s.SampleNow()
+		time.Sleep(2 * time.Millisecond) // rates need dt > 0
+	}
+
+	rates := s.Rates()
+	if _, ok := rates["fsmon.test.mono"]; !ok {
+		t.Error("monotone counter missing from Rates")
+	}
+	if _, ok := rates["fsmon.test.wobble"]; ok {
+		t.Error("non-monotone gauge wrongly rate-derived")
+	}
+	if r, ok := s.Rate("fsmon.test.mono"); !ok || r <= 0 {
+		t.Errorf("Rate(mono) = %v, %v", r, ok)
+	}
+
+	w := s.Windows()["fsmon.test.wobble"]
+	if w.Min != 3 || w.Max != 9 || w.Delta != 2 {
+		t.Errorf("Window(wobble) = %+v, want min 3 max 9 delta 2", w)
+	}
+
+	d := s.Deltas("fsmon.test.mono", 2)
+	if len(d) != 2 || d[0] != 100 || d[1] != 100 {
+		t.Errorf("Deltas = %v, want [100 100]", d)
+	}
+}
+
+func TestSamplerFlattensHistograms(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("fsmon.test.lat_us", nil)
+	h.Observe(10)
+	h.Observe(20)
+	s := startStoppedSampler(t, reg, 4)
+	s.SampleNow()
+	vals := s.History()[0].Values
+	if vals["fsmon.test.lat_us.count"] != 2 {
+		t.Errorf("flattened count = %v", vals["fsmon.test.lat_us.count"])
+	}
+	for _, k := range []string{".p50", ".p95", ".p99", ".max"} {
+		if _, ok := vals["fsmon.test.lat_us"+k]; !ok {
+			t.Errorf("flattened sample missing %s", k)
+		}
+	}
+}
+
+// TestSamplerConcurrency exercises writers, the ticker, and every reader
+// view at once — meaningful under -race.
+func TestSamplerConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("fsmon.race.events")
+	g := reg.Gauge("fsmon.race.depth")
+	h := reg.Histogram("fsmon.race.lat", nil)
+	s := reg.StartSampler(time.Millisecond, 32)
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(int64(j % 100))
+				h.Observe(int64(j % 1000))
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.SampleNow()
+				_ = s.History()
+				_ = s.Rates()
+				_ = s.Windows()
+				_ = s.Deltas("fsmon.race.events", 3)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if s.Len() == 0 {
+		t.Error("no samples retained")
+	}
+}
+
+func TestTierOf(t *testing.T) {
+	cases := map[string]string{
+		"fsmon.collector.mdt0.resolver.fid2path_errors": "collector.mdt0",
+		"fsmon.collector.mdt12.pipeline.resolve.in":     "collector.mdt12",
+		"fsmon.aggregator.stored":                       "aggregator",
+		"fsmon.store.p1.appended":                       "store",
+		"fsmon.consumer.cursor_lag.p0":                  "consumer",
+		"fsmon.process.heap_bytes":                      "process",
+		"custom.thing":                                  "custom",
+	}
+	for in, want := range cases {
+		if got := tierOf(in); got != want {
+			t.Errorf("tierOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -151,14 +151,64 @@ func (h *Histogram) Count() uint64 {
 	return h.count.Load()
 }
 
-// HistogramSnapshot summarizes a histogram at one instant.
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observed value (0 on a nil receiver).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Overflow returns the number of observations above the last bucket bound
+// (0 on a nil receiver). A non-zero overflow means the bucket layout is too
+// narrow for the workload and quantile estimates near the tail lean on the
+// observed max instead of interpolation.
+func (h *Histogram) Overflow() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.buckets[len(h.buckets)-1].Load()
+}
+
+// Buckets returns the histogram's upper bounds and per-bucket counts. The
+// counts slice has one more entry than bounds: the final entry is the
+// overflow bucket (observations above the last bound). Counts are loaded
+// without a global lock, so a snapshot racing observations is approximate.
+// Nil receivers return nil slices.
+func (h *Histogram) Buckets() (bounds []int64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = make([]int64, len(h.bounds))
+	copy(bounds, h.bounds)
+	counts = make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return bounds, counts
+}
+
+// HistogramSnapshot summarizes a histogram at one instant. Overflow is the
+// count of observations that landed above the last bucket bound — when it
+// is non-zero, tail quantiles report the tracked max rather than an
+// interpolated value, and the max/overflow pair says how hard the layout
+// is being exceeded.
 type HistogramSnapshot struct {
-	Count uint64  `json:"count"`
-	Mean  float64 `json:"mean"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
-	Max   int64   `json:"max"`
+	Count    uint64  `json:"count"`
+	Mean     float64 `json:"mean"`
+	P50      float64 `json:"p50"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+	Max      int64   `json:"max"`
+	Overflow uint64  `json:"overflow"`
 }
 
 // Snapshot summarizes the histogram. Counts are read without a global
@@ -174,7 +224,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		counts[i] = h.buckets[i].Load()
 		total += counts[i]
 	}
-	s := HistogramSnapshot{Count: total, Max: h.max.Load()}
+	s := HistogramSnapshot{Count: total, Max: h.max.Load(), Overflow: counts[len(counts)-1]}
 	if total == 0 {
 		return s
 	}
@@ -242,6 +292,15 @@ type metric struct {
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
+
+	// Second-story attachments (PR 5): the background sampler retaining
+	// metric history, the watchdog health model over it, and the sampled
+	// span-trace ring. All optional; accessors are nil-safe so components
+	// thread only the *Registry and discover the rest.
+	sampler atomic.Pointer[Sampler]
+	health  atomic.Pointer[Health]
+	traces  atomic.Pointer[TraceRing]
+	traceN  atomic.Int64
 }
 
 // NewRegistry creates an empty registry.
@@ -323,6 +382,87 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return m.hist
 }
 
+// slots copies every registered metric slot under the lock, for walkers
+// (Snapshot, the Prometheus renderer) that must evaluate GaugeFuncs and
+// read histograms outside it. Slots are copied by value: GaugeFunc
+// re-registration rewrites a slot in place under the lock, so field reads
+// after unlock must not alias the live struct.
+func (r *Registry) slots() (names []string, ms []metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names = make([]string, 0, len(r.metrics))
+	ms = make([]metric, 0, len(r.metrics))
+	for n, m := range r.metrics {
+		names = append(names, n)
+		ms = append(ms, *m)
+	}
+	return names, ms
+}
+
+// EnableTracing turns on deterministic 1-in-n span-trace sampling for
+// every component attached to this registry and allocates the bounded
+// ring completed traces land in (ringCap <= 0 selects DefaultTraceRing).
+// n == 1 traces every event; n <= 0 disables. Call before deploying —
+// collectors read the sampling rate once at startup. No-op on a nil
+// registry.
+func (r *Registry) EnableTracing(n, ringCap int) {
+	if r == nil {
+		return
+	}
+	r.traceN.Store(int64(n))
+	if n > 0 && r.traces.Load() == nil {
+		if ringCap <= 0 {
+			ringCap = DefaultTraceRing
+		}
+		r.traces.CompareAndSwap(nil, NewTraceRing(ringCap))
+	}
+}
+
+// TraceSampleN returns the trace sampling rate (1-in-N; 0 = tracing off).
+// Safe on a nil registry.
+func (r *Registry) TraceSampleN() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.traceN.Load())
+}
+
+// Traces returns the completed-trace ring (nil until EnableTracing). Safe
+// on a nil registry.
+func (r *Registry) Traces() *TraceRing {
+	if r == nil {
+		return nil
+	}
+	return r.traces.Load()
+}
+
+// Sampler returns the attached background sampler (nil until
+// StartSampler). Safe on a nil registry.
+func (r *Registry) Sampler() *Sampler {
+	if r == nil {
+		return nil
+	}
+	return r.sampler.Load()
+}
+
+// Health returns the attached health model (nil until SetHealth). Safe on
+// a nil registry.
+func (r *Registry) Health() *Health {
+	if r == nil {
+		return nil
+	}
+	return r.health.Load()
+}
+
+// SetHealth attaches the health model served at /healthz. No-op on a nil
+// registry.
+func (r *Registry) SetHealth(h *Health) {
+	if r == nil {
+		return
+	}
+	r.health.Store(h)
+}
+
 // Snapshot returns the registry's current state: counter and gauge values
 // as float64, histograms as HistogramSnapshot. The map is freshly built
 // and safe for the caller to retain. Nil registries snapshot empty.
@@ -330,17 +470,7 @@ func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return map[string]any{}
 	}
-	r.mu.Lock()
-	names := make([]string, 0, len(r.metrics))
-	// Slots are copied by value: GaugeFunc re-registration rewrites a slot
-	// in place under the lock, so field reads after unlock must not alias
-	// the live struct.
-	slots := make([]metric, 0, len(r.metrics))
-	for n, m := range r.metrics {
-		names = append(names, n)
-		slots = append(slots, *m)
-	}
-	r.mu.Unlock()
+	names, slots := r.slots()
 	out := make(map[string]any, len(names))
 	// GaugeFuncs run outside the registry lock: they may themselves take
 	// component locks (stats snapshots), and holding ours across arbitrary
@@ -380,11 +510,11 @@ func WriteSnapshotText(w io.Writer, snap map[string]any) error {
 		var err error
 		switch v := snap[n].(type) {
 		case HistogramSnapshot:
-			_, err = fmt.Fprintf(w, "%s count=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%d\n",
-				n, v.Count, v.Mean, v.P50, v.P95, v.P99, v.Max)
+			_, err = fmt.Fprintf(w, "%s count=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%d overflow=%d\n",
+				n, v.Count, v.Mean, v.P50, v.P95, v.P99, v.Max, v.Overflow)
 		case map[string]any: // a histogram decoded from JSON
-			_, err = fmt.Fprintf(w, "%s count=%v mean=%v p50=%v p95=%v p99=%v max=%v\n",
-				n, v["count"], v["mean"], v["p50"], v["p95"], v["p99"], v["max"])
+			_, err = fmt.Fprintf(w, "%s count=%v mean=%v p50=%v p95=%v p99=%v max=%v overflow=%v\n",
+				n, v["count"], v["mean"], v["p50"], v["p95"], v["p99"], v["max"], v["overflow"])
 		case float64:
 			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 				_, err = fmt.Fprintf(w, "%s %d\n", n, int64(v))

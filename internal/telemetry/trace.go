@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sampled per-event span traces: a deterministically sampled event carries
+// a trace ID across the wire, every tier it passes through appends a
+// (tier, timestamp) span, and the consumer lands the completed chain here.
+// The ring is bounded — tracing is a flight recorder, not a log — and
+// dumps as Chrome trace_event JSON (chrome://tracing, Perfetto) via
+// /traces or fsmon -trace-out.
+
+// DefaultTraceRing is the completed-trace ring capacity.
+const DefaultTraceRing = 512
+
+// TraceSpan is one tier's hop in a trace: the tier name and the wall
+// clock (unix nanoseconds) at which the traced batch passed it.
+type TraceSpan struct {
+	Tier string `json:"tier"`
+	TS   int64  `json:"ts_ns"`
+}
+
+// Trace is one sampled event's span chain, collect → deliver.
+type Trace struct {
+	ID    uint64      `json:"id"`
+	Spans []TraceSpan `json:"spans"`
+}
+
+// TraceRing is a bounded ring of completed traces. Add and Snapshot are
+// safe for concurrent use; both are nil-safe.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []Trace
+	next  int
+	n     int
+	added uint64
+}
+
+// NewTraceRing creates a ring retaining the last capacity traces
+// (capacity <= 0 selects DefaultTraceRing).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceRing
+	}
+	return &TraceRing{buf: make([]Trace, capacity)}
+}
+
+// Add appends a completed trace, evicting the oldest when full. Safe on a
+// nil receiver.
+func (r *TraceRing) Add(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.added++
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained traces (0 on a nil receiver).
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Added returns the lifetime count of traces added (eviction does not
+// decrement it). 0 on a nil receiver.
+func (r *TraceRing) Added() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.added
+}
+
+// Snapshot returns the retained traces, oldest first. Safe on a nil
+// receiver (nil slice).
+func (r *TraceRing) Snapshot() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace_event format's traceEvents
+// array (the "X" complete-event phase).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders traces as Chrome trace_event JSON: each trace
+// becomes one row (tid), each span a complete event lasting until the next
+// span's timestamp — so the waterfall reads as "where did this event spend
+// its pipeline time". Load the output in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, traces []Trace) error {
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for ti, tr := range traces {
+		for si, sp := range tr.Spans {
+			ev := chromeEvent{
+				Name: sp.Tier,
+				Cat:  "fsmon",
+				Ph:   "X",
+				TS:   float64(sp.TS) / 1e3,
+				Dur:  1, // point events get a visible sliver
+				PID:  1,
+				TID:  ti + 1,
+				Args: map[string]any{"trace_id": tr.ID},
+			}
+			if si+1 < len(tr.Spans) {
+				if d := float64(tr.Spans[si+1].TS-sp.TS) / 1e3; d > ev.Dur {
+					ev.Dur = d
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceRingNil(t *testing.T) {
+	var r *TraceRing
+	r.Add(Trace{ID: 1})
+	if r.Len() != 0 || r.Added() != 0 || r.Snapshot() != nil {
+		t.Error("nil ring views not empty")
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := uint64(1); i <= 10; i++ {
+		r.Add(Trace{ID: i})
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+	if r.Added() != 10 {
+		t.Errorf("Added = %d, want 10", r.Added())
+	}
+	snap := r.Snapshot()
+	for i, tr := range snap {
+		if want := uint64(7 + i); tr.ID != want {
+			t.Errorf("snapshot[%d].ID = %d, want %d (oldest first)", i, tr.ID, want)
+		}
+	}
+}
+
+func TestTraceRingConcurrency(t *testing.T) {
+	r := NewTraceRing(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for j := uint64(0); j < 500; j++ {
+				r.Add(Trace{ID: base<<32 | j})
+				_ = r.Snapshot()
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if r.Added() != 2000 {
+		t.Errorf("Added = %d, want 2000", r.Added())
+	}
+}
+
+// TestWriteChromeTrace checks the trace_event document shape: valid JSON,
+// one "X" event per span, durations spanning to the next hop, stable
+// pid/tid rows.
+func TestWriteChromeTrace(t *testing.T) {
+	traces := []Trace{
+		{ID: 42, Spans: []TraceSpan{
+			{Tier: "collect", TS: 1_000_000},
+			{Tier: "resolve", TS: 3_000_000},
+			{Tier: "deliver", TS: 10_000_000},
+		}},
+		{ID: 43, Spans: []TraceSpan{{Tier: "collect", TS: 5_000_000}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("%d events, want 4", len(doc.TraceEvents))
+	}
+	first := doc.TraceEvents[0]
+	if first.Name != "collect" || first.Ph != "X" || first.Cat != "fsmon" {
+		t.Errorf("first event = %+v", first)
+	}
+	if first.TS != 1000 { // 1ms in µs
+		t.Errorf("first.TS = %v µs, want 1000", first.TS)
+	}
+	if first.Dur != 2000 { // until resolve at 3ms
+		t.Errorf("first.Dur = %v µs, want 2000", first.Dur)
+	}
+	if doc.TraceEvents[2].Dur != 1 { // final span: visible sliver
+		t.Errorf("terminal span Dur = %v, want 1", doc.TraceEvents[2].Dur)
+	}
+	if doc.TraceEvents[0].TID != 1 || doc.TraceEvents[3].TID != 2 {
+		t.Error("traces not separated into rows by tid")
+	}
+	if id, ok := doc.TraceEvents[0].Args["trace_id"].(float64); !ok || id != 42 {
+		t.Errorf("args.trace_id = %v", doc.TraceEvents[0].Args["trace_id"])
+	}
+
+	// Empty input still yields a loadable document with an empty array,
+	// not null.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(bytes.TrimSpace(raw["traceEvents"])) == "null" {
+		t.Error("empty trace dump encodes traceEvents as null")
+	}
+}
+
+func TestRegistryEnableTracing(t *testing.T) {
+	var nilReg *Registry
+	nilReg.EnableTracing(8, 0)
+	if nilReg.TraceSampleN() != 0 || nilReg.Traces() != nil {
+		t.Error("nil registry tracing views not empty")
+	}
+
+	reg := NewRegistry()
+	if reg.TraceSampleN() != 0 || reg.Traces() != nil {
+		t.Error("tracing enabled before EnableTracing")
+	}
+	reg.EnableTracing(1000, 16)
+	if reg.TraceSampleN() != 1000 {
+		t.Errorf("TraceSampleN = %d", reg.TraceSampleN())
+	}
+	ring := reg.Traces()
+	if ring == nil {
+		t.Fatal("no ring after EnableTracing")
+	}
+	// Re-enabling adjusts the rate but keeps the ring (and its contents).
+	ring.Add(Trace{ID: 9})
+	reg.EnableTracing(50, 0)
+	if reg.TraceSampleN() != 50 {
+		t.Errorf("TraceSampleN after re-enable = %d", reg.TraceSampleN())
+	}
+	if reg.Traces() != ring || ring.Len() != 1 {
+		t.Error("re-enable replaced the ring")
+	}
+}
+
+func TestTraceRingAsFlightRecorder(t *testing.T) {
+	// The ring keeps the newest traces under sustained load — the flight
+	// recorder property /traces depends on.
+	r := NewTraceRing(8)
+	for i := 0; i < 100; i++ {
+		r.Add(Trace{ID: uint64(i), Spans: []TraceSpan{{Tier: "collect", TS: int64(i)}}})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 8 || snap[0].ID != 92 || snap[7].ID != 99 {
+		ids := make([]string, len(snap))
+		for i, tr := range snap {
+			ids[i] = fmt.Sprint(tr.ID)
+		}
+		t.Errorf("retained IDs = %v, want 92..99", ids)
+	}
+}
