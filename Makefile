@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-telemetry bench-trace trace-sample check
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-telemetry bench-trace bench-mount trace-sample check
 
 all: check
 
@@ -54,6 +54,20 @@ bench-telemetry:
 bench-trace:
 	$(GO) test -run '^$$' -bench 'AggregatorThroughputT(elemetry|raced)/' -benchmem ./internal/bench/
 
+# bench-mount measures the mount-composed namespace's routing overhead
+# against direct single-DSI attach at two levels: the raw pump pair
+# (Direct/MountAttach: channel forward vs rewrite+route+forward — the
+# absolute per-event cost, ~200ns) and the end-to-end monitor pair
+# (MonitorThroughputDirect/Mounted: full capture→resolve→store path).
+# Acceptance: < 5% end-to-end events/s delta on multi-core hosts, where
+# the mount pump pipelines with the resolution stages; on a single-core
+# host the pump serializes and the delta degrades toward the raw pair's
+# ratio, so judge the gate by the multi-core number.
+bench-mount:
+	$(GO) test -run '^$$' -bench 'DirectAttach|MountAttach$$|MountAttachNested|Route$$' -benchtime 1s -benchmem \
+		./internal/dsi/mount/
+	$(GO) test -run '^$$' -bench 'MonitorThroughput' -benchtime 100000x -benchmem ./internal/bench/
+
 # trace-sample drives the simulated-Lustre demo workload with every
 # event traced end to end and writes the completed span chains to
 # traces.json — the CI sample artifact, loadable in chrome://tracing.
@@ -62,5 +76,5 @@ trace-sample:
 
 # check is the pre-PR gate: everything must build, vet (and staticcheck,
 # where installed) clean, pass the full suite under the race detector,
-# and hold the tracing-overhead bench.
-check: build vet staticcheck race bench-trace
+# and hold the tracing-overhead and mount-routing benches.
+check: build vet staticcheck race bench-trace bench-mount

@@ -10,6 +10,12 @@
 // Watch a simulated Lustre cluster driven by a built-in demo workload:
 //
 //	fsmon -lustre iota -demo
+//
+// Compose several backends into one namespace with repeatable -mount
+// flags, or inspect the DSI registry:
+//
+//	fsmon -mount /logs=local:/var/log -mount /obj=object:/
+//	fsmon -list-backends
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -27,6 +34,49 @@ import (
 	"fsmonitor/internal/lustre"
 	"fsmonitor/internal/workload"
 )
+
+// mountList collects repeatable -mount flags ("/prefix=backend:root").
+type mountList []string
+
+func (m *mountList) String() string { return strings.Join(*m, ",") }
+
+func (m *mountList) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want /prefix=backend:root, got %q", v)
+	}
+	*m = append(*m, v)
+	return nil
+}
+
+// parseMount turns "/prefix=backend:root" into a WithMount option. backend
+// is an fstype shorthand (local, object) or a registered DSI name; root is
+// the backend-local path (default "/"). An object mount gets a fresh
+// in-memory bucket.
+func parseMount(spec string, recursive bool) (fsmonitor.Option, error) {
+	prefix, rest, _ := strings.Cut(spec, "=")
+	backend, root, ok := strings.Cut(rest, ":")
+	if !ok {
+		root = "/"
+	}
+	if prefix == "" || backend == "" {
+		return nil, fmt.Errorf("want /prefix=backend:root, got %q", spec)
+	}
+	var mopts []fsmonitor.MountOption
+	if recursive {
+		mopts = append(mopts, fsmonitor.MountRecursive())
+	}
+	info := fsmonitor.StorageInfo{Platform: runtime.GOOS, FSType: "local", Root: root}
+	switch backend {
+	case "local":
+		// Registry auto-selects the native watcher for this host.
+	case "object":
+		info = fsmonitor.StorageInfo{FSType: "object", Root: root}
+		mopts = append(mopts, fsmonitor.MountBackend(fsmonitor.NewObjectBucket()))
+	default:
+		mopts = append(mopts, fsmonitor.MountDSI(backend))
+	}
+	return fsmonitor.WithMount(prefix, info, mopts...), nil
+}
 
 func main() {
 	recursive := flag.Bool("recursive", false, "monitor the whole subtree (FSMonitor's filtering-rule recursion)")
@@ -43,7 +93,29 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "trace 1 in N events end-to-end across every tier (0 = off, 1 = every event)")
 	traceOut := flag.String("trace-out", "", "with -trace-sample: write completed span traces as Chrome trace_event JSON to this file on exit")
 	verbose := flag.Bool("verbose", false, "log component diagnostics (structured, to stderr)")
+	var mounts mountList
+	flag.Var(&mounts, "mount", "mount a backend into the namespace as /prefix=backend:root (repeatable; backend: local, object, or a DSI name)")
+	listBackends := flag.Bool("list-backends", false, "print registered DSI backends with their selection scores and exit")
 	flag.Parse()
+
+	if *listBackends {
+		info := fsmonitor.StorageInfo{Platform: runtime.GOOS, FSType: "local", Root: "/"}
+		if *lustreBed != "" {
+			info.FSType = "lustre"
+		}
+		if flag.NArg() == 1 {
+			info.Root = flag.Arg(0)
+		}
+		fmt.Printf("backends for platform=%s fstype=%s:\n", info.Platform, info.FSType)
+		for _, s := range fsmonitor.Registry().Scores(info) {
+			marker := " "
+			if s.Score > 0 {
+				marker = "*"
+			}
+			fmt.Printf("  %s %-16s score=%d\n", marker, s.Name, s.Score)
+		}
+		return
+	}
 
 	if *status != "" {
 		base := *status
@@ -116,6 +188,19 @@ func main() {
 		cluster *fsmonitor.LustreCluster
 	)
 	switch {
+	case len(mounts) > 0:
+		opts := append([]fsmonitor.Option{}, common...)
+		for _, spec := range mounts {
+			opt, perr := parseMount(spec, *recursive)
+			if perr != nil {
+				fatal(perr)
+			}
+			opts = append(opts, opt)
+		}
+		if *backend != "" {
+			fatal(fmt.Errorf("-dsi conflicts with -mount; pin per-mount backends in the mount spec"))
+		}
+		m, err = fsmonitor.Compose(opts...)
 	case *lustreBed != "":
 		var cfg lustre.Config
 		switch strings.ToLower(*lustreBed) {
@@ -154,7 +239,11 @@ func main() {
 		fatal(err)
 	}
 	defer m.Close()
-	fmt.Fprintf(os.Stderr, "fsmon: monitoring via %s DSI\n", m.DSIName())
+	if mts := m.Mounts(); len(mts) > 0 {
+		fmt.Fprintf(os.Stderr, "fsmon: monitoring via %s DSI (mounts: %s)\n", m.DSIName(), strings.Join(mts, " "))
+	} else {
+		fmt.Fprintf(os.Stderr, "fsmon: monitoring via %s DSI\n", m.DSIName())
+	}
 	if *metricsAddr != "" {
 		srv, err := fsmonitor.ServeTelemetry(*metricsAddr, reg)
 		if err != nil {
@@ -165,7 +254,7 @@ func main() {
 			srv.Addr(), srv.Addr())
 	}
 
-	sub, err := m.Subscribe(fsmonitor.Filter{Recursive: *recursive || *lustreBed != "", Ops: mask}, 0)
+	sub, err := m.Subscribe(fsmonitor.Filter{Recursive: *recursive || *lustreBed != "" || len(mounts) > 0, Ops: mask}, 0)
 	if err != nil {
 		fatal(err)
 	}
@@ -223,6 +312,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsmon: dsi=%s dropped=%d processed=%d batches=%d stored=%d delivered=%d\n",
 			st.DSI, st.DSIDropped, st.Resolution.Processed, st.Resolution.Batches,
 			st.Interface.Store.Appended, st.Interface.Delivered)
+		for _, ms := range st.Mounts {
+			fmt.Fprintf(os.Stderr, "fsmon: mount %s backend=%s captured=%d shadowed=%d dropped=%d errors=%d attached=%v\n",
+				ms.Prefix, ms.Backend, ms.Captured, ms.Shadowed, ms.Dropped, ms.Errors, ms.Attached)
+		}
 		if reg != nil {
 			if err := fsmonitor.WriteTelemetryText(os.Stderr, reg.Snapshot()); err != nil {
 				fatal(err)

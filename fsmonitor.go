@@ -44,6 +44,8 @@ import (
 	"fsmonitor/internal/core"
 	"fsmonitor/internal/dsi"
 	"fsmonitor/internal/dsi/lustredsi"
+	"fsmonitor/internal/dsi/mount"
+	"fsmonitor/internal/dsi/objectdsi"
 	"fsmonitor/internal/events"
 	"fsmonitor/internal/eventstore"
 	"fsmonitor/internal/iface"
@@ -439,6 +441,95 @@ func WatchSpectrum(cluster *SpectrumCluster, mount string, opts ...Option) (*Mon
 	}
 	return core.New(o)
 }
+
+// StorageInfo describes a storage target for DSI selection (platform,
+// filesystem type, root).
+type StorageInfo = dsi.StorageInfo
+
+// MountSpec describes one backend mounted at a prefix of a composed
+// monitor's unified namespace.
+type MountSpec = core.MountSpec
+
+// MountStats is per-mount accounting (captured, shadowed, dropped, errors)
+// found in Stats.Mounts.
+type MountStats = mount.PointStats
+
+// ErrNotComposed is returned by AttachMount/DetachMount on a monitor that
+// was started single-backend.
+var ErrNotComposed = mount.ErrNotComposed
+
+// MountOption customizes one mount of a composed monitor.
+type MountOption func(*core.MountSpec)
+
+// MountBackend passes the storage handle to this mount's DSI factory (a
+// *SimFS, *LustreCluster, *ObjectBucket, ...).
+func MountBackend(backend any) MountOption {
+	return func(s *core.MountSpec) { s.Backend = backend }
+}
+
+// MountDSI pins a specific backend by name for this mount instead of
+// registry auto-selection.
+func MountDSI(name string) MountOption {
+	return func(s *core.MountSpec) { s.DSIName = name }
+}
+
+// MountRecursive monitors the whole subtree under this mount's root.
+func MountRecursive() MountOption {
+	return func(s *core.MountSpec) { s.Recursive = true }
+}
+
+// MountBuffer sets this mount's DSI channel capacity (0 = default).
+func MountBuffer(n int) MountOption {
+	return func(s *core.MountSpec) { s.Buffer = n }
+}
+
+// WithMount grafts a backend into the monitor's namespace at prefix: the
+// registry selects a DSI for storage (unless MountDSI pins one), and its
+// events are reported with paths rewritten under prefix. Repeat the option
+// to compose several backends; deeper prefixes shadow shallower ones.
+// Passing at least one WithMount switches the monitor's capture layer to a
+// mount table — with none, the classic single-backend path is untouched.
+func WithMount(prefix string, storage StorageInfo, opts ...MountOption) Option {
+	spec := core.MountSpec{Prefix: prefix, Storage: storage}
+	for _, opt := range opts {
+		opt(&spec)
+	}
+	return func(o *core.Options) { o.Mounts = append(o.Mounts, spec) }
+}
+
+// Compose builds a monitor over several mounted backends with no primary
+// storage: every WithMount contributes one mount, and subscribers see one
+// unified event stream with per-mount path prefixes.
+//
+//	m, err := fsmonitor.Compose(
+//		fsmonitor.WithMount("/lustre", fsmonitor.StorageInfo{FSType: "lustre"},
+//			fsmonitor.MountBackend(cluster)),
+//		fsmonitor.WithMount("/obj", fsmonitor.StorageInfo{FSType: "object"},
+//			fsmonitor.MountBackend(bucket)),
+//	)
+func Compose(opts ...Option) (*Monitor, error) {
+	o := core.Options{Storage: dsi.StorageInfo{Root: "/"}}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return core.New(o)
+}
+
+// ObjectBucket is a simulated flat-keyspace object store (PUT/DELETE/LIST
+// with best-effort change notifications) — the third storage paradigm next
+// to local filesystems and parallel filesystems.
+type ObjectBucket = objectdsi.Bucket
+
+// ObjectInfo describes one stored object.
+type ObjectInfo = objectdsi.Object
+
+// NewObjectBucket creates an empty simulated object store to mount with
+// MountBackend (FSType "object").
+func NewObjectBucket() *ObjectBucket { return objectdsi.NewBucket() }
+
+// BackendScore is one registry candidate's suitability for a storage
+// target, as reported by Registry().Scores.
+type BackendScore = dsi.BackendScore
 
 // Registry returns the default DSI registry (every built-in backend);
 // custom backends register against it before building monitors.

@@ -12,6 +12,8 @@ import (
 
 	"fsmonitor/internal/dsi"
 	"fsmonitor/internal/dsi/lustredsi"
+	"fsmonitor/internal/dsi/mount"
+	"fsmonitor/internal/dsi/objectdsi"
 	"fsmonitor/internal/dsi/polldsi"
 	"fsmonitor/internal/dsi/simdsi"
 	"fsmonitor/internal/dsi/spectrumdsi"
@@ -61,6 +63,32 @@ type Options struct {
 	// Logger receives component-tagged structured logs from every layer;
 	// nil discards.
 	Logger *slog.Logger
+	// Mounts composes multiple backends into one namespace. When non-empty
+	// the monitor's capture layer is a mount table: each spec's backend is
+	// opened through the registry and attached at its prefix, and events
+	// flow into the shared resolution pipeline with prefixed paths. Empty
+	// (the default) preserves the single-backend path exactly.
+	Mounts []MountSpec
+}
+
+// MountSpec describes one backend mounted at a prefix of the unified
+// namespace.
+type MountSpec struct {
+	// Prefix is the absolute mount point ("/lustre", "/a/b"); deeper
+	// prefixes shadow shallower ones.
+	Prefix string
+	// Storage describes the mounted backend; the registry selects a DSI
+	// from it unless DSIName pins one. Storage.Root is the backend-local
+	// root that the prefix maps onto.
+	Storage dsi.StorageInfo
+	// DSIName forces a specific backend for this mount.
+	DSIName string
+	// Backend passes the storage handle to this mount's DSI factory.
+	Backend any
+	// Recursive monitors the whole subtree under the mount's root.
+	Recursive bool
+	// Buffer is this mount's DSI channel capacity (0 = default).
+	Buffer int
 }
 
 // DefaultRegistry returns a registry with every built-in backend for the
@@ -72,6 +100,7 @@ func DefaultRegistry() *dsi.Registry {
 	simdsi.Register(reg)
 	lustredsi.Register(reg)
 	spectrumdsi.Register(reg)
+	objectdsi.Register(reg)
 	registerPlatform(reg)
 	return reg
 }
@@ -79,6 +108,9 @@ func DefaultRegistry() *dsi.Registry {
 // Monitor is a running FSMonitor instance.
 type Monitor struct {
 	dsi       dsi.DSI
+	table     *mount.Table // non-nil iff Options.Mounts was used
+	reg       *dsi.Registry
+	opts      Options
 	proc      *resolution.Processor
 	api       *iface.Interface
 	store     *eventstore.Store
@@ -92,23 +124,29 @@ func New(opts Options) (*Monitor, error) {
 	if reg == nil {
 		reg = DefaultRegistry()
 	}
-	cfg := dsi.Config{
-		Root:      opts.Storage.Root,
-		Recursive: opts.Recursive,
-		Buffer:    opts.Buffer,
-		Backend:   opts.Backend,
-		Context:   opts.Context,
-		Telemetry: opts.Telemetry,
-		Logger:    opts.Logger,
-	}
 	var (
-		d   dsi.DSI
-		err error
+		d     dsi.DSI
+		table *mount.Table
+		err   error
 	)
-	if opts.DSIName != "" {
-		d, err = reg.OpenNamed(opts.DSIName, cfg)
+	if len(opts.Mounts) > 0 {
+		table, err = newMountTable(reg, opts)
+		d = table
 	} else {
-		d, err = reg.Open(opts.Storage, cfg)
+		cfg := dsi.Config{
+			Root:      opts.Storage.Root,
+			Recursive: opts.Recursive,
+			Buffer:    opts.Buffer,
+			Backend:   opts.Backend,
+			Context:   opts.Context,
+			Telemetry: opts.Telemetry,
+			Logger:    opts.Logger,
+		}
+		if opts.DSIName != "" {
+			d, err = reg.OpenNamed(opts.DSIName, cfg)
+		} else {
+			d, err = reg.Open(opts.Storage, cfg)
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: attaching DSI: %w", err)
@@ -126,6 +164,9 @@ func New(opts Options) (*Monitor, error) {
 	}
 	m := &Monitor{
 		dsi:      d,
+		table:    table,
+		reg:      reg,
+		opts:     opts,
 		proc:     resolution.NewContext(opts.Context, d.Events(), opts.Resolution),
 		api:      api,
 		store:    store,
@@ -140,6 +181,87 @@ func New(opts Options) (*Monitor, error) {
 		context.AfterFunc(opts.Context, func() { _ = m.Close() })
 	}
 	return m, nil
+}
+
+// newMountTable builds the composed capture layer: one mount table with a
+// per-mount collector pump for every spec, each backend opened through the
+// registry exactly as a single-backend monitor would open it.
+func newMountTable(reg *dsi.Registry, opts Options) (*mount.Table, error) {
+	root := opts.Storage.Root
+	if root == "" {
+		root = "/"
+	}
+	t := mount.NewTable(mount.Options{
+		Root:      root,
+		Buffer:    opts.Buffer,
+		Telemetry: opts.Telemetry,
+		Logger:    opts.Logger,
+	})
+	for _, spec := range opts.Mounts {
+		d, err := openMountDSI(reg, opts, spec)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("core: mount %q: %w", spec.Prefix, err)
+		}
+		if err := t.Attach(spec.Prefix, d); err != nil {
+			d.Close()
+			t.Close()
+			return nil, fmt.Errorf("core: mount %q: %w", spec.Prefix, err)
+		}
+	}
+	return t, nil
+}
+
+func openMountDSI(reg *dsi.Registry, opts Options, spec MountSpec) (dsi.DSI, error) {
+	cfg := dsi.Config{
+		Root:      spec.Storage.Root,
+		Recursive: spec.Recursive,
+		Buffer:    spec.Buffer,
+		Backend:   spec.Backend,
+		Context:   opts.Context,
+		Telemetry: opts.Telemetry,
+		Logger:    opts.Logger,
+	}
+	if spec.DSIName != "" {
+		return reg.OpenNamed(spec.DSIName, cfg)
+	}
+	return reg.Open(spec.Storage, cfg)
+}
+
+// AttachMount mounts another backend into a live composed monitor. The
+// monitor must have been created with Options.Mounts (possibly empty slices
+// don't count: a single-backend monitor has no table to attach into).
+func (m *Monitor) AttachMount(spec MountSpec) error {
+	if m.table == nil {
+		return fmt.Errorf("core: %w", mount.ErrNotComposed)
+	}
+	d, err := openMountDSI(m.reg, m.opts, spec)
+	if err != nil {
+		return fmt.Errorf("core: mount %q: %w", spec.Prefix, err)
+	}
+	if err := m.table.Attach(spec.Prefix, d); err != nil {
+		d.Close()
+		return fmt.Errorf("core: mount %q: %w", spec.Prefix, err)
+	}
+	return nil
+}
+
+// DetachMount unmounts the backend at prefix, closing it; its accounting is
+// retained in Stats().Mounts with Attached=false.
+func (m *Monitor) DetachMount(prefix string) error {
+	if m.table == nil {
+		return fmt.Errorf("core: %w", mount.ErrNotComposed)
+	}
+	return m.table.Detach(prefix)
+}
+
+// Mounts lists the active mount prefixes, or nil for a single-backend
+// monitor.
+func (m *Monitor) Mounts() []string {
+	if m.table == nil {
+		return nil
+	}
+	return m.table.Mounts()
 }
 
 // pump feeds resolution-layer batches into the interface layer. Ingest
@@ -200,16 +322,23 @@ type Stats struct {
 	DSIDropped uint64
 	Resolution resolution.Stats
 	Interface  iface.Stats
+	// Mounts carries per-mount accounting when the monitor is composed;
+	// nil for a single-backend monitor.
+	Mounts []mount.PointStats
 }
 
 // Stats returns a snapshot across the three layers.
 func (m *Monitor) Stats() Stats {
-	return Stats{
+	s := Stats{
 		DSI:        m.dsi.Name(),
 		DSIDropped: m.dsi.Dropped(),
 		Resolution: m.proc.Stats(),
 		Interface:  m.api.Stats(),
 	}
+	if m.table != nil {
+		s.Mounts = m.table.Stats()
+	}
+	return s
 }
 
 // Close stops the monitor: DSI first, letting queued events drain through

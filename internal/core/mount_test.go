@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/dsi/mount"
+	"fsmonitor/internal/dsi/objectdsi"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/iface"
+	"fsmonitor/internal/telemetry"
+	"fsmonitor/internal/vfs"
+)
+
+// TestComposedMonitorMixedMounts runs one monitor over a simulated local
+// watcher and an object store, checks the unified prefixed stream, then
+// exercises hot attach/detach on the live monitor.
+func TestComposedMonitorMixedMounts(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	bucket := objectdsi.NewBucket()
+	reg := telemetry.NewRegistry()
+	m, err := New(Options{
+		Telemetry: reg,
+		Mounts: []MountSpec{
+			{
+				Prefix:    "/local",
+				Storage:   dsi.StorageInfo{Platform: "sim-linux", FSType: "local", Root: "/data"},
+				Backend:   fs,
+				Recursive: true,
+			},
+			{
+				Prefix:  "/obj",
+				Storage: dsi.StorageInfo{FSType: "object", Root: "/"},
+				Backend: &objectdsi.Backend{Bucket: bucket, ListInterval: 10 * time.Millisecond},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if m.DSIName() != mount.Name {
+		t.Errorf("DSIName = %q", m.DSIName())
+	}
+	if got := m.Mounts(); len(got) != 2 || got[0] != "/local" || got[1] != "/obj" {
+		t.Errorf("Mounts = %v", got)
+	}
+
+	sub, err := m.Subscribe(iface.Filter{Recursive: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/data/hello.txt", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bucket.Put("models/w.bin", 64); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]bool{"/local/hello.txt": false, "/obj/models/w.bin": false}
+	got := collectUntil(t, sub, func(evs []events.Event) bool {
+		for _, e := range evs {
+			if e.Op.Has(events.OpCreate) {
+				if _, tracked := want[e.Path]; tracked {
+					want[e.Path] = true
+				}
+			}
+			if !strings.HasPrefix(e.Path, "/local/") && !strings.HasPrefix(e.Path, "/obj/") {
+				t.Errorf("unprefixed event: %v", e)
+			}
+			if !strings.Contains(e.Source, ":") {
+				t.Errorf("source %q lost mount tag: %v", e.Source, e)
+			}
+		}
+		return want["/local/hello.txt"] && want["/obj/models/w.bin"]
+	})
+	_ = got
+
+	// Hot attach a third backend and watch it flow immediately.
+	fs2 := vfs.New()
+	if err := fs2.Mkdir("/scratch"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachMount(MountSpec{
+		Prefix:    "/extra",
+		Storage:   dsi.StorageInfo{Platform: "sim-linux", FSType: "local", Root: "/scratch"},
+		Backend:   fs2,
+		Recursive: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.WriteFile("/scratch/x", 1); err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	collectUntil(t, sub, func(evs []events.Event) bool {
+		for _, e := range evs {
+			if e.Path == "/extra/x" && e.Op.Has(events.OpCreate) {
+				seen = true
+			}
+		}
+		return seen
+	})
+
+	// Detach closes the backend; its accounting stays visible.
+	if err := m.DetachMount("/extra"); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if len(st.Mounts) != 3 {
+		t.Fatalf("mount stats = %+v", st.Mounts)
+	}
+	byPrefix := map[string]mount.PointStats{}
+	for _, ps := range st.Mounts {
+		byPrefix[ps.Prefix] = ps
+	}
+	if ps := byPrefix["/extra"]; ps.Attached || ps.Captured < 1 {
+		t.Errorf("/extra after detach = %+v", ps)
+	}
+	if ps := byPrefix["/local"]; !ps.Attached || ps.Captured < 3 {
+		t.Errorf("/local = %+v", ps)
+	}
+	if snap := reg.Snapshot(); snap["fsmon.mount.local.captured"].(float64) < 3 {
+		t.Errorf("telemetry mirror = %v", snap["fsmon.mount.local.captured"])
+	}
+
+	if err := m.AttachMount(MountSpec{Prefix: "/local", Storage: dsi.StorageInfo{FSType: "object"}, Backend: bucket}); !errors.Is(err, mount.ErrMounted) {
+		t.Errorf("re-attach over live prefix: %v", err)
+	}
+}
+
+func collectUntil(t *testing.T, sub *iface.Subscription, done func([]events.Event) bool) []events.Event {
+	t.Helper()
+	var all []events.Event
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case b := <-sub.C():
+			all = append(all, b...)
+			if done(b) {
+				return all
+			}
+		case <-deadline:
+			t.Fatalf("timed out; got %v", all)
+		}
+	}
+}
+
+// TestSingleBackendMonitorRefusesMountOps pins the composed-only surface:
+// a monitor opened the classic way has no table to mutate.
+func TestSingleBackendMonitorRefusesMountOps(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Options{
+		Storage: dsi.StorageInfo{Platform: "sim-linux", FSType: "local", Root: "/w"},
+		Backend: fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.AttachMount(MountSpec{Prefix: "/x"}); !errors.Is(err, mount.ErrNotComposed) {
+		t.Errorf("AttachMount = %v", err)
+	}
+	if err := m.DetachMount("/x"); !errors.Is(err, mount.ErrNotComposed) {
+		t.Errorf("DetachMount = %v", err)
+	}
+	if m.Mounts() != nil {
+		t.Errorf("Mounts = %v", m.Mounts())
+	}
+}
+
+// TestZeroMountGolden locks the single-backend path byte-for-byte: a
+// scripted workload must render exactly this stream — same ops, paths,
+// sequence numbers, sources, and stats — so the mount refactor provably
+// left the classic deployment untouched.
+func TestZeroMountGolden(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mkdir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Options{
+		Storage:   dsi.StorageInfo{Platform: "sim-linux", FSType: "local", Root: "/data"},
+		Recursive: true,
+		Backend:   fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	sub, err := m.Subscribe(iface.Filter{Recursive: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fs.WriteFile("/data/a.txt", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/data/a.txt", "/data/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/data/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/data/sub"); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := []string{
+		"1 CREATE /a.txt sim-inotify",
+		"2 MODIFY /a.txt sim-inotify",
+		"3 CLOSE /a.txt sim-inotify",
+		"4 MOVED_FROM /a.txt sim-inotify",
+		"5 MOVED_TO /b.txt sim-inotify",
+		"6 DELETE /b.txt sim-inotify",
+		"7 CREATE,ISDIR /sub sim-inotify",
+	}
+	var lines []string
+	collectUntil(t, sub, func(evs []events.Event) bool {
+		for _, e := range evs {
+			lines = append(lines, fmt.Sprintf("%d %s %s %s", e.Seq, e.Op, e.Path, e.Source))
+		}
+		return len(lines) >= len(golden)
+	})
+	for i, want := range golden {
+		if lines[i] != want {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want)
+		}
+	}
+	if m.DSIName() != "sim-inotify" {
+		t.Errorf("DSIName = %q", m.DSIName())
+	}
+	st := m.Stats()
+	if st.Mounts != nil {
+		t.Errorf("zero-mount stats grew mounts: %+v", st.Mounts)
+	}
+	if st.DSI != "sim-inotify" || st.DSIDropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

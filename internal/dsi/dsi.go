@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"fsmonitor/internal/events"
+	"fsmonitor/internal/pipeline"
 	"fsmonitor/internal/telemetry"
 )
 
@@ -122,26 +124,53 @@ func (r *Registry) Names() []string {
 // ErrNoBackend is returned when no registered DSI can handle the storage.
 var ErrNoBackend = errors.New("dsi: no backend can monitor this storage")
 
-// Select returns the name of the highest-scoring backend for info.
-func (r *Registry) Select(info StorageInfo) (string, error) {
+// BackendScore is one backend's selection preference for a StorageInfo.
+type BackendScore struct {
+	Name  string
+	Score int
+}
+
+// Scores returns every registered backend's score for info, sorted by
+// descending score then name — the registry's full selection view
+// (ErrNoBackend diagnostics and `fsmon -list-backends` print it).
+func (r *Registry) Scores(info StorageInfo) []BackendScore {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	best, bestScore := "", 0
-	// Deterministic tie-break by name.
-	names := make([]string, 0, len(r.regs))
-	for n := range r.regs {
-		names = append(names, n)
+	out := make([]BackendScore, 0, len(r.regs))
+	for n, reg := range r.regs {
+		out = append(out, BackendScore{Name: n, Score: reg.score(info)})
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		if s := r.regs[n].score(info); s > bestScore {
-			best, bestScore = n, s
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
 		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Select returns the name of the highest-scoring backend for info.
+func (r *Registry) Select(info StorageInfo) (string, error) {
+	scores := r.Scores(info)
+	// Scores sorts by descending score with a name tie-break, so the
+	// first positive entry is the deterministic winner.
+	if len(scores) > 0 && scores[0].Score > 0 {
+		return scores[0].Name, nil
 	}
-	if best == "" {
-		return "", fmt.Errorf("%w: platform=%q fstype=%q", ErrNoBackend, info.Platform, info.FSType)
+	// Name every candidate and its verdict: "no backend" with nothing
+	// else gives the operator no way to see which registration was close.
+	var b strings.Builder
+	for i, s := range scores {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", s.Name, s.Score)
 	}
-	return best, nil
+	if b.Len() == 0 {
+		b.WriteString("none registered")
+	}
+	return "", fmt.Errorf("%w: platform=%q fstype=%q (backend scores: %s)",
+		ErrNoBackend, info.Platform, info.FSType, b.String())
 }
 
 // Open selects a backend for info and constructs it with cfg. If cfg.Root
@@ -197,10 +226,11 @@ type Base struct {
 	nDropped  atomic.Uint64
 }
 
-// NewBase creates plumbing with the given channel capacity.
+// NewBase creates plumbing with the given channel capacity
+// (0 = pipeline.DefaultDSIBuffer).
 func NewBase(name string, buffer int) *Base {
 	if buffer <= 0 {
-		buffer = 8192
+		buffer = pipeline.DefaultDSIBuffer
 	}
 	return &Base{
 		name:   name,

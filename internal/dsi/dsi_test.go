@@ -1,7 +1,9 @@
 package dsi
 
 import (
+	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -48,6 +50,73 @@ func TestRegistryNoBackend(t *testing.T) {
 	}
 	if _, err := reg.OpenNamed("missing", Config{}); err == nil {
 		t.Error("OpenNamed(missing) succeeded")
+	}
+}
+
+// TestSelectErrorListsScores pins the diagnostic contract: a failed
+// selection names every registered backend with its score, so "why did no
+// DSI match" is answerable from the error alone.
+func TestSelectErrorListsScores(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("alpha", func(i StorageInfo) int { return 0 }, nil)
+	reg.Register("beta", func(i StorageInfo) int { return 0 }, nil)
+	_, err := reg.Select(StorageInfo{Platform: "plan9", FSType: "9p"})
+	if !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("err = %v", err)
+	}
+	for _, want := range []string{`platform="plan9"`, `fstype="9p"`, "alpha=0", "beta=0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	empty := NewRegistry()
+	if _, err := empty.Select(StorageInfo{}); err == nil || !strings.Contains(err.Error(), "none registered") {
+		t.Errorf("empty-registry error = %v", err)
+	}
+}
+
+func TestRegistryScoresSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("low", func(i StorageInfo) int { return 1 }, nil)
+	reg.Register("high", func(i StorageInfo) int { return 9 }, nil)
+	reg.Register("also-high", func(i StorageInfo) int { return 9 }, nil)
+	got := reg.Scores(StorageInfo{})
+	if len(got) != 3 || got[0].Name != "also-high" || got[1].Name != "high" || got[2].Name != "low" {
+		t.Errorf("Scores = %v", got)
+	}
+}
+
+// TestOpenNamedContextClose covers the registry's context-driven close
+// path: canceling the Config.Context passed to OpenNamed must close the
+// DSI (events channel included) without an explicit Close call.
+func TestOpenNamedContextClose(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("ctx", func(i StorageInfo) int { return 1 }, func(cfg Config) (DSI, error) {
+		return &fakeDSI{NewBase("ctx", cfg.Buffer)}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	d, err := reg.OpenNamed("ctx", Config{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d.Events():
+		t.Fatal("events channel closed before cancel")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case _, ok := <-d.Events():
+		if ok {
+			t.Fatal("unexpected event")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel did not close the DSI")
+	}
+	// Close after context-close stays idempotent.
+	if err := d.Close(); err != nil {
+		t.Errorf("Close after cancel: %v", err)
 	}
 }
 

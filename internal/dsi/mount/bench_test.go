@@ -1,0 +1,128 @@
+package mount
+
+import (
+	"testing"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+)
+
+// The bench-mount pair: BenchmarkDirectAttach is the baseline (events
+// drained straight off a DSI, as a single-backend monitor does) and
+// BenchmarkMountAttach pushes the identical stream through a one-mount
+// table. The events/s delta is the mount layer's routing overhead
+// (acceptance: < 5%).
+
+func benchEvent(i int) events.Event {
+	return events.Event{
+		Root: "/",
+		Op:   events.OpModify,
+		Path: benchPaths[i%len(benchPaths)],
+		Time: benchTime,
+	}
+}
+
+var (
+	benchTime  = time.Unix(0, 0)
+	benchPaths = []string{
+		"/a.txt", "/dir/b.txt", "/dir/sub/c.log", "/deep/x/y/z/d.dat",
+	}
+)
+
+func BenchmarkDirectAttach(b *testing.B) {
+	f := &fakeDSI{dsi.NewBase("bench", 1024)}
+	f.AddPump()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			f.Emit(benchEvent(i))
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		<-f.Events()
+	}
+	b.StopTimer()
+	<-done
+	f.Close()
+}
+
+func BenchmarkMountAttach(b *testing.B) {
+	t := NewTable(Options{Buffer: 1024})
+	f := &fakeDSI{dsi.NewBase("bench", 1024)}
+	f.AddPump()
+	if err := t.Attach("/m", f); err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			f.Emit(benchEvent(i))
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		<-t.Events()
+	}
+	b.StopTimer()
+	<-done
+	t.Close()
+}
+
+// BenchmarkMountAttachNested drains through the worst routing case in a
+// five-mount table: every event lands under the deepest prefix, so each
+// shadow check walks the longest chain.
+func BenchmarkMountAttachNested(b *testing.B) {
+	t := NewTable(Options{Buffer: 1024})
+	for _, p := range []string{"/", "/a", "/a/b", "/x", "/x/y"} {
+		f := &fakeDSI{dsi.NewBase("bench", 16)}
+		f.AddPump()
+		if err := t.Attach(p, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	deep := &fakeDSI{dsi.NewBase("deep", 1024)}
+	deep.AddPump()
+	if err := t.Attach("/a/b/c", deep); err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			deep.Emit(benchEvent(i))
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		<-t.Events()
+	}
+	b.StopTimer()
+	<-done
+	t.Close()
+}
+
+// BenchmarkRoute measures the longest-prefix lookup alone.
+func BenchmarkRoute(b *testing.B) {
+	t := NewTable(Options{})
+	for _, p := range []string{"/", "/a", "/a/b", "/a/b/c", "/x", "/x/y", "/obj", "/lustre"} {
+		f := &fakeDSI{dsi.NewBase("bench", 1)}
+		f.AddPump()
+		if err := t.Attach(p, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer t.Close()
+	paths := []string{"/a/b/c/deep/file", "/x/y/z", "/lustre/data/run1.h5", "/other/path"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Route(paths[i%len(paths)])
+	}
+}

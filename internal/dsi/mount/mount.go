@@ -1,0 +1,544 @@
+// Package mount composes several Data Storage Interfaces into one monitor
+// over a unified namespace — the "arbitrary storage systems" claim made
+// literal: a mount table routes prefixes of one logical tree to
+// heterogeneous backends (a Lustre deployment under /lustre, a local
+// watcher under /local, an object store under /obj) and merges their
+// streams into a single standardized event feed.
+//
+// The Table is itself a dsi.DSI, so every layer above — resolution,
+// interface, telemetry — drives a composed namespace exactly as it drives
+// a single backend. Routing is longest-prefix with nested mounts: a mount
+// at /a/b shadows the /a mount's events beneath /a/b, as in a union of
+// kernel mount points. Mounts attach and detach on a live table; per-mount
+// capture, drop, shadow, and error accounting keeps paper-parity stats for
+// each backend individually.
+package mount
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/pipeline"
+	"fsmonitor/internal/telemetry"
+)
+
+// Name is the composed table's DSI name.
+const Name = "mount"
+
+// Mount-table errors.
+var (
+	// ErrClosed is returned by Attach/Detach on a closed table.
+	ErrClosed = errors.New("mount: table closed")
+	// ErrMounted is returned by Attach when the prefix is already taken.
+	ErrMounted = errors.New("mount: prefix already mounted")
+	// ErrNotMounted is returned by Detach for an unknown prefix.
+	ErrNotMounted = errors.New("mount: no mount at prefix")
+	// ErrBadPrefix is returned for prefixes that do not normalize to an
+	// absolute, clean path.
+	ErrBadPrefix = errors.New("mount: invalid prefix")
+	// ErrNotComposed is returned by mount operations on a monitor that was
+	// started single-backend (no mount table to attach into).
+	ErrNotComposed = errors.New("mount: monitor is not mount-composed")
+)
+
+// CleanPrefix validates and normalizes a mount prefix: it must be an
+// absolute path; it is cleaned of trailing slashes and dot segments.
+// "/" is a valid prefix (the catch-all mount).
+func CleanPrefix(prefix string) (string, error) {
+	if prefix == "" || !strings.HasPrefix(prefix, "/") {
+		return "", fmt.Errorf("%w: %q (must be absolute)", ErrBadPrefix, prefix)
+	}
+	p := path.Clean(prefix)
+	if strings.Contains(p, "..") {
+		return "", fmt.Errorf("%w: %q", ErrBadPrefix, prefix)
+	}
+	return p, nil
+}
+
+// PointName derives the telemetry-safe mount name from a prefix:
+// "/lustre" → "lustre", "/a/b" → "a_b", "/" → "root". Telemetry for the
+// mount lives under "fsmon.mount.<name>.*".
+func PointName(prefix string) string {
+	trimmed := strings.Trim(prefix, "/")
+	if trimmed == "" {
+		return "root"
+	}
+	return strings.ReplaceAll(trimmed, "/", "_")
+}
+
+// Rewrite maps a backend event into the unified namespace: the event's
+// root becomes the table root and its subject path gains the mount prefix.
+// It is shared by the in-process Table and the scalable per-mount
+// collectors so both paths rewrite identically.
+func Rewrite(root, prefix string, e events.Event) events.Event {
+	e = events.Normalize(e)
+	e.Root = root
+	e.Path = JoinPrefix(prefix, e.Path)
+	if e.OldPath != "" {
+		e.OldPath = JoinPrefix(prefix, e.OldPath)
+	}
+	return e
+}
+
+// JoinPrefix prepends a cleaned mount prefix to a root-relative subject
+// path (which begins with "/").
+func JoinPrefix(prefix, p string) string {
+	if prefix == "/" || prefix == "" {
+		return p
+	}
+	return path.Clean(prefix + p)
+}
+
+// cleanRel reports whether p is an already-clean root-relative path: it
+// starts with "/" and has no empty, ".", or ".." segments (any segment
+// starting with a dot is conservatively rejected). Such paths pass through
+// Normalize and JoinPrefix unchanged apart from the prefix concatenation,
+// which lets the event pump skip the generic cleaning on its hot path.
+func cleanRel(p string) bool {
+	if len(p) == 0 || p[0] != '/' {
+		return false
+	}
+	if p == "/" {
+		return true
+	}
+	if p[len(p)-1] == '/' {
+		return false
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if p[i] == '/' && (p[i+1] == '/' || p[i+1] == '.') {
+			return false
+		}
+	}
+	return true
+}
+
+// Options configures a Table.
+type Options struct {
+	// Root is the unified-namespace root reported on merged events
+	// (default "/").
+	Root string
+	// Buffer is the merged event channel capacity
+	// (0 = pipeline.DefaultDSIBuffer).
+	Buffer int
+	// Telemetry, when non-nil, mirrors per-mount counters under
+	// "fsmon.mount.<name>.*" as mounts attach. Nil costs nothing.
+	Telemetry *telemetry.Registry
+	// Logger receives mount lifecycle logs; nil discards.
+	Logger *slog.Logger
+}
+
+// PointStats is one mount's paper-parity accounting snapshot.
+type PointStats struct {
+	// Prefix is the unified-namespace mount point.
+	Prefix string
+	// Name is the telemetry-safe mount name (PointName(Prefix)).
+	Name string
+	// Backend is the mounted DSI's name.
+	Backend string
+	// Attached is false once the mount has been detached.
+	Attached bool
+	// Captured counts events forwarded into the unified stream — the
+	// per-mount analogue of the paper's per-backend capture counter.
+	Captured uint64
+	// Shadowed counts events suppressed because a deeper mount owns
+	// their unified path (nested-mount semantics).
+	Shadowed uint64
+	// Dropped counts events the mounted backend lost internally.
+	Dropped uint64
+	// Errors counts asynchronous backend errors forwarded (tagged with
+	// the mount prefix) to the table's error channel.
+	Errors uint64
+}
+
+// point is one live (or retired) mount.
+type point struct {
+	prefix string
+	name   string
+	d      dsi.DSI
+
+	captured atomic.Uint64
+	shadowed atomic.Uint64
+	errs     atomic.Uint64
+
+	// deeper holds the live mount prefixes strictly under this one —
+	// the only mounts that can shadow its events. It is recomputed on
+	// every attach/detach and read lock-free on the event hot path;
+	// almost every table has no nesting, so the usual load is an empty
+	// slice and the per-event shadow check costs nothing.
+	deeper atomic.Pointer[[]string]
+
+	// finalDropped freezes the child's drop counter at detach; while
+	// attached, drops are read live from the child.
+	attached     atomic.Bool
+	finalDropped atomic.Uint64
+}
+
+func (p *point) stats() PointStats {
+	dropped := p.finalDropped.Load()
+	attached := p.attached.Load()
+	if attached {
+		dropped = p.d.Dropped()
+	}
+	return PointStats{
+		Prefix:   p.prefix,
+		Name:     p.name,
+		Backend:  p.d.Name(),
+		Attached: attached,
+		Captured: p.captured.Load(),
+		Shadowed: p.shadowed.Load(),
+		Dropped:  dropped,
+		Errors:   p.errs.Load(),
+	}
+}
+
+// Table composes mounted DSIs into one. It implements dsi.DSI: the merged,
+// prefix-rewritten stream flows out of Events() exactly as a single
+// backend's would.
+type Table struct {
+	root   string
+	events chan events.Event
+	errs   chan error
+	done   chan struct{}
+	reg    *telemetry.Registry
+	slog   *slog.Logger
+
+	mu      sync.RWMutex
+	mounts  map[string]*point // live, by prefix
+	byLen   []string          // live prefixes, longest first (routing order)
+	retired []*point          // detached mounts, kept for accounting
+	closed  bool
+
+	pumps     sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewTable creates an empty mount table.
+func NewTable(opts Options) *Table {
+	root := opts.Root
+	if root == "" {
+		root = "/"
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = pipeline.DefaultDSIBuffer
+	}
+	return &Table{
+		root:   path.Clean(root),
+		events: make(chan events.Event, buffer),
+		errs:   make(chan error, 16),
+		done:   make(chan struct{}),
+		reg:    opts.Telemetry,
+		slog:   telemetry.ComponentLogger(opts.Logger, "mount"),
+		mounts: make(map[string]*point),
+	}
+}
+
+// Name implements dsi.DSI.
+func (t *Table) Name() string { return Name }
+
+// Events implements dsi.DSI: the unified, prefix-rewritten stream.
+func (t *Table) Events() <-chan events.Event { return t.events }
+
+// Errors implements dsi.DSI: backend errors tagged with their mount prefix.
+func (t *Table) Errors() <-chan error { return t.errs }
+
+// Dropped implements dsi.DSI: the sum of every mount's backend drops
+// (detached mounts included).
+func (t *Table) Dropped() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var n uint64
+	for _, p := range t.mounts {
+		n += p.d.Dropped()
+	}
+	for _, p := range t.retired {
+		n += p.finalDropped.Load()
+	}
+	return n
+}
+
+// Root returns the unified-namespace root reported on merged events.
+func (t *Table) Root() string { return t.root }
+
+// Attach mounts d at prefix on the live table and starts forwarding its
+// events (rewritten into the unified namespace) and errors. The table
+// owns d from here: Detach and Close close it.
+func (t *Table) Attach(prefix string, d dsi.DSI) error {
+	cp, err := CleanPrefix(prefix)
+	if err != nil {
+		return err
+	}
+	p := &point{prefix: cp, name: PointName(cp), d: d}
+	p.attached.Store(true)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := t.mounts[cp]; dup {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrMounted, cp)
+	}
+	t.mounts[cp] = p
+	t.byLen = append(t.byLen, cp)
+	sort.Slice(t.byLen, func(i, j int) bool { return len(t.byLen[i]) > len(t.byLen[j]) })
+	t.recomputeDeeperLocked()
+	t.pumps.Add(2)
+	t.mu.Unlock()
+
+	go t.pumpEvents(p)
+	go t.pumpErrors(p)
+	t.registerPoint(p)
+	t.slog.Debug("mount attached", "prefix", cp, "backend", d.Name())
+	return nil
+}
+
+// Detach unmounts the prefix: the mounted DSI is closed, its remaining
+// buffered events drain into the unified stream, and its accounting is
+// retained (Stats reports it with Attached=false).
+func (t *Table) Detach(prefix string) error {
+	cp, err := CleanPrefix(prefix)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	p, ok := t.mounts[cp]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotMounted, cp)
+	}
+	delete(t.mounts, cp)
+	for i, pre := range t.byLen {
+		if pre == cp {
+			t.byLen = append(t.byLen[:i], t.byLen[i+1:]...)
+			break
+		}
+	}
+	t.retired = append(t.retired, p)
+	t.recomputeDeeperLocked()
+	t.mu.Unlock()
+
+	err = p.d.Close() // pumps exit when the child channels close
+	p.finalDropped.Store(p.d.Dropped())
+	p.attached.Store(false)
+	t.slog.Debug("mount detached", "prefix", cp, "backend", p.d.Name())
+	return err
+}
+
+// recomputeDeeperLocked refreshes every live point's shadow list (the
+// mounts strictly under it). Called with t.mu held on attach/detach; the
+// pumps pick the new slice up atomically.
+func (t *Table) recomputeDeeperLocked() {
+	for _, p := range t.mounts {
+		var deeper []string
+		for q := range t.mounts {
+			if q != p.prefix {
+				if _, ok := prefixRel(p.prefix, q); ok {
+					deeper = append(deeper, q)
+				}
+			}
+		}
+		p.deeper.Store(&deeper)
+	}
+}
+
+// Mounts returns the live mount prefixes, sorted.
+func (t *Table) Mounts() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.mounts))
+	for pre := range t.mounts {
+		out = append(out, pre)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats snapshots every mount's accounting — live mounts first (sorted by
+// prefix), then detached ones in detach order.
+func (t *Table) Stats() []PointStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]PointStats, 0, len(t.mounts)+len(t.retired))
+	for _, pre := range sortedKeys(t.mounts) {
+		out = append(out, t.mounts[pre].stats())
+	}
+	for _, p := range t.retired {
+		out = append(out, p.stats())
+	}
+	return out
+}
+
+func sortedKeys(m map[string]*point) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Route resolves a unified-namespace path to its owning mount by
+// longest-prefix match: the deepest mount whose prefix contains p wins
+// (so with /a and /a/b mounted, /a/b/c routes to /a/b). rest is the
+// path relative to the mount, beginning with "/". ok is false when no
+// mount's prefix contains p.
+func (t *Table) Route(p string) (prefix, rest string, ok bool) {
+	p = path.Clean(p)
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// byLen is longest-first, so the first containing prefix is the
+	// deepest mount.
+	for _, pre := range t.byLen {
+		if r, under := prefixRel(pre, p); under {
+			return pre, r, true
+		}
+	}
+	return "", "", false
+}
+
+// prefixRel reports whether p lies at or under prefix, and the relative
+// remainder ("/" when p is the mount point itself).
+func prefixRel(prefix, p string) (string, bool) {
+	if prefix == "/" {
+		return p, true
+	}
+	if p == prefix {
+		return "/", true
+	}
+	if strings.HasPrefix(p, prefix+"/") {
+		return p[len(prefix):], true
+	}
+	return "", false
+}
+
+// pumpEvents forwards one mount's events into the unified stream:
+// rewrite into the unified namespace, suppress paths owned by a deeper
+// mount, and deliver with backpressure (the merged channel blocks like a
+// single backend's would; table shutdown unblocks it).
+func (t *Table) pumpEvents(p *point) {
+	defer t.pumps.Done()
+	// lastSrc/lastTag memoize the "<mount>:<backend>" source tag: a
+	// backend's Source is constant in practice, so the per-event concat
+	// collapses to a comparison.
+	var lastSrc, lastTag string
+	for e := range p.d.Events() {
+		// Fast path for well-formed backend events (root-relative clean
+		// path, no rename pair): skip Normalize's generic cleaning and do
+		// only the namespace rewrite. Anything unusual takes Rewrite.
+		if e.OldPath == "" && cleanRel(e.Path) &&
+			(e.Root == "/" || !strings.HasPrefix(e.Path, e.Root)) {
+			e.Root = t.root
+			e.Path = JoinPrefix(p.prefix, e.Path)
+		} else {
+			e = Rewrite(t.root, p.prefix, e)
+		}
+		if deeper := *p.deeper.Load(); len(deeper) > 0 {
+			shadowed := false
+			for _, q := range deeper {
+				if _, ok := prefixRel(q, e.Path); ok {
+					shadowed = true
+					break
+				}
+			}
+			if shadowed {
+				p.shadowed.Add(1)
+				continue
+			}
+		}
+		if e.Source != lastSrc {
+			lastSrc = e.Source
+			lastTag = p.name + ":" + e.Source
+		}
+		e.Source = lastTag
+		// The non-blocking first try matters during shutdown: once done is
+		// closed a two-way select could abandon an event the consumer was
+		// still draining.
+		select {
+		case t.events <- e:
+			p.captured.Add(1)
+			continue
+		default:
+		}
+		select {
+		case t.events <- e:
+			p.captured.Add(1)
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// pumpErrors forwards one mount's asynchronous errors, tagged with the
+// mount prefix, without ever blocking (matching dsi.Base error semantics).
+func (t *Table) pumpErrors(p *point) {
+	defer t.pumps.Done()
+	for err := range p.d.Errors() {
+		p.errs.Add(1)
+		select {
+		case t.errs <- fmt.Errorf("mount %s: %w", p.prefix, err):
+		default:
+		}
+	}
+}
+
+// registerPoint mirrors one mount's counters under fsmon.mount.<name>.*.
+// Reattaching a prefix rebinds the gauges to the new point.
+func (t *Table) registerPoint(p *point) {
+	if t.reg == nil {
+		return
+	}
+	prefix := "fsmon.mount." + p.name
+	t.reg.GaugeFunc(prefix+".captured", func() float64 { return float64(p.captured.Load()) })
+	t.reg.GaugeFunc(prefix+".shadowed", func() float64 { return float64(p.shadowed.Load()) })
+	t.reg.GaugeFunc(prefix+".errors", func() float64 { return float64(p.errs.Load()) })
+	t.reg.GaugeFunc(prefix+".dropped", func() float64 { return float64(p.stats().Dropped) })
+	t.reg.GaugeFunc(prefix+".attached", func() float64 {
+		if p.attached.Load() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Close implements dsi.DSI: every mounted backend closes, buffered events
+// drain out of the pumps, then the unified channels close. Idempotent.
+func (t *Table) Close() error {
+	var first error
+	t.closeOnce.Do(func() {
+		t.mu.Lock()
+		t.closed = true
+		pts := make([]*point, 0, len(t.mounts))
+		for _, p := range t.mounts {
+			pts = append(pts, p)
+		}
+		t.mu.Unlock()
+		for _, p := range pts {
+			if err := p.d.Close(); err != nil && first == nil {
+				first = err
+			}
+			p.finalDropped.Store(p.d.Dropped())
+			p.attached.Store(false)
+		}
+		// done unblocks pumps stuck on a full merged channel; pumps with a
+		// live consumer keep draining until the child channels close (the
+		// non-blocking first try in pumpEvents prefers delivery).
+		close(t.done)
+		t.pumps.Wait()
+		close(t.events)
+		close(t.errs)
+	})
+	return first
+}

@@ -1,0 +1,390 @@
+package mount
+
+import (
+	"errors"
+	"path"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/telemetry"
+)
+
+// fakeDSI is a hand-driven backend for table tests.
+type fakeDSI struct{ *dsi.Base }
+
+func newFake(name string) *fakeDSI {
+	f := &fakeDSI{dsi.NewBase(name, 64)}
+	f.AddPump()
+	return f
+}
+
+func (f *fakeDSI) Close() error {
+	f.PumpDone()
+	f.CloseBase()
+	return nil
+}
+
+func (f *fakeDSI) emit(t *testing.T, op events.Op, p string) {
+	t.Helper()
+	if !f.Emit(events.Event{Root: "/", Op: op, Path: p, Time: time.Now()}) {
+		t.Fatalf("emit %s on %s failed", p, f.Name())
+	}
+}
+
+func recvEvent(t *testing.T, ch <-chan events.Event) events.Event {
+	t.Helper()
+	select {
+	case e, ok := <-ch:
+		if !ok {
+			t.Fatal("event channel closed")
+		}
+		return e
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for event")
+	}
+	panic("unreachable")
+}
+
+func TestTableComposesAndRewrites(t *testing.T) {
+	tbl := NewTable(Options{})
+	defer tbl.Close()
+	a, b := newFake("alpha"), newFake("beta")
+	if err := tbl.Attach("/a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Attach("/b/c", b); err != nil {
+		t.Fatal(err)
+	}
+
+	a.emit(t, events.OpCreate, "/x.txt")
+	e := recvEvent(t, tbl.Events())
+	if e.Root != "/" || e.Path != "/a/x.txt" || e.Op != events.OpCreate {
+		t.Errorf("event = %v", e)
+	}
+	if e.Source != "a:alpha" {
+		t.Errorf("source = %q", e.Source)
+	}
+
+	b.emit(t, events.OpDelete, "/deep/y")
+	e = recvEvent(t, tbl.Events())
+	if e.Path != "/b/c/deep/y" {
+		t.Errorf("path = %q", e.Path)
+	}
+
+	if got := tbl.Mounts(); len(got) != 2 || got[0] != "/a" || got[1] != "/b/c" {
+		t.Errorf("Mounts = %v", got)
+	}
+	st := tbl.Stats()
+	if len(st) != 2 || st[0].Captured != 1 || st[1].Captured != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st[0].Name != "a" || st[1].Name != "b_c" {
+		t.Errorf("names = %q, %q", st[0].Name, st[1].Name)
+	}
+}
+
+func TestTableCustomRootAndRename(t *testing.T) {
+	tbl := NewTable(Options{Root: "/ns"})
+	defer tbl.Close()
+	a := newFake("alpha")
+	if err := tbl.Attach("/a", a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Emit(events.Event{Root: "/", Op: events.OpMovedTo, Path: "/new", OldPath: "/old", Cookie: 7}) {
+		t.Fatal("emit failed")
+	}
+	e := recvEvent(t, tbl.Events())
+	if e.Root != "/ns" || e.Path != "/a/new" || e.OldPath != "/a/old" || e.Cookie != 7 {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+func TestNestedMountShadowing(t *testing.T) {
+	tbl := NewTable(Options{})
+	defer tbl.Close()
+	outer, inner := newFake("outer"), newFake("inner")
+	if err := tbl.Attach("/a", outer); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Attach("/a/b", inner); err != nil {
+		t.Fatal(err)
+	}
+
+	// The outer mount's event under the inner mount point is shadowed;
+	// its sibling event is not.
+	outer.emit(t, events.OpCreate, "/b/hidden")
+	outer.emit(t, events.OpCreate, "/c/visible")
+	inner.emit(t, events.OpCreate, "/own")
+
+	// The two surviving events come from different pumps, so their
+	// arrival order is unspecified.
+	got := map[string]string{}
+	for i := 0; i < 2; i++ {
+		e := recvEvent(t, tbl.Events())
+		got[e.Path] = e.Source
+	}
+	if _, ok := got["/a/c/visible"]; !ok {
+		t.Errorf("missing sibling event: %v", got)
+	}
+	if src, ok := got["/a/b/own"]; !ok || !strings.HasPrefix(src, "a_b:") {
+		t.Errorf("inner event = %v", got)
+	}
+
+	st := tbl.Stats()
+	if st[0].Shadowed != 1 || st[0].Captured != 1 {
+		t.Errorf("outer stats = %+v", st[0])
+	}
+	if st[1].Shadowed != 0 || st[1].Captured != 1 {
+		t.Errorf("inner stats = %+v", st[1])
+	}
+}
+
+func TestHotAttachDetach(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tbl := NewTable(Options{Telemetry: reg})
+	defer tbl.Close()
+	a := newFake("alpha")
+	if err := tbl.Attach("/a", a); err != nil {
+		t.Fatal(err)
+	}
+	a.emit(t, events.OpCreate, "/one")
+	recvEvent(t, tbl.Events())
+
+	// Hot attach while the table is live.
+	b := newFake("beta")
+	if err := tbl.Attach("/b", b); err != nil {
+		t.Fatal(err)
+	}
+	b.emit(t, events.OpCreate, "/two")
+	if e := recvEvent(t, tbl.Events()); e.Path != "/b/two" {
+		t.Errorf("path = %q", e.Path)
+	}
+
+	// Detach closes the backend and retains its accounting.
+	if err := tbl.Detach("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Emit(events.Event{Path: "/late"}) {
+		t.Error("detached backend still accepts events")
+	}
+	if got := tbl.Mounts(); len(got) != 1 || got[0] != "/b" {
+		t.Errorf("Mounts = %v", got)
+	}
+	st := tbl.Stats()
+	if len(st) != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	var aSt *PointStats
+	for i := range st {
+		if st[i].Prefix == "/a" {
+			aSt = &st[i]
+		}
+	}
+	if aSt == nil || aSt.Attached || aSt.Captured != 1 {
+		t.Errorf("detached stats = %+v", aSt)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap["fsmon.mount.a.attached"].(float64); !ok || v != 0 {
+		t.Errorf("fsmon.mount.a.attached = %v", snap["fsmon.mount.a.attached"])
+	}
+	if v, ok := snap["fsmon.mount.b.captured"].(float64); !ok || v != 1 {
+		t.Errorf("fsmon.mount.b.captured = %v", snap["fsmon.mount.b.captured"])
+	}
+
+	if err := tbl.Detach("/a"); !errors.Is(err, ErrNotMounted) {
+		t.Errorf("double detach err = %v", err)
+	}
+	if err := tbl.Attach("/b", newFake("dup")); !errors.Is(err, ErrMounted) {
+		t.Errorf("duplicate attach err = %v", err)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	tbl := NewTable(Options{})
+	defer tbl.Close()
+	for _, bad := range []string{"", "relative", "a/b"} {
+		if err := tbl.Attach(bad, newFake("x")); !errors.Is(err, ErrBadPrefix) {
+			t.Errorf("Attach(%q) err = %v", bad, err)
+		}
+	}
+	// Prefixes normalize: trailing slash and the mount point collide.
+	if err := tbl.Attach("/a/", newFake("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Attach("/a", newFake("y")); !errors.Is(err, ErrMounted) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestErrorForwardingTagged(t *testing.T) {
+	tbl := NewTable(Options{})
+	defer tbl.Close()
+	a := newFake("alpha")
+	if err := tbl.Attach("/a", a); err != nil {
+		t.Fatal(err)
+	}
+	a.EmitError(errors.New("backend overflow"))
+	select {
+	case err := <-tbl.Errors():
+		if !strings.Contains(err.Error(), "mount /a") || !strings.Contains(err.Error(), "backend overflow") {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no error forwarded")
+	}
+	if st := tbl.Stats(); st[0].Errors != 1 {
+		t.Errorf("stats = %+v", st[0])
+	}
+}
+
+func TestCloseClosesMountsAndChannels(t *testing.T) {
+	tbl := NewTable(Options{})
+	a := newFake("alpha")
+	if err := tbl.Attach("/a", a); err != nil {
+		t.Fatal(err)
+	}
+	a.emit(t, events.OpCreate, "/pending")
+	if err := tbl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Buffered events drain before the unified channel closes.
+	e, ok := <-tbl.Events()
+	if !ok || e.Path != "/a/pending" {
+		t.Errorf("drained = %v, %v", e, ok)
+	}
+	if _, ok := <-tbl.Events(); ok {
+		t.Error("events channel not closed")
+	}
+	if _, ok := <-tbl.Errors(); ok {
+		t.Error("errors channel not closed")
+	}
+	if err := tbl.Attach("/b", newFake("late")); !errors.Is(err, ErrClosed) {
+		t.Errorf("attach after close err = %v", err)
+	}
+	tbl.Close() // idempotent
+}
+
+// refRoute is the naive longest-prefix reference the property tests
+// compare Table.Route against.
+func refRoute(mounts []string, p string) (string, bool) {
+	best, found := "", false
+	for _, m := range mounts {
+		if _, ok := prefixRel(m, p); ok && (!found || len(m) > len(best)) {
+			best, found = m, true
+		}
+	}
+	return best, found
+}
+
+func TestRouteTable(t *testing.T) {
+	tbl := NewTable(Options{})
+	defer tbl.Close()
+	for _, pre := range []string{"/a", "/a/b", "/ab", "/x"} {
+		if err := tbl.Attach(pre, newFake(pre)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		p, want, rest string
+		ok            bool
+	}{
+		{"/a/file", "/a", "/file", true},
+		{"/a", "/a", "/", true},
+		{"/a/b", "/a/b", "/", true},
+		{"/a/b/c/d", "/a/b", "/c/d", true},
+		{"/ab/z", "/ab", "/z", true},
+		{"/abc", "", "", false}, // "/ab" is not a path-segment prefix of "/abc"
+		{"/y", "", "", false},
+	}
+	for _, c := range cases {
+		pre, rest, ok := tbl.Route(c.p)
+		if pre != c.want || ok != c.ok || (ok && rest != c.rest) {
+			t.Errorf("Route(%q) = %q, %q, %v; want %q, %q, %v", c.p, pre, rest, ok, c.want, c.rest, c.ok)
+		}
+	}
+}
+
+// TestRouteLongestPrefixProperty: for any mount m in the table and any
+// relative path p, Route(join(m, p)) must resolve to the deepest mount
+// containing the joined path — never to a shallower one, and never miss.
+func TestRouteLongestPrefixProperty(t *testing.T) {
+	mounts := []string{"/", "/a", "/a/b", "/a/b/c", "/ab", "/x/y"}
+	tbl := NewTable(Options{})
+	defer tbl.Close()
+	for _, pre := range mounts {
+		if err := tbl.Attach(pre, newFake(pre)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := []string{"a", "b", "c", "ab", "y", "zz"}
+	property := func(mi uint8, picks []uint8) bool {
+		m := mounts[int(mi)%len(mounts)]
+		rel := "/"
+		for _, pk := range picks {
+			rel = path.Join(rel, segs[int(pk)%len(segs)])
+		}
+		full := path.Join(m, rel)
+		got, rest, ok := tbl.Route(full)
+		want, wantOK := refRoute(mounts, full)
+		if !ok || !wantOK || got != want {
+			t.Logf("Route(%q) = %q, %v; reference = %q, %v", full, got, ok, want, wantOK)
+			return false
+		}
+		// The deepest mount is at least as deep as the one we joined
+		// from, and re-joining prefix+rest reproduces the path.
+		if len(got) < len(m) || path.Join(got, rest) != full {
+			t.Logf("Route(%q) = %q + %q (joined from %q)", full, got, rest, m)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRouteNoMountMissProperty: paths outside every mount never route.
+func TestRouteNoMountMissProperty(t *testing.T) {
+	mounts := []string{"/a", "/a/b", "/x/y"}
+	tbl := NewTable(Options{})
+	defer tbl.Close()
+	for _, pre := range mounts {
+		if err := tbl.Attach(pre, newFake(pre)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	property := func(p string) bool {
+		full := path.Clean("/" + p)
+		_, _, ok := tbl.Route(full)
+		want, wantOK := refRoute(mounts, full)
+		_ = want
+		return ok == wantOK
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	e := Rewrite("/", "/obj", events.Event{Root: "/ignored", Op: events.OpCreate, Path: "/k/v"})
+	if e.Root != "/" || e.Path != "/obj/k/v" {
+		t.Errorf("event = %+v", e)
+	}
+	e = Rewrite("/ns", "/", events.Event{Root: "/", Op: events.OpCreate, Path: "/top"})
+	if e.Root != "/ns" || e.Path != "/top" {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+func TestPointName(t *testing.T) {
+	cases := map[string]string{"/": "root", "/a": "a", "/a/b": "a_b", "/lustre": "lustre"}
+	for pre, want := range cases {
+		if got := PointName(pre); got != want {
+			t.Errorf("PointName(%q) = %q, want %q", pre, got, want)
+		}
+	}
+}

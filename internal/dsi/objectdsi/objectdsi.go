@@ -1,0 +1,429 @@
+// Package objectdsi implements a Data Storage Interface over an
+// object-store-style backend — a deliberately different event vocabulary
+// from every file-system DSI, proving the paper's "arbitrary storage
+// systems" claim at the resolution boundary. The in-memory Bucket models
+// S3-like semantics: a flat keyspace (no directories, no rename — a
+// "move" is a PUT plus a DELETE), PUT/DELETE mutations with a best-effort
+// notification feed, and a strongly-listable inventory.
+//
+// Standardization happens here, in the DSI, as §III-A1 prescribes: a PUT
+// of an unseen key becomes CREATE, a PUT over an existing key becomes
+// MODIFY, a DELETE becomes DELETE, and nothing ever carries ISDIR or the
+// MOVED_* pair. Because bucket notifications are best-effort (the feed
+// drops when a watcher lags, as real bucket-notification services do),
+// the DSI also reconciles against a periodic LIST of the bucket —
+// eventual-consistency semantics: every missed mutation is eventually
+// surfaced by the listing diff, with per-key generation numbers
+// suppressing duplicates between the two paths.
+package objectdsi
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+)
+
+// Name is the backend name in the registry.
+const Name = "objectstore"
+
+// DefaultListInterval is how often the DSI reconciles against a full
+// bucket listing when the config does not specify one.
+const DefaultListInterval = 100 * time.Millisecond
+
+// DefaultFeedBuffer is the bucket notification feed capacity per watcher;
+// a watcher that lags further than this loses notifications (and recovers
+// them from the LIST reconciliation).
+const DefaultFeedBuffer = 1024
+
+// Register adds the backend; it matches object-store FSTypes exclusively.
+func Register(reg *dsi.Registry) {
+	reg.Register(Name, func(info dsi.StorageInfo) int {
+		switch info.FSType {
+		case "object", "objectstore", "s3":
+			return 100
+		}
+		return 0
+	}, New)
+}
+
+// Object is one stored object's metadata.
+type Object struct {
+	// Key is the flat-namespace object key ("datasets/run1/out.h5").
+	Key string
+	// Size is the object size in bytes.
+	Size int64
+	// Gen is the bucket-global mutation generation that produced this
+	// version; generations order all mutations across the bucket.
+	Gen uint64
+	// Modified is when this version was written.
+	Modified time.Time
+}
+
+// Notification is one best-effort bucket feed entry.
+type Notification struct {
+	// Delete marks a DELETE; otherwise the notification is a PUT.
+	Delete bool
+	Object
+}
+
+// Bucket is an in-memory flat-keyspace object store. The zero value is
+// not usable; call NewBucket.
+type Bucket struct {
+	mu       sync.Mutex
+	objs     map[string]Object
+	gen      uint64
+	feeds    map[int]chan Notification
+	nextFeed int
+
+	notifyDrops atomic.Uint64
+}
+
+// NewBucket creates an empty bucket.
+func NewBucket() *Bucket {
+	return &Bucket{
+		objs:  make(map[string]Object),
+		feeds: make(map[int]chan Notification),
+	}
+}
+
+// cleanKey normalizes a key: no leading slash, no empty keys.
+func cleanKey(key string) (string, error) {
+	k := strings.TrimPrefix(key, "/")
+	if k == "" {
+		return "", fmt.Errorf("objectdsi: empty object key")
+	}
+	return k, nil
+}
+
+// Put writes (or overwrites) an object and notifies watchers.
+func (b *Bucket) Put(key string, size int64) (Object, error) {
+	k, err := cleanKey(key)
+	if err != nil {
+		return Object{}, err
+	}
+	b.mu.Lock()
+	b.gen++
+	o := Object{Key: k, Size: size, Gen: b.gen, Modified: time.Now()}
+	b.objs[k] = o
+	b.notifyLocked(Notification{Object: o})
+	b.mu.Unlock()
+	return o, nil
+}
+
+// Delete removes an object, reporting whether it existed. Watchers are
+// notified only for keys that existed (as real buckets do: deleting a
+// missing key is a silent no-op).
+func (b *Bucket) Delete(key string) bool {
+	k, err := cleanKey(key)
+	if err != nil {
+		return false
+	}
+	b.mu.Lock()
+	o, ok := b.objs[k]
+	if ok {
+		delete(b.objs, k)
+		b.gen++
+		o.Gen = b.gen
+		o.Modified = time.Now()
+		b.notifyLocked(Notification{Delete: true, Object: o})
+	}
+	b.mu.Unlock()
+	return ok
+}
+
+// notifyLocked fans a notification out to every watcher without blocking;
+// a full feed drops (the DSI's LIST reconciliation recovers the change).
+func (b *Bucket) notifyLocked(n Notification) {
+	for _, ch := range b.feeds {
+		select {
+		case ch <- n:
+		default:
+			b.notifyDrops.Add(1)
+		}
+	}
+}
+
+// List returns the objects whose keys begin with prefix ("" = all),
+// sorted by key — the strongly-consistent inventory scan.
+func (b *Bucket) List(prefix string) []Object {
+	prefix = strings.TrimPrefix(prefix, "/")
+	b.mu.Lock()
+	out := make([]Object, 0, len(b.objs))
+	for k, o := range b.objs {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, o)
+		}
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Object returns one object's metadata.
+func (b *Bucket) Object(key string) (Object, bool) {
+	k, err := cleanKey(key)
+	if err != nil {
+		return Object{}, false
+	}
+	b.mu.Lock()
+	o, ok := b.objs[k]
+	b.mu.Unlock()
+	return o, ok
+}
+
+// Len returns the number of stored objects.
+func (b *Bucket) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.objs)
+}
+
+// Gen returns the current bucket-global mutation generation.
+func (b *Bucket) Gen() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.gen
+}
+
+// NotifyDrops counts feed notifications lost to lagging watchers.
+func (b *Bucket) NotifyDrops() uint64 { return b.notifyDrops.Load() }
+
+// watch attaches a notification feed.
+func (b *Bucket) watch(buffer int) (int, chan Notification) {
+	if buffer <= 0 {
+		buffer = DefaultFeedBuffer
+	}
+	ch := make(chan Notification, buffer)
+	b.mu.Lock()
+	id := b.nextFeed
+	b.nextFeed++
+	b.feeds[id] = ch
+	b.mu.Unlock()
+	return id, ch
+}
+
+// unwatch detaches a feed and closes its channel.
+func (b *Bucket) unwatch(id int) {
+	b.mu.Lock()
+	ch, ok := b.feeds[id]
+	if ok {
+		delete(b.feeds, id)
+	}
+	b.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
+// Backend carries the object-store connection for dsi.Config.Backend: the
+// bucket plus optional tuning.
+type Backend struct {
+	Bucket *Bucket
+	// ListInterval is the reconciliation scan period
+	// (0 = DefaultListInterval).
+	ListInterval time.Duration
+	// FeedBuffer is the notification feed capacity
+	// (0 = DefaultFeedBuffer).
+	FeedBuffer int
+}
+
+// objectDSI standardizes one bucket's mutations. The pump goroutine owns
+// known/tomb exclusively, so per-key state needs no locking.
+type objectDSI struct {
+	*dsi.Base
+	bucket    *Bucket
+	feedID    int
+	feed      chan Notification
+	interval  time.Duration
+	keyPrefix string // bucket-side key prefix derived from cfg.Root
+
+	// known maps live keys to the highest generation already reported;
+	// tomb remembers deleted keys' delete generation so a late PUT
+	// notification for an older version cannot resurrect them.
+	known map[string]uint64
+	tomb  map[string]uint64
+}
+
+// New attaches the DSI to the bucket in cfg.Backend (either a *Bucket or
+// a *Backend). cfg.Root "" or "/" watches the whole bucket; any other
+// root watches the keys under that pseudo-directory prefix. Recursion is
+// meaningless in a flat keyspace, so cfg.Recursive is ignored: every key
+// is a leaf and all of them are reported (the interface layer filters).
+func New(cfg dsi.Config) (dsi.DSI, error) {
+	var be Backend
+	switch b := cfg.Backend.(type) {
+	case *Backend:
+		be = *b
+	case *Bucket:
+		be.Bucket = b
+	default:
+		return nil, fmt.Errorf("objectdsi: cfg.Backend must be *objectdsi.Backend or *objectdsi.Bucket, got %T", cfg.Backend)
+	}
+	if be.Bucket == nil {
+		return nil, fmt.Errorf("objectdsi: no bucket provided")
+	}
+	if be.ListInterval <= 0 {
+		be.ListInterval = DefaultListInterval
+	}
+	root := path.Clean("/" + strings.TrimPrefix(cfg.Root, "/"))
+	keyPrefix := ""
+	if root != "/" {
+		keyPrefix = strings.TrimPrefix(root, "/") + "/"
+	}
+	d := &objectDSI{
+		Base:      dsi.NewBase(Name, cfg.Buffer),
+		bucket:    be.Bucket,
+		interval:  be.ListInterval,
+		keyPrefix: keyPrefix,
+		known:     make(map[string]uint64),
+		tomb:      make(map[string]uint64),
+	}
+	d.feedID, d.feed = be.Bucket.watch(be.FeedBuffer)
+	// The initial inventory is the baseline, not an event burst: objects
+	// already in the bucket are marked known silently, mirroring how a
+	// file watcher does not replay the existing tree at attach.
+	for _, o := range be.Bucket.List(d.keyPrefix) {
+		d.known[o.Key] = o.Gen
+	}
+	d.AddPump()
+	go d.pump()
+	return d, nil
+}
+
+func (d *objectDSI) pump() {
+	defer d.PumpDone()
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.Done():
+			return
+		case n, ok := <-d.feed:
+			if !ok {
+				return
+			}
+			if !d.apply(n) {
+				return
+			}
+		case <-ticker.C:
+			if !d.reconcile() {
+				return
+			}
+		}
+	}
+}
+
+// relPath maps a bucket key into the watch root's namespace.
+func (d *objectDSI) relPath(key string) (string, bool) {
+	if d.keyPrefix != "" {
+		if !strings.HasPrefix(key, d.keyPrefix) {
+			return "", false
+		}
+		key = strings.TrimPrefix(key, d.keyPrefix)
+	}
+	return "/" + key, true
+}
+
+// emit standardizes and delivers one mutation.
+func (d *objectDSI) emit(op events.Op, o Object) bool {
+	p, ok := d.relPath(o.Key)
+	if !ok {
+		return true
+	}
+	return d.Emit(events.Event{
+		Op:   op,
+		Path: p,
+		Time: o.Modified,
+	})
+}
+
+// apply standardizes one feed notification, using the generation guards
+// to drop duplicates and stale deliveries (the reconciliation scan may
+// already have reported the same mutation).
+func (d *objectDSI) apply(n Notification) bool {
+	key := n.Key
+	if _, ok := d.relPath(key); !ok {
+		return true // outside the watched key prefix
+	}
+	if n.Delete {
+		last, live := d.known[key]
+		if !live || n.Gen <= last {
+			// Either the create was never seen (net zero) or this delete
+			// is older than the version we know; remember the tombstone
+			// so a stale PUT cannot resurrect the key.
+			if n.Gen > d.tomb[key] {
+				d.tomb[key] = n.Gen
+			}
+			return true
+		}
+		delete(d.known, key)
+		d.tomb[key] = n.Gen
+		return d.emit(events.OpDelete, n.Object)
+	}
+	if n.Gen <= d.tomb[key] {
+		return true // PUT of a version older than its key's deletion
+	}
+	last, live := d.known[key]
+	if live && n.Gen <= last {
+		return true // duplicate or out-of-order PUT
+	}
+	d.known[key] = n.Gen
+	delete(d.tomb, key)
+	op := events.OpCreate
+	if live {
+		op = events.OpModify
+	}
+	return d.emit(op, n.Object)
+}
+
+// reconcile diffs a strongly-consistent LIST against the known set and
+// synthesizes the mutations the feed missed: unseen keys CREATE, newer
+// generations MODIFY, vanished keys DELETE. This is the eventual-LIST
+// half of the vocabulary: after a quiet period every watcher converges on
+// the bucket's true inventory no matter how lossy the feed was.
+func (d *objectDSI) reconcile() bool {
+	listGen := d.bucket.Gen()
+	live := make(map[string]bool)
+	for _, o := range d.bucket.List(d.keyPrefix) {
+		live[o.Key] = true
+		last, known := d.known[o.Key]
+		switch {
+		case !known:
+			d.known[o.Key] = o.Gen
+			delete(d.tomb, o.Key)
+			if !d.emit(events.OpCreate, o) {
+				return false
+			}
+		case o.Gen > last:
+			d.known[o.Key] = o.Gen
+			if !d.emit(events.OpModify, o) {
+				return false
+			}
+		}
+	}
+	for key, gen := range d.known {
+		if live[key] {
+			continue
+		}
+		delete(d.known, key)
+		d.tomb[key] = listGen
+		if !d.emit(events.OpDelete, Object{Key: key, Gen: gen, Modified: time.Now()}) {
+			return false
+		}
+	}
+	return true
+}
+
+// Close detaches from the bucket feed and closes the event stream.
+func (d *objectDSI) Close() error {
+	d.bucket.unwatch(d.feedID)
+	d.CloseBase()
+	return nil
+}

@@ -1,0 +1,239 @@
+package objectdsi
+
+import (
+	"testing"
+	"time"
+
+	"fsmonitor/internal/dsi"
+	"fsmonitor/internal/events"
+)
+
+func collect(t *testing.T, d dsi.DSI, n int) []events.Event {
+	t.Helper()
+	out := make([]events.Event, 0, n)
+	deadline := time.After(5 * time.Second)
+	for len(out) < n {
+		select {
+		case e, ok := <-d.Events():
+			if !ok {
+				t.Fatalf("events channel closed after %d/%d", len(out), n)
+			}
+			out = append(out, e)
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d events: %v", len(out), n, out)
+		}
+	}
+	return out
+}
+
+// assertQuiet fails if any event arrives within d.
+func assertQuiet(t *testing.T, dsi dsi.DSI, d time.Duration) {
+	t.Helper()
+	select {
+	case e, ok := <-dsi.Events():
+		if ok {
+			t.Fatalf("unexpected event %v", e)
+		}
+	case <-time.After(d):
+	}
+}
+
+func open(t *testing.T, be *Backend, root string) dsi.DSI {
+	t.Helper()
+	d, err := New(dsi.Config{Root: root, Backend: be})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestPutDeleteVocabulary(t *testing.T) {
+	b := NewBucket()
+	d := open(t, &Backend{Bucket: b, ListInterval: 10 * time.Millisecond}, "/")
+
+	if _, err := b.Put("data/run1.h5", 100); err != nil {
+		t.Fatal(err)
+	}
+	e := collect(t, d, 1)[0]
+	if e.Op != events.OpCreate || e.Path != "/data/run1.h5" || e.Source != Name {
+		t.Errorf("create = %v (source %q)", e, e.Source)
+	}
+	if e.Op.IsDir() {
+		t.Error("object event carries ISDIR")
+	}
+
+	if _, err := b.Put("data/run1.h5", 200); err != nil {
+		t.Fatal(err)
+	}
+	if e := collect(t, d, 1)[0]; e.Op != events.OpModify || e.Path != "/data/run1.h5" {
+		t.Errorf("overwrite = %v", e)
+	}
+
+	if !b.Delete("data/run1.h5") {
+		t.Fatal("delete missed")
+	}
+	if e := collect(t, d, 1)[0]; e.Op != events.OpDelete || e.Path != "/data/run1.h5" {
+		t.Errorf("delete = %v", e)
+	}
+
+	// Deleting a missing key is a silent no-op, as in a real bucket.
+	if b.Delete("missing") {
+		t.Error("delete of missing key reported true")
+	}
+	assertQuiet(t, d, 50*time.Millisecond)
+}
+
+func TestNoRenameVocabulary(t *testing.T) {
+	b := NewBucket()
+	d := open(t, &Backend{Bucket: b, ListInterval: 10 * time.Millisecond}, "/")
+
+	// An object-store "rename" is PUT(new) + DELETE(old): the stream
+	// must standardize it as CREATE + DELETE, never MOVED_FROM/MOVED_TO.
+	if _, err := b.Put("old", 1); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, d, 1)
+	if _, err := b.Put("new", 1); err != nil {
+		t.Fatal(err)
+	}
+	b.Delete("old")
+	evs := collect(t, d, 2)
+	for _, e := range evs {
+		if e.Op.HasAny(events.OpMovedFrom | events.OpMovedTo | events.OpMoveSelf) {
+			t.Errorf("rename op leaked: %v", e)
+		}
+	}
+}
+
+func TestInitialInventorySilent(t *testing.T) {
+	b := NewBucket()
+	for i := 0; i < 10; i++ {
+		if _, err := b.Put("pre/existing"+string(rune('0'+i)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := open(t, &Backend{Bucket: b, ListInterval: 10 * time.Millisecond}, "/")
+	// Attaching replays nothing (the existing inventory is baseline)...
+	assertQuiet(t, d, 50*time.Millisecond)
+	// ...but new mutations flow.
+	if _, err := b.Put("fresh", 1); err != nil {
+		t.Fatal(err)
+	}
+	if e := collect(t, d, 1)[0]; e.Op != events.OpCreate || e.Path != "/fresh" {
+		t.Errorf("event = %v", e)
+	}
+}
+
+func TestRootPrefixFiltersKeys(t *testing.T) {
+	b := NewBucket()
+	d := open(t, &Backend{Bucket: b, ListInterval: 10 * time.Millisecond}, "/archive")
+	if _, err := b.Put("archive/a.tar", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Put("scratch/b.tmp", 1); err != nil {
+		t.Fatal(err)
+	}
+	e := collect(t, d, 1)[0]
+	if e.Path != "/a.tar" {
+		t.Errorf("path = %q", e.Path)
+	}
+	assertQuiet(t, d, 50*time.Millisecond) // scratch/ is outside the root
+}
+
+// TestEventualListRecoversDroppedNotifications wedges the feed (capacity
+// 1, DSI event buffer 1, no consumer) so most notifications drop, then
+// drains and verifies the LIST reconciliation converges on the truth with
+// no duplicates — the eventual-consistency contract.
+func TestEventualListRecoversDroppedNotifications(t *testing.T) {
+	b := NewBucket()
+	d, err := New(dsi.Config{
+		Root:    "/",
+		Buffer:  1,
+		Backend: &Backend{Bucket: b, ListInterval: 10 * time.Millisecond, FeedBuffer: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const n = 50
+	keys := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		key := "bulk/obj" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		keys[key] = true
+		if _, err := b.Put(key, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.NotifyDrops() == 0 {
+		t.Log("warning: no notifications dropped; reconcile path not exercised")
+	}
+
+	seen := map[string]int{}
+	deadline := time.After(5 * time.Second)
+	for len(seen) < n {
+		select {
+		case e, ok := <-d.Events():
+			if !ok {
+				t.Fatalf("channel closed with %d/%d keys", len(seen), n)
+			}
+			if e.Op != events.OpCreate {
+				t.Errorf("unexpected op %v for %s", e.Op, e.Path)
+			}
+			seen[e.Path]++
+		case <-deadline:
+			t.Fatalf("converged on %d/%d keys", len(seen), n)
+		}
+	}
+	for key := range keys {
+		if seen["/"+key] != 1 {
+			t.Errorf("key %q reported %d times", key, seen["/"+key])
+		}
+	}
+	// After convergence the stream stays quiet: generations suppress
+	// feed/list double-reporting.
+	assertQuiet(t, d, 50*time.Millisecond)
+}
+
+func TestRegistryIntegration(t *testing.T) {
+	reg := dsi.NewRegistry()
+	Register(reg)
+	name, err := reg.Select(dsi.StorageInfo{FSType: "object"})
+	if err != nil || name != Name {
+		t.Fatalf("Select = %q, %v", name, err)
+	}
+	b := NewBucket()
+	d, err := reg.Open(dsi.StorageInfo{FSType: "object", Root: "/"}, dsi.Config{Backend: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := b.Put("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if e := collect(t, d, 1)[0]; e.Path != "/k" || e.Op != events.OpCreate {
+		t.Errorf("event = %v", e)
+	}
+}
+
+func TestBucketList(t *testing.T) {
+	b := NewBucket()
+	for _, k := range []string{"a/1", "a/2", "b/1"} {
+		if _, err := b.Put(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.List("a/"); len(got) != 2 || got[0].Key != "a/1" || got[1].Key != "a/2" {
+		t.Errorf("List(a/) = %v", got)
+	}
+	if got := b.List(""); len(got) != 3 {
+		t.Errorf("List() = %v", got)
+	}
+	if b.Len() != 3 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if _, err := b.Put("", 1); err == nil {
+		t.Error("empty key accepted")
+	}
+}

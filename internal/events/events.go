@@ -200,7 +200,9 @@ func Normalize(e Event) Event {
 		e.Root = "/"
 	}
 	p := e.Path
-	if strings.HasPrefix(p, e.Root) {
+	// Root "/" is an identity strip (trim the slash, re-add it below) —
+	// skipping it avoids a per-event allocation on the hot path.
+	if e.Root != "/" && strings.HasPrefix(p, e.Root) {
 		p = strings.TrimPrefix(p, e.Root)
 	}
 	if !strings.HasPrefix(p, "/") {

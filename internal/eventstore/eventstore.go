@@ -88,10 +88,15 @@ type Store struct {
 	opts     Options
 	events   []events.Event // ordered by Seq; not necessarily contiguous after purge
 	reported map[uint64]bool
-	nextSeq  uint64
-	journal  *os.File
-	jw       *bufio.Writer
-	closed   bool
+	// ackedThrough is the highest seq ever passed to MarkReported: every
+	// retained event at or below it is already flagged, so each ack only
+	// marks the (ackedThrough, seq] suffix instead of rescanning the whole
+	// window (which made steady-state ack cost quadratic).
+	ackedThrough uint64
+	nextSeq      uint64
+	journal      *os.File
+	jw           *bufio.Writer
+	closed       bool
 
 	pendingSync               int // events buffered since the last flush (SyncEveryN)
 	appended, purged, evicted uint64
@@ -166,11 +171,7 @@ func Open(opts Options) (*Store, error) {
 			}
 			s.appended++
 		case "reported":
-			for i := range s.events {
-				if s.events[i].Seq <= e.Seq {
-					s.reported[s.events[i].Seq] = true
-				}
-			}
+			s.markReportedLocked(e.Seq)
 		}
 	}
 	f.Close()
@@ -353,11 +354,7 @@ func (s *Store) MarkReported(seq uint64) error {
 	if s.closed {
 		return ErrClosed
 	}
-	for _, e := range s.events {
-		if e.Seq <= seq {
-			s.reported[e.Seq] = true
-		}
-	}
+	s.markReportedLocked(seq)
 	if s.jw != nil {
 		line, err := json.Marshal(struct {
 			Kind string `json:"kind"`
@@ -369,6 +366,21 @@ func (s *Store) MarkReported(seq uint64) error {
 		}
 	}
 	return nil
+}
+
+// markReportedLocked flags events with Seq <= seq. Events are kept sorted
+// by Seq and seqs below ackedThrough are flagged already (or purged), so
+// only the newly covered range is touched.
+func (s *Store) markReportedLocked(seq uint64) {
+	if seq <= s.ackedThrough {
+		return
+	}
+	lo := sort.Search(len(s.events), func(i int) bool { return s.events[i].Seq > s.ackedThrough })
+	hi := sort.Search(len(s.events), func(i int) bool { return s.events[i].Seq > seq })
+	for _, e := range s.events[lo:hi] {
+		s.reported[e.Seq] = true
+	}
+	s.ackedThrough = seq
 }
 
 // Purge removes reported events (the "next data purge cycle" of §IV-2),
@@ -400,6 +412,26 @@ func (s *Store) enforceBoundLocked() {
 		return
 	}
 	over := len(s.events) - s.opts.MaxEvents
+	// Fast path: the oldest `over` events are all reported — the steady
+	// state under AutoAck — so slide the window forward instead of
+	// compacting it (which re-copied the whole retained window per
+	// append batch). The vacated front is reclaimed when append next
+	// grows the slice.
+	allReported := true
+	for _, e := range s.events[:over] {
+		if !s.reported[e.Seq] {
+			allReported = false
+			break
+		}
+	}
+	if allReported {
+		for _, e := range s.events[:over] {
+			delete(s.reported, e.Seq)
+		}
+		s.events = s.events[over:]
+		s.purged += uint64(over)
+		return
+	}
 	// First pass: drop oldest reported.
 	kept := s.events[:0]
 	for _, e := range s.events {

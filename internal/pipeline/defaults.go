@@ -19,6 +19,12 @@ const (
 	// DefaultQueueSize bounds the resolution intake queue (events).
 	DefaultQueueSize = 16384
 
+	// DefaultDSIBuffer is the DSI event channel capacity (dsi.NewBase and
+	// the mount table's merged channel) — large enough to absorb a native
+	// watcher's burst between resolution-layer reads. Config.Buffer
+	// overrides it per backend and per mount.
+	DefaultDSIBuffer = 8192
+
 	// DefaultAggregatorQueue bounds the aggregator's subscription buffer
 	// (messages) — it must absorb a full burst from every MDS collector
 	// while the store thread catches up.

@@ -1,0 +1,115 @@
+package fsmonitor_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"fsmonitor"
+)
+
+// TestComposePublicAPI builds a composed monitor through the public
+// surface only: a simulated local tree and an object bucket behind one
+// subscription.
+func TestComposePublicAPI(t *testing.T) {
+	fs := fsmonitor.NewSimFS()
+	if err := fs.Mkdir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	bucket := fsmonitor.NewObjectBucket()
+	m, err := fsmonitor.Compose(
+		fsmonitor.WithMount("/local",
+			fsmonitor.StorageInfo{Platform: "sim-linux", FSType: "local", Root: "/data"},
+			fsmonitor.MountBackend(fs), fsmonitor.MountRecursive()),
+		fsmonitor.WithMount("/obj",
+			fsmonitor.StorageInfo{FSType: "object", Root: "/"},
+			fsmonitor.MountBackend(bucket)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	sub, err := m.Subscribe(fsmonitor.Filter{Recursive: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/data/report.txt", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bucket.Put("backups/snap.tar", 1024); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]bool{"/local/report.txt": false, "/obj/backups/snap.tar": false}
+	deadline := time.After(5 * time.Second)
+	for left := len(want); left > 0; {
+		select {
+		case batch := <-sub.C():
+			for _, e := range batch {
+				if seen, tracked := want[e.Path]; tracked && !seen && e.Op.Has(fsmonitor.OpCreate) {
+					want[e.Path] = true
+					left--
+				}
+			}
+		case <-deadline:
+			t.Fatalf("missing: %v", want)
+		}
+	}
+
+	st := m.Stats()
+	if len(st.Mounts) != 2 {
+		t.Fatalf("Stats.Mounts = %+v", st.Mounts)
+	}
+	for _, ms := range st.Mounts {
+		if ms.Captured == 0 || !ms.Attached {
+			t.Errorf("mount %s = %+v", ms.Prefix, ms)
+		}
+	}
+
+	if err := m.DetachMount("/obj"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mounts(); len(got) != 1 || got[0] != "/local" {
+		t.Errorf("Mounts after detach = %v", got)
+	}
+}
+
+// TestSingleBackendRejectsMountOps pins ErrNotComposed through the public
+// surface.
+func TestSingleBackendRejectsMountOps(t *testing.T) {
+	fs := fsmonitor.NewSimFS()
+	if err := fs.Mkdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fsmonitor.WatchSim(fs, "sim-linux", "/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.AttachMount(fsmonitor.MountSpec{Prefix: "/x"})
+	if !errors.Is(err, fsmonitor.ErrNotComposed) {
+		t.Errorf("AttachMount = %v", err)
+	}
+}
+
+// TestRegistryScores checks the public score listing includes the object
+// backend and that selection errors name every candidate.
+func TestRegistryScores(t *testing.T) {
+	reg := fsmonitor.Registry()
+	scores := reg.Scores(fsmonitor.StorageInfo{FSType: "object"})
+	found := false
+	for _, s := range scores {
+		if s.Name == "objectstore" && s.Score == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("scores = %v", scores)
+	}
+	_, err := reg.Select(fsmonitor.StorageInfo{Platform: "vms", FSType: "ods-5"})
+	if err == nil || !strings.Contains(err.Error(), "objectstore=0") {
+		t.Errorf("Select error = %v", err)
+	}
+}
