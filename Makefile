@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-telemetry bench-trace bench-mount trace-sample check
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-json bench-telemetry bench-trace bench-mount flame trace-sample check
 
 all: check
 
@@ -38,9 +38,33 @@ bench-smoke:
 		./internal/resolve/ ./internal/cache/ ./internal/bench/
 
 # bench-aggregator measures aggregation-tier store throughput at 1/2/4
-# partitions (the ISSUE's >=2x-at-4-partitions acceptance bench).
+# partitions, paced (AggregatorThroughput, 1µs accounted cost per event)
+# and raw (AggregatorThroughputRaw, pacing dialed to 1ns so the metric is
+# the pipeline's own mechanical ceiling).
 bench-aggregator:
-	$(GO) test -run '^$$' -bench 'AggregatorThroughput/' -benchmem ./internal/bench/
+	$(GO) test -run '^$$' -bench 'AggregatorThroughput(Raw)?/' -benchmem ./internal/bench/
+
+# bench-json re-runs the aggregator bench with machine-readable output:
+# bench-aggregator.json carries one JSON object per line (gotestsum-style
+# `go test -json` stream), the artifact CI uploads so throughput can be
+# charted across commits without scraping logs.
+bench-json:
+	$(GO) test -json -run '^$$' -bench 'AggregatorThroughput(Raw)?/' -benchmem ./internal/bench/ \
+		> bench-aggregator.json
+
+# flame captures a CPU profile of the single-partition aggregator bench and
+# renders it: always a pprof -top table (flame.txt), and an SVG flamegraph
+# (flame.svg) when graphviz's dot is installed. The profile and binary stay
+# next to the outputs for interactive `go tool pprof` sessions.
+flame:
+	$(GO) test -run '^$$' -bench '^BenchmarkAggregatorThroughput$$/partitions=1' \
+		-benchtime 1000000x -cpuprofile cpu.prof -o bench.test ./internal/bench/
+	$(GO) tool pprof -top -nodecount 30 bench.test cpu.prof | tee flame.txt
+	@if command -v dot >/dev/null 2>&1; then \
+		$(GO) tool pprof -svg -output flame.svg bench.test cpu.prof && echo "wrote flame.svg"; \
+	else \
+		echo "flame: graphviz (dot) not installed, skipping flame.svg (flame.txt written)"; \
+	fi
 
 # bench-telemetry runs the aggregator bench with and without a live
 # registry attached; the events/s delta is the observability overhead

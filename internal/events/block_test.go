@@ -1,0 +1,269 @@
+package events
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func blockEvents() []Event {
+	return []Event{
+		{Root: "/mnt/lustre", Op: OpCreate, Path: "/a/b/file1", Time: time.Unix(0, 1111), Seq: 0, Source: "mdt0"},
+		{Root: "/mnt/lustre", Op: OpMovedTo, Path: "/a/b/new", OldPath: "/a/b/old", Cookie: 7, Time: time.Unix(0, 2222), Seq: 0, Source: "mdt0"},
+		{Root: "/mnt/beegfs", Op: OpDelete | OpIsDir, Path: "/dir", Time: time.Unix(0, 3333), Seq: 0, Source: "meta1"},
+		{Root: "", Op: OpModify, Path: "/x", Time: time.Unix(0, 4444), Seq: 42, Source: ""},
+	}
+}
+
+func buildBlock(t testing.TB, evs []Event) *Block {
+	t.Helper()
+	b := NewBlock(len(evs), 256)
+	for _, e := range evs {
+		if err := b.AppendEvent(e); err != nil {
+			t.Fatalf("AppendEvent: %v", err)
+		}
+	}
+	return b
+}
+
+// The block's encoder must be byte-identical to the legacy per-event
+// codec for every variant: plain, stamped, traced, stamped+traced.
+func TestBlockEncodeMatchesCodec(t *testing.T) {
+	evs := blockEvents()
+	tr := &BatchTrace{ID: 99, Spans: []Span{{Tier: TierCollect, TS: 10}, {Tier: TierResolve, TS: 20}}}
+	cases := []struct {
+		name  string
+		stamp int64
+		tr    *BatchTrace
+	}{
+		{"plain", 0, nil},
+		{"stamped", 123456789, nil},
+		{"traced", 0, tr},
+		{"stamped+traced", 123456789, tr},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := MarshalBatchTraced(evs, tc.stamp, tc.tr)
+			if err != nil {
+				t.Fatalf("MarshalBatchTraced: %v", err)
+			}
+			b := buildBlock(t, evs)
+			b.SetStamp(tc.stamp)
+			if tc.tr != nil {
+				b.SetTrace(&BatchTrace{ID: tc.tr.ID, Spans: append([]Span(nil), tc.tr.Spans...)})
+			}
+			if got := b.Wire(); !bytes.Equal(got, want) {
+				t.Fatalf("Wire mismatch:\n got %x\nwant %x", got, want)
+			}
+			// Second call returns the cached image unchanged.
+			if got := b.Wire(); !bytes.Equal(got, want) {
+				t.Fatalf("cached Wire mismatch")
+			}
+		})
+	}
+}
+
+func TestBlockDecodeMatchesCodec(t *testing.T) {
+	evs := blockEvents()
+	tr := &BatchTrace{ID: 5, Spans: []Span{{Tier: TierPublish, TS: 77}}}
+	payload, err := MarshalBatchTraced(evs, 31337, tr)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	b, err := DecodeBlock(payload)
+	if err != nil {
+		t.Fatalf("DecodeBlock: %v", err)
+	}
+	if b.Stamp() != 31337 {
+		t.Fatalf("stamp = %d, want 31337", b.Stamp())
+	}
+	if b.Trace() == nil || b.Trace().ID != 5 || len(b.Trace().Spans) != 1 {
+		t.Fatalf("trace = %+v", b.Trace())
+	}
+	got := b.AppendEventsTo(nil)
+	for i := range evs {
+		if !evs[i].Time.Equal(got[i].Time) {
+			t.Fatalf("event %d time = %v, want %v", i, got[i].Time, evs[i].Time)
+		}
+		got[i].Time = evs[i].Time
+		if got[i] != evs[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], evs[i])
+		}
+	}
+	// The decoded block's wire image is the payload itself, verbatim.
+	if w := b.Wire(); &w[0] != &payload[0] {
+		t.Fatalf("decoded Wire() is not the received payload")
+	}
+}
+
+func TestBlockDecodeErrors(t *testing.T) {
+	evs := blockEvents()
+	payload, _ := MarshalBatchTraced(evs, 9, &BatchTrace{ID: 1, Spans: []Span{{Tier: 0, TS: 1}}})
+	for cut := 0; cut < len(payload); cut++ {
+		short := payload[:cut]
+		if _, err := DecodeBlock(short); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(payload))
+		}
+		// The legacy decoder must agree that it's invalid.
+		if _, _, _, err := UnmarshalBatchTraced(short); err == nil {
+			t.Fatalf("legacy decode of %d/%d bytes succeeded", cut, len(payload))
+		}
+	}
+	long := append(append([]byte(nil), payload...), 0xAA)
+	if _, err := DecodeBlock(long); err == nil {
+		t.Fatal("decode with trailing bytes succeeded")
+	}
+}
+
+// Seq assignment on a decoded or cloned block re-encodes as a clone of
+// the cached wire image with only the seq fields patched, and the result
+// matches a full re-marshal.
+func TestBlockSeqPatch(t *testing.T) {
+	evs := blockEvents()
+	payload, _ := MarshalBatchStamped(evs, 555)
+	b, err := DecodeBlock(payload)
+	if err != nil {
+		t.Fatalf("DecodeBlock: %v", err)
+	}
+	orig := append([]byte(nil), payload...)
+	for i := 0; i < b.Len(); i++ {
+		b.SetSeq(i, uint64(1000+i))
+		evs[i].Seq = uint64(1000 + i)
+	}
+	got := b.Wire()
+	want, _ := MarshalBatchStamped(evs, 555)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("patched wire mismatch:\n got %x\nwant %x", got, want)
+	}
+	// The received payload must be untouched (it is shared).
+	if !bytes.Equal(payload, orig) {
+		t.Fatal("seq patch modified the received payload in place")
+	}
+}
+
+func TestBlockEventKeyMatches(t *testing.T) {
+	evs := blockEvents()
+	b := buildBlock(t, evs)
+	for i, e := range evs {
+		if got, want := b.EventKey(i), EventKey(e); got != want {
+			t.Fatalf("EventKey(%d) = %#x, want %#x", i, got, want)
+		}
+	}
+	// And on a decoded block (spans into the payload arena).
+	payload, _ := MarshalBatch(evs)
+	d, err := DecodeBlock(payload)
+	if err != nil {
+		t.Fatalf("DecodeBlock: %v", err)
+	}
+	for i, e := range evs {
+		if got, want := d.EventKey(i), EventKey(e); got != want {
+			t.Fatalf("decoded EventKey(%d) = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+// AppendFrom builds per-partition views sharing the source arena; each
+// view encodes exactly as a batch of its own events would.
+func TestBlockViewSplit(t *testing.T) {
+	evs := blockEvents()
+	payload, _ := MarshalBatch(evs)
+	src, err := DecodeBlock(payload)
+	if err != nil {
+		t.Fatalf("DecodeBlock: %v", err)
+	}
+	// Empty view blocks adopt the source arena on first append.
+	views := [2]*Block{NewBlock(0, 0), NewBlock(0, 0)}
+	var parts [2][]Event
+	for i := 0; i < src.Len(); i++ {
+		p := i % 2
+		views[p].AppendFrom(src, i)
+		parts[p] = append(parts[p], evs[i])
+	}
+	for p := range views {
+		want, _ := MarshalBatch(parts[p])
+		if got := views[p].Wire(); !bytes.Equal(got, want) {
+			t.Fatalf("view %d wire mismatch:\n got %x\nwant %x", p, got, want)
+		}
+		if !views[p].aliases(src.arena) {
+			t.Fatalf("view %d copied the arena instead of aliasing it", p)
+		}
+	}
+}
+
+func TestBlockCloneFrom(t *testing.T) {
+	evs := blockEvents()
+	src := buildBlock(t, evs)
+	src.SetStamp(777)
+	src.SetTrace(&BatchTrace{ID: 3, Spans: []Span{{Tier: TierCollect, TS: 1}}})
+	srcWire := append([]byte(nil), src.Wire()...)
+
+	var c Block
+	c.CloneFrom(src)
+	for i := 0; i < c.Len(); i++ {
+		c.SetSeq(i, uint64(50+i))
+	}
+	c.Trace().Append(TierStore, 99)
+	c.MarkTraceDirty()
+
+	// Clone mutations must not leak into the source.
+	if !bytes.Equal(src.Wire(), srcWire) {
+		t.Fatal("clone mutation changed the source wire image")
+	}
+	if len(src.Trace().Spans) != 1 {
+		t.Fatalf("clone trace append leaked: src has %d spans", len(src.Trace().Spans))
+	}
+	for i := range evs {
+		if src.Seq(i) != evs[i].Seq {
+			t.Fatalf("clone SetSeq leaked into source at %d", i)
+		}
+	}
+	// And the clone encodes as the mutated batch.
+	for i := range evs {
+		evs[i].Seq = uint64(50 + i)
+	}
+	want, _ := MarshalBatchTraced(evs, 777, &BatchTrace{ID: 3, Spans: []Span{{Tier: TierCollect, TS: 1}, {Tier: TierStore, TS: 99}}})
+	if got := c.Wire(); !bytes.Equal(got, want) {
+		t.Fatalf("clone wire mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestBlockInternSharesBacking(t *testing.T) {
+	evs := blockEvents()
+	payload, _ := MarshalBatch(evs)
+	b, _ := DecodeBlock(payload)
+	b.Intern()
+	out := b.AppendEventsTo(nil)
+	for i := range out {
+		if out[i].Path != evs[i].Path {
+			t.Fatalf("interned path %d = %q, want %q", i, out[i].Path, evs[i].Path)
+		}
+	}
+	// Materializing twice yields strings sharing one interned backing —
+	// spot-check via PathBytes matching the arena region.
+	if string(b.PathBytes(0)) != evs[0].Path {
+		t.Fatalf("PathBytes(0) = %q", b.PathBytes(0))
+	}
+}
+
+func TestBlockReset(t *testing.T) {
+	evs := blockEvents()
+	payload, _ := MarshalBatch(evs)
+	b, _ := DecodeBlock(payload)
+	b.Reset()
+	if b.Len() != 0 || b.Stamp() != 0 || b.Trace() != nil {
+		t.Fatalf("Reset left state: len=%d stamp=%d trace=%v", b.Len(), b.Stamp(), b.Trace())
+	}
+	// After Reset the block owns its arena again and is appendable.
+	if err := b.AppendEvent(evs[0]); err != nil {
+		t.Fatalf("AppendEvent after Reset: %v", err)
+	}
+	want, _ := MarshalBatch(evs[:1])
+	if got := b.Wire(); !bytes.Equal(got, want) {
+		t.Fatalf("post-reset wire mismatch")
+	}
+	// The original payload is untouched.
+	check, err := UnmarshalBatch(payload)
+	if err != nil || len(check) != len(evs) {
+		t.Fatalf("payload corrupted by Reset+Append: %v", err)
+	}
+}

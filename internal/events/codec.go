@@ -219,7 +219,14 @@ func UnmarshalBatchTraced(buf []byte) ([]Event, int64, *BatchTrace, error) {
 			buf = buf[9:]
 		}
 	}
-	evs := make([]Event, 0, n)
+	// Preallocate from the claimed count, bounded by what the buffer
+	// could possibly hold (an event is at least 31 wire bytes) so a
+	// corrupt count word can't force a huge allocation.
+	capHint := n
+	if most := uint32(len(buf)/31) + 1; capHint > most {
+		capHint = most
+	}
+	evs := make([]Event, 0, capHint)
 	var (
 		e   Event
 		err error

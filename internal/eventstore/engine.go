@@ -51,6 +51,10 @@ type PartitionedEngine interface {
 	// by a stable key (MDT index, falling back to path hash) so a key's
 	// events share a partition and keep their relative order.
 	AppendBatchPartition(part int, evs []events.Event) (uint64, error)
+	// AppendBlockPartition is the zero-copy form of AppendBatchPartition:
+	// the batch arrives as an event block and sequence numbers are
+	// assigned directly into its seq column.
+	AppendBlockPartition(part int, blk *events.Block) (uint64, error)
 	// SinceVector returns up to max events not covered by the cursor
 	// vector — event e qualifies when e.Seq > cursors[e.Seq % P] — in
 	// global Seq order. len(cursors) must equal Partitions().
@@ -74,6 +78,11 @@ func (s *Store) Partitions() int { return 1 }
 // AppendBatchPartition ignores the partition index (a Store has one lane).
 func (s *Store) AppendBatchPartition(part int, evs []events.Event) (uint64, error) {
 	return s.AppendBatch(evs)
+}
+
+// AppendBlockPartition ignores the partition index (a Store has one lane).
+func (s *Store) AppendBlockPartition(part int, blk *events.Block) (uint64, error) {
+	return s.AppendBlock(blk)
 }
 
 // SinceVector on a single-partition store is Since(cursors[0]).
@@ -112,6 +121,18 @@ func (w singleEngine) Partitions() int { return 1 }
 
 func (w singleEngine) AppendBatchPartition(part int, evs []events.Event) (uint64, error) {
 	return w.AppendBatch(evs)
+}
+
+// AppendBlockPartition materializes the block for an engine that only
+// speaks []Event, copying the assigned seqs back into the block.
+func (w singleEngine) AppendBlockPartition(part int, blk *events.Block) (uint64, error) {
+	blk.Intern()
+	evs := blk.AppendEventsTo(nil)
+	last, err := w.AppendBatch(evs)
+	for i := range evs {
+		blk.SetSeq(i, evs[i].Seq)
+	}
+	return last, err
 }
 
 func (w singleEngine) SinceVector(cursors []uint64, max int) ([]events.Event, error) {

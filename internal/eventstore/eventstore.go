@@ -38,6 +38,16 @@ var ErrClosed = errors.New("eventstore: closed")
 // any event acknowledged to the aggregator survives a process crash.
 // All policies flush to the OS page cache; surviving power loss additionally
 // requires Sync, which fsyncs the file.
+//
+// Under a multi-shard Sharded engine the SyncEveryN window is shared
+// across shards (see flushGroup): the shards count appends into one pool
+// and, when it reaches SyncEvery, every shard's journal segment is
+// flushed together. The durability bound is therefore at most SyncEvery
+// unflushed events for the whole engine — the same guarantee a single
+// Store gives — rather than SyncEvery per shard (up to P·SyncEvery
+// engine-wide), which is what independent per-shard windows would allow.
+// A single-shard engine keeps its own window and is byte-for-byte
+// identical to a plain Store.
 type SyncPolicy int
 
 const (
@@ -100,6 +110,14 @@ type Store struct {
 
 	pendingSync               int // events buffered since the last flush (SyncEveryN)
 	appended, purged, evicted uint64
+
+	// group, when non-nil, replaces the store's own SyncEveryN window
+	// with a window shared across the shards of one Sharded engine.
+	// Only buildSharded sets it.
+	group *flushGroup
+	// scratch is the reusable buffer block appends marshal journal lines
+	// into, so the whole batch reaches the writer as one vectored write.
+	scratch []byte
 
 	tel storeTel // nil handles when telemetry is off — every call is a no-op
 }
@@ -219,8 +237,8 @@ func (s *Store) Append(e events.Event) (uint64, error) {
 		defer h.ObserveSince(time.Now())
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return 0, ErrClosed
 	}
 	e.Seq = s.nextSeq
@@ -228,8 +246,12 @@ func (s *Store) Append(e events.Event) (uint64, error) {
 	s.events = append(s.events, e)
 	s.appended++
 	s.journalEventLocked(e)
-	s.maybeFlushLocked(1)
+	groupFlush := s.maybeFlushLocked(1)
 	s.enforceBoundLocked()
+	s.mu.Unlock()
+	if groupFlush {
+		s.group.flush()
+	}
 	return e.Seq, nil
 }
 
@@ -244,8 +266,8 @@ func (s *Store) AppendBatch(evs []events.Event) (uint64, error) {
 		defer h.ObserveSince(time.Now())
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return 0, ErrClosed
 	}
 	for i := range evs {
@@ -255,9 +277,52 @@ func (s *Store) AppendBatch(evs []events.Event) (uint64, error) {
 		s.appended++
 		s.journalEventLocked(evs[i])
 	}
-	s.maybeFlushLocked(len(evs))
+	groupFlush := s.maybeFlushLocked(len(evs))
 	s.enforceBoundLocked()
-	return evs[len(evs)-1].Seq, nil
+	last := evs[len(evs)-1].Seq
+	s.mu.Unlock()
+	if groupFlush {
+		s.group.flush()
+	}
+	return last, nil
+}
+
+// AppendBlock stores every event of the block under a single lock
+// acquisition, assigning sequence numbers directly into the block's seq
+// column, and returns the last one. This is the zero-copy form of
+// AppendBatch: the block's arena is interned once (one string allocation
+// for the whole batch — materialized events share its backing), and the
+// journal receives all of the batch's JSONL lines as a single vectored
+// write instead of two small writes per event.
+func (s *Store) AppendBlock(blk *events.Block) (uint64, error) {
+	n := blk.Len()
+	if n == 0 {
+		return 0, nil
+	}
+	if h := s.tel.appendUS; h != nil {
+		defer h.ObserveSince(time.Now())
+	}
+	blk.Intern()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	for i := 0; i < n; i++ {
+		blk.SetSeq(i, s.nextSeq)
+		s.nextSeq += s.opts.seqStride
+	}
+	last := s.nextSeq - s.opts.seqStride
+	s.events = blk.AppendEventsTo(s.events)
+	s.appended += uint64(n)
+	s.journalBlockLocked(blk)
+	groupFlush := s.maybeFlushLocked(n)
+	s.enforceBoundLocked()
+	s.mu.Unlock()
+	if groupFlush {
+		s.group.flush()
+	}
+	return last, nil
 }
 
 // journalEventLocked appends one event record to the journal buffer.
@@ -276,6 +341,33 @@ func (s *Store) journalEventLocked(e events.Event) {
 	}
 }
 
+// journalBlockLocked appends the block's event records to the journal as
+// one vectored write: every JSONL line is marshaled into a reused scratch
+// buffer, which reaches the writer in a single Write call instead of the
+// 2·n small writes of the per-event path.
+func (s *Store) journalBlockLocked(blk *events.Block) {
+	if s.jw == nil {
+		return
+	}
+	buf := s.scratch[:0]
+	for i := 0; i < blk.Len(); i++ {
+		line, err := json.Marshal(struct {
+			Kind string     `json:"kind"`
+			Ev   *wireEvent `json:"ev"`
+		}{"event", fromEvent(blk.Event(i))})
+		if err != nil {
+			continue
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if len(buf) > 0 {
+		s.jw.Write(buf)
+		s.tel.journalBytes.Add(uint64(len(buf)))
+	}
+	s.scratch = buf[:0]
+}
+
 // flushLocked flushes the journal buffer, timing it when telemetry is on.
 func (s *Store) flushLocked() error {
 	if h := s.tel.flushUS; h != nil {
@@ -285,20 +377,27 @@ func (s *Store) flushLocked() error {
 }
 
 // maybeFlushLocked applies the SyncPolicy after n newly journaled events.
-func (s *Store) maybeFlushLocked(n int) {
+// The returned flag asks the caller to run s.group.flush() after
+// releasing s.mu — flushing the group's other shards while holding this
+// store's lock would nest shard locks and invite deadlock.
+func (s *Store) maybeFlushLocked(n int) (groupFlush bool) {
 	if s.jw == nil {
-		return
+		return false
 	}
 	switch s.opts.Sync {
 	case SyncAlways:
 		s.flushLocked()
 	case SyncEveryN:
+		if s.group != nil {
+			return s.group.add(n)
+		}
 		s.pendingSync += n
 		if s.pendingSync >= s.opts.SyncEvery {
 			s.flushLocked()
 			s.pendingSync = 0
 		}
 	}
+	return false
 }
 
 // Since returns up to max events with Seq > seq in order (max <= 0 = all).
@@ -412,6 +511,15 @@ func (s *Store) enforceBoundLocked() {
 		return
 	}
 	over := len(s.events) - s.opts.MaxEvents
+	// Fast path: nothing is reported at all — the steady state of a
+	// consumer-less bounded store — so every discard is an eviction and
+	// the window slides forward without touching the retained events.
+	// The vacated front is reclaimed when append next grows the slice.
+	if len(s.reported) == 0 {
+		s.events = s.events[over:]
+		s.evicted += uint64(over)
+		return
+	}
 	// Fast path: the oldest `over` events are all reported — the steady
 	// state under AutoAck — so slide the window forward instead of
 	// compacting it (which re-copied the whole retained window per

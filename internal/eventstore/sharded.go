@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"time"
 
 	"fsmonitor/internal/events"
@@ -22,6 +23,50 @@ import (
 // so the default deployment reproduces the single-store behaviour exactly.
 type Sharded struct {
 	shards []*Store
+}
+
+// flushGroup coalesces the SyncEveryN windows of a multi-shard engine
+// into one engine-wide window: shards count journaled events into a
+// shared pool, and the append that fills it flushes every member's
+// journal segment in one group pass. This keeps the engine's durability
+// bound at SyncEvery unflushed events total (matching a single Store)
+// while cutting the flush count from one-per-shard-window to
+// one-per-engine-window.
+//
+// Locking: add runs under the appending store's lock (guarded by its own
+// mutex, so concurrent shards race only on the counter), but flush is
+// always called after that lock is released and takes the member locks
+// one at a time — shard locks never nest.
+type flushGroup struct {
+	mu      sync.Mutex
+	pending int
+	every   int
+	members []*Store
+}
+
+// add counts n newly journaled events and reports whether the window
+// filled (resetting it when so — exactly one caller sees true per window).
+func (g *flushGroup) add(n int) bool {
+	g.mu.Lock()
+	g.pending += n
+	trig := g.pending >= g.every
+	if trig {
+		g.pending = 0
+	}
+	g.mu.Unlock()
+	return trig
+}
+
+// flush flushes every member's journal buffer. Caller must not hold any
+// member's lock.
+func (g *flushGroup) flush() {
+	for _, m := range g.members {
+		m.mu.Lock()
+		if !m.closed && m.jw != nil {
+			m.flushLocked()
+		}
+		m.mu.Unlock()
+	}
 }
 
 // shardOptions derives shard i's Options: its sequence lane, its journal
@@ -68,6 +113,19 @@ func buildSharded(parts int, opts Options, mk func(Options) (*Store, error)) (*S
 		}
 		s.shards[i] = st
 	}
+	// Multi-shard SyncEveryN engines share one flush window (see
+	// flushGroup). A single shard keeps its private window so parts == 1
+	// stays operationally identical to a plain Store.
+	if parts > 1 && opts.Sync == SyncEveryN {
+		every := opts.SyncEvery
+		if every <= 0 {
+			every = DefaultSyncEvery
+		}
+		g := &flushGroup{every: every, members: s.shards}
+		for _, st := range s.shards {
+			st.group = g
+		}
+	}
 	return s, nil
 }
 
@@ -82,6 +140,25 @@ func PartitionForPath(path string, parts int) int {
 	h := fnv.New32a()
 	h.Write([]byte(path))
 	return int(h.Sum32() % uint32(parts))
+}
+
+// PartitionForPathBytes is PartitionForPath over raw path bytes — the
+// event-block routing hop, which hashes arena spans without materializing
+// a string. The two functions agree for every path.
+func PartitionForPathBytes(path []byte, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	const (
+		fnvOffset32 = 2166136261
+		fnvPrime32  = 16777619
+	)
+	h := uint32(fnvOffset32)
+	for _, c := range path {
+		h ^= uint32(c)
+		h *= fnvPrime32
+	}
+	return int(h % uint32(parts))
 }
 
 // Partitions returns the shard count.
@@ -114,6 +191,15 @@ func (s *Sharded) AppendBatchPartition(part int, evs []events.Event) (uint64, er
 		return 0, fmt.Errorf("eventstore: partition %d out of range [0,%d)", part, len(s.shards))
 	}
 	return s.shards[part].AppendBatch(evs)
+}
+
+// AppendBlockPartition stores the whole block in one shard under a single
+// lock acquisition, assigning seqs into the block's seq column.
+func (s *Sharded) AppendBlockPartition(part int, blk *events.Block) (uint64, error) {
+	if part < 0 || part >= len(s.shards) {
+		return 0, fmt.Errorf("eventstore: partition %d out of range [0,%d)", part, len(s.shards))
+	}
+	return s.shards[part].AppendBlock(blk)
 }
 
 // Since returns up to max events with Seq > seq merged from all shards in

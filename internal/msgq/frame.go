@@ -19,12 +19,22 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"fsmonitor/internal/events"
 )
 
 // Message is one topic-tagged frame.
+//
+// Block, when non-nil, is the decoded form of Payload shared by pointer
+// over the in-process transport (see Pub.PublishBlockCtx): receivers on
+// the same process skip decoding entirely. It never crosses TCP — the
+// wire carries Payload only, and a message read from a TCP connection
+// always has a nil Block. A received Block is frozen: the receiver must
+// treat it (and its trace) as immutable shared state.
 type Message struct {
 	Topic   string
 	Payload []byte
+	Block   *events.Block
 }
 
 // maxFrame bounds a frame component to keep a malformed peer from forcing

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"fsmonitor/internal/events"
 )
 
 // ErrClosed is returned by context-aware waits when the socket closes.
@@ -337,6 +339,80 @@ func (p *Pub) PublishCtx(ctx context.Context, topic string, payload []byte) int 
 		}
 	}
 	return delivered
+}
+
+// PublishBlockCtx distributes an event block to all matching subscribers.
+// It is the zero-copy form of PublishCtx: in-process subscribers receive
+// the Block pointer itself (decode-never), TCP subscribers receive its
+// wire image, and when no subscriber matches the topic the wire image is
+// never even materialized.
+//
+// It returns how many queues accepted the message and whether any
+// subscriber now shares the block's memory — the pointer itself for
+// in-process peers, the wire image's backing array for queued TCP sends.
+// Once shared is true the block is frozen: the caller must not mutate or
+// recycle it. When shared is false the caller retains exclusive
+// ownership and may return the block to its pool (the common case on a
+// republish topic nobody subscribes to, which this makes free).
+func (p *Pub) PublishBlockCtx(ctx context.Context, topic string, blk *events.Block) (delivered int, shared bool) {
+	p.published.Add(1)
+	p.mu.Lock()
+	tcpSubs := make([]*pubSubscriber, 0, len(p.subs))
+	for s := range p.subs {
+		tcpSubs = append(tcpSubs, s)
+	}
+	peers := make([]*inprocPeer, 0, len(p.inproc))
+	for q := range p.inproc {
+		peers = append(peers, q)
+	}
+	p.mu.Unlock()
+	var (
+		m     Message
+		built bool
+	)
+	build := func() {
+		if !built {
+			m = Message{Topic: topic, Payload: blk.Wire(), Block: blk}
+			built = true
+		}
+	}
+	for _, s := range tcpSubs {
+		if !s.matches(topic) {
+			continue
+		}
+		build()
+		if p.blockOnFull {
+			select {
+			case s.queue <- m:
+				delivered++
+				shared = true
+			case <-s.done:
+			case <-p.closed:
+			case <-ctx.Done():
+			}
+		} else {
+			select {
+			case s.queue <- m:
+				delivered++
+				shared = true
+			default:
+				p.dropped.Add(1)
+			}
+		}
+	}
+	for _, q := range peers {
+		if !q.matches(topic) {
+			continue
+		}
+		build()
+		if q.deliver(m) {
+			delivered++
+			shared = true
+		} else {
+			p.dropped.Add(1)
+		}
+	}
+	return delivered, shared
 }
 
 // Subscribers returns the number of attached subscribers (both transports).

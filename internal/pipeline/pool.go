@@ -50,3 +50,53 @@ func (sp *SlicePool[T]) Put(s []T) {
 	default:
 	}
 }
+
+// Pool recycles pointers to reusable objects (event blocks, scratch
+// buffers) between pipeline stages. Like SlicePool it is a bounded
+// channel-based freelist rather than a sync.Pool, so Get/Put never
+// allocate and never block; unlike SlicePool the element type carries its
+// own construction and reset behavior.
+type Pool[T any] struct {
+	free  chan *T
+	fresh func() *T
+	reset func(*T)
+}
+
+// NewPool creates a pool retaining at most slots objects
+// (DefaultPoolSlots if <= 0). fresh constructs a new object when the pool
+// is empty; reset (optional) clears a returned object before it is
+// retained.
+func NewPool[T any](slots int, fresh func() *T, reset func(*T)) *Pool[T] {
+	if slots <= 0 {
+		slots = DefaultPoolSlots
+	}
+	return &Pool[T]{free: make(chan *T, slots), fresh: fresh, reset: reset}
+}
+
+// Get returns a recycled object when one is available and a fresh one
+// otherwise. Never blocks.
+func (p *Pool[T]) Get() *T {
+	select {
+	case x := <-p.free:
+		return x
+	default:
+		return p.fresh()
+	}
+}
+
+// Put resets the object and returns it for reuse. Never blocks: when the
+// pool is full the object is dropped for the GC. Callers must not touch
+// the object after Put — in particular, a block published by pointer must
+// not be Put until the transport reports no receiver holds it.
+func (p *Pool[T]) Put(x *T) {
+	if x == nil {
+		return
+	}
+	if p.reset != nil {
+		p.reset(x)
+	}
+	select {
+	case p.free <- x:
+	default:
+	}
+}

@@ -1,0 +1,63 @@
+package resolve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/events"
+)
+
+// BenchmarkResolveHit guards the warm-cache fast path: every record's FID
+// is already cached, so translation should be a bare LRU probe per FID
+// with no loader-closure allocation and no per-record throttle traffic.
+// The accounted costs are set to 1ns so the benchmark measures the code,
+// not the simulated pacing. Watch allocs/op — the hit path regressing to
+// per-record allocations is exactly what this benchmark exists to catch.
+func BenchmarkResolveHit(b *testing.B) {
+	const nFiles = 1024
+	cluster := testCluster(0)
+	cl := cluster.Client()
+	for i := 0; i < nFiles; i++ {
+		if err := cl.Create(fmt.Sprintf("/f%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	recs := readRecords(b, cluster)
+	opts := Options{
+		Backend: cluster, CacheSize: 4 * nFiles,
+		EventOverhead: time.Nanosecond, CacheLookupCost: time.Nanosecond,
+	}
+
+	b.Run("batch", func(b *testing.B) {
+		r := newResolver(b, opts)
+		dst := r.TranslateBatch(nil, recs) // warm the cache
+		if len(dst) != len(recs) {
+			b.Fatalf("translated %d events from %d records", len(dst), len(recs))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = r.TranslateBatch(dst[:0], recs)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(recs)), "ns/record")
+	})
+
+	b.Run("block", func(b *testing.B) {
+		r := newResolver(b, opts)
+		r.TranslateBatch(nil, recs) // warm the cache
+		blk := events.NewBlock(len(recs), len(recs)*32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			blk.Reset()
+			r.TranslateBlock(blk, recs)
+		}
+		b.StopTimer()
+		if blk.Len() != len(recs) {
+			b.Fatalf("translated %d events from %d records", blk.Len(), len(recs))
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(recs)), "ns/record")
+	})
+}

@@ -29,6 +29,13 @@ const (
 	AggTopic = "agg.events"
 )
 
+// newPoolBlock sizes pooled event blocks for a full Changelog read with a
+// typical path footprint. Every scalable service recycles blocks through a
+// pipeline.Pool of these.
+func newPoolBlock() *events.Block {
+	return events.NewBlock(pipeline.DefaultChangelogBatch, 32<<10)
+}
+
 // AggregatorOptions configures the aggregator service (which the paper
 // deploys on the MGS).
 type AggregatorOptions struct {
@@ -128,6 +135,7 @@ type Aggregator struct {
 	counters  []uint64         // DisableStore seq counters, one per lane (lane-affine, unsynchronized)
 
 	pipe *pipeline.Pipeline
+	pool *pipeline.Pool[events.Block] // blocks cycling through decode → store → republish
 
 	received  atomic.Uint64
 	published atomic.Uint64
@@ -195,6 +203,7 @@ func NewAggregator(opts AggregatorOptions) (*Aggregator, error) {
 		ownStore:  ownStore,
 		throttles: make([]*pace.Throttle, parts),
 		counters:  make([]uint64, parts),
+		pool:      pipeline.NewPool(0, newPoolBlock, (*events.Block).Reset),
 	}
 	for i := range a.throttles {
 		a.throttles[i] = pace.NewThrottle()
@@ -274,50 +283,53 @@ func (a *Aggregator) Endpoint() string { return a.pub.Addr() }
 // Partitions returns the store-lane / engine partition count.
 func (a *Aggregator) Partitions() int { return a.parts }
 
-// rawBatch is an undecoded collector message plus the MDT index parsed
-// from its topic (-1 when the topic carries none).
+// rawBatch is an unrouted collector message: the wire payload, the shared
+// block pointer when the message arrived on the in-process fast path (nil
+// over TCP), and the MDT index parsed from its topic (-1 when the topic
+// carries none).
 type rawBatch struct {
 	payload []byte
+	blk     *events.Block
 	mdt     int
 }
 
-// partBatch is a batch routed to one partition: either still encoded
-// (payload, the MDT-routed fast path — the owning lane decodes it) or
-// already decoded (evs, the path-hash split path). trace carries the span
-// chain on the decoded path; payloads carry theirs in the wire header.
+// partBatch is a batch routed to one partition. Three shapes flow through:
+// still encoded (blk nil — the owning lane decodes the payload into a
+// pooled block), a shared frozen block (blk set, owned false — the
+// in-process pointer fast path; the lane clones it before assigning seqs),
+// or an owned view block (owned true — the path-hash split). Stamp and
+// trace ride inside the block or the payload's wire header.
 type partBatch struct {
 	part    int
 	payload []byte
-	evs     []events.Event
-	stamp   int64 // capture stamp for the decoded path (payloads carry their own)
-	trace   *events.BatchTrace
+	blk     *events.Block
+	owned   bool
 }
 
-// repBatch is a stamped batch ready to republish. The untraced path
-// re-encodes on the store lane (payload set); the traced path defers
-// encoding to the republish stage (evs/trace set) so the republish span's
-// timestamp is taken where the hop actually happens. stamp is the batch's
-// capture mark, carried so the republish stage can record cumulative
-// latency without re-decoding the payload.
+// repBatch is a sequenced batch ready to republish: the block is always
+// exclusively owned by the pipeline at this point (decoded, cloned, or a
+// split view), so the republish stage may recycle it when no subscriber
+// retains it. stamp is the batch's capture mark, carried so the stage can
+// record cumulative latency without touching the block after publish.
 type repBatch struct {
-	part    int
-	payload []byte
-	evs     []events.Event
-	trace   *events.BatchTrace
-	n       int
-	stamp   int64
+	part  int
+	blk   *events.Block
+	n     int
+	stamp int64
 }
 
 // intakeLoop is the subscribe source stage ("When an event arrives to the
 // aggregator it is placed in a processing queue"). It does not decode:
-// decoding happens on the owning partition's lane so the work parallelizes.
+// decoding happens on the owning partition's lane so the work parallelizes
+// — and when the collector shares its block pointer in process, decoding
+// never happens at all.
 func (a *Aggregator) intakeLoop(ctx context.Context, emit func(rawBatch) bool) error {
 	for {
 		m, ok := a.sub.Recv(ctx)
 		if !ok {
 			return nil
 		}
-		if !emit(rawBatch{payload: m.Payload, mdt: mdtFromTopic(m.Topic)}) {
+		if !emit(rawBatch{payload: m.Payload, blk: m.Block, mdt: mdtFromTopic(m.Topic)}) {
 			return nil
 		}
 	}
@@ -344,111 +356,147 @@ func mdtFromTopic(topic string) int {
 // forwards the payload undecoded.
 func (a *Aggregator) partitionBatch(_ context.Context, rb rawBatch, emit func(partBatch) bool) {
 	if a.parts == 1 {
-		emit(partBatch{part: 0, payload: rb.payload})
+		emit(partBatch{part: 0, payload: rb.payload, blk: rb.blk})
 		return
 	}
 	if rb.mdt >= 0 {
-		emit(partBatch{part: rb.mdt % a.parts, payload: rb.payload})
+		emit(partBatch{part: rb.mdt % a.parts, payload: rb.payload, blk: rb.blk})
 		return
 	}
-	batch, stamp, trace, err := events.UnmarshalBatchTraced(rb.payload)
-	if err != nil {
-		a.slog.Warn("dropping undecodable batch", "bytes", len(rb.payload), "err", err)
-		return
-	}
-	split := make([][]events.Event, a.parts)
-	// The trace follows its sampled event, not the batch: only the
-	// sub-batch that carries the event whose key is the trace ID keeps the
-	// span chain across the split.
-	tracePart := -1
-	for _, e := range batch {
-		p := eventstore.PartitionForPath(e.Path, a.parts)
-		split[p] = append(split[p], e)
-		if trace != nil && tracePart < 0 && events.EventKey(e) == trace.ID {
-			tracePart = p
-		}
-	}
-	if trace != nil {
-		trace.Append(events.TierPartition, time.Now().UnixNano())
-	}
-	for p, evs := range split {
-		if len(evs) == 0 {
-			continue
-		}
-		pb := partBatch{part: p, evs: evs, stamp: stamp}
-		if p == tracePart {
-			pb.trace = trace
-		}
-		if !emit(pb) {
+	// Path-hash split: decode the payload as a zero-copy block (or adopt
+	// the shared block as-is) and build one pooled view block per non-empty
+	// partition over the same arena — no event structs, no string copies.
+	src, owned := rb.blk, false
+	if src == nil {
+		src = a.pool.Get()
+		owned = true
+		if err := events.DecodeBlockInto(src, rb.payload); err != nil {
+			a.pool.Put(src)
+			a.slog.Warn("dropping undecodable batch", "bytes", len(rb.payload), "err", err)
 			return
 		}
 	}
+	views := make([]*events.Block, a.parts)
+	// The trace follows its sampled event, not the batch: only the view
+	// that carries the event whose key is the trace ID keeps the span
+	// chain across the split.
+	trace := src.Trace()
+	tracePart := -1
+	n := src.Len()
+	for i := 0; i < n; i++ {
+		p := eventstore.PartitionForPathBytes(src.PathBytes(i), a.parts)
+		v := views[p]
+		if v == nil {
+			v = a.pool.Get()
+			v.SetStamp(src.Stamp())
+			views[p] = v
+		}
+		v.AppendFrom(src, i)
+		if trace != nil && tracePart < 0 && src.EventKey(i) == trace.ID {
+			tracePart = p
+		}
+	}
+	if trace != nil && tracePart >= 0 {
+		// src may be a shared frozen block, so the partition span goes on
+		// a copy of its trace, attached to the owning view.
+		tr := &events.BatchTrace{ID: trace.ID, Spans: append([]events.Span(nil), trace.Spans...)}
+		tr.Append(events.TierPartition, time.Now().UnixNano())
+		views[tracePart].SetTrace(tr)
+	}
+	for p, v := range views {
+		if v == nil {
+			continue
+		}
+		if !emit(partBatch{part: p, blk: v, owned: true}) {
+			return
+		}
+	}
+	if owned {
+		// The views reference the payload arena directly, not src's
+		// columns, so the scratch block recycles immediately.
+		a.pool.Put(src)
+	}
 }
 
-// storeLane returns the per-partition store stage function: decode if
-// needed, spend the aggregation overhead on this lane's throttle, persist
-// the batch into the partition's shard (stamping seqs in place), and
-// re-encode for republish. ShardN guarantees one lane owns each partition,
-// so the DisableStore counters need no locking.
+// storeLane returns the per-partition store stage function: take exclusive
+// ownership of the batch's block (zero-copy decode of a wire payload, or a
+// column clone of a shared frozen block), spend the aggregation overhead on
+// this lane's throttle, and persist the block into the partition's shard —
+// sequence numbers are assigned directly into the seq column, so the
+// republish image is a clone+patch of the received bytes, never a
+// re-marshal. ShardN guarantees one lane owns each partition, so the
+// DisableStore counters need no locking.
 func (a *Aggregator) storeLane() func(context.Context, partBatch) (repBatch, bool) {
 	return func(_ context.Context, pb partBatch) (repBatch, bool) {
 		var start time.Time
 		if a.storeUS != nil {
 			start = time.Now()
 		}
-		evs, stamp, trace := pb.evs, pb.stamp, pb.trace
-		if evs == nil {
-			var err error
-			evs, stamp, trace, err = events.UnmarshalBatchTraced(pb.payload)
-			if err != nil {
+		blk := pb.blk
+		switch {
+		case blk == nil:
+			blk = a.pool.Get()
+			if err := events.DecodeBlockInto(blk, pb.payload); err != nil {
+				a.pool.Put(blk)
 				a.slog.Warn("dropping undecodable batch", "partition", pb.part, "bytes", len(pb.payload), "err", err)
 				return repBatch{}, false
 			}
-			// The MDT fast path forwards payloads undecoded, so the
-			// partition hop is only observable here, at lane entry.
-			trace.Append(events.TierPartition, time.Now().UnixNano())
+			if tr := blk.Trace(); tr != nil {
+				// The wire fast path forwards payloads undecoded, so the
+				// partition hop is only observable here, at lane entry.
+				tr.Append(events.TierPartition, time.Now().UnixNano())
+				blk.MarkTraceDirty()
+			}
+		case !pb.owned:
+			// In-process pointer fast path: the received block is frozen,
+			// so sequence assignment works on a clone — columns copied,
+			// arena and wire image shared.
+			c := a.pool.Get()
+			c.CloneFrom(blk)
+			blk = c
+			if tr := blk.Trace(); tr != nil {
+				tr.Append(events.TierPartition, time.Now().UnixNano())
+				blk.MarkTraceDirty()
+			}
 		}
-		if len(evs) == 0 {
+		n := blk.Len()
+		if n == 0 {
+			a.pool.Put(blk)
 			return repBatch{}, false
 		}
-		a.received.Add(uint64(len(evs)))
-		a.throttles[pb.part].Spend(time.Duration(len(evs)) * a.opts.EventOverhead)
+		a.received.Add(uint64(n))
+		a.throttles[pb.part].Spend(time.Duration(n) * a.opts.EventOverhead)
 		if a.engine != nil {
-			if _, err := a.engine.AppendBatchPartition(pb.part, evs); err != nil {
+			if _, err := a.engine.AppendBlockPartition(pb.part, blk); err != nil {
 				// Store rejection (e.g. capacity): drop the batch but
 				// keep the service alive for subsequent ones.
-				a.slog.Error("store append failed, dropping batch", "partition", pb.part, "events", len(evs), "err", err)
+				a.slog.Error("store append failed, dropping batch", "partition", pb.part, "events", n, "err", err)
+				a.pool.Put(blk)
 				return repBatch{}, false
 			}
 		} else {
 			// Counter-only stamping mirrors the sharded lanes: partition
-			// p assigns p+P, p+2P, ... (1,2,3,... when P == 1).
+			// p assigns p+P, p+2P, ... (1,2,3,... when P == 1). Intern so
+			// consumers materialize delivered events from one string copy.
+			blk.Intern()
 			stride := uint64(a.parts)
-			for i := range evs {
+			for i := 0; i < n; i++ {
 				a.counters[pb.part]++
-				evs[i].Seq = uint64(pb.part) + a.counters[pb.part]*stride
+				blk.SetSeq(i, uint64(pb.part)+a.counters[pb.part]*stride)
 			}
 		}
-		a.stored.Add(uint64(len(evs)))
+		a.stored.Add(uint64(n))
 		if a.storeUS != nil {
 			a.storeUS.ObserveSince(start)
-			if us := telemetry.SinceStampUS(stamp); us >= 0 {
+			if us := telemetry.SinceStampUS(blk.Stamp()); us >= 0 {
 				a.captureToStoreUS.Observe(us)
 			}
 		}
-		trace.Append(events.TierStore, time.Now().UnixNano())
-		if trace != nil {
-			// Traced batches are rare (1-in-N sampling); deferring their
-			// encode to the republish stage lets that stage stamp the
-			// republish span inside the payload.
-			return repBatch{part: pb.part, evs: evs, trace: trace, n: len(evs), stamp: stamp}, true
+		if tr := blk.Trace(); tr != nil {
+			tr.Append(events.TierStore, time.Now().UnixNano())
+			blk.MarkTraceDirty()
 		}
-		payload, err := events.MarshalBatchStamped(evs, stamp)
-		if err != nil {
-			a.slog.Error("dropping unencodable batch", "partition", pb.part, "events", len(evs), "err", err)
-			return repBatch{}, false
-		}
-		return repBatch{part: pb.part, payload: payload, n: len(evs), stamp: stamp}, true
+		return repBatch{part: pb.part, blk: blk, n: n, stamp: blk.Stamp()}, true
 	}
 }
 
@@ -463,21 +511,22 @@ func (a *Aggregator) republishBatch(ctx context.Context, rb repBatch) {
 	if a.parts > 1 {
 		topic = msgq.PartitionTopic(AggTopic, rb.part)
 	}
-	if rb.trace != nil {
-		rb.trace.Append(events.TierRepublish, time.Now().UnixNano())
-		payload, err := events.MarshalBatchTraced(rb.evs, rb.stamp, rb.trace)
-		if err != nil {
-			a.slog.Error("dropping unencodable batch", "partition", rb.part, "events", rb.n, "err", err)
-			return
-		}
-		rb.payload = payload
+	if tr := rb.blk.Trace(); tr != nil {
+		// The republish span is stamped before encoding so it rides inside
+		// the payload (traced batches re-encode; untraced ones go out as a
+		// clone+patch of the received bytes).
+		tr.Append(events.TierRepublish, time.Now().UnixNano())
+		rb.blk.MarkTraceDirty()
 	}
-	a.pub.PublishCtx(ctx, topic, rb.payload)
+	_, shared := a.pub.PublishBlockCtx(ctx, topic, rb.blk)
 	a.published.Add(uint64(rb.n))
 	if a.republishUS != nil {
 		if us := telemetry.SinceStampUS(rb.stamp); us >= 0 {
 			a.republishUS.Observe(us)
 		}
+	}
+	if !shared {
+		a.pool.Put(rb.blk)
 	}
 }
 

@@ -151,15 +151,13 @@ type readBatch struct {
 	stamp int64
 }
 
-// pubBatch is a resolved batch awaiting publication; evs may be empty
-// (e.g. a read of only MARK records) in which case only the purge cursor
-// advances. trace is the sampled span chain when the batch contains a
-// trace-sampled event (nil otherwise — the overwhelmingly common case).
+// pubBatch is a resolved batch awaiting publication; blk may be nil or
+// empty (e.g. a read of only MARK records) in which case only the purge
+// cursor advances. The capture stamp and any sampled span chain ride inside
+// the block.
 type pubBatch struct {
-	evs   []events.Event
+	blk   *events.Block
 	since uint64
-	stamp int64
-	trace *events.BatchTrace
 }
 
 // Collector extracts, processes, and publishes one MDS's events as a
@@ -173,7 +171,7 @@ type Collector struct {
 	reader string
 
 	pipe *pipeline.Pipeline
-	pool *pipeline.SlicePool[events.Event]
+	pool *pipeline.Pool[events.Block]
 
 	recordsRead atomic.Uint64
 	published   atomic.Uint64
@@ -220,7 +218,7 @@ func NewCollector(opts CollectorOptions) (*Collector, error) {
 		res:   res,
 		pub:   pub,
 		topic: fmt.Sprintf("%smdt%d", TopicPrefix, opts.MDT),
-		pool:  pipeline.NewSlicePool[events.Event](opts.BatchSize, 0),
+		pool:  pipeline.NewPool(0, newPoolBlock, (*events.Block).Reset),
 	}
 	c.reader = log.Register()
 	c.slog = telemetry.ComponentLogger(opts.Logger, "collector", "mdt", opts.MDT)
@@ -325,40 +323,43 @@ func (c *Collector) readLoop(ctx context.Context, emit func(readBatch) bool) err
 }
 
 // resolveBatch is the resolve stage: Algorithm 1 over every record of one
-// read via the shared resolver, appending into a pooled slice so
-// steady-state resolution allocates nothing per batch. Up to
-// ResolveWorkers batches resolve concurrently (MapN re-sequences the
-// outputs, so publish order stays Changelog order).
+// read via the shared resolver, appending directly into a pooled event
+// block — the strings land in the block's arena once and are never copied
+// again on this process's hot path. Up to ResolveWorkers batches resolve
+// concurrently (MapN re-sequences the outputs, so publish order stays
+// Changelog order).
 func (c *Collector) resolveBatch(_ context.Context, rb readBatch) (pubBatch, bool) {
 	var start time.Time
 	if c.resolveUS != nil {
 		start = time.Now()
 	}
-	evs := c.res.TranslateBatch(c.pool.Get(), rb.recs)
+	blk := c.pool.Get()
+	c.res.TranslateBlock(blk, rb.recs)
 	if c.resolveUS != nil {
 		c.resolveUS.ObserveSince(start)
 	}
-	if len(evs) == 0 {
-		c.pool.Put(evs)
+	if blk.Len() == 0 {
+		c.pool.Put(blk)
 		return pubBatch{since: rb.since}, true
 	}
-	pb := pubBatch{evs: evs, since: rb.since, stamp: rb.stamp}
+	blk.SetStamp(rb.stamp)
 	// Deterministic 1-in-N trace sampling: the first sampled event in the
 	// batch opens the span chain — collect at the capture stamp, resolve
 	// now. Keying on the event's identity hash means the same event is
 	// picked at any batch boundary, so a test (or a rerun) traces the
 	// same chain.
 	if c.traceN > 0 && rb.stamp != 0 {
-		for i := range evs {
-			if events.SampleTrace(evs[i], c.traceN) {
-				pb.trace = &events.BatchTrace{ID: events.EventKey(evs[i])}
-				pb.trace.Append(events.TierCollect, rb.stamp)
-				pb.trace.Append(events.TierResolve, time.Now().UnixNano())
+		for i := 0; i < blk.Len(); i++ {
+			if key := blk.EventKey(i); c.traceN == 1 || key%uint64(c.traceN) == 0 {
+				tr := &events.BatchTrace{ID: key}
+				tr.Append(events.TierCollect, rb.stamp)
+				tr.Append(events.TierResolve, time.Now().UnixNano())
+				blk.SetTrace(tr)
 				break
 			}
 		}
 	}
-	return pb, true
+	return pubBatch{blk: blk, since: rb.since}, true
 }
 
 // publishBatch is the publish sink stage: marshal, publish to at least
@@ -369,49 +370,51 @@ func (c *Collector) resolveBatch(_ context.Context, rb readBatch) (pubBatch, boo
 // records stay in the Changelog for the next collector.
 func (c *Collector) publishBatch(ctx context.Context, pb pubBatch) {
 	purge := true
-	if len(pb.evs) > 0 {
+	if blk := pb.blk; blk != nil && blk.Len() > 0 {
 		var start time.Time
 		if c.publishUS != nil {
 			start = time.Now()
 		}
-		// The publish span marks the handoff onto the wire; it is stamped
-		// before encoding so it rides inside the payload.
-		pb.trace.Append(events.TierPublish, time.Now().UnixNano())
-		if payload, err := events.MarshalBatchTraced(pb.evs, pb.stamp, pb.trace); err != nil {
-			// An unencodable batch is dropped (and its cursor purged so the
-			// collector is not wedged re-reading it) — surface that loudly.
-			c.slog.Error("dropping unencodable batch", "events", len(pb.evs), "err", err)
-		} else {
-			published := false
-			for !published {
-				if err := c.pub.WaitSubscribed(ctx); err != nil {
+		if tr := blk.Trace(); tr != nil {
+			// The publish span marks the handoff onto the wire; it is
+			// stamped before encoding so it rides inside the payload.
+			tr.Append(events.TierPublish, time.Now().UnixNano())
+			blk.MarkTraceDirty()
+		}
+		published, shared := false, false
+		for !published {
+			if err := c.pub.WaitSubscribed(ctx); err != nil {
+				purge = false
+				break
+			}
+			// A zero count means no subscriber accepted the batch —
+			// all detached between the wait and the send, or a fresh
+			// TCP link has not registered its topics yet. Pause and
+			// re-wait rather than losing the batch. The block's wire
+			// image is encoded at most once across the retries.
+			n, sh := c.pub.PublishBlockCtx(ctx, c.topic, blk)
+			shared = shared || sh
+			published = n > 0
+			if !published {
+				select {
+				case <-ctx.Done():
+				case <-time.After(c.opts.PollInterval):
+				}
+				if ctx.Err() != nil {
 					purge = false
 					break
 				}
-				// A zero count means no subscriber accepted the batch —
-				// all detached between the wait and the send, or a fresh
-				// TCP link has not registered its topics yet. Pause and
-				// re-wait rather than losing the batch.
-				published = c.pub.PublishCtx(ctx, c.topic, payload) > 0
-				if !published {
-					select {
-					case <-ctx.Done():
-					case <-time.After(c.opts.PollInterval):
-					}
-					if ctx.Err() != nil {
-						purge = false
-						break
-					}
-				}
-			}
-			if published {
-				c.published.Add(uint64(len(pb.evs)))
-				if c.publishUS != nil {
-					c.publishUS.ObserveSince(start)
-				}
 			}
 		}
-		c.pool.Put(pb.evs)
+		if published {
+			c.published.Add(uint64(blk.Len()))
+			if c.publishUS != nil {
+				c.publishUS.ObserveSince(start)
+			}
+		}
+		if !shared {
+			c.pool.Put(blk)
+		}
 	}
 	if purge {
 		if err := c.log.Clear(c.reader, pb.since); err != nil {

@@ -109,6 +109,8 @@ type Consumer struct {
 	cursors []uint64 // per-partition high-water marks
 
 	pipe *pipeline.Pipeline
+	pool *pipeline.Pool[events.Block] // blocks the consumer decoded itself
+	idx  []int                        // deliverBatch's surviving-index scratch (sink-goroutine owned)
 
 	received  atomic.Uint64
 	delivered atomic.Uint64
@@ -156,6 +158,7 @@ func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 		throttle: pace.NewThrottle(),
 		parts:    parts,
 		cursors:  make([]uint64, parts),
+		pool:     pipeline.NewPool(0, newPoolBlock, (*events.Block).Reset),
 	}
 	if opts.SinceVector != nil {
 		copy(c.cursors, opts.SinceVector)
@@ -308,85 +311,117 @@ func (c *Consumer) filterEvent(e events.Event) bool {
 	return c.opts.Filter.Match(e)
 }
 
-// conBatch is one decoded batch in flight to the application, paired with
-// its capture stamp (0 = unstamped) and span trace (nil = untraced).
+// conBatch is one batch in flight to the application as an event block.
+// owned marks a block the consumer decoded itself (recyclable); a shared
+// block arrived by pointer from an in-process aggregator and is frozen.
 type conBatch struct {
-	evs   []events.Event
-	stamp int64
-	trace *events.BatchTrace
+	blk   *events.Block
+	owned bool
 }
 
-// intakeLoop is the subscribe source stage.
+// intakeLoop is the subscribe source stage: adopt the shared block when
+// the aggregator handed one over in process (decode-never), otherwise
+// zero-copy-decode the wire payload into a pooled block.
 func (c *Consumer) intakeLoop(ctx context.Context, emit func(conBatch) bool) error {
 	for {
 		m, ok := c.sub.Recv(ctx)
 		if !ok {
 			return nil
 		}
-		batch, stamp, trace, err := events.UnmarshalBatchTraced(m.Payload)
-		if err != nil {
-			c.slog.Warn("dropping undecodable batch", "topic", m.Topic, "bytes", len(m.Payload), "err", err)
-			continue
+		blk, owned := m.Block, false
+		if blk == nil {
+			blk = c.pool.Get()
+			owned = true
+			if err := events.DecodeBlockInto(blk, m.Payload); err != nil {
+				c.pool.Put(blk)
+				c.slog.Warn("dropping undecodable batch", "topic", m.Topic, "bytes", len(m.Payload), "err", err)
+				continue
+			}
 		}
-		if !emit(conBatch{evs: batch, stamp: stamp, trace: trace}) {
+		if !emit(conBatch{blk: blk, owned: owned}) {
 			return nil
 		}
 	}
 }
 
 // deliverBatch is the filter-deliver sink stage: deduplicate the
-// recovery/live overlap window against the owning partition's cursor,
-// apply the client-side filter in place (the batch is owned by the
-// pipeline), and hand the surviving events to the application.
+// recovery/live overlap window against the owning partition's cursor —
+// touching only the block's seq column, no event materialization under the
+// lock — then materialize and filter the survivors, and hand them to the
+// application.
 func (c *Consumer) deliverBatch(ctx context.Context, cb conBatch) {
-	batch := cb.evs
-	keep := batch[:0]
+	blk := cb.blk
+	n := blk.Len()
+	keep := c.idx[:0]
 	c.mu.Lock()
-	for _, e := range batch {
+	for i := 0; i < n; i++ {
 		c.received.Add(1)
-		if e.Seq != 0 {
-			p := e.Seq % uint64(c.parts)
-			if e.Seq <= c.cursors[p] {
+		if seq := blk.Seq(i); seq != 0 {
+			p := seq % uint64(c.parts)
+			if seq <= c.cursors[p] {
 				continue
 			}
-			c.cursors[p] = e.Seq
+			c.cursors[p] = seq
 		}
-		keep = append(keep, e)
+		keep = append(keep, i)
 	}
 	c.mu.Unlock()
-	// Filter outside the cursor lock: Spend sleeps, and Stats/LastSeq
-	// readers should not wait on pacing.
-	pass := keep[:0]
-	for _, e := range keep {
-		if c.filterEvent(e) {
+	c.idx = keep
+	if len(keep) == 0 {
+		c.recycle(cb)
+		return
+	}
+	// Materialize and filter outside the cursor lock: Spend sleeps, and
+	// Stats/LastSeq readers should not wait on pacing. An owned block is
+	// interned first so the survivors' strings come from one copy; a
+	// shared block was interned by the aggregator's store lane.
+	if cb.owned {
+		blk.Intern()
+	}
+	pass := make([]events.Event, 0, len(keep))
+	for _, i := range keep {
+		if e := blk.Event(i); c.filterEvent(e) {
 			pass = append(pass, e)
 		}
 	}
 	if len(pass) == 0 {
+		c.recycle(cb)
 		return
 	}
 	select {
 	case c.out <- pass:
 		c.delivered.Add(uint64(len(pass)))
-		c.observeDelivery(pass, cb.stamp)
-		c.completeTrace(cb.trace)
+		c.observeDelivery(pass, blk.Stamp())
+		c.completeTrace(blk.Trace())
 	case <-ctx.Done():
+	}
+	c.recycle(cb)
+}
+
+// recycle returns a consumer-decoded block to the pool. Shared blocks
+// belong to the publishing aggregator's pipeline and are never recycled
+// here.
+func (c *Consumer) recycle(cb conBatch) {
+	if cb.owned {
+		c.pool.Put(cb.blk)
 	}
 }
 
 // completeTrace closes a batch's span chain at the deliver hop and files
 // the finished trace into the registry ring. Batches entirely consumed by
 // dedup or the filter never get here: their sampled event was not
-// delivered, so no deliver span exists and the chain is dropped.
+// delivered, so no deliver span exists and the chain is dropped. tr may
+// belong to a shared frozen block, so the deliver span is appended to the
+// telemetry copy, never to tr itself.
 func (c *Consumer) completeTrace(tr *events.BatchTrace) {
 	if tr == nil || c.traces == nil {
 		return
 	}
-	tr.Append(events.TierDeliver, time.Now().UnixNano())
-	t := telemetry.Trace{ID: tr.ID, Spans: make([]telemetry.TraceSpan, len(tr.Spans))}
+	t := telemetry.Trace{ID: tr.ID, Spans: make([]telemetry.TraceSpan, len(tr.Spans)+1)}
 	for i, sp := range tr.Spans {
 		t.Spans[i] = telemetry.TraceSpan{Tier: events.TierName(sp.Tier), TS: sp.TS}
 	}
+	t.Spans[len(tr.Spans)] = telemetry.TraceSpan{Tier: events.TierName(events.TierDeliver), TS: time.Now().UnixNano()}
 	c.traces.Add(t)
 }
 

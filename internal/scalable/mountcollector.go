@@ -106,10 +106,10 @@ type MountCollectorStats struct {
 	Pipeline []pipeline.Stats
 }
 
-// mountBatch is one rewritten batch travelling to the publish stage.
+// mountBatch is one rewritten batch travelling to the publish stage as an
+// event block (the capture stamp rides inside the block).
 type mountBatch struct {
-	evs   []events.Event
-	stamp int64
+	blk *events.Block
 }
 
 // MountCollector drains one mounted DSI, rewrites its events into the
@@ -120,7 +120,7 @@ type MountCollector struct {
 	topic string
 
 	pipe *pipeline.Pipeline
-	pool *pipeline.SlicePool[events.Event]
+	pool *pipeline.Pool[events.Block]
 
 	captured  atomic.Uint64
 	published atomic.Uint64
@@ -148,7 +148,7 @@ func NewMountCollector(opts MountCollectorOptions) (*MountCollector, error) {
 		opts:  opts,
 		pub:   pub,
 		topic: MountTopicPrefix + opts.Name,
-		pool:  pipeline.NewSlicePool[events.Event](opts.BatchSize, 0),
+		pool:  pipeline.NewPool(0, newPoolBlock, (*events.Block).Reset),
 	}
 	c.slog = telemetry.ComponentLogger(opts.Logger, "mount-collector", "mount", opts.Name)
 	c.traced = opts.Telemetry != nil
@@ -187,16 +187,18 @@ func (c *MountCollector) Topic() string { return c.topic }
 func (c *MountCollector) collectLoop(ctx context.Context, emit func(mountBatch) bool) error {
 	flush := time.NewTimer(c.opts.FlushInterval)
 	defer flush.Stop()
-	var (
-		batch []events.Event
-		stamp int64
-	)
+	var blk *events.Block
 	send := func() bool {
-		if len(batch) == 0 {
+		if blk == nil {
 			return true
 		}
-		ok := emit(mountBatch{evs: batch, stamp: stamp})
-		batch, stamp = nil, 0
+		if blk.Len() == 0 {
+			c.pool.Put(blk)
+			blk = nil
+			return true
+		}
+		ok := emit(mountBatch{blk: blk})
+		blk = nil
 		return ok
 	}
 	for {
@@ -209,18 +211,22 @@ func (c *MountCollector) collectLoop(ctx context.Context, emit func(mountBatch) 
 				send()
 				return nil
 			}
-			if batch == nil {
-				batch = c.pool.Get()
+			if blk == nil {
+				blk = c.pool.Get()
 				// Stamp the batch at capture when telemetry is attached;
 				// untraced collectors publish unstamped batches, keeping
 				// the wire byte-identical to an uninstrumented build.
 				if c.traced {
-					stamp = telemetry.Stamp()
+					blk.SetStamp(telemetry.Stamp())
 				}
 			}
-			batch = append(batch, mount.Rewrite(c.opts.Root, c.opts.Prefix, e))
 			c.captured.Add(1)
-			if len(batch) >= c.opts.BatchSize {
+			if err := blk.AppendEvent(mount.Rewrite(c.opts.Root, c.opts.Prefix, e)); err != nil {
+				// Wire-limit violations only (a 64KiB path component) —
+				// drop the event, keep the batch.
+				c.slog.Error("dropping unencodable event", "err", err)
+			}
+			if blk.Len() >= c.opts.BatchSize {
 				if !send() {
 					return nil
 				}
@@ -240,18 +246,21 @@ func (c *MountCollector) collectLoop(ctx context.Context, emit func(mountBatch) 
 // subscriber is attached — the same no-loss contract as the Changelog
 // collector, with the mounted DSI's channel as the holding buffer.
 func (c *MountCollector) publishBatch(ctx context.Context, mb mountBatch) {
-	defer c.pool.Put(mb.evs)
-	payload, err := events.MarshalBatchStamped(mb.evs, mb.stamp)
-	if err != nil {
-		c.slog.Error("dropping unencodable batch", "events", len(mb.evs), "err", err)
-		return
-	}
+	blk := mb.blk
+	shared := false
+	defer func() {
+		if !shared {
+			c.pool.Put(blk)
+		}
+	}()
 	for {
 		if err := c.pub.WaitSubscribed(ctx); err != nil {
 			return
 		}
-		if c.pub.PublishCtx(ctx, c.topic, payload) > 0 {
-			c.published.Add(uint64(len(mb.evs)))
+		n, sh := c.pub.PublishBlockCtx(ctx, c.topic, blk)
+		shared = shared || sh
+		if n > 0 {
+			c.published.Add(uint64(blk.Len()))
 			return
 		}
 		select {
