@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-json bench-telemetry bench-trace bench-mount flame trace-sample check
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-json bench-telemetry bench-trace bench-mount bench-cluster bench-cluster-json flame trace-sample check
 
 all: check
 
@@ -91,6 +91,20 @@ bench-mount:
 	$(GO) test -run '^$$' -bench 'DirectAttach|MountAttach$$|MountAttachNested|Route$$' -benchtime 1s -benchmem \
 		./internal/dsi/mount/
 	$(GO) test -run '^$$' -bench 'MonitorThroughput' -benchtime 100000x -benchmem ./internal/bench/
+
+# bench-cluster measures aggregate store throughput of the clustered
+# aggregation tier at 1/2/4 nodes over 4 partitions, each node pacing the
+# accounted per-event aggregation cost on its own ingest throttle
+# (acceptance: >= 1.6x aggregate events/s from 1 node to 2).
+bench-cluster:
+	$(GO) test -run '^$$' -bench 'ClusterThroughput/' -benchmem ./internal/bench/
+
+# bench-cluster-json re-runs the cluster bench with machine-readable
+# output (one `go test -json` object per line) into bench-cluster.json,
+# the artifact CI uploads so node-scaling can be charted across commits.
+bench-cluster-json:
+	$(GO) test -json -run '^$$' -bench 'ClusterThroughput/' -benchmem ./internal/bench/ \
+		> bench-cluster.json
 
 # trace-sample drives the simulated-Lustre demo workload with every
 # event traced end to end and writes the completed span chains to

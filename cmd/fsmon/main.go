@@ -86,6 +86,9 @@ func main() {
 	lustreBed := flag.String("lustre", "", "monitor a simulated Lustre testbed instead of a path: aws, thor, or iota")
 	cache := flag.Int("cache", 0, "Lustre fid2path cache size (0 = paper default 5000, negative = disabled)")
 	partitions := flag.Int("partitions", 0, "with -lustre: aggregation-tier store partitions (0 = 1, the paper's single store)")
+	clusterNodes := flag.Int("cluster-nodes", 0, "with -lustre: deploy the aggregation tier as this many routed aggregator nodes (0 = single aggregator)")
+	clusterJoin := flag.String("cluster-join", "", "with -lustre: comma-separated ctl inboxes of an existing aggregation cluster to join")
+	clusterListen := flag.String("cluster-listen", "", "with -lustre: first node's publisher bind for external subscribers, e.g. tcp://0.0.0.0:7400")
 	demo := flag.Bool("demo", false, "with -lustre: run the Evaluate_Output_Script workload and exit")
 	stats := flag.Bool("stats", false, "print layer statistics on exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry at this address (/metrics, /metrics/history, /metrics/prom, /traces, /healthz, /debug/pprof)")
@@ -218,6 +221,15 @@ func main() {
 		lopts := append([]fsmonitor.Option{}, common...)
 		if *partitions > 0 {
 			lopts = append(lopts, fsmonitor.WithStorePartitions(*partitions))
+		}
+		if *clusterNodes > 0 {
+			lopts = append(lopts, fsmonitor.WithClusterNodes(*clusterNodes))
+		}
+		if *clusterJoin != "" {
+			lopts = append(lopts, fsmonitor.WithClusterJoin(strings.Split(*clusterJoin, ",")...))
+		}
+		if *clusterListen != "" {
+			lopts = append(lopts, fsmonitor.WithClusterListen(*clusterListen))
 		}
 		m, err = fsmonitor.WatchLustre(cluster, "/mnt/lustre", *cache, lopts...)
 	default:

@@ -216,6 +216,34 @@ func WithStorePartitions(n int) Option {
 	return func(o *core.Options) { o.StorePartitions = n }
 }
 
+// WithClusterNodes deploys the aggregation tier as a cluster of n routed
+// aggregator nodes instead of the single aggregator: collectors route each
+// batch slice to the partition owner's inbox, every node stores and
+// republishes the partitions it owns (rendezvous-hashed, rebalanced on
+// membership change with journal-replay handoff), and consumers recover
+// through a coverage-checked fan-out across all nodes. n <= 1 with no join
+// list keeps the single-node wire format byte-identical to the classic
+// aggregator. Lustre path only.
+func WithClusterNodes(n int) Option {
+	return func(o *core.Options) { o.ClusterNodes = n }
+}
+
+// WithClusterJoin points the deployed aggregator node(s) at an existing
+// cluster's ctl inboxes (e.g. "tcp://host:7401"): they join that cluster
+// and take over their rendezvous share of its partitions. Lustre path
+// only.
+func WithClusterJoin(ctl ...string) Option {
+	return func(o *core.Options) { o.ClusterJoin = append([]string(nil), ctl...) }
+}
+
+// WithClusterListen binds the first deployed node's event publisher to a
+// fixed endpoint (e.g. "tcp://0.0.0.0:7400") so consumers and nodes on
+// other machines can reach it; the default is a loopback or in-process
+// endpoint. Lustre path only.
+func WithClusterListen(endpoint string) Option {
+	return func(o *core.Options) { o.ClusterListen = endpoint }
+}
+
 // WithBatch tunes resolution-layer batching (§III-A2's batching
 // optimization).
 func WithBatch(size int) Option {
@@ -409,6 +437,9 @@ func WatchLustre(cluster *LustreCluster, mount string, cacheSize int, opts ...Op
 			Cluster:         cluster,
 			CacheSize:       size,
 			StorePartitions: o.StorePartitions,
+			ClusterNodes:    o.ClusterNodes,
+			ClusterJoin:     o.ClusterJoin,
+			ClusterListen:   o.ClusterListen,
 		}
 	}
 	return core.New(o)

@@ -487,3 +487,46 @@ func TestTelemetryPublicAPI(t *testing.T) {
 		t.Errorf("status dump missing e2e latency line:\n%s", sb.String())
 	}
 }
+
+// TestWatchLustreClustered: WithClusterNodes swaps the single aggregator
+// for a routed node cluster behind the same public API — same events, same
+// standardized representation, no consumer-visible difference.
+func TestWatchLustreClustered(t *testing.T) {
+	cluster := fsmonitor.NewLustreCluster(fsmonitor.LustreConfig{NumMDS: 4})
+	m, err := fsmonitor.WatchLustre(cluster, "/mnt/lustre", 0,
+		fsmonitor.WithClusterNodes(2), fsmonitor.WithStorePartitions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	sub, err := m.Subscribe(fsmonitor.Filter{Recursive: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.Client()
+	const n = 32
+	for i := 0; i < n; i++ {
+		d := fmt.Sprintf("/cd%d", i)
+		if err := cl.Mkdir(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Create(d + "/f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := recvAll(t, sub, 2*n, 10*time.Second)
+	if len(got) != 2*n {
+		t.Fatalf("events = %d, want %d", len(got), 2*n)
+	}
+	seen := map[string]bool{}
+	for _, e := range got {
+		if e.Root != "/mnt/lustre" {
+			t.Errorf("root = %q", e.Root)
+		}
+		key := e.String()
+		if seen[key] {
+			t.Errorf("duplicate event %q", key)
+		}
+		seen[key] = true
+	}
+}

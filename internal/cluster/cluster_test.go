@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/eventstore"
+	"fsmonitor/internal/msgq"
+)
+
+func TestAssignBalancedDeterministic(t *testing.T) {
+	members := []string{"n3", "n1", "n0", "n2"}
+	a := Assign(7, 32, members)
+	if a.Epoch != 7 || a.Parts != 32 || len(a.Owner) != 32 {
+		t.Fatalf("assignment shape: %+v", a)
+	}
+	counts := map[string]int{}
+	for p, id := range a.Owner {
+		if id == "" {
+			t.Fatalf("partition %d unassigned", p)
+		}
+		counts[id]++
+	}
+	for _, id := range members {
+		if counts[id] != 8 {
+			t.Fatalf("member %s owns %d partitions, want 8 (counts %v)", id, counts[id], counts)
+		}
+	}
+	b := Assign(7, 32, []string{"n0", "n1", "n2", "n3", "n2"}) // order/dup insensitive
+	for p := range a.Owner {
+		if a.Owner[p] != b.Owner[p] {
+			t.Fatalf("assignment not deterministic at partition %d: %s vs %s", p, a.Owner[p], b.Owner[p])
+		}
+	}
+}
+
+func TestAssignStability(t *testing.T) {
+	all := []string{"n0", "n1", "n2", "n3"}
+	before := Assign(1, 32, all)
+	after := Assign(2, 32, []string{"n0", "n1", "n3"})
+	moved := 0
+	for p := range after.Owner {
+		if before.Owner[p] == "n2" {
+			if after.Owner[p] == "n2" {
+				t.Fatalf("partition %d still owned by removed member", p)
+			}
+			continue
+		}
+		if after.Owner[p] != before.Owner[p] {
+			moved++
+		}
+	}
+	// Rendezvous underneath keeps survivor-owned partitions mostly put;
+	// the balance cap may shuffle a few, but losing one of four members
+	// must not reshuffle the survivors wholesale.
+	if moved > 8 {
+		t.Fatalf("%d survivor partitions moved on one departure", moved)
+	}
+}
+
+func TestAssignNoMembers(t *testing.T) {
+	a := Assign(1, 4, nil)
+	for p, id := range a.Owner {
+		if id != "" {
+			t.Fatalf("partition %d assigned to %q with no members", p, id)
+		}
+	}
+}
+
+// memberHarness is one raw membership participant for protocol tests.
+type memberHarness struct {
+	pub *msgq.Pub
+	mem *Membership
+}
+
+func newMemberHarness(t *testing.T, id string, parts int, join ...string) *memberHarness {
+	return newMemberHarnessTimed(t, id, parts, 10*time.Millisecond, 60*time.Millisecond, join...)
+}
+
+func newMemberHarnessTimed(t *testing.T, id string, parts int, interval, failAfter time.Duration, join ...string) *memberHarness {
+	t.Helper()
+	pub := msgq.NewPub()
+	ep := fmt.Sprintf("inproc://memtest-%p-%s", t, id)
+	if err := pub.Bind(ep); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := NewMembership(MembershipOptions{
+		Self:      MemberInfo{ID: id, Endpoint: ep, Ctl: ep + ".ctl"},
+		Pub:       pub,
+		Join:      join,
+		Parts:     parts,
+		Interval:  interval,
+		FailAfter: failAfter,
+	})
+	if err != nil {
+		pub.Close()
+		t.Fatal(err)
+	}
+	mem.Start()
+	return &memberHarness{pub: pub, mem: mem}
+}
+
+func (h *memberHarness) kill() {
+	h.mem.Kill()
+	h.pub.Close()
+}
+
+func TestMembershipConvergenceAndFailure(t *testing.T) {
+	const parts = 8
+	a := newMemberHarness(t, "a", parts)
+	defer a.kill()
+	b := newMemberHarness(t, "b", parts, a.mem.Self().Ctl)
+	defer b.kill()
+	// c joins via a only; it must learn b through gossip.
+	c := newMemberHarness(t, "c", parts, a.mem.Self().Ctl)
+	defer c.kill()
+	for _, h := range []*memberHarness{a, b, c} {
+		if err := h.mem.WaitMembers(3, 5*time.Second); err != nil {
+			t.Fatalf("%s: %v", h.mem.Self().ID, err)
+		}
+	}
+	// Converged views compute identical owner maps.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		aa, ba, ca := a.mem.Assignment(), b.mem.Assignment(), c.mem.Assignment()
+		if fmt.Sprint(aa.Owner) == fmt.Sprint(ba.Owner) && fmt.Sprint(ba.Owner) == fmt.Sprint(ca.Owner) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("assignments did not converge: %v / %v / %v", aa.Owner, ba.Owner, ca.Owner)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Kill b without a leave; the failure detector must expire it.
+	epochBefore := a.mem.Epoch()
+	b.kill()
+	deadline = time.Now().Add(5 * time.Second)
+	for a.mem.Members() != 2 || c.mem.Members() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("members after kill: a=%d c=%d", a.mem.Members(), c.mem.Members())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a.mem.Epoch() <= epochBefore {
+		t.Fatalf("epoch did not advance on failure: %d -> %d", epochBefore, a.mem.Epoch())
+	}
+	// The view updates before the assignment recomputes; poll briefly.
+	deadline = time.Now().Add(time.Second)
+	for {
+		stale := false
+		for p := 0; p < parts; p++ {
+			if a.mem.Assignment().OwnerOf(p) == "b" {
+				stale = true
+			}
+		}
+		if !stale {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("assignment still references dead member")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMembershipGracefulLeave(t *testing.T) {
+	a := newMemberHarness(t, "a", 4)
+	defer a.kill()
+	b := newMemberHarness(t, "b", 4, a.mem.Self().Ctl)
+	if err := a.mem.WaitMembers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Leave broadcasts reassign without waiting out FailAfter: generous
+	// margin here, but strictly less than the detector's 60ms.
+	b.mem.Close()
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for a.mem.Members() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leave not processed before failure-detector deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.pub.Close()
+}
+
+// startNode builds and starts a Node for handoff tests.
+func startNode(t *testing.T, id string, parts int, journal string, collectors []string, join ...string) *Node {
+	t.Helper()
+	n, err := NewNode(NodeOptions{
+		ID:                 id,
+		Endpoint:           fmt.Sprintf("inproc://nodetest-%p-%s", t, id),
+		Join:               join,
+		CollectorEndpoints: collectors,
+		Parts:              parts,
+		Store:              eventstore.Options{JournalPath: journal, Sync: eventstore.SyncAlways},
+		EventOverhead:      time.Nanosecond,
+		HeartbeatInterval:  10 * time.Millisecond,
+		FailAfter:          60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		n.Close()
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestNodeHandoffContinuity drives routed batches at a two-node cluster,
+// kills the owner of a partition, and verifies the survivor recovers the
+// partition's journal segment and continues its sequence lane with no
+// loss, duplication, or gap.
+func TestNodeHandoffContinuity(t *testing.T) {
+	const parts = 4
+	journal := filepath.Join(t.TempDir(), "journal")
+	col := msgq.NewPub(msgq.WithBlockOnFull())
+	colEP := fmt.Sprintf("inproc://nodetest-%p-col", t)
+	if err := col.Bind(colEP); err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	n0 := startNode(t, "n0", parts, journal, []string{colEP})
+	defer n0.Close()
+	n1 := startNode(t, "n1", parts, journal, []string{colEP}, n0.CtlEndpoint())
+	defer n1.Close()
+	for _, n := range []*Node{n0, n1} {
+		if err := n.Membership().WaitMembers(2, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitOwnedTotal := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for len(n0.OwnedPartitions())+len(n1.OwnedPartitions()) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("owned partitions: n0=%v n1=%v, want %d total",
+					n0.OwnedPartitions(), n1.OwnedPartitions(), want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitOwnedTotal(parts)
+
+	nodeFor := map[string]*Node{"n0": n0, "n1": n1}
+	publish := func(phase string, count int) map[string]bool {
+		t.Helper()
+		paths := map[string]bool{}
+		for i := 0; i < count; i++ {
+			path := fmt.Sprintf("/%s/f%03d", phase, i)
+			p := eventstore.PartitionForPath(path, parts)
+			payload, err := events.MarshalBatch([]events.Event{{Path: path, Op: events.OpCreate, Root: "/mnt", Source: "test"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Retry-until-delivered with owner re-resolution: the same
+			// loop the routing collector runs.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				owner := ""
+				for _, n := range []*Node{n0, n1} {
+					if len(n.OwnedPartitions()) > 0 {
+						owner = n.Membership().Assignment().OwnerOf(p)
+						break
+					}
+				}
+				if nd := nodeFor[owner]; nd != nil {
+					if delivered := col.PublishCtx(context.Background(), msgq.NodeTopic(owner, p), payload); delivered > 0 {
+						break
+					}
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("could not deliver %s to partition %d owner", path, p)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			paths[path] = true
+		}
+		return paths
+	}
+
+	waitStored := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for n0.Stats().Stored+n1.Stats().Stored < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("stored %d+%d, want %d", n0.Stats().Stored, n1.Stats().Stored, want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	phase1 := publish("one", 40)
+	waitStored(40)
+
+	// Kill n1 (no leave). n0's failure detector must hand its partitions
+	// over by journal replay.
+	killed := n1
+	nodeFor["n1"] = nil
+	killed.Kill()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(n0.OwnedPartitions()) != parts {
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor owns %v after kill", n0.OwnedPartitions())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if h := n0.Stats().Handoffs; h == 0 {
+		t.Fatal("survivor recorded no handoffs")
+	}
+
+	phase2 := publish("two", 40)
+	waitStored(80)
+
+	got, err := n0.Since(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 80 {
+		t.Fatalf("recovered %d events, want 80", len(got))
+	}
+	seen := map[string]bool{}
+	lastByPart := map[int]uint64{}
+	for _, e := range got {
+		if seen[e.Path] {
+			t.Fatalf("duplicate event %q", e.Path)
+		}
+		seen[e.Path] = true
+		part := int(e.Seq % parts)
+		if want := eventstore.PartitionForPath(e.Path, parts); part != want {
+			t.Fatalf("event %q seq %d in lane %d, want %d", e.Path, e.Seq, part, want)
+		}
+		if prev, ok := lastByPart[part]; ok && e.Seq != prev+parts {
+			t.Fatalf("lane %d: seq %d after %d (gap or overlap across handoff)", part, e.Seq, prev)
+		}
+		lastByPart[part] = e.Seq
+	}
+	for path := range phase1 {
+		if !seen[path] {
+			t.Fatalf("lost pre-handoff event %q", path)
+		}
+	}
+	for path := range phase2 {
+		if !seen[path] {
+			t.Fatalf("lost post-handoff event %q", path)
+		}
+	}
+}
+
+// TestMembershipStableUnderHeartbeats: with everyone healthy, the view
+// must hold steady across many FailAfter windows — heartbeats alone (not
+// just ctl hellos) refresh liveness, so no peer flaps dead/alive and the
+// epoch never advances. Regression: heartbeat senders were folded in as
+// secondhand sightings, so every peer expired each FailAfter and was
+// resurrected by the next gossip round, churning epochs and handoffs.
+func TestMembershipStableUnderHeartbeats(t *testing.T) {
+	const (
+		parts = 4
+		// Generous windows so scheduler stalls on a loaded test host can't
+		// fake a lapse: with the regression, peers expire every FailAfter
+		// regardless of its length, so four windows still expose the churn.
+		interval  = 20 * time.Millisecond
+		failAfter = 250 * time.Millisecond
+	)
+	a := newMemberHarnessTimed(t, "a", parts, interval, failAfter)
+	defer a.kill()
+	b := newMemberHarnessTimed(t, "b", parts, interval, failAfter, a.mem.Self().Ctl)
+	defer b.kill()
+	for _, h := range []*memberHarness{a, b} {
+		if err := h.mem.WaitMembers(2, 5*time.Second); err != nil {
+			t.Fatalf("%s: %v", h.mem.Self().ID, err)
+		}
+	}
+	epoch := a.mem.Epoch()
+	time.Sleep(4 * failAfter)
+	if got := a.mem.Members(); got != 2 {
+		t.Fatalf("a sees %d members after quiet period", got)
+	}
+	if got := b.mem.Members(); got != 2 {
+		t.Fatalf("b sees %d members after quiet period", got)
+	}
+	if got := a.mem.Epoch(); got != epoch {
+		t.Fatalf("epoch churned %d -> %d with no membership change", epoch, got)
+	}
+	if age := a.mem.HeartbeatAge(); age > failAfter {
+		t.Fatalf("heartbeat age %v exceeds FailAfter with live peers", age)
+	}
+}

@@ -1,0 +1,531 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"fsmonitor/internal/msgq"
+	"fsmonitor/internal/telemetry"
+)
+
+// Membership defaults.
+const (
+	// DefaultHeartbeatInterval is how often a member broadcasts a
+	// heartbeat on MembershipTopic.
+	DefaultHeartbeatInterval = 250 * time.Millisecond
+	// defaultFailFactor: a peer is declared dead after this many missed
+	// heartbeat intervals.
+	defaultFailFactor = 4
+	// helloTimeout bounds a join hello to an unreachable ctl inbox.
+	helloTimeout = 5 * time.Second
+)
+
+// MembershipOptions configures one member's (or observer's) view of the
+// cluster.
+type MembershipOptions struct {
+	// Self describes this member. ID is required (ValidID); Endpoint and
+	// Ctl must be the already-bound addresses of Pub and the ctl inbox.
+	// Observers leave Endpoint empty.
+	Self MemberInfo
+	// Observer makes this a receive-only participant: it sends join
+	// hellos and tracks the member set, but broadcasts no heartbeats and
+	// is excluded from views (and so owns no partitions). Collectors and
+	// consumers use an observer to resolve partition owners.
+	Observer bool
+	// Pub is the member's bound publisher, shared with the event path;
+	// membership broadcasts ride on it. Required unless Observer.
+	Pub *msgq.Pub
+	// Join lists ctl inboxes of known members to announce ourselves to.
+	// The transitive gossip in heartbeats completes the mesh from any
+	// single live seed.
+	Join []string
+	// Parts is the global store-partition count assignments map over.
+	Parts int
+	// Interval is the heartbeat period (default
+	// DefaultHeartbeatInterval); FailAfter is the silence after which a
+	// peer is expired (default 4×Interval).
+	Interval  time.Duration
+	FailAfter time.Duration
+	// OnChange is called (from the membership goroutine) with each new
+	// assignment map. Callbacks must apply maps idempotently and in
+	// epoch order — stale epochs may be delivered and must be ignored.
+	OnChange func(Assignment)
+	// OnPeer is called once per newly discovered peer.
+	OnPeer func(MemberInfo)
+	// Logger receives component-tagged structured logs; nil discards.
+	Logger *slog.Logger
+}
+
+// peerState tracks one remote member.
+type peerState struct {
+	info     MemberInfo
+	lastSeen time.Time
+	epoch    uint64
+}
+
+// ctrlMsg is the JSON control frame for both the heartbeat topic and the
+// ctl hello inbox. Heartbeats gossip the sender's live peer list, which
+// is what completes the mesh: a node that learns an unknown member from
+// gossip connects to its endpoint and hellos its ctl so the link becomes
+// mutual.
+type ctrlMsg struct {
+	Kind  string       `json:"k"` // "hello", "hb", "leave"
+	Epoch uint64       `json:"e,omitempty"`
+	From  MemberInfo   `json:"from"`
+	Peers []MemberInfo `json:"peers,omitempty"`
+}
+
+// Membership maintains the live member set and the derived assignment
+// map. The protocol is deliberately consensus-free: views converge
+// because heartbeats gossip the full peer list, and assignments converge
+// because Assign is a pure function of the view. Epochs give handoff an
+// order, not agreement.
+type Membership struct {
+	opts MembershipOptions
+
+	sub *msgq.Sub  // membership broadcasts from every connected peer pub
+	ctl *msgq.Pull // join hellos
+
+	mu       sync.Mutex
+	peers    map[string]*peerState
+	dead     map[string]time.Time // tombstones: recently expired/left members
+	helloed  map[string]time.Time // ctl addr -> last hello sent
+	epoch    uint64
+	maxSeen  uint64
+	assign   Assignment
+	viewKey  string // member IDs of the last computed view
+	started  bool
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewMembership creates an unstarted membership participant. The ctl
+// inbox is bound here (at Self.Ctl); Start begins the protocol.
+func NewMembership(opts MembershipOptions) (*Membership, error) {
+	if !ValidID(opts.Self.ID) {
+		return nil, fmt.Errorf("cluster: invalid member ID %q", opts.Self.ID)
+	}
+	if opts.Parts < 1 {
+		return nil, errors.New("cluster: MembershipOptions.Parts must be >= 1")
+	}
+	if !opts.Observer && (opts.Pub == nil || opts.Self.Endpoint == "") {
+		return nil, errors.New("cluster: members need a bound Pub and Self.Endpoint")
+	}
+	if opts.Self.Ctl == "" {
+		return nil, errors.New("cluster: MembershipOptions.Self.Ctl is required")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultHeartbeatInterval
+	}
+	if opts.FailAfter <= 0 {
+		opts.FailAfter = defaultFailFactor * opts.Interval
+	}
+	opts.Logger = telemetry.ComponentLogger(opts.Logger, "cluster."+opts.Self.ID)
+	ctl := msgq.NewPull(0)
+	if err := ctl.Bind(opts.Self.Ctl); err != nil {
+		return nil, err
+	}
+	opts.Self.Ctl = ctl.Addr() // resolve tcp://:0 binds to the real port
+	m := &Membership{
+		opts:    opts,
+		ctl:     ctl,
+		sub:     msgq.NewSub(),
+		peers:   make(map[string]*peerState),
+		dead:    make(map[string]time.Time),
+		helloed: make(map[string]time.Time),
+		stopped: make(chan struct{}),
+	}
+	m.sub.Subscribe(MembershipTopic)
+	m.recompute() // initial single-member (or empty, for observers) view
+	return m, nil
+}
+
+// Self returns this participant's info (with resolved addresses).
+func (m *Membership) Self() MemberInfo { return m.opts.Self }
+
+// Start begins heartbeating and announces to the Join seeds.
+func (m *Membership) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	for _, ctl := range m.opts.Join {
+		m.hello(ctl)
+	}
+	m.wg.Add(3)
+	go m.ctlLoop()
+	go m.subLoop()
+	go m.tickLoop()
+}
+
+// hello announces ourselves to a peer's ctl inbox (bounded by
+// helloTimeout; an unreachable inbox is abandoned, and gossip retries
+// later). Caller must not hold m.mu... it may, actually: the send happens
+// on a fresh goroutine.
+func (m *Membership) hello(ctlAddr string) {
+	if ctlAddr == "" || ctlAddr == m.opts.Self.Ctl {
+		return
+	}
+	payload, err := json.Marshal(ctrlMsg{Kind: "hello", From: m.opts.Self, Epoch: m.epochNow()})
+	if err != nil {
+		return
+	}
+	push, err := msgq.NewPush(ctlAddr)
+	if err != nil {
+		m.opts.Logger.Warn("bad ctl endpoint", "ctl", ctlAddr, "err", err)
+		return
+	}
+	go func() {
+		t := time.AfterFunc(helloTimeout, push.Close)
+		defer t.Stop()
+		defer push.Close()
+		_ = push.Send(msgq.Message{Topic: "cluster.hello", Payload: payload})
+	}()
+}
+
+func (m *Membership) epochNow() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// ctlLoop serves the join inbox: a hello makes the sender a known peer
+// (connecting to its pub) and is answered with a hello back so the
+// sender learns our pub too — the two-way handshake PUB/SUB alone cannot
+// bootstrap.
+func (m *Membership) ctlLoop() {
+	defer m.wg.Done()
+	for msg := range m.ctl.C() {
+		var c ctrlMsg
+		if err := json.Unmarshal(msg.Payload, &c); err != nil || c.Kind != "hello" {
+			continue
+		}
+		if c.From.Endpoint == "" {
+			// Observer hello: it has no pub to track, but it needs our
+			// info to connect — answer and move on.
+			m.hello(c.From.Ctl)
+			continue
+		}
+		m.observe(c.From, c.Epoch, true)
+	}
+}
+
+// subLoop consumes membership broadcasts from every peer pub we are
+// connected to.
+func (m *Membership) subLoop() {
+	defer m.wg.Done()
+	for msg := range m.sub.C() {
+		var c ctrlMsg
+		if err := json.Unmarshal(msg.Payload, &c); err != nil {
+			continue
+		}
+		switch c.Kind {
+		case "hb":
+			// The sender itself is firsthand contact; only the gossiped
+			// peer list is secondhand.
+			m.observe(c.From, c.Epoch, true)
+			for _, p := range c.Peers {
+				m.observe(p, c.Epoch, false)
+			}
+		case "leave":
+			m.drop(c.From.ID, "leave")
+		}
+	}
+}
+
+// observe folds a member sighting into the peer table. Direct sightings
+// (a heartbeat from the member itself, or its hello) refresh liveness;
+// gossiped ones only introduce unknown members — a gossiper's stale
+// entry must not keep a dead peer alive, so only firsthand contact
+// resets the expiry clock. replyHello answers a ctl hello so the link
+// becomes mutual.
+func (m *Membership) observe(info MemberInfo, epoch uint64, direct bool) {
+	if info.ID == m.opts.Self.ID || !ValidID(info.ID) || info.Endpoint == "" {
+		return
+	}
+	m.mu.Lock()
+	if epoch > m.maxSeen {
+		m.maxSeen = epoch
+	}
+	if died, entombed := m.dead[info.ID]; entombed {
+		if direct {
+			// The member itself is talking again — it's back.
+			delete(m.dead, info.ID)
+		} else if time.Since(died) < m.opts.FailAfter {
+			// Gossip listing a member we just expired is almost always
+			// the gossiper's stale view of the same death. Without this
+			// tombstone two surviving members resurrect a dead peer off
+			// each other's heartbeats forever.
+			m.mu.Unlock()
+			return
+		} else {
+			delete(m.dead, info.ID)
+		}
+	}
+	p, known := m.peers[info.ID]
+	if known {
+		p.info = info
+		if direct {
+			p.lastSeen = time.Now()
+		}
+		if epoch > p.epoch {
+			p.epoch = epoch
+		}
+		m.mu.Unlock()
+		return
+	}
+	m.peers[info.ID] = &peerState{info: info, lastSeen: time.Now(), epoch: epoch}
+	sendHello := false
+	if last, ok := m.helloed[info.Ctl]; !ok || time.Since(last) >= m.opts.FailAfter {
+		sendHello = true
+		m.helloed[info.Ctl] = time.Now()
+	}
+	m.mu.Unlock()
+	// Hear the new peer's broadcasts; hello it so it hears ours (the
+	// helloed map gates repeats — receivers are idempotent anyway).
+	_ = m.sub.Connect(info.Endpoint)
+	if sendHello {
+		m.hello(info.Ctl)
+	}
+	if m.opts.OnPeer != nil {
+		m.opts.OnPeer(info)
+	}
+	m.changed()
+}
+
+// drop removes a peer (leaving a tombstone against gossip resurrection)
+// and recomputes the view.
+func (m *Membership) drop(id, why string) {
+	m.mu.Lock()
+	_, known := m.peers[id]
+	delete(m.peers, id)
+	if known {
+		m.dead[id] = time.Now()
+	}
+	for tid, t := range m.dead {
+		if time.Since(t) > 10*m.opts.FailAfter {
+			delete(m.dead, tid)
+		}
+	}
+	m.mu.Unlock()
+	if known {
+		m.opts.Logger.Info("member removed", "peer", id, "reason", why)
+		m.changed()
+	}
+}
+
+// tickLoop broadcasts heartbeats and expires silent peers.
+func (m *Membership) tickLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopped:
+			return
+		case <-t.C:
+		}
+		m.beat()
+		var expired []string
+		m.mu.Lock()
+		for id, p := range m.peers {
+			if time.Since(p.lastSeen) > m.opts.FailAfter {
+				expired = append(expired, id)
+			}
+		}
+		m.mu.Unlock()
+		for _, id := range expired {
+			m.drop(id, "heartbeat lapsed")
+		}
+	}
+}
+
+// beat broadcasts one heartbeat carrying the gossip peer list.
+func (m *Membership) beat() {
+	if m.opts.Observer {
+		return
+	}
+	m.mu.Lock()
+	c := ctrlMsg{Kind: "hb", From: m.opts.Self, Epoch: m.epoch}
+	for _, p := range m.peers {
+		c.Peers = append(c.Peers, p.info)
+	}
+	m.mu.Unlock()
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return
+	}
+	m.opts.Pub.Publish(MembershipTopic, payload)
+}
+
+// changed recomputes the view and, when it differs from the last one,
+// bumps the epoch past everything seen and emits the new assignment.
+func (m *Membership) changed() {
+	if a, ok := m.recompute(); ok && m.opts.OnChange != nil {
+		m.opts.OnChange(a)
+	}
+}
+
+func (m *Membership) recompute() (Assignment, bool) {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.peers)+1)
+	if !m.opts.Observer {
+		ids = append(ids, m.opts.Self.ID)
+	}
+	for id := range m.peers {
+		ids = append(ids, id)
+	}
+	a := Assign(0, m.opts.Parts, ids) // sorts + dedups ids internally
+	key := fmt.Sprint(assignMembers(a))
+	if m.viewKey == key && m.assign.Owner != nil {
+		m.mu.Unlock()
+		return Assignment{}, false
+	}
+	if m.maxSeen > m.epoch {
+		m.epoch = m.maxSeen
+	}
+	m.epoch++
+	if m.epoch > m.maxSeen {
+		m.maxSeen = m.epoch
+	}
+	a.Epoch = m.epoch
+	m.assign = a
+	m.viewKey = key
+	m.mu.Unlock()
+	m.opts.Logger.Info("view changed", "epoch", a.Epoch, "members", key)
+	return a, true
+}
+
+// assignMembers lists the distinct owners of an assignment (sorted —
+// Assign iterates sorted IDs).
+func assignMembers(a Assignment) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, id := range a.Owner {
+		if id != "" && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Assignment returns the current assignment map.
+func (m *Membership) Assignment() Assignment {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.assign
+}
+
+// Epoch returns the current assignment epoch.
+func (m *Membership) Epoch() uint64 { return m.epochNow() }
+
+// Members returns the current live member count (including self for
+// members).
+func (m *Membership) Members() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.peers)
+	if !m.opts.Observer {
+		n++
+	}
+	return n
+}
+
+// Peers returns a snapshot of the known remote members.
+func (m *Membership) Peers() []MemberInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MemberInfo, 0, len(m.peers))
+	for _, p := range m.peers {
+		out = append(out, p.info)
+	}
+	return out
+}
+
+// Owner resolves the owning member of a partition. ok is false while the
+// partition is unassigned or the owner is unknown.
+func (m *Membership) Owner(part int) (MemberInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.assign.OwnerOf(part)
+	if id == "" {
+		return MemberInfo{}, false
+	}
+	if id == m.opts.Self.ID {
+		return m.opts.Self, true
+	}
+	if p, ok := m.peers[id]; ok {
+		return p.info, true
+	}
+	return MemberInfo{}, false
+}
+
+// OwnerTopic resolves the routed inbox topic for a partition: the
+// collector-side routing hop. ok is false while no owner is known.
+func (m *Membership) OwnerTopic(part int) (string, bool) {
+	info, ok := m.Owner(part)
+	if !ok {
+		return "", false
+	}
+	return msgq.NodeTopic(info.ID, part), true
+}
+
+// Parts returns the partition count assignments map over.
+func (m *Membership) Parts() int { return m.opts.Parts }
+
+// HeartbeatAge returns the longest silence across live peers (zero with
+// no peers) — the watchdog's lapse signal.
+func (m *Membership) HeartbeatAge() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max time.Duration
+	for _, p := range m.peers {
+		if age := time.Since(p.lastSeen); age > max {
+			max = age
+		}
+	}
+	return max
+}
+
+// WaitMembers blocks until the view holds at least n members.
+func (m *Membership) WaitMembers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for m.Members() < n {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: %d/%d members after %v", m.Members(), n, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+// Close leaves gracefully: a leave broadcast lets peers reassign without
+// waiting out the failure detector.
+func (m *Membership) Close() {
+	if !m.opts.Observer && m.opts.Pub != nil {
+		if payload, err := json.Marshal(ctrlMsg{Kind: "leave", From: m.opts.Self, Epoch: m.epochNow()}); err == nil {
+			m.opts.Pub.Publish(MembershipTopic, payload)
+		}
+	}
+	m.Kill()
+}
+
+// Kill stops the participant without a leave broadcast — the crash path
+// (tests use it to exercise the failure detector and handoff).
+func (m *Membership) Kill() {
+	m.stopOnce.Do(func() {
+		close(m.stopped)
+		m.ctl.Close()
+		m.sub.Close()
+		m.wg.Wait()
+	})
+}

@@ -1,0 +1,602 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/eventstore"
+	"fsmonitor/internal/msgq"
+	"fsmonitor/internal/pace"
+	"fsmonitor/internal/pipeline"
+	"fsmonitor/internal/telemetry"
+)
+
+// DefaultRepublishTopic matches the classic aggregator's topic so a
+// cluster node's republish stream is a drop-in for scalable.AggTopic.
+const DefaultRepublishTopic = "agg.events"
+
+// NodeOptions configures one aggregator node.
+type NodeOptions struct {
+	// ID names the node (required; ValidID).
+	ID string
+	// Endpoint is where the node's publisher binds (routed event traffic
+	// in via peers' and collectors' subs, membership broadcasts and
+	// republished batches out). Default "inproc://cluster-node-<id>".
+	Endpoint string
+	// Ctl is the join inbox bind (default "<Endpoint>.ctl" for inproc,
+	// "tcp://127.0.0.1:0" when Endpoint is tcp).
+	Ctl string
+	// Join lists ctl inboxes of existing members.
+	Join []string
+	// CollectorEndpoints are publisher endpoints of the collectors this
+	// node ingests from.
+	CollectorEndpoints []string
+	// Parts is the global store-partition count (required; identical on
+	// every member).
+	Parts int
+	// Store is the base store configuration for owned partitions. The
+	// JournalPath is the engine-wide base — each partition derives its
+	// own "<path>.p<i>" segment, so any node can recover any partition's
+	// segment after a handoff (shared or replicated storage in a real
+	// deployment; one directory in tests).
+	Store eventstore.Options
+	// RepublishTopic is the base topic sequenced batches go out on
+	// (default DefaultRepublishTopic; partitioned deployments append
+	// ".p<part>" exactly like the classic aggregator).
+	RepublishTopic string
+	// Recovery is the advertised recovery-server address, set by the
+	// deployment after it wraps the node in a server.
+	Recovery string
+	// EventOverhead is the accounted aggregation cost per event (default
+	// 500ns), spent on the node's ingest throttle: one throttle per node
+	// models each node as the paper's serial aggregator, so aggregate
+	// cluster throughput scales with node count.
+	EventOverhead time.Duration
+	// HeartbeatInterval/FailAfter tune the membership failure detector.
+	HeartbeatInterval time.Duration
+	FailAfter         time.Duration
+	// QueueSize is the intake subscription buffer (default
+	// pipeline.DefaultAggregatorQueue).
+	QueueSize int
+	// Context aborts the node when canceled (Close/Kill remain the
+	// explicit paths). Nil means Background.
+	Context context.Context
+	// Telemetry, when non-nil, mirrors the node under
+	// "fsmon.cluster.<id>". Nil costs nothing.
+	Telemetry *telemetry.Registry
+	// Logger receives component-tagged structured logs; nil discards.
+	Logger *slog.Logger
+}
+
+func (o NodeOptions) withDefaults() NodeOptions {
+	if o.Endpoint == "" {
+		o.Endpoint = "inproc://cluster-node-" + o.ID
+	}
+	if o.Ctl == "" {
+		if len(o.Endpoint) >= 6 && o.Endpoint[:6] == "tcp://" {
+			o.Ctl = "tcp://127.0.0.1:0"
+		} else {
+			o.Ctl = o.Endpoint + ".ctl"
+		}
+	}
+	if o.RepublishTopic == "" {
+		o.RepublishTopic = DefaultRepublishTopic
+	}
+	if o.EventOverhead <= 0 {
+		o.EventOverhead = 500 * time.Nanosecond
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = pipeline.DefaultAggregatorQueue
+	}
+	return o
+}
+
+// NodeStats is a snapshot of a node's counters.
+type NodeStats struct {
+	Received        uint64
+	Stored          uint64
+	Published       uint64
+	StraysForwarded uint64
+	Handoffs        uint64
+	PartitionsOwned int
+	Members         int
+	Epoch           uint64
+}
+
+// Node is one member of the clustered aggregation tier: the PR 3
+// aggregator rebuilt as a dynamic-partition owner. Its pipeline is the
+// same subscribe → store → republish shape, but the partition of every
+// batch is already decided (it rides in the routed topic), ownership of
+// partitions changes with the assignment map, and batches that arrive
+// for a partition the node no longer owns are forwarded to the current
+// owner instead of stored — the zero-loss path during a reassignment
+// window.
+type Node struct {
+	opts NodeOptions
+	pub  *msgq.Pub
+	sub  *msgq.Sub
+	mem  *Membership
+
+	pipe     *pipeline.Pipeline
+	pool     *pipeline.Pool[events.Block]
+	throttle *pace.Throttle
+
+	smu     sync.Mutex
+	stores  map[int]*eventstore.Store
+	applied uint64 // highest assignment epoch applied to the store set
+	boot    bool   // first assignment applied (its acquisitions are not handoffs)
+
+	received  atomic.Uint64
+	stored    atomic.Uint64
+	published atomic.Uint64
+	strays    atomic.Uint64
+	handoffs  atomic.Uint64
+
+	slog      *slog.Logger
+	closeOnce sync.Once
+}
+
+// NewNode creates a node: binds its publisher and join inbox and
+// prepares (but does not start) membership. Callers set Recovery via
+// SetRecovery between NewNode and Start so the advertised address can be
+// derived from the node's own endpoints.
+func NewNode(opts NodeOptions) (*Node, error) {
+	opts = opts.withDefaults()
+	if !ValidID(opts.ID) {
+		return nil, fmt.Errorf("cluster: invalid node ID %q", opts.ID)
+	}
+	if opts.Parts < 1 {
+		return nil, errors.New("cluster: NodeOptions.Parts must be >= 1")
+	}
+	pub := msgq.NewPub(msgq.WithBlockOnFull())
+	if err := pub.Bind(opts.Endpoint); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		opts:     opts,
+		pub:      pub,
+		sub:      msgq.NewSub(msgq.WithRecvBuffer(opts.QueueSize)),
+		pool:     pipeline.NewPool(0, newPoolBlock, (*events.Block).Reset),
+		throttle: pace.NewThrottle(),
+		stores:   make(map[int]*eventstore.Store),
+	}
+	n.slog = telemetry.ComponentLogger(opts.Logger, "node."+opts.ID)
+	n.sub.Subscribe(msgq.NodeSubscription(opts.ID))
+	mem, err := NewMembership(MembershipOptions{
+		Self:      MemberInfo{ID: opts.ID, Endpoint: pub.Addr(), Ctl: opts.Ctl},
+		Pub:       pub,
+		Join:      opts.Join,
+		Parts:     opts.Parts,
+		Interval:  opts.HeartbeatInterval,
+		FailAfter: opts.FailAfter,
+		OnChange:  n.applyAssignment,
+		OnPeer:    func(p MemberInfo) { _ = n.sub.Connect(p.Endpoint) },
+		Logger:    opts.Logger,
+	})
+	if err != nil {
+		pub.Close()
+		return nil, err
+	}
+	n.mem = mem
+	return n, nil
+}
+
+// SetRecovery records the advertised recovery-server address. Must be
+// called before Start.
+func (n *Node) SetRecovery(addr string) { n.mem.opts.Self.Recovery = addr; n.opts.Recovery = addr }
+
+// Start connects the intake, applies the initial (single-member)
+// assignment, starts membership, and builds the pipeline.
+func (n *Node) Start() error {
+	for _, ep := range n.opts.CollectorEndpoints {
+		if err := n.sub.Connect(ep); err != nil {
+			return err
+		}
+	}
+	// A founding node applies its initial self-only map immediately; a
+	// joiner waits for the first view that includes its seeds — opening
+	// every partition store only to release most of them a heartbeat
+	// later would overlap ownership with the current owners.
+	if len(n.opts.Join) == 0 {
+		n.applyAssignment(n.mem.Assignment())
+	}
+	n.mem.Start()
+	n.pipe = pipeline.New(n.opts.Context)
+	intake := pipeline.Source(n.pipe, "subscribe", pipeline.DefaultBatchDepth, n.intakeLoop)
+	lanes := n.opts.Parts
+	stamped := pipeline.ShardN(n.pipe, "store", pipeline.DefaultBatchDepth, lanes, intake,
+		func(pb nodeBatch) int { return pb.part }, n.storeLane)
+	pipeline.Sink(n.pipe, "republish", stamped, n.republishBatch)
+	n.registerTelemetry(n.opts.Telemetry)
+	n.slog.Debug("node started", "endpoint", n.pub.Addr(), "ctl", n.mem.Self().Ctl, "parts", n.opts.Parts)
+	return nil
+}
+
+// newPoolBlock sizes pooled event blocks like the scalable tier does.
+func newPoolBlock() *events.Block {
+	return events.NewBlock(pipeline.DefaultChangelogBatch, 32<<10)
+}
+
+// ID returns the node's member ID.
+func (n *Node) ID() string { return n.opts.ID }
+
+// Endpoint returns the node's bound publisher endpoint.
+func (n *Node) Endpoint() string { return n.pub.Addr() }
+
+// CtlEndpoint returns the node's join inbox address — what other nodes
+// pass as Join.
+func (n *Node) CtlEndpoint() string { return n.mem.Self().Ctl }
+
+// ConnectCollectors attaches additional collector publishers after Start —
+// the deployment order is nodes first (collectors route on the cluster
+// view, which needs running nodes), then collectors, then this hookup.
+func (n *Node) ConnectCollectors(endpoints ...string) error {
+	for _, ep := range endpoints {
+		if err := n.sub.Connect(ep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Membership exposes the node's membership view (routing tables,
+// WaitMembers in tests and deployments).
+func (n *Node) Membership() *Membership { return n.mem }
+
+// Parts returns the global partition count.
+func (n *Node) Parts() int { return n.opts.Parts }
+
+// OwnerTopic implements the collector Router contract against this
+// node's view.
+func (n *Node) OwnerTopic(part int) (string, bool) { return n.mem.OwnerTopic(part) }
+
+// applyAssignment diffs the new map against the owned store set:
+// partitions lost are flushed and closed (their journal segments are the
+// handoff medium), partitions gained are recovered from those segments
+// and continue their sequence lanes. Maps apply in epoch order;
+// duplicates and stale epochs are ignored.
+func (n *Node) applyAssignment(a Assignment) {
+	if a.Owner == nil {
+		return
+	}
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	if a.Epoch <= n.applied {
+		return
+	}
+	n.applied = a.Epoch
+	owned := make(map[int]bool, len(a.Owner))
+	for _, p := range a.Owned(n.opts.ID) {
+		owned[p] = true
+	}
+	for p, st := range n.stores {
+		if owned[p] {
+			continue
+		}
+		if err := st.Close(); err != nil {
+			n.slog.Error("closing released partition", "partition", p, "err", err)
+		}
+		delete(n.stores, p)
+		n.slog.Info("partition released", "partition", p, "epoch", a.Epoch, "owner", a.OwnerOf(p))
+	}
+	for p := range owned {
+		if n.stores[p] != nil {
+			continue
+		}
+		st, err := eventstore.OpenPartitionStore(n.opts.Parts, p, n.opts.Store)
+		if err != nil {
+			n.slog.Error("opening acquired partition", "partition", p, "err", err)
+			continue
+		}
+		n.stores[p] = st
+		if n.boot {
+			n.handoffs.Add(1)
+			n.slog.Info("partition acquired", "partition", p, "epoch", a.Epoch, "last_seq", st.LastSeq())
+		}
+	}
+	n.boot = true
+}
+
+// nodeBatch is one routed message: partition parsed from the topic, plus
+// the wire payload or the shared in-process block.
+type nodeBatch struct {
+	part    int
+	payload []byte
+	blk     *events.Block
+}
+
+// intakeLoop receives routed batches. The partition rides in the topic,
+// so no decode is needed to shard; messages outside the routed namespace
+// (malformed or misaddressed) are dropped with a log line.
+func (n *Node) intakeLoop(ctx context.Context, emit func(nodeBatch) bool) error {
+	for {
+		m, ok := n.sub.Recv(ctx)
+		if !ok {
+			return nil
+		}
+		id, part, ok := msgq.ParseNodeTopic(m.Topic)
+		if !ok || id != n.opts.ID || part >= n.opts.Parts {
+			n.slog.Warn("dropping misaddressed batch", "topic", m.Topic)
+			continue
+		}
+		if !emit(nodeBatch{part: part, payload: m.Payload, blk: m.Block}) {
+			return nil
+		}
+	}
+}
+
+// store returns the owned store for a partition (nil when not owned).
+func (n *Node) store(part int) *eventstore.Store {
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	return n.stores[part]
+}
+
+// storeLane persists one routed batch into its partition's store,
+// assigning the lane's sequence numbers, or forwards it to the current
+// owner when this node does not (or no longer does) own the partition.
+// ShardN guarantees one lane per partition, so within-partition order is
+// preserved through the store.
+func (n *Node) storeLane(ctx context.Context, pb nodeBatch) (repBatch, bool) {
+	blk := pb.blk
+	if blk == nil {
+		blk = n.pool.Get()
+		if err := events.DecodeBlockInto(blk, pb.payload); err != nil {
+			n.pool.Put(blk)
+			n.slog.Warn("dropping undecodable batch", "partition", pb.part, "bytes", len(pb.payload), "err", err)
+			return repBatch{}, false
+		}
+	} else {
+		// In-process pointer fast path: the received block is frozen, so
+		// sequence assignment works on a clone — columns copied, arena
+		// and wire image shared.
+		c := n.pool.Get()
+		c.CloneFrom(blk)
+		blk = c
+	}
+	cnt := blk.Len()
+	if cnt == 0 {
+		n.pool.Put(blk)
+		return repBatch{}, false
+	}
+	n.received.Add(uint64(cnt))
+	for {
+		if st := n.store(pb.part); st != nil {
+			n.throttle.Spend(time.Duration(cnt) * n.opts.EventOverhead)
+			if _, err := st.AppendBlock(blk); err == nil {
+				n.stored.Add(uint64(cnt))
+				return repBatch{part: pb.part, blk: blk, n: cnt}, true
+			} else if n.store(pb.part) == st {
+				// Still the owner: a real store failure, not a handoff
+				// race. Same policy as the classic aggregator — drop the
+				// batch, keep the service.
+				n.slog.Error("store append failed, dropping batch", "partition", pb.part, "events", cnt, "err", err)
+				n.pool.Put(blk)
+				return repBatch{}, false
+			}
+			continue // lost the partition mid-append: re-route
+		}
+		// Not the owner: forward to whoever is. The routed topic goes out
+		// on our own pub — every member's intake is subscribed to its
+		// inbox on every peer pub, so the forward is one hop.
+		if topic, ok := n.mem.OwnerTopic(pb.part); ok && topic != msgq.NodeTopic(n.opts.ID, pb.part) {
+			if delivered, shared := n.pub.PublishBlockCtx(ctx, topic, blk); delivered > 0 {
+				n.strays.Add(uint64(cnt))
+				if !shared {
+					n.pool.Put(blk)
+				}
+				return repBatch{}, false
+			}
+		}
+		// Owner unknown, not yet subscribed, or it is us but the store
+		// has not opened yet (assignment in flight): wait and re-check.
+		select {
+		case <-ctx.Done():
+			n.pool.Put(blk)
+			return repBatch{}, false
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// repBatch is a sequenced batch ready to republish.
+type repBatch struct {
+	part int
+	blk  *events.Block
+	n    int
+}
+
+// republishBatch mirrors the classic aggregator's republish stage: the
+// partition's own topic when the tier is partitioned, the bare base
+// topic when Parts == 1 — byte-identical to the single aggregator.
+func (n *Node) republishBatch(ctx context.Context, rb repBatch) {
+	topic := n.opts.RepublishTopic
+	if n.opts.Parts > 1 {
+		topic = msgq.PartitionTopic(n.opts.RepublishTopic, rb.part)
+	}
+	_, shared := n.pub.PublishBlockCtx(ctx, topic, rb.blk)
+	n.published.Add(uint64(rb.n))
+	if !shared {
+		n.pool.Put(rb.blk)
+	}
+}
+
+// OwnedPartitions returns the sorted partitions this node currently
+// owns. The recovery server sends it alongside query results so the
+// fan-out client can verify cluster-wide coverage.
+func (n *Node) OwnedPartitions() []int {
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	out := make([]int, 0, len(n.stores))
+	for p := range n.stores {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Partitions returns the global partition count (recovery contract).
+func (n *Node) Partitions() int { return n.opts.Parts }
+
+// Since returns up to max events with Seq > seq from the node's owned
+// partitions, merged in global seq order.
+func (n *Node) Since(seq uint64, max int) ([]events.Event, error) {
+	cursors := make([]uint64, n.opts.Parts)
+	for i := range cursors {
+		cursors[i] = seq
+	}
+	return n.SinceVector(cursors, max)
+}
+
+// SinceVector returns up to max events past the per-partition cursors,
+// from owned partitions only, merged in global seq order.
+func (n *Node) SinceVector(cursors []uint64, max int) ([]events.Event, error) {
+	if len(cursors) != n.opts.Parts {
+		return nil, fmt.Errorf("cluster: cursor vector has %d partitions, node has %d", len(cursors), n.opts.Parts)
+	}
+	n.smu.Lock()
+	type owned struct {
+		part int
+		st   *eventstore.Store
+	}
+	stores := make([]owned, 0, len(n.stores))
+	for p, st := range n.stores {
+		stores = append(stores, owned{p, st})
+	}
+	n.smu.Unlock()
+	lists := make([][]events.Event, 0, len(stores))
+	for _, o := range stores {
+		l, err := o.st.Since(cursors[o.part], max)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, l)
+	}
+	return eventstore.MergeBySeq(lists, max), nil
+}
+
+// LastSeqVector returns the highest stored seq per partition, zero for
+// partitions this node does not own.
+func (n *Node) LastSeqVector() []uint64 {
+	out := make([]uint64, n.opts.Parts)
+	n.smu.Lock()
+	for p, st := range n.stores {
+		out[p] = st.LastSeq()
+	}
+	n.smu.Unlock()
+	return out
+}
+
+// AckVector flags, per owned partition i, events up to cursors[i] as
+// reported.
+func (n *Node) AckVector(cursors []uint64) error {
+	if len(cursors) != n.opts.Parts {
+		return fmt.Errorf("cluster: cursor vector has %d partitions, node has %d", len(cursors), n.opts.Parts)
+	}
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	for p, st := range n.stores {
+		if err := st.MarkReported(cursors[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Purge removes reported events from every owned partition.
+func (n *Node) Purge() (int, error) {
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	total := 0
+	for _, st := range n.stores {
+		c, err := st.Purge()
+		total += c
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.smu.Lock()
+	ownedN := len(n.stores)
+	n.smu.Unlock()
+	return NodeStats{
+		Received:        n.received.Load(),
+		Stored:          n.stored.Load(),
+		Published:       n.published.Load(),
+		StraysForwarded: n.strays.Load(),
+		Handoffs:        n.handoffs.Load(),
+		PartitionsOwned: ownedN,
+		Members:         n.mem.Members(),
+		Epoch:           n.mem.Epoch(),
+	}
+}
+
+// registerTelemetry mirrors the node into reg under "fsmon.cluster.<id>"
+// — the per-node cluster surface the watchdog and /healthz read.
+func (n *Node) registerTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := "fsmon.cluster." + n.opts.ID
+	reg.GaugeFunc(prefix+".members", func() float64 { return float64(n.mem.Members()) })
+	reg.GaugeFunc(prefix+".epoch", func() float64 { return float64(n.mem.Epoch()) })
+	reg.GaugeFunc(prefix+".partitions_owned", func() float64 {
+		n.smu.Lock()
+		defer n.smu.Unlock()
+		return float64(len(n.stores))
+	})
+	reg.GaugeFunc(prefix+".handoffs_total", func() float64 { return float64(n.handoffs.Load()) })
+	reg.GaugeFunc(prefix+".heartbeat_age_ms", func() float64 {
+		return float64(n.mem.HeartbeatAge()) / float64(time.Millisecond)
+	})
+	reg.GaugeFunc(prefix+".strays_forwarded", func() float64 { return float64(n.strays.Load()) })
+	reg.GaugeFunc(prefix+".received", func() float64 { return float64(n.received.Load()) })
+	reg.GaugeFunc(prefix+".stored", func() float64 { return float64(n.stored.Load()) })
+}
+
+// shutdown is the shared teardown; graceful controls the leave
+// broadcast.
+func (n *Node) shutdown(graceful bool) {
+	n.closeOnce.Do(func() {
+		n.sub.Close()
+		if n.pipe != nil {
+			n.pipe.Drain(pipeline.DefaultDrainGrace)
+		}
+		n.smu.Lock()
+		for p, st := range n.stores {
+			if err := st.Close(); err != nil {
+				n.slog.Error("closing partition store", "partition", p, "err", err)
+			}
+			delete(n.stores, p)
+		}
+		n.smu.Unlock()
+		if graceful {
+			n.mem.Close()
+		} else {
+			n.mem.Kill()
+		}
+		n.pub.Close()
+	})
+}
+
+// Close stops the node gracefully: the intake drains, owned partitions
+// flush and close, and a leave broadcast lets peers take the partitions
+// over immediately.
+func (n *Node) Close() { n.shutdown(true) }
+
+// Kill stops the node abruptly — no leave broadcast, peers must detect
+// the silence. Tests use it to exercise failure-driven handoff; the
+// partitions' durability is whatever the journal Sync policy guaranteed
+// at the moment of death.
+func (n *Node) Kill() { n.shutdown(false) }

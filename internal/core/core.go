@@ -48,6 +48,17 @@ type Options struct {
 	// (Lustre path only; the local interface-layer store stays single).
 	// 0 = pipeline.DefaultStorePartitions (1, the paper's serial store).
 	StorePartitions int
+	// ClusterNodes deploys the Lustre aggregation tier as a cluster of
+	// this many routed aggregator nodes instead of the single aggregator
+	// (0 = classic). Lustre path only.
+	ClusterNodes int
+	// ClusterJoin lists ctl inboxes of an existing aggregation cluster to
+	// join instead of founding a new one. Lustre path only.
+	ClusterJoin []string
+	// ClusterListen is the first cluster node's publisher bind (e.g.
+	// "tcp://0.0.0.0:7400") so external nodes can subscribe; empty uses
+	// the transport default. Lustre path only.
+	ClusterListen string
 	// Buffer is the DSI event channel capacity (0 = default).
 	Buffer int
 	// Context bounds the monitor's lifetime: it is threaded through every

@@ -57,6 +57,15 @@ type Backend struct {
 	// lanes, republish topics) by MDT index
 	// (0 = pipeline.DefaultStorePartitions, the paper's single store).
 	StorePartitions int
+	// ClusterNodes deploys the aggregation tier as a cluster of this many
+	// routed aggregator nodes instead of the single aggregator
+	// (0 = classic; see scalable.DeployOptions.ClusterNodes).
+	ClusterNodes int
+	// ClusterJoin lists ctl inboxes of an existing cluster to join.
+	ClusterJoin []string
+	// ClusterListen is the first node's publisher bind for external
+	// subscribers; empty uses the transport default.
+	ClusterListen string
 	// Telemetry mirrors the whole deployment (collectors, aggregator,
 	// store, consumer) into the unified registry; nil falls back to
 	// dsi.Config.Telemetry.
@@ -107,6 +116,9 @@ func New(cfg dsi.Config) (dsi.DSI, error) {
 		NegativeTTL:     be.NegativeTTL,
 		ResolveWorkers:  be.ResolveWorkers,
 		StorePartitions: be.StorePartitions,
+		ClusterNodes:    be.ClusterNodes,
+		ClusterJoin:     be.ClusterJoin,
+		ClusterListen:   be.ClusterListen,
 		Transport:       be.Transport,
 		Context:         cfg.Context,
 		Telemetry:       be.Telemetry,

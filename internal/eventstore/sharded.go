@@ -129,6 +129,59 @@ func buildSharded(parts int, opts Options, mk func(Options) (*Store, error)) (*S
 	return s, nil
 }
 
+// validPartition checks a (parts, part) pair for the partition-store
+// constructors.
+func validPartition(parts, part int) error {
+	if parts < 1 {
+		return errors.New("eventstore: partitions must be >= 1")
+	}
+	if part < 0 || part >= parts {
+		return fmt.Errorf("eventstore: partition %d out of range [0,%d)", part, parts)
+	}
+	return nil
+}
+
+// NewPartitionStore creates the single shard holding partition part of a
+// parts-wide engine: the same interleaved sequence lane (part+parts,
+// part+2·parts, ...) and the same journal segment ("<path>.p<part>"
+// when parts > 1) the shard would occupy inside NewSharded(parts, opts).
+// It exists for deployments where one process owns only a subset of the
+// global partitions — a cluster node opens exactly the partitions
+// assigned to it, and because lane and segment are functions of (parts,
+// part) alone, a partition handed off between nodes keeps both.
+func NewPartitionStore(parts, part int, opts Options) (*Store, error) {
+	if err := validPartition(parts, part); err != nil {
+		return nil, err
+	}
+	return New(shardOptions(opts, parts, part))
+}
+
+// OpenPartitionStore recovers partition part of a parts-wide engine from
+// its journal segment (missing segment starts empty), then continues
+// appending on its sequence lane. This is the handoff path: the new
+// owner of a partition replays the old owner's segment and resumes the
+// lane exactly one stride past the last durable seq. Without a
+// JournalPath the partition store is in-memory: the lane restarts at its
+// base, so there is nothing for a handoff to replay — durable handoff
+// requires the journal.
+func OpenPartitionStore(parts, part int, opts Options) (*Store, error) {
+	if err := validPartition(parts, part); err != nil {
+		return nil, err
+	}
+	if opts.JournalPath == "" {
+		return New(shardOptions(opts, parts, part))
+	}
+	return Open(shardOptions(opts, parts, part))
+}
+
+// MergeBySeq k-way merges per-partition slices (each already ordered by
+// Seq) into global Seq order, capped at max (<= 0 = all). Exported for
+// the cluster recovery fan-in, which merges partition streams served by
+// different nodes.
+func MergeBySeq(lists [][]events.Event, max int) []events.Event {
+	return mergeBySeq(lists, max)
+}
+
 // PartitionForPath is the stable fallback partition function: an FNV-1a
 // hash of the event path. Callers that know a better affinity key (the
 // collector's MDT index) should route on that instead; the hash only has

@@ -1,0 +1,47 @@
+package msgq
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff produces capped exponential retry delays with full jitter for
+// transport dial/reconnect paths. Deterministic fixed delays caused a
+// thundering-herd on cluster join: every node that lost a peer redialed
+// on the same schedule, so a restarting publisher absorbed all dial
+// attempts in bursts. Jitter spreads the attempts; the exponential cap
+// bounds steady-state retry load against a peer that is gone for good.
+type backoff struct {
+	base time.Duration // first retry ceiling
+	max  time.Duration // growth cap
+	cur  time.Duration // current ceiling (0 until first next())
+}
+
+func newBackoff(base, max time.Duration) *backoff {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &backoff{base: base, max: max}
+}
+
+// next returns the delay before the following attempt: uniformly random
+// in (0, cur] ("full jitter"), doubling the ceiling up to max.
+func (b *backoff) next() time.Duration {
+	if b.cur <= 0 {
+		b.cur = b.base
+	}
+	d := time.Duration(rand.Int63n(int64(b.cur))) + 1
+	if b.cur < b.max {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	return d
+}
+
+// reset restores the ceiling after a successful attempt.
+func (b *backoff) reset() { b.cur = 0 }

@@ -1,0 +1,71 @@
+package msgq
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := newBackoff(10*time.Millisecond, 80*time.Millisecond)
+	ceilings := []time.Duration{
+		10 * time.Millisecond, // first attempt draws from (0, base]
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, ceil := range ceilings {
+		d := b.next()
+		if d <= 0 || d > ceil {
+			t.Fatalf("attempt %d: delay %v outside (0, %v]", i, d, ceil)
+		}
+	}
+	b.reset()
+	if d := b.next(); d <= 0 || d > 10*time.Millisecond {
+		t.Fatalf("after reset: delay %v outside (0, base]", d)
+	}
+}
+
+func TestBackoffJitterVaries(t *testing.T) {
+	// Full jitter draws uniformly; 64 draws at a 1s ceiling collapsing
+	// to one distinct value would mean the jitter is broken.
+	b := newBackoff(time.Second, time.Second)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		seen[b.next()] = true
+		b.reset()
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 jittered draws produced %d distinct delays", len(seen))
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := newBackoff(0, -1)
+	if b.base != 10*time.Millisecond || b.max != 10*time.Millisecond {
+		t.Fatalf("defaults: base=%v max=%v", b.base, b.max)
+	}
+}
+
+func TestNodeTopics(t *testing.T) {
+	top := NodeTopic("n1", 3)
+	if top != "events.node.n1.p3" {
+		t.Fatalf("NodeTopic = %q", top)
+	}
+	id, part, ok := ParseNodeTopic(top)
+	if !ok || id != "n1" || part != 3 {
+		t.Fatalf("ParseNodeTopic(%q) = %q,%d,%v", top, id, part, ok)
+	}
+	// The subscription prefix for n1 must not match n10's traffic.
+	sub := NodeSubscription("n1")
+	other := NodeTopic("n10", 0)
+	if len(other) >= len(sub) && other[:len(sub)] == sub {
+		t.Fatalf("subscription %q wildcard-matches %q", sub, other)
+	}
+	for _, bad := range []string{"agg.events.p1", "events.node.p1", "events.node.a.b.p1", "events.node.n1"} {
+		if _, _, ok := ParseNodeTopic(bad); ok {
+			t.Fatalf("ParseNodeTopic(%q) unexpectedly ok", bad)
+		}
+	}
+}

@@ -23,6 +23,12 @@ type Pull struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 	received  atomic.Uint64
+	// inMu fences in-process deliveries against Close: unlike the
+	// wg-tracked TCP read loops, inproc senders run on the pusher's
+	// goroutine, so Close must flip inClosed under the write lock before
+	// it may close(out).
+	inMu     sync.RWMutex
+	inClosed bool
 }
 
 // NewPull creates a pull socket with the given receive buffer (0 =
@@ -115,8 +121,15 @@ func (p *Pull) readLoop(conn net.Conn) {
 // attachInproc implements inprocBindable (pushers deliver directly).
 func (p *Pull) attachInproc(peer *inprocPeer) {}
 
-// deliverInproc is the in-process send path.
+// deliverInproc is the in-process send path. The read lock is held
+// across the send so Close cannot close(out) mid-delivery; a blocked
+// sender is unblocked by the closed channel, releasing the lock.
 func (p *Pull) deliverInproc(m Message) bool {
+	p.inMu.RLock()
+	defer p.inMu.RUnlock()
+	if p.inClosed {
+		return false
+	}
 	select {
 	case p.out <- m:
 		p.received.Add(1)
@@ -144,6 +157,13 @@ func (p *Pull) Close() {
 			inprocUnbind(n)
 		}
 		p.mu.Unlock()
+		// In-flight inproc deliveries exit their select once closed
+		// fires; taking the write lock waits them out, and the flag
+		// stops any later sender short of the channel — only then is
+		// closing out safe.
+		p.inMu.Lock()
+		p.inClosed = true
+		p.inMu.Unlock()
 		p.wg.Wait()
 		close(p.out)
 	})
@@ -172,8 +192,12 @@ func NewPush(ep string) (*Push, error) {
 }
 
 // Send delivers the message, blocking until it is accepted by the
-// transport. It returns an error only when the socket is closed.
+// transport. It returns an error only when the socket is closed. Failed
+// dials are retried with capped exponential backoff + jitter, so a
+// sender started before its receiver binds (cluster join ordering)
+// converges without hammering the address.
 func (p *Push) Send(m Message) error {
+	retry := newBackoff(5*time.Millisecond, 500*time.Millisecond)
 	for {
 		select {
 		case <-p.closed:
@@ -193,7 +217,7 @@ func (p *Push) Send(m Message) error {
 			select {
 			case <-p.closed:
 				return fmt.Errorf("msgq: push socket closed")
-			case <-time.After(10 * time.Millisecond):
+			case <-time.After(retry.next()):
 			}
 			continue
 		}
@@ -201,7 +225,7 @@ func (p *Push) Send(m Message) error {
 			select {
 			case <-p.closed:
 				return fmt.Errorf("msgq: push socket closed")
-			case <-time.After(20 * time.Millisecond):
+			case <-time.After(retry.next()):
 			}
 			continue
 		}

@@ -173,10 +173,13 @@ func (s *Sub) notifyReady() {
 	s.mu.Unlock()
 }
 
-// connLoop maintains one endpoint connection across failures.
+// connLoop maintains one endpoint connection across failures. Retries
+// use capped exponential backoff with jitter so a flock of subscribers
+// chasing one restarting publisher (cluster join, node replacement)
+// doesn't redial in lockstep.
 func (s *Sub) connLoop(c *subConn) {
 	defer s.wg.Done()
-	backoff := 10 * time.Millisecond
+	retry := newBackoff(10*time.Millisecond, time.Second)
 	for {
 		select {
 		case <-s.closed:
@@ -193,14 +196,11 @@ func (s *Sub) connLoop(c *subConn) {
 			select {
 			case <-s.closed:
 				return
-			case <-time.After(backoff):
-			}
-			if backoff < time.Second {
-				backoff *= 2
+			case <-time.After(retry.next()):
 			}
 			continue
 		}
-		backoff = 10 * time.Millisecond
+		retry.reset()
 	}
 }
 

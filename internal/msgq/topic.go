@@ -14,6 +14,39 @@ func PartitionTopic(base string, part int) string {
 	return base + ".p" + strconv.Itoa(part)
 }
 
+// NodeTopicPrefix is the topic namespace for cluster-routed event
+// traffic: a collector that knows which aggregator node owns a store
+// partition publishes the slice on NodeTopic(owner, part), and each node
+// subscribes to its own "events.node.<id>." prefix on every collector.
+const NodeTopicPrefix = "events.node."
+
+// NodeTopic derives the routed inbox topic for partition part of the
+// named node: "events.node.<id>.p<part>". Node IDs must not contain '.'
+// so the prefix "events.node.<id>." is unambiguous (id "n1" must not
+// wildcard-match node "n1x"; the trailing dot guarantees it doesn't).
+func NodeTopic(id string, part int) string {
+	return NodeTopicPrefix + id + ".p" + strconv.Itoa(part)
+}
+
+// NodeSubscription is the prefix a node subscribes to receive all
+// partitions routed to it.
+func NodeSubscription(id string) string {
+	return NodeTopicPrefix + id + "."
+}
+
+// ParseNodeTopic splits a routed inbox topic into node ID and partition.
+// ok is false for topics outside the NodeTopicPrefix namespace.
+func ParseNodeTopic(topic string) (id string, part int, ok bool) {
+	if !strings.HasPrefix(topic, NodeTopicPrefix) {
+		return "", 0, false
+	}
+	rest, part, ok := SplitPartition(topic[len(NodeTopicPrefix):])
+	if !ok || rest == "" || strings.Contains(rest, ".") {
+		return "", 0, false
+	}
+	return rest, part, true
+}
+
 // SplitPartition parses a per-partition topic back into its base and
 // partition index. ok is false when topic has no ".p<digits>" suffix.
 func SplitPartition(topic string) (base string, part int, ok bool) {

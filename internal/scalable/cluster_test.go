@@ -1,0 +1,345 @@
+package scalable
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fsmonitor/internal/cluster"
+	"fsmonitor/internal/events"
+	"fsmonitor/internal/eventstore"
+	"fsmonitor/internal/iface"
+	"fsmonitor/internal/msgq"
+)
+
+// TestClusterDeployEndToEnd drives the full clustered deployment: two
+// aggregator nodes, routed collectors, and a consumer subscribed to both
+// nodes, over a live workload.
+func TestClusterDeployEndToEnd(t *testing.T) {
+	cl := testCluster(1)
+	m, err := Deploy(cl, DeployOptions{
+		CacheSize:       100,
+		PollInterval:    time.Millisecond,
+		ClusterNodes:    2,
+		StorePartitions: 4,
+		ClusterStore:    eventstore.Options{JournalPath: filepath.Join(t.TempDir(), "journal")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(m.Nodes) != 2 || m.Aggregator != nil {
+		t.Fatalf("cluster deploy shape: %d nodes, aggregator %v", len(m.Nodes), m.Aggregator)
+	}
+	if m.ClusterParts() != 4 {
+		t.Fatalf("ClusterParts = %d, want 4", m.ClusterParts())
+	}
+	con, err := m.NewConsumer(iface.Filter{Recursive: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer con.Close()
+
+	client := cl.Client()
+	if err := client.MkdirAll("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	const files = 50
+	want := map[string]bool{}
+	for i := 0; i < files; i++ {
+		path := fmt.Sprintf("/dir/file%03d.dat", i)
+		if err := client.Create(path); err != nil {
+			t.Fatal(err)
+		}
+		want[path] = true
+	}
+	got := drainConsumer(con, 500*time.Millisecond)
+	seen := map[string]bool{}
+	for _, e := range got {
+		if e.Seq == 0 {
+			t.Fatalf("event %q missing seq", e.Path)
+		}
+		if seen[e.Path] {
+			t.Fatalf("duplicate event %q", e.Path)
+		}
+		seen[e.Path] = true
+	}
+	for path := range want {
+		if !seen[path] {
+			t.Fatalf("missing event %q (got %d of %d)", path, len(got), files)
+		}
+	}
+	st := m.Stats()
+	if len(st.Nodes) != 2 {
+		t.Fatalf("stats nodes = %d", len(st.Nodes))
+	}
+	var stored uint64
+	for _, ns := range st.Nodes {
+		stored += ns.Stored
+	}
+	if stored < files {
+		t.Fatalf("cluster stored %d events, want >= %d", stored, files)
+	}
+	// Both nodes own partitions in steady state.
+	for i, ns := range st.Nodes {
+		if ns.PartitionsOwned != 2 {
+			t.Fatalf("node %d owns %d partitions, want 2", i, ns.PartitionsOwned)
+		}
+	}
+}
+
+// rawRepublish publishes one pre-marshaled batch into an aggregation tier
+// over TCP and captures the republished wire payload, also over TCP — TCP
+// on both hops forces real encoding on the republish side. makeTier
+// builds the tier subscribed to the given intake endpoint and returns its
+// publisher endpoint plus a cleanup.
+func rawRepublish(t *testing.T, intakeTopic string, payload []byte, makeTier func(intakeEndpoint string) (string, func())) []byte {
+	t.Helper()
+	pub := msgq.NewPub(msgq.WithBlockOnFull())
+	if err := pub.Bind("tcp://127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	tierEndpoint, cleanup := makeTier(pub.Addr())
+	defer cleanup()
+	sub := msgq.NewSub()
+	sub.Subscribe(AggTopic)
+	if err := sub.Connect(tierEndpoint); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pub.PublishCtx(context.Background(), intakeTopic, payload) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("intake never subscribed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, ok := sub.Recv(ctx)
+	if !ok {
+		t.Fatal("no republished batch")
+	}
+	if out.Topic != AggTopic {
+		t.Fatalf("republish topic %q, want %q", out.Topic, AggTopic)
+	}
+	return out.Payload
+}
+
+// TestClusterSingleNodeWireIdentity proves the ISSUE's compatibility bar:
+// a one-node cluster republishes byte-for-byte what the classic
+// single-process aggregator would for the same input batch — same topic,
+// same sequence lane, same wire image.
+func TestClusterSingleNodeWireIdentity(t *testing.T) {
+	batch := []events.Event{
+		{Path: "/a/one.txt", Op: events.OpCreate, Root: "/mnt/lustre", Source: "mdt0"},
+		{Path: "/a/two.txt", Op: events.OpModify, Root: "/mnt/lustre", Source: "mdt0"},
+		{Path: "/b/three.txt", Op: events.OpDelete, Root: "/mnt/lustre", Source: "mdt0"},
+	}
+	payload, err := events.MarshalBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	classic := rawRepublish(t, TopicPrefix+"mdt0", payload, func(intake string) (string, func()) {
+		agg, err := NewAggregator(AggregatorOptions{
+			CollectorEndpoints: []string{intake},
+			Endpoint:           "tcp://127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg.Endpoint(), agg.Close
+	})
+
+	clustered := rawRepublish(t, msgq.NodeTopic("n0", 0), payload, func(intake string) (string, func()) {
+		node, err := cluster.NewNode(cluster.NodeOptions{
+			ID:                 "n0",
+			Endpoint:           "tcp://127.0.0.1:0",
+			CollectorEndpoints: []string{intake},
+			Parts:              1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return node.Endpoint(), node.Close
+	})
+
+	if !bytes.Equal(classic, clustered) {
+		t.Fatalf("single-node cluster wire differs from classic aggregator:\nclassic   %d bytes %x\nclustered %d bytes %x",
+			len(classic), classic, len(clustered), clustered)
+	}
+}
+
+// TestClusterConsumerHandoffRecovery is the ISSUE's exactness bar at the
+// consumer level: a consumer's cursor vector taken before a node dies
+// resumes exactly across the handoff — the fan-out recovery replays every
+// post-cursor event once, including events stored by the dead node and
+// recovered by the survivor, with no loss and no duplicates.
+func TestClusterConsumerHandoffRecovery(t *testing.T) {
+	const parts = 4
+	journal := filepath.Join(t.TempDir(), "journal")
+	newNode := func(id string, join ...string) (*cluster.Node, *RecoveryServer) {
+		n, err := cluster.NewNode(cluster.NodeOptions{
+			ID:                id,
+			Endpoint:          fmt.Sprintf("inproc://handoff-%p-%s", t, id),
+			Join:              join,
+			Parts:             parts,
+			Store:             eventstore.Options{JournalPath: journal, Sync: eventstore.SyncAlways},
+			HeartbeatInterval: 10 * time.Millisecond,
+			FailAfter:         60 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := NewRecoveryServer(n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetRecovery(rec.Addr())
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return n, rec
+	}
+	n0, rec0 := newNode("n0")
+	defer n0.Close()
+	defer rec0.Close()
+	n1, rec1 := newNode("n1", n0.CtlEndpoint())
+	defer n1.Close()
+	for _, n := range []*cluster.Node{n0, n1} {
+		if err := n.Membership().WaitMembers(2, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitOwned := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for len(n0.OwnedPartitions())+len(n1.OwnedPartitions()) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("owned: n0=%v n1=%v", n0.OwnedPartitions(), n1.OwnedPartitions())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitOwned(parts)
+
+	// Routed publisher standing in for the collector tier.
+	col := msgq.NewPub(msgq.WithBlockOnFull())
+	if err := col.Bind(fmt.Sprintf("inproc://handoff-%p-col", t)); err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	for _, n := range []*cluster.Node{n0, n1} {
+		if err := n.ConnectCollectors(col.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alive := []*cluster.Node{n0, n1}
+	publish := func(phase string, count int) map[string]bool {
+		t.Helper()
+		paths := map[string]bool{}
+		for i := 0; i < count; i++ {
+			path := fmt.Sprintf("/%s/f%03d", phase, i)
+			p := eventstore.PartitionForPath(path, parts)
+			payload, err := events.MarshalBatch([]events.Event{{Path: path, Op: events.OpCreate, Root: "/mnt", Source: "test"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				owner := alive[0].Membership().Assignment().OwnerOf(p)
+				if owner != "" {
+					if n := col.PublishCtx(context.Background(), msgq.NodeTopic(owner, p), payload); n > 0 {
+						break
+					}
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("could not deliver %s", path)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			paths[path] = true
+		}
+		return paths
+	}
+
+	fanout := NewRecoveryFanout(parts, rec0.Addr(), rec1.Addr())
+	con1, err := NewConsumer(ConsumerOptions{
+		AggregatorEndpoints: []string{n0.Endpoint(), n1.Endpoint()},
+		Filter:              iface.Filter{Recursive: true},
+		Recover:             fanout,
+		StorePartitions:     parts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase1 := publish("one", 30)
+	got1 := drainConsumer(con1, 400*time.Millisecond)
+	if len(got1) != len(phase1) {
+		t.Fatalf("consumer 1 delivered %d events, want %d", len(got1), len(phase1))
+	}
+	cursors := con1.LastSeqVector()
+	con1.Close()
+
+	// Kill n1 and its recovery server mid-stream; n0 must take over by
+	// journal replay before the next phase lands.
+	n1.Kill()
+	rec1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(n0.OwnedPartitions()) != parts {
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor owns %v", n0.OwnedPartitions())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	phase2 := publish("two", 30)
+	deadline = time.Now().Add(5 * time.Second)
+	for n0.Stats().Stored+n1.Stats().Stored < 60 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stored %d+%d", n0.Stats().Stored, n1.Stats().Stored)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Resume from the pre-handoff cursor vector. The fan-out still lists
+	// the dead node's recovery address: its dial failure must be survived,
+	// with coverage proven by the survivor alone.
+	con2, err := NewConsumer(ConsumerOptions{
+		AggregatorEndpoints: []string{n0.Endpoint()},
+		Filter:              iface.Filter{Recursive: true},
+		Recover:             fanout,
+		SinceVector:         cursors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer con2.Close()
+	got2 := drainConsumer(con2, 400*time.Millisecond)
+	seen := map[string]bool{}
+	for _, e := range got2 {
+		if seen[e.Path] {
+			t.Fatalf("duplicate event %q after resume", e.Path)
+		}
+		seen[e.Path] = true
+		if phase1[e.Path] {
+			t.Fatalf("pre-cursor event %q replayed", e.Path)
+		}
+		if !phase2[e.Path] {
+			t.Fatalf("unexpected event %q", e.Path)
+		}
+	}
+	if len(seen) != len(phase2) {
+		t.Fatalf("resumed consumer saw %d events, want %d", len(seen), len(phase2))
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"fsmonitor/internal/cache"
 	"fsmonitor/internal/events"
+	"fsmonitor/internal/eventstore"
 	"fsmonitor/internal/lustre"
 	"fsmonitor/internal/msgq"
 	"fsmonitor/internal/pipeline"
@@ -44,6 +45,19 @@ const TopicPrefix = "events."
 // parent FID fail to resolve (Algorithm 1 line 41). It is re-exported from
 // the shared resolver layer.
 const ParentDirectoryRemoved = resolve.ParentDirectoryRemoved
+
+// Router maps store partitions to their owning aggregator node. A routed
+// collector publishes each batch slice to the owning node's inbox topic
+// instead of its own per-MDT topic, and re-resolves the owner between
+// delivery retries, so an in-flight batch follows a partition handoff to
+// the new owner. cluster.Membership (observer mode) implements it.
+type Router interface {
+	// Parts is the partition count batches are split by.
+	Parts() int
+	// OwnerTopic returns the owning node's inbox topic for part; false
+	// while the partition is unassigned (a handoff in flight).
+	OwnerTopic(part int) (string, bool)
+}
 
 // CollectorOptions configures one collector service.
 type CollectorOptions struct {
@@ -85,6 +99,14 @@ type CollectorOptions struct {
 	// Endpoint is the msgq endpoint the collector's publisher binds
 	// (default "inproc://collector-mdt<N>").
 	Endpoint string
+	// Router, when non-nil, switches the collector to clustered routing:
+	// each resolved batch is split by the store partition function and
+	// every slice is published to the partition owner's inbox topic. Nil
+	// (the default) publishes whole batches on the classic per-MDT topic.
+	// With Parts() == 1 the whole batch routes to the single owner
+	// unsplit, so a one-node cluster receives the exact bytes a classic
+	// aggregator would.
+	Router Router
 	// EventOverhead is the accounted processing cost per event beyond
 	// resolution (parsing, queueing; default 3µs).
 	EventOverhead time.Duration
@@ -366,8 +388,9 @@ func (c *Collector) resolveBatch(_ context.Context, rb readBatch) (pubBatch, boo
 // one subscriber, then purge the Changelog up to the batch's cursor —
 // "after processing a batch of file system events from the Changelog, a
 // collector will purge the Changelogs." Purging strictly after delivery
-// preserves the no-loss guarantee: if the aggregator is gone the batch's
-// records stay in the Changelog for the next collector.
+// preserves the no-loss guarantee: if the aggregator is gone (or, routed,
+// any slice's owner is) the batch's records stay in the Changelog for the
+// next collector.
 func (c *Collector) publishBatch(ctx context.Context, pb pubBatch) {
 	purge := true
 	if blk := pb.blk; blk != nil && blk.Len() > 0 {
@@ -381,39 +404,22 @@ func (c *Collector) publishBatch(ctx context.Context, pb pubBatch) {
 			tr.Append(events.TierPublish, time.Now().UnixNano())
 			blk.MarkTraceDirty()
 		}
-		published, shared := false, false
-		for !published {
-			if err := c.pub.WaitSubscribed(ctx); err != nil {
-				purge = false
-				break
+		var published bool
+		if c.opts.Router != nil {
+			published = c.publishRouted(ctx, blk)
+		} else {
+			var shared bool
+			published, shared = c.deliver(ctx, c.topic, blk)
+			if published {
+				c.published.Add(uint64(blk.Len()))
 			}
-			// A zero count means no subscriber accepted the batch —
-			// all detached between the wait and the send, or a fresh
-			// TCP link has not registered its topics yet. Pause and
-			// re-wait rather than losing the batch. The block's wire
-			// image is encoded at most once across the retries.
-			n, sh := c.pub.PublishBlockCtx(ctx, c.topic, blk)
-			shared = shared || sh
-			published = n > 0
-			if !published {
-				select {
-				case <-ctx.Done():
-				case <-time.After(c.opts.PollInterval):
-				}
-				if ctx.Err() != nil {
-					purge = false
-					break
-				}
+			if !shared {
+				c.pool.Put(blk)
 			}
 		}
-		if published {
-			c.published.Add(uint64(blk.Len()))
-			if c.publishUS != nil {
-				c.publishUS.ObserveSince(start)
-			}
-		}
-		if !shared {
-			c.pool.Put(blk)
+		purge = published
+		if published && c.publishUS != nil {
+			c.publishUS.ObserveSince(start)
 		}
 	}
 	if purge {
@@ -421,6 +427,135 @@ func (c *Collector) publishBatch(ctx context.Context, pb pubBatch) {
 			c.slog.Warn("changelog purge failed", "since", pb.since, "err", err)
 		}
 	}
+}
+
+// deliver publishes blk on topic until at least one subscriber accepts it
+// or ctx is canceled. A zero count means no subscriber accepted the batch
+// — all detached between the wait and the send, or a fresh TCP link has
+// not registered its topics yet — so pause and re-wait rather than losing
+// the batch; the block's wire image is encoded at most once across the
+// retries. Reports delivery and whether an in-process subscriber now
+// shares the block (a failed delivery never shares).
+func (c *Collector) deliver(ctx context.Context, topic string, blk *events.Block) (ok, shared bool) {
+	for {
+		if err := c.pub.WaitSubscribed(ctx); err != nil {
+			return false, shared
+		}
+		n, sh := c.pub.PublishBlockCtx(ctx, topic, blk)
+		shared = shared || sh
+		if n > 0 {
+			return true, shared
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(c.opts.PollInterval):
+		}
+		if ctx.Err() != nil {
+			return false, shared
+		}
+	}
+}
+
+// routeDeliver publishes blk to the current owner of part, re-resolving
+// the owner between attempts: a batch in flight across a partition
+// handoff retargets to the new owner instead of stalling on the dead
+// one's topic.
+func (c *Collector) routeDeliver(ctx context.Context, part int, blk *events.Block) (ok, shared bool) {
+	for {
+		if topic, assigned := c.opts.Router.OwnerTopic(part); assigned {
+			if err := c.pub.WaitSubscribed(ctx); err != nil {
+				return false, shared
+			}
+			n, sh := c.pub.PublishBlockCtx(ctx, topic, blk)
+			shared = shared || sh
+			if n > 0 {
+				return true, shared
+			}
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(c.opts.PollInterval):
+		}
+		if ctx.Err() != nil {
+			return false, shared
+		}
+	}
+}
+
+// publishRouted splits blk by store partition and delivers each slice to
+// its owning node's inbox topic, reporting whether every slice was
+// delivered (the batch's Changelog records may purge only then). The
+// single-partition cluster routes the whole block unsplit — the owner
+// receives the identical batch a classic aggregator would.
+func (c *Collector) publishRouted(ctx context.Context, blk *events.Block) bool {
+	parts := c.opts.Router.Parts()
+	if parts <= 1 {
+		ok, shared := c.routeDeliver(ctx, 0, blk)
+		if ok {
+			c.published.Add(uint64(blk.Len()))
+		}
+		if !shared {
+			c.pool.Put(blk)
+		}
+		return ok
+	}
+	// Path-hash split over the resolved block, mirroring the partitioned
+	// aggregator's router stage: one pooled view per non-empty partition
+	// over the same arena — no event structs, no string copies. The views
+	// adopt blk's own arena by reference, so blk must outlive every view:
+	// it recycles only below, and never once any view is shared with an
+	// in-process subscriber.
+	views := make([]*events.Block, parts)
+	trace := blk.Trace()
+	tracePart := -1
+	n := blk.Len()
+	for i := 0; i < n; i++ {
+		p := eventstore.PartitionForPathBytes(blk.PathBytes(i), parts)
+		v := views[p]
+		if v == nil {
+			v = c.pool.Get()
+			v.SetStamp(blk.Stamp())
+			views[p] = v
+		}
+		v.AppendFrom(blk, i)
+		if trace != nil && tracePart < 0 && blk.EventKey(i) == trace.ID {
+			tracePart = p
+		}
+	}
+	if trace != nil && tracePart >= 0 {
+		// The trace follows its sampled event: only the view carrying the
+		// event whose key is the trace ID keeps the span chain.
+		tr := &events.BatchTrace{ID: trace.ID, Spans: append([]events.Span(nil), trace.Spans...)}
+		views[tracePart].SetTrace(tr)
+	}
+	all, anyShared := true, false
+	for p, v := range views {
+		if v == nil {
+			continue
+		}
+		if !all {
+			// A previous slice failed (context canceled): release the
+			// rest undelivered. Reset drops their arena alias safely.
+			c.pool.Put(v)
+			continue
+		}
+		ok, sh := c.routeDeliver(ctx, p, v)
+		if ok {
+			c.published.Add(uint64(v.Len()))
+			if sh {
+				anyShared = true
+			} else {
+				c.pool.Put(v)
+			}
+		} else {
+			all = false
+			c.pool.Put(v) // failed deliveries never share
+		}
+	}
+	if !anyShared {
+		c.pool.Put(blk)
+	}
+	return all
 }
 
 // Stats returns a snapshot of the collector's counters.

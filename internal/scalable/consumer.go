@@ -21,6 +21,13 @@ import (
 type ConsumerOptions struct {
 	// AggregatorEndpoint is the aggregator's publisher endpoint.
 	AggregatorEndpoint string
+	// AggregatorEndpoints lists additional aggregator publisher endpoints
+	// the consumer subscribes to — the clustered aggregation tier, where
+	// each node republishes the partitions it owns. The consumer receives
+	// every partition's stream regardless of which node republishes it
+	// (partition handoff moves a topic between endpoints transparently).
+	// At least one of AggregatorEndpoint/AggregatorEndpoints is required.
+	AggregatorEndpoints []string
 	// Filter selects the events this consumer's application wants.
 	// Filtering happens here, at the consumer, "in order to alleviate
 	// potential overheads if a large number of consumers were to ask to
@@ -128,7 +135,7 @@ type Consumer struct {
 // (SinceSeq/SinceVector) is given and a recovery source is configured,
 // missed events are replayed before live delivery begins.
 func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
-	if opts.AggregatorEndpoint == "" {
+	if opts.AggregatorEndpoint == "" && len(opts.AggregatorEndpoints) == 0 {
 		return nil, errors.New("scalable: ConsumerOptions.AggregatorEndpoint is required")
 	}
 	if opts.Buffer <= 0 {
@@ -183,9 +190,15 @@ func NewConsumer(opts ConsumerOptions) (*Consumer, error) {
 	// Prefix subscription: AggTopic also matches the per-partition
 	// topics "agg.events.p<N>" a partitioned aggregator publishes on.
 	c.sub.Subscribe(AggTopic)
-	if err := c.sub.Connect(opts.AggregatorEndpoint); err != nil {
-		c.sub.Close()
-		return nil, err
+	endpoints := opts.AggregatorEndpoints
+	if opts.AggregatorEndpoint != "" {
+		endpoints = append([]string{opts.AggregatorEndpoint}, endpoints...)
+	}
+	for _, ep := range endpoints {
+		if err := c.sub.Connect(ep); err != nil {
+			c.sub.Close()
+			return nil, err
+		}
 	}
 	if err := c.sub.WaitReady(5 * time.Second); err != nil {
 		c.sub.Close()

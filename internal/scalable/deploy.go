@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"time"
 
+	"fsmonitor/internal/cluster"
 	"fsmonitor/internal/eventstore"
 	"fsmonitor/internal/iface"
 	"fsmonitor/internal/lustre"
@@ -50,6 +51,27 @@ type DeployOptions struct {
 	// store — Tables IV/VII re-runs stay calibrated). Ignored when
 	// Store/Engine supply their own partition count.
 	StorePartitions int
+	// ClusterNodes deploys the aggregation tier as a cluster of this many
+	// aggregator nodes (internal/cluster) instead of the single
+	// Aggregator: collectors route each batch slice to the partition
+	// owner's inbox topic, every node stores and republishes the
+	// partitions it owns, and consumers recover through a fan-out across
+	// all nodes' recovery servers. 0 (the default) keeps the classic
+	// single-aggregator deployment; Store/Engine are ignored when
+	// clustered (use ClusterStore). StorePartitions is raised to at least
+	// ClusterNodes so every node owns work.
+	ClusterNodes int
+	// ClusterJoin lists ctl inboxes of an existing cluster's members:
+	// the deployed nodes join that cluster instead of founding their own.
+	ClusterJoin []string
+	// ClusterListen is the first deployed node's publisher bind (e.g.
+	// "tcp://0.0.0.0:7400") so nodes on other machines can join it;
+	// empty uses the Transport default.
+	ClusterListen string
+	// ClusterStore is the nodes' base store configuration: JournalPath is
+	// the engine-wide base every partition derives its "<path>.p<i>"
+	// segment from (the handoff medium). The zero value is in-memory.
+	ClusterStore eventstore.Options
 	// BatchSize overrides the collectors' Changelog read batch.
 	BatchSize int
 	// PollInterval overrides the collectors' idle poll.
@@ -67,12 +89,19 @@ type DeployOptions struct {
 	Logger *slog.Logger
 }
 
-// Monitor is a running scalable-monitor deployment.
+// Monitor is a running scalable-monitor deployment. Exactly one of
+// Aggregator (classic) and Nodes (clustered) is populated.
 type Monitor struct {
 	Collectors []*Collector
 	Aggregator *Aggregator
+	// Nodes are the in-process members of the clustered aggregation tier
+	// (DeployOptions.ClusterNodes > 0).
+	Nodes      []*cluster.Node
 	cluster    *lustre.Cluster
 	opts       DeployOptions
+	router     *cluster.Membership // collector-side observer view (clustered only)
+	recoveries []*RecoveryServer   // one per in-process node (clustered only)
+	parts      int                 // cluster partition count
 }
 
 // Deploy starts a collector on every MDS of the cluster and an aggregator
@@ -82,6 +111,9 @@ type Monitor struct {
 func Deploy(cluster *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 	if opts.MountPoint == "" {
 		opts.MountPoint = "/mnt/lustre"
+	}
+	if opts.ClusterNodes > 0 || len(opts.ClusterJoin) > 0 || opts.ClusterListen != "" {
+		return deployCluster(cluster, opts)
 	}
 	m := &Monitor{cluster: cluster, opts: opts}
 	endpoints := make([]string, 0, cluster.NumMDS())
@@ -140,10 +172,14 @@ func Deploy(cluster *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 	return m, nil
 }
 
-// NewConsumer attaches a consumer to this deployment's aggregator with
-// in-process fault recovery. The consumer adopts the aggregator's
-// partition count automatically.
+// NewConsumer attaches a consumer to this deployment's aggregation tier
+// with fault recovery. The consumer adopts the tier's partition count
+// automatically; against a cluster it subscribes to every node and
+// recovers through the fan-out.
 func (m *Monitor) NewConsumer(filter iface.Filter, sinceSeq uint64) (*Consumer, error) {
+	if m.router != nil {
+		return m.newClusterConsumer(filter, sinceSeq, nil)
+	}
 	return NewConsumer(ConsumerOptions{
 		AggregatorEndpoint: m.Aggregator.Endpoint(),
 		Filter:             filter,
@@ -158,8 +194,11 @@ func (m *Monitor) NewConsumer(filter iface.Filter, sinceSeq uint64) (*Consumer, 
 
 // NewConsumerVector attaches a consumer resuming from per-partition
 // cursors (a previous consumer's LastSeqVector) — the precise restart path
-// for partitioned deployments.
+// for partitioned and clustered deployments.
 func (m *Monitor) NewConsumerVector(filter iface.Filter, sinceVector []uint64) (*Consumer, error) {
+	if m.router != nil {
+		return m.newClusterConsumer(filter, 0, sinceVector)
+	}
 	return NewConsumer(ConsumerOptions{
 		AggregatorEndpoint: m.Aggregator.Endpoint(),
 		Filter:             filter,
@@ -185,6 +224,9 @@ func (m *Monitor) ResetAccounting() {
 type Stats struct {
 	Collectors []CollectorStats
 	Aggregator AggregatorStats
+	// Nodes holds per-node snapshots of the clustered aggregation tier
+	// (empty for classic deployments).
+	Nodes []cluster.NodeStats
 }
 
 // Stats returns a deployment-wide snapshot.
@@ -196,13 +238,26 @@ func (m *Monitor) Stats() Stats {
 	if m.Aggregator != nil {
 		st.Aggregator = m.Aggregator.Stats()
 	}
+	for _, n := range m.Nodes {
+		st.Nodes = append(st.Nodes, n.Stats())
+	}
 	return st
 }
 
-// Close stops every component (collectors first, then the aggregator).
+// Close stops every component upstream-first: collectors, then the
+// routing observer, the recovery servers, and the aggregation tier.
 func (m *Monitor) Close() {
 	for _, c := range m.Collectors {
 		c.Close()
+	}
+	if m.router != nil {
+		m.router.Close()
+	}
+	for _, r := range m.recoveries {
+		r.Close()
+	}
+	for _, n := range m.Nodes {
+		n.Close()
 	}
 	if m.Aggregator != nil {
 		m.Aggregator.Close()

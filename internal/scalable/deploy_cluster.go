@@ -1,0 +1,227 @@
+package scalable
+
+import (
+	"fmt"
+	"time"
+
+	"fsmonitor/internal/cluster"
+	"fsmonitor/internal/iface"
+	"fsmonitor/internal/lustre"
+	"fsmonitor/internal/metrics"
+	"fsmonitor/internal/pipeline"
+)
+
+// clusterReadyTimeout bounds the deployment's wait for membership
+// convergence and full partition coverage.
+const clusterReadyTimeout = 10 * time.Second
+
+// deployCluster is Deploy's clustered path: N aggregator nodes replace
+// the single Aggregator. The order matters — nodes first (and their
+// recovery servers, so the advertised address rides in the join hello),
+// then the routing observer (which needs a live member to join), then the
+// collectors (whose Router is the observer's view), and finally the
+// node-side subscriptions to the collectors.
+func deployCluster(lc *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
+	nodes := opts.ClusterNodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	parts := opts.StorePartitions
+	if parts <= 0 {
+		parts = pipeline.DefaultStorePartitions
+	}
+	if parts < nodes {
+		// Every node must own at least one partition to contribute.
+		parts = nodes
+	}
+	m := &Monitor{cluster: lc, opts: opts, parts: parts}
+
+	for i := 0; i < nodes; i++ {
+		id := fmt.Sprintf("n%d", i)
+		ep := fmt.Sprintf("inproc://clnode-%p-%s", m, id)
+		if opts.Transport == "tcp" {
+			ep = "tcp://127.0.0.1:0"
+		}
+		if i == 0 && opts.ClusterListen != "" {
+			ep = opts.ClusterListen
+		}
+		join := opts.ClusterJoin
+		if i > 0 {
+			join = append([]string{m.Nodes[0].CtlEndpoint()}, opts.ClusterJoin...)
+		}
+		n, err := cluster.NewNode(cluster.NodeOptions{
+			ID:        id,
+			Endpoint:  ep,
+			Join:      join,
+			Parts:     parts,
+			Store:     opts.ClusterStore,
+			Context:   opts.Context,
+			Telemetry: opts.Telemetry,
+			Logger:    opts.Logger,
+		})
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.Nodes = append(m.Nodes, n)
+		rec, err := NewRecoveryServer(n, "127.0.0.1:0")
+		if err != nil {
+			n.Close()
+			m.Close()
+			return nil, err
+		}
+		m.recoveries = append(m.recoveries, rec)
+		n.SetRecovery(rec.Addr())
+		if err := n.Start(); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	for _, n := range m.Nodes {
+		if err := n.Membership().WaitMembers(nodes, clusterReadyTimeout); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	// With no external members, the in-process nodes must converge on
+	// full coverage before collectors start routing; joining an existing
+	// cluster leaves coverage to members this process cannot see.
+	if len(opts.ClusterJoin) == 0 {
+		deadline := time.Now().Add(clusterReadyTimeout)
+		for {
+			owned := 0
+			for _, n := range m.Nodes {
+				owned += len(n.OwnedPartitions())
+			}
+			if owned == parts {
+				break
+			}
+			if time.Now().After(deadline) {
+				m.Close()
+				return nil, fmt.Errorf("scalable: cluster owns %d/%d partitions after %v", owned, parts, clusterReadyTimeout)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// The routing observer: a receive-only membership participant whose
+	// view the collectors resolve partition owners against. It owns no
+	// partitions and broadcasts no heartbeats.
+	obsCtl := fmt.Sprintf("inproc://clrouter-%p.ctl", m)
+	if opts.Transport == "tcp" || len(opts.ClusterJoin) > 0 {
+		obsCtl = "tcp://127.0.0.1:0"
+	}
+	obsJoin := append([]string{m.Nodes[0].CtlEndpoint()}, opts.ClusterJoin...)
+	router, err := cluster.NewMembership(cluster.MembershipOptions{
+		Self:     cluster.MemberInfo{ID: "router", Ctl: obsCtl},
+		Observer: true,
+		Join:     obsJoin,
+		Parts:    parts,
+		Logger:   opts.Logger,
+	})
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	m.router = router
+	router.Start()
+	if err := router.WaitMembers(nodes, clusterReadyTimeout); err != nil {
+		m.Close()
+		return nil, err
+	}
+
+	endpoints := make([]string, 0, lc.NumMDS())
+	for i := 0; i < lc.NumMDS(); i++ {
+		ep := fmt.Sprintf("inproc://collector-%p-mdt%d", m, i)
+		if opts.Transport == "tcp" {
+			ep = "tcp://127.0.0.1:0"
+		}
+		col, err := NewCollector(CollectorOptions{
+			Cluster:        lc,
+			MDT:            i,
+			MountPoint:     opts.MountPoint,
+			CacheSize:      opts.CacheSize,
+			CacheShards:    opts.CacheShards,
+			NegativeTTL:    opts.NegativeTTL,
+			ResolveWorkers: opts.ResolveWorkers,
+			Endpoint:       ep,
+			Router:         router,
+			BatchSize:      opts.BatchSize,
+			PollInterval:   opts.PollInterval,
+			Context:        opts.Context,
+			Telemetry:      opts.Telemetry,
+			Logger:         opts.Logger,
+		})
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.Collectors = append(m.Collectors, col)
+		endpoints = append(endpoints, col.Endpoint())
+	}
+	for _, n := range m.Nodes {
+		if err := n.ConnectCollectors(endpoints...); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	metrics.Register(opts.Telemetry)
+	return m, nil
+}
+
+// clusterEndpoints gathers the current member publisher endpoints and
+// recovery addresses: the in-process nodes first (deterministic order),
+// then anything else the observer's view knows (nodes joined from other
+// processes).
+func (m *Monitor) clusterEndpoints() (eps, recovery []string) {
+	seenEP := map[string]bool{}
+	seenRec := map[string]bool{}
+	add := func(ep, rec string) {
+		if ep != "" && !seenEP[ep] {
+			seenEP[ep] = true
+			eps = append(eps, ep)
+		}
+		if rec != "" && !seenRec[rec] {
+			seenRec[rec] = true
+			recovery = append(recovery, rec)
+		}
+	}
+	for i, n := range m.Nodes {
+		rec := ""
+		if i < len(m.recoveries) {
+			rec = m.recoveries[i].Addr()
+		}
+		add(n.Endpoint(), rec)
+	}
+	for _, p := range m.router.Peers() {
+		add(p.Endpoint, p.Recovery)
+	}
+	return eps, recovery
+}
+
+// newClusterConsumer attaches a consumer to the clustered tier: subscribed
+// to every node's republish stream, recovering through the coverage-checked
+// fan-out across every node's recovery server.
+func (m *Monitor) newClusterConsumer(filter iface.Filter, sinceSeq uint64, sinceVector []uint64) (*Consumer, error) {
+	eps, recs := m.clusterEndpoints()
+	return NewConsumer(ConsumerOptions{
+		AggregatorEndpoints: eps,
+		Filter:              filter,
+		Recover:             NewRecoveryFanout(m.parts, recs...),
+		SinceSeq:            sinceSeq,
+		SinceVector:         sinceVector,
+		StorePartitions:     m.parts,
+		Context:             m.opts.Context,
+		Telemetry:           m.opts.Telemetry,
+		Logger:              m.opts.Logger,
+	})
+}
+
+// ClusterParts returns the clustered tier's partition count (0 for
+// classic deployments).
+func (m *Monitor) ClusterParts() int {
+	if m.router == nil {
+		return 0
+	}
+	return m.parts
+}

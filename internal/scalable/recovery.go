@@ -23,8 +23,21 @@ const (
 	recoveryBatchTopic  = "batch"
 	recoveryEndTopic    = "end"
 	recoveryErrTopic    = "error"
-	recoveryBatchMax    = 1024
+	// recoveryOwnedTopic is the optional coverage frame a partition-owning
+	// source (a cluster node) sends first in a "sincev" response: the
+	// partitions its answer actually covers. Sources without
+	// OwnedPartitions never send it, so the classic recovery wire is
+	// untouched; clients ignore the frame unless they asked for coverage.
+	recoveryOwnedTopic = "owned"
+	recoveryBatchMax   = 1024
 )
+
+// PartitionOwner is the optional recovery-source extension a clustered
+// store implements: which partitions its answers cover. The recovery
+// server advertises it to fan-out clients via the "owned" frame.
+type PartitionOwner interface {
+	OwnedPartitions() []int
+}
 
 // RecoveryServer serves the recovery API over TCP.
 type RecoveryServer struct {
@@ -81,6 +94,13 @@ func (s *RecoveryServer) serve(conn net.Conn) {
 			if cursors == nil {
 				_ = msgq.WriteFrame(w, msgq.Message{Topic: recoveryErrTopic, Payload: []byte("bad cursor vector")})
 				return
+			}
+			if po, ok := s.src.(PartitionOwner); ok {
+				// Coverage header: only partition-owning sources send it,
+				// so a classic aggregator's response stream is unchanged.
+				if err := msgq.WriteFrame(w, msgq.Message{Topic: recoveryOwnedTopic, Payload: encodeParts(po.OwnedPartitions())}); err != nil {
+					return
+				}
 			}
 			if vsrc, ok := s.src.(VectorRecoverySource); ok {
 				next = vectorQuery(vsrc, cursors)
@@ -172,49 +192,88 @@ func NewRecoveryClient(addr string) *RecoveryClient {
 
 // Since implements RecoverySource over the wire.
 func (c *RecoveryClient) Since(seq uint64, max int) ([]events.Event, error) {
-	return c.request(msgq.Message{Topic: recoveryReqTopic, Payload: encodeSeq(seq)}, max)
+	evs, _, err := c.request(msgq.Message{Topic: recoveryReqTopic, Payload: encodeSeq(seq)}, max)
+	return evs, err
 }
 
 // SinceVector implements VectorRecoverySource over the wire. Remote
 // consumers pass their per-partition cursors (ConsumerOptions.SinceVector
 // feeds them automatically).
 func (c *RecoveryClient) SinceVector(cursors []uint64, max int) ([]events.Event, error) {
+	evs, _, err := c.SinceVectorOwned(cursors, max)
+	return evs, err
+}
+
+// SinceVectorOwned is the fan-out form of SinceVector: alongside the
+// events it returns the partitions the server's store actually covers —
+// the "owned" frame a cluster node sends. owned is nil when the server is
+// a classic single store serving every partition.
+func (c *RecoveryClient) SinceVectorOwned(cursors []uint64, max int) ([]events.Event, []int, error) {
 	return c.request(msgq.Message{Topic: recoveryVecReqTopic, Payload: encodeSeqVector(cursors)}, max)
 }
 
-func (c *RecoveryClient) request(req msgq.Message, max int) ([]events.Event, error) {
+func (c *RecoveryClient) request(req msgq.Message, max int) ([]events.Event, []int, error) {
 	conn, err := net.Dial("tcp", c.addr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	if err := msgq.WriteFrame(w, req); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []events.Event
+	var owned []int
 	for {
 		f, err := msgq.ReadFrame(r)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch f.Topic {
+		case recoveryOwnedTopic:
+			if owned = decodeParts(f.Payload); owned == nil {
+				return nil, nil, fmt.Errorf("scalable: recovery server: bad coverage frame")
+			}
 		case recoveryBatchTopic:
 			batch, err := events.UnmarshalBatch(f.Payload)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			out = append(out, batch...)
 			if max > 0 && len(out) >= max {
-				return out[:max], nil
+				return out[:max], owned, nil
 			}
 		case recoveryEndTopic:
-			return out, nil
+			return out, owned, nil
 		case recoveryErrTopic:
-			return nil, fmt.Errorf("scalable: recovery server: %s", f.Payload)
+			return nil, nil, fmt.Errorf("scalable: recovery server: %s", f.Payload)
 		default:
-			return nil, fmt.Errorf("scalable: unexpected recovery frame %q", f.Topic)
+			return nil, nil, fmt.Errorf("scalable: unexpected recovery frame %q", f.Topic)
 		}
 	}
+}
+
+// encodeParts/decodeParts frame a partition list for the "owned" coverage
+// frame, reusing the cursor-vector encoding. An empty list (a node that
+// currently owns nothing) round-trips as a non-nil empty slice so it stays
+// distinguishable from "frame absent".
+func encodeParts(parts []int) []byte {
+	v := make([]uint64, len(parts))
+	for i, p := range parts {
+		v[i] = uint64(p)
+	}
+	return encodeSeqVector(v)
+}
+
+func decodeParts(b []byte) []int {
+	v := decodeSeqVector(b)
+	if v == nil {
+		return nil
+	}
+	out := make([]int, len(v))
+	for i, p := range v {
+		out[i] = int(p)
+	}
+	return out
 }

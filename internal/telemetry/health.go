@@ -110,6 +110,12 @@ type HealthOptions struct {
 	// ErrorRatePerSec is the fid2path real-error rate above which the
 	// stale-FID/error spike rule fires (default 1/s).
 	ErrorRatePerSec float64
+	// HeartbeatLapseMS is the cluster-node heartbeat age (milliseconds
+	// since the node last heard any peer) above which the
+	// heartbeat-lapse rule flags the cluster tier degraded (default
+	// 1000ms). Single-node clusters never lapse: a node with no peers
+	// reports zero age.
+	HeartbeatLapseMS float64
 	// Logger receives transition warnings (tier ok→degraded→stalled and
 	// recoveries); nil discards.
 	Logger *slog.Logger
@@ -124,6 +130,9 @@ func (o HealthOptions) withDefaults() HealthOptions {
 	}
 	if o.ErrorRatePerSec <= 0 {
 		o.ErrorRatePerSec = 1
+	}
+	if o.HeartbeatLapseMS <= 0 {
+		o.HeartbeatLapseMS = 1000
 	}
 	return o
 }
@@ -158,6 +167,9 @@ type Health struct {
 //     growing for K windows
 //   - stale-FID / resolution error spike: fid2path real-error rate above
 //     ErrorRatePerSec over the last window
+//   - cluster heartbeat lapse: an aggregator node's peer-heartbeat age
+//     above HeartbeatLapseMS in the newest sample — a member is late and
+//     handoff may be imminent
 //
 // Rules discover their metrics by name pattern from the newest sample, so
 // one model covers any deployment shape (N MDTs, P partitions) without
@@ -178,6 +190,7 @@ func NewHealth(s *Sampler, opts HealthOptions) *Health {
 		{Name: "cursor-lag-growth", Eval: growthRule(".cursor_lag.", "consumer cursor lag growing")},
 		{Name: "changelog-backlog-growth", Eval: growthRule(".changelog_lag", "changelog backlog growing")},
 		{Name: "resolution-error-spike", Eval: errorSpikeRule},
+		{Name: "cluster-heartbeat-lapse", Eval: heartbeatLapseRule},
 	}
 	return h
 }
@@ -438,6 +451,32 @@ func errorSpikeRule(s *Sampler, o HealthOptions) []Finding {
 				Tier:   tierOf(name),
 				Status: StatusDegraded,
 				Reason: fmt.Sprintf("%s: %.1f errors/s (threshold %.1f)", name, rate, o.ErrorRatePerSec),
+			})
+		}
+	}
+	return out
+}
+
+// heartbeatLapseRule: a cluster node reporting a peer-heartbeat age above
+// the threshold has lost contact with at least one member — the membership
+// protocol is about to declare that peer dead and hand its partitions off.
+// A single point suffices (age is already a duration, not a rate): by the
+// time K windows of silence accumulate the handoff has happened.
+func heartbeatLapseRule(s *Sampler, o HealthOptions) []Finding {
+	var out []Finding
+	for _, name := range s.names() {
+		if !strings.HasSuffix(name, ".heartbeat_age_ms") {
+			continue
+		}
+		pts := s.Series(name)
+		if len(pts) == 0 {
+			continue
+		}
+		if age := pts[len(pts)-1].V; age > o.HeartbeatLapseMS {
+			out = append(out, Finding{
+				Tier:   tierOf(name),
+				Status: StatusDegraded,
+				Reason: fmt.Sprintf("%s: peer heartbeat %.0fms old (threshold %.0fms)", name, age, o.HeartbeatLapseMS),
 			})
 		}
 	}

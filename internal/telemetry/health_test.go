@@ -298,3 +298,47 @@ func TestHealthCustomRule(t *testing.T) {
 		t.Fatalf("custom rule not evaluated: %+v", rep)
 	}
 }
+
+// TestHealthHeartbeatLapse: a cluster node whose peer-heartbeat age
+// crosses HeartbeatLapseMS degrades the cluster tier; a fresh heartbeat
+// clears it.
+func TestHealthHeartbeatLapse(t *testing.T) {
+	reg := NewRegistry()
+	var ageMS atomic.Int64
+	reg.GaugeFunc("fsmon.cluster.n0.heartbeat_age_ms", func() float64 { return float64(ageMS.Load()) })
+	s := startStoppedSampler(t, reg, 16)
+	h := NewHealth(s, HealthOptions{HeartbeatLapseMS: 500})
+	defer h.Close()
+
+	ageMS.Store(40)
+	s.SampleNow()
+	if rep := h.Evaluate(); rep.Status != StatusOK {
+		t.Fatalf("fresh heartbeat reported %v: %+v", rep.Status, rep.Tiers)
+	}
+
+	ageMS.Store(750)
+	s.SampleNow()
+	rep := h.Evaluate()
+	if rep.Status != StatusDegraded {
+		t.Fatalf("lapsed heartbeat reported %v: %+v", rep.Status, rep.Tiers)
+	}
+	found := false
+	for _, v := range rep.Tiers {
+		if v.Tier == "cluster" && v.Status == StatusDegraded {
+			found = true
+			if len(v.Reasons) == 0 || !strings.Contains(v.Reasons[0], "heartbeat") {
+				t.Errorf("cluster verdict lacks heartbeat reason: %+v", v)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("cluster tier not degraded: %+v", rep.Tiers)
+	}
+
+	// The node hears a peer again: the next sample clears the verdict.
+	ageMS.Store(10)
+	s.SampleNow()
+	if rep := h.Evaluate(); rep.Status != StatusOK {
+		t.Fatalf("recovered heartbeat still %v: %+v", rep.Status, rep.Tiers)
+	}
+}
