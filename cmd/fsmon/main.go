@@ -89,6 +89,8 @@ func main() {
 	clusterNodes := flag.Int("cluster-nodes", 0, "with -lustre: deploy the aggregation tier as this many routed aggregator nodes (0 = single aggregator)")
 	clusterJoin := flag.String("cluster-join", "", "with -lustre: comma-separated ctl inboxes of an existing aggregation cluster to join")
 	clusterListen := flag.String("cluster-listen", "", "with -lustre: first node's publisher bind for external subscribers, e.g. tcp://0.0.0.0:7400")
+	clusterPrefix := flag.String("cluster-node-prefix", "", "with -lustre: member-ID prefix for the deployed cluster nodes (default: \"n\" founding, host+pid when joining)")
+	clusterAdvertise := flag.String("cluster-advertise", "", "with -lustre: externally reachable host advertised for cluster addresses bound on a wildcard host")
 	demo := flag.Bool("demo", false, "with -lustre: run the Evaluate_Output_Script workload and exit")
 	stats := flag.Bool("stats", false, "print layer statistics on exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry at this address (/metrics, /metrics/history, /metrics/prom, /traces, /healthz, /debug/pprof)")
@@ -231,6 +233,12 @@ func main() {
 		if *clusterListen != "" {
 			lopts = append(lopts, fsmonitor.WithClusterListen(*clusterListen))
 		}
+		if *clusterPrefix != "" {
+			lopts = append(lopts, fsmonitor.WithClusterNodePrefix(*clusterPrefix))
+		}
+		if *clusterAdvertise != "" {
+			lopts = append(lopts, fsmonitor.WithClusterAdvertise(*clusterAdvertise))
+		}
 		m, err = fsmonitor.WatchLustre(cluster, "/mnt/lustre", *cache, lopts...)
 	default:
 		if flag.NArg() != 1 {
@@ -255,6 +263,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsmon: monitoring via %s DSI (mounts: %s)\n", m.DSIName(), strings.Join(mts, " "))
 	} else {
 		fmt.Fprintf(os.Stderr, "fsmon: monitoring via %s DSI\n", m.DSIName())
+	}
+	for _, cm := range m.ClusterMembers() {
+		fmt.Fprintf(os.Stderr, "fsmon: cluster member %s: events %s, join %s, recovery %s\n",
+			cm.ID, cm.Endpoint, cm.Ctl, cm.Recovery)
 	}
 	if *metricsAddr != "" {
 		srv, err := fsmonitor.ServeTelemetry(*metricsAddr, reg)

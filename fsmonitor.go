@@ -244,6 +244,29 @@ func WithClusterListen(endpoint string) Option {
 	return func(o *core.Options) { o.ClusterListen = endpoint }
 }
 
+// WithClusterNodePrefix prefixes the deployed nodes' cluster member IDs
+// ("<prefix>0".."<prefix>N-1"). Every member of a cluster needs a unique
+// ID; without this option a founding process uses the stable "n" prefix
+// and a joining process derives a host+pid prefix, so two processes
+// never collide. The prefix must not contain '.'. Lustre path only.
+func WithClusterNodePrefix(prefix string) Option {
+	return func(o *core.Options) { o.ClusterNodePrefix = prefix }
+}
+
+// WithClusterAdvertise sets the externally reachable host substituted
+// into every advertised cluster address (publishers, join inboxes,
+// recovery servers). Required when WithClusterListen binds a wildcard
+// host ("0.0.0.0") that machines elsewhere cannot dial back. Lustre
+// path only.
+func WithClusterAdvertise(host string) Option {
+	return func(o *core.Options) { o.ClusterAdvertise = host }
+}
+
+// ClusterMember identifies one member of a clustered aggregation tier:
+// its ID and the addresses peers join (Ctl) and consumers dial
+// (Endpoint, Recovery). Monitor.ClusterMembers returns them.
+type ClusterMember = dsi.ClusterMember
+
 // WithBatch tunes resolution-layer batching (§III-A2's batching
 // optimization).
 func WithBatch(size int) Option {
@@ -434,12 +457,14 @@ func WatchLustre(cluster *LustreCluster, mount string, cacheSize int, opts ...Op
 	// WithStorePartitions reach the deployment; WithBackend still wins.
 	if o.Backend == nil {
 		o.Backend = &lustredsi.Backend{
-			Cluster:         cluster,
-			CacheSize:       size,
-			StorePartitions: o.StorePartitions,
-			ClusterNodes:    o.ClusterNodes,
-			ClusterJoin:     o.ClusterJoin,
-			ClusterListen:   o.ClusterListen,
+			Cluster:           cluster,
+			CacheSize:         size,
+			StorePartitions:   o.StorePartitions,
+			ClusterNodes:      o.ClusterNodes,
+			ClusterJoin:       o.ClusterJoin,
+			ClusterListen:     o.ClusterListen,
+			ClusterNodePrefix: o.ClusterNodePrefix,
+			ClusterAdvertise:  o.ClusterAdvertise,
 		}
 	}
 	return core.New(o)

@@ -21,6 +21,7 @@ package cluster
 
 import (
 	"hash/fnv"
+	"net"
 	"sort"
 	"strconv"
 	"strings"
@@ -49,6 +50,31 @@ type MemberInfo struct {
 // ValidID reports whether id is usable as a member ID.
 func ValidID(id string) bool {
 	return id != "" && !strings.Contains(id, ".")
+}
+
+// AdvertiseEndpoint rewrites the host of a bound address to the
+// externally reachable one — a node that binds "tcp://0.0.0.0:7400" must
+// advertise a host peers can actually dial. bound may be a msgq endpoint
+// ("tcp://host:port") or a bare "host:port" (recovery-server addresses);
+// the port is always kept from the bind (ports are per-socket, the
+// advertised host is shared). An empty host, an inproc endpoint, or an
+// unparseable address returns bound unchanged.
+func AdvertiseEndpoint(bound, host string) string {
+	if host == "" || bound == "" {
+		return bound
+	}
+	scheme, rest := "", bound
+	if i := strings.Index(bound, "://"); i >= 0 {
+		scheme, rest = bound[:i+3], bound[i+3:]
+		if scheme != "tcp://" {
+			return bound
+		}
+	}
+	_, port, err := net.SplitHostPort(rest)
+	if err != nil {
+		return bound
+	}
+	return scheme + net.JoinHostPort(host, port)
 }
 
 // Assignment is an epoch-numbered partition→owner map. It is a pure

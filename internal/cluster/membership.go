@@ -50,12 +50,20 @@ type MembershipOptions struct {
 	// peer is expired (default 4×Interval).
 	Interval  time.Duration
 	FailAfter time.Duration
+	// Advertise, when non-empty, is the externally reachable host
+	// substituted into the advertised ctl address — required when the ctl
+	// inbox binds a wildcard address (0.0.0.0) that peers cannot dial.
+	Advertise string
 	// OnChange is called (from the membership goroutine) with each new
 	// assignment map. Callbacks must apply maps idempotently and in
 	// epoch order — stale epochs may be delivered and must be ignored.
 	OnChange func(Assignment)
 	// OnPeer is called once per newly discovered peer.
 	OnPeer func(MemberInfo)
+	// OnRelease is called (from the membership goroutine) when a peer
+	// broadcasts that it has closed the given partitions' stores — the
+	// handoff fence a new owner waits on before opening them.
+	OnRelease func(from string, epoch uint64, parts []int)
 	// Logger receives component-tagged structured logs; nil discards.
 	Logger *slog.Logger
 }
@@ -73,10 +81,21 @@ type peerState struct {
 // gossip connects to its endpoint and hellos its ctl so the link becomes
 // mutual.
 type ctrlMsg struct {
-	Kind  string       `json:"k"` // "hello", "hb", "leave"
+	Kind  string       `json:"k"` // "hello", "hb", "leave", "release"
 	Epoch uint64       `json:"e,omitempty"`
 	From  MemberInfo   `json:"from"`
 	Peers []MemberInfo `json:"peers,omitempty"`
+	// Parts carries a release broadcast's closed partitions.
+	Parts []int `json:"parts,omitempty"`
+}
+
+// pendingRelease is one release broadcast rebroadcast with heartbeats
+// until it expires: the first publish races the new owner's subscription
+// to our pub, so a lost frame must heal before the FailAfter fallback.
+type pendingRelease struct {
+	epoch uint64
+	parts []int
+	until time.Time
 }
 
 // Membership maintains the live member set and the derived assignment
@@ -97,7 +116,10 @@ type Membership struct {
 	epoch    uint64
 	maxSeen  uint64
 	assign   Assignment
-	viewKey  string // member IDs of the last computed view
+	viewKey  string        // member IDs of the last computed view
+	viewCh   chan struct{} // closed and replaced on every peer add/remove
+	conflict *MemberInfo   // another live participant claiming our ID
+	relOut   []pendingRelease
 	started  bool
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -130,7 +152,10 @@ func NewMembership(opts MembershipOptions) (*Membership, error) {
 	if err := ctl.Bind(opts.Self.Ctl); err != nil {
 		return nil, err
 	}
-	opts.Self.Ctl = ctl.Addr() // resolve tcp://:0 binds to the real port
+	// Resolve tcp://:0 binds to the real port, then substitute the
+	// advertised host: a wildcard bind (0.0.0.0) is reachable but not
+	// dialable, so peers must be told the external address.
+	opts.Self.Ctl = AdvertiseEndpoint(ctl.Addr(), opts.Advertise)
 	m := &Membership{
 		opts:    opts,
 		ctl:     ctl,
@@ -138,6 +163,7 @@ func NewMembership(opts MembershipOptions) (*Membership, error) {
 		peers:   make(map[string]*peerState),
 		dead:    make(map[string]time.Time),
 		helloed: make(map[string]time.Time),
+		viewCh:  make(chan struct{}),
 		stopped: make(chan struct{}),
 	}
 	m.sub.Subscribe(MembershipTopic)
@@ -215,6 +241,21 @@ func (m *Membership) ctlLoop() {
 			continue
 		}
 		m.observe(c.From, c.Epoch, true)
+		if c.From.ID == m.opts.Self.ID && c.From.Ctl != "" && c.From.Ctl != m.opts.Self.Ctl {
+			// A hello claiming our own ID from another address: observe
+			// recorded the conflict on our side; answer it (gated like any
+			// hello) so the sender hears our claim and can abort too.
+			m.mu.Lock()
+			last, ok := m.helloed[c.From.Ctl]
+			gate := !ok || time.Since(last) >= m.opts.FailAfter
+			if gate {
+				m.helloed[c.From.Ctl] = time.Now()
+			}
+			m.mu.Unlock()
+			if gate {
+				m.hello(c.From.Ctl)
+			}
+		}
 	}
 }
 
@@ -237,6 +278,12 @@ func (m *Membership) subLoop() {
 			}
 		case "leave":
 			m.drop(c.From.ID, "leave")
+		case "release":
+			// A release is also a liveness signal from its sender.
+			m.observe(c.From, c.Epoch, true)
+			if m.opts.OnRelease != nil && len(c.Parts) > 0 {
+				m.opts.OnRelease(c.From.ID, c.Epoch, c.Parts)
+			}
 		}
 	}
 }
@@ -248,7 +295,26 @@ func (m *Membership) subLoop() {
 // resets the expiry clock. replyHello answers a ctl hello so the link
 // becomes mutual.
 func (m *Membership) observe(info MemberInfo, epoch uint64, direct bool) {
-	if info.ID == m.opts.Self.ID || !ValidID(info.ID) || info.Endpoint == "" {
+	if info.ID == m.opts.Self.ID {
+		// Traffic claiming our own ID from different addresses means two
+		// live participants share one ID — routed topics and the
+		// assignment map would interleave them. Record it so a joining
+		// deployment can abort instead of corrupting sequence lanes.
+		if (info.Endpoint != "" && info.Endpoint != m.opts.Self.Endpoint) ||
+			(info.Ctl != "" && info.Ctl != m.opts.Self.Ctl) {
+			m.mu.Lock()
+			first := m.conflict == nil
+			c := info
+			m.conflict = &c
+			m.mu.Unlock()
+			if first {
+				m.opts.Logger.Error("member ID conflict: another live participant claims this ID",
+					"id", info.ID, "their_endpoint", info.Endpoint, "their_ctl", info.Ctl)
+			}
+		}
+		return
+	}
+	if !ValidID(info.ID) || info.Endpoint == "" {
 		return
 	}
 	m.mu.Lock()
@@ -282,16 +348,29 @@ func (m *Membership) observe(info MemberInfo, epoch uint64, direct bool) {
 		m.mu.Unlock()
 		return
 	}
-	m.peers[info.ID] = &peerState{info: info, lastSeen: time.Now(), epoch: epoch}
 	sendHello := false
 	if last, ok := m.helloed[info.Ctl]; !ok || time.Since(last) >= m.opts.FailAfter {
 		sendHello = true
 		m.helloed[info.Ctl] = time.Now()
 	}
 	m.mu.Unlock()
-	// Hear the new peer's broadcasts; hello it so it hears ours (the
-	// helloed map gates repeats — receivers are idempotent anyway).
+	// Hear the new peer's broadcasts BEFORE it becomes countable in the
+	// view: a WaitMembers return implies the links to every counted peer
+	// exist, so a broadcast sent right after (e.g. an immediate leave)
+	// cannot be lost to a still-connecting subscription.
 	_ = m.sub.Connect(info.Endpoint)
+	m.mu.Lock()
+	if _, raced := m.peers[info.ID]; raced {
+		// A concurrent observe (ctl and sub loops race) registered it
+		// while we were connecting; Connect is idempotent, nothing to do.
+		m.mu.Unlock()
+		return
+	}
+	m.peers[info.ID] = &peerState{info: info, lastSeen: time.Now(), epoch: epoch}
+	m.signalViewLocked()
+	m.mu.Unlock()
+	// Hello it so it hears ours (the helloed map gates repeats —
+	// receivers are idempotent anyway).
 	if sendHello {
 		m.hello(info.Ctl)
 	}
@@ -309,6 +388,7 @@ func (m *Membership) drop(id, why string) {
 	delete(m.peers, id)
 	if known {
 		m.dead[id] = time.Now()
+		m.signalViewLocked()
 	}
 	for tid, t := range m.dead {
 		if time.Since(t) > 10*m.opts.FailAfter {
@@ -348,7 +428,10 @@ func (m *Membership) tickLoop() {
 	}
 }
 
-// beat broadcasts one heartbeat carrying the gossip peer list.
+// beat broadcasts one heartbeat carrying the gossip peer list, plus any
+// outstanding release broadcasts (rebroadcast until they expire — the
+// first release publish can race the new owner's subscription to this
+// pub, and a lost frame would otherwise cost the full FailAfter fence).
 func (m *Membership) beat() {
 	if m.opts.Observer {
 		return
@@ -358,12 +441,48 @@ func (m *Membership) beat() {
 	for _, p := range m.peers {
 		c.Peers = append(c.Peers, p.info)
 	}
+	var rel []pendingRelease
+	if len(m.relOut) > 0 {
+		kept := m.relOut[:0]
+		for _, r := range m.relOut {
+			if time.Now().Before(r.until) {
+				kept = append(kept, r)
+			}
+		}
+		m.relOut = kept
+		rel = append(rel, kept...)
+	}
 	m.mu.Unlock()
-	payload, err := json.Marshal(c)
+	if payload, err := json.Marshal(c); err == nil {
+		m.opts.Pub.Publish(MembershipTopic, payload)
+	}
+	for _, r := range rel {
+		m.publishRelease(r.epoch, r.parts)
+	}
+}
+
+// publishRelease broadcasts one release frame.
+func (m *Membership) publishRelease(epoch uint64, parts []int) {
+	payload, err := json.Marshal(ctrlMsg{Kind: "release", Epoch: epoch, From: m.opts.Self, Parts: parts})
 	if err != nil {
 		return
 	}
 	m.opts.Pub.Publish(MembershipTopic, payload)
+}
+
+// BroadcastRelease announces that this member has closed the given
+// partitions' stores under the given assignment epoch — the handoff
+// fence the new owners wait on. The frame is rebroadcast with each
+// heartbeat for one FailAfter window so a racing subscription cannot
+// lose it.
+func (m *Membership) BroadcastRelease(epoch uint64, parts []int) {
+	if m.opts.Observer || m.opts.Pub == nil || len(parts) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.relOut = append(m.relOut, pendingRelease{epoch: epoch, parts: parts, until: time.Now().Add(m.opts.FailAfter)})
+	m.mu.Unlock()
+	m.publishRelease(epoch, parts)
 }
 
 // changed recomputes the view and, when it differs from the last one,
@@ -496,16 +615,64 @@ func (m *Membership) HeartbeatAge() time.Duration {
 	return max
 }
 
-// WaitMembers blocks until the view holds at least n members.
-func (m *Membership) WaitMembers(n int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for m.Members() < n {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("cluster: %d/%d members after %v", m.Members(), n, timeout)
-		}
-		time.Sleep(2 * time.Millisecond)
+// Alive reports whether id is this member itself or a currently live
+// peer.
+func (m *Membership) Alive(id string) bool {
+	if !m.opts.Observer && id == m.opts.Self.ID {
+		return true
 	}
-	return nil
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.peers[id]
+	return ok
+}
+
+// FailAfter returns the failure detector's expiry window.
+func (m *Membership) FailAfter() time.Duration { return m.opts.FailAfter }
+
+// Conflict returns the identity of another live participant observed
+// claiming this member's ID, if any — a deployment joining an existing
+// cluster must treat it as fatal (two nodes sharing an ID split the same
+// routed topics and sequence lanes between them).
+func (m *Membership) Conflict() (MemberInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.conflict == nil {
+		return MemberInfo{}, false
+	}
+	return *m.conflict, true
+}
+
+// signalViewLocked wakes WaitMembers blockers. Caller holds m.mu.
+func (m *Membership) signalViewLocked() {
+	close(m.viewCh)
+	m.viewCh = make(chan struct{})
+}
+
+// WaitMembers blocks until the view holds at least n members. It wakes
+// on view changes rather than polling, so convergence waits cost no CPU.
+func (m *Membership) WaitMembers(n int, timeout time.Duration) error {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		m.mu.Lock()
+		cnt := len(m.peers)
+		if !m.opts.Observer {
+			cnt++
+		}
+		ch := m.viewCh
+		m.mu.Unlock()
+		if cnt >= n {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-m.stopped:
+			return fmt.Errorf("cluster: membership stopped with %d/%d members", cnt, n)
+		case <-timer.C:
+			return fmt.Errorf("cluster: %d/%d members after %v", cnt, n, timeout)
+		}
+	}
 }
 
 // Close leaves gracefully: a leave broadcast lets peers reassign without

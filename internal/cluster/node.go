@@ -33,6 +33,11 @@ type NodeOptions struct {
 	// Ctl is the join inbox bind (default "<Endpoint>.ctl" for inproc,
 	// "tcp://127.0.0.1:0" when Endpoint is tcp).
 	Ctl string
+	// Advertise, when non-empty, is the externally reachable host
+	// substituted into the advertised publisher and ctl addresses —
+	// required when Endpoint/Ctl bind wildcard addresses (0.0.0.0) that
+	// peers on other machines cannot dial.
+	Advertise string
 	// Join lists ctl inboxes of existing members.
 	Join []string
 	// CollectorEndpoints are publisher endpoints of the collectors this
@@ -130,8 +135,11 @@ type Node struct {
 
 	smu     sync.Mutex
 	stores  map[int]*eventstore.Store
-	applied uint64 // highest assignment epoch applied to the store set
-	boot    bool   // first assignment applied (its acquisitions are not handoffs)
+	pending map[int]pendingAcquire // gained partitions fenced on the old owner's release
+	relLog  map[int]releaseRec     // releases received (possibly before the map that needs them)
+	prev    Assignment             // the previously applied map (previous owners for fencing)
+	applied uint64                 // highest assignment epoch applied to the store set
+	boot    bool                   // first assignment applied (its acquisitions are not handoffs)
 
 	received  atomic.Uint64
 	stored    atomic.Uint64
@@ -166,18 +174,22 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		pool:     pipeline.NewPool(0, newPoolBlock, (*events.Block).Reset),
 		throttle: pace.NewThrottle(),
 		stores:   make(map[int]*eventstore.Store),
+		pending:  make(map[int]pendingAcquire),
+		relLog:   make(map[int]releaseRec),
 	}
 	n.slog = telemetry.ComponentLogger(opts.Logger, "node."+opts.ID)
 	n.sub.Subscribe(msgq.NodeSubscription(opts.ID))
 	mem, err := NewMembership(MembershipOptions{
-		Self:      MemberInfo{ID: opts.ID, Endpoint: pub.Addr(), Ctl: opts.Ctl},
+		Self:      MemberInfo{ID: opts.ID, Endpoint: AdvertiseEndpoint(pub.Addr(), opts.Advertise), Ctl: opts.Ctl},
 		Pub:       pub,
 		Join:      opts.Join,
 		Parts:     opts.Parts,
 		Interval:  opts.HeartbeatInterval,
 		FailAfter: opts.FailAfter,
+		Advertise: opts.Advertise,
 		OnChange:  n.applyAssignment,
 		OnPeer:    func(p MemberInfo) { _ = n.sub.Connect(p.Endpoint) },
+		OnRelease: n.onRelease,
 		Logger:    opts.Logger,
 	})
 	if err != nil {
@@ -227,8 +239,9 @@ func newPoolBlock() *events.Block {
 // ID returns the node's member ID.
 func (n *Node) ID() string { return n.opts.ID }
 
-// Endpoint returns the node's bound publisher endpoint.
-func (n *Node) Endpoint() string { return n.pub.Addr() }
+// Endpoint returns the node's advertised publisher endpoint (the bound
+// address unless NodeOptions.Advertise rewrote the host).
+func (n *Node) Endpoint() string { return n.mem.Self().Endpoint }
 
 // CtlEndpoint returns the node's join inbox address — what other nodes
 // pass as Join.
@@ -257,25 +270,59 @@ func (n *Node) Parts() int { return n.opts.Parts }
 // node's view.
 func (n *Node) OwnerTopic(part int) (string, bool) { return n.mem.OwnerTopic(part) }
 
+// pendingAcquire fences a gained partition until its previous owner has
+// provably stopped appending: a release broadcast from that owner, its
+// death, or a full FailAfter window — whichever comes first — orders the
+// old owner's segment close before the new owner's replay, so two live
+// nodes never append to the same segment concurrently.
+type pendingAcquire struct {
+	prevOwner  string    // member whose release unfences the partition
+	sinceEpoch uint64    // epoch of the map under which prevOwner owned it
+	deadline   time.Time // FailAfter fallback against a lost release
+}
+
+// releaseRec is one received release broadcast, kept so a release that
+// arrives before the assignment map needing it still unfences.
+type releaseRec struct {
+	from  string
+	epoch uint64
+}
+
 // applyAssignment diffs the new map against the owned store set:
 // partitions lost are flushed and closed (their journal segments are the
-// handoff medium), partitions gained are recovered from those segments
-// and continue their sequence lanes. Maps apply in epoch order;
-// duplicates and stale epochs are ignored.
+// handoff medium), then announced in a release broadcast; partitions
+// gained from a still-live previous owner are fenced until that owner's
+// release (or its death, or FailAfter) before being recovered from their
+// segments, so the old and new owner never append concurrently. Maps
+// apply in epoch order; duplicates and stale epochs are ignored.
 func (n *Node) applyAssignment(a Assignment) {
 	if a.Owner == nil {
 		return
 	}
 	n.smu.Lock()
-	defer n.smu.Unlock()
 	if a.Epoch <= n.applied {
+		n.smu.Unlock()
 		return
 	}
 	n.applied = a.Epoch
+	prev := n.prev
+	if prev.Owner == nil && len(n.opts.Join) > 0 {
+		// A joiner's first map: the cluster it joined was running the map
+		// over the view without it. Assign is a pure function of the
+		// member set, so that previous map — and each gained partition's
+		// previous owner — is recomputable locally.
+		var ids []string
+		for _, p := range n.mem.Peers() {
+			ids = append(ids, p.ID)
+		}
+		prev = Assign(0, n.opts.Parts, ids)
+	}
+	n.prev = a
 	owned := make(map[int]bool, len(a.Owner))
 	for _, p := range a.Owned(n.opts.ID) {
 		owned[p] = true
 	}
+	var released []int
 	for p, st := range n.stores {
 		if owned[p] {
 			continue
@@ -284,24 +331,96 @@ func (n *Node) applyAssignment(a Assignment) {
 			n.slog.Error("closing released partition", "partition", p, "err", err)
 		}
 		delete(n.stores, p)
+		released = append(released, p)
 		n.slog.Info("partition released", "partition", p, "epoch", a.Epoch, "owner", a.OwnerOf(p))
 	}
+	for p := range n.pending {
+		if !owned[p] {
+			delete(n.pending, p)
+		}
+	}
+	n.checkPendingLocked()
 	for p := range owned {
 		if n.stores[p] != nil {
 			continue
 		}
-		st, err := eventstore.OpenPartitionStore(n.opts.Parts, p, n.opts.Store)
-		if err != nil {
-			n.slog.Error("opening acquired partition", "partition", p, "err", err)
+		if _, fenced := n.pending[p]; fenced {
 			continue
 		}
-		n.stores[p] = st
-		if n.boot {
-			n.handoffs.Add(1)
-			n.slog.Info("partition acquired", "partition", p, "epoch", a.Epoch, "last_seq", st.LastSeq())
+		prevOwner := prev.OwnerOf(p)
+		if rel, ok := n.relLog[p]; ok && rel.from == prevOwner && rel.epoch >= prev.Epoch {
+			prevOwner = "" // already released by the old owner
 		}
+		if prevOwner == "" || prevOwner == n.opts.ID || !n.mem.Alive(prevOwner) {
+			n.openPartitionLocked(p, a.Epoch)
+			continue
+		}
+		n.pending[p] = pendingAcquire{
+			prevOwner:  prevOwner,
+			sinceEpoch: prev.Epoch,
+			deadline:   time.Now().Add(n.mem.FailAfter()),
+		}
+		n.slog.Info("partition acquisition fenced on old owner", "partition", p, "epoch", a.Epoch, "old_owner", prevOwner)
 	}
 	n.boot = true
+	n.smu.Unlock()
+	// The broadcast happens after the stores are closed: receivers may
+	// open the segments the moment they see it.
+	if len(released) > 0 {
+		n.mem.BroadcastRelease(a.Epoch, released)
+	}
+}
+
+// openPartitionLocked recovers a gained partition from its journal
+// segment and continues its sequence lane. Caller holds n.smu.
+func (n *Node) openPartitionLocked(p int, epoch uint64) {
+	st, err := eventstore.OpenPartitionStore(n.opts.Parts, p, n.opts.Store)
+	if err != nil {
+		n.slog.Error("opening acquired partition", "partition", p, "err", err)
+		return
+	}
+	n.stores[p] = st
+	delete(n.pending, p)
+	delete(n.relLog, p)
+	if n.boot {
+		n.handoffs.Add(1)
+		n.slog.Info("partition acquired", "partition", p, "epoch", epoch, "last_seq", st.LastSeq())
+	}
+}
+
+// checkPendingLocked promotes fenced acquisitions whose previous owner
+// has died or whose FailAfter deadline has passed. Caller holds n.smu;
+// callers on the store and ownership paths drive it, so a fence never
+// outlives its condition by more than one access.
+func (n *Node) checkPendingLocked() {
+	if len(n.pending) == 0 {
+		return
+	}
+	for p, pa := range n.pending {
+		if !n.mem.Alive(pa.prevOwner) || time.Now().After(pa.deadline) {
+			n.openPartitionLocked(p, n.applied)
+		}
+	}
+}
+
+// onRelease consumes a peer's release broadcast: fenced partitions
+// waiting on that owner open immediately; others are logged so a release
+// arriving before the assignment map that needs it still counts.
+func (n *Node) onRelease(from string, epoch uint64, parts []int) {
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	for _, p := range parts {
+		if p < 0 || p >= n.opts.Parts {
+			continue
+		}
+		if pa, fenced := n.pending[p]; fenced && pa.prevOwner == from && epoch >= pa.sinceEpoch {
+			n.openPartitionLocked(p, epoch)
+			continue
+		}
+		if rel, ok := n.relLog[p]; !ok || epoch >= rel.epoch {
+			n.relLog[p] = releaseRec{from: from, epoch: epoch}
+		}
+	}
 }
 
 // nodeBatch is one routed message: partition parsed from the topic, plus
@@ -333,9 +452,13 @@ func (n *Node) intakeLoop(ctx context.Context, emit func(nodeBatch) bool) error 
 }
 
 // store returns the owned store for a partition (nil when not owned).
+// Each access also advances pending fenced acquisitions, so the store
+// path promotes a fence the moment its deadline or owner-death condition
+// holds rather than waiting for the next membership event.
 func (n *Node) store(part int) *eventstore.Store {
 	n.smu.Lock()
 	defer n.smu.Unlock()
+	n.checkPendingLocked()
 	return n.stores[part]
 }
 
@@ -434,12 +557,75 @@ func (n *Node) republishBatch(ctx context.Context, rb repBatch) {
 func (n *Node) OwnedPartitions() []int {
 	n.smu.Lock()
 	defer n.smu.Unlock()
+	n.checkPendingLocked()
 	out := make([]int, 0, len(n.stores))
 	for p := range n.stores {
 		out = append(out, p)
 	}
 	sort.Ints(out)
 	return out
+}
+
+// Snapshot is one atomic capture of the node's owned store set. The
+// recovery server derives the coverage frame and the query results from
+// the same snapshot, so a partition released between the two cannot be
+// claimed as covered while its events are missing — if a captured store
+// closes mid-query, Since fails with ErrClosed, the round errors, and
+// the fan-out client retries against the new owner.
+type Snapshot struct {
+	parts  int
+	owned  []int
+	stores []*eventstore.Store
+}
+
+// RecoverySnapshot captures the current owned store set.
+func (n *Node) RecoverySnapshot() *Snapshot {
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	n.checkPendingLocked()
+	s := &Snapshot{parts: n.opts.Parts}
+	for p := range n.stores {
+		s.owned = append(s.owned, p)
+	}
+	sort.Ints(s.owned)
+	s.stores = make([]*eventstore.Store, 0, len(s.owned))
+	for _, p := range s.owned {
+		s.stores = append(s.stores, n.stores[p])
+	}
+	return s
+}
+
+// OwnedPartitions returns the partitions captured in the snapshot.
+func (s *Snapshot) OwnedPartitions() []int { return s.owned }
+
+// Partitions returns the global partition count.
+func (s *Snapshot) Partitions() int { return s.parts }
+
+// Since queries the captured stores with one cursor for every partition.
+func (s *Snapshot) Since(seq uint64, max int) ([]events.Event, error) {
+	cursors := make([]uint64, s.parts)
+	for i := range cursors {
+		cursors[i] = seq
+	}
+	return s.SinceVector(cursors, max)
+}
+
+// SinceVector queries the captured stores past the per-partition
+// cursors, merged in global seq order. A store closed since the capture
+// returns its error — the caller's retry loop re-snapshots.
+func (s *Snapshot) SinceVector(cursors []uint64, max int) ([]events.Event, error) {
+	if len(cursors) != s.parts {
+		return nil, fmt.Errorf("cluster: cursor vector has %d partitions, snapshot has %d", len(cursors), s.parts)
+	}
+	lists := make([][]events.Event, 0, len(s.stores))
+	for i, st := range s.stores {
+		l, err := st.Since(cursors[s.owned[i]], max)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, l)
+	}
+	return eventstore.MergeBySeq(lists, max), nil
 }
 
 // Partitions returns the global partition count (recovery contract).

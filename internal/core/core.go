@@ -57,8 +57,17 @@ type Options struct {
 	ClusterJoin []string
 	// ClusterListen is the first cluster node's publisher bind (e.g.
 	// "tcp://0.0.0.0:7400") so external nodes can subscribe; empty uses
-	// the transport default. Lustre path only.
+	// the transport default. Its host also becomes the bind host for the
+	// deployment's other cluster sockets. Lustre path only.
 	ClusterListen string
+	// ClusterNodePrefix prefixes the deployed cluster nodes' member IDs;
+	// empty derives a safe default (stable "n" when founding, host+pid
+	// when joining so two processes never collide). Lustre path only.
+	ClusterNodePrefix string
+	// ClusterAdvertise is the externally reachable host substituted into
+	// advertised cluster addresses when the binds use a wildcard host.
+	// Lustre path only.
+	ClusterAdvertise string
 	// Buffer is the DSI event channel capacity (0 = default).
 	Buffer int
 	// Context bounds the monitor's lifetime: it is threaded through every
@@ -306,6 +315,16 @@ func (m *Monitor) registerTelemetry(reg *telemetry.Registry) {
 
 // DSIName reports which backend the registry selected.
 func (m *Monitor) DSIName() string { return m.dsi.Name() }
+
+// ClusterMembers returns the members of the backend's aggregation
+// cluster — the addresses external nodes join and consumers dial — or
+// nil when the backend is not clustered.
+func (m *Monitor) ClusterMembers() []dsi.ClusterMember {
+	if l, ok := m.dsi.(dsi.ClusterMemberLister); ok {
+		return l.ClusterMembers()
+	}
+	return nil
+}
 
 // Subscribe attaches a client feed with the given filter; sinceSeq > 0
 // replays history from the event store first.

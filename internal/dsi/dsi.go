@@ -40,6 +40,25 @@ type DSI interface {
 	Close() error
 }
 
+// ClusterMember identifies one member of a clustered aggregation tier
+// behind a DSI: its ID and the addresses peers and consumers dial.
+type ClusterMember struct {
+	// ID is the member's cluster-wide name.
+	ID string
+	// Endpoint is the member's event publisher (subscribe here).
+	Endpoint string
+	// Ctl is the member's join inbox (pass as a cluster-join address).
+	Ctl string
+	// Recovery is the member's recovery-server address, "" when none.
+	Recovery string
+}
+
+// ClusterMemberLister is the optional DSI extension a clustered backend
+// implements so operators can discover the addresses to join or dial.
+type ClusterMemberLister interface {
+	ClusterMembers() []ClusterMember
+}
+
 // StorageInfo describes the storage a monitor should attach to; the
 // registry selects a DSI from it.
 type StorageInfo struct {

@@ -64,8 +64,15 @@ type Backend struct {
 	// ClusterJoin lists ctl inboxes of an existing cluster to join.
 	ClusterJoin []string
 	// ClusterListen is the first node's publisher bind for external
-	// subscribers; empty uses the transport default.
+	// subscribers; empty uses the transport default. Its host also
+	// becomes the bind host for the deployment's other cluster sockets.
 	ClusterListen string
+	// ClusterNodePrefix prefixes the deployed nodes' member IDs; empty
+	// derives a safe default (see scalable.DeployOptions).
+	ClusterNodePrefix string
+	// ClusterAdvertise is the externally reachable host substituted into
+	// advertised cluster addresses when the binds use a wildcard host.
+	ClusterAdvertise string
 	// Telemetry mirrors the whole deployment (collectors, aggregator,
 	// store, consumer) into the unified registry; nil falls back to
 	// dsi.Config.Telemetry.
@@ -110,19 +117,21 @@ func New(cfg dsi.Config) (dsi.DSI, error) {
 		root = "/mnt/lustre"
 	}
 	mon, err := scalable.Deploy(be.Cluster, scalable.DeployOptions{
-		MountPoint:      root,
-		CacheSize:       be.CacheSize,
-		CacheShards:     be.CacheShards,
-		NegativeTTL:     be.NegativeTTL,
-		ResolveWorkers:  be.ResolveWorkers,
-		StorePartitions: be.StorePartitions,
-		ClusterNodes:    be.ClusterNodes,
-		ClusterJoin:     be.ClusterJoin,
-		ClusterListen:   be.ClusterListen,
-		Transport:       be.Transport,
-		Context:         cfg.Context,
-		Telemetry:       be.Telemetry,
-		Logger:          be.Logger,
+		MountPoint:        root,
+		CacheSize:         be.CacheSize,
+		CacheShards:       be.CacheShards,
+		NegativeTTL:       be.NegativeTTL,
+		ResolveWorkers:    be.ResolveWorkers,
+		StorePartitions:   be.StorePartitions,
+		ClusterNodes:      be.ClusterNodes,
+		ClusterJoin:       be.ClusterJoin,
+		ClusterListen:     be.ClusterListen,
+		ClusterNodePrefix: be.ClusterNodePrefix,
+		ClusterAdvertise:  be.ClusterAdvertise,
+		Transport:         be.Transport,
+		Context:           cfg.Context,
+		Telemetry:         be.Telemetry,
+		Logger:            be.Logger,
 	})
 	if err != nil {
 		return nil, err
@@ -166,6 +175,20 @@ func (d *lustreDSI) pump() {
 
 // Deployment exposes the underlying scalable monitor (stats, recovery).
 func (d *lustreDSI) Deployment() *scalable.Monitor { return d.mon }
+
+// ClusterMembers implements dsi.ClusterMemberLister: the aggregation
+// cluster's member identities and reachable addresses, nil for classic
+// (non-clustered) deployments.
+func (d *lustreDSI) ClusterMembers() []dsi.ClusterMember {
+	if d.mon.ClusterParts() == 0 {
+		return nil
+	}
+	var out []dsi.ClusterMember
+	for _, mi := range d.mon.ClusterMembers() {
+		out = append(out, dsi.ClusterMember{ID: mi.ID, Endpoint: mi.Endpoint, Ctl: mi.Ctl, Recovery: mi.Recovery})
+	}
+	return out
+}
 
 func (d *lustreDSI) Close() error {
 	d.con.Close()

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -341,5 +342,153 @@ func TestClusterConsumerHandoffRecovery(t *testing.T) {
 	}
 	if len(seen) != len(phase2) {
 		t.Fatalf("resumed consumer saw %d events, want %d", len(seen), len(phase2))
+	}
+}
+
+func TestClusterIDPrefixDefaults(t *testing.T) {
+	if p, err := clusterIDPrefix(DeployOptions{}); err != nil || p != "n" {
+		t.Fatalf("founding prefix = %q, %v; want \"n\"", p, err)
+	}
+	p, err := clusterIDPrefix(DeployOptions{ClusterJoin: []string{"tcp://seed:7401"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == "n" {
+		t.Fatal("joining deployment must not default to the founding prefix")
+	}
+	if !cluster.ValidID(p + "0") {
+		t.Fatalf("derived prefix %q does not form valid member IDs", p)
+	}
+	if p2, err := clusterIDPrefix(DeployOptions{ClusterNodePrefix: "agg-"}); err != nil || p2 != "agg-" {
+		t.Fatalf("explicit prefix = %q, %v", p2, err)
+	}
+	if _, err := clusterIDPrefix(DeployOptions{ClusterNodePrefix: "bad.prefix"}); err == nil {
+		t.Fatal("prefix containing '.' must be rejected")
+	}
+}
+
+// TestClusterNodePrefixAndMembers deploys with an explicit ID prefix and
+// checks the members listing exposes every node's reachable addresses.
+func TestClusterNodePrefixAndMembers(t *testing.T) {
+	cl := testCluster(1)
+	m, err := Deploy(cl, DeployOptions{
+		CacheSize:         100,
+		PollInterval:      time.Millisecond,
+		ClusterNodes:      2,
+		StorePartitions:   4,
+		ClusterNodePrefix: "agg-",
+		ClusterStore:      eventstore.Options{JournalPath: filepath.Join(t.TempDir(), "journal")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i, n := range m.Nodes {
+		if want := fmt.Sprintf("agg-%d", i); n.ID() != want {
+			t.Fatalf("node %d ID = %q, want %q", i, n.ID(), want)
+		}
+	}
+	members := m.ClusterMembers()
+	if len(members) != 2 {
+		t.Fatalf("ClusterMembers = %d entries, want 2", len(members))
+	}
+	for _, mi := range members {
+		if mi.Endpoint == "" || mi.Ctl == "" || mi.Recovery == "" {
+			t.Fatalf("member %q missing addresses: %+v", mi.ID, mi)
+		}
+	}
+}
+
+// TestClusterJoinIDConflictRejected joins a second deployment that
+// reuses the founding deployment's ID prefix: the joiner must detect the
+// live ID collision and refuse to run instead of splitting the colliding
+// member's routed topics and sequence lanes.
+func TestClusterJoinIDConflictRejected(t *testing.T) {
+	cl := testCluster(1)
+	dir := t.TempDir()
+	a, err := Deploy(cl, DeployOptions{
+		CacheSize:       100,
+		PollInterval:    time.Millisecond,
+		ClusterNodes:    1,
+		StorePartitions: 2,
+		ClusterStore:    eventstore.Options{JournalPath: filepath.Join(dir, "journal-a")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	_, err = Deploy(cl, DeployOptions{
+		CacheSize:         100,
+		PollInterval:      time.Millisecond,
+		ClusterNodes:      1,
+		StorePartitions:   2,
+		ClusterJoin:       []string{a.Nodes[0].CtlEndpoint()},
+		ClusterNodePrefix: "n", // collides with the founder's n0
+		ClusterStore:      eventstore.Options{JournalPath: filepath.Join(dir, "journal-b")},
+	})
+	if err == nil {
+		t.Fatal("joining with a colliding member ID must fail")
+	}
+	if !strings.Contains(err.Error(), "already in use") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// snapTestSource is a recovery source whose live coverage view disagrees
+// with its snapshot: the server must trust the snapshot for both the
+// coverage frame and the events, or a partition released between the two
+// reads would be claimed as covered with its history silently missing.
+type snapTestSource struct {
+	evs []events.Event // all on partition 1 of 2
+}
+
+func (s snapTestSource) Since(seq uint64, max int) ([]events.Event, error) { return nil, nil }
+func (s snapTestSource) OwnedPartitions() []int                            { return []int{0, 1} }
+func (s snapTestSource) RecoverySnapshot() RecoverySourceSnapshot {
+	return snapTestSnapshot{evs: s.evs}
+}
+
+type snapTestSnapshot struct {
+	evs []events.Event
+}
+
+func (f snapTestSnapshot) OwnedPartitions() []int { return []int{1} }
+func (f snapTestSnapshot) Since(seq uint64, max int) ([]events.Event, error) {
+	return f.SinceVector([]uint64{seq, seq}, max)
+}
+func (f snapTestSnapshot) SinceVector(cursors []uint64, max int) ([]events.Event, error) {
+	var out []events.Event
+	for _, e := range f.evs {
+		if e.Seq > cursors[e.Seq%2] {
+			out = append(out, e)
+		}
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out, nil
+}
+
+func TestRecoveryServerSnapshotCoverage(t *testing.T) {
+	src := snapTestSource{evs: []events.Event{
+		{Seq: 1, Path: "/a", Op: events.OpCreate},
+		{Seq: 3, Path: "/b", Op: events.OpCreate},
+	}}
+	srv, err := NewRecoveryServer(src, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewRecoveryClient(srv.Addr())
+	evs, owned, err := cli.SinceVectorOwned([]uint64{0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owned) != 1 || owned[0] != 1 {
+		t.Fatalf("coverage frame %v, want [1] (the snapshot's view, not the live source's)", owned)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("recovered %d events, want 2", len(evs))
 	}
 }

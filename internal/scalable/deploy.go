@@ -65,9 +65,23 @@ type DeployOptions struct {
 	// the deployed nodes join that cluster instead of founding their own.
 	ClusterJoin []string
 	// ClusterListen is the first deployed node's publisher bind (e.g.
-	// "tcp://0.0.0.0:7400") so nodes on other machines can join it;
-	// empty uses the Transport default.
+	// "tcp://0.0.0.0:7400") so nodes on other machines can join it; empty
+	// uses the Transport default. Its host also becomes the bind host for
+	// every other cluster socket this process opens (remaining node
+	// publishers, ctl inboxes, recovery servers), all on ephemeral ports —
+	// a listen/join deployment is reachable end to end, not just node 0.
 	ClusterListen string
+	// ClusterNodePrefix prefixes the deployed nodes' member IDs
+	// ("<prefix>0".."<prefix>N-1"). A founding deployment defaults to "n";
+	// a joining deployment (ClusterJoin set) defaults to a host+pid-derived
+	// prefix so two processes joining the same cluster can never collide on
+	// member IDs. Must not contain '.' (IDs ride in routed topic names).
+	ClusterNodePrefix string
+	// ClusterAdvertise is the externally reachable host substituted into
+	// every advertised cluster address (publishers, ctl inboxes, recovery
+	// servers). Required when ClusterListen binds a wildcard host
+	// ("0.0.0.0") that peers on other machines cannot dial back.
+	ClusterAdvertise string
 	// ClusterStore is the nodes' base store configuration: JournalPath is
 	// the engine-wide base every partition derives its "<path>.p<i>"
 	// segment from (the handoff medium). The zero value is in-memory.

@@ -2,6 +2,9 @@ package scalable
 
 import (
 	"fmt"
+	"net"
+	"os"
+	"strings"
 	"time"
 
 	"fsmonitor/internal/cluster"
@@ -9,11 +12,76 @@ import (
 	"fsmonitor/internal/lustre"
 	"fsmonitor/internal/metrics"
 	"fsmonitor/internal/pipeline"
+	"fsmonitor/internal/telemetry"
 )
 
 // clusterReadyTimeout bounds the deployment's wait for membership
 // convergence and full partition coverage.
 const clusterReadyTimeout = 10 * time.Second
+
+// clusterIDPrefix picks the member-ID prefix for the deployed nodes.
+// Founding deployments keep the stable "n" prefix; joining deployments
+// derive a host+pid prefix, so a second process joining via ClusterJoin
+// can never reuse the founding process's IDs — two members both claiming
+// "n0" would ignore each other's heartbeats and own the same partitions.
+func clusterIDPrefix(opts DeployOptions) (string, error) {
+	if p := opts.ClusterNodePrefix; p != "" {
+		if !cluster.ValidID(p) {
+			return "", fmt.Errorf("scalable: invalid ClusterNodePrefix %q (must be non-empty, no '.')", p)
+		}
+		return p, nil
+	}
+	if len(opts.ClusterJoin) == 0 {
+		return "n", nil
+	}
+	host, _ := os.Hostname()
+	host = sanitizeIDPart(host)
+	if host == "" {
+		host = "host"
+	}
+	return fmt.Sprintf("n-%s-%d-", host, os.Getpid()), nil
+}
+
+// sanitizeIDPart strips characters that are not valid inside a member ID
+// (IDs ride in '.'-separated topic names).
+func sanitizeIDPart(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == '.':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// endpointHost extracts the host of a "tcp://host:port" or "host:port"
+// address, "" when it has none.
+func endpointHost(ep string) string {
+	ep = strings.TrimPrefix(ep, "tcp://")
+	h, _, err := net.SplitHostPort(ep)
+	if err != nil {
+		return ""
+	}
+	return h
+}
+
+// clusterBindHost is the host every cluster socket of this deployment
+// binds: the ClusterListen host when one is given (so all sockets — not
+// just node 0's publisher — are reachable wherever the listen address
+// is), the wildcard host when the deployment is otherwise configured for
+// cross-process use, loopback for plain local TCP.
+func clusterBindHost(opts DeployOptions) string {
+	if h := endpointHost(opts.ClusterListen); h != "" {
+		return h
+	}
+	if len(opts.ClusterJoin) > 0 || opts.ClusterListen != "" || opts.ClusterAdvertise != "" {
+		return "0.0.0.0"
+	}
+	return "127.0.0.1"
+}
 
 // deployCluster is Deploy's clustered path: N aggregator nodes replace
 // the single Aggregator. The order matters — nodes first (and their
@@ -35,12 +103,25 @@ func deployCluster(lc *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 		parts = nodes
 	}
 	m := &Monitor{cluster: lc, opts: opts, parts: parts}
+	dlog := telemetry.ComponentLogger(opts.Logger, "deploy")
+
+	prefix, err := clusterIDPrefix(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Any cross-process configuration (listen bind, join addresses, an
+	// advertise host) forces TCP for every cluster socket: inproc and
+	// loopback-only binds have no address an external member could use.
+	external := len(opts.ClusterJoin) > 0 || opts.ClusterListen != "" || opts.ClusterAdvertise != ""
+	bindHost := clusterBindHost(opts)
+	tcpBind := "tcp://" + net.JoinHostPort(bindHost, "0")
 
 	for i := 0; i < nodes; i++ {
-		id := fmt.Sprintf("n%d", i)
+		id := fmt.Sprintf("%s%d", prefix, i)
 		ep := fmt.Sprintf("inproc://clnode-%p-%s", m, id)
-		if opts.Transport == "tcp" {
-			ep = "tcp://127.0.0.1:0"
+		ctl := ""
+		if opts.Transport == "tcp" || external {
+			ep, ctl = tcpBind, tcpBind
 		}
 		if i == 0 && opts.ClusterListen != "" {
 			ep = opts.ClusterListen
@@ -52,6 +133,8 @@ func deployCluster(lc *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 		n, err := cluster.NewNode(cluster.NodeOptions{
 			ID:        id,
 			Endpoint:  ep,
+			Ctl:       ctl,
+			Advertise: opts.ClusterAdvertise,
 			Join:      join,
 			Parts:     parts,
 			Store:     opts.ClusterStore,
@@ -64,14 +147,18 @@ func deployCluster(lc *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 			return nil, err
 		}
 		m.Nodes = append(m.Nodes, n)
-		rec, err := NewRecoveryServer(n, "127.0.0.1:0")
+		recBind := "127.0.0.1:0"
+		if opts.Transport == "tcp" || external {
+			recBind = net.JoinHostPort(bindHost, "0")
+		}
+		rec, err := NewRecoveryServer(nodeRecoverySource{n}, recBind)
 		if err != nil {
 			n.Close()
 			m.Close()
 			return nil, err
 		}
 		m.recoveries = append(m.recoveries, rec)
-		n.SetRecovery(rec.Addr())
+		n.SetRecovery(cluster.AdvertiseEndpoint(rec.Addr(), opts.ClusterAdvertise))
 		if err := n.Start(); err != nil {
 			m.Close()
 			return nil, err
@@ -81,6 +168,19 @@ func deployCluster(lc *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 		if err := n.Membership().WaitMembers(nodes, clusterReadyTimeout); err != nil {
 			m.Close()
 			return nil, err
+		}
+	}
+	if len(opts.ClusterJoin) > 0 {
+		// A joiner waits out a couple of heartbeat rounds for the existing
+		// members' gossip, then refuses to run if any live member already
+		// claims one of its IDs — two members under one ID would ignore
+		// each other's heartbeats and append to the same sequence lanes.
+		time.Sleep(2 * cluster.DefaultHeartbeatInterval)
+		for _, n := range m.Nodes {
+			if other, ok := n.Membership().Conflict(); ok {
+				m.Close()
+				return nil, fmt.Errorf("scalable: member ID %q already in use by a live cluster member at %s (set ClusterNodePrefix)", n.ID(), other.Endpoint)
+			}
 		}
 	}
 	// With no external members, the in-process nodes must converge on
@@ -100,24 +200,28 @@ func deployCluster(lc *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 				m.Close()
 				return nil, fmt.Errorf("scalable: cluster owns %d/%d partitions after %v", owned, parts, clusterReadyTimeout)
 			}
-			time.Sleep(2 * time.Millisecond)
+			time.Sleep(10 * time.Millisecond)
 		}
+	}
+	for _, mi := range m.ClusterMembers() {
+		dlog.Info("cluster member ready", "id", mi.ID, "endpoint", mi.Endpoint, "ctl", mi.Ctl, "recovery", mi.Recovery)
 	}
 
 	// The routing observer: a receive-only membership participant whose
 	// view the collectors resolve partition owners against. It owns no
 	// partitions and broadcasts no heartbeats.
 	obsCtl := fmt.Sprintf("inproc://clrouter-%p.ctl", m)
-	if opts.Transport == "tcp" || len(opts.ClusterJoin) > 0 {
-		obsCtl = "tcp://127.0.0.1:0"
+	if opts.Transport == "tcp" || external {
+		obsCtl = tcpBind
 	}
 	obsJoin := append([]string{m.Nodes[0].CtlEndpoint()}, opts.ClusterJoin...)
 	router, err := cluster.NewMembership(cluster.MembershipOptions{
-		Self:     cluster.MemberInfo{ID: "router", Ctl: obsCtl},
-		Observer: true,
-		Join:     obsJoin,
-		Parts:    parts,
-		Logger:   opts.Logger,
+		Self:      cluster.MemberInfo{ID: "router", Ctl: obsCtl},
+		Observer:  true,
+		Join:      obsJoin,
+		Parts:     parts,
+		Advertise: opts.ClusterAdvertise,
+		Logger:    opts.Logger,
 	})
 	if err != nil {
 		m.Close()
@@ -167,6 +271,42 @@ func deployCluster(lc *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 	}
 	metrics.Register(opts.Telemetry)
 	return m, nil
+}
+
+// nodeRecoverySource adapts a cluster node to the recovery server's
+// snapshotting contract: the server's coverage frame and query run
+// against one atomic capture of the node's store set, so a partition
+// moving mid-request is either fully covered or fails the round.
+type nodeRecoverySource struct {
+	*cluster.Node
+}
+
+func (s nodeRecoverySource) RecoverySnapshot() RecoverySourceSnapshot {
+	return s.Node.RecoverySnapshot()
+}
+
+// ClusterMembers returns the identities and reachable addresses of every
+// known cluster member: this process's nodes first, then members joined
+// from other processes (from the observer's view). Deployments print
+// these so operators know what to pass as -cluster-join and what
+// consumers should dial.
+func (m *Monitor) ClusterMembers() []cluster.MemberInfo {
+	var out []cluster.MemberInfo
+	for _, n := range m.Nodes {
+		out = append(out, n.Membership().Self())
+	}
+	if m.router != nil {
+		seen := make(map[string]bool, len(out))
+		for _, mi := range out {
+			seen[mi.ID] = true
+		}
+		for _, p := range m.router.Peers() {
+			if !seen[p.ID] {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
 }
 
 // clusterEndpoints gathers the current member publisher endpoints and

@@ -39,6 +39,25 @@ type PartitionOwner interface {
 	OwnedPartitions() []int
 }
 
+// RecoverySnapshotter is the stronger form of PartitionOwner: one call
+// captures coverage and queryability atomically, so the "owned" frame
+// and the events that follow it describe the same store set even while
+// a rebalance is moving partitions. Without it, a partition released
+// between the coverage read and the query would be claimed as covered
+// with its events silently missing — the fan-out client would accept
+// the round and drop that partition's history.
+type RecoverySnapshotter interface {
+	RecoverySnapshot() RecoverySourceSnapshot
+}
+
+// RecoverySourceSnapshot is one frozen coverage+query view. A snapshot
+// whose stores close mid-query returns an error, failing the round so
+// the fan-out client retries against the new owner.
+type RecoverySourceSnapshot interface {
+	OwnedPartitions() []int
+	VectorRecoverySource
+}
+
 // RecoveryServer serves the recovery API over TCP.
 type RecoveryServer struct {
 	src       RecoverySource
@@ -95,14 +114,25 @@ func (s *RecoveryServer) serve(conn net.Conn) {
 				_ = msgq.WriteFrame(w, msgq.Message{Topic: recoveryErrTopic, Payload: []byte("bad cursor vector")})
 				return
 			}
-			if po, ok := s.src.(PartitionOwner); ok {
-				// Coverage header: only partition-owning sources send it,
-				// so a classic aggregator's response stream is unchanged.
+			// Coverage header: only partition-owning sources send it, so a
+			// classic aggregator's response stream is unchanged. A
+			// snapshotting source freezes coverage and query together —
+			// the frame and the events describe the same store set even
+			// mid-rebalance.
+			var snap RecoverySourceSnapshot
+			if ss, ok := s.src.(RecoverySnapshotter); ok {
+				snap = ss.RecoverySnapshot()
+				if err := msgq.WriteFrame(w, msgq.Message{Topic: recoveryOwnedTopic, Payload: encodeParts(snap.OwnedPartitions())}); err != nil {
+					return
+				}
+			} else if po, ok := s.src.(PartitionOwner); ok {
 				if err := msgq.WriteFrame(w, msgq.Message{Topic: recoveryOwnedTopic, Payload: encodeParts(po.OwnedPartitions())}); err != nil {
 					return
 				}
 			}
-			if vsrc, ok := s.src.(VectorRecoverySource); ok {
+			if snap != nil {
+				next = vectorQuery(snap, cursors)
+			} else if vsrc, ok := s.src.(VectorRecoverySource); ok {
 				next = vectorQuery(vsrc, cursors)
 			} else if len(cursors) == 1 {
 				// Single-cursor vector against a scalar source degrades
