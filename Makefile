@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-json bench-telemetry bench-trace bench-mount bench-cluster bench-cluster-json flame trace-sample check
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-json bench-telemetry bench-trace bench-mount bench-cluster bench-cluster-json flame trace-sample audit-smoke check
 
 all: check
 
@@ -95,7 +95,10 @@ bench-mount:
 # bench-cluster measures aggregate store throughput of the clustered
 # aggregation tier at 1/2/4 nodes over 4 partitions, each node pacing the
 # accounted per-event aggregation cost on its own ingest throttle
-# (acceptance: >= 1.6x aggregate events/s from 1 node to 2).
+# (acceptance: >= 1.6x aggregate events/s from 1 node to 2). The
+# Telemetry variant re-runs with the observability plane armed — gauges,
+# conservation audit, federated snapshots — and the events/s delta is
+# the enabled-plane overhead (acceptance: < 5%).
 bench-cluster:
 	$(GO) test -run '^$$' -bench 'ClusterThroughput/' -benchmem ./internal/bench/
 
@@ -106,6 +109,16 @@ bench-cluster-json:
 	$(GO) test -json -run '^$$' -bench 'ClusterThroughput/' -benchmem ./internal/bench/ \
 		> bench-cluster.json
 
+# audit-smoke is the delivery-conservation gate: deploy a 2-node
+# cluster, stream a batch of events through capture → store → deliver,
+# and require the audit to balance to zero with no sequence violations
+# while /cluster/metrics and /cluster/metrics/prom parse. The merged
+# cluster metrics document lands in cluster-metrics.json — the artifact
+# CI uploads so a conservation break is diagnosable from the run.
+audit-smoke:
+	FSMON_AUDIT_SMOKE_OUT=$(CURDIR)/cluster-metrics.json \
+		$(GO) test -count=1 -run 'TestAuditSmoke' ./internal/scalable/
+
 # trace-sample drives the simulated-Lustre demo workload with every
 # event traced end to end and writes the completed span chains to
 # traces.json — the CI sample artifact, loadable in chrome://tracing.
@@ -114,5 +127,6 @@ trace-sample:
 
 # check is the pre-PR gate: everything must build, vet (and staticcheck,
 # where installed) clean, pass the full suite under the race detector,
-# and hold the tracing-overhead and mount-routing benches.
-check: build vet staticcheck race bench-trace bench-mount
+# hold the tracing-overhead and mount-routing benches, and keep the
+# cluster delivery-conservation audit balanced.
+check: build vet staticcheck race bench-trace bench-mount audit-smoke

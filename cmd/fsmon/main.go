@@ -150,6 +150,26 @@ func main() {
 				}
 			}
 		}
+		// Clustered monitors additionally serve the federated rollup: a
+		// per-member health table instead of only this process's numbers.
+		// Non-clustered endpoints answer 404 and the section is skipped.
+		if rep, ok, err := fsmonitor.FetchClusterHealth(base + "/cluster/healthz"); err == nil {
+			fmt.Printf("cluster: %s", rep.Status)
+			if !ok {
+				fmt.Print(" (endpoint reports 503)")
+			}
+			fmt.Println()
+			fmt.Printf("  %-16s %-6s %-12s %-14s %s\n", "NODE", "EPOCH", "PARTITIONS", "HEARTBEAT-AGE", "VERDICT")
+			for _, mb := range rep.Members {
+				verdict := mb.Status.String()
+				if mb.Dead {
+					verdict = fmt.Sprintf("dead (silent %.0fms)", mb.SnapshotAgeMS)
+				}
+				fmt.Printf("  %-16s %-6d %-12d %-14s %s\n",
+					mb.Node, mb.Epoch, len(mb.Partitions),
+					fmt.Sprintf("%.0fms", mb.HeartbeatAgeMS), verdict)
+			}
+		}
 		return
 	}
 

@@ -407,6 +407,41 @@ func FetchTelemetryHealth(url string) (rep HealthReport, ok bool, err error) {
 	return telemetry.FetchHealth(url)
 }
 
+// ClusterHealthReport is the federated cluster rollup served at
+// /cluster/healthz: the worst-of status across every member's watchdog
+// verdict (a dead member counts as stalled) plus per-member state.
+type ClusterHealthReport = telemetry.ClusterReport
+
+// ClusterMemberHealth is one member's state inside a ClusterHealthReport:
+// node ID, assignment epoch, owned partitions, heartbeat and snapshot
+// ages, verdict, and the dead flag.
+type ClusterMemberHealth = telemetry.ClusterMember
+
+// TelemetryAudit is the delivery-conservation auditor: per-partition flow
+// counters at every tier boundary (captured → published → stored →
+// republished → delivered) and sequence gap/dup detectors, exported as
+// fsmon.audit.* gauges and watched by the conservation-violation rule.
+type TelemetryAudit = telemetry.Audit
+
+// EnableConservationAudit attaches the delivery-conservation auditor to
+// reg over parts store partitions. Monitors built over reg report their
+// tier boundaries on it; in steady state the tiers balance to zero and
+// any sequence gap or duplicate trips the conservation-violation watchdog
+// rule. Must be called before the monitor is built (components read the
+// handle at startup); clustered deployments attach it automatically.
+func EnableConservationAudit(reg *Telemetry, parts int) *TelemetryAudit {
+	return reg.EnableAudit(parts)
+}
+
+// FetchClusterHealth retrieves a /cluster/healthz rollup from a running
+// ServeTelemetry endpoint over a clustered monitor. ok mirrors the HTTP
+// verdict: true for 200, false for 503 (a member is stalled or dead); the
+// report is valid either way. Non-clustered endpoints answer 404, which
+// returns an error.
+func FetchClusterHealth(url string) (rep ClusterHealthReport, ok bool, err error) {
+	return telemetry.FetchClusterHealth(url)
+}
+
 // Watch monitors a real directory on the host filesystem, selecting the
 // native backend for the current platform (inotify on Linux, polling
 // elsewhere).

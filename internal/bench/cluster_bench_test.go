@@ -10,6 +10,7 @@ import (
 	"fsmonitor/internal/events"
 	"fsmonitor/internal/eventstore"
 	"fsmonitor/internal/msgq"
+	"fsmonitor/internal/telemetry"
 )
 
 // benchCluster drives the clustered aggregation tier with pre-marshaled
@@ -19,7 +20,10 @@ import (
 // ingest throttle, so aggregate cluster throughput should scale with node
 // count — the clustered analogue of BenchmarkAggregatorThroughput's
 // partition scaling.
-func benchCluster(b *testing.B, nodes int) {
+// reg, when non-nil, arms the full observability plane on every node:
+// per-node gauges, the delivery-conservation audit on the store lanes,
+// and federated snapshot publishing at heartbeat cadence.
+func benchCluster(b *testing.B, nodes int, reg *telemetry.Registry) {
 	const (
 		parts     = 4
 		batchSize = 512
@@ -45,7 +49,8 @@ func benchCluster(b *testing.B, nodes int) {
 			EventOverhead: 2 * time.Microsecond,
 			// Bounded retention: the bench measures store throughput, not
 			// the retention window.
-			Store: eventstore.Options{MaxEvents: 1 << 16},
+			Store:     eventstore.Options{MaxEvents: 1 << 16},
+			Telemetry: reg,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -168,7 +173,20 @@ func benchCluster(b *testing.B, nodes int) {
 func BenchmarkClusterThroughput(b *testing.B) {
 	for _, nodes := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
-			benchCluster(b, nodes)
+			benchCluster(b, nodes, nil)
+		})
+	}
+}
+
+// BenchmarkClusterThroughputTelemetry re-runs the cluster bench with the
+// observability plane armed — per-node gauges, the delivery-conservation
+// audit counting every store append, and federated snapshots published
+// at heartbeat cadence. The events/s delta against the bare variant is
+// the enabled-plane overhead (acceptance: < 5%).
+func BenchmarkClusterThroughputTelemetry(b *testing.B) {
+	for _, nodes := range []int{1, 2} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			benchCluster(b, nodes, telemetry.NewRegistry())
 		})
 	}
 }

@@ -31,6 +31,11 @@ import (
 // are broadcast on (each member publishes them on its own event pub).
 const MembershipTopic = "cluster.membership"
 
+// TelemetryTopic is the topic members publish federated telemetry
+// snapshots on, piggybacking the heartbeat cadence and the same pub/sub
+// mesh the membership protocol already maintains.
+const TelemetryTopic = "cluster.telemetry"
+
 // MemberInfo identifies a cluster member and how to reach it.
 type MemberInfo struct {
 	// ID is the unique member name. It must not contain '.' (it is

@@ -64,6 +64,16 @@ type MembershipOptions struct {
 	// broadcasts that it has closed the given partitions' stores — the
 	// handoff fence a new owner waits on before opening them.
 	OnRelease func(from string, epoch uint64, parts []int)
+	// Federation, when non-nil, receives the telemetry snapshots peers
+	// publish on TelemetryTopic (and our own, fed locally — a pub is not
+	// self-subscribed). A graceful leave removes the member from the view;
+	// silent death does not, so the federation's age-based dead-member
+	// detection stays visible.
+	Federation *telemetry.Federation
+	// TelemetrySnapshot, when non-nil on a non-observer, builds this
+	// member's published telemetry frame (a JSON-encoded NodeSnapshot);
+	// beat broadcasts it on TelemetryTopic at the heartbeat cadence.
+	TelemetrySnapshot func() []byte
 	// Logger receives component-tagged structured logs; nil discards.
 	Logger *slog.Logger
 }
@@ -167,6 +177,9 @@ func NewMembership(opts MembershipOptions) (*Membership, error) {
 		stopped: make(chan struct{}),
 	}
 	m.sub.Subscribe(MembershipTopic)
+	if opts.Federation != nil {
+		m.sub.Subscribe(TelemetryTopic)
+	}
 	m.recompute() // initial single-member (or empty, for observers) view
 	return m, nil
 }
@@ -264,6 +277,10 @@ func (m *Membership) ctlLoop() {
 func (m *Membership) subLoop() {
 	defer m.wg.Done()
 	for msg := range m.sub.C() {
+		if msg.Topic == TelemetryTopic {
+			m.opts.Federation.UpdateJSON(msg.Payload)
+			continue
+		}
 		var c ctrlMsg
 		if err := json.Unmarshal(msg.Payload, &c); err != nil {
 			continue
@@ -397,6 +414,12 @@ func (m *Membership) drop(id, why string) {
 	}
 	m.mu.Unlock()
 	if known {
+		if why == "leave" {
+			// Only a graceful leave forgets the member's telemetry; a
+			// silent death must keep aging in the federation until the
+			// rollup reports it dead.
+			m.opts.Federation.Remove(id)
+		}
 		m.opts.Logger.Info("member removed", "peer", id, "reason", why)
 		m.changed()
 	}
@@ -458,6 +481,14 @@ func (m *Membership) beat() {
 	}
 	for _, r := range rel {
 		m.publishRelease(r.epoch, r.parts)
+	}
+	if m.opts.TelemetrySnapshot != nil {
+		if frame := m.opts.TelemetrySnapshot(); len(frame) > 0 {
+			m.opts.Pub.Publish(TelemetryTopic, frame)
+			// A pub is not self-subscribed, so our own snapshot has to be
+			// folded into the local federation directly.
+			m.opts.Federation.UpdateJSON(frame)
+		}
 	}
 }
 

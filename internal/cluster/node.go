@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -147,6 +148,11 @@ type Node struct {
 	strays    atomic.Uint64
 	handoffs  atomic.Uint64
 
+	// aud is the shared delivery-conservation auditor (nil when telemetry
+	// is off); owned partition stores report their appends on it, and the
+	// republish stage counts its tier boundary.
+	aud *telemetry.Audit
+
 	slog      *slog.Logger
 	closeOnce sync.Once
 }
@@ -179,6 +185,25 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	}
 	n.slog = telemetry.ComponentLogger(opts.Logger, "node."+opts.ID)
 	n.sub.Subscribe(msgq.NodeSubscription(opts.ID))
+	// The observability plane hangs off the registry: the shared
+	// conservation auditor and the federated cluster view (both idempotent
+	// attaches — in-process multi-node deployments share one of each).
+	// The federation's dead-member window matches the membership failure
+	// detector so both flip within the same heartbeat budget.
+	fa := opts.FailAfter
+	if fa <= 0 {
+		iv := opts.HeartbeatInterval
+		if iv <= 0 {
+			iv = DefaultHeartbeatInterval
+		}
+		fa = defaultFailFactor * iv
+	}
+	n.aud = opts.Telemetry.EnableAudit(opts.Parts)
+	fed := opts.Telemetry.EnableFederation(fa)
+	var snapshot func() []byte
+	if fed != nil {
+		snapshot = n.telemetryFrame
+	}
 	mem, err := NewMembership(MembershipOptions{
 		Self:      MemberInfo{ID: opts.ID, Endpoint: AdvertiseEndpoint(pub.Addr(), opts.Advertise), Ctl: opts.Ctl},
 		Pub:       pub,
@@ -187,10 +212,12 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		Interval:  opts.HeartbeatInterval,
 		FailAfter: opts.FailAfter,
 		Advertise: opts.Advertise,
-		OnChange:  n.applyAssignment,
-		OnPeer:    func(p MemberInfo) { _ = n.sub.Connect(p.Endpoint) },
-		OnRelease: n.onRelease,
-		Logger:    opts.Logger,
+		OnChange:          n.applyAssignment,
+		OnPeer:            func(p MemberInfo) { _ = n.sub.Connect(p.Endpoint) },
+		OnRelease:         n.onRelease,
+		Federation:        fed,
+		TelemetrySnapshot: snapshot,
+		Logger:            opts.Logger,
 	})
 	if err != nil {
 		pub.Close()
@@ -198,6 +225,19 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	}
 	n.mem = mem
 	return n, nil
+}
+
+// telemetryFrame builds this node's published federation frame: its
+// membership state plus its own registry slice (everything under
+// "fsmon.cluster.<id>."), JSON-encoded for the cluster.telemetry topic.
+func (n *Node) telemetryFrame() []byte {
+	s := telemetry.BuildNodeSnapshot(n.opts.Telemetry, n.opts.ID, n.mem.Epoch(),
+		n.mem.Assignment().Owned(n.opts.ID), n.mem.HeartbeatAge())
+	frame, err := json.Marshal(s)
+	if err != nil {
+		return nil
+	}
+	return frame
 }
 
 // SetRecovery records the advertised recovery-server address. Must be
@@ -379,6 +419,7 @@ func (n *Node) openPartitionLocked(p int, epoch uint64) {
 		n.slog.Error("opening acquired partition", "partition", p, "err", err)
 		return
 	}
+	st.SetAudit(n.aud, p)
 	n.stores[p] = st
 	delete(n.pending, p)
 	delete(n.relLog, p)
@@ -490,11 +531,19 @@ func (n *Node) storeLane(ctx context.Context, pb nodeBatch) (repBatch, bool) {
 		return repBatch{}, false
 	}
 	n.received.Add(uint64(cnt))
+	hopStamped := false
 	for {
 		if st := n.store(pb.part); st != nil {
 			n.throttle.Spend(time.Duration(cnt) * n.opts.EventOverhead)
 			if _, err := st.AppendBlock(blk); err == nil {
 				n.stored.Add(uint64(cnt))
+				if tr := blk.Trace(); tr != nil {
+					// The span carries the owning node's ID, so a traced
+					// event that crossed a handoff or stray-forward renders
+					// as one chain with each hop attributed to its node.
+					tr.AppendNode(events.TierStore, time.Now().UnixNano(), n.opts.ID)
+					blk.MarkTraceDirty()
+				}
 				return repBatch{part: pb.part, blk: blk, n: cnt}, true
 			} else if n.store(pb.part) == st {
 				// Still the owner: a real store failure, not a handoff
@@ -510,6 +559,13 @@ func (n *Node) storeLane(ctx context.Context, pb nodeBatch) (repBatch, bool) {
 		// on our own pub — every member's intake is subscribed to its
 		// inbox on every peer pub, so the forward is one hop.
 		if topic, ok := n.mem.OwnerTopic(pb.part); ok && topic != msgq.NodeTopic(n.opts.ID, pb.part) {
+			if tr := blk.Trace(); tr != nil && !hopStamped {
+				// Record the forward hop under this node's identity once —
+				// the receiving owner adds its own store span next.
+				tr.AppendNode(events.TierPartition, time.Now().UnixNano(), n.opts.ID)
+				blk.MarkTraceDirty()
+				hopStamped = true
+			}
 			if delivered, shared := n.pub.PublishBlockCtx(ctx, topic, blk); delivered > 0 {
 				n.strays.Add(uint64(cnt))
 				if !shared {
@@ -544,8 +600,13 @@ func (n *Node) republishBatch(ctx context.Context, rb repBatch) {
 	if n.opts.Parts > 1 {
 		topic = msgq.PartitionTopic(n.opts.RepublishTopic, rb.part)
 	}
+	if tr := rb.blk.Trace(); tr != nil {
+		tr.AppendNode(events.TierRepublish, time.Now().UnixNano(), n.opts.ID)
+		rb.blk.MarkTraceDirty()
+	}
 	_, shared := n.pub.PublishBlockCtx(ctx, topic, rb.blk)
 	n.published.Add(uint64(rb.n))
+	n.aud.Republished(rb.part, rb.n)
 	if !shared {
 		n.pool.Put(rb.blk)
 	}

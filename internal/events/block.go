@@ -401,6 +401,12 @@ func (b *Block) EncodeTo(buf []byte, seqPos *[]int) []byte {
 		for _, sp := range tr.Spans {
 			buf = append(buf, sp.Tier)
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(sp.TS))
+			node := sp.Node
+			if len(node) > maxNode {
+				node = node[:maxNode]
+			}
+			buf = append(buf, byte(len(node)))
+			buf = append(buf, node...)
 		}
 	}
 	for i := range b.ops {
@@ -497,13 +503,20 @@ func DecodeBlockInto(b *Block, payload []byte) error {
 		tr := &BatchTrace{ID: binary.LittleEndian.Uint64(payload[pos:])}
 		nspans := int(payload[pos+8])
 		pos += 9
-		if len(payload) < pos+9*nspans {
-			return fmt.Errorf("events: short buffer decoding %d trace spans", nspans)
-		}
 		tr.Spans = make([]Span, nspans)
 		for i := range tr.Spans {
-			tr.Spans[i] = Span{Tier: payload[pos], TS: int64(binary.LittleEndian.Uint64(payload[pos+1:]))}
-			pos += 9
+			if len(payload) < pos+10 {
+				return fmt.Errorf("events: short buffer decoding %d trace spans", nspans)
+			}
+			sp := Span{Tier: payload[pos], TS: int64(binary.LittleEndian.Uint64(payload[pos+1:]))}
+			nl := int(payload[pos+9])
+			pos += 10
+			if len(payload) < pos+nl {
+				return fmt.Errorf("events: short buffer decoding trace span node")
+			}
+			sp.Node = string(payload[pos : pos+nl])
+			pos += nl
+			tr.Spans[i] = sp
 		}
 		b.trace = tr
 	}

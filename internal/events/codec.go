@@ -26,12 +26,14 @@ import (
 // trace is the sampled span-trace section, present only when the
 // batchTraced bit is set:
 //
-//	u64 traceID | u8 nspans | nspans * (u8 tier | i64 unixNano)
+//	u64 traceID | u8 nspans | nspans * (u8 tier | i64 unixNano | u8 len(node) node)
 //
 // traceID is the sampled event's EventKey; each tier the batch passes
-// through appends one span (see trace.go). Batches without a sampled
-// event never carry the section, so 1-in-N sampling costs (9 + 9*spans)
-// wire bytes on roughly one batch in N/batchSize.
+// through appends one span (see trace.go), tagged with the recording
+// cluster node's ID ("" outside the aggregation cluster — one length byte
+// on the wire). Batches without a sampled event never carry the section,
+// so 1-in-N sampling costs (9 + (10+len(node))*spans) wire bytes on
+// roughly one batch in N/batchSize.
 //
 // Event layout:
 //
@@ -159,6 +161,12 @@ func MarshalBatchTraced(evs []Event, stamp int64, tr *BatchTrace) ([]byte, error
 		for _, sp := range tr.Spans {
 			buf = append(buf, sp.Tier)
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(sp.TS))
+			node := sp.Node
+			if len(node) > maxNode {
+				node = node[:maxNode]
+			}
+			buf = append(buf, byte(len(node)))
+			buf = append(buf, node...)
 		}
 	}
 	var err error
@@ -210,13 +218,22 @@ func UnmarshalBatchTraced(buf []byte) ([]Event, int64, *BatchTrace, error) {
 		tr = &BatchTrace{ID: binary.LittleEndian.Uint64(buf)}
 		nspans := int(buf[8])
 		buf = buf[9:]
-		if len(buf) < 9*nspans {
-			return nil, 0, nil, fmt.Errorf("events: short buffer decoding %d trace spans", nspans)
-		}
 		tr.Spans = make([]Span, nspans)
 		for i := range tr.Spans {
-			tr.Spans[i] = Span{Tier: buf[0], TS: int64(binary.LittleEndian.Uint64(buf[1:]))}
-			buf = buf[9:]
+			// Spans are variable-length (the node ID), so bounds-check each
+			// one instead of the whole section.
+			if len(buf) < 10 {
+				return nil, 0, nil, fmt.Errorf("events: short buffer decoding %d trace spans", nspans)
+			}
+			sp := Span{Tier: buf[0], TS: int64(binary.LittleEndian.Uint64(buf[1:]))}
+			nl := int(buf[9])
+			buf = buf[10:]
+			if len(buf) < nl {
+				return nil, 0, nil, fmt.Errorf("events: short buffer decoding trace span node")
+			}
+			sp.Node = string(buf[:nl])
+			buf = buf[nl:]
+			tr.Spans[i] = sp
 		}
 	}
 	// Preallocate from the claimed count, bounded by what the buffer

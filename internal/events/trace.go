@@ -39,17 +39,26 @@ func TierName(t uint8) string {
 	return fmt.Sprintf("tier%d", t)
 }
 
-// Span is one tier's hop: the tier and the wall clock (unix nanoseconds)
-// at which the traced batch passed it.
+// Span is one tier's hop: the tier, the wall clock (unix nanoseconds) at
+// which the traced batch passed it, and — on clustered deployments — the
+// ID of the node that recorded it. Node is "" for hops recorded outside
+// the aggregation cluster (collectors, the classic aggregator, consumers);
+// a traced event that crosses a handoff or stray-forward carries each
+// hop's owner, so the stitched chain shows where every tier ran.
 type Span struct {
 	Tier uint8
 	TS   int64
+	Node string
 }
 
 // maxSpans is the wire limit on spans per trace (the count is one byte).
 // A complete chain is NumTiers spans; the headroom absorbs future tiers
-// and duplicated hops without a format change.
-const maxSpans = 255
+// and duplicated hops without a format change. maxNode bounds a span's
+// node ID the same way (its wire length is one byte).
+const (
+	maxSpans = 255
+	maxNode  = 255
+)
 
 // BatchTrace is the trace section a sampled batch carries: the sampled
 // event's identity hash as the trace ID and the spans appended so far.
@@ -61,10 +70,21 @@ type BatchTrace struct {
 // Append records one hop. Safe on a nil receiver (no-op); spans beyond
 // the wire limit are dropped rather than failing the batch.
 func (t *BatchTrace) Append(tier uint8, ts int64) {
+	t.AppendNode(tier, ts, "")
+}
+
+// AppendNode records one hop tagged with the recording node's ID — the
+// cross-node stitching variant cluster nodes use. Safe on a nil receiver
+// (no-op); spans beyond the wire limit are dropped and over-long node IDs
+// truncated rather than failing the batch.
+func (t *BatchTrace) AppendNode(tier uint8, ts int64, node string) {
 	if t == nil || len(t.Spans) >= maxSpans {
 		return
 	}
-	t.Spans = append(t.Spans, Span{Tier: tier, TS: ts})
+	if len(node) > maxNode {
+		node = node[:maxNode]
+	}
+	t.Spans = append(t.Spans, Span{Tier: tier, TS: ts, Node: node})
 }
 
 // EventKey hashes an event's wire-stable identity (FNV-1a over root, path,

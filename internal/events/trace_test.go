@@ -98,7 +98,7 @@ func TestCodecTracedRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := len(stamped) + 9 + 9*len(tr.Spans); len(traced) != want {
+	if want := len(stamped) + 9 + 10*len(tr.Spans); len(traced) != want {
 		t.Errorf("traced batch is %d bytes, want %d", len(traced), want)
 	}
 
@@ -113,8 +113,8 @@ func TestCodecTracedRoundTrip(t *testing.T) {
 		t.Fatalf("trace lost: %+v", gotTr)
 	}
 	if len(gotTr.Spans) != 3 ||
-		gotTr.Spans[0] != (Span{TierCollect, 100}) ||
-		gotTr.Spans[2] != (Span{TierPublish, 300}) {
+		gotTr.Spans[0] != (Span{Tier: TierCollect, TS: 100}) ||
+		gotTr.Spans[2] != (Span{Tier: TierPublish, TS: 300}) {
 		t.Errorf("span round trip mismatch: %+v", gotTr.Spans)
 	}
 

@@ -246,6 +246,7 @@ func (s *Store) Append(e events.Event) (uint64, error) {
 	s.events = append(s.events, e)
 	s.appended++
 	s.journalEventLocked(e)
+	s.tel.auditAppend(e.Seq, 1, s.opts.seqStride)
 	groupFlush := s.maybeFlushLocked(1)
 	s.enforceBoundLocked()
 	s.mu.Unlock()
@@ -280,6 +281,7 @@ func (s *Store) AppendBatch(evs []events.Event) (uint64, error) {
 	groupFlush := s.maybeFlushLocked(len(evs))
 	s.enforceBoundLocked()
 	last := evs[len(evs)-1].Seq
+	s.tel.auditAppend(last, len(evs), s.opts.seqStride)
 	s.mu.Unlock()
 	if groupFlush {
 		s.group.flush()
@@ -316,6 +318,7 @@ func (s *Store) AppendBlock(blk *events.Block) (uint64, error) {
 	s.events = blk.AppendEventsTo(s.events)
 	s.appended += uint64(n)
 	s.journalBlockLocked(blk)
+	s.tel.auditAppend(last, n, s.opts.seqStride)
 	groupFlush := s.maybeFlushLocked(n)
 	s.enforceBoundLocked()
 	s.mu.Unlock()

@@ -13,6 +13,23 @@ type storeTel struct {
 	appendUS     *telemetry.Histogram // Append/AppendBatch wall time
 	flushUS      *telemetry.Histogram // journal buffer flush / fsync time
 	journalBytes *telemetry.Counter   // bytes appended to the journal
+
+	// aud, when non-nil, receives delivery-conservation counts: every
+	// append is added to auditPart's stored flow and checked against the
+	// partition's sequence lane.
+	aud       *telemetry.Audit
+	auditPart int
+}
+
+// auditAppend reports one append — n events ending at seq last on a lane
+// advancing by stride — to the attached auditor. Nil-safe like the other
+// handles.
+func (t *storeTel) auditAppend(last uint64, n int, stride uint64) {
+	if t.aud == nil || n <= 0 {
+		return
+	}
+	t.aud.Stored(t.auditPart, n)
+	t.aud.StoreSeq(t.auditPart, last-uint64(n-1)*stride, n, stride)
 }
 
 // RegisterTelemetry mirrors the store into reg under prefix (e.g.
@@ -30,6 +47,10 @@ func (s *Store) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
 		journalBytes: reg.Counter(prefix + ".journal_bytes"),
 	}
 	s.mu.Lock()
+	// Preserve an auditor attached before the mirror: SetAudit and
+	// RegisterTelemetry may run in either order.
+	tel.aud = s.tel.aud
+	tel.auditPart = s.tel.auditPart
 	s.tel = tel
 	s.mu.Unlock()
 	reg.GaugeFunc(prefix+".retained", func() float64 { return float64(s.Stats().Retained) })
@@ -38,6 +59,28 @@ func (s *Store) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".purged", func() float64 { return float64(s.Stats().Purged) })
 	reg.GaugeFunc(prefix+".evicted", func() float64 { return float64(s.Stats().Evicted) })
 	reg.GaugeFunc(prefix+".next_seq", func() float64 { return float64(s.Stats().NextSeq) })
+}
+
+// SetAudit attaches a delivery-conservation auditor: every append is
+// counted against partition part's flow and checked on its sequence lane.
+// Call before the store starts taking appends (same contract as
+// RegisterTelemetry). No-op when aud is nil.
+func (s *Store) SetAudit(aud *telemetry.Audit, part int) {
+	if aud == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tel.aud = aud
+	s.tel.auditPart = part
+	s.mu.Unlock()
+}
+
+// SetAudit attaches an auditor to every shard, each on its own partition
+// lane. No-op when aud is nil.
+func (s *Sharded) SetAudit(aud *telemetry.Audit) {
+	for i, sh := range s.shards {
+		sh.SetAudit(aud, i)
+	}
 }
 
 // RegisterTelemetry mirrors every shard under "<prefix>.p<i>" — the

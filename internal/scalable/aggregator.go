@@ -145,6 +145,7 @@ type Aggregator struct {
 	storeUS          *telemetry.Histogram // per-batch store-lane wall time
 	captureToStoreUS *telemetry.Histogram // capture stamp → store append
 	republishUS      *telemetry.Histogram // capture stamp → republished
+	aud              *telemetry.Audit     // delivery-conservation counters (nil = off)
 
 	closeOnce sync.Once
 }
@@ -247,6 +248,16 @@ func (a *Aggregator) initTelemetry(reg *telemetry.Registry) {
 	a.storeUS = reg.Histogram(prefix+".store_us", nil)
 	a.captureToStoreUS = reg.Histogram(prefix+".capture_to_store_us", nil)
 	a.republishUS = reg.Histogram(prefix+".capture_to_republish_us", nil)
+	// The classic aggregator is the conservation audit's anchor: it knows
+	// the partition count, so it attaches the auditor and hands it to the
+	// engine's append path.
+	a.aud = reg.EnableAudit(a.parts)
+	switch eng := a.engine.(type) {
+	case *eventstore.Store:
+		eng.SetAudit(a.aud, 0)
+	case *eventstore.Sharded:
+		eng.SetAudit(a.aud)
+	}
 }
 
 // registerTelemetry mirrors the aggregator into reg: the engine's
@@ -484,6 +495,10 @@ func (a *Aggregator) storeLane() func(context.Context, partBatch) (repBatch, boo
 				a.counters[pb.part]++
 				blk.SetSeq(i, uint64(pb.part)+a.counters[pb.part]*stride)
 			}
+			// No engine to report the audit's stored boundary, so the
+			// counter lane reports it directly.
+			a.aud.Stored(pb.part, n)
+			a.aud.StoreSeq(pb.part, uint64(pb.part)+(a.counters[pb.part]-uint64(n)+1)*stride, n, stride)
 		}
 		a.stored.Add(uint64(n))
 		if a.storeUS != nil {
@@ -520,6 +535,7 @@ func (a *Aggregator) republishBatch(ctx context.Context, rb repBatch) {
 	}
 	_, shared := a.pub.PublishBlockCtx(ctx, topic, rb.blk)
 	a.published.Add(uint64(rb.n))
+	a.aud.Republished(rb.part, rb.n)
 	if a.republishUS != nil {
 		if us := telemetry.SinceStampUS(rb.stamp); us >= 0 {
 			a.republishUS.Observe(us)

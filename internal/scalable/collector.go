@@ -271,6 +271,14 @@ func (c *Collector) initTelemetry(reg *telemetry.Registry) {
 	c.traceN = reg.TraceSampleN()
 }
 
+// audit resolves the delivery-conservation audit at use time rather than
+// construction time: the classic Deploy builds collectors before the
+// aggregator enables the audit on the shared registry, so a cached handle
+// would always be nil. The lookup is one atomic pointer load per batch.
+func (c *Collector) audit() *telemetry.Audit {
+	return c.opts.Telemetry.Audit()
+}
+
 // registerTelemetry mirrors the collector into reg under
 // "fsmon.collector.mdt<N>": GaugeFunc mirrors of every existing counter
 // (pipeline stages, resolver, cache, publisher fan-out). Runs after the
@@ -364,6 +372,9 @@ func (c *Collector) resolveBatch(_ context.Context, rb readBatch) (pubBatch, boo
 		c.pool.Put(blk)
 		return pubBatch{since: rb.since}, true
 	}
+	// The capture boundary of the conservation audit: every resolved
+	// event is accounted here, before any publish can fail or split.
+	c.audit().Captured(blk.Len())
 	blk.SetStamp(rb.stamp)
 	// Deterministic 1-in-N trace sampling: the first sampled event in the
 	// batch opens the span chain — collect at the capture stamp, resolve
@@ -412,6 +423,7 @@ func (c *Collector) publishBatch(ctx context.Context, pb pubBatch) {
 			published, shared = c.deliver(ctx, c.topic, blk)
 			if published {
 				c.published.Add(uint64(blk.Len()))
+				c.audit().Published(blk.Len())
 			}
 			if !shared {
 				c.pool.Put(blk)
@@ -493,6 +505,7 @@ func (c *Collector) publishRouted(ctx context.Context, blk *events.Block) bool {
 		ok, shared := c.routeDeliver(ctx, 0, blk)
 		if ok {
 			c.published.Add(uint64(blk.Len()))
+			c.audit().Published(blk.Len())
 		}
 		if !shared {
 			c.pool.Put(blk)
@@ -542,6 +555,7 @@ func (c *Collector) publishRouted(ctx context.Context, blk *events.Block) bool {
 		ok, sh := c.routeDeliver(ctx, p, v)
 		if ok {
 			c.published.Add(uint64(v.Len()))
+			c.audit().Published(v.Len())
 			if sh {
 				anyShared = true
 			} else {

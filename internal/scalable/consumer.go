@@ -127,6 +127,7 @@ type Consumer struct {
 	e2eUS  *telemetry.Histogram // capture stamp → delivered to application
 	lagUS  *telemetry.Gauge     // now - event record time at delivery
 	traces *telemetry.TraceRing // completed span chains (nil when tracing is off)
+	aud    *telemetry.Audit     // delivery-conservation counters (nil = off)
 
 	closeOnce sync.Once
 }
@@ -260,6 +261,7 @@ func (c *Consumer) initTelemetry(reg *telemetry.Registry) {
 	c.e2eUS = reg.Histogram(prefix+".e2e_us", nil)
 	c.lagUS = reg.Gauge(prefix + ".lag_us")
 	c.traces = reg.Traces()
+	c.aud = reg.Audit()
 }
 
 // registerTelemetry mirrors the consumer into reg under "fsmon.consumer":
@@ -375,6 +377,13 @@ func (c *Consumer) deliverBatch(ctx context.Context, cb conBatch) {
 				continue
 			}
 			c.cursors[p] = seq
+			// The delivery boundary of the conservation audit, counted at
+			// the dedup keep point — before subscription filtering — so the
+			// republished↔delivered balance holds for any filter. The lane
+			// detector flags forward jumps: seqs the store assigned but
+			// this consumer never saw.
+			c.aud.Delivered(int(p), 1)
+			c.aud.DeliverSeq(int(p), seq, uint64(c.parts))
 		}
 		keep = append(keep, i)
 	}
@@ -432,7 +441,7 @@ func (c *Consumer) completeTrace(tr *events.BatchTrace) {
 	}
 	t := telemetry.Trace{ID: tr.ID, Spans: make([]telemetry.TraceSpan, len(tr.Spans)+1)}
 	for i, sp := range tr.Spans {
-		t.Spans[i] = telemetry.TraceSpan{Tier: events.TierName(sp.Tier), TS: sp.TS}
+		t.Spans[i] = telemetry.TraceSpan{Tier: events.TierName(sp.Tier), TS: sp.TS, Node: sp.Node}
 	}
 	t.Spans[len(tr.Spans)] = telemetry.TraceSpan{Tier: events.TierName(events.TierDeliver), TS: time.Now().UnixNano()}
 	c.traces.Add(t)

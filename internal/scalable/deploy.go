@@ -86,6 +86,12 @@ type DeployOptions struct {
 	// the engine-wide base every partition derives its "<path>.p<i>"
 	// segment from (the handoff medium). The zero value is in-memory.
 	ClusterStore eventstore.Options
+	// ClusterTelemetryAddrs, when non-empty on a clustered deployment,
+	// serves the telemetry HTTP endpoint (including the /cluster/*
+	// observability plane) on one server per address — typically one per
+	// node (":0" picks free ports). Every server is shut down gracefully
+	// by Monitor.Close. Requires Telemetry.
+	ClusterTelemetryAddrs []string
 	// BatchSize overrides the collectors' Changelog read batch.
 	BatchSize int
 	// PollInterval overrides the collectors' idle poll.
@@ -116,6 +122,7 @@ type Monitor struct {
 	router     *cluster.Membership // collector-side observer view (clustered only)
 	recoveries []*RecoveryServer   // one per in-process node (clustered only)
 	parts      int                 // cluster partition count
+	telSrvs    []*telemetry.Server // per-node telemetry HTTP servers (clustered only)
 }
 
 // Deploy starts a collector on every MDS of the cluster and an aggregator
@@ -258,8 +265,16 @@ func (m *Monitor) Stats() Stats {
 	return st
 }
 
+// TelemetryServers returns the per-node telemetry HTTP servers a
+// clustered deployment started for ClusterTelemetryAddrs (empty
+// otherwise). Their lifecycle belongs to the monitor; Close shuts down
+// every one of them.
+func (m *Monitor) TelemetryServers() []*telemetry.Server { return m.telSrvs }
+
 // Close stops every component upstream-first: collectors, then the
-// routing observer, the recovery servers, and the aggregation tier.
+// routing observer, the recovery servers, the aggregation tier, and
+// finally every per-node telemetry HTTP server — all of them, not just
+// the first, each through the graceful Server.Close drain.
 func (m *Monitor) Close() {
 	for _, c := range m.Collectors {
 		c.Close()
@@ -275,5 +290,8 @@ func (m *Monitor) Close() {
 	}
 	if m.Aggregator != nil {
 		m.Aggregator.Close()
+	}
+	for _, s := range m.telSrvs {
+		s.Close()
 	}
 }

@@ -216,12 +216,16 @@ func deployCluster(lc *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 	}
 	obsJoin := append([]string{m.Nodes[0].CtlEndpoint()}, opts.ClusterJoin...)
 	router, err := cluster.NewMembership(cluster.MembershipOptions{
-		Self:      cluster.MemberInfo{ID: "router", Ctl: obsCtl},
-		Observer:  true,
-		Join:      obsJoin,
-		Parts:     parts,
-		Advertise: opts.ClusterAdvertise,
-		Logger:    opts.Logger,
+		Self:     cluster.MemberInfo{ID: "router", Ctl: obsCtl},
+		Observer: true,
+		Join:     obsJoin,
+		Parts:    parts,
+		// The observer also folds peers' telemetry frames into the shared
+		// federation, so the cluster view covers members joined from other
+		// processes too.
+		Federation: opts.Telemetry.Federation(),
+		Advertise:  opts.ClusterAdvertise,
+		Logger:     opts.Logger,
 	})
 	if err != nil {
 		m.Close()
@@ -268,6 +272,17 @@ func deployCluster(lc *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 			m.Close()
 			return nil, err
 		}
+	}
+	// Per-node telemetry HTTP servers: each serves the shared registry
+	// (and with it the /cluster/* plane), and every one is tied to
+	// Monitor.Close — the fan-out, not just the first.
+	for _, addr := range opts.ClusterTelemetryAddrs {
+		srv, err := telemetry.Serve(addr, opts.Telemetry)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.telSrvs = append(m.telSrvs, srv)
 	}
 	metrics.Register(opts.Telemetry)
 	return m, nil

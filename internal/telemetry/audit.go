@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Delivery-conservation audit: per-partition flow counters at every tier
+// boundary of the scalable pipeline (captured → published → stored →
+// republished → delivered) plus per-lane sequence gap/dup detectors at
+// the store append and consumer dedup points. The paper's central claim
+// is lossless monitoring; the audit turns that claim into an invariant a
+// running deployment can check — in steady state every tier's total
+// matches the one before it, and a sequence lane that skips or repeats a
+// stride is a violation the watchdog surfaces within one sampler window.
+//
+// The auditor is one shared structure per registry (EnableAudit), updated
+// with single atomic adds from every component, and exported as
+// fsmon.audit.* gauges so the conservation-violation health rule and the
+// audit-smoke CI gate read it like any other metric.
+
+// Audit accumulates tier-boundary flow counts and sequence-lane
+// violations. All methods are safe for concurrent use and safe on a nil
+// receiver — components thread a possibly-nil *Audit exactly like the
+// registry's other handles.
+type Audit struct {
+	parts int
+
+	captured  atomic.Uint64 // events entering the pipeline (collector resolve)
+	published atomic.Uint64 // events accepted by the collectors' publish
+
+	stored      []atomic.Uint64 // per-partition reliable-store appends
+	republished []atomic.Uint64 // per-partition republishes toward consumers
+	delivered   []atomic.Uint64 // per-partition consumer acceptances (post-dedup)
+
+	// Per-lane high-water marks for the sequence detectors. Store lanes
+	// are written by exactly one owner at a time (partition ownership);
+	// deliver lanes by each consumer's dedup loop.
+	storeLast   []atomic.Uint64
+	deliverLast []atomic.Uint64
+
+	gaps       atomic.Uint64 // lane skipped >= 1 stride (lost events)
+	dups       atomic.Uint64 // store lane re-appended an already-assigned seq
+	violations atomic.Uint64 // gaps + dups: what the watchdog rule fires on
+}
+
+// NewAudit creates an auditor over parts store partitions (parts < 1 is
+// raised to 1).
+func NewAudit(parts int) *Audit {
+	if parts < 1 {
+		parts = 1
+	}
+	return &Audit{
+		parts:       parts,
+		stored:      make([]atomic.Uint64, parts),
+		republished: make([]atomic.Uint64, parts),
+		delivered:   make([]atomic.Uint64, parts),
+		storeLast:   make([]atomic.Uint64, parts),
+		deliverLast: make([]atomic.Uint64, parts),
+	}
+}
+
+// Parts returns the partition count (0 on a nil receiver).
+func (a *Audit) Parts() int {
+	if a == nil {
+		return 0
+	}
+	return a.parts
+}
+
+// lane clamps a partition index into range so a miswired caller skews one
+// lane instead of panicking the pipeline.
+func (a *Audit) lane(part int) int {
+	if part < 0 || part >= a.parts {
+		return 0
+	}
+	return part
+}
+
+// Captured counts n events entering the pipeline at the collectors.
+func (a *Audit) Captured(n int) {
+	if a == nil || n <= 0 {
+		return
+	}
+	a.captured.Add(uint64(n))
+}
+
+// Published counts n events accepted by a collector publish.
+func (a *Audit) Published(n int) {
+	if a == nil || n <= 0 {
+		return
+	}
+	a.published.Add(uint64(n))
+}
+
+// Stored counts n events appended to partition part's reliable store.
+func (a *Audit) Stored(part, n int) {
+	if a == nil || n <= 0 {
+		return
+	}
+	a.stored[a.lane(part)].Add(uint64(n))
+}
+
+// Republished counts n events republished from partition part toward
+// consumers.
+func (a *Audit) Republished(part, n int) {
+	if a == nil || n <= 0 {
+		return
+	}
+	a.republished[a.lane(part)].Add(uint64(n))
+}
+
+// Delivered counts n events a consumer accepted for partition part at its
+// dedup point (before subscription filtering, so conservation holds for
+// any filter).
+func (a *Audit) Delivered(part, n int) {
+	if a == nil || n <= 0 {
+		return
+	}
+	a.delivered[a.lane(part)].Add(uint64(n))
+}
+
+// StoreSeq audits one store append on partition part's sequence lane:
+// n events starting at seq first, the lane advancing by stride per event.
+// The lane must continue exactly one stride past its previous high water —
+// a first seq beyond that is a gap (events skipped, e.g. a handoff that
+// lost journal tail), at or below it a duplicate append. The first append
+// on a lane only sets the high water.
+func (a *Audit) StoreSeq(part int, first uint64, n int, stride uint64) {
+	if a == nil || n <= 0 || stride == 0 || first == 0 {
+		return
+	}
+	lane := &a.storeLast[a.lane(part)]
+	last := first + uint64(n-1)*stride
+	for {
+		prev := lane.Load()
+		if prev != 0 {
+			switch {
+			case first > prev+stride:
+				a.gaps.Add((first - prev - stride) / stride)
+				a.violations.Add(1)
+			case first <= prev:
+				a.dups.Add(1)
+				a.violations.Add(1)
+				if last <= prev {
+					return // replayed range, high water unchanged
+				}
+			}
+		}
+		if lane.CompareAndSwap(prev, last) {
+			return
+		}
+	}
+}
+
+// DeliverSeq audits one delivered event on partition part's sequence lane
+// at the consumer dedup point. The consumer's dedup already discards
+// at-or-below-cursor seqs (expected on recovery replay — not a
+// violation), so only forward jumps over a stride count: events the store
+// assigned but the consumer never saw.
+func (a *Audit) DeliverSeq(part int, seq, stride uint64) {
+	if a == nil || stride == 0 || seq == 0 {
+		return
+	}
+	lane := &a.deliverLast[a.lane(part)]
+	for {
+		prev := lane.Load()
+		if seq <= prev {
+			return
+		}
+		if lane.CompareAndSwap(prev, seq) {
+			if prev != 0 && seq > prev+stride {
+				a.gaps.Add((seq - prev - stride) / stride)
+				a.violations.Add(1)
+			}
+			return
+		}
+	}
+}
+
+// Violations returns the lifetime gap+dup detection count (0 on nil).
+func (a *Audit) Violations() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.violations.Load()
+}
+
+// AuditSnapshot is a point-in-time view of the conservation counters.
+type AuditSnapshot struct {
+	Captured    uint64   `json:"captured"`
+	Published   uint64   `json:"published"`
+	Stored      uint64   `json:"stored"`
+	Republished uint64   `json:"republished"`
+	Delivered   uint64   `json:"delivered"`
+	PerPart     []uint64 `json:"stored_per_part,omitempty"`
+	Gaps        uint64   `json:"seq_gaps"`
+	Dups        uint64   `json:"seq_dups"`
+	Violations  uint64   `json:"violations"`
+}
+
+// Snapshot reads every counter (zero value on a nil receiver).
+func (a *Audit) Snapshot() AuditSnapshot {
+	var s AuditSnapshot
+	if a == nil {
+		return s
+	}
+	s.Captured = a.captured.Load()
+	s.Published = a.published.Load()
+	s.PerPart = make([]uint64, a.parts)
+	for i := 0; i < a.parts; i++ {
+		s.PerPart[i] = a.stored[i].Load()
+		s.Stored += s.PerPart[i]
+		s.Republished += a.republished[i].Load()
+		s.Delivered += a.delivered[i].Load()
+	}
+	s.Gaps = a.gaps.Load()
+	s.Dups = a.dups.Load()
+	s.Violations = a.violations.Load()
+	return s
+}
+
+// Balance returns the largest absolute imbalance across adjacent tier
+// boundaries (captured↔published, published↔stored, stored↔republished,
+// republished↔delivered, per consumer count). In a quiesced single-consumer
+// pipeline it must be zero — the audit-smoke gate and the steady-state
+// tests assert exactly that. consumers scales the delivered leg (each
+// attached consumer counts every event once); pass 1 for the common case.
+func (a *Audit) Balance(consumers int) int64 {
+	if a == nil {
+		return 0
+	}
+	if consumers < 1 {
+		consumers = 1
+	}
+	s := a.Snapshot()
+	legs := [...]int64{
+		int64(s.Captured) - int64(s.Published),
+		int64(s.Published) - int64(s.Stored),
+		int64(s.Stored) - int64(s.Republished),
+		int64(s.Republished) - int64(s.Delivered)/int64(consumers),
+	}
+	var worst int64
+	for _, d := range legs {
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// EnableAudit attaches a delivery-conservation auditor over parts store
+// partitions to the registry and mirrors it as fsmon.audit.* gauges
+// (totals, per-partition stored/republished/delivered lanes, and the
+// gap/dup/violation detectors the conservation-violation watchdog rule
+// reads). Repeated calls return the existing auditor; nil registries
+// return nil (a no-op auditor).
+func (r *Registry) EnableAudit(parts int) *Audit {
+	if r == nil {
+		return nil
+	}
+	if a := r.audit.Load(); a != nil {
+		return a
+	}
+	a := NewAudit(parts)
+	if !r.audit.CompareAndSwap(nil, a) {
+		return r.audit.Load()
+	}
+	r.GaugeFunc("fsmon.audit.captured", func() float64 { return float64(a.captured.Load()) })
+	r.GaugeFunc("fsmon.audit.published", func() float64 { return float64(a.published.Load()) })
+	r.GaugeFunc("fsmon.audit.stored", func() float64 { return float64(a.Snapshot().Stored) })
+	r.GaugeFunc("fsmon.audit.republished", func() float64 { return float64(a.Snapshot().Republished) })
+	r.GaugeFunc("fsmon.audit.delivered", func() float64 { return float64(a.Snapshot().Delivered) })
+	r.GaugeFunc("fsmon.audit.seq_gaps", func() float64 { return float64(a.gaps.Load()) })
+	r.GaugeFunc("fsmon.audit.seq_dups", func() float64 { return float64(a.dups.Load()) })
+	r.GaugeFunc("fsmon.audit.violations", func() float64 { return float64(a.violations.Load()) })
+	for p := 0; p < a.parts; p++ {
+		p := p
+		r.GaugeFunc(fmt.Sprintf("fsmon.audit.stored.p%d", p),
+			func() float64 { return float64(a.stored[p].Load()) })
+		r.GaugeFunc(fmt.Sprintf("fsmon.audit.republished.p%d", p),
+			func() float64 { return float64(a.republished[p].Load()) })
+		r.GaugeFunc(fmt.Sprintf("fsmon.audit.delivered.p%d", p),
+			func() float64 { return float64(a.delivered[p].Load()) })
+	}
+	return a
+}
+
+// Audit returns the attached auditor (nil until EnableAudit). Safe on a
+// nil registry.
+func (r *Registry) Audit() *Audit {
+	if r == nil {
+		return nil
+	}
+	return r.audit.Load()
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAuditNil(t *testing.T) {
+	var a *Audit
+	a.Captured(10)
+	a.Published(10)
+	a.Stored(0, 10)
+	a.Republished(0, 10)
+	a.Delivered(0, 10)
+	a.StoreSeq(0, 1, 10, 1)
+	a.DeliverSeq(0, 1, 1)
+	if a.Parts() != 0 || a.Violations() != 0 || a.Balance(1) != 0 {
+		t.Error("nil audit not inert")
+	}
+	if s := a.Snapshot(); s.Captured != 0 || s.Violations != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+// TestAuditBalance: a quiesced flow where every tier saw every event
+// balances to zero; any tier missing events shows up as the worst leg.
+func TestAuditBalance(t *testing.T) {
+	a := NewAudit(2)
+	a.Captured(100)
+	a.Published(100)
+	a.Stored(0, 60)
+	a.Stored(1, 40)
+	a.Republished(0, 60)
+	a.Republished(1, 40)
+	a.Delivered(0, 60)
+	a.Delivered(1, 40)
+	if b := a.Balance(1); b != 0 {
+		t.Fatalf("steady state balance = %d, want 0", b)
+	}
+
+	// A second consumer doubles the delivered leg; Balance(2) normalizes.
+	a.Delivered(0, 60)
+	a.Delivered(1, 40)
+	if b := a.Balance(2); b != 0 {
+		t.Fatalf("two-consumer balance = %d, want 0", b)
+	}
+	if b := a.Balance(1); b != 100 {
+		t.Fatalf("unnormalized balance = %d, want 100", b)
+	}
+
+	// Ten events stuck between publish and store.
+	a.Published(10)
+	if b := a.Balance(2); b != 10 {
+		t.Fatalf("in-flight imbalance = %d, want 10", b)
+	}
+}
+
+// TestAuditStoreSeq drives the store-lane detector through the full
+// protocol: first append sets the high water, contiguous strides are
+// clean, a skipped stride is a gap, a re-appended seq is a dup, and a
+// fully replayed range leaves the high water alone.
+func TestAuditStoreSeq(t *testing.T) {
+	a := NewAudit(2)
+	const stride = 2 // two partitions: lane 1 carries seqs 1,3,5,...
+
+	a.StoreSeq(1, 1, 3, stride) // seqs 1,3,5 — first append, sets high water
+	a.StoreSeq(1, 7, 1, stride) // contiguous
+	if v := a.Violations(); v != 0 {
+		t.Fatalf("clean lane reported %d violations", v)
+	}
+
+	a.StoreSeq(1, 13, 1, stride) // skipped 9 and 11: gap of 2 events
+	s := a.Snapshot()
+	if s.Gaps != 2 || s.Violations != 1 {
+		t.Fatalf("gap detection: gaps=%d violations=%d, want 2/1", s.Gaps, s.Violations)
+	}
+
+	a.StoreSeq(1, 13, 1, stride) // replayed range: dup, high water unchanged
+	s = a.Snapshot()
+	if s.Dups != 1 || s.Violations != 2 {
+		t.Fatalf("dup detection: dups=%d violations=%d, want 1/2", s.Dups, s.Violations)
+	}
+	a.StoreSeq(1, 15, 1, stride) // lane continues cleanly after the replay
+	if v := a.Violations(); v != 2 {
+		t.Fatalf("post-replay append flagged: violations=%d", v)
+	}
+
+	// The other lane is independent and still on its first append.
+	a.StoreSeq(0, 2, 1, stride)
+	a.StoreSeq(0, 4, 1, stride)
+	if v := a.Violations(); v != 2 {
+		t.Fatalf("independent lane leaked violations: %d", v)
+	}
+}
+
+// TestAuditDeliverSeq: the consumer-side detector counts only forward
+// jumps — at-or-below-cursor replays are the dedup working as designed.
+func TestAuditDeliverSeq(t *testing.T) {
+	a := NewAudit(1)
+	a.DeliverSeq(0, 1, 1)
+	a.DeliverSeq(0, 2, 1)
+	a.DeliverSeq(0, 2, 1) // recovery replay: not a violation
+	a.DeliverSeq(0, 1, 1)
+	if v := a.Violations(); v != 0 {
+		t.Fatalf("replay flagged: %d violations", v)
+	}
+	a.DeliverSeq(0, 6, 1) // 3,4,5 never arrived
+	s := a.Snapshot()
+	if s.Gaps != 3 || s.Violations != 1 {
+		t.Fatalf("deliver gap: gaps=%d violations=%d, want 3/1", s.Gaps, s.Violations)
+	}
+}
+
+// TestEnableAudit: the registry attach is idempotent and exports the
+// fsmon.audit.* gauge surface the watchdog and the smoke gate read.
+func TestEnableAudit(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.EnableAudit(2)
+	if a == nil {
+		t.Fatal("EnableAudit returned nil")
+	}
+	if reg.EnableAudit(8) != a {
+		t.Error("second EnableAudit returned a different auditor")
+	}
+	if reg.Audit() != a {
+		t.Error("Audit() does not return the attached auditor")
+	}
+	a.Captured(5)
+	a.Stored(1, 3)
+	flat := flattenSnapshot(reg.Snapshot())
+	if flat["fsmon.audit.captured"] != 5 {
+		t.Errorf("fsmon.audit.captured = %v", flat["fsmon.audit.captured"])
+	}
+	if flat["fsmon.audit.stored.p1"] != 3 {
+		t.Errorf("fsmon.audit.stored.p1 = %v", flat["fsmon.audit.stored.p1"])
+	}
+	var nilReg *Registry
+	if nilReg.EnableAudit(1) != nil || nilReg.Audit() != nil {
+		t.Error("nil registry returned a live auditor")
+	}
+}
+
+// TestConservationViolationRule is the acceptance check for the watchdog
+// wiring: an injected sequence gap trips the conservation-violation rule
+// within one sampler window, and the finding latches.
+func TestConservationViolationRule(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.EnableAudit(1)
+	s := startStoppedSampler(t, reg, 16)
+	h := NewHealth(s, HealthOptions{})
+	defer h.Close()
+
+	a.StoreSeq(0, 1, 4, 1) // seqs 1..4
+	s.SampleNow()
+	if rep := h.Evaluate(); rep.Status != StatusOK {
+		t.Fatalf("clean audit reported %v: %+v", rep.Status, rep.Tiers)
+	}
+
+	a.StoreSeq(0, 7, 1, 1) // 5 and 6 lost — the injected gap
+	s.SampleNow()          // one window later the rule must see it
+	rep := h.Evaluate()
+	if rep.Status != StatusDegraded {
+		t.Fatalf("injected gap reported %v: %+v", rep.Status, rep.Tiers)
+	}
+	found := false
+	for _, v := range rep.Tiers {
+		if v.Tier != "audit" {
+			continue
+		}
+		found = true
+		if len(v.Reasons) == 0 || !strings.Contains(v.Reasons[0], "conservation") {
+			t.Errorf("audit verdict lacks conservation reason: %+v", v)
+		}
+	}
+	if !found {
+		t.Fatalf("no audit tier verdict in %+v", rep.Tiers)
+	}
+
+	// Latched: the counter never decreases, so the verdict persists even
+	// though the lane has resumed clean appends.
+	a.StoreSeq(0, 8, 10, 1)
+	s.SampleNow()
+	if rep := h.Evaluate(); rep.Status != StatusDegraded {
+		t.Fatalf("violation did not latch: %v", rep.Status)
+	}
+}

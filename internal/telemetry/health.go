@@ -170,6 +170,10 @@ type Health struct {
 //   - cluster heartbeat lapse: an aggregator node's peer-heartbeat age
 //     above HeartbeatLapseMS in the newest sample — a member is late and
 //     handoff may be imminent
+//   - conservation violation: the delivery-conservation auditor detected
+//     a sequence gap or duplicate append (fsmon.audit.violations > 0) —
+//     events were lost or double-stored somewhere between capture and
+//     delivery
 //
 // Rules discover their metrics by name pattern from the newest sample, so
 // one model covers any deployment shape (N MDTs, P partitions) without
@@ -191,6 +195,7 @@ func NewHealth(s *Sampler, opts HealthOptions) *Health {
 		{Name: "changelog-backlog-growth", Eval: growthRule(".changelog_lag", "changelog backlog growing")},
 		{Name: "resolution-error-spike", Eval: errorSpikeRule},
 		{Name: "cluster-heartbeat-lapse", Eval: heartbeatLapseRule},
+		{Name: "conservation-violation", Eval: conservationRule},
 	}
 	return h
 }
@@ -455,6 +460,44 @@ func errorSpikeRule(s *Sampler, o HealthOptions) []Finding {
 		}
 	}
 	return out
+}
+
+// conservationRule: the delivery-conservation auditor counted a sequence
+// gap or duplicate store append. The detectors fire at the moment of the
+// violating append/delivery, so the rule sees it in the very next sample
+// — within one sampler window. The finding latches (the counter never
+// decreases): lost events stay lost, and an operator clearing the
+// condition restarts the deployment, not the rule.
+func conservationRule(s *Sampler, o HealthOptions) []Finding {
+	var out []Finding
+	for _, name := range s.names() {
+		if !strings.HasSuffix(name, ".violations") || !strings.Contains(name, ".audit.") {
+			continue
+		}
+		pts := s.Series(name)
+		if len(pts) == 0 {
+			continue
+		}
+		if v := pts[len(pts)-1].V; v > 0 {
+			gaps := newestValue(s, strings.TrimSuffix(name, ".violations")+".seq_gaps")
+			dups := newestValue(s, strings.TrimSuffix(name, ".violations")+".seq_dups")
+			out = append(out, Finding{
+				Tier:   tierOf(name),
+				Status: StatusDegraded,
+				Reason: fmt.Sprintf("%s: %.0f conservation violations (gaps=%.0f dups=%.0f) — delivery is not lossless", name, v, gaps, dups),
+			})
+		}
+	}
+	return out
+}
+
+// newestValue reads a series' newest point (0 when absent).
+func newestValue(s *Sampler, name string) float64 {
+	pts := s.Series(name)
+	if len(pts) == 0 {
+		return 0
+	}
+	return pts[len(pts)-1].V
 }
 
 // heartbeatLapseRule: a cluster node reporting a peer-heartbeat age above

@@ -115,6 +115,47 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(rep)
 	})
+	// The cluster observability plane: the federated member view (JSON and
+	// node-labeled Prometheus text) and the worst-of health rollup. Absent
+	// a federation (classic single-process deployments) the endpoints
+	// answer 404 — "this monitor is not clustered" must not read as an
+	// empty healthy cluster.
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fed := reg.Federation()
+		if fed == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fed.WriteClusterMetrics(w, reg.Audit())
+	})
+	mux.HandleFunc("/cluster/metrics/prom", func(w http.ResponseWriter, r *http.Request) {
+		fed := reg.Federation()
+		if fed == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fed.WritePrometheus(w)
+	})
+	mux.HandleFunc("/cluster/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fed := reg.Federation()
+		if fed == nil {
+			http.NotFound(w, r)
+			return
+		}
+		rep := fed.Report()
+		w.Header().Set("Content-Type", "application/json")
+		// Unlike the local /healthz (503 only when a tier is wedged), the
+		// cluster rollup 503s on any stalled-or-dead member: a silently
+		// dead node is exactly what an orchestrator probes this for.
+		if rep.Status == StatusStalled {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -172,6 +213,24 @@ func FetchHistory(url string) (HistoryResponse, error) {
 // when the endpoint answers 503 (stalled) — only transport and decode
 // failures are errors. ok mirrors the HTTP verdict: true for 200.
 func FetchHealth(url string) (rep HealthReport, ok bool, err error) {
+	resp, err := fetchClient.Get(url)
+	if err != nil {
+		return rep, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return rep, false, fmt.Errorf("telemetry: %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, false, fmt.Errorf("telemetry: decode %s: %w", url, err)
+	}
+	return rep, resp.StatusCode == http.StatusOK, nil
+}
+
+// FetchClusterHealth retrieves a /cluster/healthz rollup. Like
+// FetchHealth, a 503 (dead or stalled member) still returns the report;
+// ok mirrors the HTTP verdict.
+func FetchClusterHealth(url string) (rep ClusterReport, ok bool, err error) {
 	resp, err := fetchClient.Get(url)
 	if err != nil {
 		return rep, false, err

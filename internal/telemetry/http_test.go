@@ -223,7 +223,7 @@ func TestServeTracesEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		t.Fatal(err)
 	}
-	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Name != "collect" {
+	if len(doc.TraceEvents) != 2 || doc.TraceEvents[0].Name != "process_name" || doc.TraceEvents[1].Name != "collect" {
 		t.Errorf("trace dump = %+v", doc.TraceEvents)
 	}
 }

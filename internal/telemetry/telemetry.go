@@ -301,6 +301,12 @@ type Registry struct {
 	health  atomic.Pointer[Health]
 	traces  atomic.Pointer[TraceRing]
 	traceN  atomic.Int64
+
+	// Cluster observability plane (PR 9): the delivery-conservation
+	// auditor and the federated cluster view. Optional and nil-safe like
+	// the attachments above.
+	audit      atomic.Pointer[Audit]
+	federation atomic.Pointer[Federation]
 }
 
 // NewRegistry creates an empty registry.

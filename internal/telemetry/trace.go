@@ -16,11 +16,14 @@ import (
 // DefaultTraceRing is the completed-trace ring capacity.
 const DefaultTraceRing = 512
 
-// TraceSpan is one tier's hop in a trace: the tier name and the wall
-// clock (unix nanoseconds) at which the traced batch passed it.
+// TraceSpan is one tier's hop in a trace: the tier name, the wall clock
+// (unix nanoseconds) at which the traced batch passed it, and — on
+// clustered deployments — the ID of the aggregation node that recorded
+// the hop ("" outside the cluster).
 type TraceSpan struct {
 	Tier string `json:"tier"`
 	TS   int64  `json:"ts_ns"`
+	Node string `json:"node,omitempty"`
 }
 
 // Trace is one sampled event's span chain, collect → deliver.
@@ -125,20 +128,44 @@ type chromeTrace struct {
 // WriteChromeTrace renders traces as Chrome trace_event JSON: each trace
 // becomes one row (tid), each span a complete event lasting until the next
 // span's timestamp — so the waterfall reads as "where did this event spend
-// its pipeline time". Load the output in chrome://tracing or Perfetto.
+// its pipeline time". Spans are grouped by recording node as pid (named
+// via process_name metadata; node-less spans land in the "pipeline"
+// process), so a traced event that crossed a handoff or stray-forward
+// still renders as one chain with each hop attributed to its owner. Load
+// the output in chrome://tracing or Perfetto.
 func WriteChromeTrace(w io.Writer, traces []Trace) error {
 	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	// Assign pids in first-seen order: pid 1 is the node-less pipeline
+	// (collectors, classic aggregator, consumers), each cluster node gets
+	// its own numbered process.
+	pids := map[string]int{"": 1}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "pipeline"},
+	})
 	for ti, tr := range traces {
 		for si, sp := range tr.Spans {
+			pid, ok := pids[sp.Node]
+			if !ok {
+				pid = len(pids) + 1
+				pids[sp.Node] = pid
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "process_name", Ph: "M", PID: pid,
+					Args: map[string]any{"name": "node " + sp.Node},
+				})
+			}
 			ev := chromeEvent{
 				Name: sp.Tier,
 				Cat:  "fsmon",
 				Ph:   "X",
 				TS:   float64(sp.TS) / 1e3,
 				Dur:  1, // point events get a visible sliver
-				PID:  1,
+				PID:  pid,
 				TID:  ti + 1,
 				Args: map[string]any{"trace_id": tr.ID},
+			}
+			if sp.Node != "" {
+				ev.Args["node"] = sp.Node
 			}
 			if si+1 < len(tr.Spans) {
 				if d := float64(tr.Spans[si+1].TS-sp.TS) / 1e3; d > ev.Dur {

@@ -89,9 +89,16 @@ func TestWriteChromeTrace(t *testing.T) {
 	if doc.DisplayTimeUnit != "ms" {
 		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
 	}
-	if len(doc.TraceEvents) != 4 {
-		t.Fatalf("%d events, want 4", len(doc.TraceEvents))
+	// One process_name metadata event (the node-less "pipeline" process)
+	// precedes the 4 span events.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("%d events, want 5", len(doc.TraceEvents))
 	}
+	meta := doc.TraceEvents[0]
+	if meta.Name != "process_name" || meta.Ph != "M" || meta.PID != 1 || meta.Args["name"] != "pipeline" {
+		t.Errorf("metadata event = %+v", meta)
+	}
+	doc.TraceEvents = doc.TraceEvents[1:]
 	first := doc.TraceEvents[0]
 	if first.Name != "collect" || first.Ph != "X" || first.Cat != "fsmon" {
 		t.Errorf("first event = %+v", first)
