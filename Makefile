@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-json bench-telemetry bench-trace bench-mount bench-cluster bench-cluster-json flame trace-sample audit-smoke check
+.PHONY: all build vet staticcheck test race bench bench-smoke bench-aggregator bench-json bench-telemetry bench-trace bench-mount bench-cluster bench-cluster-json flame trace-sample audit-smoke incident-smoke check
 
 all: check
 
@@ -119,6 +119,16 @@ audit-smoke:
 	FSMON_AUDIT_SMOKE_OUT=$(CURDIR)/cluster-metrics.json \
 		$(GO) test -count=1 -run 'TestAuditSmoke' ./internal/scalable/
 
+# incident-smoke is the flight-recorder gate: deploy a 2-node cluster
+# with the recorder armed, inject a pipeline stall under live load, and
+# require a diagnostic bundle within one watchdog window that names the
+# tripping rule and holds boosted-rate traces, sampler history, and the
+# log ring. The bundle lands in incident-bundle.json — the artifact CI
+# uploads so a tripped gate is diagnosable from the run.
+incident-smoke:
+	FSMON_INCIDENT_SMOKE_OUT=$(CURDIR)/incident-bundle.json \
+		$(GO) test -count=1 -run 'TestIncidentSmoke' ./internal/scalable/
+
 # trace-sample drives the simulated-Lustre demo workload with every
 # event traced end to end and writes the completed span chains to
 # traces.json — the CI sample artifact, loadable in chrome://tracing.
@@ -127,6 +137,7 @@ trace-sample:
 
 # check is the pre-PR gate: everything must build, vet (and staticcheck,
 # where installed) clean, pass the full suite under the race detector,
-# hold the tracing-overhead and mount-routing benches, and keep the
-# cluster delivery-conservation audit balanced.
-check: build vet staticcheck race bench-trace bench-mount audit-smoke
+# hold the tracing-overhead and mount-routing benches, keep the cluster
+# delivery-conservation audit balanced, and prove the incident flight
+# recorder captures an injected stall.
+check: build vet staticcheck race bench-trace bench-mount audit-smoke incident-smoke

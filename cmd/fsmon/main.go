@@ -93,8 +93,12 @@ func main() {
 	clusterAdvertise := flag.String("cluster-advertise", "", "with -lustre: externally reachable host advertised for cluster addresses bound on a wildcard host")
 	demo := flag.Bool("demo", false, "with -lustre: run the Evaluate_Output_Script workload and exit")
 	stats := flag.Bool("stats", false, "print layer statistics on exit")
-	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry at this address (/metrics, /metrics/history, /metrics/prom, /traces, /healthz, /debug/pprof)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry at this address (/metrics, /metrics/history, /metrics/prom, /traces, /healthz, /debug/incidents, /debug/pprof)")
 	status := flag.String("status", "", "fetch a running monitor's telemetry snapshot and health verdict from this address and exit")
+	incidentDir := flag.String("incident-dir", "", "arm the incident flight recorder: watchdog trips capture diagnostic bundles into this directory (implies telemetry)")
+	incidentRetain := flag.Int("incident-retain", 0, "with -incident-dir: keep at most N bundles, oldest pruned first (0 = default 8)")
+	incident := flag.String("incident", "", "trigger an incident capture on a running monitor at this address, print the bundle JSON, and exit")
+	metricsHistory := flag.Int("metrics-history", 0, "retained telemetry samples backing /metrics/history, the watchdog, and incident bundles (0 = default 256)")
 	traceSample := flag.Int("trace-sample", 0, "trace 1 in N events end-to-end across every tier (0 = off, 1 = every event)")
 	traceOut := flag.String("trace-out", "", "with -trace-sample: write completed span traces as Chrome trace_event JSON to this file on exit")
 	verbose := flag.Bool("verbose", false, "log component diagnostics (structured, to stderr)")
@@ -173,6 +177,22 @@ func main() {
 		return
 	}
 
+	if *incident != "" {
+		base := *incident
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		base = strings.TrimSuffix(base, "/")
+		bundle, err := fsmonitor.TriggerRemoteIncident(base + "/debug/incidents/trigger")
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := os.Stdout.Write(bundle); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var mask fsmonitor.Op
 	if *ops != "" {
 		m, err := events.ParseOp(strings.ToUpper(*ops))
@@ -185,7 +205,7 @@ func main() {
 
 	var common []fsmonitor.Option
 	var reg *fsmonitor.Telemetry
-	if *metricsAddr != "" || *stats || *traceSample > 0 {
+	if *metricsAddr != "" || *stats || *traceSample > 0 || *incidentDir != "" {
 		reg = fsmonitor.NewTelemetry()
 		common = append(common, fsmonitor.WithTelemetry(reg))
 	}
@@ -193,17 +213,35 @@ func main() {
 	if *verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr,
 			&slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+	if *incidentDir != "" {
+		// Tee logs through the flight recorder's bounded ring before the
+		// watchdog starts, so the transition warnings that precede a trip
+		// land in the captured bundle (ring-only when not -verbose).
+		logger = reg.EnableLogRing(0).Wrap(logger)
+		common = append(common, fsmonitor.WithIncidentDir(*incidentDir))
+		if *incidentRetain > 0 {
+			common = append(common, fsmonitor.WithIncidentRetention(*incidentRetain))
+		}
+	}
+	if logger != nil {
 		common = append(common, fsmonitor.WithLogger(logger))
 	}
 	if *traceSample > 0 {
-		// Tracing must be armed before the monitor is built: collectors
-		// read the sampling rate at startup.
+		// Tracing must be armed before the monitor is built so the trace
+		// ring exists when collectors start; the effective rate itself is
+		// re-read per batch (the flight recorder boosts it live during
+		// incidents).
 		fsmonitor.EnableTraceSampling(reg, *traceSample)
 	}
 	if reg != nil {
 		// The self-monitoring loop: time-series sampling feeds the rate
-		// views and the watchdog's per-tier health verdicts.
-		watchdog := fsmonitor.StartTelemetryWatchdog(reg, logger)
+		// views and the watchdog's per-tier health verdicts; with
+		// -incident-dir, watchdog trips additionally capture bundles.
+		watchdog := fsmonitor.StartTelemetryWatchdogWith(reg, fsmonitor.TelemetryHealthOptions{
+			Logger:         logger,
+			SamplerHistory: *metricsHistory,
+		})
 		defer watchdog.Close()
 	}
 

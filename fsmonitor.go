@@ -304,6 +304,25 @@ func WithLogger(l *slog.Logger) Option {
 	return func(o *core.Options) { o.Logger = l }
 }
 
+// WithIncidentDir arms the incident flight recorder (requires
+// WithTelemetry): when the telemetry watchdog sees a tier degrade or
+// stall — or TriggerIncident is called — the monitor captures a
+// self-contained diagnostic bundle under dir (registry snapshot, sampler
+// history, completed traces at a boosted sampling rate, audit counters,
+// health verdicts, cluster view, recent logs, goroutine and heap
+// profiles). Bundles are JSON files named after their incident ID; the
+// directory keeps the most recent ones (see WithIncidentRetention).
+func WithIncidentDir(dir string) Option {
+	return func(o *core.Options) { o.IncidentDir = dir }
+}
+
+// WithIncidentRetention bounds how many incident bundles the directory
+// armed by WithIncidentDir keeps; the oldest are pruned first. n <= 0
+// keeps the default (8).
+func WithIncidentRetention(n int) Option {
+	return func(o *core.Options) { o.IncidentRetain = n }
+}
+
 // TelemetryServer is a live introspection endpoint started by
 // ServeTelemetry.
 type TelemetryServer = telemetry.Server
@@ -366,11 +385,32 @@ func StartTelemetrySampler(reg *Telemetry, interval time.Duration) *TelemetrySam
 // tier transitions to logger. Close the returned model to stop the
 // watchdog.
 func StartTelemetryWatchdog(reg *Telemetry, logger *slog.Logger) *TelemetryHealth {
-	s := reg.StartSampler(0, 0)
+	return StartTelemetryWatchdogWith(reg, TelemetryHealthOptions{Logger: logger})
+}
+
+// TelemetryHealthOptions tunes the watchdog built by
+// StartTelemetryWatchdogWith: rule thresholds, the sampler retention
+// backing the rules (SamplerHistory), and the OnTransition hook fired on
+// every per-tier status change.
+type TelemetryHealthOptions = telemetry.HealthOptions
+
+// TelemetryTransition is one per-tier status change as passed to
+// TelemetryHealthOptions.OnTransition and the flight recorder.
+type TelemetryTransition = telemetry.Transition
+
+// StartTelemetryWatchdogWith is StartTelemetryWatchdog with explicit
+// options: it starts the sampler with opts.SamplerHistory retained
+// samples (0 = default 256), builds the rule set from opts, attaches the
+// model so /healthz serves verdicts, and starts the background watchdog.
+// When the registry has a flight recorder armed (WithIncidentDir), every
+// ok → degraded/stalled transition additionally triggers an incident
+// capture. Close the returned model to stop the watchdog.
+func StartTelemetryWatchdogWith(reg *Telemetry, opts TelemetryHealthOptions) *TelemetryHealth {
+	s := reg.StartSampler(0, opts.SamplerHistory)
 	if s == nil {
 		return nil
 	}
-	h := telemetry.NewHealth(s, telemetry.HealthOptions{Logger: logger})
+	h := telemetry.NewHealth(s, opts)
 	reg.SetHealth(h)
 	h.Start(0)
 	return h
@@ -381,8 +421,11 @@ func StartTelemetryWatchdog(reg *Telemetry, logger *slog.Logger) *TelemetryHealt
 // chain across collect → resolve → publish → partition → store →
 // republish → deliver, and completed traces land in the registry's ring
 // (served at /traces as Chrome trace_event JSON). n == 1 traces every
-// event; n <= 0 disables. Must be called before the monitor is built —
-// collectors read the rate at startup.
+// event; n <= 0 disables. Call before the monitor is built — the trace
+// ring must exist when collectors start. Collectors re-read the
+// effective rate on every batch, so the flight recorder's adaptive
+// boost (temporarily tightening 1-in-n during an incident window)
+// applies live without a restart.
 func EnableTraceSampling(reg *Telemetry, n int) {
 	reg.EnableTracing(n, 0)
 }
@@ -405,6 +448,28 @@ func WriteChromeTrace(w io.Writer, traces []Trace) error {
 // false for 503 (stalled); the report is valid either way.
 func FetchTelemetryHealth(url string) (rep HealthReport, ok bool, err error) {
 	return telemetry.FetchHealth(url)
+}
+
+// IncidentInfo summarizes one captured diagnostic bundle: incident ID,
+// capture time, what tripped (trigger, tier, from/to status, reasons),
+// and the bundle's file name under the incident directory.
+type IncidentInfo = telemetry.IncidentInfo
+
+// FetchIncidents lists the diagnostic bundles a running ServeTelemetry
+// endpoint retains, newest first (url is e.g.
+// "http://127.0.0.1:9090/debug/incidents"). Fetch one bundle's full JSON
+// at <url>/<incident-id>.
+func FetchIncidents(url string) ([]IncidentInfo, error) {
+	return telemetry.FetchIncidents(url)
+}
+
+// TriggerRemoteIncident asks a running ServeTelemetry endpoint to
+// capture a diagnostic bundle now (url is e.g.
+// "http://127.0.0.1:9090/debug/incidents/trigger") and returns the
+// captured bundle's JSON. The server must have a flight recorder armed
+// (WithIncidentDir, or fsmon -incident-dir).
+func TriggerRemoteIncident(url string) ([]byte, error) {
+	return telemetry.TriggerRemoteIncident(url)
 }
 
 // ClusterHealthReport is the federated cluster rollup served at

@@ -74,6 +74,12 @@ type MembershipOptions struct {
 	// member's published telemetry frame (a JSON-encoded NodeSnapshot);
 	// beat broadcasts it on TelemetryTopic at the heartbeat cadence.
 	TelemetrySnapshot func() []byte
+	// OnIncident is called (from the membership goroutine) when a peer
+	// declares an incident on TelemetryTopic — the cluster-coordinated
+	// capture hook: the receiver snapshots its own diagnostic bundle
+	// stamped with the shared incident ID. Callbacks must dedup by ID
+	// (the declarer may be heard through several in-process memberships).
+	OnIncident func(id, from, reason string)
 	// Logger receives component-tagged structured logs; nil discards.
 	Logger *slog.Logger
 }
@@ -99,6 +105,30 @@ type ctrlMsg struct {
 	Parts []int `json:"parts,omitempty"`
 }
 
+// incidentFrame is the incident-declaration control frame broadcast on
+// TelemetryTopic: the tripping member announces an incident ID so every
+// member captures a diagnostic bundle over the same window and stamps
+// the shared ID into it. The "k" discriminator separates it from the
+// NodeSnapshot frames riding the same topic — a federation fed one by
+// mistake would decode an empty Node and drop it, so coexistence is
+// safe in both directions.
+type incidentFrame struct {
+	Kind   string `json:"k"` // "incident"
+	ID     string `json:"id"`
+	From   string `json:"from"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// decodeIncidentFrame parses a TelemetryTopic payload as an incident
+// declaration; ok is false for any other frame shape.
+func decodeIncidentFrame(payload []byte) (incidentFrame, bool) {
+	var f incidentFrame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return f, false
+	}
+	return f, f.Kind == "incident" && f.ID != ""
+}
+
 // pendingRelease is one release broadcast rebroadcast with heartbeats
 // until it expires: the first publish races the new owner's subscription
 // to our pub, so a lost frame must heal before the FailAfter fallback.
@@ -106,6 +136,16 @@ type pendingRelease struct {
 	epoch uint64
 	parts []int
 	until time.Time
+}
+
+// pendingIncident is one incident declaration rebroadcast with
+// heartbeats until it expires, for the same reason releases are: the
+// first publish races still-connecting peer subscriptions, and a member
+// that misses the frame would capture nothing for the shared window.
+// Receivers dedup by incident ID, so repeats cost nothing.
+type pendingIncident struct {
+	payload []byte
+	until   time.Time
 }
 
 // Membership maintains the live member set and the derived assignment
@@ -130,6 +170,7 @@ type Membership struct {
 	viewCh   chan struct{} // closed and replaced on every peer add/remove
 	conflict *MemberInfo   // another live participant claiming our ID
 	relOut   []pendingRelease
+	incOut   []pendingIncident
 	started  bool
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -177,7 +218,7 @@ func NewMembership(opts MembershipOptions) (*Membership, error) {
 		stopped: make(chan struct{}),
 	}
 	m.sub.Subscribe(MembershipTopic)
-	if opts.Federation != nil {
+	if opts.Federation != nil || opts.OnIncident != nil {
 		m.sub.Subscribe(TelemetryTopic)
 	}
 	m.recompute() // initial single-member (or empty, for observers) view
@@ -278,6 +319,15 @@ func (m *Membership) subLoop() {
 	defer m.wg.Done()
 	for msg := range m.sub.C() {
 		if msg.Topic == TelemetryTopic {
+			// Two frame shapes share the topic: incident declarations
+			// (discriminated by the "k" key, which NodeSnapshot frames
+			// lack) and federated telemetry snapshots.
+			if f, ok := decodeIncidentFrame(msg.Payload); ok {
+				if m.opts.OnIncident != nil {
+					m.opts.OnIncident(f.ID, f.From, f.Reason)
+				}
+				continue
+			}
 			m.opts.Federation.UpdateJSON(msg.Payload)
 			continue
 		}
@@ -475,12 +525,26 @@ func (m *Membership) beat() {
 		m.relOut = kept
 		rel = append(rel, kept...)
 	}
+	var inc []pendingIncident
+	if len(m.incOut) > 0 {
+		kept := m.incOut[:0]
+		for _, i := range m.incOut {
+			if time.Now().Before(i.until) {
+				kept = append(kept, i)
+			}
+		}
+		m.incOut = kept
+		inc = append(inc, kept...)
+	}
 	m.mu.Unlock()
 	if payload, err := json.Marshal(c); err == nil {
 		m.opts.Pub.Publish(MembershipTopic, payload)
 	}
 	for _, r := range rel {
 		m.publishRelease(r.epoch, r.parts)
+	}
+	for _, i := range inc {
+		m.opts.Pub.Publish(TelemetryTopic, i.payload)
 	}
 	if m.opts.TelemetrySnapshot != nil {
 		if frame := m.opts.TelemetrySnapshot(); len(frame) > 0 {
@@ -490,6 +554,28 @@ func (m *Membership) beat() {
 			m.opts.Federation.UpdateJSON(frame)
 		}
 	}
+}
+
+// BroadcastIncident declares an incident to the cluster: the frame rides
+// TelemetryTopic so every member (and observer router) already
+// subscribed for federated telemetry hears it and captures its own
+// bundle under the shared ID. Observers and pub-less participants cannot
+// declare. Safe on a nil receiver.
+func (m *Membership) BroadcastIncident(id, reason string) {
+	if m == nil || m.opts.Observer || m.opts.Pub == nil || id == "" {
+		return
+	}
+	payload, err := json.Marshal(incidentFrame{Kind: "incident", ID: id, From: m.opts.Self.ID, Reason: reason})
+	if err != nil {
+		return
+	}
+	// Rebroadcast with heartbeats for one FailAfter window (the
+	// pendingRelease pattern): the first publish can race a peer's
+	// still-connecting subscription, and receivers dedup by ID anyway.
+	m.mu.Lock()
+	m.incOut = append(m.incOut, pendingIncident{payload: payload, until: time.Now().Add(m.opts.FailAfter)})
+	m.mu.Unlock()
+	m.opts.Pub.Publish(TelemetryTopic, payload)
 }
 
 // publishRelease broadcasts one release frame.

@@ -217,6 +217,7 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		OnRelease:         n.onRelease,
 		Federation:        fed,
 		TelemetrySnapshot: snapshot,
+		OnIncident:        n.onIncidentFrame,
 		Logger:            opts.Logger,
 	})
 	if err != nil {
@@ -267,8 +268,31 @@ func (n *Node) Start() error {
 		func(pb nodeBatch) int { return pb.part }, n.storeLane)
 	pipeline.Sink(n.pipe, "republish", stamped, n.republishBatch)
 	n.registerTelemetry(n.opts.Telemetry)
+	// The flight recorder's cluster hook: incidents this process declares
+	// are broadcast through this node's membership. In-process multi-node
+	// deployments share one recorder and any member's pub reaches the
+	// mesh, so the last-started node winning the hook is harmless.
+	if fr := n.opts.Telemetry.Flight(); fr != nil {
+		fr.SetBroadcast(n.BroadcastIncident)
+	}
 	n.slog.Debug("node started", "endpoint", n.pub.Addr(), "ctl", n.mem.Self().Ctl, "parts", n.opts.Parts)
 	return nil
+}
+
+// onIncidentFrame routes a peer's incident declaration into the
+// registry's flight recorder. The recorder is looked up per frame, so
+// one armed after the node started still hears the cluster; CaptureRemote
+// dedups by incident ID, so N in-process memberships delivering the same
+// frame capture once.
+func (n *Node) onIncidentFrame(id, from, reason string) {
+	n.opts.Telemetry.Flight().CaptureRemote(id, from, reason)
+}
+
+// BroadcastIncident declares an incident to the cluster under the given
+// ID — the publish half of cluster-coordinated capture (the receive half
+// is every member's flight recorder).
+func (n *Node) BroadcastIncident(id, reason string) {
+	n.mem.BroadcastIncident(id, reason)
 }
 
 // newPoolBlock sizes pooled event blocks like the scalable tier does.

@@ -83,6 +83,15 @@ type Options struct {
 	// Logger receives component-tagged structured logs from every layer;
 	// nil discards.
 	Logger *slog.Logger
+	// IncidentDir arms the incident flight recorder (requires Telemetry):
+	// health-watchdog trips and manual triggers capture self-contained
+	// diagnostic bundles under this directory, the trace sampler boosts
+	// for the incident window, and every layer's logs are teed into the
+	// bundle's bounded log ring. Empty (the default) disables capture.
+	IncidentDir string
+	// IncidentRetain bounds how many bundles IncidentDir keeps (oldest
+	// pruned first). 0 = telemetry.DefaultIncidentRetain.
+	IncidentRetain int
 	// Mounts composes multiple backends into one namespace. When non-empty
 	// the monitor's capture layer is a mount table: each spec's backend is
 	// opened through the registry and attached at its prefix, and events
@@ -143,6 +152,20 @@ func New(opts Options) (*Monitor, error) {
 	reg := opts.Registry
 	if reg == nil {
 		reg = DefaultRegistry()
+	}
+	if opts.IncidentDir != "" && opts.Telemetry != nil {
+		_, err := opts.Telemetry.EnableFlightRecorder(telemetry.IncidentOptions{
+			Dir:    opts.IncidentDir,
+			Retain: opts.IncidentRetain,
+			Logger: opts.Logger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: arming flight recorder: %w", err)
+		}
+		// Tee every layer's logs through the recorder's bounded ring so
+		// the moments before a trip land in the bundle. Wrapping before
+		// the DSI opens means the whole stack shares the teed logger.
+		opts.Logger = opts.Telemetry.LogRing().Wrap(opts.Logger)
 	}
 	var (
 		d     dsi.DSI
@@ -345,6 +368,21 @@ func (m *Monitor) Purge() (int, error) { return m.api.Purge() }
 
 // Errors exposes backend errors (queue overflows etc.).
 func (m *Monitor) Errors() <-chan error { return m.dsi.Errors() }
+
+// TriggerIncident captures a diagnostic bundle on demand — the manual
+// counterpart of a watchdog trip, bypassing debounce and rate limits —
+// and returns the incident ID. Requires Options.IncidentDir.
+func (m *Monitor) TriggerIncident(reason string) (string, error) {
+	fr := m.opts.Telemetry.Flight()
+	if fr == nil {
+		return "", fmt.Errorf("core: no flight recorder armed (set Options.IncidentDir)")
+	}
+	info, err := fr.TriggerIncident(reason)
+	if err != nil {
+		return "", err
+	}
+	return info.ID, nil
+}
 
 // Stats aggregates layer statistics.
 type Stats struct {

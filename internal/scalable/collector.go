@@ -200,7 +200,6 @@ type Collector struct {
 
 	slog      *slog.Logger
 	traced    bool                 // stamp batches at capture (telemetry attached)
-	traceN    int                  // 1-in-N span-trace sampling (0 = off)
 	resolveUS *telemetry.Histogram // per-batch resolve stage wall time
 	publishUS *telemetry.Histogram // per-batch publish stage wall time
 
@@ -268,7 +267,14 @@ func (c *Collector) initTelemetry(reg *telemetry.Registry) {
 	c.resolveUS = reg.Histogram(prefix+".resolve_us", nil)
 	c.publishUS = reg.Histogram(prefix+".publish_us", nil)
 	c.traced = true
-	c.traceN = reg.TraceSampleN()
+}
+
+// traceN resolves the effective span-sampling rate at use time rather
+// than construction time: the flight recorder's adaptive boost densifies
+// the rate on a live deployment, so collectors must see rate changes per
+// batch. The lookup is two atomic loads per batch, not per event.
+func (c *Collector) traceN() int {
+	return c.opts.Telemetry.TraceSampleN()
 }
 
 // audit resolves the delivery-conservation audit at use time rather than
@@ -381,9 +387,9 @@ func (c *Collector) resolveBatch(_ context.Context, rb readBatch) (pubBatch, boo
 	// now. Keying on the event's identity hash means the same event is
 	// picked at any batch boundary, so a test (or a rerun) traces the
 	// same chain.
-	if c.traceN > 0 && rb.stamp != 0 {
+	if traceN := c.traceN(); traceN > 0 && rb.stamp != 0 {
 		for i := 0; i < blk.Len(); i++ {
-			if key := blk.EventKey(i); c.traceN == 1 || key%uint64(c.traceN) == 0 {
+			if key := blk.EventKey(i); traceN == 1 || key%uint64(traceN) == 0 {
 				tr := &events.BatchTrace{ID: key}
 				tr.Append(events.TierCollect, rb.stamp)
 				tr.Append(events.TierResolve, time.Now().UnixNano())

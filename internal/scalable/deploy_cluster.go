@@ -224,8 +224,16 @@ func deployCluster(lc *lustre.Cluster, opts DeployOptions) (*Monitor, error) {
 		// federation, so the cluster view covers members joined from other
 		// processes too.
 		Federation: opts.Telemetry.Federation(),
-		Advertise:  opts.ClusterAdvertise,
-		Logger:     opts.Logger,
+		// And it routes peers' incident declarations into the local
+		// flight recorder (when one is armed), so a deployment whose
+		// nodes all live in other processes still captures coordinated
+		// bundles. CaptureRemote dedups by ID against the in-process
+		// nodes hearing the same frame.
+		OnIncident: func(id, from, reason string) {
+			opts.Telemetry.Flight().CaptureRemote(id, from, reason)
+		},
+		Advertise: opts.ClusterAdvertise,
+		Logger:    opts.Logger,
 	})
 	if err != nil {
 		m.Close()

@@ -241,7 +241,7 @@ func TestAuditSmoke(t *testing.T) {
 // shared pipeline process.
 func TestClusterTraceStitching(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	reg.EnableTracing(1, 0) // before Deploy: collectors read the rate at startup
+	reg.EnableTracing(1, 0) // before Deploy: the trace ring must exist when collectors start
 	m, err := Deploy(testCluster(1), DeployOptions{
 		CacheSize:       100,
 		PollInterval:    time.Millisecond,

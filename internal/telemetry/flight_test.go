@@ -1,0 +1,460 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// worsening fabricates an ok→stalled watchdog transition for direct
+// recorder-hook tests.
+func worsening(tier string) Transition {
+	return Transition{
+		Tier: tier, From: StatusOK, To: StatusStalled,
+		Reasons: []string{"stage test: input flowing, no output"},
+		Report: HealthReport{
+			Status:    StatusStalled,
+			Tiers:     []Verdict{{Tier: tier, Status: StatusStalled}},
+			SampledAt: time.Now(),
+		},
+	}
+}
+
+// recovery fabricates the matching stalled→ok transition with a fully
+// healthy report.
+func recovery(tier string) Transition {
+	return Transition{
+		Tier: tier, From: StatusStalled, To: StatusOK,
+		Report: HealthReport{
+			Status:    StatusOK,
+			Tiers:     []Verdict{{Tier: tier, Status: StatusOK}},
+			SampledAt: time.Now(),
+		},
+	}
+}
+
+func bundleCount(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "inc-") && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFlightDebounce: transitions arriving within the debounce window of
+// the previous trigger collapse into one incident — one bundle, the rest
+// counted as suppressed.
+func TestFlightDebounce(t *testing.T) {
+	reg := NewRegistry()
+	dir := t.TempDir()
+	fr, err := reg.EnableFlightRecorder(IncidentOptions{
+		Dir: dir, Debounce: time.Hour, MinInterval: -1, CaptureDelay: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		fr.OnTransition(worsening("resolution"))
+	}
+	fr.Wait()
+	if got := fr.Captures(); got != 1 {
+		t.Fatalf("captures = %d, want 1 (debounce should collapse the burst)", got)
+	}
+	if got := fr.Suppressed(); got != 2 {
+		t.Fatalf("suppressed = %d, want 2", got)
+	}
+	if n := bundleCount(t, dir); n != 1 {
+		t.Fatalf("bundles on disk = %d, want 1", n)
+	}
+}
+
+// TestFlightRateLimit: with debounce disabled, the minimum capture
+// interval still spaces bundles out.
+func TestFlightRateLimit(t *testing.T) {
+	reg := NewRegistry()
+	dir := t.TempDir()
+	fr, err := reg.EnableFlightRecorder(IncidentOptions{
+		Dir: dir, Debounce: -1, MinInterval: time.Hour, CaptureDelay: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.OnTransition(worsening("store"))
+	fr.OnTransition(worsening("consumer")) // beyond debounce, inside MinInterval
+	fr.Wait()
+	if got := fr.Captures(); got != 1 {
+		t.Fatalf("captures = %d, want 1 (rate limit should hold)", got)
+	}
+	if got := fr.Suppressed(); got != 1 {
+		t.Fatalf("suppressed = %d, want 1", got)
+	}
+}
+
+// TestFlightManualBypassesLimits: an operator asking twice means twice —
+// TriggerIncident ignores debounce and rate limit.
+func TestFlightManualBypassesLimits(t *testing.T) {
+	reg := NewRegistry()
+	dir := t.TempDir()
+	fr, err := reg.EnableFlightRecorder(IncidentOptions{
+		Dir: dir, Debounce: time.Hour, MinInterval: time.Hour, CaptureDelay: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fr.TriggerIncident("first look")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fr.TriggerIncident("second look")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Fatalf("manual triggers shared incident ID %q", a.ID)
+	}
+	if got := fr.Captures(); got != 2 {
+		t.Fatalf("captures = %d, want 2", got)
+	}
+	var bundle IncidentBundle
+	data, err := fr.Read(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &bundle); err != nil {
+		t.Fatal(err)
+	}
+	if bundle.Trigger != "manual" {
+		t.Fatalf("trigger = %q, want manual", bundle.Trigger)
+	}
+	if len(bundle.Reasons) == 0 || bundle.Reasons[0] != "second look" {
+		t.Fatalf("reasons = %v, want [second look]", bundle.Reasons)
+	}
+	if bundle.Goroutines == "" {
+		t.Fatal("bundle missing goroutine profile")
+	}
+}
+
+// TestFlightBoostAndDecay: a trigger tightens the trace-sampling rate for
+// the cooldown window; expiry and full recovery both restore the base
+// rate; a registry without tracing stays untraced.
+func TestFlightBoostAndDecay(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableTracing(1024, 0)
+	fr, err := reg.EnableFlightRecorder(IncidentOptions{
+		Dir: t.TempDir(), Debounce: -1, MinInterval: -1, CaptureDelay: -1,
+		BoostN: 16, BoostFor: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.TraceSampleN(); n != 1024 {
+		t.Fatalf("base rate = %d, want 1024", n)
+	}
+	fr.OnTransition(worsening("aggregator"))
+	if n := reg.TraceSampleN(); n != 16 {
+		t.Fatalf("boosted rate = %d, want 16", n)
+	}
+	if !reg.TraceBoostActive() {
+		t.Fatal("boost not reported active")
+	}
+	// Decay path 1: the cooldown window expires.
+	time.Sleep(120 * time.Millisecond)
+	if n := reg.TraceSampleN(); n != 1024 {
+		t.Fatalf("rate after cooldown = %d, want 1024", n)
+	}
+	// Decay path 2: a recovery to a fully healthy report clears the boost
+	// immediately, without waiting out the window.
+	fr.OnTransition(worsening("aggregator"))
+	if n := reg.TraceSampleN(); n != 16 {
+		t.Fatalf("re-boosted rate = %d, want 16", n)
+	}
+	fr.OnTransition(recovery("aggregator"))
+	if n := reg.TraceSampleN(); n != 1024 {
+		t.Fatalf("rate after recovery = %d, want 1024", n)
+	}
+	fr.Wait()
+
+	// An untraced registry stays untraced: the boost must never turn
+	// tracing on (the wire representation would change under load).
+	cold := NewRegistry()
+	if cold.BoostTracing(16, time.Minute) {
+		t.Fatal("BoostTracing succeeded with tracing disabled")
+	}
+	if n := cold.TraceSampleN(); n != 0 {
+		t.Fatalf("untraced registry rate = %d, want 0", n)
+	}
+}
+
+// TestFlightRetention: the bundle directory keeps only the newest Retain
+// bundles, and List returns them newest first.
+func TestFlightRetention(t *testing.T) {
+	reg := NewRegistry()
+	dir := t.TempDir()
+	fr, err := reg.EnableFlightRecorder(IncidentOptions{
+		Dir: dir, Retain: 2, Debounce: -1, MinInterval: -1, CaptureDelay: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last IncidentInfo
+	for i := 0; i < 5; i++ {
+		last, err = fr.TriggerIncident("fill")
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // distinct millisecond stamps
+	}
+	if n := bundleCount(t, dir); n != 2 {
+		t.Fatalf("bundles on disk = %d, want 2 after pruning", n)
+	}
+	list := fr.List()
+	if len(list) != 2 {
+		t.Fatalf("List() = %d entries, want 2", len(list))
+	}
+	if list[0].ID != last.ID {
+		t.Fatalf("List() newest = %s, want %s", list[0].ID, last.ID)
+	}
+	if _, err := fr.Read(list[1].ID); err != nil {
+		t.Fatalf("reading retained bundle: %v", err)
+	}
+	// Pruned bundles are gone from disk and from reads.
+	if _, err := fr.Read("inc-0000000000000-000000"); err == nil {
+		t.Fatal("reading a pruned/unknown bundle succeeded")
+	}
+}
+
+// TestFlightWatchdogTrip is the end-to-end loop: a stalled pipeline stage
+// observed by the sampler trips the watchdog, which captures a bundle
+// holding the tripping rule, boosted-rate flag, sampler history, health
+// gauges, and the log ring — all without any explicit wiring between the
+// health model and the recorder.
+func TestFlightWatchdogTrip(t *testing.T) {
+	reg := NewRegistry()
+	logger := reg.EnableLogRing(0).Wrap(nil)
+	reg.EnableTracing(1024, 0)
+	dir := t.TempDir()
+	fr, err := reg.EnableFlightRecorder(IncidentOptions{
+		Dir: dir, CaptureDelay: -1, Logger: logger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.StartSampler(time.Hour, 16) // ticker idle; SampleNow drives it
+	defer s.Close()
+	h := NewHealth(s, HealthOptions{Windows: 2, Logger: logger})
+	reg.SetHealth(h)
+
+	in := reg.Gauge("fsmon.resolution.pipeline.resolve.in")
+	reg.Gauge("fsmon.resolution.pipeline.resolve.out").Set(0)
+	for i := 1; i <= 3; i++ {
+		in.Set(int64(i * 10))
+		s.SampleNow()
+	}
+	rep := h.Evaluate()
+	if rep.Status != StatusStalled {
+		t.Fatalf("report status = %s, want stalled", rep.Status)
+	}
+	fr.Wait()
+	if got := fr.Captures(); got != 1 {
+		t.Fatalf("captures = %d, want 1", got)
+	}
+
+	// Satellite surface: the verdict is mirrored as a health gauge.
+	snap := reg.Snapshot()
+	if v, ok := snap["fsmon.health.resolution"].(float64); !ok || v != float64(StatusStalled) {
+		t.Fatalf("fsmon.health.resolution = %v, want %d", snap["fsmon.health.resolution"], StatusStalled)
+	}
+
+	list := fr.List()
+	if len(list) != 1 {
+		t.Fatalf("List() = %d entries, want 1", len(list))
+	}
+	data, err := fr.Read(list[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b IncidentBundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Trigger != "watchdog" || b.Tier != "resolution" || b.To != "stalled" {
+		t.Fatalf("bundle trigger/tier/to = %s/%s/%s, want watchdog/resolution/stalled", b.Trigger, b.Tier, b.To)
+	}
+	foundRule := false
+	for _, r := range b.Reasons {
+		if strings.Contains(r, "fsmon.resolution.pipeline.resolve") {
+			foundRule = true
+		}
+	}
+	if !foundRule {
+		t.Fatalf("bundle reasons %v missing the tripping stall rule", b.Reasons)
+	}
+	if b.TraceSampleN != 16 || !b.BoostActive {
+		t.Fatalf("bundle sampling = %d boost=%v, want 16/true", b.TraceSampleN, b.BoostActive)
+	}
+	if len(b.History) == 0 {
+		t.Fatal("bundle missing sampler history")
+	}
+	if b.Health.Status != StatusStalled {
+		t.Fatalf("bundle health status = %s, want stalled", b.Health.Status)
+	}
+	foundLog := false
+	for _, lr := range b.Logs {
+		if lr.Msg == "tier health transition" {
+			foundLog = true
+		}
+	}
+	if !foundLog {
+		t.Fatal("bundle log ring missing the transition warning")
+	}
+	if len(b.Metrics) == 0 {
+		t.Fatal("bundle missing metrics snapshot")
+	}
+
+	// Recovery: the stage drains again, the tier transitions back to ok,
+	// and the watchdog clears the trace boost immediately.
+	out := reg.Gauge("fsmon.resolution.pipeline.resolve.out")
+	for i := 1; i <= 3; i++ {
+		in.Add(10)
+		out.Set(int64(i * 10))
+		s.SampleNow()
+	}
+	if rep := h.Evaluate(); rep.Status != StatusOK {
+		t.Fatalf("report after recovery = %s, want ok", rep.Status)
+	}
+	if n := reg.TraceSampleN(); n != 1024 {
+		t.Fatalf("rate after recovery = %d, want 1024 (boost cleared)", n)
+	}
+	fr.Wait()
+}
+
+// TestFlightHTTPSurface: /debug/incidents lists bundles, fetches one by
+// ID, triggers captures over POST, and rejects traversal-shaped IDs.
+func TestFlightHTTPSurface(t *testing.T) {
+	reg := NewRegistry()
+	fr, err := reg.EnableFlightRecorder(IncidentOptions{
+		Dir: t.TempDir(), Debounce: -1, MinInterval: -1, CaptureDelay: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	list, err := FetchIncidents(base + "/debug/incidents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("fresh recorder lists %d incidents, want 0", len(list))
+	}
+
+	body, err := TriggerRemoteIncident(base + "/debug/incidents/trigger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b IncidentBundle
+	if err := json.Unmarshal(body, &b); err != nil {
+		t.Fatalf("trigger response is not a bundle: %v", err)
+	}
+	if b.Trigger != "manual" || b.ID == "" {
+		t.Fatalf("trigger response id/trigger = %q/%q", b.ID, b.Trigger)
+	}
+	if fr.Captures() != 1 {
+		t.Fatalf("captures = %d, want 1", fr.Captures())
+	}
+
+	list, err = FetchIncidents(base + "/debug/incidents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != b.ID {
+		t.Fatalf("list = %+v, want the triggered incident", list)
+	}
+
+	resp, err := http.Get(base + "/debug/incidents/" + b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch by ID: status %d", resp.StatusCode)
+	}
+	// GET on the trigger path must not capture; traversal IDs must 404.
+	resp, err = http.Get(base + "/debug/incidents/trigger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("GET /debug/incidents/trigger succeeded, want method rejection")
+	}
+	resp, err = http.Get(base + "/debug/incidents/..%2Fsecrets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("traversal-shaped incident ID served, want 404")
+	}
+
+	// A server without a recorder answers 404 so probes can distinguish
+	// "not armed" from "no incidents".
+	bare, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if _, err := FetchIncidents("http://" + bare.Addr() + "/debug/incidents"); err == nil {
+		t.Fatal("FetchIncidents succeeded against a recorder-less server")
+	}
+}
+
+// TestFlightRemoteDedup: N memberships delivering the same incident frame
+// to one shared recorder capture once; a fresh ID captures again and the
+// remote reason names the declaring node.
+func TestFlightRemoteDedup(t *testing.T) {
+	reg := NewRegistry()
+	fr, err := reg.EnableFlightRecorder(IncidentOptions{
+		Dir: t.TempDir(), Debounce: -1, MinInterval: -1, CaptureDelay: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		fr.CaptureRemote("inc-0000000000001-abcdef", "n1", "stage stalled")
+	}
+	fr.CaptureRemote("inc-0000000000002-abcdef", "n2", "")
+	fr.Wait()
+	if got := fr.Captures(); got != 2 {
+		t.Fatalf("captures = %d, want 2 (dedup by incident ID)", got)
+	}
+	data, err := fr.Read("inc-0000000000001-abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b IncidentBundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Trigger != "cluster" {
+		t.Fatalf("trigger = %q, want cluster", b.Trigger)
+	}
+	if len(b.Reasons) != 1 || !strings.Contains(b.Reasons[0], "n1") {
+		t.Fatalf("reasons = %v, want the declaring node named", b.Reasons)
+	}
+}

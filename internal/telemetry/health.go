@@ -119,6 +119,32 @@ type HealthOptions struct {
 	// Logger receives transition warnings (tier ok→degraded→stalled and
 	// recoveries); nil discards.
 	Logger *slog.Logger
+	// OnTransition, when set, is invoked once per tier status change
+	// (worsening and recovery alike) after each evaluation. Hooks fire
+	// outside the health model's lock, so they may safely re-enter the
+	// registry or trigger another evaluation. A flight recorder attached
+	// to the registry is notified regardless; this hook runs in addition
+	// to it.
+	OnTransition func(Transition)
+	// SamplerHistory is the sampler retention depth (samples) callers
+	// that build the sampler alongside the health model should use
+	// (0 = DefaultSeriesLen). NewHealth itself never resizes an existing
+	// sampler; the option rides here so one struct configures the whole
+	// watchdog surface (fsmon -metrics-history).
+	SamplerHistory int
+}
+
+// Transition is one tier's status change between consecutive
+// evaluations, as delivered to OnTransition hooks and the flight
+// recorder.
+type Transition struct {
+	Tier    string
+	From    Status
+	To      Status
+	Reasons []string
+	// Report is the full evaluation the transition was observed in, so
+	// hooks need not re-evaluate to see the surrounding verdicts.
+	Report HealthReport
 }
 
 func (o HealthOptions) withDefaults() HealthOptions {
@@ -303,13 +329,35 @@ func (h *Health) Evaluate() HealthReport {
 	}
 	sort.Slice(tiers, func(i, j int) bool { return tiers[i].Tier < tiers[j].Tier })
 	rep.Tiers = tiers
-	h.logTransitions(tiers)
+	// Mirror every verdict as a fsmon.health.<tier> gauge (0=ok,
+	// 1=degraded, 2=stalled) so Prometheus scrapes and the federated
+	// cluster view can alert on tier health without parsing /healthz.
+	if reg := h.registry(); reg != nil {
+		for _, v := range tiers {
+			reg.Gauge("fsmon.health." + v.Tier).Set(int64(v.Status))
+		}
+	}
+	h.notifyTransitions(tiers, rep)
 	return rep
 }
 
-func (h *Health) logTransitions(tiers []Verdict) {
+// registry returns the registry underneath the sampler this model
+// evaluates (nil when unwired).
+func (h *Health) registry() *Registry {
+	if h == nil || h.s == nil {
+		return nil
+	}
+	return h.s.reg
+}
+
+// notifyTransitions compares the evaluation against the previous one,
+// logs every status change under the lock, then fires the OnTransition
+// hook and the registry's flight recorder outside it — hooks re-enter
+// the registry (snapshot, evaluate), and holding h.mu across arbitrary
+// callbacks invites deadlock.
+func (h *Health) notifyTransitions(tiers []Verdict, rep HealthReport) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	var fired []Transition
 	for _, v := range tiers {
 		prev, seen := h.last[v.Tier]
 		if seen && prev == v.Status {
@@ -323,6 +371,24 @@ func (h *Health) logTransitions(tiers []Verdict) {
 				"reasons", strings.Join(v.Reasons, "; "))
 		case seen: // recovery; a fresh ok tier is not news
 			h.slog.Info("tier recovered", "tier", v.Tier, "from", prev.String())
+		default: // fresh ok tier: not a transition
+			continue
+		}
+		fired = append(fired, Transition{
+			Tier: v.Tier, From: prev, To: v.Status, Reasons: v.Reasons, Report: rep,
+		})
+	}
+	h.mu.Unlock()
+	if len(fired) == 0 {
+		return
+	}
+	reg := h.registry()
+	for _, t := range fired {
+		if fr := reg.Flight(); fr != nil {
+			fr.OnTransition(t)
+		}
+		if h.opts.OnTransition != nil {
+			h.opts.OnTransition(t)
 		}
 	}
 }

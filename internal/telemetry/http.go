@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -99,8 +102,22 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		WritePrometheus(w, reg)
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		// ?limit=N serves the newest N traces (newest first) without
+		// copying the whole ring; unlimited keeps the historical
+		// oldest-first full dump.
+		traces := reg.Traces()
+		if s := r.URL.Query().Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			WriteChromeTrace(w, traces.SnapshotLimit(n))
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		WriteChromeTrace(w, reg.Traces().Snapshot())
+		WriteChromeTrace(w, traces.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		rep := reg.Health().Evaluate()
@@ -155,6 +172,59 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(rep)
+	})
+	// The incident flight recorder: list retained bundles, fetch one by
+	// ID, or POST a manual capture. Without a recorder the endpoints 404
+	// — "no flight recorder armed" must not read as "no incidents".
+	mux.HandleFunc("/debug/incidents", func(w http.ResponseWriter, r *http.Request) {
+		fr := reg.Flight()
+		if fr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		list := fr.List()
+		if list == nil {
+			list = []IncidentInfo{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(list)
+	})
+	mux.HandleFunc("/debug/incidents/", func(w http.ResponseWriter, r *http.Request) {
+		fr := reg.Flight()
+		if fr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/debug/incidents/")
+		if id == "trigger" {
+			if r.Method != http.MethodPost {
+				w.Header().Set("Allow", http.MethodPost)
+				http.Error(w, "trigger requires POST", http.StatusMethodNotAllowed)
+				return
+			}
+			info, err := fr.TriggerIncident("manual trigger via /debug/incidents")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			data, err := fr.Read(info.ID)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+			return
+		}
+		data, err := fr.Read(id)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -243,6 +313,35 @@ func FetchClusterHealth(url string) (rep ClusterReport, ok bool, err error) {
 		return rep, false, fmt.Errorf("telemetry: decode %s: %w", url, err)
 	}
 	return rep, resp.StatusCode == http.StatusOK, nil
+}
+
+// FetchIncidents retrieves a running endpoint's /debug/incidents
+// listing (newest first).
+func FetchIncidents(url string) ([]IncidentInfo, error) {
+	var list []IncidentInfo
+	if err := fetchJSON(url, &list); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+// TriggerRemoteIncident POSTs a manual capture to a running endpoint's
+// /debug/incidents/trigger and returns the captured bundle JSON — the
+// client half of the fsmon -incident one-shot grab.
+func TriggerRemoteIncident(url string) ([]byte, error) {
+	resp, err := fetchClient.Post(url, "application/json", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("telemetry: %s: %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: read %s: %w", url, err)
+	}
+	return data, nil
 }
 
 func fetchJSON(url string, into any) error {

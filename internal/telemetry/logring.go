@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Bounded slog ring: the last N log records at every level, retained in
+// memory so an incident bundle carries the logs that led up to the trip.
+// The ring rides as a tee — a handler that records into the ring and
+// forwards to whatever handler the process already logs through — so
+// arming the flight recorder never changes what the operator sees on
+// stderr, it only keeps a copy.
+
+// DefaultLogRing is the retained log-record count.
+const DefaultLogRing = 256
+
+// LogRecord is one retained log record, flattened for JSON bundles.
+type LogRecord struct {
+	TMS   int64             `json:"t_ms"`
+	Level string            `json:"level"`
+	Msg   string            `json:"msg"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// LogRing retains the last capacity log records. All methods are safe
+// for concurrent use and safe on a nil receiver.
+type LogRing struct {
+	mu   sync.Mutex
+	buf  []LogRecord
+	next int
+	n    int
+}
+
+// NewLogRing creates a ring retaining the last capacity records
+// (capacity <= 0 selects DefaultLogRing).
+func NewLogRing(capacity int) *LogRing {
+	if capacity <= 0 {
+		capacity = DefaultLogRing
+	}
+	return &LogRing{buf: make([]LogRecord, capacity)}
+}
+
+func (r *LogRing) add(rec LogRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained records (0 on a nil receiver).
+func (r *LogRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Snapshot returns the retained records, oldest first. Safe on a nil
+// receiver (nil slice).
+func (r *LogRing) Snapshot() []LogRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]LogRecord, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Wrap tees logger through the ring: the returned logger records every
+// record (all levels) into the ring and forwards to logger's own handler
+// at its own level gate. A nil logger yields a ring-only logger, so
+// components log into the flight recorder even when the process is
+// otherwise silent. Wrapping an already-wrapped logger over the same
+// ring returns it unchanged (no double recording). Safe on a nil
+// receiver (returns logger, or the nop logger when that is nil too).
+func (r *LogRing) Wrap(logger *slog.Logger) *slog.Logger {
+	if r == nil {
+		if logger == nil {
+			return NopLogger()
+		}
+		return logger
+	}
+	var next slog.Handler
+	if logger != nil {
+		next = logger.Handler()
+	}
+	if h, ok := next.(*ringHandler); ok && h.ring == r {
+		return logger
+	}
+	return slog.New(&ringHandler{ring: r, next: next})
+}
+
+// ringHandler is the tee: every record lands in the ring, and records
+// the wrapped handler's level gate admits are forwarded to it.
+type ringHandler struct {
+	ring   *LogRing
+	next   slog.Handler
+	attrs  []slog.Attr
+	groups []string
+}
+
+// Enabled admits every level — the ring is a flight recorder, and the
+// wrapped handler applies its own gate at forward time.
+func (h *ringHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *ringHandler) Handle(ctx context.Context, rec slog.Record) error {
+	lr := LogRecord{
+		TMS:   rec.Time.UnixMilli(),
+		Level: rec.Level.String(),
+		Msg:   rec.Message,
+	}
+	if rec.Time.IsZero() {
+		lr.TMS = time.Now().UnixMilli()
+	}
+	if len(h.attrs) > 0 || rec.NumAttrs() > 0 {
+		lr.Attrs = make(map[string]string, len(h.attrs)+rec.NumAttrs())
+		prefix := ""
+		if len(h.groups) > 0 {
+			prefix = strings.Join(h.groups, ".") + "."
+		}
+		for _, a := range h.attrs {
+			lr.Attrs[prefix+a.Key] = a.Value.Resolve().String()
+		}
+		rec.Attrs(func(a slog.Attr) bool {
+			lr.Attrs[prefix+a.Key] = a.Value.Resolve().String()
+			return true
+		})
+	}
+	h.ring.add(lr)
+	if h.next != nil && h.next.Enabled(ctx, rec.Level) {
+		return h.next.Handle(ctx, rec)
+	}
+	return nil
+}
+
+func (h *ringHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := &ringHandler{ring: h.ring, groups: h.groups}
+	nh.attrs = append(append([]slog.Attr{}, h.attrs...), attrs...)
+	if h.next != nil {
+		nh.next = h.next.WithAttrs(attrs)
+	}
+	return nh
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	nh := &ringHandler{ring: h.ring, attrs: h.attrs}
+	nh.groups = append(append([]string{}, h.groups...), name)
+	if h.next != nil {
+		nh.next = h.next.WithGroup(name)
+	}
+	return nh
+}
+
+// EnableLogRing attaches a bounded log ring to the registry (the flight
+// recorder's log capture; EnableFlightRecorder calls this itself).
+// capacity <= 0 selects DefaultLogRing. Repeated calls return the
+// existing ring; nil registries return nil.
+func (r *Registry) EnableLogRing(capacity int) *LogRing {
+	if r == nil {
+		return nil
+	}
+	if lr := r.logring.Load(); lr != nil {
+		return lr
+	}
+	lr := NewLogRing(capacity)
+	if !r.logring.CompareAndSwap(nil, lr) {
+		return r.logring.Load()
+	}
+	return lr
+}
+
+// LogRing returns the attached log ring (nil until EnableLogRing). Safe
+// on a nil registry.
+func (r *Registry) LogRing() *LogRing {
+	if r == nil {
+		return nil
+	}
+	return r.logring.Load()
+}

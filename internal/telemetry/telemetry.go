@@ -307,6 +307,14 @@ type Registry struct {
 	// the attachments above.
 	audit      atomic.Pointer[Audit]
 	federation atomic.Pointer[Federation]
+
+	// Incident flight-recorder plane (PR 10): the adaptive trace-rate
+	// boost (a denser 1-in-N applied while now < traceBoostUntil), the
+	// bounded log ring, and the flight recorder itself.
+	traceBoostN     atomic.Int64
+	traceBoostUntil atomic.Int64 // unix nanos; 0 = no boost armed
+	logring         atomic.Pointer[LogRing]
+	flight          atomic.Pointer[FlightRecorder]
 }
 
 // NewRegistry creates an empty registry.
@@ -408,9 +416,9 @@ func (r *Registry) slots() (names []string, ms []metric) {
 // EnableTracing turns on deterministic 1-in-n span-trace sampling for
 // every component attached to this registry and allocates the bounded
 // ring completed traces land in (ringCap <= 0 selects DefaultTraceRing).
-// n == 1 traces every event; n <= 0 disables. Call before deploying —
-// collectors read the sampling rate once at startup. No-op on a nil
-// registry.
+// n == 1 traces every event; n <= 0 disables. Collectors re-read the
+// effective rate per batch, so a later BoostTracing densifies sampling
+// on a live deployment. No-op on a nil registry.
 func (r *Registry) EnableTracing(n, ringCap int) {
 	if r == nil {
 		return
@@ -424,13 +432,60 @@ func (r *Registry) EnableTracing(n, ringCap int) {
 	}
 }
 
-// TraceSampleN returns the trace sampling rate (1-in-N; 0 = tracing off).
-// Safe on a nil registry.
+// TraceSampleN returns the effective trace sampling rate (1-in-N; 0 =
+// tracing off): the base rate from EnableTracing, or the denser boosted
+// rate while a BoostTracing window is active. Safe on a nil registry.
 func (r *Registry) TraceSampleN() int {
 	if r == nil {
 		return 0
 	}
-	return int(r.traceN.Load())
+	base := int(r.traceN.Load())
+	if base <= 0 {
+		return base
+	}
+	if until := r.traceBoostUntil.Load(); until != 0 && time.Now().UnixNano() < until {
+		if b := int(r.traceBoostN.Load()); b > 0 && b < base {
+			return b
+		}
+	}
+	return base
+}
+
+// BoostTracing densifies span sampling to 1-in-n for the next window d —
+// the adaptive-sampling half of the incident flight recorder: on a
+// health transition the rate jumps (e.g. 1-in-1024 → 1-in-16) so the
+// incident window holds dense end-to-end traces, then decays back to the
+// base rate when the window expires (or earlier via ClearTraceBoost on
+// recovery). The boost never arms a disabled tracer — with tracing off
+// the wire stays untraced — and never loosens sampling below the base
+// rate. Returns whether the boost armed. Safe on a nil registry.
+func (r *Registry) BoostTracing(n int, d time.Duration) bool {
+	if r == nil || n <= 0 || d <= 0 || r.traceN.Load() <= 0 {
+		return false
+	}
+	r.traceBoostN.Store(int64(n))
+	r.traceBoostUntil.Store(time.Now().Add(d).UnixNano())
+	return true
+}
+
+// ClearTraceBoost ends an active sampling boost immediately — the
+// decay-on-recovery path. Safe on a nil registry.
+func (r *Registry) ClearTraceBoost() {
+	if r == nil {
+		return
+	}
+	r.traceBoostUntil.Store(0)
+}
+
+// TraceBoostActive reports whether a sampling boost is in effect right
+// now. Safe on a nil registry.
+func (r *Registry) TraceBoostActive() bool {
+	if r == nil {
+		return false
+	}
+	until := r.traceBoostUntil.Load()
+	return until != 0 && time.Now().UnixNano() < until &&
+		r.traceBoostN.Load() > 0 && r.traceN.Load() > 0
 }
 
 // Traces returns the completed-trace ring (nil until EnableTracing). Safe

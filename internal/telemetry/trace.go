@@ -107,6 +107,30 @@ func (r *TraceRing) Snapshot() []Trace {
 	return out
 }
 
+// SnapshotLimit returns up to limit retained traces, newest first — the
+// bounded /traces?limit=N path. Only the returned traces are copied, so
+// a small limit against a large ring stays cheap. limit <= 0 returns
+// nil; safe on a nil receiver.
+func (r *TraceRing) SnapshotLimit(limit int) []Trace {
+	if r == nil || limit <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if limit > r.n {
+		limit = r.n
+	}
+	out := make([]Trace, 0, limit)
+	for i := 1; i <= limit; i++ {
+		idx := r.next - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
 // chromeEvent is one entry of the Chrome trace_event format's traceEvents
 // array (the "X" complete-event phase).
 type chromeEvent struct {
